@@ -1,0 +1,198 @@
+//! Agent Capability Tables.
+//!
+//! "In the experimental system, each agent maintains a set of service
+//! information for the other agents in the system." The ACT maps a
+//! neighbour agent's name to the most recent [`ServiceInfo`] received from
+//! it, with the receipt timestamp. Entries go stale between
+//! advertisements — that staleness is part of the system being
+//! reproduced, so the table never invents freshness.
+
+use crate::info::ServiceInfo;
+use agentgrid_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// One ACT row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ActEntry {
+    /// The advertised service information.
+    pub info: ServiceInfo,
+    /// When this agent received it.
+    pub received_at: SimTime,
+}
+
+/// An agent's view of its neighbours' services (keyed by agent name;
+/// `BTreeMap` so iteration order — and therefore tie-breaking in
+/// matchmaking — is deterministic).
+#[derive(Clone, Debug, Default)]
+pub struct Act {
+    entries: BTreeMap<String, ActEntry>,
+}
+
+impl Act {
+    /// An empty table.
+    pub fn new() -> Act {
+        Act::default()
+    }
+
+    /// Record service info received from `agent` at `now`, replacing any
+    /// previous entry.
+    pub fn update(&mut self, agent: &str, info: ServiceInfo, now: SimTime) {
+        self.entries.insert(
+            agent.to_string(),
+            ActEntry {
+                info,
+                received_at: now,
+            },
+        );
+    }
+
+    /// The current entry for `agent`.
+    pub fn get(&self, agent: &str) -> Option<&ActEntry> {
+        self.entries.get(agent)
+    }
+
+    /// All entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ActEntry)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of known neighbours.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been advertised yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Age of the entry for `agent` at `now`.
+    pub fn age(&self, agent: &str, now: SimTime) -> Option<SimDuration> {
+        self.get(agent).map(|e| now.saturating_since(e.received_at))
+    }
+
+    /// Drop entries older than `max_age` (housekeeping; the experiments
+    /// never expire entries, matching the paper).
+    pub fn expire(&mut self, now: SimTime, max_age: SimDuration) {
+        self.entries
+            .retain(|_, e| now.saturating_since(e.received_at) <= max_age);
+    }
+
+    /// Merge another table, keeping whichever entry is fresher per agent
+    /// (gossip: a pull can carry the neighbour's whole view, so service
+    /// information propagates through the hierarchy — "each agent
+    /// maintains a set of service information for the other agents in
+    /// the system" while only ever talking to its neighbours). Entries
+    /// about `skip` (the merging agent itself) are ignored.
+    pub fn merge(&mut self, other: &Act, skip: &str) {
+        for (name, entry) in other.iter() {
+            if name == skip {
+                continue;
+            }
+            let fresher = self
+                .entries
+                .get(name)
+                .is_none_or(|mine| entry.received_at > mine.received_at);
+            if fresher {
+                self.entries.insert(name.to_string(), entry.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::info::Endpoint;
+    use agentgrid_cluster::ExecEnv;
+
+    fn info(freetime_s: u64) -> ServiceInfo {
+        ServiceInfo {
+            agent: Endpoint::new("host", 1000),
+            local: Endpoint::new("host", 10000),
+            machine_type: "SunUltra5".into(),
+            nproc: 16,
+            environments: vec![ExecEnv::Test],
+            freetime: SimTime::from_secs(freetime_s),
+        }
+    }
+
+    #[test]
+    fn update_replaces_previous_entry() {
+        let mut act = Act::new();
+        act.update("S2", info(10), SimTime::from_secs(1));
+        act.update("S2", info(50), SimTime::from_secs(11));
+        assert_eq!(act.len(), 1);
+        let e = act.get("S2").unwrap();
+        assert_eq!(e.info.freetime, SimTime::from_secs(50));
+        assert_eq!(e.received_at, SimTime::from_secs(11));
+    }
+
+    #[test]
+    fn age_reflects_receipt_time() {
+        let mut act = Act::new();
+        act.update("S2", info(10), SimTime::from_secs(5));
+        assert_eq!(
+            act.age("S2", SimTime::from_secs(15)),
+            Some(SimDuration::from_secs(10))
+        );
+        assert_eq!(act.age("S9", SimTime::from_secs(15)), None);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut act = Act::new();
+        act.update("S9", info(1), SimTime::ZERO);
+        act.update("S2", info(1), SimTime::ZERO);
+        act.update("S11", info(1), SimTime::ZERO);
+        let names: Vec<&str> = act.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["S11", "S2", "S9"]); // lexicographic, deterministic
+    }
+
+    #[test]
+    fn merge_keeps_the_fresher_entry() {
+        let mut a = Act::new();
+        let mut b = Act::new();
+        a.update("S3", info(10), SimTime::from_secs(5));
+        b.update("S3", info(99), SimTime::from_secs(9));
+        b.update("S4", info(7), SimTime::from_secs(2));
+        a.merge(&b, "me");
+        assert_eq!(a.get("S3").unwrap().info.freetime, SimTime::from_secs(99));
+        assert_eq!(a.get("S4").unwrap().info.freetime, SimTime::from_secs(7));
+        // Merging back the other way keeps b's fresher S3.
+        b.merge(&a, "me");
+        assert_eq!(b.get("S3").unwrap().received_at, SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn merge_skips_entries_about_self() {
+        let mut a = Act::new();
+        let mut b = Act::new();
+        b.update("me", info(1), SimTime::from_secs(1));
+        b.update("S5", info(2), SimTime::from_secs(1));
+        a.merge(&b, "me");
+        assert!(a.get("me").is_none());
+        assert!(a.get("S5").is_some());
+    }
+
+    #[test]
+    fn merge_does_not_overwrite_fresher_local_entries() {
+        let mut a = Act::new();
+        let mut b = Act::new();
+        a.update("S3", info(50), SimTime::from_secs(20));
+        b.update("S3", info(10), SimTime::from_secs(5));
+        a.merge(&b, "me");
+        assert_eq!(a.get("S3").unwrap().info.freetime, SimTime::from_secs(50));
+    }
+
+    #[test]
+    fn expire_drops_stale_entries() {
+        let mut act = Act::new();
+        act.update("old", info(1), SimTime::ZERO);
+        act.update("new", info(1), SimTime::from_secs(95));
+        act.expire(SimTime::from_secs(100), SimDuration::from_secs(30));
+        assert!(act.get("old").is_none());
+        assert!(act.get("new").is_some());
+        assert!(!act.is_empty());
+    }
+}

@@ -1,0 +1,107 @@
+//! Advertisement strategies (paper §3.1).
+//!
+//! "An agent can advertise service information to both upper and lower
+//! agents. Different strategies can be used to control these processes,
+//! which has an impact on the system efficiency. Service information can
+//! be pushed to or pulled from other agents, a process that is triggered
+//! by system events or through periodic updates."
+//!
+//! The case study uses periodic pull: "each agent pulls service
+//! information from its lower and upper agents every ten seconds." The
+//! event-driven push option advertises whenever the local freetime moves
+//! by more than a threshold; the `advertisement` bench compares staleness
+//! and message counts of the two.
+
+use agentgrid_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The case-study pull period.
+pub const DEFAULT_PULL_PERIOD_S: u64 = 10;
+
+/// How an agent keeps its neighbours' ACT entries fresh.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AdvertisementStrategy {
+    /// Every `period`, pull service info from every neighbour (upper and
+    /// lower agents). What the experiments use.
+    PeriodicPull {
+        /// Pull interval.
+        period: SimDuration,
+    },
+    /// Push service info to every neighbour whenever the local freetime
+    /// estimate moves by more than `threshold` since the last push.
+    EventPush {
+        /// Minimum freetime movement that triggers a push.
+        threshold: SimDuration,
+    },
+}
+
+impl Default for AdvertisementStrategy {
+    fn default() -> Self {
+        AdvertisementStrategy::PeriodicPull {
+            period: SimDuration::from_secs(DEFAULT_PULL_PERIOD_S),
+        }
+    }
+}
+
+impl AdvertisementStrategy {
+    /// For periodic pull: the next tick after `now`. `None` for push.
+    pub fn next_pull_after(&self, now: SimTime) -> Option<SimTime> {
+        match self {
+            AdvertisementStrategy::PeriodicPull { period } => Some(now + *period),
+            AdvertisementStrategy::EventPush { .. } => None,
+        }
+    }
+
+    /// For event push: whether a change from `last_advertised` to
+    /// `current` freetime warrants a push. Always `false` for pull.
+    pub fn push_due(&self, last_advertised: SimTime, current: SimTime) -> bool {
+        match self {
+            AdvertisementStrategy::PeriodicPull { .. } => false,
+            AdvertisementStrategy::EventPush { threshold } => {
+                let moved = if current >= last_advertised {
+                    current.saturating_since(last_advertised)
+                } else {
+                    last_advertised.saturating_since(current)
+                };
+                moved >= *threshold
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_papers_ten_second_pull() {
+        match AdvertisementStrategy::default() {
+            AdvertisementStrategy::PeriodicPull { period } => {
+                assert_eq!(period, SimDuration::from_secs(10));
+            }
+            _ => panic!("default must be periodic pull"),
+        }
+    }
+
+    #[test]
+    fn pull_schedules_next_tick() {
+        let s = AdvertisementStrategy::default();
+        assert_eq!(
+            s.next_pull_after(SimTime::from_secs(30)),
+            Some(SimTime::from_secs(40))
+        );
+        assert!(!s.push_due(SimTime::ZERO, SimTime::from_secs(1000)));
+    }
+
+    #[test]
+    fn push_triggers_on_threshold_crossing_both_directions() {
+        let s = AdvertisementStrategy::EventPush {
+            threshold: SimDuration::from_secs(5),
+        };
+        assert!(s.next_pull_after(SimTime::ZERO).is_none());
+        assert!(!s.push_due(SimTime::from_secs(10), SimTime::from_secs(14)));
+        assert!(s.push_due(SimTime::from_secs(10), SimTime::from_secs(15)));
+        // Freetime can also shrink (tasks finish early / get migrated).
+        assert!(s.push_due(SimTime::from_secs(20), SimTime::from_secs(10)));
+    }
+}

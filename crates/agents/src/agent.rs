@@ -1,0 +1,504 @@
+//! The agent and its discovery decision procedure (paper §3.1–3.2).
+//!
+//! "Within each agent, its own service is evaluated first. If the
+//! requirement can be met locally, the discovery ends successfully.
+//! Otherwise service information from both upper and lower agents is
+//! evaluated and the request dispatched to the agent which is able to
+//! provide the best requirement/resource match. If no service can meet the
+//! requirement, the request is submitted to the upper agent. When the head
+//! of the hierarchy is reached and the available service is still not
+//! found, the discovery terminates unsuccessfully."
+//!
+//! Two deviations from the letter of the paper, both documented in
+//! DESIGN.md §5.3: requests carry a visited-set so stale ACT entries
+//! cannot bounce a request between two agents forever, and the
+//! head-of-hierarchy failure policy is configurable — [`FailurePolicy::
+//! BestEffort`] (used by the experiments, where all 600 tasks execute)
+//! dispatches to the best estimate seen even though it misses the
+//! deadline, while [`FailurePolicy::Reject`] reproduces the paper's
+//! "terminates unsuccessfully".
+
+use crate::act::Act;
+use crate::advertise::AdvertisementStrategy;
+use crate::info::{RequestInfo, ServiceInfo};
+use crate::matchmaking::{estimate, MatchEstimate};
+use agentgrid_pace::{ApplicationModel, CachedEngine, Platform};
+use agentgrid_sim::SimTime;
+
+/// What an agent does with a request it cannot satisfy anywhere.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// The paper's behaviour: the discovery terminates unsuccessfully at
+    /// the head of the hierarchy.
+    Reject,
+    /// Dispatch to the best estimated completion seen (deadline missed
+    /// but the task still runs) — required for the case-study workload
+    /// where all 600 tasks execute.
+    BestEffort,
+}
+
+/// A request travelling through the hierarchy.
+#[derive(Clone, Debug)]
+pub struct RequestEnvelope {
+    /// The user's request.
+    pub request: RequestInfo,
+    /// Agents that have already evaluated this request (loop guard).
+    pub visited: Vec<String>,
+    /// Number of agent-to-agent hops so far.
+    pub hops: usize,
+}
+
+/// Hop budget: beyond this a request is executed wherever it is (or
+/// rejected) rather than forwarded again.
+pub const MAX_HOPS: usize = 32;
+
+impl RequestEnvelope {
+    /// Wrap a fresh request.
+    pub fn new(request: RequestInfo) -> RequestEnvelope {
+        RequestEnvelope {
+            request,
+            visited: Vec::new(),
+            hops: 0,
+        }
+    }
+
+    /// Record that `agent` has evaluated this request.
+    pub fn visit(&mut self, agent: &str) {
+        if !self.visited.iter().any(|v| v == agent) {
+            self.visited.push(agent.to_string());
+        }
+    }
+
+    /// Whether `agent` has already evaluated this request.
+    pub fn has_visited(&self, agent: &str) -> bool {
+        self.visited.iter().any(|v| v == agent)
+    }
+}
+
+/// The outcome of one agent's discovery step.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DiscoveryDecision {
+    /// The local scheduler can meet the requirement — submit locally.
+    ExecuteLocally {
+        /// η of the local estimate (eq. 10 on live data).
+        estimated: SimTime,
+        /// Whether the estimate met the deadline (false only under
+        /// best-effort placement).
+        within_deadline: bool,
+    },
+    /// Forward to a neighbour whose advertised service matches best.
+    Dispatch {
+        /// Target agent name.
+        to: String,
+        /// η of the winning match.
+        estimated: SimTime,
+        /// Whether the estimate met the deadline.
+        within_deadline: bool,
+    },
+    /// No match anywhere in view — submit the request to the upper agent.
+    Escalate {
+        /// The upper agent's name.
+        to: String,
+    },
+    /// Discovery terminated unsuccessfully ("a request for computing
+    /// resource which is not supported by the available grid").
+    Reject,
+}
+
+/// One agent of the homogeneous hierarchy.
+#[derive(Clone, Debug)]
+pub struct Agent {
+    name: String,
+    upper: Option<String>,
+    lower: Vec<String>,
+    act: Act,
+    policy: FailurePolicy,
+    strategy: AdvertisementStrategy,
+}
+
+impl Agent {
+    /// Create an agent with its place in the hierarchy.
+    pub fn new(name: &str, upper: Option<&str>, lower: Vec<String>) -> Agent {
+        Agent {
+            name: name.to_string(),
+            upper: upper.map(str::to_string),
+            lower,
+            act: Act::new(),
+            policy: FailurePolicy::BestEffort,
+            strategy: AdvertisementStrategy::default(),
+        }
+    }
+
+    /// Set the failure policy (builder style).
+    pub fn with_policy(mut self, policy: FailurePolicy) -> Agent {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the advertisement strategy (builder style).
+    pub fn with_strategy(mut self, strategy: AdvertisementStrategy) -> Agent {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The agent's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The upper agent, if any (the head has none).
+    pub fn upper(&self) -> Option<&str> {
+        self.upper.as_deref()
+    }
+
+    /// Lower (child) agents.
+    pub fn lower(&self) -> &[String] {
+        &self.lower
+    }
+
+    /// Upper and lower neighbours — the only agents this one talks to
+    /// ("each agent is only aware of neighbouring agents").
+    pub fn neighbours(&self) -> impl Iterator<Item = &str> {
+        self.upper.iter().map(String::as_str).chain(self.lower.iter().map(String::as_str))
+    }
+
+    /// The failure policy in force.
+    pub fn policy(&self) -> FailurePolicy {
+        self.policy
+    }
+
+    /// The advertisement strategy in force.
+    pub fn strategy(&self) -> AdvertisementStrategy {
+        self.strategy
+    }
+
+    /// This agent's capability table.
+    pub fn act(&self) -> &Act {
+        &self.act
+    }
+
+    /// Record service info received from a neighbour.
+    pub fn update_act(&mut self, from: &str, info: ServiceInfo, now: SimTime) {
+        self.act.update(from, info, now);
+    }
+
+    /// Merge a gossiped capability table (keep-freshest; entries about
+    /// this agent itself are dropped).
+    pub fn merge_act(&mut self, table: &Act) {
+        self.act.merge(table, &self.name);
+    }
+
+    /// One discovery step (paper §3.2). `local` is this agent's *live*
+    /// service information (generated from its scheduler right now, not
+    /// from the ACT); `app` is the PACE model named by the request.
+    pub fn decide(
+        &self,
+        envelope: &RequestEnvelope,
+        app: &ApplicationModel,
+        local: &ServiceInfo,
+        now: SimTime,
+        platforms: &[Platform],
+        engine: &CachedEngine,
+    ) -> DiscoveryDecision {
+        let env = envelope.request.environment;
+        let deadline = envelope.request.deadline;
+
+        // 1. Own service first.
+        let local_est = estimate(local, app, env, deadline, now, platforms, engine).ok();
+        if let Some(est) = &local_est {
+            if est.meets_deadline {
+                return DiscoveryDecision::ExecuteLocally {
+                    estimated: est.completion,
+                    within_deadline: true,
+                };
+            }
+        }
+
+        // Hop budget exhausted: stop forwarding.
+        if envelope.hops >= MAX_HOPS {
+            return match (&local_est, self.policy) {
+                (Some(est), FailurePolicy::BestEffort) => DiscoveryDecision::ExecuteLocally {
+                    estimated: est.completion,
+                    within_deadline: false,
+                },
+                _ => DiscoveryDecision::Reject,
+            };
+        }
+
+        // 2. Advertised services in the capability table — the
+        // neighbours under periodic pull, the whole known grid under
+        // gossip — and the best match wins.
+        let mut candidates: Vec<(String, MatchEstimate)> = Vec::new();
+        for (known, entry) in self.act.iter() {
+            if known == self.name || envelope.has_visited(known) {
+                continue;
+            }
+            if let Ok(est) = estimate(&entry.info, app, env, deadline, now, platforms, engine) {
+                candidates.push((known.to_string(), est));
+            }
+        }
+        candidates.sort_by(|a, b| {
+            a.1.completion
+                .cmp(&b.1.completion)
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        if let Some((to, est)) = candidates.iter().find(|(_, e)| e.meets_deadline) {
+            return DiscoveryDecision::Dispatch {
+                to: to.clone(),
+                estimated: est.completion,
+                within_deadline: true,
+            };
+        }
+
+        // 3. No match in view: escalate to the upper agent.
+        if let Some(upper) = &self.upper {
+            if !envelope.has_visited(upper) {
+                return DiscoveryDecision::Escalate { to: upper.clone() };
+            }
+        }
+
+        // 4. Head of the hierarchy (or upper already visited): fail.
+        match self.policy {
+            FailurePolicy::Reject => DiscoveryDecision::Reject,
+            FailurePolicy::BestEffort => {
+                // Best estimate among local and unvisited neighbours,
+                // deadline ignored.
+                let mut best: Option<DiscoveryDecision> = None;
+                let mut best_eta = SimTime::MAX;
+                if let Some(est) = &local_est {
+                    best_eta = est.completion;
+                    best = Some(DiscoveryDecision::ExecuteLocally {
+                        estimated: est.completion,
+                        within_deadline: false,
+                    });
+                }
+                if let Some((to, est)) = candidates.first() {
+                    if est.completion < best_eta {
+                        best = Some(DiscoveryDecision::Dispatch {
+                            to: to.clone(),
+                            estimated: est.completion,
+                            within_deadline: false,
+                        });
+                    }
+                }
+                best.unwrap_or(DiscoveryDecision::Reject)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::info::Endpoint;
+    use agentgrid_cluster::ExecEnv;
+    use agentgrid_pace::Catalog;
+
+    fn service(machine: &str, nproc: usize, freetime_s: u64) -> ServiceInfo {
+        ServiceInfo {
+            agent: Endpoint::new("host", 1000),
+            local: Endpoint::new("host", 10000),
+            machine_type: machine.into(),
+            nproc,
+            environments: vec![ExecEnv::Test],
+            freetime: SimTime::from_secs(freetime_s),
+        }
+    }
+
+    fn request(deadline_s: u64) -> RequestEnvelope {
+        RequestEnvelope::new(RequestInfo {
+            application: "sweep3d".into(),
+            binary_file: "/bin/sweep3d".into(),
+            input_file: "/bin/input.50".into(),
+            model_name: "/model/sweep3d".into(),
+            environment: ExecEnv::Test,
+            deadline: SimTime::from_secs(deadline_s),
+            email: "user@example.org".into(),
+        })
+    }
+
+    fn sweep3d() -> ApplicationModel {
+        Catalog::case_study().by_name("sweep3d").unwrap().clone()
+    }
+
+    fn platforms() -> Vec<Platform> {
+        Platform::case_study_set()
+    }
+
+    #[test]
+    fn local_service_wins_when_deadline_met() {
+        let agent = Agent::new("S5", Some("S2"), vec![]);
+        let engine = CachedEngine::new();
+        // SunUltra5, idle: sweep3d best = 4 s × 2.5 = 10 s ≤ 100 s.
+        let d = agent.decide(
+            &request(100),
+            &sweep3d(),
+            &service("SunUltra5", 16, 0),
+            SimTime::ZERO,
+            &platforms(),
+            &engine,
+        );
+        assert!(matches!(
+            d,
+            DiscoveryDecision::ExecuteLocally {
+                within_deadline: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn busy_local_dispatches_to_best_neighbour() {
+        let mut agent = Agent::new("S5", Some("S2"), vec!["S6".into(), "S7".into()]);
+        let engine = CachedEngine::new();
+        agent.update_act("S2", service("SGIOrigin2000", 16, 20), SimTime::ZERO);
+        agent.update_act("S6", service("SunUltra5", 16, 0), SimTime::ZERO);
+        agent.update_act("S7", service("SunUltra5", 16, 200), SimTime::ZERO);
+        // Local is backlogged 500 s; S6 (idle, completes at 10) beats S2
+        // (freetime 20 → completes 24) and S7 (backlogged).
+        let d = agent.decide(
+            &request(60),
+            &sweep3d(),
+            &service("SunUltra5", 16, 500),
+            SimTime::ZERO,
+            &platforms(),
+            &engine,
+        );
+        match d {
+            DiscoveryDecision::Dispatch {
+                to,
+                within_deadline,
+                ..
+            } => {
+                assert_eq!(to, "S6");
+                assert!(within_deadline);
+            }
+            other => panic!("expected dispatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_match_escalates_to_upper() {
+        let mut agent = Agent::new("S5", Some("S2"), vec!["S6".into()]);
+        let engine = CachedEngine::new();
+        agent.update_act("S6", service("SunUltra5", 16, 900), SimTime::ZERO);
+        // Everything (local + S6) is too backlogged for a 30 s deadline.
+        let d = agent.decide(
+            &request(30),
+            &sweep3d(),
+            &service("SunUltra5", 16, 900),
+            SimTime::ZERO,
+            &platforms(),
+            &engine,
+        );
+        assert_eq!(
+            d,
+            DiscoveryDecision::Escalate {
+                to: "S2".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn head_with_reject_policy_rejects() {
+        let agent = Agent::new("S1", None, vec!["S2".into()]).with_policy(FailurePolicy::Reject);
+        let engine = CachedEngine::new();
+        let d = agent.decide(
+            &request(1), // impossible deadline
+            &sweep3d(),
+            &service("SGIOrigin2000", 16, 500),
+            SimTime::ZERO,
+            &platforms(),
+            &engine,
+        );
+        assert_eq!(d, DiscoveryDecision::Reject);
+    }
+
+    #[test]
+    fn head_with_best_effort_places_somewhere() {
+        let mut agent = Agent::new("S1", None, vec!["S2".into()]);
+        let engine = CachedEngine::new();
+        agent.update_act("S2", service("SGIOrigin2000", 16, 100), SimTime::ZERO);
+        // Local backlogged 500 s, S2 100 s: best effort goes to S2 even
+        // though the 1 s deadline is hopeless.
+        let d = agent.decide(
+            &request(1),
+            &sweep3d(),
+            &service("SGIOrigin2000", 16, 500),
+            SimTime::ZERO,
+            &platforms(),
+            &engine,
+        );
+        match d {
+            DiscoveryDecision::Dispatch {
+                to,
+                within_deadline,
+                ..
+            } => {
+                assert_eq!(to, "S2");
+                assert!(!within_deadline);
+            }
+            other => panic!("expected best-effort dispatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn visited_agents_are_not_revisited() {
+        let mut agent = Agent::new("S1", None, vec!["S2".into()]);
+        let engine = CachedEngine::new();
+        agent.update_act("S2", service("SGIOrigin2000", 16, 0), SimTime::ZERO);
+        let mut env = request(100);
+        env.visit("S2");
+        // S2 would match but was already visited; local (backlogged) is
+        // the only best-effort option left.
+        let d = agent.decide(
+            &env,
+            &sweep3d(),
+            &service("SGIOrigin2000", 16, 500),
+            SimTime::ZERO,
+            &platforms(),
+            &engine,
+        );
+        assert!(matches!(d, DiscoveryDecision::ExecuteLocally { .. }));
+    }
+
+    #[test]
+    fn hop_budget_forces_local_execution() {
+        let agent = Agent::new("S5", Some("S2"), vec![]);
+        let engine = CachedEngine::new();
+        let mut env = request(1);
+        env.hops = MAX_HOPS;
+        let d = agent.decide(
+            &env,
+            &sweep3d(),
+            &service("SunUltra5", 16, 500),
+            SimTime::ZERO,
+            &platforms(),
+            &engine,
+        );
+        assert!(matches!(
+            d,
+            DiscoveryDecision::ExecuteLocally {
+                within_deadline: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn envelope_visit_dedupes() {
+        let mut env = request(10);
+        env.visit("S1");
+        env.visit("S1");
+        assert_eq!(env.visited, vec!["S1"]);
+        assert!(env.has_visited("S1"));
+        assert!(!env.has_visited("S2"));
+    }
+
+    #[test]
+    fn neighbours_include_upper_and_lower() {
+        let agent = Agent::new("S2", Some("S1"), vec!["S5".into(), "S6".into()]);
+        let n: Vec<&str> = agent.neighbours().collect();
+        assert_eq!(n, ["S1", "S5", "S6"]);
+    }
+}

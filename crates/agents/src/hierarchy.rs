@@ -1,0 +1,279 @@
+//! Hierarchy construction and validation (paper Fig. 7).
+//!
+//! "A hierarchy of homogenous agents are used to represent multiple grid
+//! resources" — one agent per resource, one tree, one head. The case-study
+//! topology has twelve agents over five machine types; the paper's figure
+//! does not fully specify the tree shape, so we use a balanced three-level
+//! layout (documented in DESIGN.md): S1 heads the hierarchy with children
+//! S2–S4; S5–S7 sit under S2, S8–S10 under S3 and S11–S12 under S4.
+
+use crate::agent::Agent;
+use agentgrid_pace::Platform;
+use std::collections::BTreeMap;
+
+/// A validated agent hierarchy.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    agents: BTreeMap<String, Agent>,
+    head: String,
+}
+
+/// Construction failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HierarchyError {
+    /// Two nodes share a name.
+    DuplicateName(String),
+    /// A parent reference names an unknown agent.
+    UnknownParent(String, String),
+    /// No node without a parent, or more than one.
+    NotATree(String),
+    /// A cycle was found through the named agent.
+    Cycle(String),
+    /// The hierarchy has no agents.
+    Empty,
+}
+
+impl std::fmt::Display for HierarchyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HierarchyError::DuplicateName(n) => write!(f, "duplicate agent name `{n}`"),
+            HierarchyError::UnknownParent(c, p) => {
+                write!(f, "agent `{c}` references unknown parent `{p}`")
+            }
+            HierarchyError::NotATree(m) => write!(f, "not a tree: {m}"),
+            HierarchyError::Cycle(n) => write!(f, "cycle through agent `{n}`"),
+            HierarchyError::Empty => write!(f, "hierarchy has no agents"),
+        }
+    }
+}
+
+impl std::error::Error for HierarchyError {}
+
+impl Hierarchy {
+    /// Build and validate a hierarchy from `(agent, parent)` pairs; the
+    /// head is the single agent with `parent = None`.
+    pub fn from_parents(pairs: &[(&str, Option<&str>)]) -> Result<Hierarchy, HierarchyError> {
+        if pairs.is_empty() {
+            return Err(HierarchyError::Empty);
+        }
+        let mut parent_of: BTreeMap<String, Option<String>> = BTreeMap::new();
+        for (name, parent) in pairs {
+            if parent_of
+                .insert(name.to_string(), parent.map(str::to_string))
+                .is_some()
+            {
+                return Err(HierarchyError::DuplicateName(name.to_string()));
+            }
+        }
+        let mut head: Option<String> = None;
+        for (name, parent) in &parent_of {
+            match parent {
+                None => {
+                    if let Some(existing) = &head {
+                        return Err(HierarchyError::NotATree(format!(
+                            "two heads: `{existing}` and `{name}`"
+                        )));
+                    }
+                    head = Some(name.clone());
+                }
+                Some(p) => {
+                    if !parent_of.contains_key(p) {
+                        return Err(HierarchyError::UnknownParent(name.clone(), p.clone()));
+                    }
+                }
+            }
+        }
+        let head = head.ok_or_else(|| HierarchyError::NotATree("no head agent".into()))?;
+
+        // Cycle check: walk up from every node; a tree walk terminates in
+        // ≤ n steps.
+        for name in parent_of.keys() {
+            let mut cur = name.clone();
+            let mut steps = 0usize;
+            while let Some(Some(p)) = parent_of.get(&cur) {
+                cur = p.clone();
+                steps += 1;
+                if steps > parent_of.len() {
+                    return Err(HierarchyError::Cycle(name.clone()));
+                }
+            }
+        }
+
+        let mut children: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for (name, parent) in &parent_of {
+            if let Some(p) = parent {
+                children.entry(p.clone()).or_default().push(name.clone());
+            }
+        }
+        let agents = parent_of
+            .iter()
+            .map(|(name, parent)| {
+                let lower = children.get(name).cloned().unwrap_or_default();
+                (
+                    name.clone(),
+                    Agent::new(name, parent.as_deref(), lower),
+                )
+            })
+            .collect();
+        Ok(Hierarchy { agents, head })
+    }
+
+    /// The Fig. 7 case-study hierarchy: twelve agents, S1 at the head.
+    pub fn case_study() -> Hierarchy {
+        Hierarchy::from_parents(&[
+            ("S1", None),
+            ("S2", Some("S1")),
+            ("S3", Some("S1")),
+            ("S4", Some("S1")),
+            ("S5", Some("S2")),
+            ("S6", Some("S2")),
+            ("S7", Some("S2")),
+            ("S8", Some("S3")),
+            ("S9", Some("S3")),
+            ("S10", Some("S3")),
+            ("S11", Some("S4")),
+            ("S12", Some("S4")),
+        ])
+        .expect("case-study hierarchy is valid")
+    }
+
+    /// The machine type of each case-study agent (Fig. 7): two SGI
+    /// Origin2000s, two Ultra10s, three Ultra5s, three Ultra1s, two
+    /// SPARCstation2s — sixteen nodes each.
+    pub fn case_study_platforms() -> Vec<(&'static str, Platform, usize)> {
+        vec![
+            ("S1", Platform::sgi_origin2000(), 16),
+            ("S2", Platform::sgi_origin2000(), 16),
+            ("S3", Platform::sun_ultra10(), 16),
+            ("S4", Platform::sun_ultra10(), 16),
+            ("S5", Platform::sun_ultra5(), 16),
+            ("S6", Platform::sun_ultra5(), 16),
+            ("S7", Platform::sun_ultra5(), 16),
+            ("S8", Platform::sun_ultra1(), 16),
+            ("S9", Platform::sun_ultra1(), 16),
+            ("S10", Platform::sun_ultra1(), 16),
+            ("S11", Platform::sun_sparcstation2(), 16),
+            ("S12", Platform::sun_sparcstation2(), 16),
+        ]
+    }
+
+    /// The head (root) agent's name.
+    pub fn head(&self) -> &str {
+        &self.head
+    }
+
+    /// Look an agent up by name.
+    pub fn get(&self, name: &str) -> Option<&Agent> {
+        self.agents.get(name)
+    }
+
+    /// Mutable lookup (for ACT updates).
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Agent> {
+        self.agents.get_mut(name)
+    }
+
+    /// All agent names in deterministic order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.agents.keys().map(String::as_str)
+    }
+
+    /// Number of agents.
+    pub fn len(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// True when the hierarchy has no agents (unreachable for validated
+    /// hierarchies, provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.agents.is_empty()
+    }
+
+    /// Depth of `name` below the head (head = 0).
+    pub fn depth(&self, name: &str) -> Option<usize> {
+        let mut cur = self.agents.get(name)?;
+        let mut d = 0;
+        while let Some(upper) = cur.upper() {
+            cur = self.agents.get(upper)?;
+            d += 1;
+        }
+        Some(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_study_shape() {
+        let h = Hierarchy::case_study();
+        assert_eq!(h.len(), 12);
+        assert_eq!(h.head(), "S1");
+        assert!(!h.is_empty());
+        let s1 = h.get("S1").unwrap();
+        assert_eq!(s1.upper(), None);
+        assert_eq!(s1.lower(), ["S2", "S3", "S4"]);
+        let s2 = h.get("S2").unwrap();
+        assert_eq!(s2.upper(), Some("S1"));
+        assert_eq!(s2.lower(), ["S5", "S6", "S7"]);
+        assert_eq!(h.depth("S1"), Some(0));
+        assert_eq!(h.depth("S4"), Some(1));
+        assert_eq!(h.depth("S12"), Some(2));
+        assert_eq!(h.depth("S99"), None);
+    }
+
+    #[test]
+    fn case_study_platform_table_is_consistent() {
+        let h = Hierarchy::case_study();
+        let plats = Hierarchy::case_study_platforms();
+        assert_eq!(plats.len(), h.len());
+        for (name, _, nproc) in &plats {
+            assert!(h.get(name).is_some(), "{name} missing from hierarchy");
+            assert_eq!(*nproc, 16);
+        }
+        // Fastest at the head, slowest at the leaves.
+        let factor =
+            |n: &str| plats.iter().find(|(p, _, _)| p == &n).unwrap().1.cpu_factor;
+        assert!(factor("S1") < factor("S5"));
+        assert!(factor("S5") < factor("S11"));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let e = Hierarchy::from_parents(&[("A", None), ("A", Some("A"))]).unwrap_err();
+        assert_eq!(e, HierarchyError::DuplicateName("A".into()));
+    }
+
+    #[test]
+    fn rejects_unknown_parent() {
+        let e = Hierarchy::from_parents(&[("A", None), ("B", Some("Z"))]).unwrap_err();
+        assert_eq!(e, HierarchyError::UnknownParent("B".into(), "Z".into()));
+    }
+
+    #[test]
+    fn rejects_two_heads_and_no_head() {
+        assert!(matches!(
+            Hierarchy::from_parents(&[("A", None), ("B", None)]),
+            Err(HierarchyError::NotATree(_))
+        ));
+        assert!(matches!(
+            Hierarchy::from_parents(&[("A", Some("B")), ("B", Some("A"))]),
+            Err(HierarchyError::NotATree(_)) | Err(HierarchyError::Cycle(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(
+            Hierarchy::from_parents(&[]),
+            Err(HierarchyError::Empty)
+        ));
+    }
+
+    #[test]
+    fn single_agent_is_a_valid_hierarchy() {
+        let h = Hierarchy::from_parents(&[("solo", None)]).unwrap();
+        assert_eq!(h.head(), "solo");
+        assert_eq!(h.get("solo").unwrap().lower().len(), 0);
+    }
+}

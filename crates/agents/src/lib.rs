@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! Agent-based grid load balancing (paper §3).
+//!
+//! "Each agent provides a high-level representation of each local
+//! scheduler and therefore characterises these local resources as high
+//! performance computing service providers in the wider grid environment.
+//! This higher-level representation is enhanced by organising the agents
+//! into a hierarchy, where the service information provided at each local
+//! grid resource can be advertised throughout the hierarchy and agents can
+//! cooperate with each other to discover available resources."
+//!
+//! * [`xml`] — a small XML document model matching the paper's Figs. 5–6
+//!   wire format.
+//! * [`info`] — [`info::ServiceInfo`] / [`info::RequestInfo`] with XML
+//!   round-trips.
+//! * [`act`] — the Agent Capability Table: each agent's view of its
+//!   neighbours' service information, with timestamps (it is *stale by
+//!   design*; freshness comes from advertisement).
+//! * [`advertise`] — advertisement strategies: the experiments' 10-second
+//!   periodic pull plus an event-driven push option.
+//! * [`matchmaking`] — eq. 10: estimated completion of a request on an
+//!   advertised resource.
+//! * [`agent`] — the per-agent discovery decision procedure: local first,
+//!   then best-matching neighbour, then escalate to the upper agent.
+//! * [`hierarchy`] — hierarchy construction and validation (Fig. 7).
+//! * [`portal`] — the user portal that turns submissions into requests.
+
+pub mod act;
+pub mod advertise;
+pub mod agent;
+pub mod hierarchy;
+pub mod info;
+pub mod matchmaking;
+pub mod portal;
+pub mod xml;
+
+pub use act::{Act, ActEntry};
+pub use advertise::AdvertisementStrategy;
+pub use agent::{Agent, DiscoveryDecision, FailurePolicy, RequestEnvelope};
+pub use hierarchy::Hierarchy;
+pub use info::{Endpoint, RequestInfo, ServiceInfo};
+pub use portal::Portal;

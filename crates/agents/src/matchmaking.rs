@@ -1,0 +1,249 @@
+//! Matchmaking between a request and advertised service info (eq. 10).
+//!
+//! "The expected execution completion time for a given task on a given
+//! resource can be estimated using η_r = ω + min over non-empty node
+//! subsets of t(ρ, σ_r). For a homogeneous local grid resource, the PACE
+//! evaluation function is called n times. If η_r ≤ δ_r, the resource is
+//! considered to be able to meet the required deadline."
+//!
+//! The estimate is deliberately simple: it charges the *whole* advertised
+//! freetime ω before the task can start, even though the local GA may
+//! interleave it earlier — "the performance estimation of local grid
+//! resources at the agent level is simple but efficient".
+
+use crate::info::ServiceInfo;
+use agentgrid_cluster::ExecEnv;
+use agentgrid_pace::{ApplicationModel, CachedEngine, Platform, ResourceModel};
+use agentgrid_sim::{SimDuration, SimTime};
+
+/// The outcome of evaluating one advertised service against a request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatchEstimate {
+    /// η_r: expected completion instant on this resource.
+    pub completion: SimTime,
+    /// The processor count achieving the inner minimum.
+    pub nprocs: usize,
+    /// Whether η_r ≤ δ_r (the resource "is considered able to meet the
+    /// required deadline").
+    pub meets_deadline: bool,
+}
+
+/// Why a service could not be matched at all.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MatchError {
+    /// The advertised scheduler does not offer the requested environment.
+    EnvironmentUnsupported,
+    /// The advertised machine type is not in the platform registry.
+    UnknownPlatform(String),
+}
+
+/// Evaluate eq. 10 for `app` with deadline `deadline` against one
+/// advertised service. `platforms` is the PACE resource-model registry
+/// (machine-type name → benchmark factors); `now` floors the advertised
+/// freetime, which may be stale and in the past.
+pub fn estimate(
+    info: &ServiceInfo,
+    app: &ApplicationModel,
+    env: ExecEnv,
+    deadline: SimTime,
+    now: SimTime,
+    platforms: &[Platform],
+    engine: &CachedEngine,
+) -> Result<MatchEstimate, MatchError> {
+    if !info.supports(env) {
+        return Err(MatchError::EnvironmentUnsupported);
+    }
+    let platform = platforms
+        .iter()
+        .find(|p| p.name == info.machine_type)
+        .ok_or_else(|| MatchError::UnknownPlatform(info.machine_type.clone()))?;
+    let model = ResourceModel::new(platform.clone(), info.nproc.max(1))
+        .expect("nproc clamped to at least 1");
+    let (nprocs, best_s) = engine.best_time(app, &model);
+    let start = info.freetime.max(now);
+    let completion = start + SimDuration::from_secs_f64(best_s);
+    Ok(MatchEstimate {
+        completion,
+        nprocs,
+        meets_deadline: completion <= deadline,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::info::Endpoint;
+    use agentgrid_pace::{AppId, Catalog, ModelCurve, TabulatedModel};
+
+    fn info(machine: &str, freetime_s: u64) -> ServiceInfo {
+        ServiceInfo {
+            agent: Endpoint::new("host", 1000),
+            local: Endpoint::new("host", 10000),
+            machine_type: machine.into(),
+            nproc: 16,
+            environments: vec![ExecEnv::Test, ExecEnv::Mpi],
+            freetime: SimTime::from_secs(freetime_s),
+        }
+    }
+
+    fn sweep3d() -> ApplicationModel {
+        Catalog::case_study().by_name("sweep3d").unwrap().clone()
+    }
+
+    #[test]
+    fn idle_reference_resource_completes_at_best_time() {
+        let engine = CachedEngine::new();
+        let est = estimate(
+            &info("SGIOrigin2000", 0),
+            &sweep3d(),
+            ExecEnv::Test,
+            SimTime::from_secs(100),
+            SimTime::ZERO,
+            &Platform::case_study_set(),
+            &engine,
+        )
+        .unwrap();
+        // Table 1: sweep3d best time on SGI is 4 s at 15–16 procs.
+        assert_eq!(est.completion, SimTime::from_secs(4));
+        assert!(est.nprocs >= 15);
+        assert!(est.meets_deadline);
+    }
+
+    #[test]
+    fn freetime_delays_the_estimate() {
+        let engine = CachedEngine::new();
+        let est = estimate(
+            &info("SGIOrigin2000", 50),
+            &sweep3d(),
+            ExecEnv::Test,
+            SimTime::from_secs(30),
+            SimTime::ZERO,
+            &Platform::case_study_set(),
+            &engine,
+        )
+        .unwrap();
+        assert_eq!(est.completion, SimTime::from_secs(54));
+        assert!(!est.meets_deadline);
+    }
+
+    #[test]
+    fn stale_past_freetime_is_floored_to_now() {
+        let engine = CachedEngine::new();
+        let est = estimate(
+            &info("SGIOrigin2000", 10),
+            &sweep3d(),
+            ExecEnv::Test,
+            SimTime::from_secs(1000),
+            SimTime::from_secs(500),
+            &Platform::case_study_set(),
+            &engine,
+        )
+        .unwrap();
+        assert_eq!(est.completion, SimTime::from_secs(504));
+    }
+
+    #[test]
+    fn slower_platforms_estimate_later_completion() {
+        let engine = CachedEngine::new();
+        let platforms = Platform::case_study_set();
+        let app = sweep3d();
+        let fast = estimate(
+            &info("SGIOrigin2000", 0),
+            &app,
+            ExecEnv::Test,
+            SimTime::from_secs(1000),
+            SimTime::ZERO,
+            &platforms,
+            &engine,
+        )
+        .unwrap();
+        let slow = estimate(
+            &info("SunSPARCstation2", 0),
+            &app,
+            ExecEnv::Test,
+            SimTime::from_secs(1000),
+            SimTime::ZERO,
+            &platforms,
+            &engine,
+        )
+        .unwrap();
+        assert!(slow.completion > fast.completion);
+    }
+
+    #[test]
+    fn unsupported_environment_is_an_error() {
+        let engine = CachedEngine::new();
+        let mut i = info("SGIOrigin2000", 0);
+        i.environments = vec![ExecEnv::Pvm];
+        let err = estimate(
+            &i,
+            &sweep3d(),
+            ExecEnv::Mpi,
+            SimTime::from_secs(100),
+            SimTime::ZERO,
+            &Platform::case_study_set(),
+            &engine,
+        )
+        .unwrap_err();
+        assert_eq!(err, MatchError::EnvironmentUnsupported);
+    }
+
+    #[test]
+    fn unknown_platform_is_an_error() {
+        let engine = CachedEngine::new();
+        let err = estimate(
+            &info("CrayT3E", 0),
+            &sweep3d(),
+            ExecEnv::Test,
+            SimTime::from_secs(100),
+            SimTime::ZERO,
+            &Platform::case_study_set(),
+            &engine,
+        )
+        .unwrap_err();
+        assert_eq!(err, MatchError::UnknownPlatform("CrayT3E".into()));
+    }
+
+    #[test]
+    fn u_shaped_app_matches_at_its_optimum() {
+        let engine = CachedEngine::new();
+        let improc = Catalog::case_study().by_name("improc").unwrap().clone();
+        let est = estimate(
+            &info("SGIOrigin2000", 0),
+            &improc,
+            ExecEnv::Test,
+            SimTime::from_secs(100),
+            SimTime::ZERO,
+            &Platform::case_study_set(),
+            &engine,
+        )
+        .unwrap();
+        assert_eq!(est.nprocs, 8, "improc's Table 1 optimum is 8 procs");
+        assert_eq!(est.completion, SimTime::from_secs(20));
+    }
+
+    #[test]
+    fn tiny_nproc_is_clamped() {
+        let engine = CachedEngine::new();
+        let mut i = info("SGIOrigin2000", 0);
+        i.nproc = 0;
+        let app = ApplicationModel::new(
+            AppId(7),
+            "one",
+            ModelCurve::Tabulated(TabulatedModel::new(vec![3.0]).unwrap()),
+            (1.0, 10.0),
+        )
+        .unwrap();
+        let est = estimate(
+            &i,
+            &app,
+            ExecEnv::Test,
+            SimTime::from_secs(10),
+            SimTime::ZERO,
+            &Platform::case_study_set(),
+            &engine,
+        )
+        .unwrap();
+        assert_eq!(est.nprocs, 1);
+    }
+}

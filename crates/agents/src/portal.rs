@@ -1,0 +1,88 @@
+//! The user portal (paper §3.2).
+//!
+//! "A portal has been developed which allows users to submit requests
+//! destined for the grid resources. A user is required to specify the
+//! details of the application, the requirements and contact information
+//! for each request." The portal turns an application name, environment,
+//! deadline and e-mail into a well-formed [`RequestInfo`], synthesising
+//! the binary/model paths the paper assumes are "pre-compiled and
+//! available in all local file systems".
+
+use crate::info::RequestInfo;
+use agentgrid_cluster::ExecEnv;
+use agentgrid_sim::SimTime;
+
+/// A request-building front end for one user.
+#[derive(Clone, Debug)]
+pub struct Portal {
+    email: String,
+    base_dir: String,
+}
+
+impl Portal {
+    /// A portal for the user with the given contact e-mail.
+    pub fn new(email: &str) -> Portal {
+        Portal {
+            email: email.to_string(),
+            base_dir: "/agentgrid".to_string(),
+        }
+    }
+
+    /// Override the base directory of binaries/models (builder style).
+    pub fn with_base_dir(mut self, dir: &str) -> Portal {
+        self.base_dir = dir.trim_end_matches('/').to_string();
+        self
+    }
+
+    /// The contact e-mail results are posted to.
+    pub fn email(&self) -> &str {
+        &self.email
+    }
+
+    /// Build a request for `application` under `env` with absolute
+    /// deadline `deadline`.
+    pub fn request(&self, application: &str, env: ExecEnv, deadline: SimTime) -> RequestInfo {
+        RequestInfo {
+            application: application.to_string(),
+            binary_file: format!("{}/binary/{}", self.base_dir, application),
+            input_file: format!("{}/binary/{}.input", self.base_dir, application),
+            model_name: format!("{}/model/{}", self.base_dir, application),
+            environment: env,
+            deadline,
+            email: self.email.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_fields_are_filled() {
+        let p = Portal::new("junwei@dcs.warwick.ac.uk");
+        let r = p.request("sweep3d", ExecEnv::Test, SimTime::from_secs(443));
+        assert_eq!(r.application, "sweep3d");
+        assert_eq!(r.binary_file, "/agentgrid/binary/sweep3d");
+        assert_eq!(r.model_name, "/agentgrid/model/sweep3d");
+        assert_eq!(r.environment, ExecEnv::Test);
+        assert_eq!(r.deadline, SimTime::from_secs(443));
+        assert_eq!(r.email, "junwei@dcs.warwick.ac.uk");
+    }
+
+    #[test]
+    fn base_dir_override_and_trailing_slash() {
+        let p = Portal::new("a@b").with_base_dir("/opt/grid/");
+        let r = p.request("fft", ExecEnv::Mpi, SimTime::from_secs(1));
+        assert_eq!(r.binary_file, "/opt/grid/binary/fft");
+    }
+
+    #[test]
+    fn portal_requests_serialise_to_valid_fig6_xml() {
+        let p = Portal::new("a@b");
+        let r = p.request("jacobi", ExecEnv::Pvm, SimTime::from_secs_f64(12.5));
+        let text = r.to_xml().render();
+        let back = RequestInfo::parse_str(&text).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,473 @@
+//! A minimal XML document model and parser.
+//!
+//! "Agents are implemented using Java and data are represented in an XML
+//! format." The paper's service and request templates (Figs. 5–6) use a
+//! small XML subset — elements, one attribute, text content — which this
+//! module implements without external dependencies: enough to round-trip
+//! the paper's wire format and keep the artefacts inspectable.
+
+use std::fmt;
+
+/// An XML element: name, attributes, children (elements and text).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// `name="value"` attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+/// A child node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Node {
+    /// A nested element.
+    Element(Element),
+    /// A text run (whitespace-trimmed; empty runs are dropped).
+    Text(String),
+}
+
+impl Element {
+    /// A childless element.
+    pub fn new(name: &str) -> Element {
+        Element {
+            name: name.to_string(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Builder: add an attribute.
+    pub fn attr(mut self, name: &str, value: &str) -> Element {
+        self.attrs.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Builder: add a child element.
+    pub fn child(mut self, child: Element) -> Element {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Builder: add a text-only child element `<name>text</name>`.
+    pub fn leaf(self, name: &str, text: &str) -> Element {
+        self.child(Element::new(name).text(text))
+    }
+
+    /// Builder: set text content.
+    pub fn text(mut self, text: &str) -> Element {
+        self.children.push(Node::Text(text.to_string()));
+        self
+    }
+
+    /// First attribute with the given name.
+    pub fn get_attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First child element with the given name.
+    pub fn find(&self, name: &str) -> Option<&Element> {
+        self.children.iter().find_map(|n| match n {
+            Node::Element(e) if e.name == name => Some(e),
+            _ => None,
+        })
+    }
+
+    /// All child elements with the given name.
+    pub fn find_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.children.iter().filter_map(move |n| match n {
+            Node::Element(e) if e.name == name => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Concatenated text content of this element (direct text children).
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        for n in &self.children {
+            if let Node::Text(t) = n {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Text content of the first child element with the given name.
+    pub fn leaf_text(&self, name: &str) -> Option<String> {
+        self.find(name).map(Element::text_content)
+    }
+
+    /// Render with two-space indentation.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&pad);
+        out.push('<');
+        out.push_str(&self.name);
+        for (n, v) in &self.attrs {
+            out.push(' ');
+            out.push_str(n);
+            out.push_str("=\"");
+            out.push_str(&escape(v));
+            out.push('"');
+        }
+        if self.children.is_empty() {
+            out.push_str("/>\n");
+            return;
+        }
+        // Pure-text elements render inline; mixed/element content nests.
+        let only_text = self.children.iter().all(|n| matches!(n, Node::Text(_)));
+        if only_text {
+            out.push('>');
+            out.push_str(&escape(&self.text_content()));
+            out.push_str("</");
+            out.push_str(&self.name);
+            out.push_str(">\n");
+        } else {
+            out.push_str(">\n");
+            for n in &self.children {
+                match n {
+                    Node::Element(e) => e.render_into(out, depth + 1),
+                    Node::Text(t) => {
+                        out.push_str(&"  ".repeat(depth + 1));
+                        out.push_str(&escape(t));
+                        out.push('\n');
+                    }
+                }
+            }
+            out.push_str(&pad);
+            out.push_str("</");
+            out.push_str(&self.name);
+            out.push_str(">\n");
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&quot;", "\"")
+        .replace("&gt;", ">")
+        .replace("&lt;", "<")
+        .replace("&amp;", "&")
+}
+
+/// A parse failure with byte offset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct XmlError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parse a document into its root element. Comments are skipped; text
+/// runs are trimmed and empty runs dropped.
+pub fn parse(input: &str) -> Result<Element, XmlError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws_and_comments()?;
+    let root = p.parse_element()?;
+    p.skip_ws_and_comments()?;
+    if p.pos < p.bytes.len() {
+        return Err(p.err("trailing content after root element"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> XmlError {
+        XmlError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<(), XmlError> {
+        loop {
+            while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+                self.pos += 1;
+            }
+            if self.starts_with("<!--") {
+                match find_from(self.bytes, self.pos + 4, b"-->") {
+                    Some(end) => self.pos = end + 3,
+                    None => return Err(self.err("unterminated comment")),
+                }
+            } else if self.starts_with("<?") {
+                match find_from(self.bytes, self.pos + 2, b"?>") {
+                    Some(end) => self.pos = end + 2,
+                    None => return Err(self.err("unterminated processing instruction")),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b':' || b == b'.')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn parse_element(&mut self) -> Result<Element, XmlError> {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected `<`"));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut el = Element::new(&name);
+
+        // Attributes.
+        loop {
+            while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+                self.pos += 1;
+            }
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected `>` after `/`"));
+                    }
+                    self.pos += 1;
+                    return Ok(el);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let attr_name = self.parse_name()?;
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err("expected `=` in attribute"));
+                    }
+                    self.pos += 1;
+                    if self.peek() != Some(b'"') {
+                        return Err(self.err("expected `\"` opening attribute value"));
+                    }
+                    self.pos += 1;
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(b) if b != b'"') {
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(b'"') {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let value =
+                        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    el.attrs.push((attr_name, unescape(&value)));
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+
+        // Children until the matching close tag.
+        loop {
+            // Text run.
+            let start = self.pos;
+            while matches!(self.peek(), Some(b) if b != b'<') {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let text = String::from_utf8_lossy(&self.bytes[start..self.pos]);
+                let trimmed = text.trim();
+                if !trimmed.is_empty() {
+                    el.children.push(Node::Text(unescape(trimmed)));
+                }
+            }
+            match self.peek() {
+                None => return Err(self.err("unexpected end of input in element")),
+                Some(b'<') => {
+                    if self.starts_with("<!--") {
+                        self.skip_ws_and_comments()?;
+                    } else if self.starts_with("</") {
+                        self.pos += 2;
+                        let close = self.parse_name()?;
+                        if close != name {
+                            return Err(self.err(&format!(
+                                "mismatched close tag: expected `{name}`, found `{close}`"
+                            )));
+                        }
+                        while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+                            self.pos += 1;
+                        }
+                        if self.peek() != Some(b'>') {
+                            return Err(self.err("expected `>` in close tag"));
+                        }
+                        self.pos += 1;
+                        return Ok(el);
+                    } else {
+                        let child = self.parse_element()?;
+                        el.children.push(Node::Element(child));
+                    }
+                }
+                Some(_) => unreachable!("text loop stops at `<`"),
+            }
+        }
+    }
+}
+
+fn find_from(haystack: &[u8], from: usize, needle: &[u8]) -> Option<usize> {
+    if from >= haystack.len() {
+        return None;
+    }
+    haystack[from..]
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .map(|i| i + from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_renders_nested_documents() {
+        let doc = Element::new("agentgrid")
+            .attr("type", "service")
+            .child(
+                Element::new("agent")
+                    .leaf("address", "gem.dcs.warwick.ac.uk")
+                    .leaf("port", "1000"),
+            );
+        let text = doc.render();
+        assert!(text.contains("<agentgrid type=\"service\">"));
+        assert!(text.contains("<address>gem.dcs.warwick.ac.uk</address>"));
+    }
+
+    #[test]
+    fn parse_roundtrips_render() {
+        let doc = Element::new("a")
+            .attr("k", "v")
+            .child(Element::new("b").text("hello"))
+            .child(Element::new("c"))
+            .child(Element::new("b").text("world"));
+        let parsed = parse(&doc.render()).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn finds_children_and_text() {
+        let doc = parse("<r><x>1</x><y>2</y><x>3</x></r>").unwrap();
+        assert_eq!(doc.leaf_text("y").unwrap(), "2");
+        let xs: Vec<String> = doc.find_all("x").map(Element::text_content).collect();
+        assert_eq!(xs, ["1", "3"]);
+        assert!(doc.find("z").is_none());
+        assert!(doc.leaf_text("z").is_none());
+    }
+
+    #[test]
+    fn attributes_parse_and_escape() {
+        let doc = parse(r#"<r a="1 &amp; 2" b="x"/>"#).unwrap();
+        assert_eq!(doc.get_attr("a").unwrap(), "1 & 2");
+        assert_eq!(doc.get_attr("b").unwrap(), "x");
+        assert!(doc.get_attr("c").is_none());
+    }
+
+    #[test]
+    fn text_escaping_roundtrips() {
+        let doc = Element::new("t").text("a < b & c > \"d\"");
+        let parsed = parse(&doc.render()).unwrap();
+        assert_eq!(parsed.text_content(), "a < b & c > \"d\"");
+    }
+
+    #[test]
+    fn comments_and_declarations_are_skipped() {
+        let doc = parse("<?xml version=\"1.0\"?><!-- hi --><r><!-- inner --><x>1</x></r>")
+            .unwrap();
+        assert_eq!(doc.leaf_text("x").unwrap(), "1");
+    }
+
+    #[test]
+    fn self_closing_tags() {
+        let doc = parse("<r><empty/><x>1</x></r>").unwrap();
+        assert!(doc.find("empty").unwrap().children.is_empty());
+    }
+
+    #[test]
+    fn error_cases_report_offsets() {
+        assert!(parse("<r>").is_err());
+        assert!(parse("<r></s>").is_err());
+        assert!(parse("<r></r>extra").is_err());
+        assert!(parse("not xml").is_err());
+        assert!(parse("<r a=>").is_err());
+        let e = parse("<r></s>").unwrap_err();
+        assert!(e.message.contains("mismatched"));
+    }
+
+    #[test]
+    fn whitespace_between_elements_is_dropped() {
+        let doc = parse("<r>\n  <x>1</x>\n  <y>2</y>\n</r>").unwrap();
+        assert_eq!(doc.children.len(), 2);
+    }
+
+    #[test]
+    fn paper_fig5_template_parses() {
+        let text = r#"
+<agentgrid type="service">
+  <agent>
+    <address>gem.dcs.warwick.ac.uk</address>
+    <port>1000</port>
+  </agent>
+  <local>
+    <address>gem.dcs.warwick.ac.uk</address>
+    <port>10000</port>
+    <type>SunUltra10</type>
+    <nproc>16</nproc>
+    <environment>mpi</environment>
+    <environment>pvm</environment>
+    <environment>test</environment>
+    <freetime>160.0</freetime>
+  </local>
+</agentgrid>"#;
+        let doc = parse(text).unwrap();
+        assert_eq!(doc.get_attr("type").unwrap(), "service");
+        let local = doc.find("local").unwrap();
+        assert_eq!(local.leaf_text("type").unwrap(), "SunUltra10");
+        assert_eq!(local.find_all("environment").count(), 3);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the agent layer.
+
+use agentgrid_agents::xml::{parse, Element};
+use agentgrid_agents::{Endpoint, Hierarchy, RequestInfo, ServiceInfo};
+use agentgrid_cluster::ExecEnv;
+use agentgrid_sim::SimTime;
+use proptest::prelude::*;
+
+/// Text free of XML structure but with characters that need escaping.
+fn arb_text() -> impl Strategy<Value = String> {
+    "[ -~]{0,40}".prop_map(|s| s.trim().to_string())
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_.-]{0,15}"
+}
+
+fn arb_env() -> impl Strategy<Value = ExecEnv> {
+    prop_oneof![
+        Just(ExecEnv::Mpi),
+        Just(ExecEnv::Pvm),
+        Just(ExecEnv::Test)
+    ]
+}
+
+proptest! {
+    /// XML escaping round-trips arbitrary printable text content and
+    /// attribute values.
+    #[test]
+    fn xml_roundtrips_arbitrary_text(tag in arb_name(), text in arb_text(), attr in arb_text()) {
+        let doc = Element::new(&tag).attr("a", &attr).text(&text);
+        let parsed = parse(&doc.render()).unwrap();
+        prop_assert_eq!(&parsed.name, &tag);
+        prop_assert_eq!(parsed.get_attr("a").unwrap(), attr.as_str());
+        // Whitespace-only text collapses by design; otherwise exact.
+        prop_assert_eq!(parsed.text_content(), text.trim());
+    }
+
+    /// Nested documents round-trip structurally.
+    #[test]
+    fn xml_roundtrips_nested(
+        names in proptest::collection::vec(arb_name(), 1..10),
+        leaf_text in arb_text(),
+    ) {
+        let mut doc = Element::new("root");
+        for n in &names {
+            doc = doc.child(Element::new(n).text(&leaf_text));
+        }
+        let parsed = parse(&doc.render()).unwrap();
+        prop_assert_eq!(parsed.children.len(), names.len());
+        for (child, n) in parsed.find_all(&names[0]).zip(names.iter().filter(|x| *x == &names[0])) {
+            prop_assert_eq!(&child.name, n);
+        }
+    }
+
+    /// ServiceInfo round-trips through the Fig. 5 wire format for
+    /// arbitrary field values.
+    #[test]
+    fn service_info_roundtrips(
+        host in arb_name(),
+        port in 1u16..u16::MAX,
+        machine in arb_name(),
+        nproc in 1usize..64,
+        envs in proptest::collection::vec(arb_env(), 1..4),
+        freetime in 0u64..1_000_000,
+    ) {
+        let info = ServiceInfo {
+            agent: Endpoint::new(&host, port),
+            local: Endpoint::new(&host, port.wrapping_add(1).max(1)),
+            machine_type: machine,
+            nproc,
+            environments: envs,
+            freetime: SimTime::from_secs(freetime),
+        };
+        let xml = info.to_xml().render();
+        let back = ServiceInfo::parse_str(&xml).unwrap();
+        prop_assert_eq!(back, info);
+    }
+
+    /// RequestInfo round-trips through the Fig. 6 wire format.
+    #[test]
+    fn request_info_roundtrips(
+        app in arb_name(),
+        path in arb_name(),
+        env in arb_env(),
+        deadline in 0u64..1_000_000,
+        email in arb_name(),
+    ) {
+        let req = RequestInfo {
+            application: app,
+            binary_file: format!("/bin/{path}"),
+            input_file: format!("/in/{path}"),
+            model_name: format!("/model/{path}"),
+            environment: env,
+            deadline: SimTime::from_secs(deadline),
+            email: format!("{email}@example.org"),
+        };
+        let xml = req.to_xml().render();
+        let back = RequestInfo::parse_str(&xml).unwrap();
+        prop_assert_eq!(back, req);
+    }
+
+    /// Any parent-chain structure over distinct names either builds a
+    /// valid hierarchy (single root) or reports a coherent error; valid
+    /// hierarchies have consistent depths and neighbour symmetry.
+    #[test]
+    fn hierarchy_chains_are_valid(n in 1usize..20) {
+        // A simple chain: agent i's parent is agent i-1.
+        let names: Vec<String> = (0..n).map(|i| format!("N{i}")).collect();
+        let pairs: Vec<(&str, Option<&str>)> = names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                (
+                    name.as_str(),
+                    if i == 0 { None } else { Some(names[i - 1].as_str()) },
+                )
+            })
+            .collect();
+        let h = Hierarchy::from_parents(&pairs).unwrap();
+        prop_assert_eq!(h.len(), n);
+        prop_assert_eq!(h.head(), "N0");
+        for (i, name) in names.iter().enumerate() {
+            prop_assert_eq!(h.depth(name), Some(i));
+            let agent = h.get(name).unwrap();
+            // Upper/lower symmetry.
+            if let Some(upper) = agent.upper() {
+                prop_assert!(h.get(upper).unwrap().lower().contains(&name.to_string()));
+            }
+            for lower in agent.lower() {
+                prop_assert_eq!(h.get(lower).unwrap().upper(), Some(name.as_str()));
+            }
+        }
+    }
+}

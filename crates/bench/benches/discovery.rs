@@ -1,0 +1,112 @@
+//! Agent-level costs: one matchmaking evaluation (eq. 10), one full
+//! discovery decision over a 12-entry neighbourhood, and one
+//! advertisement pull round over the Fig. 7 hierarchy.
+
+use agentgrid::prelude::*;
+use agentgrid_agents::matchmaking::estimate;
+use agentgrid_agents::Endpoint;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn service(machine: &str, freetime_s: u64) -> ServiceInfo {
+    ServiceInfo {
+        agent: Endpoint::new("host.grid.example.org", 1000),
+        local: Endpoint::new("host.grid.example.org", 10000),
+        machine_type: machine.into(),
+        nproc: 16,
+        environments: vec![ExecEnv::Mpi, ExecEnv::Pvm, ExecEnv::Test],
+        freetime: SimTime::from_secs(freetime_s),
+    }
+}
+
+fn bench_matchmaking(c: &mut Criterion) {
+    let platforms = Platform::case_study_set();
+    let engine = CachedEngine::new();
+    let app = Catalog::case_study().by_name("fft").expect("catalogued").clone();
+    let info = service("SunUltra5", 40);
+    c.bench_function("matchmaking_eq10", |b| {
+        b.iter(|| {
+            estimate(
+                &info,
+                &app,
+                ExecEnv::Test,
+                SimTime::from_secs(120),
+                SimTime::from_secs(10),
+                &platforms,
+                &engine,
+            )
+        })
+    });
+}
+
+fn bench_decide(c: &mut Criterion) {
+    let platforms = Platform::case_study_set();
+    let engine = CachedEngine::new();
+    let app = Catalog::case_study().by_name("sweep3d").expect("catalogued").clone();
+
+    // A hub agent that knows about 12 neighbours with varied backlogs.
+    let lower: Vec<String> = (2..=12).map(|i| format!("S{i}")).collect();
+    let mut agent = Agent::new("S1", None, lower.clone());
+    let machines = [
+        "SGIOrigin2000",
+        "SunUltra10",
+        "SunUltra5",
+        "SunUltra1",
+        "SunSPARCstation2",
+    ];
+    for (i, n) in lower.iter().enumerate() {
+        agent.update_act(
+            n,
+            service(machines[i % machines.len()], (i as u64) * 30),
+            SimTime::ZERO,
+        );
+    }
+    let local = service("SGIOrigin2000", 500); // busy: forces neighbour scan
+    let portal = Portal::new("bench@grid.example.org");
+    let envelope =
+        RequestEnvelope::new(portal.request("sweep3d", ExecEnv::Test, SimTime::from_secs(90)));
+
+    c.bench_function("discovery_decide_12_neighbours", |b| {
+        b.iter(|| {
+            agent.decide(
+                &envelope,
+                &app,
+                &local,
+                SimTime::from_secs(10),
+                &platforms,
+                &engine,
+            )
+        })
+    });
+}
+
+fn bench_advertisement_round(c: &mut Criterion) {
+    // One full pull round across the Fig. 7 hierarchy via the grid
+    // system's own machinery (service info generation + ACT updates).
+    let topology = GridTopology::case_study();
+    let opts = RunOptions::fast();
+    c.bench_function("advertisement_pull_round_fig7", |b| {
+        b.iter_batched(
+            || {
+                let mut config = GridConfig::new(LocalPolicy::Ga, true, 1);
+                config.ga = opts.ga;
+                GridSystem::new(&topology, &opts.catalog, &config)
+            },
+            |mut grid| {
+                let mut sim = Simulation::new();
+                grid.bootstrap(&mut sim, vec![]); // pulls only, no requests
+                while let Some(ev) = sim.step() {
+                    grid.handle(&mut sim, ev);
+                }
+                grid.pull_messages()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_matchmaking, bench_decide, bench_advertisement_round
+}
+criterion_main!(benches);

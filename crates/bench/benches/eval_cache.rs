@@ -1,0 +1,92 @@
+//! The demand-driven evaluation cache (§2.2).
+//!
+//! The paper's motivation: "If each evaluation takes 0.01 seconds, then
+//! 10 seconds of computation are required per generation. However, many
+//! of the evaluations requested by the GA are likely to be exactly the
+//! same as those required by previous generations." This bench quantifies
+//! the cached vs uncached evaluation cost and the cache's steady-state
+//! behaviour under a GA-shaped request mix.
+
+use agentgrid::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn apps_and_resource() -> (Catalog, ResourceModel) {
+    (
+        Catalog::case_study(),
+        ResourceModel::new(Platform::sgi_origin2000(), 16).expect("16 nodes"),
+    )
+}
+
+fn bench_raw_engine(c: &mut Criterion) {
+    let (catalog, resource) = apps_and_resource();
+    let engine = PaceEngine::new();
+    let app = catalog.by_name("sweep3d").expect("catalogued");
+    c.bench_function("engine_evaluate_tabulated", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = k % 16 + 1;
+            engine.evaluate(app, &resource, k)
+        })
+    });
+
+    let analytic = Catalog::case_study_analytic();
+    let app = analytic.by_name("improc").expect("catalogued");
+    c.bench_function("engine_evaluate_analytic", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = k % 16 + 1;
+            engine.evaluate(app, &resource, k)
+        })
+    });
+}
+
+fn bench_cached_engine(c: &mut Criterion) {
+    let (catalog, resource) = apps_and_resource();
+    let cached = CachedEngine::new();
+    let app = catalog.by_name("sweep3d").expect("catalogued");
+    // Warm every slot first: steady state is all-hits.
+    for k in 1..=16 {
+        cached.evaluate(app, &resource, k);
+    }
+    c.bench_function("cached_evaluate_warm", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = k % 16 + 1;
+            cached.evaluate(app, &resource, k)
+        })
+    });
+
+    // GA-shaped mix: 7 applications × 16 counts, random-ish access.
+    c.bench_function("cached_evaluate_ga_mix", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = i.wrapping_add(37);
+            let app = &catalog.apps()[i % catalog.len()];
+            cached.evaluate(app, &resource, i % 16 + 1)
+        })
+    });
+}
+
+fn bench_best_time(c: &mut Criterion) {
+    // The eq. 10 inner minimisation: "the PACE evaluation function is
+    // called n times" per matchmaking step — cold vs warm.
+    let (catalog, resource) = apps_and_resource();
+    let app = catalog.by_name("jacobi").expect("catalogued");
+    c.bench_function("best_time_cold", |b| {
+        b.iter_batched(
+            CachedEngine::new,
+            |engine| engine.best_time(app, &resource),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    let warm = CachedEngine::new();
+    warm.best_time(app, &resource);
+    c.bench_function("best_time_warm", |b| b.iter(|| warm.best_time(app, &resource)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_raw_engine, bench_cached_engine, bench_best_time
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! The FIFO allocation search: the paper's literal 2¹⁶−1 subset
+//! enumeration vs the O(n²) homogeneity-exploiting equivalent (DESIGN.md
+//! §5.2). Both return the same optimum (property-tested); this bench
+//! shows the cost gap that justifies the fast form in the experiments.
+
+use agentgrid::prelude::*;
+use agentgrid_scheduler::fifo::{best_allocation, best_allocation_exhaustive};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn setup(nproc: usize) -> (Vec<SimTime>, ResourceModel, ApplicationModel, CachedEngine) {
+    // Staggered free times so the search is not degenerate.
+    let free: Vec<SimTime> = (0..nproc)
+        .map(|i| SimTime::from_secs((i as u64 * 7) % 23))
+        .collect();
+    let model = ResourceModel::new(Platform::sgi_origin2000(), nproc).expect("nproc > 0");
+    let app = Catalog::case_study()
+        .by_name("sweep3d")
+        .expect("catalogued")
+        .clone();
+    (free, model, app, CachedEngine::new())
+}
+
+fn bench_fast_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fifo_fast");
+    for nproc in [4usize, 8, 16, 32] {
+        let (free, model, app, engine) = setup(nproc);
+        let avail = NodeMask::first_n(nproc);
+        group.bench_with_input(BenchmarkId::from_parameter(nproc), &nproc, |b, _| {
+            b.iter(|| best_allocation(&free, avail, SimTime::ZERO, &app, &model, &engine))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exhaustive_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fifo_exhaustive");
+    group.sample_size(10);
+    for nproc in [4usize, 8, 12, 16] {
+        let (free, model, app, engine) = setup(nproc);
+        let avail = NodeMask::first_n(nproc);
+        group.bench_with_input(BenchmarkId::from_parameter(nproc), &nproc, |b, _| {
+            b.iter(|| {
+                best_allocation_exhaustive(&free, avail, SimTime::ZERO, &app, &model, &engine)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fast_search, bench_exhaustive_search);
+criterion_main!(benches);

@@ -1,0 +1,201 @@
+//! Ablation harness for the design choices DESIGN.md §5 calls out
+//! (quality, not wall-time — hence `harness = false` with a plain main).
+//!
+//! Scenarios: a single overloaded 16-node resource fed 60 requests.
+//! Reported per configuration: schedule horizon, mean completion advance
+//! ε, and utilisation — the §3.3 metrics at local scale.
+//!
+//! Rows:
+//!   * FIFO baseline (reference);
+//!   * GA default (front-weighted idle, deadline-weighted cost);
+//!   * GA without front-weighted idle (`idle_early_weight = 1`);
+//!   * GA without the deadline term (`deadline = 0`);
+//!   * GA without the idle term (`idle = 0`);
+//!   * GA with a small population (8);
+//!   * advertisement strategies: periodic-pull staleness vs message count
+//!     at three pull periods (grid-level, Fig. 7 topology).
+
+use agentgrid::prelude::*;
+
+fn run_local(policy: LocalPolicy, ga: GaConfig) -> (f64, f64, f64) {
+    let topology = GridTopology {
+        resources: vec![ResourceSpec {
+            name: "R1".into(),
+            platform: Platform::sun_sparcstation2(),
+            nproc: 16,
+            parent: None,
+        }],
+    };
+    let wl = WorkloadConfig {
+        requests: 60,
+        interarrival: SimDuration::from_secs(1),
+        seed: 5,
+        agents: vec!["R1".into()],
+        environment: ExecEnv::Test,
+    };
+    let design = ExperimentDesign {
+        number: 0,
+        local_policy: policy,
+        agents_enabled: false,
+    };
+    let mut opts = RunOptions::paper();
+    opts.ga = ga;
+    let r = run_experiment(&design, &topology, &wl, &opts);
+    (r.horizon_s, r.total.advance_s, r.total.utilisation_pct)
+}
+
+fn run_grid_with_period(period_s: u64) -> (f64, u64, usize) {
+    let topology = GridTopology::case_study();
+    let mut wl = WorkloadConfig::case_study(topology.names(), 2003);
+    wl.requests = 180;
+    let mut opts = RunOptions::paper();
+    opts.advertisement = agentgrid_agents::AdvertisementStrategy::PeriodicPull {
+        period: SimDuration::from_secs(period_s),
+    };
+    let r = run_experiment(&ExperimentDesign::experiment3(), &topology, &wl, &opts);
+    (r.total.advance_s, r.pull_messages, r.migrations)
+}
+
+fn main() {
+    // Criterion-style CLI compatibility: `cargo bench` passes `--bench`.
+    println!("# GA design-choice ablation (overloaded single resource)");
+    println!(
+        "{:<34}{:>10}{:>10}{:>8}",
+        "configuration", "horizon", "eps(s)", "util%"
+    );
+
+    let rows: Vec<(&str, LocalPolicy, GaConfig)> = vec![
+        ("FIFO baseline", LocalPolicy::Fifo, GaConfig::default()),
+        ("Batch queue (EASY backfill)", LocalPolicy::Batch, GaConfig::default()),
+        ("GA default", LocalPolicy::Ga, GaConfig::default()),
+        (
+            "GA no front-weighted idle",
+            LocalPolicy::Ga,
+            GaConfig {
+                weights: CostWeights {
+                    idle_early_weight: 1.0,
+                    ..CostWeights::default()
+                },
+                ..GaConfig::default()
+            },
+        ),
+        (
+            "GA no deadline term",
+            LocalPolicy::Ga,
+            GaConfig {
+                weights: CostWeights {
+                    deadline: 0.0,
+                    ..CostWeights::default()
+                },
+                ..GaConfig::default()
+            },
+        ),
+        (
+            "GA no idle term",
+            LocalPolicy::Ga,
+            GaConfig {
+                weights: CostWeights {
+                    idle: 0.0,
+                    ..CostWeights::default()
+                },
+                ..GaConfig::default()
+            },
+        ),
+        (
+            "GA small population (8)",
+            LocalPolicy::Ga,
+            GaConfig {
+                population: 8,
+                ..GaConfig::default()
+            },
+        ),
+    ];
+    for (label, policy, cfg) in rows {
+        let (h, e, u) = run_local(policy, cfg);
+        println!("{label:<34}{h:>10.0}{e:>10.1}{u:>8.1}");
+    }
+
+    println!();
+    println!("# Advertisement pull period (experiment 3, 180 requests)");
+    println!(
+        "{:<34}{:>10}{:>10}{:>8}",
+        "pull period", "eps(s)", "messages", "migr"
+    );
+    for period in [5u64, 10, 30] {
+        let (eps, msgs, migr) = run_grid_with_period(period);
+        println!("{:<34}{eps:>10.1}{msgs:>10}{migr:>8}", format!("{period} s"));
+    }
+
+    println!();
+    println!("# Push advertisement vs pull (experiment 3, 180 requests)");
+    println!(
+        "{:<34}{:>10}{:>10}{:>8}",
+        "strategy", "eps(s)", "messages", "migr"
+    );
+    for threshold in [2u64, 10, 60] {
+        let (eps, msgs, migr) = run_grid_with_push(threshold);
+        println!(
+            "{:<34}{eps:>10.1}{msgs:>10}{migr:>8}",
+            format!("push, threshold {threshold} s")
+        );
+    }
+
+    println!();
+    println!("# Dispatch-mode ablation (GA local scheduling, 180 requests):");
+    println!("# what the discovery matchmaking buys over blind spreading");
+    println!("{:<34}{:>10}{:>8}{:>8}", "dispatch", "eps(s)", "u(%)", "b(%)");
+    for (label, mode) in [
+        ("local (exp 2)", DispatchMode::Local),
+        ("random", DispatchMode::Random),
+        ("round-robin", DispatchMode::RoundRobin),
+        ("agent discovery (exp 3)", DispatchMode::Discovery),
+    ] {
+        let (eps, u, b) = run_grid_with_dispatch(mode);
+        println!("{label:<34}{eps:>10.1}{u:>8.1}{b:>8.1}");
+    }
+}
+
+fn run_grid_with_dispatch(mode: DispatchMode) -> (f64, f64, f64) {
+    let topology = GridTopology::case_study();
+    let mut wl = WorkloadConfig::case_study(topology.names(), 2003);
+    wl.requests = 180;
+    let opts = RunOptions::paper();
+    let mut config = GridConfig::new(LocalPolicy::Ga, false, wl.seed);
+    config.ga = opts.ga;
+    config.dispatch = mode;
+    let mut grid = GridSystem::new(&topology, &opts.catalog, &config);
+    let mut sim = Simulation::new();
+    grid.bootstrap(&mut sim, wl.generate(&opts.catalog));
+    while let Some(ev) = sim.step() {
+        grid.handle(&mut sim, ev);
+    }
+    let horizon = grid.horizon();
+    let stats: Vec<ResourceStats> = topology
+        .resources
+        .iter()
+        .map(|spec| {
+            let s = &grid.schedulers()[&spec.name];
+            ResourceStats::from_run(
+                &spec.name,
+                spec.nproc,
+                s.resource().allocations(),
+                s.completed(),
+                horizon,
+            )
+        })
+        .collect();
+    let total = compute_grid(&stats, horizon.as_secs_f64().max(1e-9));
+    (total.advance_s, total.utilisation_pct, total.balance_pct)
+}
+
+fn run_grid_with_push(threshold_s: u64) -> (f64, u64, usize) {
+    let topology = GridTopology::case_study();
+    let mut wl = WorkloadConfig::case_study(topology.names(), 2003);
+    wl.requests = 180;
+    let mut opts = RunOptions::paper();
+    opts.advertisement = agentgrid_agents::AdvertisementStrategy::EventPush {
+        threshold: SimDuration::from_secs(threshold_s),
+    };
+    let r = run_experiment(&ExperimentDesign::experiment3(), &topology, &wl, &opts);
+    (r.total.advance_s, r.pull_messages, r.migrations)
+}

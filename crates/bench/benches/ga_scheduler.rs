@@ -1,0 +1,102 @@
+//! GA scheduling throughput: one `evolve` call (the per-event cost in the
+//! experiment driver) as a function of queue depth.
+//!
+//! The paper's §2.2 sizing argument: "For a GA population of size 50,
+//! with 20 tasks being scheduled, 1000 evaluations are required per
+//! generation." This bench measures our cost of exactly that work, with
+//! the evaluation cache in its steady (warm) state.
+
+use agentgrid::prelude::*;
+use agentgrid_scheduler::decode::{decode, ResourceView};
+use agentgrid_scheduler::ga::ops::{crossover, mutate};
+use agentgrid_scheduler::Solution;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+fn make_tasks(catalog: &Catalog, n: usize) -> Vec<Task> {
+    (0..n)
+        .map(|i| {
+            let app = &catalog.apps()[i % catalog.len()];
+            let (lo, hi) = app.deadline_bounds_s;
+            Task::new(
+                TaskId(i as u64),
+                Arc::new(app.clone()),
+                SimTime::ZERO,
+                SimTime::from_secs_f64(lo + (hi - lo) * 0.5),
+                ExecEnv::Test,
+            )
+        })
+        .collect()
+}
+
+fn bench_evolve(c: &mut Criterion) {
+    let catalog = Catalog::case_study();
+    let engine = CachedEngine::new();
+    let resource = GridResource::new("S1", Platform::sgi_origin2000(), 16);
+    let view = ResourceView::snapshot(&resource, SimTime::ZERO).expect("all nodes up");
+
+    let mut group = c.benchmark_group("ga_evolve");
+    for queue_depth in [5usize, 20, 40] {
+        let tasks = make_tasks(&catalog, queue_depth);
+        group.bench_with_input(
+            BenchmarkId::new("pop50_gens10", queue_depth),
+            &tasks,
+            |b, tasks| {
+                // Population 50 / 20 tasks reproduces the paper's sizing
+                // example at depth 20 (1000 evaluations per generation).
+                let cfg = GaConfig {
+                    population: 50,
+                    generations_per_event: 10,
+                    stall_generations: 10,
+                    ..GaConfig::default()
+                };
+                b.iter_batched(
+                    || GaScheduler::new(cfg, RngStream::root(1)),
+                    |mut ga| ga.evolve(&view, tasks, &engine),
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_operators(c: &mut Criterion) {
+    let mut rng = RngStream::root(3);
+    let a = Solution::random(20, 16, &mut rng);
+    let b = Solution::random(20, 16, &mut rng);
+
+    c.bench_function("crossover_20tasks_16nodes", |bch| {
+        bch.iter(|| crossover(&a, &b, 16, &mut rng))
+    });
+    c.bench_function("mutate_20tasks_16nodes", |bch| {
+        bch.iter_batched(
+            || a.clone(),
+            |mut s| mutate(&mut s, 16, 0.35, 0.02, &mut rng),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let catalog = Catalog::case_study();
+    let engine = CachedEngine::new();
+    let resource = GridResource::new("S1", Platform::sgi_origin2000(), 16);
+    let view = ResourceView::snapshot(&resource, SimTime::ZERO).expect("all nodes up");
+    let tasks = make_tasks(&catalog, 20);
+    let mut rng = RngStream::root(5);
+    let sol = Solution::random(20, 16, &mut rng);
+    // Warm the cache so the bench measures decode, not first-touch misses.
+    decode(&view, &tasks, &sol, &engine);
+
+    c.bench_function("decode_20tasks_16nodes_warm_cache", |b| {
+        b.iter(|| decode(&view, &tasks, &sol, &engine))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_evolve, bench_operators, bench_decode
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Compare two saved case-study result files (regression checking).
+//!
+//! ```text
+//! cargo run -p agentgrid-bench --bin compare -- old/table3.json new/table3.json
+//! ```
+//!
+//! Prints per-experiment, per-resource deltas of ε/υ/β and flags any
+//! qualitative flips (a metric changing direction between experiments).
+
+use agentgrid::prelude::*;
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<CaseStudyResults, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [old_path, new_path] = args.as_slice() else {
+        eprintln!("usage: compare <old/table3.json> <new/table3.json>");
+        return ExitCode::FAILURE;
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if old.experiments.len() != new.experiments.len() {
+        eprintln!(
+            "error: experiment count differs ({} vs {})",
+            old.experiments.len(),
+            new.experiments.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut flips = 0;
+    for (o, n) in old.experiments.iter().zip(&new.experiments) {
+        println!(
+            "== experiment {} ({} vs {} tasks) ==",
+            o.design.number, o.total.tasks, n.total.tasks
+        );
+        println!(
+            "{:<8}{:>12}{:>12}{:>12}",
+            "agent", "d-eps(s)", "d-u(pt)", "d-b(pt)"
+        );
+        for row in &o.per_resource {
+            let Some(nm) = n.resource(&row.name) else {
+                println!("{:<8}  (missing in new results)", row.name);
+                flips += 1;
+                continue;
+            };
+            let om = &row.metrics;
+            println!(
+                "{:<8}{:>12.1}{:>12.1}{:>12.1}",
+                row.name,
+                nm.advance_s - om.advance_s,
+                nm.utilisation_pct - om.utilisation_pct,
+                nm.balance_pct - om.balance_pct,
+            );
+        }
+        println!(
+            "{:<8}{:>12.1}{:>12.1}{:>12.1}",
+            "total",
+            n.total.advance_s - o.total.advance_s,
+            n.total.utilisation_pct - o.total.utilisation_pct,
+            n.total.balance_pct - o.total.balance_pct,
+        );
+        println!();
+    }
+
+    // Qualitative shape: the exp1→exp3 ordering on the totals must agree.
+    let shape = |cs: &CaseStudyResults| -> Vec<bool> {
+        let t: Vec<_> = cs.experiments.iter().map(|e| &e.total).collect();
+        let mut out = Vec::new();
+        for w in t.windows(2) {
+            out.push(w[1].advance_s >= w[0].advance_s);
+            out.push(w[1].utilisation_pct >= w[0].utilisation_pct);
+            out.push(w[1].balance_pct >= w[0].balance_pct);
+        }
+        out
+    };
+    let (so, sn) = (shape(&old), shape(&new));
+    for (i, (a, b)) in so.iter().zip(&sn).enumerate() {
+        if a != b {
+            println!("SHAPE FLIP at ordering check {i}: {a} -> {b}");
+            flips += 1;
+        }
+    }
+    if flips == 0 {
+        println!("shape preserved: all cross-experiment orderings agree");
+        ExitCode::SUCCESS
+    } else {
+        println!("{flips} qualitative difference(s) found");
+        ExitCode::FAILURE
+    }
+}

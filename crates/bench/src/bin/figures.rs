@@ -1,0 +1,53 @@
+//! Regenerate **Figs. 8, 9 and 10**: per-agent trends of ε, υ and β
+//! across the three experiments.
+//!
+//! Reuses `table3.json` when present (so the series match the printed
+//! table exactly); otherwise reruns the case study.
+//!
+//! ```text
+//! cargo run -p agentgrid-bench --bin figures --release
+//! cargo run -p agentgrid-bench --bin figures --release -- --quick
+//! ```
+
+use agentgrid::prelude::*;
+use agentgrid::result::FigureMetric;
+use agentgrid_bench::{paper_workload, parse_args, quick_workload};
+
+fn main() {
+    let (quick, seed) = parse_args();
+    let results = match std::fs::read_to_string("table3.json")
+        .ok()
+        .and_then(|s| serde_json::from_str::<CaseStudyResults>(&s).ok())
+    {
+        Some(r) => {
+            println!("# using cached table3.json");
+            r
+        }
+        None => {
+            let (topology, workload) = if quick {
+                quick_workload(seed)
+            } else {
+                paper_workload(seed)
+            };
+            run_table3(&topology, &workload, &RunOptions::paper())
+        }
+    };
+
+    let figures = [
+        (8, "advance time of completion e (s)", FigureMetric::AdvanceTime),
+        (9, "resource utilisation u (%)", FigureMetric::Utilisation),
+        (10, "load balancing level b (%)", FigureMetric::Balance),
+    ];
+    for (num, title, metric) in figures {
+        println!("# Fig. {num} — {title} across experiments 1..3");
+        println!("{:<8}{:>10}{:>10}{:>10}", "series", "exp1", "exp2", "exp3");
+        for (name, values) in results.figure_series(metric) {
+            print!("{name:<8}");
+            for v in values {
+                print!("{v:>10.1}");
+            }
+            println!();
+        }
+        println!();
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerate **Table 1**: predicted execution times of the seven
+//! case-study kernels on the SGI Origin2000 for 1–16 processors, with the
+//! deadline domains.
+//!
+//! ```text
+//! cargo run -p agentgrid-bench --bin table1
+//! ```
+
+use agentgrid::prelude::*;
+
+fn main() {
+    let catalog = Catalog::case_study();
+    let engine = PaceEngine::new();
+    let sgi = ResourceModel::new(Platform::sgi_origin2000(), 16).expect("16 > 0");
+
+    println!("# Table 1 — PACE predictions on SGIOrigin2000 (seconds)");
+    print!("{:<10} {:<12}", "app", "deadline");
+    for n in 1..=16 {
+        print!("{n:>4}");
+    }
+    println!();
+    for app in catalog.apps() {
+        let (lo, hi) = app.deadline_bounds_s;
+        print!("{:<10} [{:>3},{:>4}] ", app.name, lo, hi);
+        for n in 1..=16 {
+            print!("{:>4.0}", engine.evaluate(app, &sgi, n));
+        }
+        println!();
+    }
+
+    println!();
+    println!("# per-platform scaling factors (DESIGN.md calibration):");
+    for p in Platform::case_study_set() {
+        println!("#   {:<18} cpu x{:<4} comm x{}", p.name, p.cpu_factor, p.comm_factor);
+    }
+}

@@ -1,0 +1,38 @@
+//! Regenerate **Table 2**: the experiment design matrix.
+//!
+//! ```text
+//! cargo run -p agentgrid-bench --bin table2
+//! ```
+
+use agentgrid::prelude::*;
+
+fn main() {
+    println!("# Table 2 — case-study experiment design");
+    println!("{:<28}{:>6}{:>6}{:>6}", "", "Exp 1", "Exp 2", "Exp 3");
+    let designs = ExperimentDesign::table2();
+    let mark = |b: bool| if b { "  yes" } else { "    -" };
+    println!(
+        "{:<28}{:>6}{:>6}{:>6}",
+        "FIFO algorithm",
+        mark(designs[0].local_policy == LocalPolicy::Fifo),
+        mark(designs[1].local_policy == LocalPolicy::Fifo),
+        mark(designs[2].local_policy == LocalPolicy::Fifo),
+    );
+    println!(
+        "{:<28}{:>6}{:>6}{:>6}",
+        "GA algorithm",
+        mark(designs[0].local_policy == LocalPolicy::Ga),
+        mark(designs[1].local_policy == LocalPolicy::Ga),
+        mark(designs[2].local_policy == LocalPolicy::Ga),
+    );
+    println!(
+        "{:<28}{:>6}{:>6}{:>6}",
+        "Agent-based discovery",
+        mark(designs[0].agents_enabled),
+        mark(designs[1].agents_enabled),
+        mark(designs[2].agents_enabled),
+    );
+    for d in &designs {
+        println!("# {}", d.label());
+    }
+}

@@ -1,0 +1,59 @@
+//! Regenerate **Table 3** (and the data behind Figs. 8–10): per-agent and
+//! total ε / υ / β for experiments 1–3 over the identical 600-request
+//! workload.
+//!
+//! ```text
+//! cargo run -p agentgrid-bench --bin table3 --release          # full run
+//! cargo run -p agentgrid-bench --bin table3 --release -- --quick
+//! cargo run -p agentgrid-bench --bin table3 --release -- --seed 7
+//! ```
+//!
+//! Writes `table3.json` next to the printed table so `figures` and
+//! EXPERIMENTS.md tooling can reuse the run.
+
+use agentgrid::prelude::*;
+use agentgrid_bench::{paper_workload, parse_args, quick_workload};
+use std::time::Instant;
+
+fn main() {
+    let (quick, seed) = parse_args();
+    let (topology, workload) = if quick {
+        quick_workload(seed)
+    } else {
+        paper_workload(seed)
+    };
+    let opts = RunOptions::paper();
+
+    println!("# Table 3 — case-study experiments");
+    println!(
+        "# grid: {} resources / {} nodes; workload: {} requests, seed {}",
+        topology.resources.len(),
+        topology.total_nodes(),
+        workload.requests,
+        workload.seed,
+    );
+    println!("# hierarchy (Fig. 7): S1 <- S2,S3,S4; S2 <- S5..S7; S3 <- S8..S10; S4 <- S11,S12");
+    println!();
+
+    let t0 = Instant::now();
+    let results = run_table3_parallel(&topology, &workload, &opts);
+    let elapsed = t0.elapsed();
+
+    print!("{}", results.table3());
+    println!();
+    for e in &results.experiments {
+        println!(
+            "# exp {}: horizon {:.0}s, migrations {}, rejected {}, adverts {}, cache hit {:.1}%",
+            e.design.number,
+            e.horizon_s,
+            e.migrations,
+            e.rejected,
+            e.pull_messages,
+            e.cache_hit_ratio * 100.0
+        );
+    }
+    println!("# wall time: {elapsed:.2?}");
+
+    std::fs::write("table3.json", results.to_json()).expect("write table3.json");
+    println!("# wrote table3.json");
+}

@@ -1,0 +1,33 @@
+//! Shared plumbing for the experiment binaries and Criterion benches.
+
+use agentgrid::prelude::*;
+
+/// The paper's full case-study run: twelve 16-node resources, 600
+/// requests at 1-second intervals, seed fixed across experiments.
+pub fn paper_workload(seed: u64) -> (GridTopology, WorkloadConfig) {
+    let topology = GridTopology::case_study();
+    let workload = WorkloadConfig::case_study(topology.names(), seed);
+    (topology, workload)
+}
+
+/// A scaled-down case study (same topology, fewer requests) for quick
+/// smoke runs: pass `--quick` to the experiment binaries.
+pub fn quick_workload(seed: u64) -> (GridTopology, WorkloadConfig) {
+    let topology = GridTopology::case_study();
+    let mut workload = WorkloadConfig::case_study(topology.names(), seed);
+    workload.requests = 120;
+    (topology, workload)
+}
+
+/// Parse the common `--quick` / `--seed N` flags of the experiment bins.
+pub fn parse_args() -> (bool, u64) {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2003);
+    (quick, seed)
+}

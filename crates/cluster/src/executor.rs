@@ -1,0 +1,236 @@
+//! Task-execution backends (§2.2 "Task execution").
+//!
+//! "The application execution environments that are supported by the
+//! current implementation of the local schedulers include MPI, PVM, and a
+//! test mode that is designed for the experiments described in this work.
+//! Under test mode, tasks are not actually executed and the predictive
+//! application execution times are scheduled and assumed to be accurate."
+//!
+//! [`TestModeExecutor`] is that test mode: a launch log, with virtual
+//! completion driven by the simulator. [`ThreadedExecutor`] really runs a
+//! payload closure per task on OS threads with wall-clock durations scaled
+//! down from the predicted seconds — used by the `grid_demo` example to
+//! show the system driving real concurrent work.
+
+use serde::{Deserialize, Serialize};
+use std::str::FromStr;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// An application execution environment a scheduler can offer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecEnv {
+    /// Message Passing Interface programs.
+    Mpi,
+    /// Parallel Virtual Machine programs.
+    Pvm,
+    /// The experiments' test mode (nothing actually runs).
+    Test,
+}
+
+impl ExecEnv {
+    /// The wire name used in service/request XML (Figs. 5–6).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExecEnv::Mpi => "mpi",
+            ExecEnv::Pvm => "pvm",
+            ExecEnv::Test => "test",
+        }
+    }
+}
+
+impl std::fmt::Display for ExecEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for ExecEnv {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "mpi" => Ok(ExecEnv::Mpi),
+            "pvm" => Ok(ExecEnv::Pvm),
+            "test" => Ok(ExecEnv::Test),
+            other => Err(format!("unknown execution environment `{other}`")),
+        }
+    }
+}
+
+/// A record of one launched task.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Launch {
+    /// Grid-wide task identifier.
+    pub task_id: u64,
+    /// Environment the task was launched under.
+    pub env: ExecEnv,
+    /// Predicted duration in (virtual) seconds.
+    pub duration_s: f64,
+}
+
+/// A task-execution backend.
+pub trait Executor {
+    /// Launch `task_id` under `env` with predicted duration `duration_s`.
+    fn launch(&self, task_id: u64, env: ExecEnv, duration_s: f64);
+    /// Block until every launched task has finished (no-op in test mode).
+    fn join_all(&self);
+    /// Task ids that have completed so far, in completion order.
+    fn completed(&self) -> Vec<u64>;
+}
+
+/// The experiments' test mode: launches are logged and "complete"
+/// immediately; virtual completion times are the simulator's business.
+#[derive(Default)]
+pub struct TestModeExecutor {
+    launches: Mutex<Vec<Launch>>,
+}
+
+impl TestModeExecutor {
+    /// A fresh test-mode executor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every launch so far, in order.
+    pub fn launches(&self) -> Vec<Launch> {
+        self.launches.lock().expect("executor lock").clone()
+    }
+}
+
+impl Executor for TestModeExecutor {
+    fn launch(&self, task_id: u64, env: ExecEnv, duration_s: f64) {
+        self.launches
+            .lock()
+            .expect("executor lock")
+            .push(Launch {
+                task_id,
+                env,
+                duration_s,
+            });
+    }
+
+    fn join_all(&self) {}
+
+    fn completed(&self) -> Vec<u64> {
+        self.launches
+            .lock()
+            .expect("executor lock")
+            .iter()
+            .map(|l| l.task_id)
+            .collect()
+    }
+}
+
+/// A wall-clock executor: each launch runs on its own OS thread for
+/// `duration_s * time_scale` real seconds (so a 10-minute experiment can
+/// demo in milliseconds), then reports completion on a channel.
+pub struct ThreadedExecutor {
+    time_scale: f64,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    tx: Sender<u64>,
+    rx: Mutex<Receiver<u64>>,
+    done: Mutex<Vec<u64>>,
+}
+
+impl ThreadedExecutor {
+    /// Create an executor where one predicted second lasts `time_scale`
+    /// real seconds (e.g. `1e-3` runs 1000× faster than real time).
+    pub fn new(time_scale: f64) -> ThreadedExecutor {
+        let (tx, rx) = channel();
+        ThreadedExecutor {
+            time_scale: time_scale.max(0.0),
+            handles: Mutex::new(Vec::new()),
+            tx,
+            rx: Mutex::new(rx),
+            done: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn drain(&self) {
+        let rx = self.rx.lock().expect("executor rx lock");
+        let mut done = self.done.lock().expect("executor done lock");
+        while let Ok(id) = rx.try_recv() {
+            done.push(id);
+        }
+    }
+}
+
+impl Executor for ThreadedExecutor {
+    fn launch(&self, task_id: u64, _env: ExecEnv, duration_s: f64) {
+        let tx = self.tx.clone();
+        let sleep = Duration::from_secs_f64((duration_s * self.time_scale).max(0.0));
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(sleep);
+            // The receiver outlives every sender we clone; ignore the
+            // impossible disconnect instead of panicking a worker.
+            let _ = tx.send(task_id);
+        });
+        self.handles.lock().expect("executor handles lock").push(handle);
+    }
+
+    fn join_all(&self) {
+        let handles: Vec<_> = self
+            .handles
+            .lock()
+            .expect("executor handles lock")
+            .drain(..)
+            .collect();
+        for h in handles {
+            h.join().expect("task thread panicked");
+        }
+        self.drain();
+    }
+
+    fn completed(&self) -> Vec<u64> {
+        self.drain();
+        self.done.lock().expect("executor done lock").clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_env_roundtrips_wire_names() {
+        for env in [ExecEnv::Mpi, ExecEnv::Pvm, ExecEnv::Test] {
+            assert_eq!(env.as_str().parse::<ExecEnv>().unwrap(), env);
+        }
+        assert!("condor".parse::<ExecEnv>().is_err());
+    }
+
+    #[test]
+    fn test_mode_logs_launches_in_order() {
+        let ex = TestModeExecutor::new();
+        ex.launch(3, ExecEnv::Test, 10.0);
+        ex.launch(1, ExecEnv::Test, 5.0);
+        let launches = ex.launches();
+        assert_eq!(launches.len(), 2);
+        assert_eq!(launches[0].task_id, 3);
+        assert_eq!(launches[1].duration_s, 5.0);
+        assert_eq!(ex.completed(), vec![3, 1]);
+        ex.join_all(); // no-op
+    }
+
+    #[test]
+    fn threaded_executor_really_completes_tasks() {
+        let ex = ThreadedExecutor::new(1e-6);
+        for id in 0..8 {
+            ex.launch(id, ExecEnv::Mpi, 10.0);
+        }
+        ex.join_all();
+        let mut done = ex.completed();
+        done.sort_unstable();
+        assert_eq!(done, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn threaded_executor_zero_scale_is_instant() {
+        let ex = ThreadedExecutor::new(0.0);
+        ex.launch(7, ExecEnv::Pvm, 1e9);
+        ex.join_all();
+        assert_eq!(ex.completed(), vec![7]);
+    }
+}

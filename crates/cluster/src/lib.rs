@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! The grid-resource substrate.
+//!
+//! In the paper a *local grid* is "a network of processing nodes (such as a
+//! multiprocessor or a cluster of workstations)". This crate models that
+//! substrate:
+//!
+//! * [`mask::NodeMask`] — the set-of-nodes representation used by the
+//!   two-part GA coding scheme (the "mapping part" of a solution string is
+//!   one mask per task).
+//! * [`resource::GridResource`] — a homogeneous pool of processing nodes
+//!   with a free-time ledger and an allocation log (the raw material for
+//!   the utilisation and load-balance metrics).
+//! * [`monitor::ResourceMonitor`] — the §2.2 resource-monitoring module:
+//!   periodic host-availability polling, with failure injection for tests.
+//! * [`executor`] — task-execution backends: the paper's *test mode*
+//!   (predictions assumed accurate, nothing actually runs) and a threaded
+//!   demo mode that really executes closures with scaled-down durations.
+
+pub mod executor;
+pub mod mask;
+pub mod monitor;
+pub mod resource;
+
+pub use executor::{ExecEnv, Executor, TestModeExecutor, ThreadedExecutor};
+pub use mask::NodeMask;
+pub use monitor::ResourceMonitor;
+pub use resource::{Allocation, GridResource};

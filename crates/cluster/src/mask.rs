@@ -1,0 +1,235 @@
+//! Node-set bitmasks.
+//!
+//! The mapping part of a GA solution string allocates a *set* of nodes to
+//! each task (Fig. 2 shows 5-bit masks like `11010`). A `u32` mask supports
+//! resources of up to 32 nodes — double the case study's 16 — while keeping
+//! crossover a single-word splice and mutation a single bit-flip.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A non-empty-by-convention set of node indices within one grid resource.
+///
+/// The empty mask is representable (it is the natural zero of bit
+/// operations) but never a legal task allocation; [`NodeMask::ensure_nonempty`]
+/// repairs masks produced by crossover/mutation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct NodeMask(pub u32);
+
+/// Maximum number of nodes a mask can address.
+pub const MAX_NODES: usize = 32;
+
+impl NodeMask {
+    /// The empty set.
+    pub const EMPTY: NodeMask = NodeMask(0);
+
+    /// A mask containing exactly node `i`.
+    pub fn single(i: usize) -> NodeMask {
+        assert!(i < MAX_NODES, "node index {i} out of range");
+        NodeMask(1 << i)
+    }
+
+    /// A mask of the first `n` nodes (`n` may be 0..=32).
+    pub fn first_n(n: usize) -> NodeMask {
+        assert!(n <= MAX_NODES, "node count {n} out of range");
+        if n == 32 {
+            NodeMask(u32::MAX)
+        } else {
+            NodeMask((1u32 << n) - 1)
+        }
+    }
+
+    /// Build a mask from node indices.
+    pub fn from_indices(indices: impl IntoIterator<Item = usize>) -> NodeMask {
+        let mut m = NodeMask::EMPTY;
+        for i in indices {
+            m.insert(i);
+        }
+        m
+    }
+
+    /// Number of nodes in the set.
+    pub fn count(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True when node `i` is in the set.
+    pub fn contains(self, i: usize) -> bool {
+        i < MAX_NODES && self.0 & (1 << i) != 0
+    }
+
+    /// Add node `i`.
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < MAX_NODES, "node index {i} out of range");
+        self.0 |= 1 << i;
+    }
+
+    /// Remove node `i`.
+    pub fn remove(&mut self, i: usize) {
+        if i < MAX_NODES {
+            self.0 &= !(1 << i);
+        }
+    }
+
+    /// Flip node `i`'s membership (the GA mapping-mutation operator).
+    pub fn toggle(&mut self, i: usize) {
+        assert!(i < MAX_NODES, "node index {i} out of range");
+        self.0 ^= 1 << i;
+    }
+
+    /// Restrict the set to the first `nproc` nodes (used when a resource
+    /// shrinks or a foreign mask is imported).
+    pub fn clamp_to(self, nproc: usize) -> NodeMask {
+        NodeMask(self.0 & NodeMask::first_n(nproc.min(MAX_NODES)).0)
+    }
+
+    /// If empty, set the given fallback node; otherwise return unchanged.
+    /// Keeps GA offspring legal ("any possible solution" must allocate at
+    /// least one node per task).
+    pub fn ensure_nonempty(self, fallback: usize) -> NodeMask {
+        if self.is_empty() {
+            NodeMask::single(fallback)
+        } else {
+            self
+        }
+    }
+
+    /// Intersection.
+    pub fn and(self, other: NodeMask) -> NodeMask {
+        NodeMask(self.0 & other.0)
+    }
+
+    /// Union.
+    pub fn or(self, other: NodeMask) -> NodeMask {
+        NodeMask(self.0 | other.0)
+    }
+
+    /// Iterate over member node indices in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(i)
+            }
+        })
+    }
+
+    /// Splice two masks at bit position `point`: bits below `point` from
+    /// `self`, the rest from `other` (the single-point binary crossover of
+    /// the mapping part).
+    pub fn crossover(self, other: NodeMask, point: usize) -> NodeMask {
+        let p = point.min(MAX_NODES);
+        let low = if p == 0 { 0 } else { NodeMask::first_n(p).0 };
+        NodeMask((self.0 & low) | (other.0 & !low))
+    }
+}
+
+impl fmt::Debug for NodeMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeMask({:b})", self.0)
+    }
+}
+
+impl fmt::Display for NodeMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let indices: Vec<String> = self.iter().map(|i| i.to_string()).collect();
+        write!(f, "{{{}}}", indices.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_membership() {
+        let m = NodeMask::from_indices([0, 3, 5]);
+        assert_eq!(m.count(), 3);
+        assert!(m.contains(0) && m.contains(3) && m.contains(5));
+        assert!(!m.contains(1));
+        assert!(!m.contains(99));
+    }
+
+    #[test]
+    fn first_n_edges() {
+        assert_eq!(NodeMask::first_n(0), NodeMask::EMPTY);
+        assert_eq!(NodeMask::first_n(16).count(), 16);
+        assert_eq!(NodeMask::first_n(32).count(), 32);
+    }
+
+    #[test]
+    fn iter_is_ascending() {
+        let m = NodeMask::from_indices([7, 2, 12]);
+        let v: Vec<_> = m.iter().collect();
+        assert_eq!(v, [2, 7, 12]);
+    }
+
+    #[test]
+    fn toggle_round_trips() {
+        let mut m = NodeMask::EMPTY;
+        m.toggle(4);
+        assert!(m.contains(4));
+        m.toggle(4);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn ensure_nonempty_repairs_only_empty() {
+        assert_eq!(NodeMask::EMPTY.ensure_nonempty(3), NodeMask::single(3));
+        let m = NodeMask::single(1);
+        assert_eq!(m.ensure_nonempty(3), m);
+    }
+
+    #[test]
+    fn clamp_strips_high_bits() {
+        let m = NodeMask::from_indices([1, 15, 20]);
+        let c = m.clamp_to(16);
+        assert!(c.contains(1) && c.contains(15) && !c.contains(20));
+    }
+
+    #[test]
+    fn crossover_splices_at_point() {
+        let a = NodeMask(0b0000_1111);
+        let b = NodeMask(0b1111_0000);
+        assert_eq!(a.crossover(b, 4), NodeMask(0b1111_1111));
+        assert_eq!(b.crossover(a, 4), NodeMask(0b0000_0000));
+        assert_eq!(a.crossover(b, 0), b);
+        assert_eq!(a.crossover(b, 32), a);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = NodeMask::from_indices([0, 1, 2]);
+        let b = NodeMask::from_indices([2, 3]);
+        assert_eq!(a.and(b), NodeMask::single(2));
+        assert_eq!(a.or(b).count(), 4);
+    }
+
+    #[test]
+    fn remove_out_of_range_is_noop() {
+        let mut m = NodeMask::single(0);
+        m.remove(99);
+        assert_eq!(m, NodeMask::single(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn single_rejects_out_of_range() {
+        let _ = NodeMask::single(32);
+    }
+
+    #[test]
+    fn display_lists_members() {
+        let m = NodeMask::from_indices([1, 4]);
+        assert_eq!(m.to_string(), "{1,4}");
+    }
+}

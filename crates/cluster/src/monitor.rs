@@ -1,0 +1,205 @@
+//! The resource-monitoring module (§2.2).
+//!
+//! "The resource monitoring is responsible for gathering statistics
+//! concerning the process nodes on which tasks may execute. ... Currently,
+//! only host availability is supported, where the resource monitor queries
+//! each known node every five minutes."
+//!
+//! The monitor owns an availability *plan* (failure injections scripted by
+//! tests or examples) and applies the portions of it that polling would
+//! have observed. Between polls a died node is still considered up —
+//! exactly the staleness the real system exhibits.
+
+use crate::resource::GridResource;
+use agentgrid_sim::{SimDuration, SimTime};
+
+/// A scripted availability change: node `node` of the monitored resource
+/// becomes `up` at time `at` (observed at the *next poll* after `at`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AvailabilityChange {
+    /// When the change physically happens.
+    pub at: SimTime,
+    /// Node index within the resource.
+    pub node: usize,
+    /// New state.
+    pub up: bool,
+}
+
+/// Periodic host-availability poller for one grid resource.
+#[derive(Clone, Debug)]
+pub struct ResourceMonitor {
+    period: SimDuration,
+    last_poll: Option<SimTime>,
+    plan: Vec<AvailabilityChange>,
+    applied: usize,
+}
+
+/// The paper's polling period: five minutes.
+pub const DEFAULT_POLL_PERIOD_S: u64 = 300;
+
+impl Default for ResourceMonitor {
+    fn default() -> Self {
+        Self::new(SimDuration::from_secs(DEFAULT_POLL_PERIOD_S))
+    }
+}
+
+impl ResourceMonitor {
+    /// A monitor polling with the given period.
+    pub fn new(period: SimDuration) -> ResourceMonitor {
+        ResourceMonitor {
+            period,
+            last_poll: None,
+            plan: Vec::new(),
+            applied: 0,
+        }
+    }
+
+    /// The polling period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// Change the polling period (takes effect from the next poll).
+    pub fn set_period(&mut self, period: SimDuration) {
+        self.period = period;
+    }
+
+    /// Script an availability change. Changes must be scripted in
+    /// chronological order.
+    pub fn inject(&mut self, change: AvailabilityChange) {
+        if let Some(last) = self.plan.last() {
+            assert!(
+                change.at >= last.at,
+                "availability changes must be injected in chronological order"
+            );
+        }
+        self.plan.push(change);
+    }
+
+    /// Whether a poll is due at `now`.
+    pub fn poll_due(&self, now: SimTime) -> bool {
+        match self.last_poll {
+            None => true,
+            Some(t) => now.saturating_since(t) >= self.period,
+        }
+    }
+
+    /// Perform a poll at `now`: apply every scripted change with
+    /// `change.at <= now` to the resource. Returns the number of changes
+    /// observed by this poll.
+    pub fn poll(&mut self, now: SimTime, resource: &mut GridResource) -> usize {
+        self.last_poll = Some(now);
+        let mut observed = 0;
+        while self.applied < self.plan.len() && self.plan[self.applied].at <= now {
+            let c = self.plan[self.applied];
+            resource.set_node_available(c.node, c.up);
+            self.applied += 1;
+            observed += 1;
+        }
+        observed
+    }
+
+    /// Next poll instant given the last poll (or `now` if never polled).
+    pub fn next_poll_at(&self, now: SimTime) -> SimTime {
+        match self.last_poll {
+            None => now,
+            Some(t) => t + self.period,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentgrid_pace::Platform;
+
+    fn resource() -> GridResource {
+        GridResource::new("S1", Platform::sun_ultra5(), 4)
+    }
+
+    #[test]
+    fn first_poll_is_always_due() {
+        let m = ResourceMonitor::default();
+        assert!(m.poll_due(SimTime::ZERO));
+        assert_eq!(m.period(), SimDuration::from_secs(300));
+    }
+
+    #[test]
+    fn polls_respect_period() {
+        let mut m = ResourceMonitor::new(SimDuration::from_secs(300));
+        let mut r = resource();
+        m.poll(SimTime::ZERO, &mut r);
+        assert!(!m.poll_due(SimTime::from_secs(299)));
+        assert!(m.poll_due(SimTime::from_secs(300)));
+        assert_eq!(m.next_poll_at(SimTime::ZERO), SimTime::from_secs(300));
+    }
+
+    #[test]
+    fn failure_observed_only_at_next_poll() {
+        let mut m = ResourceMonitor::new(SimDuration::from_secs(300));
+        let mut r = resource();
+        m.inject(AvailabilityChange {
+            at: SimTime::from_secs(100),
+            node: 1,
+            up: false,
+        });
+        m.poll(SimTime::ZERO, &mut r);
+        // The node has died at t=100 but no poll has seen it yet.
+        assert!(r.available_mask().contains(1));
+        let observed = m.poll(SimTime::from_secs(300), &mut r);
+        assert_eq!(observed, 1);
+        assert!(!r.available_mask().contains(1));
+    }
+
+    #[test]
+    fn recovery_is_observed_too() {
+        let mut m = ResourceMonitor::new(SimDuration::from_secs(10));
+        let mut r = resource();
+        m.inject(AvailabilityChange {
+            at: SimTime::from_secs(5),
+            node: 0,
+            up: false,
+        });
+        m.inject(AvailabilityChange {
+            at: SimTime::from_secs(15),
+            node: 0,
+            up: true,
+        });
+        m.poll(SimTime::from_secs(10), &mut r);
+        assert!(!r.available_mask().contains(0));
+        m.poll(SimTime::from_secs(20), &mut r);
+        assert!(r.available_mask().contains(0));
+    }
+
+    #[test]
+    fn one_poll_applies_all_pending_changes() {
+        let mut m = ResourceMonitor::new(SimDuration::from_secs(300));
+        let mut r = resource();
+        for node in 0..3 {
+            m.inject(AvailabilityChange {
+                at: SimTime::from_secs(node as u64 + 1),
+                node,
+                up: false,
+            });
+        }
+        let observed = m.poll(SimTime::from_secs(300), &mut r);
+        assert_eq!(observed, 3);
+        assert_eq!(r.available_mask().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "chronological")]
+    fn out_of_order_injection_panics() {
+        let mut m = ResourceMonitor::default();
+        m.inject(AvailabilityChange {
+            at: SimTime::from_secs(10),
+            node: 0,
+            up: false,
+        });
+        m.inject(AvailabilityChange {
+            at: SimTime::from_secs(5),
+            node: 1,
+            up: false,
+        });
+    }
+}

@@ -1,0 +1,253 @@
+//! The `agentgrid` command-line interface.
+//!
+//! ```text
+//! agentgrid table3 [--requests N] [--seed S]        # the paper's case study
+//! agentgrid run [--policy fifo|ga] [--agents] [--topology SPEC]
+//!               [--requests N] [--seed S] [--noise SIGMA] [--json]
+//! agentgrid topology SPEC                           # inspect a topology
+//! agentgrid models                                  # print the Table 1 catalogue
+//! ```
+//!
+//! Topology specs: `case-study` (default), `flat:<resources>:<nproc>`,
+//! `tree:<levels>:<branching>:<nproc>`.
+
+use agentgrid::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = Flags::parse(&args[1..]);
+    match (command.as_str(), flags) {
+        (_, Err(e)) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+        ("table3", Ok(flags)) => cmd_table3(&flags),
+        ("run", Ok(flags)) => cmd_run(&flags),
+        ("topology", Ok(flags)) => cmd_topology(&flags),
+        ("models", Ok(_)) => cmd_models(),
+        (other, Ok(_)) => {
+            eprintln!("error: unknown command `{other}`\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+agentgrid — agent-based grid load balancing (Cao et al., IPPS 2003)
+
+USAGE:
+  agentgrid table3   [--requests N] [--seed S] [--json]
+  agentgrid run      [--policy fifo|ga|batch] [--agents] [--topology SPEC]
+                     [--requests N] [--seed S] [--noise SIGMA] [--json]
+  agentgrid topology [--topology SPEC]
+  agentgrid models
+
+TOPOLOGY SPECS:
+  case-study              the paper's 12-resource grid (default)
+  flat:<n>:<nproc>        n identical resources under the first
+  tree:<levels>:<b>:<np>  complete b-ary agent tree";
+
+struct Flags {
+    requests: Option<usize>,
+    seed: u64,
+    policy: LocalPolicy,
+    agents: bool,
+    topology: String,
+    noise: f64,
+    json: bool,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut flags = Flags {
+            requests: None,
+            seed: 2003,
+            policy: LocalPolicy::Ga,
+            agents: false,
+            topology: "case-study".to_string(),
+            noise: 0.0,
+            json: false,
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg.as_str() {
+                "--requests" => {
+                    flags.requests =
+                        Some(value("--requests")?.parse().map_err(|e| format!("{e}"))?)
+                }
+                "--seed" => flags.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+                "--noise" => {
+                    flags.noise = value("--noise")?.parse().map_err(|e| format!("{e}"))?
+                }
+                "--topology" => flags.topology = value("--topology")?,
+                "--policy" => {
+                    flags.policy = match value("--policy")?.as_str() {
+                        "fifo" => LocalPolicy::Fifo,
+                        "ga" => LocalPolicy::Ga,
+                        "batch" => LocalPolicy::Batch,
+                        other => return Err(format!("unknown policy `{other}`")),
+                    }
+                }
+                "--agents" => flags.agents = true,
+                "--json" => flags.json = true,
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(flags)
+    }
+
+    fn topology(&self) -> Result<GridTopology, String> {
+        let parts: Vec<&str> = self.topology.split(':').collect();
+        match parts.as_slice() {
+            ["case-study"] => Ok(GridTopology::case_study()),
+            ["flat", n, nproc] => {
+                let n = n.parse().map_err(|e| format!("flat resources: {e}"))?;
+                let p = nproc.parse().map_err(|e| format!("flat nproc: {e}"))?;
+                Ok(GridTopology::flat(n, p))
+            }
+            ["tree", levels, branching, nproc] => {
+                let l = levels.parse().map_err(|e| format!("tree levels: {e}"))?;
+                let b = branching.parse().map_err(|e| format!("tree branching: {e}"))?;
+                let p = nproc.parse().map_err(|e| format!("tree nproc: {e}"))?;
+                Ok(GridTopology::tree(l, b, p))
+            }
+            _ => Err(format!("bad topology spec `{}`", self.topology)),
+        }
+    }
+
+    fn workload(&self, topology: &GridTopology, default_requests: usize) -> WorkloadConfig {
+        WorkloadConfig {
+            requests: self.requests.unwrap_or(default_requests),
+            interarrival: SimDuration::from_secs(1),
+            seed: self.seed,
+            agents: topology.names(),
+            environment: ExecEnv::Test,
+        }
+    }
+
+    fn options(&self) -> RunOptions {
+        let mut opts = RunOptions::paper();
+        if self.noise > 0.0 {
+            opts.noise = NoiseModel::LogNormal { sigma: self.noise };
+        }
+        opts
+    }
+}
+
+fn cmd_table3(flags: &Flags) -> ExitCode {
+    let topology = GridTopology::case_study();
+    let workload = flags.workload(&topology, 600);
+    let results = run_table3(&topology, &workload, &flags.options());
+    if flags.json {
+        println!("{}", results.to_json());
+    } else {
+        print!("{}", results.table3());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(flags: &Flags) -> ExitCode {
+    let topology = match flags.topology() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let workload = flags.workload(&topology, topology.resources.len() * 10);
+    let design = ExperimentDesign {
+        number: 0,
+        local_policy: flags.policy,
+        agents_enabled: flags.agents,
+    };
+    let result = run_experiment(&design, &topology, &workload, &flags.options());
+    if flags.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&result).expect("results serialise")
+        );
+        return ExitCode::SUCCESS;
+    }
+    println!("{}", design.label());
+    println!(
+        "{} tasks over {} resources, horizon {:.0}s",
+        result.total.tasks,
+        result.per_resource.len(),
+        result.horizon_s
+    );
+    for row in &result.per_resource {
+        println!(
+            "  {:<8} e {:>8.1}s  u {:>5.1}%  b {:>5.1}%  ({} tasks)",
+            row.name,
+            row.metrics.advance_s,
+            row.metrics.utilisation_pct,
+            row.metrics.balance_pct,
+            row.metrics.tasks
+        );
+    }
+    println!(
+        "  {:<8} e {:>8.1}s  u {:>5.1}%  b {:>5.1}%  ({}/{} deadlines met, {} migrations)",
+        "total",
+        result.total.advance_s,
+        result.total.utilisation_pct,
+        result.total.balance_pct,
+        result.total.deadlines_met,
+        result.total.tasks,
+        result.migrations
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_topology(flags: &Flags) -> ExitCode {
+    let topology = match flags.topology() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "{} resources, {} nodes",
+        topology.resources.len(),
+        topology.total_nodes()
+    );
+    for r in &topology.resources {
+        println!(
+            "  {:<8} {:<18} x{:<3} {}",
+            r.name,
+            r.platform.name,
+            r.nproc,
+            r.parent
+                .as_deref()
+                .map(|p| format!("under {p}"))
+                .unwrap_or_else(|| "HEAD".to_string())
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_models() -> ExitCode {
+    let catalog = Catalog::case_study();
+    let engine = PaceEngine::new();
+    let sgi = ResourceModel::new(Platform::sgi_origin2000(), 16).expect("16 nodes");
+    println!("{} case-study application models:", catalog.len());
+    for app in catalog.apps() {
+        let (k, t) = engine.best_time(app, &sgi);
+        let (lo, hi) = app.deadline_bounds_s;
+        println!(
+            "  {:<10} deadline [{lo:>4}, {hi:>4}]s  best {t:>4.0}s on {k:>2} reference nodes",
+            app.name
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,663 @@
+//! The whole-grid assembly: schedulers + agents + virtual time.
+//!
+//! [`GridSystem`] owns one [`SchedulerSystem`] per grid resource and the
+//! agent [`Hierarchy`] above them, and advances them through a
+//! discrete-event [`Simulation`]. Events are the paper's own vocabulary:
+//! request arrivals at agents, task completions at resources, periodic
+//! advertisement pulls between neighbouring agents, and resource-monitor
+//! polls.
+//!
+//! Agent-to-agent messaging is instantaneous in virtual time (the paper's
+//! LAN latencies are negligible against multi-second task runtimes); what
+//! is *not* instantaneous — and is the crux of the reproduced behaviour —
+//! is the staleness of advertised freetime between pulls.
+
+use agentgrid_agents::{
+    AdvertisementStrategy, DiscoveryDecision, Endpoint, FailurePolicy, Hierarchy, Portal,
+    RequestEnvelope, ServiceInfo,
+};
+use agentgrid_cluster::ExecEnv;
+use agentgrid_pace::{ApplicationModel, CachedEngine, Catalog, NoiseModel, Platform};
+use agentgrid_scheduler::{
+    GaConfig, PolicyConfig, SchedulerSystem, StartedTask, Task, TaskId,
+};
+use agentgrid_sim::{trace::TraceKind, RngStream, SimTime, Simulation, Trace};
+use agentgrid_workload::{GeneratedRequest, GridTopology, LocalPolicy};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// How a request is assigned to an executing resource.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Execute at the agent the request reached (experiments 1–2).
+    Local,
+    /// §3 agent-based service discovery (experiment 3).
+    Discovery,
+    /// Blind uniform-random placement — an ablation baseline that
+    /// spreads load without any performance knowledge.
+    Random,
+    /// Round-robin placement — an ablation baseline that spreads load
+    /// evenly by count, ignoring heterogeneity and backlog.
+    RoundRobin,
+}
+
+/// Everything that configures a grid run beyond the topology and the
+/// application catalogue.
+#[derive(Clone, Debug)]
+pub struct GridConfig {
+    /// Local scheduling algorithm (Table 2's FIFO / GA column).
+    pub policy: LocalPolicy,
+    /// GA tuning (ignored under FIFO).
+    pub ga: GaConfig,
+    /// How requests are assigned to resources. Table 2's "agent-based
+    /// service discovery" column toggles between [`DispatchMode::Local`]
+    /// and [`DispatchMode::Discovery`]; the blind modes are ablation
+    /// baselines beyond the paper.
+    pub dispatch: DispatchMode,
+    /// What the hierarchy head does when discovery fails.
+    pub failure_policy: FailurePolicy,
+    /// How service information propagates: the paper's 10-second
+    /// periodic pull, or event-driven push on freetime movement.
+    pub advertisement: AdvertisementStrategy,
+    /// Master seed for every random stream in the run.
+    pub seed: u64,
+    /// Record a full event trace.
+    pub trace: bool,
+    /// Prediction-error model for actual task durations (future-work
+    /// accuracy experiments; `Exact` reproduces the paper's test mode).
+    pub noise: NoiseModel,
+    /// Gossip: advertisement also carries the sender's capability table,
+    /// so service information propagates through the hierarchy and every
+    /// agent eventually knows every resource ("each agent maintains a
+    /// set of service information for the other agents in the system").
+    /// Off by default: discovery then sees neighbours only, the paper's
+    /// §3.1 letter.
+    pub gossip: bool,
+}
+
+impl GridConfig {
+    /// Paper defaults for the given design axes.
+    pub fn new(policy: LocalPolicy, agents_enabled: bool, seed: u64) -> GridConfig {
+        GridConfig {
+            policy,
+            ga: GaConfig::default(),
+            dispatch: if agents_enabled {
+                DispatchMode::Discovery
+            } else {
+                DispatchMode::Local
+            },
+            failure_policy: FailurePolicy::BestEffort,
+            advertisement: AdvertisementStrategy::default(),
+            seed,
+            trace: false,
+            noise: NoiseModel::Exact,
+            gossip: false,
+        }
+    }
+}
+
+/// The event alphabet of a grid run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GridEvent {
+    /// The `i`-th workload request reaches its target agent.
+    Request(usize),
+    /// A running task's (predicted, exact in test mode) completion.
+    TaskComplete {
+        /// Resource executing the task.
+        resource: String,
+        /// The task.
+        id: TaskId,
+    },
+    /// An agent pulls service info from all its neighbours.
+    AdvertisementPull {
+        /// The pulling agent.
+        agent: String,
+    },
+    /// A resource monitor polls host availability.
+    MonitorPoll {
+        /// The polled resource.
+        resource: String,
+    },
+}
+
+/// A grid of resources, their schedulers, and the agent hierarchy.
+pub struct GridSystem {
+    schedulers: BTreeMap<String, SchedulerSystem>,
+    hierarchy: Hierarchy,
+    dispatch: DispatchMode,
+    rr_counter: usize,
+    platforms: Vec<Platform>,
+    apps: BTreeMap<String, Arc<ApplicationModel>>,
+    engine: Arc<CachedEngine>,
+    requests: Vec<GeneratedRequest>,
+    remaining_requests: usize,
+    advertisement: AdvertisementStrategy,
+    gossip: bool,
+    /// Freetime advertised at the last push, per resource (push mode).
+    last_advertised: BTreeMap<String, SimTime>,
+    monitor_polls_enabled: bool,
+    portal: Portal,
+    next_task: u64,
+    origins: BTreeMap<u64, String>,
+    executors: BTreeMap<u64, String>,
+    rejected: usize,
+    pull_messages: u64,
+    discovery_hops: u64,
+    trace: Trace,
+}
+
+impl GridSystem {
+    /// Assemble a grid over `topology` and `catalog` under `config`.
+    pub fn new(topology: &GridTopology, catalog: &Catalog, config: &GridConfig) -> GridSystem {
+        let engine = Arc::new(CachedEngine::new());
+        let root = RngStream::root(config.seed);
+
+        let mut schedulers = BTreeMap::new();
+        for spec in &topology.resources {
+            let resource = agentgrid_cluster::GridResource::new(
+                &spec.name,
+                spec.platform.clone(),
+                spec.nproc,
+            );
+            let policy_cfg = match config.policy {
+                LocalPolicy::Fifo => PolicyConfig::Fifo,
+                LocalPolicy::Ga => PolicyConfig::Ga(config.ga),
+                LocalPolicy::Batch => {
+                    PolicyConfig::Batch(agentgrid_scheduler::BatchConfig::default())
+                }
+            };
+            let rng = root.derive(&format!("ga/{}", spec.name));
+            let mut scheduler =
+                SchedulerSystem::new(resource, policy_cfg, Arc::clone(&engine), rng);
+            scheduler.set_noise(config.noise);
+            schedulers.insert(spec.name.clone(), scheduler);
+        }
+
+        let pairs: Vec<(String, Option<String>)> = topology.parent_pairs();
+        let pairs_ref: Vec<(&str, Option<&str>)> = pairs
+            .iter()
+            .map(|(n, p)| (n.as_str(), p.as_deref()))
+            .collect();
+        let mut hierarchy =
+            Hierarchy::from_parents(&pairs_ref).expect("topology forms a valid hierarchy");
+        for name in topology.names() {
+            let agent = hierarchy.get(&name).expect("agent exists").clone();
+            *hierarchy.get_mut(&name).expect("agent exists") =
+                agent.with_policy(config.failure_policy);
+        }
+
+        let mut platforms: Vec<Platform> = Vec::new();
+        for spec in &topology.resources {
+            if !platforms.iter().any(|p| p.name == spec.platform.name) {
+                platforms.push(spec.platform.clone());
+            }
+        }
+
+        let apps = catalog
+            .apps()
+            .iter()
+            .map(|a| (a.name.clone(), Arc::new(a.clone())))
+            .collect();
+
+        GridSystem {
+            schedulers,
+            hierarchy,
+            dispatch: config.dispatch,
+            rr_counter: 0,
+            platforms,
+            apps,
+            engine,
+            requests: Vec::new(),
+            remaining_requests: 0,
+            advertisement: config.advertisement,
+            gossip: config.gossip,
+            last_advertised: BTreeMap::new(),
+            monitor_polls_enabled: false,
+            portal: Portal::new("user@grid.example.org"),
+            next_task: 0,
+            origins: BTreeMap::new(),
+            executors: BTreeMap::new(),
+            rejected: 0,
+            pull_messages: 0,
+            discovery_hops: 0,
+            trace: if config.trace {
+                Trace::enabled()
+            } else {
+                Trace::disabled()
+            },
+        }
+    }
+
+    /// Enable periodic resource-monitor polls (5-minute default inside
+    /// each scheduler). Off by default: the case study injects no
+    /// failures, and polls only add events.
+    pub fn enable_monitor_polls(&mut self) {
+        self.monitor_polls_enabled = true;
+    }
+
+    /// Load the workload and schedule all bootstrap events: one
+    /// [`GridEvent::Request`] per generated request, plus the initial
+    /// advertisement pulls (and monitor polls if enabled).
+    pub fn bootstrap(&mut self, sim: &mut Simulation<GridEvent>, requests: Vec<GeneratedRequest>) {
+        self.remaining_requests = requests.len();
+        for (i, r) in requests.iter().enumerate() {
+            sim.schedule(r.at, GridEvent::Request(i));
+        }
+        self.requests = requests;
+        if self.dispatch == DispatchMode::Discovery {
+            match self.advertisement {
+                AdvertisementStrategy::PeriodicPull { .. } => {
+                    for name in self.hierarchy.names() {
+                        sim.schedule(
+                            SimTime::ZERO,
+                            GridEvent::AdvertisementPull {
+                                agent: name.to_string(),
+                            },
+                        );
+                    }
+                }
+                AdvertisementStrategy::EventPush { .. } => {
+                    // Seed every ACT once, then rely on pushes.
+                    let names: Vec<String> =
+                        self.hierarchy.names().map(str::to_string).collect();
+                    for name in &names {
+                        self.push_from(name, SimTime::ZERO);
+                    }
+                }
+            }
+        }
+        if self.monitor_polls_enabled {
+            for name in self.schedulers.keys() {
+                sim.schedule(
+                    SimTime::ZERO,
+                    GridEvent::MonitorPoll {
+                        resource: name.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Handle one event, scheduling any follow-ups.
+    pub fn handle(&mut self, sim: &mut Simulation<GridEvent>, event: GridEvent) {
+        let now = sim.now();
+        match event {
+            GridEvent::Request(i) => {
+                self.remaining_requests = self.remaining_requests.saturating_sub(1);
+                let req = self.requests[i].clone();
+                self.trace.record(
+                    now,
+                    TraceKind::RequestArrival,
+                    &req.agent,
+                    format!("{} deadline {}", req.application, req.deadline),
+                );
+                if let Some((executor, task)) = self.route(&req, now) {
+                    self.submit_to(sim, &executor, task, now);
+                    self.maybe_push(&executor, now);
+                }
+            }
+            GridEvent::TaskComplete { resource, id } => {
+                self.trace
+                    .record(now, TraceKind::TaskComplete, &resource, format!("{id}"));
+                let started = self
+                    .schedulers
+                    .get_mut(&resource)
+                    .expect("completion for a known resource")
+                    .on_task_complete(id, now);
+                self.schedule_started(sim, &resource, &started);
+                self.maybe_push(&resource, now);
+            }
+            GridEvent::AdvertisementPull { agent } => {
+                self.pull(&agent, now);
+                if let AdvertisementStrategy::PeriodicPull { period } = self.advertisement {
+                    if self.work_remains() {
+                        sim.schedule_in(period, GridEvent::AdvertisementPull { agent });
+                    }
+                }
+            }
+            GridEvent::MonitorPoll { resource } => {
+                let (started, period) = {
+                    let s = self
+                        .schedulers
+                        .get_mut(&resource)
+                        .expect("poll for a known resource");
+                    let period = s.monitor_mut().period();
+                    (s.on_monitor_poll(now), period)
+                };
+                self.schedule_started(sim, &resource, &started);
+                if self.work_remains() {
+                    sim.schedule_in(period, GridEvent::MonitorPoll { resource });
+                }
+            }
+        }
+    }
+
+    /// Decide where a request executes. Without agents: at the agent it
+    /// reached. With agents: run the §3.2 discovery walk.
+    fn route(&mut self, req: &GeneratedRequest, now: SimTime) -> Option<(String, Task)> {
+        let app = match self.apps.get(&req.application) {
+            Some(a) => Arc::clone(a),
+            None => {
+                self.rejected += 1;
+                self.trace.record(
+                    now,
+                    TraceKind::Discovery,
+                    &req.agent,
+                    format!("unknown application {}", req.application),
+                );
+                return None;
+            }
+        };
+        let id = TaskId(self.next_task);
+        self.next_task += 1;
+        let task = Task::new(id, app.clone(), now, req.deadline, req.environment);
+        self.origins.insert(id.0, req.agent.clone());
+
+        match self.dispatch {
+            DispatchMode::Local => return Some((req.agent.clone(), task)),
+            DispatchMode::Random => {
+                // Deterministic per-task pseudo-random pick over the
+                // resources (seed-independent of the GA streams).
+                let names: Vec<&String> = self.schedulers.keys().collect();
+                let pick = split_mix(id.0) as usize % names.len();
+                return Some((names[pick].clone(), task));
+            }
+            DispatchMode::RoundRobin => {
+                let names: Vec<&String> = self.schedulers.keys().collect();
+                let pick = self.rr_counter % names.len();
+                self.rr_counter += 1;
+                return Some((names[pick].clone(), task));
+            }
+            DispatchMode::Discovery => {}
+        }
+
+        let mut envelope = RequestEnvelope::new(self.portal.request(
+            &req.application,
+            req.environment,
+            req.deadline,
+        ));
+        let mut current = req.agent.clone();
+        loop {
+            let local = self.service_info(&current, now);
+            let agent = self
+                .hierarchy
+                .get(&current)
+                .expect("request routed to a known agent");
+            let decision = agent.decide(&envelope, &app, &local, now, &self.platforms, &self.engine);
+            match decision {
+                DiscoveryDecision::ExecuteLocally { .. } => {
+                    self.trace.record(
+                        now,
+                        TraceKind::Discovery,
+                        &current,
+                        format!("{id} executes locally after {} hops", envelope.hops),
+                    );
+                    self.discovery_hops += envelope.hops as u64;
+                    return Some((current, task));
+                }
+                DiscoveryDecision::Dispatch { to, .. } => {
+                    self.trace.record(
+                        now,
+                        TraceKind::Discovery,
+                        &current,
+                        format!("{id} dispatched to {to}"),
+                    );
+                    envelope.visit(&current);
+                    envelope.hops += 1;
+                    current = to;
+                }
+                DiscoveryDecision::Escalate { to } => {
+                    self.trace.record(
+                        now,
+                        TraceKind::Discovery,
+                        &current,
+                        format!("{id} escalated to {to}"),
+                    );
+                    envelope.visit(&current);
+                    envelope.hops += 1;
+                    current = to;
+                }
+                DiscoveryDecision::Reject => {
+                    self.rejected += 1;
+                    self.origins.remove(&id.0);
+                    self.trace.record(
+                        now,
+                        TraceKind::Discovery,
+                        &current,
+                        format!("{id} rejected: no available service"),
+                    );
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Submit a task to a resource's scheduler and schedule completions
+    /// for whatever started.
+    fn submit_to(&mut self, sim: &mut Simulation<GridEvent>, resource: &str, task: Task, now: SimTime) {
+        let id = task.id;
+        self.executors.insert(id.0, resource.to_string());
+        self.trace
+            .record(now, TraceKind::Enqueue, resource, format!("{id}"));
+        let started = match self
+            .schedulers
+            .get_mut(resource)
+            .expect("submission to a known resource")
+            .submit(task, now)
+        {
+            Ok(s) => s,
+            Err(e) => {
+                self.rejected += 1;
+                self.trace
+                    .record(now, TraceKind::Discovery, resource, format!("{id}: {e}"));
+                return;
+            }
+        };
+        self.schedule_started(sim, resource, &started);
+    }
+
+    fn schedule_started(
+        &mut self,
+        sim: &mut Simulation<GridEvent>,
+        resource: &str,
+        started: &[StartedTask],
+    ) {
+        for s in started {
+            self.trace.record(
+                s.start,
+                TraceKind::TaskStart,
+                resource,
+                format!("{} on {}", s.id, s.mask),
+            );
+            sim.schedule(
+                s.completion,
+                GridEvent::TaskComplete {
+                    resource: resource.to_string(),
+                    id: s.id,
+                },
+            );
+        }
+    }
+
+    /// One agent pulls live service info from all its neighbours
+    /// (§3.2's ten-second refresh).
+    fn pull(&mut self, agent_name: &str, now: SimTime) {
+        let Some(agent) = self.hierarchy.get(agent_name) else {
+            return;
+        };
+        let neighbours: Vec<String> = agent.neighbours().map(str::to_string).collect();
+        for n in neighbours {
+            let info = self.service_info(&n, now);
+            self.pull_messages += 1;
+            self.trace.record(
+                now,
+                TraceKind::Advertisement,
+                agent_name,
+                format!("pulled {n} freetime={}", info.freetime),
+            );
+            // Under gossip a pull also carries the neighbour's table, so
+            // knowledge of distant resources ripples through the tree.
+            let gossiped = if self.gossip {
+                self.hierarchy.get(&n).map(|a| a.act().clone())
+            } else {
+                None
+            };
+            let me = self
+                .hierarchy
+                .get_mut(agent_name)
+                .expect("agent exists");
+            me.update_act(&n, info, now);
+            if let Some(table) = gossiped {
+                me.merge_act(&table);
+            }
+        }
+    }
+
+    /// Push one resource's live service info to all its neighbours
+    /// (event-driven advertisement).
+    fn push_from(&mut self, agent_name: &str, now: SimTime) {
+        let Some(agent) = self.hierarchy.get(agent_name) else {
+            return;
+        };
+        let neighbours: Vec<String> = agent.neighbours().map(str::to_string).collect();
+        let info = self.service_info(agent_name, now);
+        self.last_advertised
+            .insert(agent_name.to_string(), info.freetime);
+        for n in neighbours {
+            self.pull_messages += 1;
+            self.trace.record(
+                now,
+                TraceKind::Advertisement,
+                agent_name,
+                format!("pushed freetime={} to {n}", info.freetime),
+            );
+            self.hierarchy
+                .get_mut(&n)
+                .expect("neighbour exists")
+                .update_act(agent_name, info.clone(), now);
+        }
+    }
+
+    /// In push mode: advertise `resource` if its freetime moved past the
+    /// strategy threshold since the last push.
+    fn maybe_push(&mut self, resource: &str, now: SimTime) {
+        if self.dispatch != DispatchMode::Discovery {
+            return;
+        }
+        let AdvertisementStrategy::EventPush { .. } = self.advertisement else {
+            return;
+        };
+        let current = self
+            .schedulers
+            .get(resource)
+            .map(|s| s.freetime(now))
+            .unwrap_or(now);
+        let last = self
+            .last_advertised
+            .get(resource)
+            .copied()
+            .unwrap_or(SimTime::ZERO);
+        if self.advertisement.push_due(last, current) {
+            self.push_from(resource, now);
+        }
+    }
+
+    /// Live service information of one resource (Fig. 5 content).
+    pub fn service_info(&self, name: &str, now: SimTime) -> ServiceInfo {
+        let s = self.schedulers.get(name).expect("known resource");
+        let host = format!("{}.grid.example.org", name.to_lowercase());
+        ServiceInfo {
+            agent: Endpoint::new(&host, 1000),
+            local: Endpoint::new(&host, 10000),
+            machine_type: s.resource().model().platform.name.clone(),
+            nproc: s.resource().nproc(),
+            environments: s.supported_envs().to_vec(),
+            freetime: s.freetime(now),
+        }
+    }
+
+    /// Whether any requests are outstanding or any scheduler still has
+    /// queued/running work (periodic events stop rescheduling once this
+    /// turns false, which ends the run).
+    pub fn work_remains(&self) -> bool {
+        self.remaining_requests > 0
+            || self
+                .schedulers
+                .values()
+                .any(|s| s.queue_len() > 0 || s.running_len() > 0)
+    }
+
+    /// The schedulers by resource name.
+    pub fn schedulers(&self) -> &BTreeMap<String, SchedulerSystem> {
+        &self.schedulers
+    }
+
+    /// The agent hierarchy.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Mutable access to one scheduler (failure injection in examples).
+    pub fn scheduler_mut(&mut self, name: &str) -> Option<&mut SchedulerSystem> {
+        self.schedulers.get_mut(name)
+    }
+
+    /// The shared evaluation cache.
+    pub fn engine(&self) -> &Arc<CachedEngine> {
+        &self.engine
+    }
+
+    /// The latest completion instant across the grid (the observation
+    /// horizon for metrics); zero when nothing ran.
+    pub fn horizon(&self) -> SimTime {
+        self.schedulers
+            .values()
+            .flat_map(|s| s.completed().iter().map(|c| c.completion))
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Tasks that executed on a different resource than the agent they
+    /// were submitted to (the agent layer's redistribution).
+    pub fn migrations(&self) -> usize {
+        self.executors
+            .iter()
+            .filter(|(id, exec)| self.origins.get(*id).is_some_and(|o| o != *exec))
+            .count()
+    }
+
+    /// Requests that could not be placed anywhere.
+    pub fn rejected(&self) -> usize {
+        self.rejected
+    }
+
+    /// Advertisement messages exchanged.
+    pub fn pull_messages(&self) -> u64 {
+        self.pull_messages
+    }
+
+    /// Total agent-to-agent hops taken by placed requests (0 when the
+    /// submission agent executed directly).
+    pub fn discovery_hops(&self) -> u64 {
+        self.discovery_hops
+    }
+
+    /// The event trace (empty unless tracing was enabled).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Which environments the workload may request (constant here, but
+    /// part of the Fig. 5 surface).
+    pub fn environments() -> [ExecEnv; 3] {
+        [ExecEnv::Mpi, ExecEnv::Pvm, ExecEnv::Test]
+    }
+}
+
+/// SplitMix64 finaliser: a stateless, platform-stable hash used for the
+/// blind random dispatch baseline.
+fn split_mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}

@@ -1,0 +1,74 @@
+#![warn(missing_docs)]
+
+//! **agentgrid** — a full-system reproduction of *"Agent-Based Grid Load
+//! Balancing Using Performance-Driven Task Scheduling"* (Cao, Spooner,
+//! Jarvis, Saini, Nudd; IPPS 2003).
+//!
+//! The paper couples two mechanisms:
+//!
+//! 1. a **performance-driven local scheduler** per grid resource — a
+//!    genetic algorithm over a two-part coding scheme (task ordering +
+//!    node-set mapping), minimising makespan, front-weighted idle time and
+//!    deadline-contract penalty, with every execution-time figure coming
+//!    from a PACE-style prediction engine behind a demand-driven cache;
+//! 2. an **agent hierarchy** over the resources — service advertisement
+//!    (periodic pull of freetime estimates) and service discovery
+//!    (local-first matchmaking, dispatch to the best-matching neighbour,
+//!    escalation to the upper agent) for coarse-grained global balancing.
+//!
+//! This crate is the façade: [`GridSystem`] wires the substrate crates
+//! into a runnable grid, and [`experiment`] reproduces the paper's case
+//! study (Tables 1–3, Figs. 8–10).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use agentgrid::prelude::*;
+//!
+//! // A 3-resource grid, GA scheduling + agent discovery, 30 requests.
+//! let topology = GridTopology::flat(3, 4);
+//! let design = ExperimentDesign::experiment3();
+//! let workload = WorkloadConfig {
+//!     requests: 30,
+//!     interarrival: SimDuration::from_secs(1),
+//!     seed: 7,
+//!     agents: topology.names(),
+//!     environment: ExecEnv::Test,
+//! };
+//! let result = run_experiment(&design, &topology, &workload, &RunOptions::fast());
+//! assert_eq!(result.total.tasks, 30);
+//! println!("grid utilisation: {:.0}%", result.total.utilisation_pct);
+//! ```
+
+pub mod experiment;
+pub mod grid;
+pub mod result;
+
+pub use experiment::{run_experiment, run_table3, run_table3_parallel, RunOptions};
+pub use grid::{DispatchMode, GridConfig, GridEvent, GridSystem};
+pub use result::{CaseStudyResults, ExperimentResult, ResourceRow};
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use crate::experiment::{run_experiment, run_table3, run_table3_parallel, RunOptions};
+    pub use crate::grid::{DispatchMode, GridConfig, GridEvent, GridSystem};
+    pub use crate::result::{CaseStudyResults, ExperimentResult, ResourceRow};
+    pub use agentgrid_agents::{
+        Act, Agent, DiscoveryDecision, FailurePolicy, Hierarchy, Portal, RequestEnvelope,
+        RequestInfo, ServiceInfo,
+    };
+    pub use agentgrid_cluster::{ExecEnv, GridResource, NodeMask};
+    pub use agentgrid_metrics::{compute, compute_grid, MetricsReport, ResourceStats};
+    pub use agentgrid_pace::{
+        AnalyticModel, AppId, ApplicationModel, CachedEngine, Catalog, ModelCurve, NoiseModel,
+        PaceEngine, Platform, ResourceModel, TabulatedModel,
+    };
+    pub use agentgrid_scheduler::{
+        CostWeights, GaConfig, GaScheduler, PolicyConfig, SchedulerSystem, Task, TaskId,
+    };
+    pub use agentgrid_sim::{RngStream, SimDuration, SimTime, Simulation};
+    pub use agentgrid_workload::{
+        ArrivalPattern, ExperimentDesign, GeneratedRequest, GridTopology, LocalPolicy,
+        ResourceSpec, WorkloadConfig,
+    };
+}

@@ -1,0 +1,237 @@
+//! Experiment results in the paper's reporting shape (Table 3, Figs.
+//! 8–10).
+
+use agentgrid_metrics::MetricsReport;
+use agentgrid_workload::ExperimentDesign;
+use serde::{Deserialize, Serialize};
+
+/// One per-agent row of Table 3 for one experiment.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResourceRow {
+    /// Agent/resource name.
+    pub name: String,
+    /// ε / υ / β for this resource.
+    pub metrics: MetricsReport,
+}
+
+/// The outcome of one experiment run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Which Table 2 row was run.
+    pub design: ExperimentDesign,
+    /// Per-resource metrics in topology order.
+    pub per_resource: Vec<ResourceRow>,
+    /// The pooled "Total" row.
+    pub total: MetricsReport,
+    /// Observation horizon in seconds (latest completion).
+    pub horizon_s: f64,
+    /// Requests generated.
+    pub requests: usize,
+    /// Requests that could not be placed.
+    pub rejected: usize,
+    /// Tasks that executed away from their submission agent.
+    pub migrations: usize,
+    /// Advertisement messages exchanged.
+    pub pull_messages: u64,
+    /// Evaluation-cache hit ratio over the whole run.
+    pub cache_hit_ratio: f64,
+}
+
+impl ExperimentResult {
+    /// Metrics of one resource by name.
+    pub fn resource(&self, name: &str) -> Option<&MetricsReport> {
+        self.per_resource
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| &r.metrics)
+    }
+}
+
+/// All three experiments over the identical workload — the full case
+/// study.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CaseStudyResults {
+    /// Results in experiment order (1, 2, 3).
+    pub experiments: Vec<ExperimentResult>,
+}
+
+/// Which metric a figure plots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FigureMetric {
+    /// Fig. 8: ε (s).
+    AdvanceTime,
+    /// Fig. 9: υ (%).
+    Utilisation,
+    /// Fig. 10: β (%).
+    Balance,
+}
+
+impl CaseStudyResults {
+    /// Render the paper's Table 3: per-agent ε/υ/β for each experiment
+    /// plus the Total row.
+    pub fn table3(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<8}", "Agent"));
+        for r in &self.experiments {
+            out.push_str(&format!(
+                "| Exp {}: e(s)    u(%)    b(%) ",
+                r.design.number
+            ));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(8 + 30 * self.experiments.len()));
+        out.push('\n');
+
+        let names: Vec<String> = self
+            .experiments
+            .first()
+            .map(|e| e.per_resource.iter().map(|r| r.name.clone()).collect())
+            .unwrap_or_default();
+        for name in &names {
+            out.push_str(&format!("{name:<8}"));
+            for e in &self.experiments {
+                let m = e.resource(name).expect("same resources per experiment");
+                out.push_str(&format!(
+                    "| {:>10.0} {:>7.0} {:>7.0} ",
+                    m.advance_s, m.utilisation_pct, m.balance_pct
+                ));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("{:<8}", "Total"));
+        for e in &self.experiments {
+            out.push_str(&format!(
+                "| {:>10.0} {:>7.0} {:>7.0} ",
+                e.total.advance_s, e.total.utilisation_pct, e.total.balance_pct
+            ));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// The Fig. 8/9/10 series: for each resource (and "Total"), the metric
+    /// value at experiment 1, 2, 3.
+    pub fn figure_series(&self, metric: FigureMetric) -> Vec<(String, Vec<f64>)> {
+        let pick = |m: &MetricsReport| match metric {
+            FigureMetric::AdvanceTime => m.advance_s,
+            FigureMetric::Utilisation => m.utilisation_pct,
+            FigureMetric::Balance => m.balance_pct,
+        };
+        let mut series: Vec<(String, Vec<f64>)> = Vec::new();
+        if let Some(first) = self.experiments.first() {
+            for row in &first.per_resource {
+                let values = self
+                    .experiments
+                    .iter()
+                    .map(|e| pick(e.resource(&row.name).expect("stable resource set")))
+                    .collect();
+                series.push((row.name.clone(), values));
+            }
+        }
+        series.push((
+            "Total".to_string(),
+            self.experiments.iter().map(|e| pick(&e.total)).collect(),
+        ));
+        series
+    }
+
+    /// Serialise to pretty JSON (for EXPERIMENTS.md bookkeeping).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("results serialise")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(e: f64, u: f64, b: f64) -> MetricsReport {
+        MetricsReport {
+            advance_s: e,
+            utilisation_pct: u,
+            balance_pct: b,
+            tasks: 10,
+            deadlines_met: 6,
+        }
+    }
+
+    fn result(number: u32, e: f64) -> ExperimentResult {
+        ExperimentResult {
+            design: ExperimentDesign {
+                number,
+                local_policy: agentgrid_workload::LocalPolicy::Ga,
+                agents_enabled: number == 3,
+            },
+            per_resource: vec![
+                ResourceRow {
+                    name: "S1".into(),
+                    metrics: metrics(e, 50.0, 80.0),
+                },
+                ResourceRow {
+                    name: "S2".into(),
+                    metrics: metrics(e - 1.0, 40.0, 70.0),
+                },
+            ],
+            total: metrics(e - 0.5, 45.0, 60.0),
+            horizon_s: 1000.0,
+            requests: 20,
+            rejected: 0,
+            migrations: 5,
+            pull_messages: 100,
+            cache_hit_ratio: 0.9,
+        }
+    }
+
+    fn case_study() -> CaseStudyResults {
+        CaseStudyResults {
+            experiments: vec![result(1, -100.0), result(2, -50.0), result(3, 10.0)],
+        }
+    }
+
+    #[test]
+    fn table3_contains_all_rows_and_totals() {
+        let t = case_study().table3();
+        assert!(t.contains("S1"));
+        assert!(t.contains("S2"));
+        assert!(t.contains("Total"));
+        assert!(t.contains("Exp 1"));
+        assert!(t.contains("Exp 3"));
+    }
+
+    #[test]
+    fn figure_series_has_one_point_per_experiment() {
+        let cs = case_study();
+        let series = cs.figure_series(FigureMetric::AdvanceTime);
+        assert_eq!(series.len(), 3); // S1, S2, Total
+        let (name, values) = &series[0];
+        assert_eq!(name, "S1");
+        assert_eq!(values, &vec![-100.0, -50.0, 10.0]);
+        let total = series.last().unwrap();
+        assert_eq!(total.0, "Total");
+        assert_eq!(total.1, vec![-100.5, -50.5, 9.5]);
+    }
+
+    #[test]
+    fn figure_metric_selector_picks_the_right_field() {
+        let cs = case_study();
+        let u = cs.figure_series(FigureMetric::Utilisation);
+        assert_eq!(u[0].1, vec![50.0, 50.0, 50.0]);
+        let b = cs.figure_series(FigureMetric::Balance);
+        assert_eq!(b[0].1, vec![80.0, 80.0, 80.0]);
+    }
+
+    #[test]
+    fn resource_lookup() {
+        let r = result(1, 0.0);
+        assert!(r.resource("S1").is_some());
+        assert!(r.resource("S9").is_none());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let cs = case_study();
+        let json = cs.to_json();
+        let back: CaseStudyResults = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cs);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! The three performance metrics of paper §3.3.
+//!
+//! Over a period `t`, `M` tasks are scheduled onto `N` processing nodes.
+//! The paper characterises grid load balancing with:
+//!
+//! * **ε** — average advance time of application execution completion
+//!   (eq. 11): `ε = Σⱼ (δⱼ − ηⱼ) / M`, "negative when most deadlines
+//!   fail";
+//! * **υ** — resource utilisation: per node `υᵢ = Σ busy time / t` (eq.
+//!   12), averaged to `ῡ` (eq. 13);
+//! * **β** — load-balancing level (eqs. 14–15): `β = (1 − d/ῡ)·100%` where
+//!   `d` is the mean-square deviation of the `υᵢ` — 100 % when every node
+//!   is equally busy.
+//!
+//! [`ResourceStats`] gathers the raw ingredients from a finished run (the
+//! allocation logs and completed-task records); [`compute`] and
+//! [`compute_grid`] apply the formulas per resource and across the pooled
+//! grid (the paper's "Total" row).
+
+pub mod report;
+pub mod stats;
+pub mod timeseries;
+
+pub use report::{compute, compute_grid, jain_index, jain_of, MetricsReport};
+pub use stats::ResourceStats;
+pub use timeseries::{concurrency_series, utilisation_series, Window};

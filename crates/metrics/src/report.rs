@@ -1,0 +1,251 @@
+//! Applying eqs. 11–15 to gathered statistics.
+
+use crate::stats::ResourceStats;
+use serde::{Deserialize, Serialize};
+
+/// One Table 3 cell triple: ε (s), υ (%), β (%).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// ε — average advance of completion over deadline, seconds (eq. 11).
+    /// Negative when most deadlines fail.
+    pub advance_s: f64,
+    /// ῡ — average resource utilisation, percent (eqs. 12–13).
+    pub utilisation_pct: f64,
+    /// β — load-balancing level, percent (eqs. 14–15).
+    pub balance_pct: f64,
+    /// M — number of completed tasks observed.
+    pub tasks: usize,
+    /// Tasks whose deadline was met (advance ≥ 0).
+    pub deadlines_met: usize,
+}
+
+fn met(advances: &[f64]) -> usize {
+    advances.iter().filter(|a| **a >= 0.0).count()
+}
+
+fn epsilon(advances: &[f64]) -> f64 {
+    if advances.is_empty() {
+        0.0
+    } else {
+        advances.iter().sum::<f64>() / advances.len() as f64
+    }
+}
+
+/// Utilisations per node in `[0, 1]`.
+fn utilisations(node_busy_s: &[f64], horizon_s: f64) -> Vec<f64> {
+    debug_assert!(horizon_s > 0.0, "observation window must be positive");
+    node_busy_s
+        .iter()
+        .map(|b| (b / horizon_s).clamp(0.0, 1.0))
+        .collect()
+}
+
+/// `(ῡ, β)` from per-node utilisations. When no node did any work the
+/// deviation `d` is 0 and we define β = 100 % (all nodes equally — if
+/// vacuously — loaded); β is clamped to `[0, 100]` since `d` can exceed
+/// `ῡ` on extremely skewed loads.
+fn mean_and_balance(utils: &[f64]) -> (f64, f64) {
+    if utils.is_empty() {
+        return (0.0, 100.0);
+    }
+    let n = utils.len() as f64;
+    let mean = utils.iter().sum::<f64>() / n;
+    if mean <= 0.0 {
+        return (0.0, 100.0);
+    }
+    let d = (utils.iter().map(|u| (u - mean).powi(2)).sum::<f64>() / n).sqrt();
+    let beta = ((1.0 - d / mean) * 100.0).clamp(0.0, 100.0);
+    (mean, beta)
+}
+
+/// Jain's fairness index over per-node utilisations:
+/// `J = (Συᵢ)² / (N·Συᵢ²)`, in `[1/N, 1]` — an alternative dispersion
+/// measure to the paper's β, provided for cross-checking (the two agree
+/// on ordering; β is more sensitive near perfect balance). An all-idle
+/// population is defined as perfectly fair (1.0).
+pub fn jain_index(utils: &[f64]) -> f64 {
+    if utils.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = utils.iter().sum();
+    let sumsq: f64 = utils.iter().map(|u| u * u).sum();
+    if sumsq <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (utils.len() as f64 * sumsq)
+}
+
+/// Jain's fairness index for one resource over a window (see
+/// [`jain_index`]).
+pub fn jain_of(stats: &ResourceStats, horizon_s: f64) -> f64 {
+    jain_index(&utilisations(&stats.node_busy_s, horizon_s))
+}
+
+/// Metrics for one resource over a window of `horizon_s` seconds.
+pub fn compute(stats: &ResourceStats, horizon_s: f64) -> MetricsReport {
+    let utils = utilisations(&stats.node_busy_s, horizon_s);
+    let (mean, beta) = mean_and_balance(&utils);
+    MetricsReport {
+        advance_s: epsilon(&stats.advances_s),
+        utilisation_pct: mean * 100.0,
+        balance_pct: beta,
+        tasks: stats.tasks(),
+        deadlines_met: met(&stats.advances_s),
+    }
+}
+
+/// Metrics for the whole grid: all nodes pooled into one population (the
+/// paper's "Total" row — note that total β is *not* the average of the
+/// per-resource βs; imbalance *between* resources counts).
+pub fn compute_grid(all: &[ResourceStats], horizon_s: f64) -> MetricsReport {
+    let mut utils = Vec::new();
+    let mut advances = Vec::new();
+    for s in all {
+        utils.extend(utilisations(&s.node_busy_s, horizon_s));
+        advances.extend_from_slice(&s.advances_s);
+    }
+    let (mean, beta) = mean_and_balance(&utils);
+    MetricsReport {
+        advance_s: epsilon(&advances),
+        utilisation_pct: mean * 100.0,
+        balance_pct: beta,
+        tasks: advances.len(),
+        deadlines_met: met(&advances),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(name: &str, busy: Vec<f64>, advances: Vec<f64>) -> ResourceStats {
+        ResourceStats {
+            name: name.into(),
+            node_busy_s: busy,
+            advances_s: advances,
+        }
+    }
+
+    #[test]
+    fn epsilon_is_the_mean_advance() {
+        let r = compute(&stats("S1", vec![0.0], vec![10.0, -4.0, 0.0]), 100.0);
+        assert!((r.advance_s - 2.0).abs() < 1e-12);
+        assert_eq!(r.tasks, 3);
+    }
+
+    #[test]
+    fn epsilon_negative_when_deadlines_fail() {
+        let r = compute(&stats("S1", vec![0.0], vec![-100.0, -200.0]), 100.0);
+        assert!(r.advance_s < 0.0);
+    }
+
+    #[test]
+    fn utilisation_is_busy_over_horizon() {
+        let r = compute(&stats("S1", vec![50.0, 100.0], vec![]), 100.0);
+        assert!((r.utilisation_pct - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfectly_balanced_nodes_score_100() {
+        let r = compute(&stats("S1", vec![40.0, 40.0, 40.0], vec![]), 100.0);
+        assert!((r.balance_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn imbalance_lowers_beta() {
+        let balanced = compute(&stats("S1", vec![50.0, 50.0], vec![]), 100.0);
+        let skewed = compute(&stats("S1", vec![90.0, 10.0], vec![]), 100.0);
+        assert!(skewed.balance_pct < balanced.balance_pct);
+        // υ = 0.5 both ways; d = 0.4 for the skewed case → β = 20%.
+        assert!((skewed.balance_pct - 20.0).abs() < 1e-9);
+        assert!((skewed.utilisation_pct - balanced.utilisation_pct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_grid_is_vacuously_balanced() {
+        let r = compute(&stats("S1", vec![0.0, 0.0], vec![]), 100.0);
+        assert_eq!(r.utilisation_pct, 0.0);
+        assert_eq!(r.balance_pct, 100.0);
+    }
+
+    #[test]
+    fn beta_clamped_to_zero_on_extreme_skew() {
+        // One busy node among many idle ones: d/ῡ > 1.
+        let r = compute(&stats("S1", vec![100.0, 0.0, 0.0, 0.0, 0.0], vec![]), 100.0);
+        assert_eq!(r.balance_pct, 0.0);
+    }
+
+    #[test]
+    fn utilisation_clamps_overcommit_noise() {
+        // Rounding or clipping artefacts can push busy past the horizon.
+        let r = compute(&stats("S1", vec![101.0], vec![]), 100.0);
+        assert_eq!(r.utilisation_pct, 100.0);
+    }
+
+    #[test]
+    fn grid_total_pools_nodes_not_resources() {
+        // Two internally balanced resources at very different load levels:
+        // per-resource β = 100 each, but grid β must be much lower.
+        let a = stats("S1", vec![90.0, 90.0], vec![1.0]);
+        let b = stats("S2", vec![10.0, 10.0], vec![-1.0]);
+        let ra = compute(&a, 100.0);
+        let rb = compute(&b, 100.0);
+        assert!((ra.balance_pct - 100.0).abs() < 1e-9);
+        assert!((rb.balance_pct - 100.0).abs() < 1e-9);
+        let grid = compute_grid(&[a, b], 100.0);
+        assert!(grid.balance_pct < 30.0, "grid β = {}", grid.balance_pct);
+        assert!((grid.utilisation_pct - 50.0).abs() < 1e-9);
+        assert_eq!(grid.tasks, 2);
+        assert!((grid.advance_s - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_index_bounds_and_extremes() {
+        // Perfect balance → 1.
+        assert!((jain_index(&[0.5, 0.5, 0.5]) - 1.0).abs() < 1e-12);
+        // One busy node of N → 1/N.
+        assert!((jain_index(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        // Degenerate inputs.
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        // Always within [1/N, 1].
+        let utils = [0.9, 0.1, 0.4, 0.7];
+        let j = jain_index(&utils);
+        assert!((0.25..=1.0).contains(&j));
+    }
+
+    #[test]
+    fn jain_and_beta_agree_on_ordering() {
+        let balanced = stats("a", vec![50.0, 50.0], vec![]);
+        let skewed = stats("b", vec![90.0, 10.0], vec![]);
+        let jb = jain_of(&balanced, 100.0);
+        let js = jain_of(&skewed, 100.0);
+        let bb = compute(&balanced, 100.0).balance_pct;
+        let bs = compute(&skewed, 100.0).balance_pct;
+        assert!(jb > js);
+        assert!(bb > bs);
+    }
+
+    #[test]
+    fn deadlines_met_counts_non_negative_advances() {
+        let r = compute(&stats("S1", vec![0.0], vec![10.0, 0.0, -5.0, 3.0]), 100.0);
+        assert_eq!(r.deadlines_met, 3);
+        assert_eq!(r.tasks, 4);
+        let g = compute_grid(
+            &[
+                stats("S1", vec![0.0], vec![-1.0]),
+                stats("S2", vec![0.0], vec![2.0, 2.0]),
+            ],
+            100.0,
+        );
+        assert_eq!(g.deadlines_met, 2);
+    }
+
+    #[test]
+    fn empty_grid_is_degenerate_but_defined() {
+        let grid = compute_grid(&[], 100.0);
+        assert_eq!(grid.tasks, 0);
+        assert_eq!(grid.utilisation_pct, 0.0);
+        assert_eq!(grid.balance_pct, 100.0);
+    }
+}

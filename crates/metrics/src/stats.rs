@@ -1,0 +1,124 @@
+//! Raw per-resource measurement ingredients.
+
+use agentgrid_cluster::Allocation;
+use agentgrid_scheduler::CompletedTask;
+use agentgrid_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// The raw material of the §3.3 metrics for one grid resource over an
+/// observation window `[0, horizon]`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ResourceStats {
+    /// Resource/agent name (e.g. `"S1"`).
+    pub name: String,
+    /// Per-node busy seconds within the window (the numerator of eq. 12).
+    pub node_busy_s: Vec<f64>,
+    /// Per-task advance terms `δⱼ − ηⱼ` in seconds (the numerator of
+    /// eq. 11), one per task completed on this resource.
+    pub advances_s: Vec<f64>,
+}
+
+impl ResourceStats {
+    /// Gather statistics from a finished run: the resource's allocation
+    /// log (clipped to the window) and its completed tasks.
+    pub fn from_run(
+        name: &str,
+        nproc: usize,
+        allocations: &[Allocation],
+        completed: &[CompletedTask],
+        horizon: SimTime,
+    ) -> ResourceStats {
+        ResourceStats {
+            name: name.to_string(),
+            node_busy_s: node_busy_seconds(allocations, nproc, horizon),
+            advances_s: completed.iter().map(CompletedTask::advance_s).collect(),
+        }
+    }
+
+    /// Number of nodes observed.
+    pub fn nproc(&self) -> usize {
+        self.node_busy_s.len()
+    }
+
+    /// Number of completed tasks observed.
+    pub fn tasks(&self) -> usize {
+        self.advances_s.len()
+    }
+}
+
+/// Per-node busy seconds within `[0, horizon]`, from an allocation log.
+/// Intervals extending past the horizon are clipped.
+pub fn node_busy_seconds(allocations: &[Allocation], nproc: usize, horizon: SimTime) -> Vec<f64> {
+    let mut busy = vec![0.0; nproc];
+    for a in allocations {
+        let start = a.start.min(horizon);
+        let end = a.end.min(horizon);
+        let len = end.saturating_since(start).as_secs_f64();
+        if len <= 0.0 {
+            continue;
+        }
+        for i in a.mask.iter() {
+            if i < nproc {
+                busy[i] += len;
+            }
+        }
+    }
+    busy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentgrid_cluster::NodeMask;
+
+    fn alloc(mask: NodeMask, start: u64, end: u64) -> Allocation {
+        Allocation {
+            task_id: 0,
+            mask,
+            start: SimTime::from_secs(start),
+            end: SimTime::from_secs(end),
+        }
+    }
+
+    #[test]
+    fn busy_seconds_accumulate_per_node() {
+        let allocs = vec![
+            alloc(NodeMask::from_indices([0, 1]), 0, 10),
+            alloc(NodeMask::single(0), 10, 15),
+        ];
+        let busy = node_busy_seconds(&allocs, 3, SimTime::from_secs(100));
+        assert_eq!(busy, vec![15.0, 10.0, 0.0]);
+    }
+
+    #[test]
+    fn intervals_are_clipped_to_horizon() {
+        let allocs = vec![alloc(NodeMask::single(0), 50, 150)];
+        let busy = node_busy_seconds(&allocs, 1, SimTime::from_secs(100));
+        assert_eq!(busy, vec![50.0]);
+    }
+
+    #[test]
+    fn interval_entirely_past_horizon_counts_nothing() {
+        let allocs = vec![alloc(NodeMask::single(0), 200, 300)];
+        let busy = node_busy_seconds(&allocs, 1, SimTime::from_secs(100));
+        assert_eq!(busy, vec![0.0]);
+    }
+
+    #[test]
+    fn out_of_range_nodes_are_ignored() {
+        let allocs = vec![alloc(NodeMask::from_indices([0, 5]), 0, 10)];
+        let busy = node_busy_seconds(&allocs, 2, SimTime::from_secs(100));
+        assert_eq!(busy, vec![10.0, 0.0]);
+    }
+
+    #[test]
+    fn stats_shape_matches_inputs() {
+        let s = ResourceStats {
+            name: "S1".into(),
+            node_busy_s: vec![1.0, 2.0],
+            advances_s: vec![5.0, -3.0, 0.0],
+        };
+        assert_eq!(s.nproc(), 2);
+        assert_eq!(s.tasks(), 3);
+    }
+}

@@ -1,0 +1,185 @@
+//! Windowed time series of grid activity.
+//!
+//! The paper reports end-of-run aggregates; for analysing *why* a run
+//! behaved as it did (when did the SPARCstations saturate? how long did
+//! the agents take to drain the backlog?) a windowed view of the same
+//! allocation logs is far more informative. [`utilisation_series`] bins
+//! node-busy time into fixed windows; [`concurrency_series`] counts
+//! simultaneously running tasks at window boundaries.
+
+use agentgrid_cluster::Allocation;
+use agentgrid_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One window of a utilisation series.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Window {
+    /// Window start, seconds from the run origin.
+    pub start_s: f64,
+    /// Window length in seconds.
+    pub len_s: f64,
+    /// Mean node utilisation within the window, `[0, 1]`.
+    pub utilisation: f64,
+}
+
+/// Bin an allocation log into `window_s`-second windows over
+/// `[0, horizon]`, reporting mean node utilisation per window.
+///
+/// # Panics
+/// If `window_s` is not strictly positive or `nproc` is zero.
+pub fn utilisation_series(
+    allocations: &[Allocation],
+    nproc: usize,
+    horizon: SimTime,
+    window_s: f64,
+) -> Vec<Window> {
+    assert!(window_s > 0.0, "window length must be positive");
+    assert!(nproc > 0, "need at least one node");
+    let horizon_s = horizon.as_secs_f64();
+    if horizon_s <= 0.0 {
+        return Vec::new();
+    }
+    let n_windows = (horizon_s / window_s).ceil() as usize;
+    let mut busy = vec![0.0f64; n_windows];
+    for a in allocations {
+        let s = a.start.as_secs_f64();
+        let e = a.end.as_secs_f64().min(horizon_s);
+        if e <= s {
+            continue;
+        }
+        let weight = a.mask.count() as f64;
+        let first = (s / window_s).floor() as usize;
+        let last = ((e / window_s).ceil() as usize).min(n_windows);
+        for (w, slot) in busy.iter_mut().enumerate().take(last).skip(first) {
+            let w_start = w as f64 * window_s;
+            let w_end = w_start + window_s;
+            let overlap = (e.min(w_end) - s.max(w_start)).max(0.0);
+            *slot += overlap * weight;
+        }
+    }
+    busy.iter()
+        .enumerate()
+        .map(|(w, b)| {
+            let w_start = w as f64 * window_s;
+            let len = window_s.min(horizon_s - w_start);
+            Window {
+                start_s: w_start,
+                len_s: len,
+                utilisation: if len > 0.0 {
+                    (b / (len * nproc as f64)).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect()
+}
+
+/// Number of tasks running at each instant `k·window_s` (a cheap Gantt
+/// cross-section).
+pub fn concurrency_series(
+    allocations: &[Allocation],
+    horizon: SimTime,
+    window_s: f64,
+) -> Vec<(f64, usize)> {
+    assert!(window_s > 0.0, "window length must be positive");
+    let horizon_s = horizon.as_secs_f64();
+    let mut out = Vec::new();
+    let mut t = 0.0;
+    while t <= horizon_s {
+        let running = allocations
+            .iter()
+            .filter(|a| a.start.as_secs_f64() <= t && a.end.as_secs_f64() > t)
+            .count();
+        out.push((t, running));
+        t += window_s;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentgrid_cluster::NodeMask;
+
+    fn alloc(mask: NodeMask, start: u64, end: u64) -> Allocation {
+        Allocation {
+            task_id: 0,
+            mask,
+            start: SimTime::from_secs(start),
+            end: SimTime::from_secs(end),
+        }
+    }
+
+    #[test]
+    fn fully_busy_window_is_one() {
+        let allocs = vec![alloc(NodeMask::first_n(2), 0, 10)];
+        let series = utilisation_series(&allocs, 2, SimTime::from_secs(10), 5.0);
+        assert_eq!(series.len(), 2);
+        assert!((series[0].utilisation - 1.0).abs() < 1e-9);
+        assert!((series[1].utilisation - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_busy_window_is_half() {
+        // One of two nodes busy for the first window only.
+        let allocs = vec![alloc(NodeMask::single(0), 0, 5)];
+        let series = utilisation_series(&allocs, 2, SimTime::from_secs(10), 5.0);
+        assert!((series[0].utilisation - 0.5).abs() < 1e-9);
+        assert_eq!(series[1].utilisation, 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_is_prorated() {
+        // Busy 2.5 s of a 5 s window on 1 of 1 nodes → 0.5.
+        let allocs = vec![Allocation {
+            task_id: 0,
+            mask: NodeMask::single(0),
+            start: SimTime::from_secs_f64(2.5),
+            end: SimTime::from_secs_f64(7.5),
+        }];
+        let series = utilisation_series(&allocs, 1, SimTime::from_secs(10), 5.0);
+        assert!((series[0].utilisation - 0.5).abs() < 1e-9);
+        assert!((series[1].utilisation - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windows_mean_matches_global_utilisation() {
+        // Consistency with the aggregate metric: the time-weighted mean
+        // over windows equals busy/(nproc × horizon).
+        let allocs = vec![
+            alloc(NodeMask::first_n(3), 0, 7),
+            alloc(NodeMask::single(3), 2, 9),
+        ];
+        let horizon = SimTime::from_secs(12);
+        let series = utilisation_series(&allocs, 4, horizon, 5.0);
+        let weighted: f64 = series.iter().map(|w| w.utilisation * w.len_s).sum();
+        let mean = weighted / 12.0;
+        let busy = 3.0 * 7.0 + 7.0;
+        let expected = busy / (4.0 * 12.0);
+        assert!((mean - expected).abs() < 1e-9, "{mean} vs {expected}");
+    }
+
+    #[test]
+    fn empty_horizon_yields_empty_series() {
+        assert!(utilisation_series(&[], 2, SimTime::ZERO, 5.0).is_empty());
+    }
+
+    #[test]
+    fn concurrency_counts_running_tasks() {
+        let allocs = vec![
+            alloc(NodeMask::single(0), 0, 10),
+            alloc(NodeMask::single(1), 5, 15),
+        ];
+        let series = concurrency_series(&allocs, SimTime::from_secs(20), 5.0);
+        // t = 0: 1 running; t = 5: 2 (first still running, second starts);
+        // t = 10: 1; t = 15: 0; t = 20: 0.
+        assert_eq!(series, vec![(0.0, 1), (5.0, 2), (10.0, 1), (15.0, 0), (20.0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_panics() {
+        let _ = utilisation_series(&[], 1, SimTime::from_secs(1), 0.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! The demand-driven evaluation cache (§2.2).
+//!
+//! "Many of the evaluations requested by the GA are likely to be exactly
+//! the same as those required by previous generations (due to the nature of
+//! the crossover and mutation operators). To capitalise on this redundancy,
+//! a cache of all previous evaluations has been added between the scheduler
+//! and the PACE evaluation engine."
+//!
+//! The cache key is `(application id, platform id, processor count)` —
+//! for a homogeneous resource the prediction depends on nothing else — so
+//! one warm pass over a resource's processor counts serves every later GA
+//! generation from memory.
+
+use crate::eval::PaceEngine;
+use crate::model::{ApplicationModel, ResourceModel};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+type Key = (u32, u32, u32); // (app id, platform id, nprocs)
+
+/// Hit/miss counters for the cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Requests that fell through to the engine.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; zero when nothing was requested.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A [`PaceEngine`] fronted by a cache of all previous evaluations.
+pub struct CachedEngine {
+    engine: PaceEngine,
+    cache: Mutex<HashMap<Key, f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for CachedEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CachedEngine {
+    /// A fresh engine with an empty cache.
+    pub fn new() -> Self {
+        CachedEngine {
+            engine: PaceEngine::new(),
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Predicted execution time in seconds; identical to
+    /// [`PaceEngine::evaluate`] but served from the cache when possible.
+    pub fn evaluate(&self, app: &ApplicationModel, resource: &ResourceModel, nprocs: usize) -> f64 {
+        let n = nprocs.clamp(1, resource.nproc);
+        let key = (app.id.0, resource.platform.id, n as u32);
+        if let Some(t) = self.cache.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return *t;
+        }
+        let t = self.engine.evaluate(app, resource, n);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.cache.lock().insert(key, t);
+        t
+    }
+
+    /// Minimum predicted time over `1..=resource.nproc` and the processor
+    /// count achieving it (the inner minimisation of eq. 10), cached.
+    pub fn best_time(&self, app: &ApplicationModel, resource: &ResourceModel) -> (usize, f64) {
+        let mut best = (1, self.evaluate(app, resource, 1));
+        for k in 2..=resource.nproc {
+            let t = self.evaluate(app, resource, k);
+            if t < best.1 {
+                best = (k, t);
+            }
+        }
+        best
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct cached entries.
+    pub fn len(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of raw engine evaluations performed (equals misses).
+    pub fn engine_evaluations(&self) -> u64 {
+        self.engine.evaluation_count()
+    }
+
+    /// Drop all cached entries (counters are retained).
+    pub fn invalidate(&self) {
+        self.cache.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AppId, ApplicationModel, ModelCurve, TabulatedModel};
+    use crate::platform::Platform;
+
+    fn app(id: u32) -> ApplicationModel {
+        ApplicationModel::new(
+            AppId(id),
+            "app",
+            ModelCurve::Tabulated(TabulatedModel::new(vec![8.0, 5.0, 4.0]).unwrap()),
+            (1.0, 10.0),
+        )
+        .unwrap()
+    }
+
+    fn resource() -> ResourceModel {
+        ResourceModel::new(Platform::sgi_origin2000(), 3).unwrap()
+    }
+
+    #[test]
+    fn second_request_is_a_hit() {
+        let c = CachedEngine::new();
+        let a = app(1);
+        let r = resource();
+        let t1 = c.evaluate(&a, &r, 2);
+        let t2 = c.evaluate(&a, &r, 2);
+        assert_eq!(t1, t2);
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(c.engine_evaluations(), 1);
+    }
+
+    #[test]
+    fn clamped_counts_share_an_entry() {
+        let c = CachedEngine::new();
+        let a = app(1);
+        let r = resource();
+        c.evaluate(&a, &r, 3);
+        // 100 clamps to 3, so this must be a hit.
+        c.evaluate(&a, &r, 100);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn distinct_apps_do_not_collide() {
+        let c = CachedEngine::new();
+        let r = resource();
+        c.evaluate(&app(1), &r, 1);
+        c.evaluate(&app(2), &r, 1);
+        assert_eq!(c.stats().misses, 2);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn distinct_platforms_do_not_collide() {
+        let c = CachedEngine::new();
+        let a = app(1);
+        let r1 = ResourceModel::new(Platform::sgi_origin2000(), 3).unwrap();
+        let r2 = ResourceModel::new(Platform::sun_ultra5(), 3).unwrap();
+        let t1 = c.evaluate(&a, &r1, 2);
+        let t2 = c.evaluate(&a, &r2, 2);
+        assert!(t2 > t1);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn cache_is_transparent() {
+        // Cached and uncached engines must agree everywhere.
+        let cached = CachedEngine::new();
+        let raw = PaceEngine::new();
+        let a = app(7);
+        for platform in Platform::case_study_set() {
+            let r = ResourceModel::new(platform, 3).unwrap();
+            for k in 1..=3 {
+                // Query twice so hits are exercised too.
+                assert_eq!(cached.evaluate(&a, &r, k), raw.evaluate(&a, &r, k));
+                assert_eq!(cached.evaluate(&a, &r, k), raw.evaluate(&a, &r, k));
+            }
+        }
+    }
+
+    #[test]
+    fn best_time_warm_cache_does_no_engine_work() {
+        let c = CachedEngine::new();
+        let a = app(1);
+        let r = resource();
+        c.best_time(&a, &r);
+        let evals_after_first = c.engine_evaluations();
+        c.best_time(&a, &r);
+        assert_eq!(c.engine_evaluations(), evals_after_first);
+    }
+
+    #[test]
+    fn invalidate_clears_entries_but_keeps_counters() {
+        let c = CachedEngine::new();
+        c.evaluate(&app(1), &resource(), 1);
+        assert!(!c.is_empty());
+        c.invalidate();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn hit_ratio_bounds() {
+        let s = CacheStats { hits: 0, misses: 0 };
+        assert_eq!(s.hit_ratio(), 0.0);
+        let s = CacheStats { hits: 3, misses: 1 };
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,250 @@
+//! The case-study application catalogue (Table 1).
+//!
+//! Seven "typical scientific computing programs", each with its PACE
+//! prediction on the SGI Origin2000 for 1–16 processors and the domain of
+//! user deadlines. The table is embedded verbatim so the `table1` bench
+//! reproduces the paper exactly; analytic approximations of the same
+//! kernels are provided for examples and property tests.
+
+use crate::model::{AnalyticModel, AppId, ApplicationModel, ModelCurve, TabulatedModel};
+
+/// Raw Table 1 rows: `(name, [deadline lo, hi], times on 1..=16 procs)`.
+pub const TABLE1: [(&str, (f64, f64), [f64; 16]); 7] = [
+    (
+        "sweep3d",
+        (4.0, 200.0),
+        [
+            50.0, 40.0, 30.0, 25.0, 23.0, 20.0, 17.0, 15.0, 13.0, 11.0, 9.0, 7.0, 6.0, 5.0,
+            4.0, 4.0,
+        ],
+    ),
+    (
+        "fft",
+        (10.0, 100.0),
+        [
+            25.0, 24.0, 23.0, 22.0, 21.0, 20.0, 19.0, 18.0, 17.0, 16.0, 15.0, 14.0, 13.0, 12.0,
+            11.0, 10.0,
+        ],
+    ),
+    (
+        "improc",
+        (20.0, 192.0),
+        [
+            48.0, 41.0, 35.0, 30.0, 26.0, 23.0, 21.0, 20.0, 20.0, 21.0, 23.0, 26.0, 30.0, 35.0,
+            41.0, 48.0,
+        ],
+    ),
+    (
+        "closure",
+        (2.0, 36.0),
+        [
+            9.0, 9.0, 8.0, 8.0, 7.0, 7.0, 6.0, 6.0, 5.0, 5.0, 4.0, 4.0, 3.0, 3.0, 2.0, 2.0,
+        ],
+    ),
+    (
+        "jacobi",
+        (6.0, 160.0),
+        [
+            40.0, 35.0, 30.0, 25.0, 23.0, 20.0, 17.0, 15.0, 13.0, 11.0, 10.0, 9.0, 8.0, 7.0,
+            6.0, 6.0,
+        ],
+    ),
+    (
+        "memsort",
+        (10.0, 68.0),
+        [
+            17.0, 16.0, 15.0, 14.0, 13.0, 12.0, 11.0, 10.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0,
+            16.0, 17.0,
+        ],
+    ),
+    (
+        "cpi",
+        (2.0, 128.0),
+        [
+            32.0, 26.0, 21.0, 17.0, 14.0, 11.0, 9.0, 7.0, 5.0, 4.0, 3.0, 2.0, 4.0, 7.0, 12.0,
+            20.0,
+        ],
+    ),
+];
+
+/// A set of application models, looked up by id or name.
+#[derive(Clone, Debug)]
+pub struct Catalog {
+    apps: Vec<ApplicationModel>,
+}
+
+impl Catalog {
+    /// The seven case-study kernels with the exact Table 1 curves.
+    pub fn case_study() -> Catalog {
+        let apps = TABLE1
+            .iter()
+            .enumerate()
+            .map(|(i, (name, bounds, times))| {
+                ApplicationModel::new(
+                    AppId(i as u32),
+                    name,
+                    ModelCurve::Tabulated(
+                        TabulatedModel::new(times.to_vec()).expect("Table 1 is valid"),
+                    ),
+                    *bounds,
+                )
+                .expect("Table 1 rows are valid models")
+            })
+            .collect();
+        Catalog { apps }
+    }
+
+    /// Analytic approximations of the same kernels (for examples and
+    /// property tests that need smooth curves). Each keeps the qualitative
+    /// shape of its Table 1 row: sweep3d/jacobi/cpi scale well, fft scales
+    /// shallowly, improc/memsort/cpi have interior optima, closure is short.
+    pub fn case_study_analytic() -> Catalog {
+        // (name, bounds, serial, parallel, comm_log, comm_linear)
+        type AnalyticRow = (&'static str, (f64, f64), f64, f64, f64, f64);
+        let rows: [AnalyticRow; 7] = [
+            ("sweep3d", (4.0, 200.0), 1.0, 49.0, 0.5, 0.0),
+            ("fft", (10.0, 100.0), 9.0, 16.0, 0.0, 0.0),
+            ("improc", (20.0, 192.0), 1.0, 47.0, 0.0, 1.5),
+            ("closure", (2.0, 36.0), 1.0, 8.0, 0.2, 0.0),
+            ("jacobi", (6.0, 160.0), 2.0, 38.0, 0.3, 0.0),
+            ("memsort", (10.0, 68.0), 6.0, 11.0, 0.0, 0.55),
+            ("cpi", (2.0, 128.0), 0.5, 31.5, 0.0, 0.9),
+        ];
+        let apps = rows
+            .iter()
+            .enumerate()
+            .map(|(i, (name, bounds, s, p, cl, cn))| {
+                ApplicationModel::new(
+                    AppId(i as u32),
+                    name,
+                    ModelCurve::Analytic(
+                        AnalyticModel::new(*s, *p, *cl, *cn).expect("valid analytic rows"),
+                    ),
+                    *bounds,
+                )
+                .expect("valid analytic models")
+            })
+            .collect();
+        Catalog { apps }
+    }
+
+    /// Build a catalogue from explicit models, reassigning ids 0..n.
+    pub fn from_models(models: Vec<ApplicationModel>) -> Catalog {
+        let apps = models
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut m)| {
+                m.id = AppId(i as u32);
+                m
+            })
+            .collect();
+        Catalog { apps }
+    }
+
+    /// All models in id order.
+    pub fn apps(&self) -> &[ApplicationModel] {
+        &self.apps
+    }
+
+    /// Number of applications.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// True when the catalogue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+
+    /// Look up by id.
+    pub fn get(&self, id: AppId) -> Option<&ApplicationModel> {
+        self.apps.get(id.0 as usize)
+    }
+
+    /// Look up by name.
+    pub fn by_name(&self, name: &str) -> Option<&ApplicationModel> {
+        self.apps.iter().find(|a| a.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::PaceEngine;
+    use crate::model::ResourceModel;
+    use crate::platform::Platform;
+
+    #[test]
+    fn catalogue_has_seven_kernels() {
+        let c = Catalog::case_study();
+        assert_eq!(c.len(), 7);
+        assert!(!c.is_empty());
+        for (i, app) in c.apps().iter().enumerate() {
+            assert_eq!(app.id, AppId(i as u32));
+        }
+    }
+
+    #[test]
+    fn table1_values_reproduce_exactly_on_reference_platform() {
+        let c = Catalog::case_study();
+        let engine = PaceEngine::new();
+        let sgi = ResourceModel::new(Platform::sgi_origin2000(), 16).unwrap();
+        for (name, _, times) in TABLE1.iter() {
+            let app = c.by_name(name).unwrap();
+            for (k, expected) in times.iter().enumerate() {
+                let t = engine.evaluate(app, &sgi, k + 1);
+                assert_eq!(t, *expected, "{name} on {} procs", k + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep3d_speeds_up_improc_has_interior_optimum() {
+        let c = Catalog::case_study();
+        let engine = PaceEngine::new();
+        let sgi = ResourceModel::new(Platform::sgi_origin2000(), 16).unwrap();
+        let sweep = c.by_name("sweep3d").unwrap();
+        assert!(engine.evaluate(sweep, &sgi, 16) < engine.evaluate(sweep, &sgi, 1));
+        let improc = c.by_name("improc").unwrap();
+        let (k, _) = engine.best_time(improc, &sgi);
+        assert_eq!(k, 8, "improc's optimum is 8 processors in Table 1");
+    }
+
+    #[test]
+    fn analytic_catalogue_preserves_shapes() {
+        let c = Catalog::case_study_analytic();
+        let engine = PaceEngine::new();
+        let sgi = ResourceModel::new(Platform::sgi_origin2000(), 16).unwrap();
+        // sweep3d: monotone improvement.
+        let sweep = c.by_name("sweep3d").unwrap();
+        assert!(engine.evaluate(sweep, &sgi, 16) < engine.evaluate(sweep, &sgi, 1));
+        // improc: interior optimum.
+        let improc = c.by_name("improc").unwrap();
+        let (k, _) = engine.best_time(improc, &sgi);
+        assert!(k > 1 && k < 16);
+        // Same names and bounds as the tabulated catalogue.
+        let tab = Catalog::case_study();
+        for (a, b) in c.apps().iter().zip(tab.apps()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.deadline_bounds_s, b.deadline_bounds_s);
+        }
+    }
+
+    #[test]
+    fn from_models_reassigns_ids() {
+        let base = Catalog::case_study();
+        let reversed: Vec<_> = base.apps().iter().rev().cloned().collect();
+        let c = Catalog::from_models(reversed);
+        assert_eq!(c.apps()[0].id, AppId(0));
+        assert_eq!(c.apps()[0].name, "cpi");
+    }
+
+    #[test]
+    fn lookup_by_name_and_id_agree() {
+        let c = Catalog::case_study();
+        let fft = c.by_name("fft").unwrap();
+        assert_eq!(c.get(fft.id).unwrap().name, "fft");
+        assert!(c.by_name("nonexistent").is_none());
+        assert!(c.get(AppId(99)).is_none());
+    }
+}

@@ -1,0 +1,474 @@
+//! A small textual model-definition language.
+//!
+//! Real PACE derives application models from annotated source code through
+//! the CHIP³S layer; users of this reproduction instead write model files.
+//! The grammar is line-oriented:
+//!
+//! ```text
+//! # comment
+//! app sweep3d deadline 4 200
+//!   table 50 40 30 25 23 20 17 15 13 11 9 7 6 5 4 4
+//!
+//! app mysolver deadline 10 120
+//!   analytic serial 2.0 parallel 48 comm_log 0.5 comm_linear 0.1
+//!
+//! app stencil deadline 10 100
+//!   template iterations 50 latency 6e-5 bandwidth 1.25e7
+//!     parallel 0.02
+//!     serial 0.001
+//!     exchange 8192 2
+//!     broadcast 4096
+//!     alltoall 1024
+//!     barrier
+//!   end
+//! ```
+//!
+//! Each `app` block declares one application; the next non-empty line must
+//! be its curve (`table …`, `analytic …`, or a `template … end` block of
+//! phase lines). Ids are assigned in file order.
+
+use crate::model::{AnalyticModel, AppId, ApplicationModel, ModelCurve, TabulatedModel};
+use crate::template::{NetworkModel, Phase, TemplateModel};
+
+/// A parse failure with its 1-based line number.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// An in-flight `template … end` block.
+struct TemplateBlock {
+    app_line: usize,
+    name: String,
+    bounds: (f64, f64),
+    iterations: u32,
+    network: NetworkModel,
+    phases: Vec<Phase>,
+}
+
+/// Parse a model file into application models (ids in file order).
+pub fn parse_models(input: &str) -> Result<Vec<ApplicationModel>, ParseError> {
+    let mut apps = Vec::new();
+    let mut pending: Option<(usize, String, (f64, f64))> = None;
+    let mut template: Option<TemplateBlock> = None;
+
+    for (idx, raw) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let head = tokens.next().expect("non-empty line has a token");
+
+        // Inside a template block, lines are phases until `end`.
+        if let Some(block) = &mut template {
+            match head {
+                "parallel" => {
+                    let work = parse_f64(tokens.next(), lineno, "parallel work")?;
+                    block.phases.push(Phase::ParallelCompute { work_s: work });
+                }
+                "serial" => {
+                    let work = parse_f64(tokens.next(), lineno, "serial work")?;
+                    block.phases.push(Phase::SerialCompute { work_s: work });
+                }
+                "exchange" => {
+                    let bytes = parse_u64(tokens.next(), lineno, "exchange bytes")?;
+                    let count = parse_u64(tokens.next(), lineno, "exchange count")? as u32;
+                    block.phases.push(Phase::Exchange { bytes, count });
+                }
+                "broadcast" => {
+                    let bytes = parse_u64(tokens.next(), lineno, "broadcast bytes")?;
+                    block.phases.push(Phase::Broadcast { bytes });
+                }
+                "alltoall" => {
+                    let bytes = parse_u64(tokens.next(), lineno, "alltoall bytes")?;
+                    block.phases.push(Phase::AllToAll { bytes });
+                }
+                "barrier" => block.phases.push(Phase::Barrier),
+                "end" => {
+                    let block = template.take().expect("inside a template block");
+                    let model = TemplateModel::new(
+                        block.phases,
+                        block.iterations,
+                        block.network,
+                    )
+                    .map_err(|e| err(lineno, format!("invalid template: {e}")))?;
+                    let id = AppId(apps.len() as u32);
+                    let app = ApplicationModel::new(
+                        id,
+                        &block.name,
+                        ModelCurve::Templated(model),
+                        block.bounds,
+                    )
+                    .map_err(|e| {
+                        err(block.app_line, format!("invalid app `{}`: {e}", block.name))
+                    })?;
+                    apps.push(app);
+                }
+                other => return Err(err(lineno, format!("unknown phase `{other}`"))),
+            }
+            continue;
+        }
+
+        if head == "template" {
+            let (app_line, name, bounds) = pending
+                .take()
+                .ok_or_else(|| err(lineno, "`template` outside an `app` block"))?;
+            let mut iterations = 1u32;
+            let mut network = NetworkModel::default();
+            let kv: Vec<&str> = tokens.collect();
+            if !kv.len().is_multiple_of(2) {
+                return Err(err(lineno, "template header takes `key value` pairs"));
+            }
+            for pair in kv.chunks(2) {
+                match pair[0] {
+                    "iterations" => {
+                        iterations =
+                            parse_u64(Some(pair[1]), lineno, "iterations")? as u32
+                    }
+                    "latency" => {
+                        network.latency_s = parse_f64(Some(pair[1]), lineno, "latency")?
+                    }
+                    "bandwidth" => {
+                        network.bandwidth_bps =
+                            parse_f64(Some(pair[1]), lineno, "bandwidth")?
+                    }
+                    other => {
+                        return Err(err(
+                            lineno,
+                            format!("unknown template parameter `{other}`"),
+                        ))
+                    }
+                }
+            }
+            template = Some(TemplateBlock {
+                app_line,
+                name,
+                bounds,
+                iterations,
+                network,
+                phases: Vec::new(),
+            });
+            continue;
+        }
+
+        match head {
+            "app" => {
+                if pending.is_some() {
+                    return Err(err(lineno, "previous `app` is missing its curve line"));
+                }
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| err(lineno, "`app` needs a name"))?;
+                let kw = tokens.next();
+                if kw != Some("deadline") {
+                    return Err(err(lineno, "expected `deadline <lo> <hi>` after app name"));
+                }
+                let lo = parse_f64(tokens.next(), lineno, "deadline lo")?;
+                let hi = parse_f64(tokens.next(), lineno, "deadline hi")?;
+                pending = Some((lineno, name.to_string(), (lo, hi)));
+            }
+            "table" => {
+                let (app_line, name, bounds) = pending
+                    .take()
+                    .ok_or_else(|| err(lineno, "`table` outside an `app` block"))?;
+                let times: Result<Vec<f64>, _> = tokens
+                    .map(|t| {
+                        t.parse::<f64>()
+                            .map_err(|_| err(lineno, format!("bad number `{t}` in table")))
+                    })
+                    .collect();
+                let table = TabulatedModel::new(times?)
+                    .map_err(|e| err(lineno, format!("invalid table: {e}")))?;
+                let id = AppId(apps.len() as u32);
+                let app =
+                    ApplicationModel::new(id, &name, ModelCurve::Tabulated(table), bounds)
+                        .map_err(|e| err(app_line, format!("invalid app `{name}`: {e}")))?;
+                apps.push(app);
+            }
+            "analytic" => {
+                let (app_line, name, bounds) = pending
+                    .take()
+                    .ok_or_else(|| err(lineno, "`analytic` outside an `app` block"))?;
+                let mut serial = 0.0;
+                let mut parallel = 0.0;
+                let mut comm_log = 0.0;
+                let mut comm_linear = 0.0;
+                let kv: Vec<&str> = tokens.collect();
+                if !kv.len().is_multiple_of(2) {
+                    return Err(err(lineno, "analytic terms must be `key value` pairs"));
+                }
+                for pair in kv.chunks(2) {
+                    let value = parse_f64(Some(pair[1]), lineno, pair[0])?;
+                    match pair[0] {
+                        "serial" => serial = value,
+                        "parallel" => parallel = value,
+                        "comm_log" => comm_log = value,
+                        "comm_linear" => comm_linear = value,
+                        other => {
+                            return Err(err(lineno, format!("unknown analytic term `{other}`")))
+                        }
+                    }
+                }
+                let model = AnalyticModel::new(serial, parallel, comm_log, comm_linear)
+                    .map_err(|e| err(lineno, format!("invalid analytic model: {e}")))?;
+                let id = AppId(apps.len() as u32);
+                let app = ApplicationModel::new(id, &name, ModelCurve::Analytic(model), bounds)
+                    .map_err(|e| err(app_line, format!("invalid app `{name}`: {e}")))?;
+                apps.push(app);
+            }
+            other => return Err(err(lineno, format!("unknown directive `{other}`"))),
+        }
+    }
+
+    if let Some((line, name, _)) = pending {
+        return Err(err(line, format!("app `{name}` is missing its curve line")));
+    }
+    if let Some(block) = template {
+        return Err(err(
+            block.app_line,
+            format!("template for `{}` is missing its `end`", block.name),
+        ));
+    }
+    Ok(apps)
+}
+
+/// Render application models back to the DSL (round-trips with
+/// [`parse_models`]).
+pub fn render_models(apps: &[ApplicationModel]) -> String {
+    let mut out = String::new();
+    for app in apps {
+        let (lo, hi) = app.deadline_bounds_s;
+        out.push_str(&format!("app {} deadline {} {}\n", app.name, lo, hi));
+        match &app.curve {
+            ModelCurve::Tabulated(t) => {
+                out.push_str("  table");
+                for v in &t.times_s {
+                    out.push_str(&format!(" {v}"));
+                }
+                out.push('\n');
+            }
+            ModelCurve::Analytic(m) => {
+                out.push_str(&format!(
+                    "  analytic serial {} parallel {} comm_log {} comm_linear {}\n",
+                    m.serial_s, m.parallel_s, m.comm_log_s, m.comm_linear_s
+                ));
+            }
+            ModelCurve::Templated(t) => {
+                out.push_str(&format!(
+                    "  template iterations {} latency {} bandwidth {}\n",
+                    t.iterations, t.network.latency_s, t.network.bandwidth_bps
+                ));
+                for phase in &t.phases {
+                    let line = match phase {
+                        Phase::ParallelCompute { work_s } => format!("parallel {work_s}"),
+                        Phase::SerialCompute { work_s } => format!("serial {work_s}"),
+                        Phase::Exchange { bytes, count } => {
+                            format!("exchange {bytes} {count}")
+                        }
+                        Phase::Broadcast { bytes } => format!("broadcast {bytes}"),
+                        Phase::AllToAll { bytes } => format!("alltoall {bytes}"),
+                        Phase::Barrier => "barrier".to_string(),
+                    };
+                    out.push_str(&format!("    {line}\n"));
+                }
+                out.push_str("  end\n");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_f64(token: Option<&str>, line: usize, what: &str) -> Result<f64, ParseError> {
+    let t = token.ok_or_else(|| err(line, format!("missing value for {what}")))?;
+    t.parse::<f64>()
+        .map_err(|_| err(line, format!("bad number `{t}` for {what}")))
+}
+
+fn parse_u64(token: Option<&str>, line: usize, what: &str) -> Result<u64, ParseError> {
+    let t = token.ok_or_else(|| err(line, format!("missing value for {what}")))?;
+    t.parse::<u64>()
+        .map_err(|_| err(line, format!("bad integer `{t}` for {what}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+
+    #[test]
+    fn parses_table_and_analytic_apps() {
+        let src = "\
+# two models
+app sweep3d deadline 4 200
+  table 50 40 30 25
+
+app solver deadline 10 120
+  analytic serial 2 parallel 48 comm_log 0.5 comm_linear 0.1
+";
+        let apps = parse_models(src).unwrap();
+        assert_eq!(apps.len(), 2);
+        assert_eq!(apps[0].name, "sweep3d");
+        assert_eq!(apps[0].id, AppId(0));
+        assert!(matches!(apps[0].curve, ModelCurve::Tabulated(_)));
+        assert_eq!(apps[1].deadline_bounds_s, (10.0, 120.0));
+        assert!(matches!(apps[1].curve, ModelCurve::Analytic(_)));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let src = "\n\n# just a comment\napp a deadline 1 2\ntable 5 # trailing\n";
+        let apps = parse_models(src).unwrap();
+        assert_eq!(apps.len(), 1);
+    }
+
+    #[test]
+    fn reports_errors_with_line_numbers() {
+        let e = parse_models("app x deadline 1 2\n  table 0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+
+        let e = parse_models("table 1 2 3\n").unwrap_err();
+        assert!(e.message.contains("outside an `app` block"));
+
+        let e = parse_models("app x deadline 1 2\n").unwrap_err();
+        assert!(e.message.contains("missing its curve"));
+
+        let e = parse_models("app x deadline 1 2\napp y deadline 1 2\n").unwrap_err();
+        assert!(e.message.contains("missing its curve"));
+
+        let e = parse_models("frobnicate\n").unwrap_err();
+        assert!(e.message.contains("unknown directive"));
+
+        let e = parse_models("app x deadline 1 2\n analytic serial\n").unwrap_err();
+        assert!(e.message.contains("key value"));
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let e = parse_models("app x deadline one 2\ntable 5\n").unwrap_err();
+        assert!(e.message.contains("bad number"));
+        let e = parse_models("app x deadline 1 2\ntable five\n").unwrap_err();
+        assert!(e.message.contains("bad number"));
+    }
+
+    #[test]
+    fn case_study_catalogue_roundtrips() {
+        let cat = Catalog::case_study();
+        let text = render_models(cat.apps());
+        let parsed = parse_models(&text).unwrap();
+        assert_eq!(parsed.len(), cat.len());
+        for (a, b) in parsed.iter().zip(cat.apps()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.curve, b.curve);
+            assert_eq!(a.deadline_bounds_s, b.deadline_bounds_s);
+        }
+    }
+
+    #[test]
+    fn analytic_roundtrips() {
+        let cat = Catalog::case_study_analytic();
+        let text = render_models(cat.apps());
+        let parsed = parse_models(&text).unwrap();
+        for (a, b) in parsed.iter().zip(cat.apps()) {
+            assert_eq!(a.curve, b.curve);
+        }
+    }
+
+    #[test]
+    fn template_blocks_parse() {
+        let src = "\
+app stencil deadline 10 100
+  template iterations 50 latency 6e-5 bandwidth 1.25e7
+    parallel 0.02
+    serial 0.001
+    exchange 8192 2
+    broadcast 4096
+    alltoall 1024
+    barrier
+  end
+";
+        let apps = parse_models(src).unwrap();
+        assert_eq!(apps.len(), 1);
+        let ModelCurve::Templated(t) = &apps[0].curve else {
+            panic!("expected a template curve");
+        };
+        assert_eq!(t.iterations, 50);
+        assert_eq!(t.phases.len(), 6);
+        assert!((t.network.latency_s - 6e-5).abs() < 1e-12);
+        assert_eq!(
+            t.phases[2],
+            crate::template::Phase::Exchange {
+                bytes: 8192,
+                count: 2
+            }
+        );
+    }
+
+    #[test]
+    fn template_roundtrips() {
+        use crate::template::TemplateModel;
+        let apps = vec![
+            ApplicationModel::new(
+                AppId(0),
+                "stencil",
+                ModelCurve::Templated(TemplateModel::stencil(2.0, 8192, 50)),
+                (10.0, 100.0),
+            )
+            .unwrap(),
+            ApplicationModel::new(
+                AppId(1),
+                "mw",
+                ModelCurve::Templated(TemplateModel::master_worker(10.0, 65536, 4)),
+                (5.0, 60.0),
+            )
+            .unwrap(),
+        ];
+        let text = render_models(&apps);
+        let parsed = parse_models(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        for (a, b) in parsed.iter().zip(&apps) {
+            assert_eq!(a.curve, b.curve);
+        }
+    }
+
+    #[test]
+    fn template_errors_are_reported() {
+        let e = parse_models("template iterations 1\nend\n").unwrap_err();
+        assert!(e.message.contains("outside an `app` block"));
+
+        let e = parse_models("app x deadline 1 2\ntemplate iterations 1\nbarrier\n").unwrap_err();
+        assert!(e.message.contains("missing its `end`"));
+
+        let e = parse_models("app x deadline 1 2\ntemplate iterations 1\nfrobnicate\nend\n")
+            .unwrap_err();
+        assert!(e.message.contains("unknown phase"));
+
+        let e = parse_models("app x deadline 1 2\ntemplate iterations\nend\n").unwrap_err();
+        assert!(e.message.contains("key value"));
+
+        // Zero iterations is a template validation error at `end`.
+        let e = parse_models("app x deadline 1 2\ntemplate iterations 0\nbarrier\nend\n")
+            .unwrap_err();
+        assert!(e.message.contains("invalid template"));
+    }
+}

@@ -1,0 +1,148 @@
+//! The PACE evaluation engine.
+//!
+//! "The PACE evaluation engine can combine application and resource models
+//! at run time to produce performance data (such as total execution time)."
+//! The engine is deterministic, cheap (sub-microsecond here; a few tenths
+//! of a second for real PACE) and stateless apart from an evaluation
+//! counter used by the cache benchmarks.
+
+use crate::model::{ApplicationModel, ModelCurve, ResourceModel};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The evaluation engine: `(application, resource, nprocs) → seconds`.
+#[derive(Default)]
+pub struct PaceEngine {
+    evaluations: AtomicU64,
+}
+
+impl PaceEngine {
+    /// A fresh engine.
+    pub fn new() -> Self {
+        PaceEngine::default()
+    }
+
+    /// Predicted execution time in seconds of `app` on `nprocs` nodes of
+    /// `resource`. `nprocs` is clamped to `[1, resource.nproc]`: requesting
+    /// more nodes than the resource owns cannot make the task faster.
+    ///
+    /// The result is always finite and strictly positive.
+    pub fn evaluate(&self, app: &ApplicationModel, resource: &ResourceModel, nprocs: usize) -> f64 {
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        let n = nprocs.clamp(1, resource.nproc);
+        let t = match &app.curve {
+            ModelCurve::Tabulated(table) => {
+                table.reference_time(n) * resource.platform.cpu_factor
+            }
+            ModelCurve::Analytic(model) => n_time(model, n, resource),
+            ModelCurve::Templated(template) => template.time(n, &resource.platform),
+        };
+        debug_assert!(t.is_finite() && t > 0.0, "prediction must be positive");
+        t
+    }
+
+    /// The best (minimum) predicted execution time over all feasible
+    /// processor counts `1..=resource.nproc`, and the count achieving it.
+    /// This is the inner minimisation of the paper's eq. (10).
+    pub fn best_time(&self, app: &ApplicationModel, resource: &ResourceModel) -> (usize, f64) {
+        let mut best = (1, self.evaluate(app, resource, 1));
+        for k in 2..=resource.nproc {
+            let t = self.evaluate(app, resource, k);
+            if t < best.1 {
+                best = (k, t);
+            }
+        }
+        best
+    }
+
+    /// Total number of evaluations performed (cache-effect bookkeeping).
+    pub fn evaluation_count(&self) -> u64 {
+        self.evaluations.load(Ordering::Relaxed)
+    }
+}
+
+fn n_time(model: &crate::model::AnalyticModel, n: usize, resource: &ResourceModel) -> f64 {
+    model.time(n, resource.platform.cpu_factor, resource.platform.comm_factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AnalyticModel, AppId, ApplicationModel, TabulatedModel};
+    use crate::platform::Platform;
+
+    fn tab_app() -> ApplicationModel {
+        ApplicationModel::new(
+            AppId(1),
+            "tab",
+            ModelCurve::Tabulated(TabulatedModel::new(vec![40.0, 22.0, 16.0, 12.0]).unwrap()),
+            (1.0, 100.0),
+        )
+        .unwrap()
+    }
+
+    fn ana_app() -> ApplicationModel {
+        ApplicationModel::new(
+            AppId(2),
+            "ana",
+            ModelCurve::Analytic(AnalyticModel::new(1.0, 47.0, 0.0, 1.2).unwrap()),
+            (1.0, 100.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tabulated_scales_with_platform() {
+        let engine = PaceEngine::new();
+        let fast = ResourceModel::new(Platform::sgi_origin2000(), 4).unwrap();
+        let slow = ResourceModel::new(Platform::sun_sparcstation2(), 4).unwrap();
+        let t_fast = engine.evaluate(&tab_app(), &fast, 2);
+        let t_slow = engine.evaluate(&tab_app(), &slow, 2);
+        assert!((t_fast - 22.0).abs() < 1e-12);
+        let factor = Platform::sun_sparcstation2().cpu_factor;
+        assert!((t_slow - 22.0 * factor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nprocs_is_clamped_to_resource_size() {
+        let engine = PaceEngine::new();
+        let r = ResourceModel::new(Platform::sgi_origin2000(), 2).unwrap();
+        assert_eq!(engine.evaluate(&tab_app(), &r, 0), 40.0);
+        // 100 procs requested, resource only has 2.
+        assert_eq!(engine.evaluate(&tab_app(), &r, 100), 22.0);
+    }
+
+    #[test]
+    fn best_time_finds_interior_optimum() {
+        let engine = PaceEngine::new();
+        let r = ResourceModel::new(Platform::sgi_origin2000(), 16).unwrap();
+        let (k, t) = engine.best_time(&ana_app(), &r);
+        assert!(k > 1 && k < 16);
+        for other in 1..=16 {
+            assert!(t <= engine.evaluate(&ana_app(), &r, other) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn evaluation_counter_counts() {
+        let engine = PaceEngine::new();
+        let r = ResourceModel::new(Platform::sgi_origin2000(), 4).unwrap();
+        assert_eq!(engine.evaluation_count(), 0);
+        engine.evaluate(&tab_app(), &r, 1);
+        engine.evaluate(&tab_app(), &r, 1);
+        assert_eq!(engine.evaluation_count(), 2);
+        engine.best_time(&tab_app(), &r); // 4 more
+        assert_eq!(engine.evaluation_count(), 6);
+    }
+
+    #[test]
+    fn predictions_are_positive_for_all_counts() {
+        let engine = PaceEngine::new();
+        for platform in Platform::case_study_set() {
+            let r = ResourceModel::new(platform, 16).unwrap();
+            for k in 0..=32 {
+                assert!(engine.evaluate(&ana_app(), &r, k) > 0.0);
+                assert!(engine.evaluate(&tab_app(), &r, k) > 0.0);
+            }
+        }
+    }
+}

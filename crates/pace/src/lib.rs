@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! A performance-prediction toolkit in the mould of PACE.
+//!
+//! The paper drives every scheduling decision — local GA fitness, FIFO
+//! allocation search, and agent-level matchmaking — off the PACE toolkit
+//! (Nudd et al., 2000), which combines an *application model* (derived from
+//! source-code analysis) with a *resource model* (static hardware
+//! benchmarks) in an *evaluation engine* to predict execution time for a
+//! given processor count. The original toolkit is long gone; this crate
+//! reproduces its role exactly as the paper uses it:
+//!
+//! * [`model::ApplicationModel`] — per-application performance model. Two
+//!   curve families are provided: [`model::ModelCurve::Tabulated`] (embeds
+//!   measured/predicted runtimes per processor count — how we reproduce the
+//!   paper's Table 1 to the second) and [`model::ModelCurve::Analytic`]
+//!   (serial + parallel/n + communication terms — how PACE models actually
+//!   behave, used in examples and property tests).
+//! * [`platform::Platform`] / [`model::ResourceModel`] — static hardware
+//!   benchmark descriptions for the five machine types of the case study.
+//! * [`eval::PaceEngine`] — the evaluation engine: `(application, resource,
+//!   nprocs) → predicted seconds`.
+//! * [`cache::CachedEngine`] — the demand-driven evaluation cache described
+//!   in §2.2 ("a cache of all previous evaluations has been added between
+//!   the scheduler and the PACE evaluation engine").
+//! * [`catalog`] — the seven case-study kernels with the paper's Table 1
+//!   values and deadline-bound domains.
+//! * [`dsl`] — a small textual model-definition language (a stand-in for
+//!   PACE's CHIP³S layer) so examples can ship model files.
+
+pub mod cache;
+pub mod catalog;
+pub mod dsl;
+pub mod eval;
+pub mod model;
+pub mod noise;
+pub mod platform;
+pub mod template;
+
+pub use cache::{CacheStats, CachedEngine};
+pub use catalog::Catalog;
+pub use eval::PaceEngine;
+pub use model::{AnalyticModel, AppId, ApplicationModel, ModelCurve, ResourceModel, TabulatedModel};
+pub use noise::NoiseModel;
+pub use platform::Platform;
+pub use template::{NetworkModel, Phase, TemplateModel};

@@ -1,0 +1,294 @@
+//! Application and resource models.
+//!
+//! A PACE application model σ predicts the execution time of a parallel
+//! program as a function of the resource it runs on and the number of
+//! processors allocated. Two curve families are supported:
+//!
+//! * [`TabulatedModel`] — a per-processor-count runtime table on the
+//!   reference platform, scaled by the target platform's CPU factor. This is
+//!   how the case study's Table 1 is embedded exactly.
+//! * [`AnalyticModel`] — `serial + parallel/n + comm_log·log₂(n) +
+//!   comm_linear·(n−1)` with computation/communication scaled separately,
+//!   matching the structure of real PACE models (and able to produce all
+//!   three qualitative shapes in Table 1: monotone speedup that saturates,
+//!   shallow speedup, and a U-shaped curve with an interior optimum).
+
+use crate::platform::Platform;
+use serde::{Deserialize, Serialize};
+
+/// Identifier for an application model, used in evaluation-cache keys.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct AppId(pub u32);
+
+/// A runtime table on the reference platform, indexed by processor count.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TabulatedModel {
+    /// `times_s[k-1]` is the predicted runtime (seconds) on `k` processors
+    /// of the reference platform. Must be non-empty and strictly positive.
+    pub times_s: Vec<f64>,
+}
+
+impl TabulatedModel {
+    /// Build a table, validating that it is non-empty and positive.
+    pub fn new(times_s: Vec<f64>) -> Result<TabulatedModel, ModelError> {
+        if times_s.is_empty() {
+            return Err(ModelError::EmptyTable);
+        }
+        if times_s.iter().any(|t| !t.is_finite() || *t <= 0.0) {
+            return Err(ModelError::NonPositiveTime);
+        }
+        Ok(TabulatedModel { times_s })
+    }
+
+    /// Runtime on `nprocs` reference processors. Requests beyond the table
+    /// clamp to the last entry — the paper notes that "when the number of
+    /// processors is more than 16, the run time does not improve any
+    /// further".
+    pub fn reference_time(&self, nprocs: usize) -> f64 {
+        let idx = nprocs.max(1).min(self.times_s.len()) - 1;
+        self.times_s[idx]
+    }
+
+    /// Largest processor count the table distinguishes.
+    pub fn max_procs(&self) -> usize {
+        self.times_s.len()
+    }
+}
+
+/// An analytic model in the style of PACE/CHIP³S predictions.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AnalyticModel {
+    /// Non-parallelisable computation (seconds on the reference platform).
+    pub serial_s: f64,
+    /// Perfectly parallelisable computation (seconds on one reference node).
+    pub parallel_s: f64,
+    /// Communication cost growing with log₂(n) (tree collectives).
+    pub comm_log_s: f64,
+    /// Communication cost growing linearly with (n − 1) (all-to-all traffic).
+    pub comm_linear_s: f64,
+}
+
+impl AnalyticModel {
+    /// Build a model, validating non-negative terms and a positive total.
+    pub fn new(
+        serial_s: f64,
+        parallel_s: f64,
+        comm_log_s: f64,
+        comm_linear_s: f64,
+    ) -> Result<AnalyticModel, ModelError> {
+        let terms = [serial_s, parallel_s, comm_log_s, comm_linear_s];
+        if terms.iter().any(|t| !t.is_finite() || *t < 0.0) {
+            return Err(ModelError::NonPositiveTime);
+        }
+        if serial_s + parallel_s <= 0.0 {
+            return Err(ModelError::NonPositiveTime);
+        }
+        Ok(AnalyticModel {
+            serial_s,
+            parallel_s,
+            comm_log_s,
+            comm_linear_s,
+        })
+    }
+
+    /// Runtime on `nprocs` processors with given computation/communication
+    /// scaling factors.
+    pub fn time(&self, nprocs: usize, cpu_factor: f64, comm_factor: f64) -> f64 {
+        let n = nprocs.max(1) as f64;
+        let compute = (self.serial_s + self.parallel_s / n) * cpu_factor;
+        let comm =
+            (self.comm_log_s * n.log2() + self.comm_linear_s * (n - 1.0)) * comm_factor;
+        compute + comm
+    }
+
+    /// The processor count minimising runtime on the reference platform,
+    /// searched up to `max_procs`.
+    pub fn optimum_procs(&self, max_procs: usize) -> usize {
+        (1..=max_procs.max(1))
+            .min_by(|a, b| {
+                self.time(*a, 1.0, 1.0)
+                    .partial_cmp(&self.time(*b, 1.0, 1.0))
+                    .expect("model times are finite")
+            })
+            .unwrap_or(1)
+    }
+}
+
+/// The performance curve of an application model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ModelCurve {
+    /// Table of runtimes per processor count (reference platform).
+    Tabulated(TabulatedModel),
+    /// Closed-form model.
+    Analytic(AnalyticModel),
+    /// Phase-structured parallel-template model (the CHIP³S layer).
+    Templated(crate::template::TemplateModel),
+}
+
+/// A complete application model: identity, curve and the deadline domain
+/// users draw from (Table 1's bracketed bounds).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ApplicationModel {
+    /// Stable identity for cache keys and trace records.
+    pub id: AppId,
+    /// Program name, e.g. `"sweep3d"`.
+    pub name: String,
+    /// Performance curve.
+    pub curve: ModelCurve,
+    /// `[lo, hi]` seconds: the domain user deadlines are sampled from.
+    pub deadline_bounds_s: (f64, f64),
+}
+
+impl ApplicationModel {
+    /// Construct and validate an application model.
+    pub fn new(
+        id: AppId,
+        name: &str,
+        curve: ModelCurve,
+        deadline_bounds_s: (f64, f64),
+    ) -> Result<ApplicationModel, ModelError> {
+        if name.is_empty() {
+            return Err(ModelError::EmptyName);
+        }
+        let (lo, hi) = deadline_bounds_s;
+        if !(lo.is_finite() && hi.is_finite()) || lo <= 0.0 || hi < lo {
+            return Err(ModelError::BadDeadlineBounds);
+        }
+        Ok(ApplicationModel {
+            id,
+            name: name.to_string(),
+            curve,
+            deadline_bounds_s,
+        })
+    }
+}
+
+/// A grid resource as PACE sees it: a homogeneous pool of `nproc` nodes of
+/// one platform type.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResourceModel {
+    /// The machine type of every node.
+    pub platform: Platform,
+    /// Number of processing nodes.
+    pub nproc: usize,
+}
+
+impl ResourceModel {
+    /// Build a resource model; `nproc` must be at least 1.
+    pub fn new(platform: Platform, nproc: usize) -> Result<ResourceModel, ModelError> {
+        if nproc == 0 {
+            return Err(ModelError::NoProcessors);
+        }
+        Ok(ResourceModel { platform, nproc })
+    }
+}
+
+/// Validation failures for model construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// A tabulated model must have at least one entry.
+    EmptyTable,
+    /// Times and model terms must be finite and positive.
+    NonPositiveTime,
+    /// An application must be named.
+    EmptyName,
+    /// Deadline bounds must satisfy `0 < lo ≤ hi`.
+    BadDeadlineBounds,
+    /// A resource needs at least one node.
+    NoProcessors,
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            ModelError::EmptyTable => "tabulated model has no entries",
+            ModelError::NonPositiveTime => "model times must be finite and positive",
+            ModelError::EmptyName => "application name is empty",
+            ModelError::BadDeadlineBounds => "deadline bounds must satisfy 0 < lo <= hi",
+            ModelError::NoProcessors => "resource must have at least one processor",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tabulated_clamps_out_of_range_requests() {
+        let m = TabulatedModel::new(vec![10.0, 6.0, 4.0]).unwrap();
+        assert_eq!(m.reference_time(0), 10.0);
+        assert_eq!(m.reference_time(1), 10.0);
+        assert_eq!(m.reference_time(3), 4.0);
+        assert_eq!(m.reference_time(64), 4.0);
+        assert_eq!(m.max_procs(), 3);
+    }
+
+    #[test]
+    fn tabulated_rejects_bad_tables() {
+        assert_eq!(TabulatedModel::new(vec![]), Err(ModelError::EmptyTable));
+        assert_eq!(
+            TabulatedModel::new(vec![1.0, 0.0]),
+            Err(ModelError::NonPositiveTime)
+        );
+        assert_eq!(
+            TabulatedModel::new(vec![f64::NAN]),
+            Err(ModelError::NonPositiveTime)
+        );
+    }
+
+    #[test]
+    fn analytic_amdahl_shape() {
+        // Pure Amdahl: monotone decreasing, floor at the serial fraction.
+        let m = AnalyticModel::new(2.0, 48.0, 0.0, 0.0).unwrap();
+        let t1 = m.time(1, 1.0, 1.0);
+        let t16 = m.time(16, 1.0, 1.0);
+        assert!(t1 > t16);
+        assert!((t1 - 50.0).abs() < 1e-12);
+        assert!((t16 - 5.0).abs() < 1e-12);
+        assert_eq!(m.optimum_procs(16), 16);
+    }
+
+    #[test]
+    fn analytic_u_shape_has_interior_optimum() {
+        // Linear communication term creates a U-shaped curve like improc.
+        let m = AnalyticModel::new(1.0, 47.0, 0.0, 1.2).unwrap();
+        let opt = m.optimum_procs(16);
+        assert!(opt > 1 && opt < 16, "optimum {opt} should be interior");
+        assert!(m.time(opt, 1.0, 1.0) < m.time(1, 1.0, 1.0));
+        assert!(m.time(opt, 1.0, 1.0) < m.time(16, 1.0, 1.0));
+    }
+
+    #[test]
+    fn analytic_scales_compute_and_comm_independently() {
+        let m = AnalyticModel::new(1.0, 9.0, 2.0, 0.0).unwrap();
+        // On 4 procs: compute = (1 + 9/4), comm = 2*log2(4) = 4.
+        let t = m.time(4, 2.0, 3.0);
+        assert!((t - (2.0 * 3.25 + 3.0 * 4.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analytic_rejects_negative_terms() {
+        assert!(AnalyticModel::new(-1.0, 5.0, 0.0, 0.0).is_err());
+        assert!(AnalyticModel::new(0.0, 0.0, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn application_model_validates_deadline_bounds() {
+        let curve = ModelCurve::Analytic(AnalyticModel::new(1.0, 1.0, 0.0, 0.0).unwrap());
+        assert!(ApplicationModel::new(AppId(0), "x", curve.clone(), (4.0, 200.0)).is_ok());
+        assert!(ApplicationModel::new(AppId(0), "", curve.clone(), (4.0, 200.0)).is_err());
+        assert!(ApplicationModel::new(AppId(0), "x", curve.clone(), (0.0, 10.0)).is_err());
+        assert!(ApplicationModel::new(AppId(0), "x", curve, (10.0, 4.0)).is_err());
+    }
+
+    #[test]
+    fn resource_model_needs_processors() {
+        assert!(ResourceModel::new(Platform::sgi_origin2000(), 0).is_err());
+        let r = ResourceModel::new(Platform::sun_ultra5(), 16).unwrap();
+        assert_eq!(r.nproc, 16);
+    }
+}

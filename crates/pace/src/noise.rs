@@ -1,0 +1,149 @@
+//! Prediction-error models.
+//!
+//! The paper's future work: "Future enhancement to the system will
+//! include the impact of the accuracy of the PACE predictive data on
+//! grid load balancing and scheduling." This module provides that knob:
+//! a [`NoiseModel`] maps a predicted execution time to the *actual* one
+//! by a random multiplicative factor, sampled once per task at dispatch.
+//!
+//! Schedulers keep planning with the (now imperfect) predictions; the
+//! simulator completes tasks at the noisy actual instants. The
+//! `accuracy` experiment binary sweeps the error level and reports how
+//! ε/υ/β degrade.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How actual execution times deviate from PACE predictions.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum NoiseModel {
+    /// Test mode: predictions are exact (the paper's experiments).
+    #[default]
+    Exact,
+    /// Actual = predicted × U(1 − rel, 1 + rel). `rel` is clamped to
+    /// [0, 0.95] so durations stay positive.
+    Uniform {
+        /// Half-width of the relative error band.
+        rel: f64,
+    },
+    /// Actual = predicted × exp(N(0, σ)) — heavy-ish right tail, the
+    /// usual empirical shape of runtime mis-prediction.
+    LogNormal {
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
+}
+
+
+impl NoiseModel {
+    /// Sample the multiplicative factor for one task. Always strictly
+    /// positive; `Exact` always returns 1.0 and draws nothing.
+    pub fn factor(&self, rng: &mut impl Rng) -> f64 {
+        match self {
+            NoiseModel::Exact => 1.0,
+            NoiseModel::Uniform { rel } => {
+                let r = rel.clamp(0.0, 0.95);
+                if r == 0.0 {
+                    1.0
+                } else {
+                    rng.gen_range(1.0 - r..=1.0 + r)
+                }
+            }
+            NoiseModel::LogNormal { sigma } => {
+                let s = sigma.max(0.0);
+                if s == 0.0 {
+                    return 1.0;
+                }
+                // Box–Muller.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (s * z).exp()
+            }
+        }
+    }
+
+    /// True when the model never perturbs predictions.
+    pub fn is_exact(&self) -> bool {
+        matches!(
+            self,
+            NoiseModel::Exact
+                | NoiseModel::Uniform { rel: 0.0 }
+                | NoiseModel::LogNormal { sigma: 0.0 }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_is_always_one() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(NoiseModel::Exact.factor(&mut rng), 1.0);
+        }
+        assert!(NoiseModel::Exact.is_exact());
+        assert!(NoiseModel::Uniform { rel: 0.0 }.is_exact());
+        assert!(!NoiseModel::Uniform { rel: 0.2 }.is_exact());
+    }
+
+    #[test]
+    fn uniform_stays_in_band() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let m = NoiseModel::Uniform { rel: 0.3 };
+        for _ in 0..1000 {
+            let f = m.factor(&mut rng);
+            assert!((0.7..=1.3).contains(&f), "factor {f} out of band");
+        }
+    }
+
+    #[test]
+    fn uniform_rel_is_clamped() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let m = NoiseModel::Uniform { rel: 5.0 };
+        for _ in 0..1000 {
+            assert!(m.factor(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_centred() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let m = NoiseModel::LogNormal { sigma: 0.3 };
+        let mut sum_log = 0.0;
+        for _ in 0..5000 {
+            let f = m.factor(&mut rng);
+            assert!(f > 0.0);
+            sum_log += f.ln();
+        }
+        // Mean of ln(factor) ≈ 0.
+        assert!((sum_log / 5000.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn uniform_mean_is_near_one() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let m = NoiseModel::Uniform { rel: 0.4 };
+        let mean: f64 = (0..5000).map(|_| m.factor(&mut rng)).sum::<f64>() / 5000.0;
+        assert!((mean - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = NoiseModel::LogNormal { sigma: 0.5 };
+        let a: Vec<f64> = {
+            let mut rng = SmallRng::seed_from_u64(9);
+            (0..10).map(|_| m.factor(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = SmallRng::seed_from_u64(9);
+            (0..10).map(|_| m.factor(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,130 @@
+//! Hardware platform descriptions (the PACE *resource model* inputs).
+//!
+//! PACE resource models are static benchmark measurements; the paper uses
+//! five machine types spanning roughly a 5× range in per-node speed
+//! (Fig. 7: "The SGI multi-processor is the most powerful, followed by the
+//! Sun Ultra 10, 5, 1, and SPARCstation 2 in turn"). The exact factors are
+//! a calibration choice documented in DESIGN.md §5.
+
+use serde::{Deserialize, Serialize};
+
+/// A static hardware benchmark for one machine type.
+///
+/// `cpu_factor` scales computation time relative to the reference platform
+/// (SGI Origin2000 = 1.0; larger is slower). `comm_factor` scales
+/// communication terms of analytic models the same way.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Stable identifier used in evaluation-cache keys.
+    pub id: u32,
+    /// Human-readable model name, e.g. `"SGIOrigin2000"`.
+    pub name: String,
+    /// Computation slowdown relative to the reference platform (≥ small ε).
+    pub cpu_factor: f64,
+    /// Communication slowdown relative to the reference platform.
+    pub comm_factor: f64,
+}
+
+impl Platform {
+    /// The reference platform of the case study (Table 1 is quoted on it).
+    pub fn sgi_origin2000() -> Platform {
+        Platform::new(0, "SGIOrigin2000", 1.0, 1.0)
+    }
+
+    /// Sun Ultra 10 workstation cluster.
+    pub fn sun_ultra10() -> Platform {
+        Platform::new(1, "SunUltra10", 2.0, 1.5)
+    }
+
+    /// Sun Ultra 5 workstation cluster.
+    pub fn sun_ultra5() -> Platform {
+        Platform::new(2, "SunUltra5", 3.0, 2.0)
+    }
+
+    /// Sun Ultra 1 workstation cluster.
+    pub fn sun_ultra1() -> Platform {
+        Platform::new(3, "SunUltra1", 4.5, 2.5)
+    }
+
+    /// Sun SPARCstation 2 cluster, the slowest machines in the study.
+    pub fn sun_sparcstation2() -> Platform {
+        Platform::new(4, "SunSPARCstation2", 7.0, 3.5)
+    }
+
+    /// A custom platform. `cpu_factor`/`comm_factor` are clamped to a small
+    /// positive minimum so predictions stay finite and positive.
+    pub fn new(id: u32, name: &str, cpu_factor: f64, comm_factor: f64) -> Platform {
+        Platform {
+            id,
+            name: name.to_string(),
+            cpu_factor: cpu_factor.max(1e-9),
+            comm_factor: comm_factor.max(1e-9),
+        }
+    }
+
+    /// All five case-study platforms, fastest first.
+    pub fn case_study_set() -> Vec<Platform> {
+        vec![
+            Platform::sgi_origin2000(),
+            Platform::sun_ultra10(),
+            Platform::sun_ultra5(),
+            Platform::sun_ultra1(),
+            Platform::sun_sparcstation2(),
+        ]
+    }
+
+    /// Look a case-study platform up by its model name.
+    pub fn by_name(name: &str) -> Option<Platform> {
+        Platform::case_study_set().into_iter().find(|p| p.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_study_set_is_ordered_fastest_first() {
+        let set = Platform::case_study_set();
+        assert_eq!(set.len(), 5);
+        for w in set.windows(2) {
+            assert!(
+                w[0].cpu_factor < w[1].cpu_factor,
+                "{} should be faster than {}",
+                w[0].name,
+                w[1].name
+            );
+        }
+    }
+
+    #[test]
+    fn reference_platform_has_unit_factors() {
+        let sgi = Platform::sgi_origin2000();
+        assert_eq!(sgi.cpu_factor, 1.0);
+        assert_eq!(sgi.comm_factor, 1.0);
+    }
+
+    #[test]
+    fn by_name_finds_each_platform() {
+        for p in Platform::case_study_set() {
+            assert_eq!(Platform::by_name(&p.name).unwrap().id, p.id);
+        }
+        assert!(Platform::by_name("Cray T3E").is_none());
+    }
+
+    #[test]
+    fn custom_factors_are_clamped_positive() {
+        let p = Platform::new(9, "Broken", -3.0, 0.0);
+        assert!(p.cpu_factor > 0.0);
+        assert!(p.comm_factor > 0.0);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let set = Platform::case_study_set();
+        let mut ids: Vec<_> = set.iter().map(|p| p.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), set.len());
+    }
+}

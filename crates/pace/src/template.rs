@@ -1,0 +1,418 @@
+//! Parallel-template application models (the CHIP³S layer).
+//!
+//! Real PACE models are not closed-form curves: CHIP³S describes an
+//! application as a sequence of computation and communication *phases*
+//! executed under a parallelisation template, and the evaluation engine
+//! walks the phases against a hardware model. This module reproduces
+//! that structure:
+//!
+//! * [`Phase`] — one step of the per-iteration body: parallel or serial
+//!   computation, or a communication pattern (point-to-point exchange,
+//!   broadcast, all-to-all, barrier);
+//! * [`NetworkModel`] — the reference interconnect (per-message latency
+//!   and bandwidth), scaled by a platform's `comm_factor`;
+//! * [`TemplateModel`] — iterations × phases, evaluated for a processor
+//!   count.
+//!
+//! The closed-form [`crate::AnalyticModel`] is the template family's
+//! two-phase special case; the property tests in this module assert that
+//! correspondence.
+
+use crate::platform::Platform;
+use serde::{Deserialize, Serialize};
+
+/// The reference interconnect a template's communication phases assume.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Per-message latency in seconds (reference platform).
+    pub latency_s: f64,
+    /// Bandwidth in bytes/second (reference platform).
+    pub bandwidth_bps: f64,
+}
+
+impl Default for NetworkModel {
+    /// A 2003-era cluster interconnect: 60 µs latency, 100 Mbit/s.
+    fn default() -> Self {
+        NetworkModel {
+            latency_s: 60e-6,
+            bandwidth_bps: 12.5e6,
+        }
+    }
+}
+
+impl NetworkModel {
+    /// Time to move one `bytes`-sized message (reference platform).
+    pub fn message_time(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth_bps.max(1.0)
+    }
+}
+
+/// One phase of a template's iteration body.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Computation that divides across the allocated nodes.
+    ParallelCompute {
+        /// Total work in reference-platform seconds.
+        work_s: f64,
+    },
+    /// Computation replicated (or inherently serial) on the critical path.
+    SerialCompute {
+        /// Work in reference-platform seconds.
+        work_s: f64,
+    },
+    /// Nearest-neighbour exchange: every node sends `count` messages of
+    /// `bytes` (stencil halo swaps). Cost is independent of n (pairwise,
+    /// concurrent) but only paid when n > 1.
+    Exchange {
+        /// Message payload in bytes.
+        bytes: u64,
+        /// Messages per node per iteration.
+        count: u32,
+    },
+    /// One-to-all broadcast of `bytes` (binomial tree: ⌈log₂ n⌉ rounds).
+    Broadcast {
+        /// Broadcast payload in bytes.
+        bytes: u64,
+    },
+    /// All-to-all of `bytes` per pair: n − 1 sequential message times.
+    AllToAll {
+        /// Per-pair payload in bytes.
+        bytes: u64,
+    },
+    /// Synchronisation barrier: 2⌈log₂ n⌉ latencies.
+    Barrier,
+}
+
+impl Phase {
+    /// Phase time on `n` reference nodes over `net`.
+    fn time(&self, n: usize, net: &NetworkModel) -> f64 {
+        let n = n.max(1);
+        let log2n = (n as f64).log2().ceil().max(0.0);
+        match self {
+            Phase::ParallelCompute { work_s } => work_s / n as f64,
+            Phase::SerialCompute { work_s } => *work_s,
+            Phase::Exchange { bytes, count } => {
+                if n == 1 {
+                    0.0
+                } else {
+                    *count as f64 * net.message_time(*bytes)
+                }
+            }
+            Phase::Broadcast { bytes } => log2n * net.message_time(*bytes),
+            Phase::AllToAll { bytes } => (n as f64 - 1.0) * net.message_time(*bytes),
+            Phase::Barrier => 2.0 * log2n * net.latency_s,
+        }
+    }
+
+    /// True for computation phases.
+    pub fn is_compute(&self) -> bool {
+        matches!(
+            self,
+            Phase::ParallelCompute { .. } | Phase::SerialCompute { .. }
+        )
+    }
+}
+
+/// A phase-structured application model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TemplateModel {
+    /// The per-iteration phase sequence.
+    pub phases: Vec<Phase>,
+    /// Number of iterations of the body (≥ 1).
+    pub iterations: u32,
+    /// The reference interconnect.
+    pub network: NetworkModel,
+}
+
+/// Validation failures for template construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TemplateError {
+    /// A template needs at least one phase.
+    NoPhases,
+    /// Iterations must be at least 1.
+    NoIterations,
+    /// Computation work and network figures must be finite and
+    /// non-negative (with positive bandwidth).
+    BadNumbers,
+}
+
+impl std::fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            TemplateError::NoPhases => "template has no phases",
+            TemplateError::NoIterations => "template needs at least one iteration",
+            TemplateError::BadNumbers => "template numbers must be finite and non-negative",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+impl TemplateModel {
+    /// Build and validate a template.
+    pub fn new(
+        phases: Vec<Phase>,
+        iterations: u32,
+        network: NetworkModel,
+    ) -> Result<TemplateModel, TemplateError> {
+        if phases.is_empty() {
+            return Err(TemplateError::NoPhases);
+        }
+        if iterations == 0 {
+            return Err(TemplateError::NoIterations);
+        }
+        let numbers_ok = network.latency_s.is_finite()
+            && network.latency_s >= 0.0
+            && network.bandwidth_bps.is_finite()
+            && network.bandwidth_bps > 0.0
+            && phases.iter().all(|p| match p {
+                Phase::ParallelCompute { work_s } | Phase::SerialCompute { work_s } => {
+                    work_s.is_finite() && *work_s >= 0.0
+                }
+                _ => true,
+            });
+        if !numbers_ok {
+            return Err(TemplateError::BadNumbers);
+        }
+        // At least some cost per iteration, so predictions stay positive.
+        let t1 = phases.iter().map(|p| p.time(1, &network)).sum::<f64>();
+        let t2 = phases.iter().map(|p| p.time(2, &network)).sum::<f64>();
+        if t1 <= 0.0 && t2 <= 0.0 {
+            return Err(TemplateError::BadNumbers);
+        }
+        Ok(TemplateModel {
+            phases,
+            iterations,
+            network,
+        })
+    }
+
+    /// Predicted execution time on `n` nodes of `platform`: computation
+    /// scales by `cpu_factor`, communication by `comm_factor`.
+    pub fn time(&self, n: usize, platform: &Platform) -> f64 {
+        let mut compute = 0.0;
+        let mut comm = 0.0;
+        for p in &self.phases {
+            let t = p.time(n, &self.network);
+            if p.is_compute() {
+                compute += t;
+            } else {
+                comm += t;
+            }
+        }
+        let per_iter = compute * platform.cpu_factor + comm * platform.comm_factor;
+        // Guard against degenerate all-zero corners (e.g. Exchange at n=1).
+        (per_iter * self.iterations as f64).max(1e-9)
+    }
+
+    /// A stencil code: parallel body + halo exchange + barrier per
+    /// iteration (jacobi-like scaling).
+    pub fn stencil(work_s: f64, halo_bytes: u64, iterations: u32) -> TemplateModel {
+        TemplateModel::new(
+            vec![
+                Phase::ParallelCompute { work_s },
+                Phase::Exchange {
+                    bytes: halo_bytes,
+                    count: 2,
+                },
+                Phase::Barrier,
+            ],
+            iterations,
+            NetworkModel::default(),
+        )
+        .expect("stencil template is valid")
+    }
+
+    /// A master/worker code: broadcast of the work unit, parallel
+    /// processing, all-to-all result gathering (improc-like U-shape at
+    /// large payloads).
+    pub fn master_worker(work_s: f64, unit_bytes: u64, iterations: u32) -> TemplateModel {
+        TemplateModel::new(
+            vec![
+                Phase::Broadcast { bytes: unit_bytes },
+                Phase::ParallelCompute { work_s },
+                Phase::AllToAll { bytes: unit_bytes },
+            ],
+            iterations,
+            NetworkModel::default(),
+        )
+        .expect("master/worker template is valid")
+    }
+
+    /// A pipeline: serial stage setup plus parallel body per iteration
+    /// (fft-like shallow scaling when the serial part dominates).
+    pub fn pipeline(serial_s: f64, work_s: f64, iterations: u32) -> TemplateModel {
+        TemplateModel::new(
+            vec![
+                Phase::SerialCompute { work_s: serial_s },
+                Phase::ParallelCompute { work_s },
+                Phase::Barrier,
+            ],
+            iterations,
+            NetworkModel::default(),
+        )
+        .expect("pipeline template is valid")
+    }
+
+    /// The processor count minimising predicted time on `platform`,
+    /// searched up to `max_procs`.
+    pub fn optimum_procs(&self, platform: &Platform, max_procs: usize) -> usize {
+        (1..=max_procs.max(1))
+            .min_by(|a, b| {
+                self.time(*a, platform)
+                    .partial_cmp(&self.time(*b, platform))
+                    .expect("times are finite")
+            })
+            .unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sgi() -> Platform {
+        Platform::sgi_origin2000()
+    }
+
+    #[test]
+    fn stencil_scales_then_saturates() {
+        let m = TemplateModel::stencil(2.0, 8192, 50);
+        let t1 = m.time(1, &sgi());
+        let t8 = m.time(8, &sgi());
+        let t16 = m.time(16, &sgi());
+        assert!(t8 < t1, "stencil must speed up");
+        assert!(t16 <= t8, "more nodes never hurt a stencil much");
+        // Communication bounds the speedup below perfect.
+        assert!(t16 > t1 / 16.0);
+    }
+
+    #[test]
+    fn master_worker_has_interior_optimum_with_big_payloads() {
+        // Heavy all-to-all payloads: communication eventually dominates.
+        let m = TemplateModel::master_worker(10.0, 4_000_000, 4);
+        let opt = m.optimum_procs(&sgi(), 16);
+        assert!(opt > 1 && opt < 16, "optimum {opt} should be interior");
+    }
+
+    #[test]
+    fn pipeline_is_amdahl_limited() {
+        let m = TemplateModel::pipeline(1.0, 9.0, 10);
+        let t1 = m.time(1, &sgi());
+        let t_inf = m.time(1024, &sgi());
+        // Serial floor: 10 iterations × 1 s plus barrier noise.
+        assert!(t_inf >= 10.0);
+        assert!(t1 >= 100.0 - 1e-9);
+    }
+
+    #[test]
+    fn communication_scales_with_comm_factor_only() {
+        let m = TemplateModel::new(
+            vec![Phase::AllToAll { bytes: 1_000_000 }],
+            1,
+            NetworkModel::default(),
+        )
+        .unwrap();
+        let fast = Platform::new(8, "fastnet", 5.0, 1.0);
+        let slow = Platform::new(9, "slownet", 5.0, 4.0);
+        let tf = m.time(8, &fast);
+        let ts = m.time(8, &slow);
+        assert!((ts / tf - 4.0).abs() < 1e-9, "comm-only model scales by comm factor");
+    }
+
+    #[test]
+    fn computation_scales_with_cpu_factor_only() {
+        let m = TemplateModel::new(
+            vec![Phase::ParallelCompute { work_s: 8.0 }],
+            2,
+            NetworkModel::default(),
+        )
+        .unwrap();
+        let t_ref = m.time(4, &sgi());
+        let t_slow = m.time(4, &Platform::sun_sparcstation2());
+        assert!((t_slow / t_ref - Platform::sun_sparcstation2().cpu_factor).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_costs_behave() {
+        let net = NetworkModel::default();
+        // Barrier grows with log n.
+        assert_eq!(Phase::Barrier.time(1, &net), 0.0);
+        assert!(Phase::Barrier.time(16, &net) > Phase::Barrier.time(4, &net));
+        // Broadcast: log2 rounds.
+        let b = Phase::Broadcast { bytes: 0 };
+        assert!((b.time(8, &net) - 3.0 * net.latency_s).abs() < 1e-12);
+        // All-to-all linear in n.
+        let a = Phase::AllToAll { bytes: 0 };
+        assert!((a.time(9, &net) - 8.0 * net.latency_s).abs() < 1e-12);
+        // Exchange free on one node, constant beyond.
+        let e = Phase::Exchange { bytes: 100, count: 2 };
+        assert_eq!(e.time(1, &net), 0.0);
+        assert!((e.time(4, &net) - e.time(16, &net)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn validation_rejects_bad_templates() {
+        assert_eq!(
+            TemplateModel::new(vec![], 1, NetworkModel::default()),
+            Err(TemplateError::NoPhases)
+        );
+        assert_eq!(
+            TemplateModel::new(vec![Phase::Barrier], 0, NetworkModel::default()),
+            Err(TemplateError::NoIterations)
+        );
+        assert_eq!(
+            TemplateModel::new(
+                vec![Phase::ParallelCompute { work_s: -1.0 }],
+                1,
+                NetworkModel::default()
+            ),
+            Err(TemplateError::BadNumbers)
+        );
+        assert_eq!(
+            TemplateModel::new(
+                vec![Phase::Barrier],
+                1,
+                NetworkModel {
+                    latency_s: 1e-4,
+                    bandwidth_bps: 0.0
+                }
+            ),
+            Err(TemplateError::BadNumbers)
+        );
+    }
+
+    #[test]
+    fn matches_analytic_special_case() {
+        // serial + parallel/n with no communication == AnalyticModel.
+        use crate::model::AnalyticModel;
+        let t = TemplateModel::new(
+            vec![
+                Phase::SerialCompute { work_s: 2.0 },
+                Phase::ParallelCompute { work_s: 48.0 },
+            ],
+            1,
+            NetworkModel::default(),
+        )
+        .unwrap();
+        let a = AnalyticModel::new(2.0, 48.0, 0.0, 0.0).unwrap();
+        for n in 1..=16 {
+            let tt = t.time(n, &sgi());
+            let ta = a.time(n, 1.0, 1.0);
+            assert!((tt - ta).abs() < 1e-9, "n={n}: {tt} vs {ta}");
+        }
+    }
+
+    #[test]
+    fn prediction_is_always_positive() {
+        let m = TemplateModel::new(
+            vec![Phase::Exchange { bytes: 10, count: 1 }],
+            1,
+            NetworkModel::default(),
+        )
+        .unwrap();
+        // Exchange costs nothing on one node; the floor keeps it positive.
+        assert!(m.time(1, &sgi()) > 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! The combined cost function and dynamic fitness scaling (eqs. 8–9).
+//!
+//! "A combined cost function is used which considers makespan, idle time
+//! and deadline. ... Idle time at the front of the schedule is
+//! particularly undesirable as this is the processing time which will be
+//! wasted first ... Solutions that have large idle times are penalised by
+//! weighting pockets of idle time ... which penalises early idle time more
+//! than later idle time."
+//!
+//! The paper gives the combination (eq. 8) but not the idle-weighting
+//! formula; we use a linear ramp from [`CostWeights::idle_early_weight`]
+//! at the planning instant down to 1.0 at the makespan (DESIGN.md §5.1,
+//! ablated in the `ga_ablation` bench).
+
+use crate::decode::DecodedSchedule;
+use serde::{Deserialize, Serialize};
+
+/// Weights of the combined cost function (the `W` terms of eq. 8) plus the
+/// idle-weighting shape parameter.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostWeights {
+    /// Wᵐ: weight of the makespan ω.
+    pub makespan: f64,
+    /// Wⁱ: weight of the weighted idle time ϕ.
+    pub idle: f64,
+    /// Wᶜ: weight of the contract penalty θ.
+    pub deadline: f64,
+    /// Multiplier applied to an idle pocket at the very front of the
+    /// schedule; pockets at the makespan get 1.0, linear in between.
+    /// 1.0 disables front-weighting (ablation).
+    pub idle_early_weight: f64,
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        CostWeights {
+            makespan: 1.0,
+            idle: 0.5,
+            deadline: 2.0,
+            idle_early_weight: 2.0,
+        }
+    }
+}
+
+/// The three cost ingredients of one schedule, in seconds.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleCost {
+    /// Makespan ω relative to the planning instant.
+    pub makespan_s: f64,
+    /// Front-weighted idle time ϕ.
+    pub weighted_idle_s: f64,
+    /// Contract penalty θ (total lateness).
+    pub lateness_s: f64,
+}
+
+impl ScheduleCost {
+    /// Extract the cost ingredients from a decoded schedule.
+    pub fn of(schedule: &DecodedSchedule, weights: &CostWeights) -> ScheduleCost {
+        let horizon = schedule.makespan_rel_s.max(1e-9);
+        let ew = weights.idle_early_weight.max(1.0);
+        let weighted_idle_s = schedule
+            .idle_pockets
+            .iter()
+            .map(|(offset, len)| {
+                let rel = (offset / horizon).clamp(0.0, 1.0);
+                let w = ew - (ew - 1.0) * rel;
+                w * len
+            })
+            .sum();
+        ScheduleCost {
+            makespan_s: schedule.makespan_rel_s,
+            weighted_idle_s,
+            lateness_s: schedule.lateness_s,
+        }
+    }
+
+    /// The combined cost value f꜀ of eq. 8: the weighted mean of the three
+    /// ingredients. Lower is better.
+    pub fn combined(&self, weights: &CostWeights) -> f64 {
+        let total = weights.makespan + weights.idle + weights.deadline;
+        debug_assert!(total > 0.0, "cost weights must not all be zero");
+        (weights.makespan * self.makespan_s
+            + weights.idle * self.weighted_idle_s
+            + weights.deadline * self.lateness_s)
+            / total
+    }
+}
+
+/// Dynamic scaling (eq. 9): map raw cost values to fitness in `[0, 1]`
+/// within one population, 1 for the best (minimum) cost and 0 for the
+/// worst. Degenerate populations (all equal) get uniform fitness 1.
+pub fn scale_fitness(costs: &[f64]) -> Vec<f64> {
+    if costs.is_empty() {
+        return Vec::new();
+    }
+    let max = costs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = costs.iter().copied().fold(f64::INFINITY, f64::min);
+    let span = max - min;
+    if span <= 0.0 || !span.is_finite() {
+        return vec![1.0; costs.len()];
+    }
+    costs.iter().map(|c| (max - c) / span).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schedule(makespan: f64, pockets: Vec<(f64, f64)>, lateness: f64) -> DecodedSchedule {
+        DecodedSchedule {
+            placements: vec![],
+            makespan: agentgrid_sim::SimTime::from_secs_f64(makespan),
+            makespan_rel_s: makespan,
+            idle_pockets: pockets,
+            lateness_s: lateness,
+            missed_deadlines: usize::from(lateness > 0.0),
+        }
+    }
+
+    #[test]
+    fn early_idle_costs_more_than_late_idle() {
+        let w = CostWeights::default();
+        let early = ScheduleCost::of(&schedule(100.0, vec![(0.0, 10.0)], 0.0), &w);
+        let late = ScheduleCost::of(&schedule(100.0, vec![(90.0, 10.0)], 0.0), &w);
+        assert!(early.weighted_idle_s > late.weighted_idle_s);
+        // Front pocket gets the full early weight.
+        assert!((early.weighted_idle_s - 20.0).abs() < 1e-9);
+        // A pocket at 90% of the horizon is weighted 2 − 0.9 = 1.1.
+        assert!((late.weighted_idle_s - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_early_weight_disables_front_weighting() {
+        let w = CostWeights {
+            idle_early_weight: 1.0,
+            ..CostWeights::default()
+        };
+        let c = ScheduleCost::of(&schedule(100.0, vec![(0.0, 10.0), (50.0, 5.0)], 0.0), &w);
+        assert!((c.weighted_idle_s - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn combined_cost_is_a_weighted_mean() {
+        let w = CostWeights {
+            makespan: 1.0,
+            idle: 1.0,
+            deadline: 2.0,
+            idle_early_weight: 1.0,
+        };
+        let c = ScheduleCost {
+            makespan_s: 40.0,
+            weighted_idle_s: 8.0,
+            lateness_s: 6.0,
+        };
+        assert!((c.combined(&w) - (40.0 + 8.0 + 12.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lateness_dominates_when_weighted_heavily() {
+        let w = CostWeights::default();
+        let on_time = ScheduleCost::of(&schedule(50.0, vec![], 0.0), &w);
+        let late = ScheduleCost::of(&schedule(45.0, vec![], 30.0), &w);
+        assert!(late.combined(&w) > on_time.combined(&w));
+    }
+
+    #[test]
+    fn scaling_maps_best_to_one_worst_to_zero() {
+        let f = scale_fitness(&[30.0, 10.0, 20.0]);
+        assert_eq!(f[0], 0.0);
+        assert_eq!(f[1], 1.0);
+        assert!((f[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_degenerate_population_is_uniform() {
+        assert_eq!(scale_fitness(&[5.0, 5.0, 5.0]), vec![1.0, 1.0, 1.0]);
+        assert!(scale_fitness(&[]).is_empty());
+        assert_eq!(scale_fitness(&[7.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn scaling_is_within_unit_interval() {
+        let costs = [3.0, 9.5, 0.2, 7.7, 0.2];
+        for f in scale_fitness(&costs) {
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+}

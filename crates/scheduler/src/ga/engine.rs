@@ -1,0 +1,532 @@
+//! The evolving GA population (paper §2.1–2.2 "GA scheduling").
+//!
+//! The engine keeps a fixed-size population of two-part solution strings
+//! for the scheduler's *current* optimisation set of tasks. Each call to
+//! [`GaScheduler::evolve`] runs a bounded number of generations (with
+//! early exit on stall) and returns the best decoded schedule found.
+//! Between calls, the population persists: task arrivals and departures
+//! are *absorbed* by editing every individual in place, so accumulated
+//! ordering/mapping building blocks survive system changes — the property
+//! the paper highlights as the reason for choosing an evolutionary method.
+
+use crate::cost::{scale_fitness, CostWeights, ScheduleCost};
+use crate::decode::{decode, DecodedSchedule, ResourceView};
+use crate::ga::ops::{crossover, mutate};
+use crate::ga::select::stochastic_remainder;
+use crate::solution::Solution;
+use crate::task::Task;
+use agentgrid_cluster::NodeMask;
+use agentgrid_pace::CachedEngine;
+use agentgrid_sim::{RngStream, SimDuration, SimTime};
+use rand::Rng;
+
+/// Tuning knobs of the GA.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GaConfig {
+    /// Fixed population size ("the genetic algorithm utilises a fixed
+    /// population size"; the paper quotes 50 in its cache example).
+    pub population: usize,
+    /// Generations evolved per scheduling event.
+    pub generations_per_event: usize,
+    /// Early exit after this many generations without improvement.
+    pub stall_generations: usize,
+    /// Probability a selected pair is recombined (vs. cloned).
+    pub crossover_rate: f64,
+    /// Probability the ordering switch operator fires per individual.
+    pub order_mutation_rate: f64,
+    /// Per-bit flip probability in the mapping parts.
+    pub bit_mutation_rate: f64,
+    /// Individuals copied unchanged into the next generation.
+    pub elitism: usize,
+    /// Cost-function weights (eq. 8).
+    pub weights: CostWeights,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 40,
+            generations_per_event: 40,
+            stall_generations: 15,
+            crossover_rate: 0.8,
+            order_mutation_rate: 0.35,
+            bit_mutation_rate: 0.02,
+            elitism: 2,
+            weights: CostWeights::default(),
+        }
+    }
+}
+
+/// Result of one [`GaScheduler::evolve`] call.
+#[derive(Clone, Debug)]
+pub struct EvolveOutcome {
+    /// The best schedule found (decoded placements, makespan, …).
+    pub schedule: DecodedSchedule,
+    /// Its combined cost (eq. 8).
+    pub cost: f64,
+    /// Generations actually evolved (≤ `generations_per_event`).
+    pub generations: usize,
+}
+
+/// The GA scheduling kernel.
+pub struct GaScheduler {
+    config: GaConfig,
+    population: Vec<Solution>,
+    rng: RngStream,
+    /// Task count the population currently encodes.
+    ntasks: usize,
+}
+
+impl GaScheduler {
+    /// A scheduler with the given configuration and random stream.
+    pub fn new(config: GaConfig, rng: RngStream) -> GaScheduler {
+        assert!(config.population >= 2, "population must be at least 2");
+        assert!(
+            config.elitism < config.population,
+            "elitism must leave room for offspring"
+        );
+        GaScheduler {
+            config,
+            population: Vec::new(),
+            rng,
+            ntasks: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &GaConfig {
+        &self.config
+    }
+
+    /// Current population (empty until the first evolve).
+    pub fn population(&self) -> &[Solution] {
+        &self.population
+    }
+
+    /// Absorb a newly arrived task: every individual gains the fresh task
+    /// index at a random position with a random allocation.
+    pub fn absorb_added_task(&mut self, nproc: usize) {
+        for sol in &mut self.population {
+            sol.insert_task(self.ntasks, nproc, &mut self.rng);
+        }
+        self.ntasks += 1;
+    }
+
+    /// Absorb a departed task (started executing or was cancelled):
+    /// remove index `task` from every individual and shift later indices.
+    pub fn absorb_removed_task(&mut self, task: usize) {
+        for sol in &mut self.population {
+            sol.remove_task(task);
+        }
+        self.ntasks = self.ntasks.saturating_sub(1);
+    }
+
+    /// Drop the population (e.g. after a resource reconfiguration).
+    pub fn reset(&mut self) {
+        self.population.clear();
+        self.ntasks = 0;
+    }
+
+    /// Evolve the population against the current task set and resource
+    /// snapshot, returning the best schedule found.
+    pub fn evolve(
+        &mut self,
+        view: &ResourceView,
+        tasks: &[Task],
+        engine: &CachedEngine,
+    ) -> EvolveOutcome {
+        let m = tasks.len();
+        let nproc = view.model.nproc;
+        if m == 0 {
+            self.population.clear();
+            self.ntasks = 0;
+            let empty = Solution {
+                order: vec![],
+                mapping: vec![],
+            };
+            let schedule = decode(view, tasks, &empty, engine);
+            return EvolveOutcome {
+                schedule,
+                cost: 0.0,
+                generations: 0,
+            };
+        }
+
+        self.ensure_population(view, tasks, engine);
+        self.inject_heuristic_seeds(view, tasks, engine);
+
+        let weights = self.config.weights;
+        let evaluate = |sol: &Solution| -> (DecodedSchedule, f64) {
+            let d = decode(view, tasks, sol, engine);
+            let c = ScheduleCost::of(&d, &weights).combined(&weights);
+            (d, c)
+        };
+
+        let mut costs: Vec<f64> = self.population.iter().map(|s| evaluate(s).1).collect();
+        let (mut best_idx, mut best_cost) = argmin(&costs);
+        let mut best_solution = self.population[best_idx].clone();
+        let mut stall = 0usize;
+        let mut generations = 0usize;
+
+        for _ in 0..self.config.generations_per_event {
+            if stall >= self.config.stall_generations {
+                break;
+            }
+            generations += 1;
+
+            let fitness = scale_fitness(&costs);
+            let offspring_slots = self.config.population - self.config.elitism;
+            let parents = stochastic_remainder(&fitness, offspring_slots, &mut self.rng);
+
+            // Elites survive unchanged.
+            let mut next: Vec<Solution> = Vec::with_capacity(self.config.population);
+            let elite_indices = k_smallest(&costs, self.config.elitism);
+            for &i in &elite_indices {
+                next.push(self.population[i].clone());
+            }
+
+            // Pair parents, recombine, mutate.
+            let mut pi = 0;
+            while next.len() < self.config.population {
+                let pa = &self.population[parents[pi % parents.len()]];
+                let pb = &self.population[parents[(pi + 1) % parents.len()]];
+                pi += 2;
+                let (mut c1, mut c2) = if self.rng.gen::<f64>() < self.config.crossover_rate {
+                    crossover(pa, pb, nproc, &mut self.rng)
+                } else {
+                    (pa.clone(), pb.clone())
+                };
+                mutate(
+                    &mut c1,
+                    nproc,
+                    self.config.order_mutation_rate,
+                    self.config.bit_mutation_rate,
+                    &mut self.rng,
+                );
+                next.push(c1);
+                if next.len() < self.config.population {
+                    mutate(
+                        &mut c2,
+                        nproc,
+                        self.config.order_mutation_rate,
+                        self.config.bit_mutation_rate,
+                        &mut self.rng,
+                    );
+                    next.push(c2);
+                }
+            }
+
+            self.population = next;
+            costs = self.population.iter().map(|s| evaluate(s).1).collect();
+            let (gen_best_idx, gen_best_cost) = argmin(&costs);
+            if gen_best_cost + 1e-12 < best_cost {
+                best_cost = gen_best_cost;
+                best_idx = gen_best_idx;
+                best_solution = self.population[gen_best_idx].clone();
+                stall = 0;
+            } else {
+                stall += 1;
+            }
+        }
+
+        let _ = best_idx;
+        let (schedule, cost) = evaluate(&best_solution);
+        EvolveOutcome {
+            schedule,
+            cost,
+            generations,
+        }
+    }
+
+    /// Refresh the two heuristic seeds against the *current* resource
+    /// view, replacing the two tail individuals. The arrival-order greedy
+    /// seed is exactly the FIFO baseline's schedule, so the best of the
+    /// population — and therefore what gets committed — can never fall
+    /// behind FIFO by the cost function. Without this, the seeds only
+    /// exist at reseed time and decay as tasks are absorbed at random
+    /// positions.
+    fn inject_heuristic_seeds(
+        &mut self,
+        view: &ResourceView,
+        tasks: &[Task],
+        engine: &CachedEngine,
+    ) {
+        let m = tasks.len();
+        let n = self.population.len();
+        if m == 0 || n < 4 {
+            return;
+        }
+        self.population[n - 1] = greedy_seed(view, tasks, engine, |i| i);
+        let mut by_deadline: Vec<usize> = (0..m).collect();
+        by_deadline.sort_by_key(|i| tasks[*i].deadline);
+        self.population[n - 2] = greedy_seed(view, tasks, engine, |p| by_deadline[p]);
+    }
+
+    /// (Re)seed the population if it is missing or inconsistent with the
+    /// task set: two heuristic seeds (arrival-order greedy and
+    /// earliest-deadline-first greedy) plus random individuals.
+    fn ensure_population(&mut self, view: &ResourceView, tasks: &[Task], engine: &CachedEngine) {
+        let m = tasks.len();
+        let consistent = self.ntasks == m
+            && self.population.len() == self.config.population
+            && self
+                .population
+                .iter()
+                .all(|s| s.is_legitimate(m, view.model.nproc));
+        if consistent {
+            return;
+        }
+        let nproc = view.model.nproc;
+        self.population.clear();
+        self.population
+            .push(greedy_seed(view, tasks, engine, |i| i));
+        let mut by_deadline: Vec<usize> = (0..m).collect();
+        by_deadline.sort_by_key(|i| tasks[*i].deadline);
+        self.population
+            .push(greedy_seed(view, tasks, engine, |p| by_deadline[p]));
+        while self.population.len() < self.config.population {
+            self.population
+                .push(Solution::random(m, nproc, &mut self.rng));
+        }
+        self.ntasks = m;
+    }
+}
+
+/// Greedy seed: tasks in the order induced by `order_of`, each allocated
+/// the earliest-completing `k`-earliest-free node set.
+fn greedy_seed(
+    view: &ResourceView,
+    tasks: &[Task],
+    engine: &CachedEngine,
+    order_of: impl Fn(usize) -> usize,
+) -> Solution {
+    let m = tasks.len();
+    let mut node_free = view.node_free.clone();
+    let mut order = Vec::with_capacity(m);
+    let mut mapping = Vec::with_capacity(m);
+    for p in 0..m {
+        let t = order_of(p);
+        let task = &tasks[t];
+        let mut best: Option<(SimTime, NodeMask)> = None;
+        let avail: Vec<usize> = view.available.iter().collect();
+        let mut sorted = avail.clone();
+        sorted.sort_by_key(|i| (node_free[*i], *i));
+        for k in 1..=sorted.len() {
+            let mask = NodeMask::from_indices(sorted.iter().copied().take(k));
+            let start = mask
+                .iter()
+                .map(|i| node_free[i])
+                .fold(view.now, SimTime::max);
+            let exec = engine.evaluate(&task.app, &view.model, k);
+            let completion = start + SimDuration::from_secs_f64(exec);
+            if best.is_none_or(|(bc, _)| completion < bc) {
+                best = Some((completion, mask));
+            }
+        }
+        let (completion, mask) = best.expect("at least one node available");
+        for i in mask.iter() {
+            node_free[i] = completion;
+        }
+        order.push(t);
+        mapping.push(mask);
+    }
+    Solution { order, mapping }
+}
+
+fn argmin(costs: &[f64]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (i, &c) in costs.iter().enumerate() {
+        if c < best.1 {
+            best = (i, c);
+        }
+    }
+    best
+}
+
+/// Indices of the `k` smallest costs (stable by index).
+fn k_smallest(costs: &[f64], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..costs.len()).collect();
+    idx.sort_by(|a, b| costs[*a].partial_cmp(&costs[*b]).expect("finite costs"));
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{Task, TaskId};
+    use agentgrid_cluster::{ExecEnv, GridResource};
+    use agentgrid_pace::{AppId, ApplicationModel, ModelCurve, Platform, TabulatedModel};
+    use std::sync::Arc;
+
+    fn app(times: Vec<f64>) -> Arc<ApplicationModel> {
+        Arc::new(
+            ApplicationModel::new(
+                AppId(0),
+                "t",
+                ModelCurve::Tabulated(TabulatedModel::new(times).unwrap()),
+                (1.0, 1000.0),
+            )
+            .unwrap(),
+        )
+    }
+
+    fn task(id: u64, app: Arc<ApplicationModel>, deadline_s: u64) -> Task {
+        Task::new(
+            TaskId(id),
+            app,
+            SimTime::ZERO,
+            SimTime::from_secs(deadline_s),
+            ExecEnv::Test,
+        )
+    }
+
+    fn view(nproc: usize) -> ResourceView {
+        let r = GridResource::new("S1", Platform::sgi_origin2000(), nproc);
+        ResourceView::snapshot(&r, SimTime::ZERO).unwrap()
+    }
+
+    fn ga(seed: u64) -> GaScheduler {
+        GaScheduler::new(GaConfig::default(), RngStream::root(seed).derive("ga"))
+    }
+
+    #[test]
+    fn empty_task_set_yields_empty_schedule() {
+        let engine = CachedEngine::new();
+        let mut g = ga(1);
+        let out = g.evolve(&view(4), &[], &engine);
+        assert!(out.schedule.placements.is_empty());
+        assert_eq!(out.generations, 0);
+    }
+
+    #[test]
+    fn single_task_is_scheduled_immediately() {
+        let engine = CachedEngine::new();
+        let mut g = ga(2);
+        let tasks = vec![task(1, app(vec![10.0, 6.0, 4.0, 3.0]), 100)];
+        let out = g.evolve(&view(4), &tasks, &engine);
+        assert_eq!(out.schedule.placements.len(), 1);
+        assert_eq!(out.schedule.placements[0].start, SimTime::ZERO);
+        assert_eq!(out.schedule.missed_deadlines, 0);
+    }
+
+    #[test]
+    fn ga_beats_or_matches_random_solutions() {
+        let engine = CachedEngine::new();
+        let mut g = ga(3);
+        let a = app(vec![20.0, 12.0, 9.0, 8.0]);
+        let tasks: Vec<Task> = (0..8).map(|i| task(i, a.clone(), 60)).collect();
+        let v = view(4);
+        let out = g.evolve(&v, &tasks, &engine);
+        // Compare against fresh random solutions under the same cost.
+        let weights = CostWeights::default();
+        let mut rng = RngStream::root(99).derive("rand");
+        let mut best_random = f64::INFINITY;
+        for _ in 0..200 {
+            let s = Solution::random(8, 4, &mut rng);
+            let d = decode(&v, &tasks, &s, &engine);
+            best_random = best_random.min(ScheduleCost::of(&d, &weights).combined(&weights));
+        }
+        assert!(
+            out.cost <= best_random + 1e-9,
+            "GA cost {} worse than best of 200 random {}",
+            out.cost,
+            best_random
+        );
+    }
+
+    #[test]
+    fn evolve_improves_or_matches_initial_population_cost() {
+        let engine = CachedEngine::new();
+        let mut g = ga(4);
+        let a = app(vec![15.0, 9.0, 7.0, 6.0]);
+        let tasks: Vec<Task> = (0..10).map(|i| task(i, a.clone(), 45)).collect();
+        let v = view(4);
+        let first = g.evolve(&v, &tasks, &engine);
+        let second = g.evolve(&v, &tasks, &engine);
+        assert!(second.cost <= first.cost + 1e-9);
+    }
+
+    #[test]
+    fn absorb_added_task_keeps_population_legitimate() {
+        let engine = CachedEngine::new();
+        let mut g = ga(5);
+        let a = app(vec![10.0, 6.0]);
+        let mut tasks: Vec<Task> = (0..4).map(|i| task(i, a.clone(), 100)).collect();
+        let v = view(2);
+        g.evolve(&v, &tasks, &engine);
+        tasks.push(task(4, a.clone(), 100));
+        g.absorb_added_task(2);
+        for s in g.population() {
+            assert!(s.is_legitimate(5, 2));
+        }
+        let out = g.evolve(&v, &tasks, &engine);
+        assert_eq!(out.schedule.placements.len(), 5);
+    }
+
+    #[test]
+    fn absorb_removed_task_keeps_population_legitimate() {
+        let engine = CachedEngine::new();
+        let mut g = ga(6);
+        let a = app(vec![10.0, 6.0]);
+        let mut tasks: Vec<Task> = (0..5).map(|i| task(i, a.clone(), 100)).collect();
+        let v = view(2);
+        g.evolve(&v, &tasks, &engine);
+        tasks.remove(1);
+        g.absorb_removed_task(1);
+        for s in g.population() {
+            assert!(s.is_legitimate(4, 2));
+        }
+        let out = g.evolve(&v, &tasks, &engine);
+        assert_eq!(out.schedule.placements.len(), 4);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let engine1 = CachedEngine::new();
+        let engine2 = CachedEngine::new();
+        let a = app(vec![12.0, 7.0, 5.0, 4.0]);
+        let tasks: Vec<Task> = (0..6).map(|i| task(i, a.clone(), 50)).collect();
+        let v = view(4);
+        let out1 = ga(7).evolve(&v, &tasks, &engine1);
+        let out2 = ga(7).evolve(&v, &tasks, &engine2);
+        assert_eq!(out1.cost, out2.cost);
+        assert_eq!(out1.schedule.placements, out2.schedule.placements);
+    }
+
+    #[test]
+    fn meets_feasible_deadlines() {
+        // 4 tasks of 10 s on 4 nodes, deadlines 15 s: trivially feasible
+        // one-per-node; the GA must find a zero-lateness schedule.
+        let engine = CachedEngine::new();
+        let mut g = ga(8);
+        let a = app(vec![10.0, 10.0, 10.0, 10.0]);
+        let tasks: Vec<Task> = (0..4).map(|i| task(i, a.clone(), 15)).collect();
+        let out = g.evolve(&view(4), &tasks, &engine);
+        assert_eq!(out.schedule.missed_deadlines, 0, "{:?}", out.schedule);
+    }
+
+    #[test]
+    fn stall_terminates_early() {
+        let engine = CachedEngine::new();
+        let config = GaConfig {
+            generations_per_event: 1000,
+            stall_generations: 3,
+            ..GaConfig::default()
+        };
+        let mut g = GaScheduler::new(config, RngStream::root(9).derive("ga"));
+        let tasks = vec![task(0, app(vec![5.0]), 100)];
+        let out = g.evolve(&view(1), &tasks, &engine);
+        assert!(out.generations < 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "population")]
+    fn rejects_tiny_population() {
+        let config = GaConfig {
+            population: 1,
+            ..GaConfig::default()
+        };
+        let _ = GaScheduler::new(config, RngStream::root(1));
+    }
+}

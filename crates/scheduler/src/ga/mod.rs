@@ -1,0 +1,18 @@
+//! The genetic-algorithm scheduler (paper §2.1).
+//!
+//! "The kernel of our local grid scheduler is a genetic algorithm. ...
+//! The genetic algorithm utilises a fixed population size and stochastic
+//! remainder selection. Specialised crossover and mutation functions are
+//! developed for use with the two-part coding scheme. ... The algorithm is
+//! based on an evolutionary process and is therefore able to absorb system
+//! changes such as the addition or deletion of tasks."
+//!
+//! * [`ops`] — the two-part crossover and mutation operators.
+//! * [`select`] — stochastic remainder selection.
+//! * [`engine`] — the evolving population with task add/remove absorption.
+
+pub mod engine;
+pub mod ops;
+pub mod select;
+
+pub use engine::{GaConfig, GaScheduler};

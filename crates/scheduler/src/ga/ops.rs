@@ -1,0 +1,268 @@
+//! Two-part crossover and mutation (paper §2.1).
+//!
+//! "The crossover function first splices the two ordering strings at a
+//! random location, and then reorders the pairs to produce legitimate
+//! solutions. The mapping parts are crossed over by first reordering them
+//! to be consistent with the new task order, and then performing a
+//! single-point (binary) crossover. The reordering is necessary to
+//! preserve the node mapping associated with a particular task from one
+//! generation to the next. The mutation stage is also two-part, with a
+//! switching operator randomly applied to the ordering parts, and a random
+//! bit-flip applied to the mapping parts."
+
+use crate::solution::Solution;
+use agentgrid_cluster::NodeMask;
+use rand::Rng;
+
+/// Order-splice crossover of the ordering parts plus single-point binary
+/// crossover of the (task-consistent, reordered) mapping parts. Returns
+/// two legitimate children.
+pub fn crossover(
+    a: &Solution,
+    b: &Solution,
+    nproc: usize,
+    rng: &mut impl Rng,
+) -> (Solution, Solution) {
+    let m = a.len();
+    debug_assert_eq!(m, b.len(), "parents must schedule the same task set");
+    if m < 2 {
+        return (a.clone(), b.clone());
+    }
+
+    let cut = rng.gen_range(1..m);
+    let mut child1 = splice(a, b, cut);
+    let mut child2 = splice(b, a, cut);
+
+    // Single-point binary crossover over the concatenated mapping strings
+    // (m × nproc bits). Positions wholly below the point keep their own
+    // masks, positions above swap, the straddling position splices bits.
+    let total_bits = m * nproc;
+    let point = rng.gen_range(0..=total_bits);
+    for p in 0..m {
+        let lo = p * nproc;
+        let hi = lo + nproc;
+        if point <= lo {
+            std::mem::swap(&mut child1.mapping[p], &mut child2.mapping[p]);
+        } else if point < hi {
+            let m1 = child1.mapping[p];
+            let m2 = child2.mapping[p];
+            child1.mapping[p] = m1.crossover(m2, point - lo);
+            child2.mapping[p] = m2.crossover(m1, point - lo);
+        }
+        // point >= hi: both keep their own masks.
+    }
+
+    repair(&mut child1, nproc, rng);
+    repair(&mut child2, nproc, rng);
+    (child1, child2)
+}
+
+/// Build one child: `first`'s ordering prefix up to `cut`, then the
+/// remaining tasks in the relative order they appear in `second`; each
+/// task keeps the node mapping it had in the parent that contributed it.
+fn splice(first: &Solution, second: &Solution, cut: usize) -> Solution {
+    let m = first.len();
+    let mut order = Vec::with_capacity(m);
+    let mut mapping = Vec::with_capacity(m);
+    let mut taken = vec![false; m];
+    for p in 0..cut {
+        let t = first.order[p];
+        taken[t] = true;
+        order.push(t);
+        mapping.push(first.mapping[p]);
+    }
+    for (p, &t) in second.order.iter().enumerate() {
+        if !taken[t] {
+            order.push(t);
+            mapping.push(second.mapping[p]);
+        }
+    }
+    Solution { order, mapping }
+}
+
+/// Two-part mutation: with probability `order_rate` switch two random
+/// ordering positions; flip each mapping bit with probability `bit_rate`.
+pub fn mutate(
+    s: &mut Solution,
+    nproc: usize,
+    order_rate: f64,
+    bit_rate: f64,
+    rng: &mut impl Rng,
+) {
+    let m = s.len();
+    if m == 0 {
+        return;
+    }
+    if m >= 2 && rng.gen::<f64>() < order_rate {
+        let i = rng.gen_range(0..m);
+        let j = rng.gen_range(0..m);
+        s.order.swap(i, j);
+    }
+    if bit_rate > 0.0 {
+        for mask in &mut s.mapping {
+            for bit in 0..nproc {
+                if rng.gen::<f64>() < bit_rate {
+                    mask.toggle(bit);
+                }
+            }
+        }
+    }
+    repair(s, nproc, rng);
+}
+
+/// Repair masks to the legitimate domain: clamp to the resource size and
+/// replace empty masks with a random single node.
+fn repair(s: &mut Solution, nproc: usize, rng: &mut impl Rng) {
+    for mask in &mut s.mapping {
+        *mask = mask.clamp_to(nproc);
+        if mask.is_empty() {
+            *mask = NodeMask::single(rng.gen_range(0..nproc));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn crossover_children_are_legitimate() {
+        let mut r = rng(1);
+        for m in [2usize, 5, 12, 30] {
+            for nproc in [1usize, 4, 16] {
+                let a = Solution::random(m, nproc, &mut r);
+                let b = Solution::random(m, nproc, &mut r);
+                for _ in 0..20 {
+                    let (c1, c2) = crossover(&a, &b, nproc, &mut r);
+                    assert!(c1.is_legitimate(m, nproc), "m={m} n={nproc}");
+                    assert!(c2.is_legitimate(m, nproc), "m={m} n={nproc}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_prefix_comes_from_first_parent() {
+        // With m=2 the cut is always 1: child1's first task is a's first.
+        let mut r = rng(2);
+        let a = Solution {
+            order: vec![1, 0],
+            mapping: vec![NodeMask::single(0), NodeMask::single(1)],
+        };
+        let b = Solution {
+            order: vec![0, 1],
+            mapping: vec![NodeMask::single(2), NodeMask::single(3)],
+        };
+        for _ in 0..10 {
+            let (c1, c2) = crossover(&a, &b, 4, &mut r);
+            assert_eq!(c1.order, vec![1, 0]);
+            assert_eq!(c2.order, vec![0, 1]);
+        }
+    }
+
+    #[test]
+    fn crossover_single_task_returns_clones() {
+        let mut r = rng(3);
+        let a = Solution::random(1, 4, &mut r);
+        let b = Solution::random(1, 4, &mut r);
+        let (c1, c2) = crossover(&a, &b, 4, &mut r);
+        assert_eq!(c1, a);
+        assert_eq!(c2, b);
+    }
+
+    #[test]
+    fn crossover_recombines_masks_between_parents() {
+        // With all-different parent masks, some child mask must differ
+        // from the same-position parent mask at least occasionally.
+        let mut r = rng(4);
+        let m = 8;
+        let nproc = 8;
+        let a = Solution {
+            order: (0..m).collect(),
+            mapping: vec![NodeMask::first_n(3); m],
+        };
+        let b = Solution {
+            order: (0..m).collect(),
+            mapping: vec![NodeMask::from_indices([5, 6, 7]); m],
+        };
+        let mut saw_mixture = false;
+        for _ in 0..50 {
+            let (c1, _) = crossover(&a, &b, nproc, &mut r);
+            let from_a = c1.mapping.iter().filter(|mk| **mk == a.mapping[0]).count();
+            let from_b = c1.mapping.iter().filter(|mk| **mk == b.mapping[0]).count();
+            if from_a > 0 && from_b > 0 {
+                saw_mixture = true;
+                break;
+            }
+        }
+        assert!(saw_mixture, "crossover never mixed parent mapping material");
+    }
+
+    #[test]
+    fn mutation_preserves_legitimacy() {
+        let mut r = rng(5);
+        for _ in 0..100 {
+            let mut s = Solution::random(10, 16, &mut r);
+            mutate(&mut s, 16, 1.0, 0.2, &mut r);
+            assert!(s.is_legitimate(10, 16));
+        }
+    }
+
+    #[test]
+    fn zero_rates_leave_solution_unchanged() {
+        let mut r = rng(6);
+        let s0 = Solution::random(6, 8, &mut r);
+        let mut s = s0.clone();
+        mutate(&mut s, 8, 0.0, 0.0, &mut r);
+        assert_eq!(s, s0);
+    }
+
+    #[test]
+    fn order_mutation_changes_order_eventually() {
+        let mut r = rng(7);
+        let s0 = Solution::random(6, 8, &mut r);
+        let mut changed = false;
+        for _ in 0..50 {
+            let mut s = s0.clone();
+            mutate(&mut s, 8, 1.0, 0.0, &mut r);
+            if s.order != s0.order {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed);
+    }
+
+    #[test]
+    fn bit_mutation_flips_bits_eventually() {
+        let mut r = rng(8);
+        let s0 = Solution::random(6, 8, &mut r);
+        let mut changed = false;
+        for _ in 0..50 {
+            let mut s = s0.clone();
+            mutate(&mut s, 8, 0.0, 0.3, &mut r);
+            if s.mapping != s0.mapping {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed);
+    }
+
+    #[test]
+    fn mutation_on_empty_solution_is_noop() {
+        let mut r = rng(9);
+        let mut s = Solution {
+            order: vec![],
+            mapping: vec![],
+        };
+        mutate(&mut s, 8, 1.0, 1.0, &mut r);
+        assert!(s.is_empty());
+    }
+}

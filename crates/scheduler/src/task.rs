@@ -1,0 +1,146 @@
+//! Tasks and their lifecycle.
+//!
+//! A task `Tⱼ` pairs a PACE application model σⱼ with a user-required
+//! execution deadline δⱼ (paper eqs. 3–5). Tasks are created by the user
+//! portal / request generator, queued by the task-management module, and
+//! end as [`CompletedTask`] records carrying the allocation actually used —
+//! the raw data for the §3.3 metrics.
+
+use agentgrid_cluster::{ExecEnv, NodeMask};
+use agentgrid_pace::ApplicationModel;
+use agentgrid_sim::SimTime;
+use std::sync::Arc;
+
+/// Grid-wide unique task identifier ("each task is given a unique
+/// identification number").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u64);
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// A parallel task awaiting or undergoing execution.
+#[derive(Clone, Debug)]
+pub struct Task {
+    /// Unique identity.
+    pub id: TaskId,
+    /// The application performance model σⱼ.
+    pub app: Arc<ApplicationModel>,
+    /// When the request reached the scheduler.
+    pub arrival: SimTime,
+    /// The absolute execution deadline δⱼ.
+    pub deadline: SimTime,
+    /// Required execution environment.
+    pub env: ExecEnv,
+}
+
+impl Task {
+    /// Convenience constructor.
+    pub fn new(
+        id: TaskId,
+        app: Arc<ApplicationModel>,
+        arrival: SimTime,
+        deadline: SimTime,
+        env: ExecEnv,
+    ) -> Task {
+        Task {
+            id,
+            app,
+            arrival,
+            deadline,
+            env,
+        }
+    }
+}
+
+/// A finished task with the allocation it actually received.
+#[derive(Clone, Debug)]
+pub struct CompletedTask {
+    /// The task.
+    pub task: Task,
+    /// Nodes that executed it (within its resource).
+    pub mask: NodeMask,
+    /// Start instant τⱼ.
+    pub start: SimTime,
+    /// Completion instant ηⱼ.
+    pub completion: SimTime,
+    /// Name of the grid resource that executed it.
+    pub resource: String,
+}
+
+impl CompletedTask {
+    /// δⱼ − ηⱼ in seconds: positive when the deadline was met with room to
+    /// spare, negative when missed (the per-task term of metric ε, eq. 11).
+    pub fn advance_s(&self) -> f64 {
+        self.task.deadline.signed_secs_since(self.completion)
+    }
+
+    /// Whether the deadline was met.
+    pub fn met_deadline(&self) -> bool {
+        self.completion <= self.task.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use agentgrid_pace::{AnalyticModel, AppId, ModelCurve};
+
+    fn app() -> Arc<ApplicationModel> {
+        Arc::new(
+            ApplicationModel::new(
+                AppId(0),
+                "x",
+                ModelCurve::Analytic(AnalyticModel::new(1.0, 9.0, 0.0, 0.0).unwrap()),
+                (1.0, 100.0),
+            )
+            .unwrap(),
+        )
+    }
+
+    fn completed(deadline_s: u64, completion_s: u64) -> CompletedTask {
+        let task = Task::new(
+            TaskId(1),
+            app(),
+            SimTime::ZERO,
+            SimTime::from_secs(deadline_s),
+            ExecEnv::Test,
+        );
+        CompletedTask {
+            task,
+            mask: NodeMask::single(0),
+            start: SimTime::ZERO,
+            completion: SimTime::from_secs(completion_s),
+            resource: "S1".to_string(),
+        }
+    }
+
+    #[test]
+    fn advance_is_positive_when_early() {
+        let c = completed(100, 60);
+        assert!((c.advance_s() - 40.0).abs() < 1e-9);
+        assert!(c.met_deadline());
+    }
+
+    #[test]
+    fn advance_is_negative_when_late() {
+        let c = completed(50, 80);
+        assert!((c.advance_s() + 30.0).abs() < 1e-9);
+        assert!(!c.met_deadline());
+    }
+
+    #[test]
+    fn exactly_on_time_meets_deadline() {
+        let c = completed(50, 50);
+        assert_eq!(c.advance_s(), 0.0);
+        assert!(c.met_deadline());
+    }
+
+    #[test]
+    fn task_id_displays_compactly() {
+        assert_eq!(TaskId(42).to_string(), "T42");
+    }
+}

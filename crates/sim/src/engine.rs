@@ -1,0 +1,178 @@
+//! The simulation engine: a virtual clock plus an event queue.
+//!
+//! The engine deliberately does *not* own the world it drives. A driver
+//! (see `agentgrid::experiment`) owns both the [`Simulation`] and its own
+//! state, and pulls events out one at a time:
+//!
+//! ```
+//! use agentgrid_sim::{Simulation, SimTime, SimDuration};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping(u32) }
+//!
+//! let mut sim = Simulation::new();
+//! sim.schedule(SimTime::from_secs(3), Ev::Ping(1));
+//! let mut fired = vec![];
+//! while let Some(ev) = sim.step() {
+//!     // Handlers may schedule follow-up events through `sim`.
+//!     if let Ev::Ping(n) = ev {
+//!         if n < 3 {
+//!             sim.schedule_in(SimDuration::from_secs(1), Ev::Ping(n + 1));
+//!         }
+//!         fired.push(n);
+//!     }
+//! }
+//! assert_eq!(fired, [1, 2, 3]);
+//! assert_eq!(sim.now(), SimTime::from_secs(5));
+//! ```
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// A virtual clock driving an event queue of type `E`.
+pub struct Simulation<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+    horizon: Option<SimTime>,
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulation<E> {
+    /// A fresh simulation with the clock at zero.
+    pub fn new() -> Self {
+        Simulation {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+            horizon: None,
+        }
+    }
+
+    /// Stop delivering events scheduled after `at` (they remain queued but
+    /// [`Simulation::step`] returns `None`). Useful for bounded experiment
+    /// runs and for defensive termination in tests.
+    pub fn set_horizon(&mut self, at: SimTime) {
+        self.horizon = Some(at);
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error; the event is clamped to the
+    /// current instant (and will still fire) so that rounding at second
+    /// boundaries can never deadlock a run, but debug builds assert.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "event scheduled in the past");
+        self.queue.push(at.max(self.now), event);
+    }
+
+    /// Schedule `event` after `delay` from the current instant.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Advance to and return the next event, or `None` when the queue is
+    /// exhausted or the horizon has been reached.
+    pub fn step(&mut self) -> Option<E> {
+        if let (Some(h), Some(t)) = (self.horizon, self.queue.peek_time()) {
+            if t > h {
+                return None;
+            }
+        }
+        let (at, event) = self.queue.pop()?;
+        self.now = at;
+        self.processed += 1;
+        Some(event)
+    }
+
+    /// Run to completion, invoking `handler` for every event. The handler
+    /// receives the simulation so it can schedule follow-ups.
+    pub fn run_with<W>(
+        &mut self,
+        world: &mut W,
+        mut handler: impl FnMut(&mut W, &mut Simulation<E>, E),
+    ) {
+        while let Some(ev) = self.step() {
+            handler(world, self, ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Tick(u32),
+    }
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime::from_secs(2), Ev::Tick(0));
+        sim.schedule(SimTime::from_secs(8), Ev::Tick(1));
+        assert_eq!(sim.step(), Some(Ev::Tick(0)));
+        assert_eq!(sim.now(), SimTime::from_secs(2));
+        assert_eq!(sim.step(), Some(Ev::Tick(1)));
+        assert_eq!(sim.now(), SimTime::from_secs(8));
+        assert_eq!(sim.step(), None);
+        assert_eq!(sim.processed(), 2);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime::from_secs(5), Ev::Tick(0));
+        sim.step();
+        sim.schedule_in(SimDuration::from_secs(3), Ev::Tick(1));
+        sim.step();
+        assert_eq!(sim.now(), SimTime::from_secs(8));
+    }
+
+    #[test]
+    fn horizon_stops_delivery() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime::from_secs(1), Ev::Tick(0));
+        sim.schedule(SimTime::from_secs(100), Ev::Tick(1));
+        sim.set_horizon(SimTime::from_secs(50));
+        assert_eq!(sim.step(), Some(Ev::Tick(0)));
+        assert_eq!(sim.step(), None);
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn run_with_drives_world() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime::ZERO, Ev::Tick(3));
+        let mut total = 0u32;
+        sim.run_with(&mut total, |total, sim, ev| {
+            let Ev::Tick(n) = ev;
+            *total += n;
+            if n > 1 {
+                sim.schedule_in(SimDuration::from_secs(1), Ev::Tick(n - 1));
+            }
+        });
+        assert_eq!(total, 3 + 2 + 1);
+    }
+}

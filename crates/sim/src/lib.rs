@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Deterministic discrete-event simulation substrate.
+//!
+//! The paper's experiments run in *test mode*: tasks are not actually
+//! executed, the predicted execution times are assumed accurate, and the
+//! interesting behaviour is entirely in the scheduling and agent layers.
+//! This crate provides the virtual-time machinery those layers run on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-microsecond virtual time with
+//!   total ordering (no floating-point comparison hazards in the event
+//!   queue).
+//! * [`EventQueue`] — a priority queue with stable FIFO tie-breaking for
+//!   events scheduled at the same instant.
+//! * [`Simulation`] — the clock + queue bundle with a pull-style stepping
+//!   API, so a driver can own both the simulation and its world without
+//!   fighting the borrow checker.
+//! * [`RngStream`] — named, independently seeded deterministic random
+//!   streams, so the workload generator and the GA never perturb each other.
+//! * [`Trace`] — a lightweight event trace recorder used by the experiment
+//!   harness and the tests.
+
+pub mod engine;
+pub mod queue;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use engine::Simulation;
+pub use queue::EventQueue;
+pub use rng::RngStream;
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceEvent};

@@ -1,0 +1,260 @@
+//! Virtual time.
+//!
+//! Time is stored as an integer number of microseconds so that event-queue
+//! ordering is exact and runs are bit-for-bit reproducible. One microsecond
+//! of resolution is far below anything the paper measures (PACE predictions
+//! are reported in whole seconds; advertisement periods are 10 s).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Microseconds per second, the internal tick rate.
+pub const TICKS_PER_SEC: u64 = 1_000_000;
+
+/// An instant in virtual time, measured from the start of the simulation.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of virtual time.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; useful as an "infinity" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        SimTime(secs * TICKS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds. Negative or non-finite inputs
+    /// saturate to zero; this keeps prediction arithmetic total.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimTime(secs_f64_to_ticks(secs))
+    }
+
+    /// Construct from raw microsecond ticks.
+    pub fn from_ticks(ticks: u64) -> Self {
+        SimTime(ticks)
+    }
+
+    /// The raw microsecond tick count.
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// This instant as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SEC as f64
+    }
+
+    /// Duration elapsed since `earlier`, saturating to zero if `earlier`
+    /// is actually later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Signed distance to `other` in seconds (`self - other`); positive when
+    /// `self` is later. Used by the ε metric where deadlines may be missed.
+    pub fn signed_secs_since(self, other: SimTime) -> f64 {
+        if self.0 >= other.0 {
+            (self.0 - other.0) as f64 / TICKS_PER_SEC as f64
+        } else {
+            -((other.0 - self.0) as f64 / TICKS_PER_SEC as f64)
+        }
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    /// A zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * TICKS_PER_SEC)
+    }
+
+    /// Construct from fractional seconds, saturating at zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimDuration(secs_f64_to_ticks(secs))
+    }
+
+    /// Construct from raw microsecond ticks.
+    pub fn from_ticks(ticks: u64) -> Self {
+        SimDuration(ticks)
+    }
+
+    /// The raw microsecond tick count.
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// This span as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_SEC as f64
+    }
+
+    /// True if the span is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+fn secs_f64_to_ticks(secs: f64) -> u64 {
+    if secs.is_nan() || secs <= 0.0 {
+        return 0;
+    }
+    if secs == f64::INFINITY {
+        return u64::MAX;
+    }
+    let ticks = secs * TICKS_PER_SEC as f64;
+    if ticks >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        ticks.round() as u64
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when that is possible.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_roundtrip() {
+        let t = SimTime::from_secs(42);
+        assert_eq!(t.ticks(), 42 * TICKS_PER_SEC);
+        assert!((t.as_secs_f64() - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractional_construction_rounds() {
+        let d = SimDuration::from_secs_f64(0.25);
+        assert_eq!(d.ticks(), TICKS_PER_SEC / 4);
+    }
+
+    #[test]
+    fn negative_and_nan_saturate_to_zero() {
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn huge_duration_saturates() {
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY).ticks(), u64::MAX);
+        let t = SimTime::MAX + SimDuration::from_secs(10);
+        assert_eq!(t, SimTime::MAX);
+    }
+
+    #[test]
+    fn signed_distance() {
+        let a = SimTime::from_secs(10);
+        let b = SimTime::from_secs(4);
+        assert!((a.signed_secs_since(b) - 6.0).abs() < 1e-9);
+        assert!((b.signed_secs_since(a) + 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = SimTime::from_secs(3);
+        let b = SimTime::from_secs(9);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_since(a), SimDuration::from_secs(6));
+    }
+
+    #[test]
+    fn ordering_is_total_and_exact() {
+        let mut v = [SimTime::from_secs_f64(1.000001),
+            SimTime::from_secs(1),
+            SimTime::ZERO];
+        v.sort();
+        assert_eq!(v[0], SimTime::ZERO);
+        assert_eq!(v[1], SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut t = SimTime::ZERO;
+        for _ in 0..5 {
+            t += SimDuration::from_secs(2);
+        }
+        assert_eq!(t, SimTime::from_secs(10));
+    }
+}

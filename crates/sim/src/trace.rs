@@ -1,0 +1,147 @@
+//! A lightweight simulation trace.
+//!
+//! The experiment harness records scheduling decisions (request arrivals,
+//! discovery hops, task dispatch, task start/completion) so that tests can
+//! assert on *behaviour* — e.g. "in experiment 3 tasks migrated away from
+//! the SPARCstations" — rather than only on aggregate metrics.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Category of a trace record. Kept as a small closed enum so filters are
+/// cheap and typo-proof.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A user request arrived at an agent.
+    RequestArrival,
+    /// A discovery step evaluated/forwarded a request.
+    Discovery,
+    /// A task entered a local scheduler's queue.
+    Enqueue,
+    /// A task started executing.
+    TaskStart,
+    /// A task finished executing.
+    TaskComplete,
+    /// A service-information advertisement was exchanged.
+    Advertisement,
+    /// Anything else (free-form diagnostics).
+    Info,
+}
+
+/// One trace record.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Virtual time of the record.
+    pub at: SimTime,
+    /// Category.
+    pub kind: TraceKind,
+    /// The grid component that produced the record (agent or resource name).
+    pub who: String,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// An append-only trace buffer. Disabled traces cost one branch per record.
+#[derive(Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A disabled trace (records are dropped).
+    pub fn disabled() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// An enabled trace.
+    pub fn enabled() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Whether records are currently retained.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled).
+    pub fn record(&mut self, at: SimTime, kind: TraceKind, who: &str, detail: impl Into<String>) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                at,
+                kind,
+                who: who.to_string(),
+                detail: detail.into(),
+            });
+        }
+    }
+
+    /// All records so far.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Records of one kind.
+    pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Count records of one kind.
+    pub fn count(&self, kind: TraceKind) -> usize {
+        self.of_kind(kind).count()
+    }
+
+    /// Drop all records.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_drops_records() {
+        let mut t = Trace::disabled();
+        t.record(SimTime::ZERO, TraceKind::Info, "x", "hello");
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_retains_records_in_order() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::from_secs(1), TraceKind::RequestArrival, "S1", "req 0");
+        t.record(SimTime::from_secs(2), TraceKind::TaskStart, "S1", "task 0");
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].kind, TraceKind::RequestArrival);
+        assert_eq!(t.events()[1].who, "S1");
+    }
+
+    #[test]
+    fn kind_filter_and_count() {
+        let mut t = Trace::enabled();
+        for i in 0..5 {
+            t.record(SimTime::from_secs(i), TraceKind::Discovery, "S2", "hop");
+        }
+        t.record(SimTime::from_secs(9), TraceKind::TaskComplete, "S2", "done");
+        assert_eq!(t.count(TraceKind::Discovery), 5);
+        assert_eq!(t.count(TraceKind::TaskComplete), 1);
+        assert_eq!(t.count(TraceKind::Enqueue), 0);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut t = Trace::enabled();
+        t.record(SimTime::ZERO, TraceKind::Info, "x", "y");
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+}

@@ -1,0 +1,110 @@
+//! The Table 2 experiment design matrix.
+//!
+//! | Experiment | FIFO | GA | Agent-based service discovery |
+//! |---|---|---|---|
+//! | 1 | ✓ |   |   |
+//! | 2 |   | ✓ |   |
+//! | 3 |   | ✓ | ✓ |
+
+use serde::{Deserialize, Serialize};
+
+/// The local scheduling algorithm of an experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LocalPolicy {
+    /// First-come-first-served (comparison baseline).
+    Fifo,
+    /// The genetic-algorithm scheduler.
+    Ga,
+    /// Condor/LSF-style batch queueing with EASY backfill (related-work
+    /// baseline, beyond the paper's Table 2).
+    Batch,
+}
+
+/// One row of Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentDesign {
+    /// Experiment number (1–3 in the paper).
+    pub number: u32,
+    /// Local scheduling algorithm.
+    pub local_policy: LocalPolicy,
+    /// Whether agent-based service discovery is enabled.
+    pub agents_enabled: bool,
+}
+
+impl ExperimentDesign {
+    /// Experiment 1: FIFO, no agents.
+    pub fn experiment1() -> ExperimentDesign {
+        ExperimentDesign {
+            number: 1,
+            local_policy: LocalPolicy::Fifo,
+            agents_enabled: false,
+        }
+    }
+
+    /// Experiment 2: GA, no agents.
+    pub fn experiment2() -> ExperimentDesign {
+        ExperimentDesign {
+            number: 2,
+            local_policy: LocalPolicy::Ga,
+            agents_enabled: false,
+        }
+    }
+
+    /// Experiment 3: GA plus agent-based service discovery.
+    pub fn experiment3() -> ExperimentDesign {
+        ExperimentDesign {
+            number: 3,
+            local_policy: LocalPolicy::Ga,
+            agents_enabled: true,
+        }
+    }
+
+    /// The full Table 2.
+    pub fn table2() -> [ExperimentDesign; 3] {
+        [
+            ExperimentDesign::experiment1(),
+            ExperimentDesign::experiment2(),
+            ExperimentDesign::experiment3(),
+        ]
+    }
+
+    /// A human-readable label, e.g. `"Exp 3: GA + agent discovery"`.
+    pub fn label(&self) -> String {
+        let policy = match self.local_policy {
+            LocalPolicy::Fifo => "FIFO",
+            LocalPolicy::Ga => "GA",
+            LocalPolicy::Batch => "Batch",
+        };
+        if self.agents_enabled {
+            format!("Exp {}: {policy} + agent discovery", self.number)
+        } else {
+            format!("Exp {}: {policy}", self.number)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_the_paper() {
+        let t = ExperimentDesign::table2();
+        assert_eq!(t[0].local_policy, LocalPolicy::Fifo);
+        assert!(!t[0].agents_enabled);
+        assert_eq!(t[1].local_policy, LocalPolicy::Ga);
+        assert!(!t[1].agents_enabled);
+        assert_eq!(t[2].local_policy, LocalPolicy::Ga);
+        assert!(t[2].agents_enabled);
+        assert_eq!(t.iter().map(|e| e.number).collect::<Vec<_>>(), [1, 2, 3]);
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(ExperimentDesign::experiment1().label(), "Exp 1: FIFO");
+        assert_eq!(
+            ExperimentDesign::experiment3().label(),
+            "Exp 3: GA + agent discovery"
+        );
+    }
+}

@@ -1,0 +1,287 @@
+//! The seeded request stream.
+
+use agentgrid_cluster::ExecEnv;
+use agentgrid_pace::Catalog;
+use agentgrid_sim::{RngStream, SimDuration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One generated task-execution request.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GeneratedRequest {
+    /// Arrival instant at the target agent.
+    pub at: SimTime,
+    /// The randomly selected target agent.
+    pub agent: String,
+    /// The randomly selected application (a catalogue name).
+    pub application: String,
+    /// Absolute deadline: arrival + a uniform draw from the
+    /// application's Table 1 deadline domain.
+    pub deadline: SimTime,
+    /// Execution environment required.
+    pub environment: ExecEnv,
+}
+
+/// How request arrival instants are spaced.
+///
+/// The paper's request phase is strictly periodic ("requests ... are sent
+/// at one second intervals"); real grid front-ends see burstier traffic,
+/// so the generator also offers Poisson and on/off burst processes with
+/// the same mean rate — useful for stress-testing the schedulers beyond
+/// the paper's workload.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalPattern {
+    /// One request every `interarrival` exactly (the paper).
+    Periodic,
+    /// Exponentially distributed gaps with mean `interarrival`.
+    Poisson,
+    /// `burst_size` back-to-back requests (1 ms apart), then a gap that
+    /// restores the configured mean rate.
+    Bursts {
+        /// Requests per burst (≥ 1).
+        burst_size: usize,
+    },
+}
+
+/// Workload parameters (defaults reproduce the case study).
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Number of requests (paper: 600).
+    pub requests: usize,
+    /// Interval between consecutive requests (paper: 1 s).
+    pub interarrival: SimDuration,
+    /// Master seed; the same seed yields the identical workload.
+    pub seed: u64,
+    /// Agents requests may be sent to.
+    pub agents: Vec<String>,
+    /// Environment requested (the experiments use test mode).
+    pub environment: ExecEnv,
+}
+
+impl WorkloadConfig {
+    /// The paper's request phase: 600 requests at 1 s intervals.
+    pub fn case_study(agents: Vec<String>, seed: u64) -> WorkloadConfig {
+        WorkloadConfig {
+            requests: 600,
+            interarrival: SimDuration::from_secs(1),
+            seed,
+            agents,
+            environment: ExecEnv::Test,
+        }
+    }
+
+    /// Generate the request stream against an application catalogue
+    /// (periodic arrivals, the paper's pattern).
+    ///
+    /// # Panics
+    /// If the agent list or the catalogue is empty.
+    pub fn generate(&self, catalog: &Catalog) -> Vec<GeneratedRequest> {
+        self.generate_with_pattern(catalog, ArrivalPattern::Periodic)
+    }
+
+    /// Generate the request stream with an explicit arrival pattern. All
+    /// patterns share the same mean rate (`1 / interarrival`), the same
+    /// seed-derived draws for agents/applications/deadlines, and the same
+    /// guarantee that arrival instants are strictly increasing.
+    ///
+    /// # Panics
+    /// If the agent list or the catalogue is empty, or a burst size is 0.
+    pub fn generate_with_pattern(
+        &self,
+        catalog: &Catalog,
+        pattern: ArrivalPattern,
+    ) -> Vec<GeneratedRequest> {
+        assert!(!self.agents.is_empty(), "workload needs at least one agent");
+        assert!(!catalog.is_empty(), "workload needs at least one application");
+        if let ArrivalPattern::Bursts { burst_size } = pattern {
+            assert!(burst_size >= 1, "bursts need at least one request");
+        }
+        let mut rng = RngStream::root(self.seed).derive("workload");
+        let mut arrivals = RngStream::root(self.seed).derive("workload/arrivals");
+        let mean_s = self.interarrival.as_secs_f64();
+        let mut out = Vec::with_capacity(self.requests);
+        let mut at = SimTime::ZERO;
+        for i in 0..self.requests {
+            let gap_s = match pattern {
+                ArrivalPattern::Periodic => mean_s,
+                ArrivalPattern::Poisson => {
+                    // Inverse-CDF sampling of Exp(1/mean).
+                    let u: f64 = arrivals.gen_range(f64::EPSILON..1.0);
+                    -mean_s * u.ln()
+                }
+                ArrivalPattern::Bursts { burst_size } => {
+                    if i % burst_size == 0 && i > 0 {
+                        // The inter-burst gap restores the mean rate.
+                        mean_s * burst_size as f64 - 0.001 * (burst_size - 1) as f64
+                    } else if i == 0 {
+                        mean_s
+                    } else {
+                        0.001
+                    }
+                }
+            };
+            // Strictly increasing arrivals (min 1 tick).
+            at = (at + SimDuration::from_secs_f64(gap_s))
+                .max(at + SimDuration::from_ticks(1));
+            let agent = self.agents[rng.gen_range(0..self.agents.len())].clone();
+            let app = &catalog.apps()[rng.gen_range(0..catalog.len())];
+            let (lo, hi) = app.deadline_bounds_s;
+            let rel = rng.gen_range(lo..=hi);
+            out.push(GeneratedRequest {
+                at,
+                agent,
+                application: app.name.clone(),
+                deadline: at + SimDuration::from_secs_f64(rel),
+                environment: self.environment,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agents() -> Vec<String> {
+        (1..=12).map(|i| format!("S{i}")).collect()
+    }
+
+    #[test]
+    fn case_study_shape() {
+        let cfg = WorkloadConfig::case_study(agents(), 42);
+        let reqs = cfg.generate(&Catalog::case_study());
+        assert_eq!(reqs.len(), 600);
+        assert_eq!(reqs[0].at, SimTime::from_secs(1));
+        assert_eq!(reqs[599].at, SimTime::from_secs(600));
+        assert!(reqs.iter().all(|r| r.environment == ExecEnv::Test));
+    }
+
+    #[test]
+    fn same_seed_same_workload() {
+        let cat = Catalog::case_study();
+        let a = WorkloadConfig::case_study(agents(), 7).generate(&cat);
+        let b = WorkloadConfig::case_study(agents(), 7).generate(&cat);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_workload() {
+        let cat = Catalog::case_study();
+        let a = WorkloadConfig::case_study(agents(), 7).generate(&cat);
+        let b = WorkloadConfig::case_study(agents(), 8).generate(&cat);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deadlines_respect_table1_domains() {
+        let cat = Catalog::case_study();
+        let reqs = WorkloadConfig::case_study(agents(), 3).generate(&cat);
+        for r in &reqs {
+            let app = cat.by_name(&r.application).unwrap();
+            let (lo, hi) = app.deadline_bounds_s;
+            let rel = r.deadline.signed_secs_since(r.at);
+            assert!(
+                rel >= lo - 1e-6 && rel <= hi + 1e-6,
+                "{} deadline {rel} outside [{lo}, {hi}]",
+                r.application
+            );
+        }
+    }
+
+    #[test]
+    fn all_agents_and_apps_are_exercised() {
+        let cat = Catalog::case_study();
+        let reqs = WorkloadConfig::case_study(agents(), 1).generate(&cat);
+        for agent in agents() {
+            assert!(reqs.iter().any(|r| r.agent == agent), "{agent} never chosen");
+        }
+        for app in cat.apps() {
+            assert!(
+                reqs.iter().any(|r| r.application == app.name),
+                "{} never chosen",
+                app.name
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_arrivals_match_the_mean_rate() {
+        let cat = Catalog::case_study();
+        let cfg = WorkloadConfig::case_study(agents(), 9);
+        let reqs = cfg.generate_with_pattern(&cat, ArrivalPattern::Poisson);
+        assert_eq!(reqs.len(), 600);
+        // Strictly increasing arrivals.
+        for w in reqs.windows(2) {
+            assert!(w[1].at > w[0].at);
+        }
+        // Mean gap ≈ 1 s (law of large numbers; generous tolerance).
+        let span = reqs.last().unwrap().at.as_secs_f64();
+        let mean = span / 600.0;
+        assert!((0.85..1.15).contains(&mean), "mean interarrival {mean}");
+    }
+
+    #[test]
+    fn poisson_draws_match_periodic_draws() {
+        // Arrival jitter must not perturb the agent/app/deadline draws:
+        // the i-th request picks identically under either pattern.
+        let cat = Catalog::case_study();
+        let cfg = WorkloadConfig::case_study(agents(), 11);
+        let periodic = cfg.generate(&cat);
+        let poisson = cfg.generate_with_pattern(&cat, ArrivalPattern::Poisson);
+        for (a, b) in periodic.iter().zip(&poisson) {
+            assert_eq!(a.agent, b.agent);
+            assert_eq!(a.application, b.application);
+        }
+    }
+
+    #[test]
+    fn bursts_cluster_and_keep_the_mean_rate() {
+        let cat = Catalog::case_study();
+        let mut cfg = WorkloadConfig::case_study(agents(), 13);
+        cfg.requests = 100;
+        let reqs = cfg.generate_with_pattern(&cat, ArrivalPattern::Bursts { burst_size: 10 });
+        // Within a burst, gaps are 1 ms.
+        let gap01 = reqs[2].at.saturating_since(reqs[1].at).as_secs_f64();
+        assert!((gap01 - 0.001).abs() < 1e-9, "intra-burst gap {gap01}");
+        // Across bursts the mean rate holds.
+        let span = reqs.last().unwrap().at.as_secs_f64();
+        let mean = span / 100.0;
+        assert!((0.85..1.15).contains(&mean), "mean interarrival {mean}");
+        for w in reqs.windows(2) {
+            assert!(w[1].at > w[0].at);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request")]
+    fn zero_burst_size_panics() {
+        let cfg = WorkloadConfig::case_study(agents(), 1);
+        cfg.generate_with_pattern(&Catalog::case_study(), ArrivalPattern::Bursts {
+            burst_size: 0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one agent")]
+    fn empty_agent_list_panics() {
+        let cfg = WorkloadConfig::case_study(vec![], 1);
+        cfg.generate(&Catalog::case_study());
+    }
+
+    #[test]
+    fn small_custom_workload() {
+        let cfg = WorkloadConfig {
+            requests: 5,
+            interarrival: SimDuration::from_secs(10),
+            seed: 1,
+            agents: vec!["only".into()],
+            environment: ExecEnv::Mpi,
+        };
+        let reqs = cfg.generate(&Catalog::case_study());
+        assert_eq!(reqs.len(), 5);
+        assert_eq!(reqs[4].at, SimTime::from_secs(50));
+        assert!(reqs.iter().all(|r| r.agent == "only"));
+        assert!(reqs.iter().all(|r| r.environment == ExecEnv::Mpi));
+    }
+}

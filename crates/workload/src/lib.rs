@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Case-study workload machinery (paper §4.1).
+//!
+//! "During each experiment, requests for one of the seven test
+//! applications are sent at one second intervals to randomly selected
+//! agents. The required execution time deadline for the application is
+//! also selected randomly from a given domain ... The request phase of
+//! each experiment lasts for ten minutes during which 600 task execution
+//! requests are sent out to the agents. While the selection of agents,
+//! applications and requirements are random, the seed is set to the same
+//! so that the workload for each experiment is identical."
+//!
+//! * [`generator`] — the seeded request stream.
+//! * [`experiment`] — the Table 2 design matrix.
+//! * [`topology`] — the Fig. 7 resource set.
+
+pub mod experiment;
+pub mod generator;
+pub mod topology;
+
+pub use experiment::{ExperimentDesign, LocalPolicy};
+pub use generator::{ArrivalPattern, GeneratedRequest, WorkloadConfig};
+pub use topology::{GridTopology, ResourceSpec};

@@ -1,0 +1,231 @@
+//! The Fig. 7 resource set, and custom grid topologies for examples.
+
+use agentgrid_pace::Platform;
+use serde::{Deserialize, Serialize};
+
+/// One grid resource: an agent name, its machine type and node count.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResourceSpec {
+    /// Agent/resource name (e.g. `"S1"`).
+    pub name: String,
+    /// Machine type of every node.
+    pub platform: Platform,
+    /// Number of processing nodes.
+    pub nproc: usize,
+    /// Parent agent in the hierarchy (`None` for the head).
+    pub parent: Option<String>,
+}
+
+/// A grid topology: resources plus the agent hierarchy over them.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GridTopology {
+    /// All resources, head first.
+    pub resources: Vec<ResourceSpec>,
+}
+
+impl GridTopology {
+    /// The case-study grid (Fig. 7): twelve 16-node resources across five
+    /// machine types, S1 at the head, balanced three-level hierarchy
+    /// (S2–S4 under S1; S5–S7 under S2, S8–S10 under S3, S11–S12 under
+    /// S4 — the paper's figure does not pin the exact shape; see
+    /// DESIGN.md).
+    pub fn case_study() -> GridTopology {
+        let spec = |name: &str, platform: Platform, parent: Option<&str>| ResourceSpec {
+            name: name.to_string(),
+            platform,
+            nproc: 16,
+            parent: parent.map(str::to_string),
+        };
+        GridTopology {
+            resources: vec![
+                spec("S1", Platform::sgi_origin2000(), None),
+                spec("S2", Platform::sgi_origin2000(), Some("S1")),
+                spec("S3", Platform::sun_ultra10(), Some("S1")),
+                spec("S4", Platform::sun_ultra10(), Some("S1")),
+                spec("S5", Platform::sun_ultra5(), Some("S2")),
+                spec("S6", Platform::sun_ultra5(), Some("S2")),
+                spec("S7", Platform::sun_ultra5(), Some("S2")),
+                spec("S8", Platform::sun_ultra1(), Some("S3")),
+                spec("S9", Platform::sun_ultra1(), Some("S3")),
+                spec("S10", Platform::sun_ultra1(), Some("S3")),
+                spec("S11", Platform::sun_sparcstation2(), Some("S4")),
+                spec("S12", Platform::sun_sparcstation2(), Some("S4")),
+            ],
+        }
+    }
+
+    /// A small homogeneous grid for examples and quick tests: `n`
+    /// resources of `nproc` reference-platform nodes in a flat hierarchy
+    /// under the first.
+    pub fn flat(n: usize, nproc: usize) -> GridTopology {
+        assert!(n >= 1, "topology needs at least one resource");
+        let resources = (0..n)
+            .map(|i| ResourceSpec {
+                name: format!("R{}", i + 1),
+                platform: Platform::sgi_origin2000(),
+                nproc,
+                parent: if i == 0 { None } else { Some("R1".to_string()) },
+            })
+            .collect();
+        GridTopology { resources }
+    }
+
+    /// A scalability topology: a complete `branching`-ary tree of
+    /// `levels` levels (level 0 = the head alone), `nproc` nodes per
+    /// resource, machine types cycling through the case-study set from
+    /// fastest at the head to slowest at the leaves.
+    pub fn tree(levels: u32, branching: usize, nproc: usize) -> GridTopology {
+        assert!(levels >= 1, "tree needs at least the head level");
+        assert!(branching >= 1, "branching must be at least 1");
+        let platforms = Platform::case_study_set();
+        let mut resources: Vec<ResourceSpec> = Vec::new();
+        let mut prev_level: Vec<String> = Vec::new();
+        let mut counter = 0usize;
+        for level in 0..levels {
+            let count = if level == 0 {
+                1
+            } else {
+                prev_level.len() * branching
+            };
+            let mut this_level = Vec::with_capacity(count);
+            for i in 0..count {
+                counter += 1;
+                let name = format!("A{counter}");
+                let parent = if level == 0 {
+                    None
+                } else {
+                    Some(prev_level[i / branching].clone())
+                };
+                let pf = (level as usize * platforms.len()) / levels as usize;
+                resources.push(ResourceSpec {
+                    name: name.clone(),
+                    platform: platforms[pf.min(platforms.len() - 1)].clone(),
+                    nproc,
+                    parent,
+                });
+                this_level.push(name);
+            }
+            prev_level = this_level;
+        }
+        GridTopology { resources }
+    }
+
+    /// Agent names in declaration order.
+    pub fn names(&self) -> Vec<String> {
+        self.resources.iter().map(|r| r.name.clone()).collect()
+    }
+
+    /// `(name, parent)` pairs for hierarchy construction.
+    pub fn parent_pairs(&self) -> Vec<(String, Option<String>)> {
+        self.resources
+            .iter()
+            .map(|r| (r.name.clone(), r.parent.clone()))
+            .collect()
+    }
+
+    /// Total processing nodes in the grid.
+    pub fn total_nodes(&self) -> usize {
+        self.resources.iter().map(|r| r.nproc).sum()
+    }
+
+    /// Look up a resource by name.
+    pub fn get(&self, name: &str) -> Option<&ResourceSpec> {
+        self.resources.iter().find(|r| r.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_study_has_192_nodes_over_12_resources() {
+        let t = GridTopology::case_study();
+        assert_eq!(t.resources.len(), 12);
+        assert_eq!(t.total_nodes(), 192);
+        assert_eq!(t.names().len(), 12);
+        assert_eq!(t.get("S1").unwrap().parent, None);
+        assert_eq!(t.get("S12").unwrap().parent.as_deref(), Some("S4"));
+        assert!(t.get("S13").is_none());
+    }
+
+    #[test]
+    fn case_study_platform_mix_matches_fig7() {
+        let t = GridTopology::case_study();
+        let count = |name: &str| {
+            t.resources
+                .iter()
+                .filter(|r| r.platform.name == name)
+                .count()
+        };
+        assert_eq!(count("SGIOrigin2000"), 2);
+        assert_eq!(count("SunUltra10"), 2);
+        assert_eq!(count("SunUltra5"), 3);
+        assert_eq!(count("SunUltra1"), 3);
+        assert_eq!(count("SunSPARCstation2"), 2);
+    }
+
+    #[test]
+    fn flat_topology_shape() {
+        let t = GridTopology::flat(3, 4);
+        assert_eq!(t.resources.len(), 3);
+        assert_eq!(t.total_nodes(), 12);
+        assert_eq!(t.get("R1").unwrap().parent, None);
+        assert_eq!(t.get("R3").unwrap().parent.as_deref(), Some("R1"));
+    }
+
+    #[test]
+    fn parent_pairs_feed_hierarchy_construction() {
+        let t = GridTopology::case_study();
+        let pairs = t.parent_pairs();
+        assert_eq!(pairs.len(), 12);
+        assert_eq!(pairs.iter().filter(|(_, p)| p.is_none()).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one resource")]
+    fn flat_rejects_zero_resources() {
+        let _ = GridTopology::flat(0, 4);
+    }
+
+    #[test]
+    fn tree_shape_is_a_complete_tree() {
+        // 3 levels, branching 3: 1 + 3 + 9 = 13 resources.
+        let t = GridTopology::tree(3, 3, 8);
+        assert_eq!(t.resources.len(), 13);
+        assert_eq!(t.total_nodes(), 13 * 8);
+        assert_eq!(t.get("A1").unwrap().parent, None);
+        // Heads of the second level hang off A1.
+        for name in ["A2", "A3", "A4"] {
+            assert_eq!(t.get(name).unwrap().parent.as_deref(), Some("A1"));
+        }
+        // First leaf hangs off the first second-level agent.
+        assert_eq!(t.get("A5").unwrap().parent.as_deref(), Some("A2"));
+        assert_eq!(t.get("A13").unwrap().parent.as_deref(), Some("A4"));
+        // Exactly one head.
+        assert_eq!(
+            t.resources.iter().filter(|r| r.parent.is_none()).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn tree_platforms_slow_toward_leaves() {
+        let t = GridTopology::tree(3, 2, 4);
+        let head = &t.get("A1").unwrap().platform;
+        let leaf = &t.resources.last().unwrap().platform;
+        assert!(head.cpu_factor <= leaf.cpu_factor);
+    }
+
+    #[test]
+    fn single_level_tree_is_just_the_head() {
+        let t = GridTopology::tree(1, 5, 4);
+        assert_eq!(t.resources.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "head level")]
+    fn tree_rejects_zero_levels() {
+        let _ = GridTopology::tree(0, 2, 4);
+    }
+}

@@ -1,0 +1,77 @@
+//! A scaled-down version of the paper's full case study (§4).
+//!
+//! ```text
+//! cargo run --example grid_campaign --release
+//! ```
+//!
+//! Runs all three Table 2 experiments over the identical seeded workload
+//! on the Fig. 7 twelve-resource grid (with a reduced request count so
+//! the example finishes in a second) and prints the Table 3 layout plus
+//! the Fig. 8–10 trend lines for the grid total.
+
+use agentgrid::prelude::*;
+use agentgrid::result::FigureMetric;
+
+fn main() {
+    let topology = GridTopology::case_study();
+    let mut workload = WorkloadConfig::case_study(topology.names(), 2003);
+    workload.requests = 180; // scaled down from the paper's 600
+
+    println!(
+        "grid: {} resources, {} nodes; workload: {} requests at 1/s, seed {}",
+        topology.resources.len(),
+        topology.total_nodes(),
+        workload.requests,
+        workload.seed
+    );
+    println!();
+
+    let results = run_table3(&topology, &workload, &RunOptions::paper());
+    print!("{}", results.table3());
+    println!();
+
+    for (fig, label, metric) in [
+        (8, "advance time e (s)", FigureMetric::AdvanceTime),
+        (9, "utilisation u (%)", FigureMetric::Utilisation),
+        (10, "balance b (%)", FigureMetric::Balance),
+    ] {
+        let series = results.figure_series(metric);
+        let (_, totals) = series.last().expect("total series present");
+        println!(
+            "Fig.{fig:<3} {label:<22} exp1 {:>8.1}   exp2 {:>8.1}   exp3 {:>8.1}",
+            totals[0], totals[1], totals[2]
+        );
+    }
+    println!();
+    for e in &results.experiments {
+        println!(
+            "exp {}: {} tasks, horizon {:.0}s, {} migrations, {} advert messages",
+            e.design.number, e.total.tasks, e.horizon_s, e.migrations, e.pull_messages
+        );
+    }
+
+    // A windowed view of the slowest resource under experiment 3: rerun
+    // exp 3 keeping the grid, and print S12's utilisation timeline.
+    println!();
+    println!("S12 utilisation timeline under experiment 3 (60 s windows):");
+    let opts = RunOptions::paper();
+    let mut config = GridConfig::new(LocalPolicy::Ga, true, workload.seed);
+    config.ga = opts.ga;
+    let mut grid = GridSystem::new(&topology, &opts.catalog, &config);
+    let mut sim = Simulation::new();
+    grid.bootstrap(&mut sim, workload.generate(&opts.catalog));
+    while let Some(ev) = sim.step() {
+        grid.handle(&mut sim, ev);
+    }
+    let s12 = &grid.schedulers()["S12"];
+    let series = agentgrid_metrics::utilisation_series(
+        s12.resource().allocations(),
+        s12.resource().nproc(),
+        grid.horizon(),
+        60.0,
+    );
+    for w in series {
+        let bar = "#".repeat((w.utilisation * 40.0).round() as usize);
+        println!("  t={:>4.0}s {:>5.1}% {bar}", w.start_s, w.utilisation * 100.0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Run the scheduler against *real* concurrent execution (not test mode).
+//!
+//! ```text
+//! cargo run --example live_cluster --release
+//! ```
+//!
+//! The paper's experiments use test mode (predictions assumed accurate);
+//! this example shows the other execution backend: every scheduled task
+//! is actually launched on an OS thread via [`ThreadedExecutor`], with
+//! wall-clock durations scaled down 1000× from the predicted seconds. The
+//! virtual schedule and the real executions are then reconciled.
+
+use agentgrid::prelude::*;
+use agentgrid_cluster::{Executor, ThreadedExecutor};
+use std::sync::Arc;
+
+fn main() {
+    let resource = GridResource::new("live", Platform::sgi_origin2000(), 8);
+    let mut system = SchedulerSystem::new(
+        resource,
+        PolicyConfig::Ga(GaConfig::default()),
+        Arc::new(CachedEngine::new()),
+        RngStream::root(99),
+    );
+    // 1 predicted second = 1 real millisecond.
+    let executor = ThreadedExecutor::new(1e-3);
+
+    let catalog = Catalog::case_study();
+    let mut started = Vec::new();
+    for (i, app) in catalog.apps().iter().cycle().take(20).enumerate() {
+        let (lo, hi) = app.deadline_bounds_s;
+        let task = Task::new(
+            TaskId(i as u64),
+            Arc::new(app.clone()),
+            SimTime::ZERO,
+            SimTime::from_secs_f64((lo + hi) / 2.0),
+            ExecEnv::Mpi,
+        );
+        started.extend(system.submit(task, SimTime::ZERO).expect("mpi supported"));
+    }
+
+    // Drive virtual time; launch each started task for real.
+    let mut launched = 0usize;
+    while !started.is_empty() {
+        started.sort_by_key(|s: &agentgrid_scheduler::StartedTask| (s.completion, s.id.0));
+        let next = started.remove(0);
+        let duration_s = next.completion.saturating_since(next.start).as_secs_f64();
+        executor.launch(next.id.0, ExecEnv::Mpi, duration_s);
+        launched += 1;
+        started.extend(system.on_task_complete(next.id, next.completion));
+    }
+
+    // Wait for the real threads and reconcile.
+    executor.join_all();
+    let completed_real = executor.completed();
+    println!("scheduled and really executed {launched} tasks on OS threads");
+    println!(
+        "virtual makespan: {:.0} predicted seconds; all {} real executions finished",
+        system
+            .completed()
+            .iter()
+            .map(|c| c.completion)
+            .fold(SimTime::ZERO, SimTime::max)
+            .as_secs_f64(),
+        completed_real.len()
+    );
+    assert_eq!(completed_real.len(), launched);
+
+    let met = system.completed().iter().filter(|c| c.met_deadline()).count();
+    println!("{met}/{} predicted deadlines met", system.completed().len());
+}

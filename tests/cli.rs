@@ -1,0 +1,101 @@
+//! Integration: the `agentgrid` CLI binary end to end.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_agentgrid"))
+        .args(args)
+        .output()
+        .expect("CLI binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let (_, err, ok) = run(&[]);
+    assert!(!ok);
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let (_, err, ok) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn models_lists_the_catalogue() {
+    let (out, _, ok) = run(&["models"]);
+    assert!(ok);
+    for app in ["sweep3d", "fft", "improc", "closure", "jacobi", "memsort", "cpi"] {
+        assert!(out.contains(app), "missing {app} in:\n{out}");
+    }
+}
+
+#[test]
+fn topology_describes_the_case_study() {
+    let (out, _, ok) = run(&["topology"]);
+    assert!(ok);
+    assert!(out.contains("12 resources, 192 nodes"));
+    assert!(out.contains("HEAD"));
+    assert!(out.contains("SGIOrigin2000"));
+}
+
+#[test]
+fn topology_specs_parse_and_reject() {
+    let (out, _, ok) = run(&["topology", "--topology", "tree:3:2:4"]);
+    assert!(ok);
+    assert!(out.contains("7 resources, 28 nodes"));
+
+    let (_, err, ok) = run(&["topology", "--topology", "moebius:7"]);
+    assert!(!ok);
+    assert!(err.contains("bad topology spec"));
+}
+
+#[test]
+fn run_executes_a_small_experiment() {
+    let (out, _, ok) = run(&[
+        "run",
+        "--topology",
+        "flat:2:4",
+        "--requests",
+        "8",
+        "--seed",
+        "3",
+        "--agents",
+    ]);
+    assert!(ok, "run failed:\n{out}");
+    assert!(out.contains("8 tasks over 2 resources"));
+    assert!(out.contains("deadlines met"));
+}
+
+#[test]
+fn run_emits_json_when_asked() {
+    let (out, _, ok) = run(&[
+        "run",
+        "--topology",
+        "flat:1:2",
+        "--requests",
+        "4",
+        "--json",
+    ]);
+    assert!(ok);
+    let parsed: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
+    assert_eq!(parsed["requests"], 4);
+}
+
+#[test]
+fn bad_flags_are_reported() {
+    let (_, err, ok) = run(&["run", "--policy", "quantum"]);
+    assert!(!ok);
+    assert!(err.contains("unknown policy"));
+
+    let (_, err, ok) = run(&["run", "--requests"]);
+    assert!(!ok);
+    assert!(err.contains("needs a value"));
+}

@@ -1,0 +1,235 @@
+//! Integration: agent-based service discovery across the hierarchy.
+
+use agentgrid::prelude::*;
+use agentgrid_sim::trace::TraceKind;
+
+/// A lopsided grid: all requests arrive at a weak leaf; capacity lives at
+/// the head.
+fn lopsided() -> GridTopology {
+    GridTopology {
+        resources: vec![
+            ResourceSpec {
+                name: "head".into(),
+                platform: Platform::sgi_origin2000(),
+                nproc: 16,
+                parent: None,
+            },
+            ResourceSpec {
+                name: "mid".into(),
+                platform: Platform::sun_ultra5(),
+                nproc: 16,
+                parent: Some("head".into()),
+            },
+            ResourceSpec {
+                name: "leaf".into(),
+                platform: Platform::sun_sparcstation2(),
+                nproc: 4,
+                parent: Some("mid".into()),
+            },
+        ],
+    }
+}
+
+fn leaf_workload(n: usize) -> WorkloadConfig {
+    WorkloadConfig {
+        requests: n,
+        interarrival: SimDuration::from_secs(1),
+        seed: 17,
+        agents: vec!["leaf".into()],
+        environment: ExecEnv::Test,
+    }
+}
+
+fn run_grid(
+    topology: &GridTopology,
+    workload: &WorkloadConfig,
+    agents_enabled: bool,
+    failure_policy: FailurePolicy,
+    trace: bool,
+) -> GridSystem {
+    let opts = RunOptions::fast();
+    let mut config = GridConfig::new(LocalPolicy::Ga, agents_enabled, workload.seed);
+    config.ga = opts.ga;
+    config.failure_policy = failure_policy;
+    config.trace = trace;
+    let mut grid = GridSystem::new(topology, &opts.catalog, &config);
+    let mut sim = Simulation::new();
+    grid.bootstrap(&mut sim, workload.generate(&opts.catalog));
+    while let Some(ev) = sim.step() {
+        grid.handle(&mut sim, ev);
+    }
+    grid
+}
+
+#[test]
+fn discovery_moves_load_from_leaf_to_capacity() {
+    let topology = lopsided();
+    let grid = run_grid(&topology, &leaf_workload(30), true, FailurePolicy::BestEffort, false);
+    let executed_on_leaf = grid.schedulers()["leaf"].completed().len();
+    let executed_elsewhere: usize = ["head", "mid"]
+        .iter()
+        .map(|n| grid.schedulers()[*n].completed().len())
+        .sum();
+    assert_eq!(executed_on_leaf + executed_elsewhere, 30);
+    assert!(
+        executed_elsewhere > executed_on_leaf,
+        "most load must leave the weak leaf: {executed_elsewhere} vs {executed_on_leaf}"
+    );
+    assert!(grid.migrations() > 0);
+}
+
+#[test]
+fn without_agents_the_leaf_keeps_everything() {
+    let topology = lopsided();
+    let grid = run_grid(&topology, &leaf_workload(30), false, FailurePolicy::BestEffort, false);
+    assert_eq!(grid.schedulers()["leaf"].completed().len(), 30);
+    assert_eq!(grid.migrations(), 0);
+}
+
+#[test]
+fn trace_records_the_discovery_walk() {
+    let topology = lopsided();
+    let grid = run_grid(&topology, &leaf_workload(20), true, FailurePolicy::BestEffort, true);
+    let trace = grid.trace();
+    assert!(trace.count(TraceKind::RequestArrival) == 20);
+    assert!(trace.count(TraceKind::Discovery) > 0, "no discovery records");
+    assert!(trace.count(TraceKind::TaskComplete) == 20);
+    assert!(trace.count(TraceKind::Advertisement) > 0);
+    // Discovery records must reference real agents.
+    for e in trace.of_kind(TraceKind::Discovery) {
+        assert!(topology.names().contains(&e.who), "unknown agent {}", e.who);
+    }
+}
+
+#[test]
+fn reject_policy_drops_unsatisfiable_requests() {
+    // A single slow resource and impossible deadlines: under the paper's
+    // strict policy, discovery terminates unsuccessfully.
+    let topology = GridTopology {
+        resources: vec![ResourceSpec {
+            name: "only".into(),
+            platform: Platform::sun_sparcstation2(),
+            nproc: 2,
+            parent: None,
+        }],
+    };
+    let workload = WorkloadConfig {
+        requests: 40,
+        interarrival: SimDuration::from_secs(1),
+        seed: 23,
+        agents: vec!["only".into()],
+        environment: ExecEnv::Test,
+    };
+    let grid = run_grid(&topology, &workload, true, FailurePolicy::Reject, false);
+    let completed = grid.schedulers()["only"].completed().len();
+    assert_eq!(completed + grid.rejected(), 40);
+    assert!(
+        grid.rejected() > 0,
+        "a 2-node SPARCstation cannot absorb 40 tasks within their deadlines"
+    );
+}
+
+#[test]
+fn service_info_round_trips_the_wire_format() {
+    let topology = lopsided();
+    let grid = run_grid(&topology, &leaf_workload(5), true, FailurePolicy::BestEffort, false);
+    for name in topology.names() {
+        let info = grid.service_info(&name, SimTime::from_secs(100));
+        let xml = info.to_xml().render();
+        let back = ServiceInfo::parse_str(&xml).expect("valid Fig. 5 XML");
+        assert_eq!(back, info);
+        assert_eq!(back.nproc, topology.get(&name).unwrap().nproc);
+    }
+}
+
+#[test]
+fn event_push_advertisement_also_balances() {
+    use agentgrid_agents::AdvertisementStrategy;
+    let topology = lopsided();
+    let workload = leaf_workload(30);
+    let opts = RunOptions::fast();
+    let mut config = GridConfig::new(LocalPolicy::Ga, true, workload.seed);
+    config.ga = opts.ga;
+    config.advertisement = AdvertisementStrategy::EventPush {
+        threshold: SimDuration::from_secs(5),
+    };
+    let mut grid = GridSystem::new(&topology, &opts.catalog, &config);
+    let mut sim = Simulation::new();
+    grid.bootstrap(&mut sim, workload.generate(&opts.catalog));
+    while let Some(ev) = sim.step() {
+        grid.handle(&mut sim, ev);
+    }
+    let completed: usize = grid.schedulers().values().map(|s| s.completed().len()).sum();
+    assert_eq!(completed, 30);
+    assert!(grid.migrations() > 0, "push mode must still redistribute");
+    assert!(grid.pull_messages() > 0, "pushes are counted as messages");
+    // ACTs were populated by pushes, not pulls.
+    for name in topology.names() {
+        let agent = grid.hierarchy().get(&name).unwrap();
+        for n in agent.neighbours() {
+            assert!(agent.act().get(n).is_some(), "{name} never heard from {n}");
+        }
+    }
+}
+
+#[test]
+fn gossip_spreads_service_info_beyond_neighbours() {
+    // A 3-level chain: head <- mid <- leaf. Without gossip the leaf only
+    // ever knows `mid`; with gossip it learns about `head` after two
+    // pull rounds.
+    let topology = lopsided(); // head <- mid <- leaf
+    let workload = leaf_workload(25);
+    let opts = RunOptions::fast();
+
+    let run = |gossip: bool| {
+        let mut config = GridConfig::new(LocalPolicy::Ga, true, workload.seed);
+        config.ga = opts.ga;
+        config.gossip = gossip;
+        let mut grid = GridSystem::new(&topology, &opts.catalog, &config);
+        let mut sim = Simulation::new();
+        grid.bootstrap(&mut sim, workload.generate(&opts.catalog));
+        while let Some(ev) = sim.step() {
+            grid.handle(&mut sim, ev);
+        }
+        grid
+    };
+
+    let plain = run(false);
+    let leaf = plain.hierarchy().get("leaf").unwrap();
+    assert!(leaf.act().get("mid").is_some());
+    assert!(
+        leaf.act().get("head").is_none(),
+        "without gossip the leaf must not know the head"
+    );
+
+    let gossiped = run(true);
+    let leaf = gossiped.hierarchy().get("leaf").unwrap();
+    assert!(
+        leaf.act().get("head").is_some(),
+        "gossip must propagate the head's service info to the leaf"
+    );
+    // Both modes place every task; gossip can only shorten discovery.
+    let completed: usize = gossiped
+        .schedulers()
+        .values()
+        .map(|s| s.completed().len())
+        .sum();
+    assert_eq!(completed, 25);
+    assert!(gossiped.discovery_hops() <= plain.discovery_hops());
+}
+
+#[test]
+fn acts_carry_advertised_freetime() {
+    let topology = lopsided();
+    let grid = run_grid(&topology, &leaf_workload(10), true, FailurePolicy::BestEffort, false);
+    // After the run every agent has heard from each neighbour.
+    for name in topology.names() {
+        let agent = grid.hierarchy().get(&name).unwrap();
+        for n in agent.neighbours() {
+            assert!(
+                agent.act().get(n).is_some(),
+                "{name} never heard from {n}"
+            );
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Integration: the three case-study experiments on a reduced workload.
+//!
+//! These assert the paper's qualitative results (the *shape* of Table 3):
+//! GA improves on FIFO locally, and the agent layer improves the grid
+//! globally.
+
+use agentgrid::prelude::*;
+
+fn reduced_case_study() -> (GridTopology, WorkloadConfig) {
+    let topology = GridTopology::case_study();
+    let mut workload = WorkloadConfig::case_study(topology.names(), 2003);
+    workload.requests = 240;
+    (topology, workload)
+}
+
+#[test]
+fn all_three_experiments_complete_every_task() {
+    let (topology, workload) = reduced_case_study();
+    let results = run_table3(&topology, &workload, &RunOptions::fast());
+    assert_eq!(results.experiments.len(), 3);
+    for e in &results.experiments {
+        assert_eq!(e.total.tasks, 240, "exp {} lost tasks", e.design.number);
+        assert_eq!(e.rejected, 0, "exp {} rejected tasks", e.design.number);
+        assert_eq!(e.per_resource.len(), 12);
+    }
+}
+
+#[test]
+fn agents_improve_grid_balance_and_utilisation() {
+    let (topology, workload) = reduced_case_study();
+    let results = run_table3(&topology, &workload, &RunOptions::fast());
+    let exp1 = &results.experiments[0];
+    let exp2 = &results.experiments[1];
+    let exp3 = &results.experiments[2];
+
+    // The paper's headline: experiment 3 dominates on every total metric.
+    assert!(
+        exp3.total.balance_pct > exp2.total.balance_pct,
+        "agents must improve grid balance: {} vs {}",
+        exp3.total.balance_pct,
+        exp2.total.balance_pct
+    );
+    assert!(
+        exp3.total.utilisation_pct > exp1.total.utilisation_pct,
+        "agents must improve utilisation: {} vs {}",
+        exp3.total.utilisation_pct,
+        exp1.total.utilisation_pct
+    );
+    assert!(
+        exp3.total.advance_s > exp1.total.advance_s,
+        "agents must improve completion advance: {} vs {}",
+        exp3.total.advance_s,
+        exp1.total.advance_s
+    );
+    // And the grid drains faster.
+    assert!(exp3.horizon_s < exp1.horizon_s);
+}
+
+#[test]
+fn migration_happens_only_with_agents() {
+    let (topology, workload) = reduced_case_study();
+    let results = run_table3(&topology, &workload, &RunOptions::fast());
+    assert_eq!(results.experiments[0].migrations, 0);
+    assert_eq!(results.experiments[1].migrations, 0);
+    assert!(
+        results.experiments[2].migrations > 0,
+        "experiment 3 must redistribute load"
+    );
+    assert_eq!(results.experiments[0].pull_messages, 0);
+    assert!(results.experiments[2].pull_messages > 0);
+}
+
+#[test]
+fn metrics_are_within_domain_bounds() {
+    let (topology, workload) = reduced_case_study();
+    let results = run_table3(&topology, &workload, &RunOptions::fast());
+    for e in &results.experiments {
+        for row in e.per_resource.iter() {
+            let m = &row.metrics;
+            assert!(
+                (0.0..=100.0).contains(&m.utilisation_pct),
+                "{} utilisation {}",
+                row.name,
+                m.utilisation_pct
+            );
+            assert!(
+                (0.0..=100.0).contains(&m.balance_pct),
+                "{} balance {}",
+                row.name,
+                m.balance_pct
+            );
+        }
+        assert!((0.0..=100.0).contains(&e.total.utilisation_pct));
+        assert!((0.0..=100.0).contains(&e.total.balance_pct));
+        assert!((0.0..=1.0).contains(&e.cache_hit_ratio));
+    }
+}
+
+#[test]
+fn table3_rendering_includes_every_agent() {
+    let (topology, workload) = reduced_case_study();
+    let results = run_table3(&topology, &workload, &RunOptions::fast());
+    let table = results.table3();
+    for name in topology.names() {
+        assert!(table.contains(&name), "missing {name} in table");
+    }
+    assert!(table.contains("Total"));
+}
+
+#[test]
+fn figure_series_are_consistent_with_table() {
+    use agentgrid::result::FigureMetric;
+    let (topology, workload) = reduced_case_study();
+    let results = run_table3(&topology, &workload, &RunOptions::fast());
+    for metric in [
+        FigureMetric::AdvanceTime,
+        FigureMetric::Utilisation,
+        FigureMetric::Balance,
+    ] {
+        let series = results.figure_series(metric);
+        assert_eq!(series.len(), 13, "12 agents + total");
+        for (_, values) in &series {
+            assert_eq!(values.len(), 3, "one point per experiment");
+        }
+    }
+}
+
+#[test]
+fn completed_executions_honour_pace_predictions() {
+    // In test mode the executed duration must equal the PACE prediction
+    // for the node count actually allocated.
+    let topology = GridTopology::flat(2, 8);
+    let workload = WorkloadConfig {
+        requests: 20,
+        interarrival: SimDuration::from_secs(1),
+        seed: 5,
+        agents: topology.names(),
+        environment: ExecEnv::Test,
+    };
+    // Rebuild the run manually to keep the grid around for inspection.
+    let opts = RunOptions::fast();
+    let design = ExperimentDesign::experiment2();
+    let mut config = GridConfig::new(design.local_policy, design.agents_enabled, workload.seed);
+    config.ga = opts.ga;
+    let mut grid = GridSystem::new(&topology, &opts.catalog, &config);
+    let mut sim = Simulation::new();
+    grid.bootstrap(&mut sim, workload.generate(&opts.catalog));
+    while let Some(ev) = sim.step() {
+        grid.handle(&mut sim, ev);
+    }
+    let engine = CachedEngine::new();
+    for (_, s) in grid.schedulers().iter() {
+        for c in s.completed() {
+            let predicted = engine.evaluate(&c.task.app, s.resource().model(), c.mask.count());
+            let actual = c.completion.saturating_since(c.start).as_secs_f64();
+            assert!(
+                (predicted - actual).abs() < 1e-5,
+                "task {} ran {actual}s, predicted {predicted}s",
+                c.task.id
+            );
+        }
+    }
+}
+
+#[test]
+fn bursty_arrivals_are_absorbed() {
+    // A Poisson stream and a heavy burst stream, same mean rate: the
+    // grid must place everything in both cases.
+    let topology = GridTopology::flat(3, 8);
+    let workload = WorkloadConfig {
+        requests: 40,
+        interarrival: SimDuration::from_secs(1),
+        seed: 31,
+        agents: topology.names(),
+        environment: ExecEnv::Test,
+    };
+    let opts = RunOptions::fast();
+    for pattern in [
+        ArrivalPattern::Poisson,
+        ArrivalPattern::Bursts { burst_size: 10 },
+    ] {
+        let mut config = GridConfig::new(LocalPolicy::Ga, true, workload.seed);
+        config.ga = opts.ga;
+        let mut grid = GridSystem::new(&topology, &opts.catalog, &config);
+        let mut sim = Simulation::new();
+        grid.bootstrap(
+            &mut sim,
+            workload.generate_with_pattern(&opts.catalog, pattern),
+        );
+        while let Some(ev) = sim.step() {
+            grid.handle(&mut sim, ev);
+        }
+        let completed: usize = grid.schedulers().values().map(|s| s.completed().len()).sum();
+        assert_eq!(completed, 40, "pattern {pattern:?} lost tasks");
+        assert!(!grid.work_remains());
+    }
+}
+
+#[test]
+fn noisy_predictions_still_complete_and_agents_still_win() {
+    let topology = GridTopology::flat(3, 8);
+    let workload = WorkloadConfig {
+        requests: 40,
+        interarrival: SimDuration::from_secs(1),
+        seed: 37,
+        agents: topology.names(),
+        environment: ExecEnv::Test,
+    };
+    let mut opts = RunOptions::fast();
+    opts.noise = NoiseModel::LogNormal { sigma: 0.3 };
+    let exp2 = run_experiment(&ExperimentDesign::experiment2(), &topology, &workload, &opts);
+    let exp3 = run_experiment(&ExperimentDesign::experiment3(), &topology, &workload, &opts);
+    assert_eq!(exp2.total.tasks, 40);
+    assert_eq!(exp3.total.tasks, 40);
+    assert!(
+        exp3.total.advance_s >= exp2.total.advance_s,
+        "agents must still help under noise: {} vs {}",
+        exp3.total.advance_s,
+        exp2.total.advance_s
+    );
+}

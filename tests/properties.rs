@@ -1,0 +1,151 @@
+//! Property-based integration tests: whole-grid invariants under random
+//! workloads, topologies and seeds.
+
+use agentgrid::prelude::*;
+use proptest::prelude::*;
+
+/// Run one experiment and return the grid for inspection.
+fn run_grid(
+    topology: &GridTopology,
+    workload: &WorkloadConfig,
+    agents_enabled: bool,
+) -> GridSystem {
+    let mut opts = RunOptions::fast();
+    opts.ga.population = 8;
+    opts.ga.generations_per_event = 4;
+    opts.ga.stall_generations = 2;
+    let mut config = GridConfig::new(LocalPolicy::Ga, agents_enabled, workload.seed);
+    config.ga = opts.ga;
+    let mut grid = GridSystem::new(topology, &opts.catalog, &config);
+    let mut sim = Simulation::new();
+    grid.bootstrap(&mut sim, workload.generate(&opts.catalog));
+    while let Some(ev) = sim.step() {
+        grid.handle(&mut sim, ev);
+    }
+    grid
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    /// Every submitted task completes exactly once, on exactly one
+    /// resource, with no node ever double-booked.
+    #[test]
+    fn no_task_lost_no_node_double_booked(
+        seed in 0u64..1000,
+        requests in 1usize..25,
+        resources in 1usize..4,
+        nproc in 1usize..8,
+        agents_enabled in proptest::bool::ANY,
+    ) {
+        let topology = GridTopology::flat(resources, nproc);
+        let workload = WorkloadConfig {
+            requests,
+            interarrival: SimDuration::from_secs(1),
+            seed,
+            agents: topology.names(),
+            environment: ExecEnv::Test,
+        };
+        let grid = run_grid(&topology, &workload, agents_enabled);
+
+        // Completion count conservation.
+        let completed: usize = grid.schedulers().values().map(|s| s.completed().len()).sum();
+        prop_assert_eq!(completed + grid.rejected(), requests);
+        prop_assert_eq!(grid.rejected(), 0, "best-effort placement never rejects");
+
+        // Unique task ids across the grid.
+        let mut ids: Vec<u64> = grid
+            .schedulers()
+            .values()
+            .flat_map(|s| s.completed().iter().map(|c| c.task.id.0))
+            .collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), before, "a task completed twice");
+
+        // No double-booking: per-node intervals from the allocation logs
+        // must be disjoint.
+        for s in grid.schedulers().values() {
+            let n = s.resource().nproc();
+            let mut per_node: Vec<Vec<(SimTime, SimTime)>> = vec![vec![]; n];
+            for a in s.resource().allocations() {
+                for i in a.mask.iter() {
+                    per_node[i].push((a.start, a.end));
+                }
+            }
+            for intervals in &mut per_node {
+                intervals.sort();
+                for w in intervals.windows(2) {
+                    prop_assert!(w[0].1 <= w[1].0, "overlap {:?} then {:?}", w[0], w[1]);
+                }
+            }
+        }
+    }
+
+    /// Metrics stay in their mathematical domains for arbitrary runs.
+    #[test]
+    fn metrics_domains_hold(
+        seed in 0u64..1000,
+        requests in 1usize..20,
+        agents_enabled in proptest::bool::ANY,
+    ) {
+        let topology = GridTopology::flat(2, 4);
+        let workload = WorkloadConfig {
+            requests,
+            interarrival: SimDuration::from_secs(2),
+            seed,
+            agents: topology.names(),
+            environment: ExecEnv::Test,
+        };
+        let design = if agents_enabled {
+            ExperimentDesign::experiment3()
+        } else {
+            ExperimentDesign::experiment2()
+        };
+        let mut opts = RunOptions::fast();
+        opts.ga.population = 8;
+        opts.ga.generations_per_event = 4;
+        let r = run_experiment(&design, &topology, &workload, &opts);
+        prop_assert!((0.0..=100.0).contains(&r.total.utilisation_pct));
+        prop_assert!((0.0..=100.0).contains(&r.total.balance_pct));
+        prop_assert!(r.horizon_s >= 0.0);
+        prop_assert!(r.total.advance_s.is_finite());
+        for row in &r.per_resource {
+            prop_assert!((0.0..=100.0).contains(&row.metrics.utilisation_pct));
+            prop_assert!((0.0..=100.0).contains(&row.metrics.balance_pct));
+        }
+    }
+
+    /// Tasks never start before their arrival and always run for exactly
+    /// their predicted duration (test mode).
+    #[test]
+    fn causality_and_prediction_fidelity(
+        seed in 0u64..1000,
+        requests in 1usize..15,
+    ) {
+        let topology = GridTopology::flat(2, 4);
+        let workload = WorkloadConfig {
+            requests,
+            interarrival: SimDuration::from_secs(1),
+            seed,
+            agents: topology.names(),
+            environment: ExecEnv::Test,
+        };
+        let grid = run_grid(&topology, &workload, true);
+        let engine = CachedEngine::new();
+        for s in grid.schedulers().values() {
+            for c in s.completed() {
+                prop_assert!(c.start >= c.task.arrival, "task started before arrival");
+                let predicted = engine.evaluate(&c.task.app, s.resource().model(), c.mask.count());
+                let actual = c.completion.saturating_since(c.start).as_secs_f64();
+                prop_assert!((predicted - actual).abs() < 1e-5);
+                prop_assert!(!c.mask.is_empty());
+                prop_assert!(c.mask.count() <= s.resource().nproc());
+            }
+        }
+    }
+}
