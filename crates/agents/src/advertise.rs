@@ -13,13 +13,12 @@
 //! and message counts of the two.
 
 use agentgrid_sim::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// The case-study pull period.
 pub const DEFAULT_PULL_PERIOD_S: u64 = 10;
 
 /// How an agent keeps its neighbours' ACT entries fresh.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum AdvertisementStrategy {
     /// Every `period`, pull service info from every neighbour (upper and
     /// lower agents). What the experiments use.

@@ -24,6 +24,7 @@ use crate::info::{RequestInfo, ServiceInfo};
 use crate::matchmaking::{estimate, MatchEstimate};
 use agentgrid_pace::{ApplicationModel, CachedEngine, Platform};
 use agentgrid_sim::SimTime;
+use agentgrid_telemetry::{Event, Telemetry};
 
 /// What an agent does with a request it cannot satisfy anywhere.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,6 +47,9 @@ pub struct RequestEnvelope {
     pub visited: Vec<String>,
     /// Number of agent-to-agent hops so far.
     pub hops: usize,
+    /// Grid-wide task id this request resolved to (0 until assigned);
+    /// carried so agents can stamp telemetry with the task identity.
+    pub task: u64,
 }
 
 /// Hop budget: beyond this a request is executed wherever it is (or
@@ -59,7 +63,14 @@ impl RequestEnvelope {
             request,
             visited: Vec::new(),
             hops: 0,
+            task: 0,
         }
+    }
+
+    /// Tag the envelope with the task id it resolved to (builder style).
+    pub fn with_task(mut self, task: u64) -> RequestEnvelope {
+        self.task = task;
+        self
     }
 
     /// Record that `agent` has evaluated this request.
@@ -114,6 +125,7 @@ pub struct Agent {
     act: Act,
     policy: FailurePolicy,
     strategy: AdvertisementStrategy,
+    telemetry: Telemetry,
 }
 
 impl Agent {
@@ -126,7 +138,14 @@ impl Agent {
             act: Act::new(),
             policy: FailurePolicy::BestEffort,
             strategy: AdvertisementStrategy::default(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Record discovery decisions and advertisement receptions through
+    /// `telemetry`. Disabled by default.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Set the failure policy (builder style).
@@ -159,7 +178,10 @@ impl Agent {
     /// Upper and lower neighbours — the only agents this one talks to
     /// ("each agent is only aware of neighbouring agents").
     pub fn neighbours(&self) -> impl Iterator<Item = &str> {
-        self.upper.iter().map(String::as_str).chain(self.lower.iter().map(String::as_str))
+        self.upper
+            .iter()
+            .map(String::as_str)
+            .chain(self.lower.iter().map(String::as_str))
     }
 
     /// The failure policy in force.
@@ -182,6 +204,23 @@ impl Agent {
         self.act.update(from, info, now);
     }
 
+    /// [`Agent::update_act`] plus an [`Event::Advertise`] telemetry
+    /// record noting whether the information arrived by push or pull.
+    pub fn receive_advertisement(
+        &mut self,
+        from: &str,
+        info: ServiceInfo,
+        now: SimTime,
+        push: bool,
+    ) {
+        self.telemetry.emit(now.ticks(), || Event::Advertise {
+            agent: from.to_string(),
+            to: self.name.clone(),
+            push,
+        });
+        self.update_act(from, info, now);
+    }
+
     /// Merge a gossiped capability table (keep-freshest; entries about
     /// this agent itself are dropped).
     pub fn merge_act(&mut self, table: &Act) {
@@ -192,6 +231,31 @@ impl Agent {
     /// service information (generated from its scheduler right now, not
     /// from the ACT); `app` is the PACE model named by the request.
     pub fn decide(
+        &self,
+        envelope: &RequestEnvelope,
+        app: &ApplicationModel,
+        local: &ServiceInfo,
+        now: SimTime,
+        platforms: &[Platform],
+        engine: &CachedEngine,
+    ) -> DiscoveryDecision {
+        let decision = self.decide_inner(envelope, app, local, now, platforms, engine);
+        self.telemetry.emit(now.ticks(), || Event::Discovery {
+            task: envelope.task,
+            agent: self.name.clone(),
+            decision: match &decision {
+                DiscoveryDecision::ExecuteLocally { .. } => "local",
+                DiscoveryDecision::Dispatch { .. } => "dispatch",
+                DiscoveryDecision::Escalate { .. } => "escalate",
+                DiscoveryDecision::Reject => "reject",
+            }
+            .to_string(),
+            hops: envelope.hops as u32,
+        });
+        decision
+    }
+
+    fn decide_inner(
         &self,
         envelope: &RequestEnvelope,
         app: &ApplicationModel,

@@ -109,10 +109,7 @@ impl Hierarchy {
             .iter()
             .map(|(name, parent)| {
                 let lower = children.get(name).cloned().unwrap_or_default();
-                (
-                    name.clone(),
-                    Agent::new(name, parent.as_deref(), lower),
-                )
+                (name.clone(), Agent::new(name, parent.as_deref(), lower))
             })
             .collect();
         Ok(Hierarchy { agents, head })
@@ -177,6 +174,13 @@ impl Hierarchy {
         self.agents.keys().map(String::as_str)
     }
 
+    /// Route every agent's telemetry through `telemetry`.
+    pub fn set_telemetry(&mut self, telemetry: &agentgrid_telemetry::Telemetry) {
+        for agent in self.agents.values_mut() {
+            agent.set_telemetry(telemetry.clone());
+        }
+    }
+
     /// Number of agents.
     pub fn len(&self) -> usize {
         self.agents.len()
@@ -232,8 +236,7 @@ mod tests {
             assert_eq!(*nproc, 16);
         }
         // Fastest at the head, slowest at the leaves.
-        let factor =
-            |n: &str| plats.iter().find(|(p, _, _)| p == &n).unwrap().1.cpu_factor;
+        let factor = |n: &str| plats.iter().find(|(p, _, _)| p == &n).unwrap().1.cpu_factor;
         assert!(factor("S1") < factor("S5"));
         assert!(factor("S5") < factor("S11"));
     }

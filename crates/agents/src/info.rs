@@ -3,11 +3,10 @@
 use crate::xml::{parse, Element, XmlError};
 use agentgrid_cluster::ExecEnv;
 use agentgrid_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// A network endpoint: "the identity of a local scheduler and its
 /// corresponding agent is provided by a tuple of the address and port".
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Endpoint {
     /// Host address.
     pub address: String,
@@ -27,7 +26,7 @@ impl Endpoint {
 
 /// The service information a local scheduler submits to its agent and the
 /// agent advertises through the hierarchy (Fig. 5).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ServiceInfo {
     /// The agent's endpoint.
     pub agent: Endpoint,
@@ -63,11 +62,14 @@ impl ServiceInfo {
             local = local.leaf("environment", env.as_str());
         }
         local = local.leaf("freetime", &format!("{:.6}", self.freetime.as_secs_f64()));
-        Element::new("agentgrid").attr("type", "service").child(
-            Element::new("agent")
-                .leaf("address", &self.agent.address)
-                .leaf("port", &self.agent.port.to_string()),
-        ).child(local)
+        Element::new("agentgrid")
+            .attr("type", "service")
+            .child(
+                Element::new("agent")
+                    .leaf("address", &self.agent.address)
+                    .leaf("port", &self.agent.port.to_string()),
+            )
+            .child(local)
     }
 
     /// Decode from the Fig. 5 XML template.
@@ -107,7 +109,7 @@ impl ServiceInfo {
 }
 
 /// A user request for task execution (Fig. 6).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RequestInfo {
     /// Application name, e.g. `"sweep3d"`.
     pub application: String,

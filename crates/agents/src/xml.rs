@@ -296,8 +296,7 @@ impl<'a> Parser<'a> {
                     if self.peek() != Some(b'"') {
                         return Err(self.err("unterminated attribute value"));
                     }
-                    let value =
-                        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    let value = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
                     self.pos += 1;
                     el.attrs.push((attr_name, unescape(&value)));
                 }
@@ -367,13 +366,11 @@ mod tests {
 
     #[test]
     fn builds_and_renders_nested_documents() {
-        let doc = Element::new("agentgrid")
-            .attr("type", "service")
-            .child(
-                Element::new("agent")
-                    .leaf("address", "gem.dcs.warwick.ac.uk")
-                    .leaf("port", "1000"),
-            );
+        let doc = Element::new("agentgrid").attr("type", "service").child(
+            Element::new("agent")
+                .leaf("address", "gem.dcs.warwick.ac.uk")
+                .leaf("port", "1000"),
+        );
         let text = doc.render();
         assert!(text.contains("<agentgrid type=\"service\">"));
         assert!(text.contains("<address>gem.dcs.warwick.ac.uk</address>"));
@@ -417,8 +414,7 @@ mod tests {
 
     #[test]
     fn comments_and_declarations_are_skipped() {
-        let doc = parse("<?xml version=\"1.0\"?><!-- hi --><r><!-- inner --><x>1</x></r>")
-            .unwrap();
+        let doc = parse("<?xml version=\"1.0\"?><!-- hi --><r><!-- inner --><x>1</x></r>").unwrap();
         assert_eq!(doc.leaf_text("x").unwrap(), "1");
     }
 

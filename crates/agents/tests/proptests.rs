@@ -16,11 +16,7 @@ fn arb_name() -> impl Strategy<Value = String> {
 }
 
 fn arb_env() -> impl Strategy<Value = ExecEnv> {
-    prop_oneof![
-        Just(ExecEnv::Mpi),
-        Just(ExecEnv::Pvm),
-        Just(ExecEnv::Test)
-    ]
+    prop_oneof![Just(ExecEnv::Mpi), Just(ExecEnv::Pvm), Just(ExecEnv::Test)]
 }
 
 proptest! {

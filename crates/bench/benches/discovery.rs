@@ -21,7 +21,10 @@ fn service(machine: &str, freetime_s: u64) -> ServiceInfo {
 fn bench_matchmaking(c: &mut Criterion) {
     let platforms = Platform::case_study_set();
     let engine = CachedEngine::new();
-    let app = Catalog::case_study().by_name("fft").expect("catalogued").clone();
+    let app = Catalog::case_study()
+        .by_name("fft")
+        .expect("catalogued")
+        .clone();
     let info = service("SunUltra5", 40);
     c.bench_function("matchmaking_eq10", |b| {
         b.iter(|| {
@@ -41,7 +44,10 @@ fn bench_matchmaking(c: &mut Criterion) {
 fn bench_decide(c: &mut Criterion) {
     let platforms = Platform::case_study_set();
     let engine = CachedEngine::new();
-    let app = Catalog::case_study().by_name("sweep3d").expect("catalogued").clone();
+    let app = Catalog::case_study()
+        .by_name("sweep3d")
+        .expect("catalogued")
+        .clone();
 
     // A hub agent that knows about 12 neighbours with varied backlogs.
     let lower: Vec<String> = (2..=12).map(|i| format!("S{i}")).collect();

@@ -81,7 +81,9 @@ fn bench_best_time(c: &mut Criterion) {
     });
     let warm = CachedEngine::new();
     warm.best_time(app, &resource);
-    c.bench_function("best_time_warm", |b| b.iter(|| warm.best_time(app, &resource)));
+    c.bench_function("best_time_warm", |b| {
+        b.iter(|| warm.best_time(app, &resource))
+    });
 }
 
 criterion_group! {

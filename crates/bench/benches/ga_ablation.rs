@@ -66,7 +66,11 @@ fn main() {
 
     let rows: Vec<(&str, LocalPolicy, GaConfig)> = vec![
         ("FIFO baseline", LocalPolicy::Fifo, GaConfig::default()),
-        ("Batch queue (EASY backfill)", LocalPolicy::Batch, GaConfig::default()),
+        (
+            "Batch queue (EASY backfill)",
+            LocalPolicy::Batch,
+            GaConfig::default(),
+        ),
         ("GA default", LocalPolicy::Ga, GaConfig::default()),
         (
             "GA no front-weighted idle",
@@ -123,7 +127,10 @@ fn main() {
     );
     for period in [5u64, 10, 30] {
         let (eps, msgs, migr) = run_grid_with_period(period);
-        println!("{:<34}{eps:>10.1}{msgs:>10}{migr:>8}", format!("{period} s"));
+        println!(
+            "{:<34}{eps:>10.1}{msgs:>10}{migr:>8}",
+            format!("{period} s")
+        );
     }
 
     println!();
@@ -143,7 +150,10 @@ fn main() {
     println!();
     println!("# Dispatch-mode ablation (GA local scheduling, 180 requests):");
     println!("# what the discovery matchmaking buys over blind spreading");
-    println!("{:<34}{:>10}{:>8}{:>8}", "dispatch", "eps(s)", "u(%)", "b(%)");
+    println!(
+        "{:<34}{:>10}{:>8}{:>8}",
+        "dispatch", "eps(s)", "u(%)", "b(%)"
+    );
     for (label, mode) in [
         ("local (exp 2)", DispatchMode::Local),
         ("random", DispatchMode::Random),

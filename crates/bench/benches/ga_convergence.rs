@@ -2,6 +2,11 @@
 //! several queue depths (harness = false; prints a table rather than
 //! timing). This justifies DESIGN.md §5.4's per-event generation budget:
 //! the cost curve plateaus well inside the default 40 generations.
+//!
+//! Each depth is a single instrumented 80-generation run: the per-column
+//! numbers are running minima over the `ga_generation` telemetry stream,
+//! so the table is exactly what `agentgrid report` would aggregate from a
+//! recorded trace rather than 7 separate re-runs per depth.
 
 use agentgrid::prelude::*;
 use agentgrid_scheduler::decode::ResourceView;
@@ -19,6 +24,21 @@ fn make_tasks(catalog: &Catalog, n: usize) -> Vec<Task> {
                 SimTime::from_secs_f64(lo + (hi - lo) * 0.4),
                 ExecEnv::Test,
             )
+        })
+        .collect()
+}
+
+/// `(generation, best_cost)` pairs from one evolve's telemetry.
+fn generation_curve(events: &[TimedEvent]) -> Vec<(u32, f64)> {
+    events
+        .iter()
+        .filter_map(|e| match &e.event {
+            Event::GaGeneration {
+                generation,
+                best_cost,
+                ..
+            } => Some((*generation, *best_cost)),
+            _ => None,
         })
         .collect()
 }
@@ -41,18 +61,6 @@ fn main() {
         let tasks = make_tasks(&catalog, depth);
         // Greedy reference: a fresh GA evolved zero generations returns
         // the best of the seeded population (greedy + EDF + random).
-        let mut costs = Vec::new();
-        for &gens in &checkpoints {
-            let cfg = GaConfig {
-                population: 40,
-                generations_per_event: gens,
-                stall_generations: usize::MAX,
-                ..GaConfig::default()
-            };
-            let mut ga = GaScheduler::new(cfg, RngStream::root(7).derive("conv"));
-            let out = ga.evolve(&view, &tasks, &engine);
-            costs.push(out.cost);
-        }
         let greedy_cfg = GaConfig {
             population: 40,
             generations_per_event: 0,
@@ -61,9 +69,37 @@ fn main() {
         let mut greedy = GaScheduler::new(greedy_cfg, RngStream::root(7).derive("conv"));
         let greedy_cost = greedy.evolve(&view, &tasks, &engine).cost;
 
+        // One instrumented full-budget run; every checkpoint column is
+        // the running best over the recorded generation events.
+        let cfg = GaConfig {
+            population: 40,
+            generations_per_event: *checkpoints.last().unwrap(),
+            stall_generations: usize::MAX,
+            ..GaConfig::default()
+        };
+        let ring = Arc::new(RingRecorder::unbounded());
+        let mut ga = GaScheduler::new(cfg, RngStream::root(7).derive("conv"));
+        ga.set_telemetry(Telemetry::new(ring.clone()), "S1");
+        ga.evolve(&view, &tasks, &engine);
+        let curve = generation_curve(&ring.snapshot());
+        assert_eq!(
+            curve.len(),
+            *checkpoints.last().unwrap(),
+            "one event per generation"
+        );
+
         print!("{depth:<8}");
-        for c in &costs {
-            print!("{c:>10.1}");
+        let mut best = greedy_cost;
+        let mut at = curve.iter().peekable();
+        for &c in &checkpoints {
+            while let Some(&&(generation, cost)) = at.peek() {
+                if generation as usize >= c {
+                    break;
+                }
+                best = best.min(cost);
+                at.next();
+            }
+            print!("{best:>10.1}");
         }
         println!("{greedy_cost:>10.1}");
     }

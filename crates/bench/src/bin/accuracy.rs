@@ -33,7 +33,10 @@ fn main() {
         "design", "sigma", "eps(s)", "u(%)", "b(%)", "met/total", "horizon"
     );
 
-    for design in [ExperimentDesign::experiment2(), ExperimentDesign::experiment3()] {
+    for design in [
+        ExperimentDesign::experiment2(),
+        ExperimentDesign::experiment3(),
+    ] {
         for sigma in [0.0, 0.1, 0.2, 0.4, 0.8] {
             let mut opts = RunOptions::paper();
             opts.noise = if sigma == 0.0 {

@@ -12,7 +12,7 @@ use std::process::ExitCode;
 
 fn load(path: &str) -> Result<CaseStudyResults, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+    CaseStudyResults::from_json(&text).map_err(|e| format!("{path}: {e}"))
 }
 
 fn main() -> ExitCode {

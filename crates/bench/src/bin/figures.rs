@@ -17,7 +17,7 @@ fn main() {
     let (quick, seed) = parse_args();
     let results = match std::fs::read_to_string("table3.json")
         .ok()
-        .and_then(|s| serde_json::from_str::<CaseStudyResults>(&s).ok())
+        .and_then(|s| CaseStudyResults::from_json(&s).ok())
     {
         Some(r) => {
             println!("# using cached table3.json");
@@ -34,7 +34,11 @@ fn main() {
     };
 
     let figures = [
-        (8, "advance time of completion e (s)", FigureMetric::AdvanceTime),
+        (
+            8,
+            "advance time of completion e (s)",
+            FigureMetric::AdvanceTime,
+        ),
         (9, "resource utilisation u (%)", FigureMetric::Utilisation),
         (10, "load balancing level b (%)", FigureMetric::Balance),
     ];

@@ -31,6 +31,9 @@ fn main() {
     println!();
     println!("# per-platform scaling factors (DESIGN.md calibration):");
     for p in Platform::case_study_set() {
-        println!("#   {:<18} cpu x{:<4} comm x{}", p.name, p.cpu_factor, p.comm_factor);
+        println!(
+            "#   {:<18} cpu x{:<4} comm x{}",
+            p.name, p.cpu_factor, p.comm_factor
+        );
     }
 }

@@ -12,15 +12,16 @@
 //! down from the predicted seconds — used by the `grid_demo` example to
 //! show the system driving real concurrent work.
 
-use serde::{Deserialize, Serialize};
+use agentgrid_telemetry::{Event, Micros, Telemetry};
 use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Mutex;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// An application execution environment a scheduler can offer.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ExecEnv {
     /// Message Passing Interface programs.
     Mpi,
@@ -85,12 +86,29 @@ pub trait Executor {
 #[derive(Default)]
 pub struct TestModeExecutor {
     launches: Mutex<Vec<Launch>>,
+    telemetry: Telemetry,
+    clock: AtomicU64,
 }
 
 impl TestModeExecutor {
     /// A fresh test-mode executor.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A test-mode executor that records [`Event::ExecutorLaunch`] per
+    /// launch.
+    pub fn with_telemetry(telemetry: Telemetry) -> Self {
+        TestModeExecutor {
+            telemetry,
+            ..Self::default()
+        }
+    }
+
+    /// Update the simulated-time stamp used on telemetry events (the
+    /// executor itself has no virtual clock).
+    pub fn set_clock(&self, t: Micros) {
+        self.clock.store(t, Ordering::Relaxed);
     }
 
     /// Every launch so far, in order.
@@ -101,14 +119,18 @@ impl TestModeExecutor {
 
 impl Executor for TestModeExecutor {
     fn launch(&self, task_id: u64, env: ExecEnv, duration_s: f64) {
-        self.launches
-            .lock()
-            .expect("executor lock")
-            .push(Launch {
-                task_id,
-                env,
+        self.telemetry.emit(self.clock.load(Ordering::Relaxed), || {
+            Event::ExecutorLaunch {
+                task: task_id,
+                env: env.as_str().to_string(),
                 duration_s,
-            });
+            }
+        });
+        self.launches.lock().expect("executor lock").push(Launch {
+            task_id,
+            env,
+            duration_s,
+        });
     }
 
     fn join_all(&self) {}
@@ -132,6 +154,8 @@ pub struct ThreadedExecutor {
     tx: Sender<u64>,
     rx: Mutex<Receiver<u64>>,
     done: Mutex<Vec<u64>>,
+    telemetry: Telemetry,
+    clock: AtomicU64,
 }
 
 impl ThreadedExecutor {
@@ -145,7 +169,20 @@ impl ThreadedExecutor {
             tx,
             rx: Mutex::new(rx),
             done: Mutex::new(Vec::new()),
+            telemetry: Telemetry::disabled(),
+            clock: AtomicU64::new(0),
         }
+    }
+
+    /// Record [`Event::ExecutorLaunch`] per launch (builder style).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> ThreadedExecutor {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Update the simulated-time stamp used on telemetry events.
+    pub fn set_clock(&self, t: Micros) {
+        self.clock.store(t, Ordering::Relaxed);
     }
 
     fn drain(&self) {
@@ -158,7 +195,14 @@ impl ThreadedExecutor {
 }
 
 impl Executor for ThreadedExecutor {
-    fn launch(&self, task_id: u64, _env: ExecEnv, duration_s: f64) {
+    fn launch(&self, task_id: u64, env: ExecEnv, duration_s: f64) {
+        self.telemetry.emit(self.clock.load(Ordering::Relaxed), || {
+            Event::ExecutorLaunch {
+                task: task_id,
+                env: env.as_str().to_string(),
+                duration_s,
+            }
+        });
         let tx = self.tx.clone();
         let sleep = Duration::from_secs_f64((duration_s * self.time_scale).max(0.0));
         let handle = std::thread::spawn(move || {
@@ -167,7 +211,10 @@ impl Executor for ThreadedExecutor {
             // impossible disconnect instead of panicking a worker.
             let _ = tx.send(task_id);
         });
-        self.handles.lock().expect("executor handles lock").push(handle);
+        self.handles
+            .lock()
+            .expect("executor handles lock")
+            .push(handle);
     }
 
     fn join_all(&self) {

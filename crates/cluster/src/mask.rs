@@ -5,7 +5,6 @@
 //! resources of up to 32 nodes — double the case study's 16 — while keeping
 //! crossover a single-word splice and mutation a single bit-flip.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A non-empty-by-convention set of node indices within one grid resource.
@@ -13,7 +12,7 @@ use std::fmt;
 /// The empty mask is representable (it is the natural zero of bit
 /// operations) but never a legal task allocation; [`NodeMask::ensure_nonempty`]
 /// repairs masks produced by crossover/mutation.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct NodeMask(pub u32);
 
 /// Maximum number of nodes a mask can address.

@@ -9,10 +9,9 @@
 use crate::mask::{NodeMask, MAX_NODES};
 use agentgrid_pace::{Platform, ResourceModel};
 use agentgrid_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// One committed task execution on a resource.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Allocation {
     /// Grid-wide task identifier.
     pub task_id: u64,
@@ -72,9 +71,7 @@ impl GridResource {
 
     /// Mask of nodes currently marked available by the monitor.
     pub fn available_mask(&self) -> NodeMask {
-        NodeMask::from_indices(
-            (0..self.nproc()).filter(|i| self.available[*i]),
-        )
+        NodeMask::from_indices((0..self.nproc()).filter(|i| self.available[*i]))
     }
 
     /// Mark node `i` available/unavailable (driven by the resource
@@ -200,7 +197,12 @@ mod tests {
     #[test]
     fn earliest_k_prefers_idle_nodes() {
         let mut r = resource();
-        r.commit(1, NodeMask::from_indices([0, 1]), SimTime::ZERO, SimTime::from_secs(20));
+        r.commit(
+            1,
+            NodeMask::from_indices([0, 1]),
+            SimTime::ZERO,
+            SimTime::from_secs(20),
+        );
         let m = r.earliest_k_nodes(2);
         assert_eq!(m, NodeMask::from_indices([2, 3]));
     }
@@ -234,7 +236,12 @@ mod tests {
     #[test]
     fn busy_node_seconds_accumulates() {
         let mut r = resource();
-        r.commit(1, NodeMask::from_indices([0, 1]), SimTime::ZERO, SimTime::from_secs(10));
+        r.commit(
+            1,
+            NodeMask::from_indices([0, 1]),
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+        );
         r.commit(2, NodeMask::single(2), SimTime::ZERO, SimTime::from_secs(5));
         assert!((r.busy_node_seconds() - 25.0).abs() < 1e-9);
     }
@@ -242,7 +249,12 @@ mod tests {
     #[test]
     fn reset_restores_fresh_state() {
         let mut r = resource();
-        r.commit(1, NodeMask::single(0), SimTime::ZERO, SimTime::from_secs(10));
+        r.commit(
+            1,
+            NodeMask::single(0),
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+        );
         r.set_node_available(1, false);
         r.reset();
         assert_eq!(r.makespan(), SimTime::ZERO);

@@ -4,6 +4,8 @@
 //! agentgrid table3 [--requests N] [--seed S]        # the paper's case study
 //! agentgrid run [--policy fifo|ga] [--agents] [--topology SPEC]
 //!               [--requests N] [--seed S] [--noise SIGMA] [--json]
+//!               [--trace FILE] [--trace-format jsonl|chrome]
+//! agentgrid report TRACE                            # summarise a recorded trace
 //! agentgrid topology SPEC                           # inspect a topology
 //! agentgrid models                                  # print the Table 1 catalogue
 //! ```
@@ -20,6 +22,14 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    if command == "report" {
+        // `report` takes a positional trace path, not flags.
+        let Some(path) = args.get(1) else {
+            eprintln!("error: report needs a trace file\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        };
+        return cmd_report(path);
+    }
     let flags = Flags::parse(&args[1..]);
     match (command.as_str(), flags) {
         (_, Err(e)) => {
@@ -44,13 +54,26 @@ USAGE:
   agentgrid table3   [--requests N] [--seed S] [--json]
   agentgrid run      [--policy fifo|ga|batch] [--agents] [--topology SPEC]
                      [--requests N] [--seed S] [--noise SIGMA] [--json]
+                     [--trace FILE] [--trace-format jsonl|chrome]
+  agentgrid report   TRACE
   agentgrid topology [--topology SPEC]
   agentgrid models
 
 TOPOLOGY SPECS:
   case-study              the paper's 12-resource grid (default)
   flat:<n>:<nproc>        n identical resources under the first
-  tree:<levels>:<b>:<np>  complete b-ary agent tree";
+  tree:<levels>:<b>:<np>  complete b-ary agent tree
+
+TRACING:
+  --trace FILE            record a structured event trace of the run
+  --trace-format jsonl    one JSON event per line (default; `report` input)
+  --trace-format chrome   Chrome trace_event JSON (open in Perfetto)";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Jsonl,
+    Chrome,
+}
 
 struct Flags {
     requests: Option<usize>,
@@ -60,6 +83,8 @@ struct Flags {
     topology: String,
     noise: f64,
     json: bool,
+    trace: Option<String>,
+    trace_format: TraceFormat,
 }
 
 impl Flags {
@@ -72,6 +97,8 @@ impl Flags {
             topology: "case-study".to_string(),
             noise: 0.0,
             json: false,
+            trace: None,
+            trace_format: TraceFormat::Jsonl,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -82,13 +109,10 @@ impl Flags {
             };
             match arg.as_str() {
                 "--requests" => {
-                    flags.requests =
-                        Some(value("--requests")?.parse().map_err(|e| format!("{e}"))?)
+                    flags.requests = Some(value("--requests")?.parse().map_err(|e| format!("{e}"))?)
                 }
                 "--seed" => flags.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
-                "--noise" => {
-                    flags.noise = value("--noise")?.parse().map_err(|e| format!("{e}"))?
-                }
+                "--noise" => flags.noise = value("--noise")?.parse().map_err(|e| format!("{e}"))?,
                 "--topology" => flags.topology = value("--topology")?,
                 "--policy" => {
                     flags.policy = match value("--policy")?.as_str() {
@@ -100,6 +124,14 @@ impl Flags {
                 }
                 "--agents" => flags.agents = true,
                 "--json" => flags.json = true,
+                "--trace" => flags.trace = Some(value("--trace")?),
+                "--trace-format" => {
+                    flags.trace_format = match value("--trace-format")?.as_str() {
+                        "jsonl" => TraceFormat::Jsonl,
+                        "chrome" => TraceFormat::Chrome,
+                        other => return Err(format!("unknown trace format `{other}`")),
+                    }
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -117,7 +149,9 @@ impl Flags {
             }
             ["tree", levels, branching, nproc] => {
                 let l = levels.parse().map_err(|e| format!("tree levels: {e}"))?;
-                let b = branching.parse().map_err(|e| format!("tree branching: {e}"))?;
+                let b = branching
+                    .parse()
+                    .map_err(|e| format!("tree branching: {e}"))?;
                 let p = nproc.parse().map_err(|e| format!("tree nproc: {e}"))?;
                 Ok(GridTopology::tree(l, b, p))
             }
@@ -170,12 +204,27 @@ fn cmd_run(flags: &Flags) -> ExitCode {
         local_policy: flags.policy,
         agents_enabled: flags.agents,
     };
-    let result = run_experiment(&design, &topology, &workload, &flags.options());
+    let mut opts = flags.options();
+    let ring = flags.trace.as_ref().map(|_| {
+        let ring = std::sync::Arc::new(RingRecorder::unbounded());
+        opts.telemetry = Telemetry::new(ring.clone());
+        ring
+    });
+    let result = run_experiment(&design, &topology, &workload, &opts);
+    if let (Some(path), Some(ring)) = (&flags.trace, &ring) {
+        let events = ring.snapshot();
+        let text = match flags.trace_format {
+            TraceFormat::Jsonl => write_jsonl(&events),
+            TraceFormat::Chrome => write_chrome(&events),
+        };
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: cannot write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("trace: {} events -> {path}", events.len());
+    }
     if flags.json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&result).expect("results serialise")
-        );
+        println!("{}", result.to_json());
         return ExitCode::SUCCESS;
     }
     println!("{}", design.label());
@@ -205,6 +254,26 @@ fn cmd_run(flags: &Flags) -> ExitCode {
         result.total.tasks,
         result.migrations
     );
+    ExitCode::SUCCESS
+}
+
+fn cmd_report(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = match read_trace(&text) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("error: cannot parse {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{} events", events.len());
+    print!("{}", Aggregate::from_events(&events).render());
     ExitCode::SUCCESS
 }
 

@@ -11,9 +11,10 @@ use agentgrid_agents::{AdvertisementStrategy, FailurePolicy};
 use agentgrid_metrics::{compute, compute_grid, ResourceStats};
 use agentgrid_pace::{Catalog, NoiseModel};
 use agentgrid_scheduler::GaConfig;
-use agentgrid_sim::Simulation;
 #[cfg(test)]
 use agentgrid_sim::SimDuration;
+use agentgrid_sim::Simulation;
+use agentgrid_telemetry::{Event, Telemetry};
 use agentgrid_workload::{ExperimentDesign, GridTopology, WorkloadConfig};
 
 /// Knobs of an experiment run that are not part of the Table 2 design.
@@ -35,6 +36,8 @@ pub struct RunOptions {
     pub noise: NoiseModel,
     /// Advertisements also carry the sender's capability table (gossip).
     pub gossip: bool,
+    /// Structured telemetry sink; disabled by default (zero overhead).
+    pub telemetry: Telemetry,
 }
 
 impl RunOptions {
@@ -49,6 +52,7 @@ impl RunOptions {
             trace: false,
             noise: NoiseModel::Exact,
             gossip: false,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -96,17 +100,25 @@ pub fn run_experiment(
         trace: opts.trace,
         noise: opts.noise,
         gossip: opts.gossip,
+        telemetry: opts.telemetry.clone(),
     };
     let mut grid = GridSystem::new(topology, &opts.catalog, &config);
     let requests = workload.generate(&opts.catalog);
     let n_requests = requests.len();
 
     let mut sim = Simulation::new();
+    sim.set_telemetry(opts.telemetry.clone());
     grid.bootstrap(&mut sim, requests);
     while let Some(ev) = sim.step() {
         grid.handle(&mut sim, ev);
     }
     debug_assert!(!grid.work_remains(), "run ended with work outstanding");
+
+    let final_now = sim.now().ticks();
+    opts.telemetry.emit(final_now, || Event::EngineHorizon {
+        horizon: grid.horizon().ticks(),
+    });
+    opts.telemetry.flush();
 
     collect_result(design, topology, &grid, n_requests)
 }
@@ -186,16 +198,15 @@ pub fn run_table3_parallel(
 ) -> CaseStudyResults {
     let designs = ExperimentDesign::table2();
     let mut slots: Vec<Option<ExperimentResult>> = vec![None, None, None];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = designs
             .iter()
-            .map(|design| scope.spawn(move |_| run_experiment(design, topology, workload, opts)))
+            .map(|design| scope.spawn(move || run_experiment(design, topology, workload, opts)))
             .collect();
         for (slot, handle) in slots.iter_mut().zip(handles) {
             *slot = Some(handle.join().expect("experiment thread panicked"));
         }
-    })
-    .expect("experiment scope");
+    });
     CaseStudyResults {
         experiments: slots
             .into_iter()

@@ -18,10 +18,9 @@ use agentgrid_agents::{
 };
 use agentgrid_cluster::ExecEnv;
 use agentgrid_pace::{ApplicationModel, CachedEngine, Catalog, NoiseModel, Platform};
-use agentgrid_scheduler::{
-    GaConfig, PolicyConfig, SchedulerSystem, StartedTask, Task, TaskId,
-};
+use agentgrid_scheduler::{GaConfig, PolicyConfig, SchedulerSystem, StartedTask, Task, TaskId};
 use agentgrid_sim::{trace::TraceKind, RngStream, SimTime, Simulation, Trace};
+use agentgrid_telemetry::{Event, Telemetry};
 use agentgrid_workload::{GeneratedRequest, GridTopology, LocalPolicy};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -73,6 +72,10 @@ pub struct GridConfig {
     /// Off by default: discovery then sees neighbours only, the paper's
     /// §3.1 letter.
     pub gossip: bool,
+    /// Structured telemetry sink for the run. Disabled by default; when
+    /// enabled every layer (engine, schedulers, GA, cache, agents)
+    /// records through this handle.
+    pub telemetry: Telemetry,
 }
 
 impl GridConfig {
@@ -92,6 +95,7 @@ impl GridConfig {
             trace: false,
             noise: NoiseModel::Exact,
             gossip: false,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -144,21 +148,19 @@ pub struct GridSystem {
     pull_messages: u64,
     discovery_hops: u64,
     trace: Trace,
+    telemetry: Telemetry,
 }
 
 impl GridSystem {
     /// Assemble a grid over `topology` and `catalog` under `config`.
     pub fn new(topology: &GridTopology, catalog: &Catalog, config: &GridConfig) -> GridSystem {
-        let engine = Arc::new(CachedEngine::new());
+        let engine = Arc::new(CachedEngine::with_telemetry(config.telemetry.clone()));
         let root = RngStream::root(config.seed);
 
         let mut schedulers = BTreeMap::new();
         for spec in &topology.resources {
-            let resource = agentgrid_cluster::GridResource::new(
-                &spec.name,
-                spec.platform.clone(),
-                spec.nproc,
-            );
+            let resource =
+                agentgrid_cluster::GridResource::new(&spec.name, spec.platform.clone(), spec.nproc);
             let policy_cfg = match config.policy {
                 LocalPolicy::Fifo => PolicyConfig::Fifo,
                 LocalPolicy::Ga => PolicyConfig::Ga(config.ga),
@@ -170,6 +172,7 @@ impl GridSystem {
             let mut scheduler =
                 SchedulerSystem::new(resource, policy_cfg, Arc::clone(&engine), rng);
             scheduler.set_noise(config.noise);
+            scheduler.set_telemetry(config.telemetry.clone());
             schedulers.insert(spec.name.clone(), scheduler);
         }
 
@@ -185,6 +188,7 @@ impl GridSystem {
             *hierarchy.get_mut(&name).expect("agent exists") =
                 agent.with_policy(config.failure_policy);
         }
+        hierarchy.set_telemetry(&config.telemetry);
 
         let mut platforms: Vec<Platform> = Vec::new();
         for spec in &topology.resources {
@@ -225,6 +229,7 @@ impl GridSystem {
             } else {
                 Trace::disabled()
             },
+            telemetry: config.telemetry.clone(),
         }
     }
 
@@ -258,8 +263,7 @@ impl GridSystem {
                 }
                 AdvertisementStrategy::EventPush { .. } => {
                     // Seed every ACT once, then rely on pushes.
-                    let names: Vec<String> =
-                        self.hierarchy.names().map(str::to_string).collect();
+                    let names: Vec<String> = self.hierarchy.names().map(str::to_string).collect();
                     for name in &names {
                         self.push_from(name, SimTime::ZERO);
                     }
@@ -281,6 +285,11 @@ impl GridSystem {
     /// Handle one event, scheduling any follow-ups.
     pub fn handle(&mut self, sim: &mut Simulation<GridEvent>, event: GridEvent) {
         let now = sim.now();
+        if self.telemetry.is_enabled() {
+            // The evaluation cache has no virtual clock of its own; keep
+            // its telemetry timestamp in step with the simulation.
+            self.engine.set_clock(now.ticks());
+        }
         match event {
             GridEvent::Request(i) => {
                 self.remaining_requests = self.remaining_requests.saturating_sub(1);
@@ -375,7 +384,8 @@ impl GridSystem {
             &req.application,
             req.environment,
             req.deadline,
-        ));
+        ))
+        .with_task(id.0);
         let mut current = req.agent.clone();
         loop {
             let local = self.service_info(&current, now);
@@ -383,7 +393,8 @@ impl GridSystem {
                 .hierarchy
                 .get(&current)
                 .expect("request routed to a known agent");
-            let decision = agent.decide(&envelope, &app, &local, now, &self.platforms, &self.engine);
+            let decision =
+                agent.decide(&envelope, &app, &local, now, &self.platforms, &self.engine);
             match decision {
                 DiscoveryDecision::ExecuteLocally { .. } => {
                     self.trace.record(
@@ -404,6 +415,12 @@ impl GridSystem {
                     );
                     envelope.visit(&current);
                     envelope.hops += 1;
+                    self.telemetry.emit(now.ticks(), || Event::TaskDispatch {
+                        task: id.0,
+                        from: current.clone(),
+                        to: to.clone(),
+                        hops: envelope.hops as u32,
+                    });
                     current = to;
                 }
                 DiscoveryDecision::Escalate { to } => {
@@ -415,6 +432,11 @@ impl GridSystem {
                     );
                     envelope.visit(&current);
                     envelope.hops += 1;
+                    self.telemetry.emit(now.ticks(), || Event::EscalationHop {
+                        task: id.0,
+                        from: current.clone(),
+                        to: to.clone(),
+                    });
                     current = to;
                 }
                 DiscoveryDecision::Reject => {
@@ -426,6 +448,10 @@ impl GridSystem {
                         &current,
                         format!("{id} rejected: no available service"),
                     );
+                    self.telemetry.emit(now.ticks(), || Event::TaskReject {
+                        task: id.0,
+                        resource: current.clone(),
+                    });
                     return None;
                 }
             }
@@ -434,7 +460,13 @@ impl GridSystem {
 
     /// Submit a task to a resource's scheduler and schedule completions
     /// for whatever started.
-    fn submit_to(&mut self, sim: &mut Simulation<GridEvent>, resource: &str, task: Task, now: SimTime) {
+    fn submit_to(
+        &mut self,
+        sim: &mut Simulation<GridEvent>,
+        resource: &str,
+        task: Task,
+        now: SimTime,
+    ) {
         let id = task.id;
         self.executors.insert(id.0, resource.to_string());
         self.trace
@@ -450,6 +482,10 @@ impl GridSystem {
                 self.rejected += 1;
                 self.trace
                     .record(now, TraceKind::Discovery, resource, format!("{id}: {e}"));
+                self.telemetry.emit(now.ticks(), || Event::TaskReject {
+                    task: id.0,
+                    resource: resource.to_string(),
+                });
                 return;
             }
         };
@@ -502,11 +538,8 @@ impl GridSystem {
             } else {
                 None
             };
-            let me = self
-                .hierarchy
-                .get_mut(agent_name)
-                .expect("agent exists");
-            me.update_act(&n, info, now);
+            let me = self.hierarchy.get_mut(agent_name).expect("agent exists");
+            me.receive_advertisement(&n, info, now, false);
             if let Some(table) = gossiped {
                 me.merge_act(&table);
             }
@@ -534,7 +567,7 @@ impl GridSystem {
             self.hierarchy
                 .get_mut(&n)
                 .expect("neighbour exists")
-                .update_act(agent_name, info.clone(), now);
+                .receive_advertisement(agent_name, info.clone(), now, true);
         }
     }
 

@@ -67,6 +67,11 @@ pub mod prelude {
         CostWeights, GaConfig, GaScheduler, PolicyConfig, SchedulerSystem, Task, TaskId,
     };
     pub use agentgrid_sim::{RngStream, SimDuration, SimTime, Simulation};
+    pub use agentgrid_telemetry::{
+        read_trace, write_chrome, write_jsonl, Aggregate, AggregateRecorder, Event, JsonlRecorder,
+        LogLinearHistogram, MultiRecorder, NoopRecorder, Recorder, RingRecorder, Telemetry,
+        TimedEvent,
+    };
     pub use agentgrid_workload::{
         ArrivalPattern, ExperimentDesign, GeneratedRequest, GridTopology, LocalPolicy,
         ResourceSpec, WorkloadConfig,

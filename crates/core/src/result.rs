@@ -2,11 +2,11 @@
 //! 8–10).
 
 use agentgrid_metrics::MetricsReport;
-use agentgrid_workload::ExperimentDesign;
-use serde::{Deserialize, Serialize};
+use agentgrid_telemetry::json;
+use agentgrid_workload::{ExperimentDesign, LocalPolicy};
 
 /// One per-agent row of Table 3 for one experiment.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ResourceRow {
     /// Agent/resource name.
     pub name: String,
@@ -15,7 +15,7 @@ pub struct ResourceRow {
 }
 
 /// The outcome of one experiment run.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExperimentResult {
     /// Which Table 2 row was run.
     pub design: ExperimentDesign,
@@ -45,11 +45,16 @@ impl ExperimentResult {
             .find(|r| r.name == name)
             .map(|r| &r.metrics)
     }
+
+    /// Serialise to pretty JSON (the CLI's `--json` output).
+    pub fn to_json(&self) -> String {
+        experiment_to_json(self).to_pretty()
+    }
 }
 
 /// All three experiments over the identical workload — the full case
 /// study.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CaseStudyResults {
     /// Results in experiment order (1, 2, 3).
     pub experiments: Vec<ExperimentResult>,
@@ -73,10 +78,7 @@ impl CaseStudyResults {
         let mut out = String::new();
         out.push_str(&format!("{:<8}", "Agent"));
         for r in &self.experiments {
-            out.push_str(&format!(
-                "| Exp {}: e(s)    u(%)    b(%) ",
-                r.design.number
-            ));
+            out.push_str(&format!("| Exp {}: e(s)    u(%)    b(%) ", r.design.number));
         }
         out.push('\n');
         out.push_str(&"-".repeat(8 + 30 * self.experiments.len()));
@@ -137,8 +139,137 @@ impl CaseStudyResults {
 
     /// Serialise to pretty JSON (for EXPERIMENTS.md bookkeeping).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("results serialise")
+        json::Value::Arr(self.experiments.iter().map(experiment_to_json).collect()).to_pretty()
     }
+
+    /// Inverse of [`to_json`](Self::to_json).
+    pub fn from_json(text: &str) -> Result<CaseStudyResults, String> {
+        let doc = json::Value::parse(text).map_err(|e| e.to_string())?;
+        let experiments = doc
+            .as_arr()
+            .ok_or("case study JSON must be an array of experiments")?
+            .iter()
+            .map(experiment_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CaseStudyResults { experiments })
+    }
+}
+
+fn metrics_to_json(m: &MetricsReport) -> json::Value {
+    json::obj(vec![
+        ("advance_s", json::num(m.advance_s)),
+        ("utilisation_pct", json::num(m.utilisation_pct)),
+        ("balance_pct", json::num(m.balance_pct)),
+        ("tasks", json::num(m.tasks as f64)),
+        ("deadlines_met", json::num(m.deadlines_met as f64)),
+    ])
+}
+
+fn metrics_from_json(v: &json::Value) -> Result<MetricsReport, String> {
+    let f = |k: &str| {
+        v.get(k)
+            .and_then(json::Value::as_f64)
+            .ok_or_else(|| format!("metrics field '{k}' missing or not a number"))
+    };
+    Ok(MetricsReport {
+        advance_s: f("advance_s")?,
+        utilisation_pct: f("utilisation_pct")?,
+        balance_pct: f("balance_pct")?,
+        tasks: f("tasks")? as usize,
+        deadlines_met: f("deadlines_met")? as usize,
+    })
+}
+
+fn experiment_to_json(e: &ExperimentResult) -> json::Value {
+    let policy = match e.design.local_policy {
+        LocalPolicy::Fifo => "fifo",
+        LocalPolicy::Ga => "ga",
+        LocalPolicy::Batch => "batch",
+    };
+    json::obj(vec![
+        (
+            "design",
+            json::obj(vec![
+                ("number", json::num(f64::from(e.design.number))),
+                ("local_policy", json::s(policy)),
+                ("agents_enabled", json::Value::Bool(e.design.agents_enabled)),
+            ]),
+        ),
+        (
+            "per_resource",
+            json::Value::Arr(
+                e.per_resource
+                    .iter()
+                    .map(|r| {
+                        json::obj(vec![
+                            ("name", json::s(r.name.clone())),
+                            ("metrics", metrics_to_json(&r.metrics)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("total", metrics_to_json(&e.total)),
+        ("horizon_s", json::num(e.horizon_s)),
+        ("requests", json::num(e.requests as f64)),
+        ("rejected", json::num(e.rejected as f64)),
+        ("migrations", json::num(e.migrations as f64)),
+        ("pull_messages", json::num(e.pull_messages as f64)),
+        ("cache_hit_ratio", json::num(e.cache_hit_ratio)),
+    ])
+}
+
+fn experiment_from_json(v: &json::Value) -> Result<ExperimentResult, String> {
+    let design = v.get("design").ok_or("experiment missing 'design'")?;
+    let local_policy = match design
+        .get("local_policy")
+        .and_then(json::Value::as_str)
+        .ok_or("design missing 'local_policy'")?
+    {
+        "fifo" => LocalPolicy::Fifo,
+        "ga" => LocalPolicy::Ga,
+        "batch" => LocalPolicy::Batch,
+        other => return Err(format!("unknown local_policy '{other}'")),
+    };
+    let num = |val: &json::Value, k: &str| {
+        val.get(k)
+            .and_then(json::Value::as_f64)
+            .ok_or_else(|| format!("field '{k}' missing or not a number"))
+    };
+    let per_resource = v
+        .get("per_resource")
+        .and_then(json::Value::as_arr)
+        .ok_or("experiment missing 'per_resource' array")?
+        .iter()
+        .map(|row| {
+            Ok(ResourceRow {
+                name: row
+                    .get("name")
+                    .and_then(json::Value::as_str)
+                    .ok_or("resource row missing 'name'")?
+                    .to_string(),
+                metrics: metrics_from_json(row.get("metrics").ok_or("row missing 'metrics'")?)?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(ExperimentResult {
+        design: ExperimentDesign {
+            number: num(design, "number")? as u32,
+            local_policy,
+            agents_enabled: design
+                .get("agents_enabled")
+                .and_then(json::Value::as_bool)
+                .ok_or("design missing 'agents_enabled'")?,
+        },
+        per_resource,
+        total: metrics_from_json(v.get("total").ok_or("experiment missing 'total'")?)?,
+        horizon_s: num(v, "horizon_s")?,
+        requests: num(v, "requests")? as usize,
+        rejected: num(v, "rejected")? as usize,
+        migrations: num(v, "migrations")? as usize,
+        pull_messages: num(v, "pull_messages")? as u64,
+        cache_hit_ratio: num(v, "cache_hit_ratio")?,
+    })
 }
 
 #[cfg(test)]
@@ -231,7 +362,7 @@ mod tests {
     fn json_roundtrip() {
         let cs = case_study();
         let json = cs.to_json();
-        let back: CaseStudyResults = serde_json::from_str(&json).unwrap();
+        let back = CaseStudyResults::from_json(&json).unwrap();
         assert_eq!(back, cs);
     }
 }

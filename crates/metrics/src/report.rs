@@ -1,10 +1,9 @@
 //! Applying eqs. 11–15 to gathered statistics.
 
 use crate::stats::ResourceStats;
-use serde::{Deserialize, Serialize};
 
 /// One Table 3 cell triple: ε (s), υ (%), β (%).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MetricsReport {
     /// ε — average advance of completion over deadline, seconds (eq. 11).
     /// Negative when most deadlines fail.

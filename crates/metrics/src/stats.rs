@@ -3,11 +3,10 @@
 use agentgrid_cluster::Allocation;
 use agentgrid_scheduler::CompletedTask;
 use agentgrid_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// The raw material of the §3.3 metrics for one grid resource over an
 /// observation window `[0, horizon]`.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ResourceStats {
     /// Resource/agent name (e.g. `"S1"`).
     pub name: String,

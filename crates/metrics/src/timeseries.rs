@@ -9,10 +9,9 @@
 
 use agentgrid_cluster::Allocation;
 use agentgrid_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// One window of a utilisation series.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Window {
     /// Window start, seconds from the run origin.
     pub start_s: f64,
@@ -174,7 +173,10 @@ mod tests {
         let series = concurrency_series(&allocs, SimTime::from_secs(20), 5.0);
         // t = 0: 1 running; t = 5: 2 (first still running, second starts);
         // t = 10: 1; t = 15: 0; t = 20: 0.
-        assert_eq!(series, vec![(0.0, 1), (5.0, 2), (10.0, 1), (15.0, 0), (20.0, 0)]);
+        assert_eq!(
+            series,
+            vec![(0.0, 1), (5.0, 2), (10.0, 1), (15.0, 0), (20.0, 0)]
+        );
     }
 
     #[test]

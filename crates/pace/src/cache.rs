@@ -13,9 +13,10 @@
 
 use crate::eval::PaceEngine;
 use crate::model::{ApplicationModel, ResourceModel};
-use parking_lot::Mutex;
+use agentgrid_telemetry::{Event, Micros, Telemetry};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 type Key = (u32, u32, u32); // (app id, platform id, nprocs)
 
@@ -46,6 +47,10 @@ pub struct CachedEngine {
     cache: Mutex<HashMap<Key, f64>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    telemetry: Telemetry,
+    // The cache has no notion of simulated time; the owning driver keeps
+    // this stamp current (see `set_clock`) so miss events carry it.
+    clock: AtomicU64,
 }
 
 impl Default for CachedEngine {
@@ -57,12 +62,25 @@ impl Default for CachedEngine {
 impl CachedEngine {
     /// A fresh engine with an empty cache.
     pub fn new() -> Self {
+        CachedEngine::with_telemetry(Telemetry::disabled())
+    }
+
+    /// A fresh engine that records [`Event::CacheEvaluate`] on every miss.
+    pub fn with_telemetry(telemetry: Telemetry) -> Self {
         CachedEngine {
             engine: PaceEngine::new(),
             cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            telemetry,
+            clock: AtomicU64::new(0),
         }
+    }
+
+    /// Update the simulated-time stamp used on telemetry events. Cheap
+    /// (one relaxed store); drivers call it as their clock advances.
+    pub fn set_clock(&self, t: Micros) {
+        self.clock.store(t, Ordering::Relaxed);
     }
 
     /// Predicted execution time in seconds; identical to
@@ -70,13 +88,21 @@ impl CachedEngine {
     pub fn evaluate(&self, app: &ApplicationModel, resource: &ResourceModel, nprocs: usize) -> f64 {
         let n = nprocs.clamp(1, resource.nproc);
         let key = (app.id.0, resource.platform.id, n as u32);
-        if let Some(t) = self.cache.lock().get(&key) {
+        if let Some(t) = self.cache.lock().expect("cache lock").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return *t;
         }
         let t = self.engine.evaluate(app, resource, n);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.cache.lock().insert(key, t);
+        self.cache.lock().expect("cache lock").insert(key, t);
+        self.telemetry.emit(self.clock.load(Ordering::Relaxed), || {
+            Event::CacheEvaluate {
+                app: app.id.0,
+                platform: resource.platform.id,
+                nprocs: n as u32,
+                predicted_s: t,
+            }
+        });
         t
     }
 
@@ -103,7 +129,7 @@ impl CachedEngine {
 
     /// Number of distinct cached entries.
     pub fn len(&self) -> usize {
-        self.cache.lock().len()
+        self.cache.lock().expect("cache lock").len()
     }
 
     /// True when nothing has been cached yet.
@@ -118,7 +144,7 @@ impl CachedEngine {
 
     /// Drop all cached entries (counters are retained).
     pub fn invalidate(&self) {
-        self.cache.lock().clear();
+        self.cache.lock().expect("cache lock").clear();
     }
 }
 

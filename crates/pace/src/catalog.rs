@@ -14,8 +14,8 @@ pub const TABLE1: [(&str, (f64, f64), [f64; 16]); 7] = [
         "sweep3d",
         (4.0, 200.0),
         [
-            50.0, 40.0, 30.0, 25.0, 23.0, 20.0, 17.0, 15.0, 13.0, 11.0, 9.0, 7.0, 6.0, 5.0,
-            4.0, 4.0,
+            50.0, 40.0, 30.0, 25.0, 23.0, 20.0, 17.0, 15.0, 13.0, 11.0, 9.0, 7.0, 6.0, 5.0, 4.0,
+            4.0,
         ],
     ),
     (
@@ -45,8 +45,8 @@ pub const TABLE1: [(&str, (f64, f64), [f64; 16]); 7] = [
         "jacobi",
         (6.0, 160.0),
         [
-            40.0, 35.0, 30.0, 25.0, 23.0, 20.0, 17.0, 15.0, 13.0, 11.0, 10.0, 9.0, 8.0, 7.0,
-            6.0, 6.0,
+            40.0, 35.0, 30.0, 25.0, 23.0, 20.0, 17.0, 15.0, 13.0, 11.0, 10.0, 9.0, 8.0, 7.0, 6.0,
+            6.0,
         ],
     ),
     (
@@ -61,8 +61,7 @@ pub const TABLE1: [(&str, (f64, f64), [f64; 16]); 7] = [
         "cpi",
         (2.0, 128.0),
         [
-            32.0, 26.0, 21.0, 17.0, 14.0, 11.0, 9.0, 7.0, 5.0, 4.0, 3.0, 2.0, 4.0, 7.0, 12.0,
-            20.0,
+            32.0, 26.0, 21.0, 17.0, 14.0, 11.0, 9.0, 7.0, 5.0, 4.0, 3.0, 2.0, 4.0, 7.0, 12.0, 20.0,
         ],
     ),
 ];

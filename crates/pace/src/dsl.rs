@@ -106,12 +106,8 @@ pub fn parse_models(input: &str) -> Result<Vec<ApplicationModel>, ParseError> {
                 "barrier" => block.phases.push(Phase::Barrier),
                 "end" => {
                     let block = template.take().expect("inside a template block");
-                    let model = TemplateModel::new(
-                        block.phases,
-                        block.iterations,
-                        block.network,
-                    )
-                    .map_err(|e| err(lineno, format!("invalid template: {e}")))?;
+                    let model = TemplateModel::new(block.phases, block.iterations, block.network)
+                        .map_err(|e| err(lineno, format!("invalid template: {e}")))?;
                     let id = AppId(apps.len() as u32);
                     let app = ApplicationModel::new(
                         id,
@@ -142,21 +138,14 @@ pub fn parse_models(input: &str) -> Result<Vec<ApplicationModel>, ParseError> {
             for pair in kv.chunks(2) {
                 match pair[0] {
                     "iterations" => {
-                        iterations =
-                            parse_u64(Some(pair[1]), lineno, "iterations")? as u32
+                        iterations = parse_u64(Some(pair[1]), lineno, "iterations")? as u32
                     }
-                    "latency" => {
-                        network.latency_s = parse_f64(Some(pair[1]), lineno, "latency")?
-                    }
+                    "latency" => network.latency_s = parse_f64(Some(pair[1]), lineno, "latency")?,
                     "bandwidth" => {
-                        network.bandwidth_bps =
-                            parse_f64(Some(pair[1]), lineno, "bandwidth")?
+                        network.bandwidth_bps = parse_f64(Some(pair[1]), lineno, "bandwidth")?
                     }
                     other => {
-                        return Err(err(
-                            lineno,
-                            format!("unknown template parameter `{other}`"),
-                        ))
+                        return Err(err(lineno, format!("unknown template parameter `{other}`")))
                     }
                 }
             }
@@ -200,9 +189,8 @@ pub fn parse_models(input: &str) -> Result<Vec<ApplicationModel>, ParseError> {
                 let table = TabulatedModel::new(times?)
                     .map_err(|e| err(lineno, format!("invalid table: {e}")))?;
                 let id = AppId(apps.len() as u32);
-                let app =
-                    ApplicationModel::new(id, &name, ModelCurve::Tabulated(table), bounds)
-                        .map_err(|e| err(app_line, format!("invalid app `{name}`: {e}")))?;
+                let app = ApplicationModel::new(id, &name, ModelCurve::Tabulated(table), bounds)
+                    .map_err(|e| err(app_line, format!("invalid app `{name}`: {e}")))?;
                 apps.push(app);
             }
             "analytic" => {
@@ -467,8 +455,8 @@ app stencil deadline 10 100
         assert!(e.message.contains("key value"));
 
         // Zero iterations is a template validation error at `end`.
-        let e = parse_models("app x deadline 1 2\ntemplate iterations 0\nbarrier\nend\n")
-            .unwrap_err();
+        let e =
+            parse_models("app x deadline 1 2\ntemplate iterations 0\nbarrier\nend\n").unwrap_err();
         assert!(e.message.contains("invalid template"));
     }
 }

@@ -30,9 +30,7 @@ impl PaceEngine {
         self.evaluations.fetch_add(1, Ordering::Relaxed);
         let n = nprocs.clamp(1, resource.nproc);
         let t = match &app.curve {
-            ModelCurve::Tabulated(table) => {
-                table.reference_time(n) * resource.platform.cpu_factor
-            }
+            ModelCurve::Tabulated(table) => table.reference_time(n) * resource.platform.cpu_factor,
             ModelCurve::Analytic(model) => n_time(model, n, resource),
             ModelCurve::Templated(template) => template.time(n, &resource.platform),
         };
@@ -61,7 +59,11 @@ impl PaceEngine {
 }
 
 fn n_time(model: &crate::model::AnalyticModel, n: usize, resource: &ResourceModel) -> f64 {
-    model.time(n, resource.platform.cpu_factor, resource.platform.comm_factor)
+    model.time(
+        n,
+        resource.platform.cpu_factor,
+        resource.platform.comm_factor,
+    )
 }
 
 #[cfg(test)]

@@ -40,7 +40,9 @@ pub mod template;
 pub use cache::{CacheStats, CachedEngine};
 pub use catalog::Catalog;
 pub use eval::PaceEngine;
-pub use model::{AnalyticModel, AppId, ApplicationModel, ModelCurve, ResourceModel, TabulatedModel};
+pub use model::{
+    AnalyticModel, AppId, ApplicationModel, ModelCurve, ResourceModel, TabulatedModel,
+};
 pub use noise::NoiseModel;
 pub use platform::Platform;
 pub use template::{NetworkModel, Phase, TemplateModel};

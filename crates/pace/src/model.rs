@@ -14,14 +14,13 @@
 //!   shallow speedup, and a U-shaped curve with an interior optimum).
 
 use crate::platform::Platform;
-use serde::{Deserialize, Serialize};
 
 /// Identifier for an application model, used in evaluation-cache keys.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AppId(pub u32);
 
 /// A runtime table on the reference platform, indexed by processor count.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TabulatedModel {
     /// `times_s[k-1]` is the predicted runtime (seconds) on `k` processors
     /// of the reference platform. Must be non-empty and strictly positive.
@@ -56,7 +55,7 @@ impl TabulatedModel {
 }
 
 /// An analytic model in the style of PACE/CHIP³S predictions.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AnalyticModel {
     /// Non-parallelisable computation (seconds on the reference platform).
     pub serial_s: f64,
@@ -96,8 +95,7 @@ impl AnalyticModel {
     pub fn time(&self, nprocs: usize, cpu_factor: f64, comm_factor: f64) -> f64 {
         let n = nprocs.max(1) as f64;
         let compute = (self.serial_s + self.parallel_s / n) * cpu_factor;
-        let comm =
-            (self.comm_log_s * n.log2() + self.comm_linear_s * (n - 1.0)) * comm_factor;
+        let comm = (self.comm_log_s * n.log2() + self.comm_linear_s * (n - 1.0)) * comm_factor;
         compute + comm
     }
 
@@ -115,7 +113,7 @@ impl AnalyticModel {
 }
 
 /// The performance curve of an application model.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum ModelCurve {
     /// Table of runtimes per processor count (reference platform).
     Tabulated(TabulatedModel),
@@ -127,7 +125,7 @@ pub enum ModelCurve {
 
 /// A complete application model: identity, curve and the deadline domain
 /// users draw from (Table 1's bracketed bounds).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ApplicationModel {
     /// Stable identity for cache keys and trace records.
     pub id: AppId,
@@ -165,7 +163,7 @@ impl ApplicationModel {
 
 /// A grid resource as PACE sees it: a homogeneous pool of `nproc` nodes of
 /// one platform type.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ResourceModel {
     /// The machine type of every node.
     pub platform: Platform,

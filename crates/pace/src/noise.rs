@@ -12,11 +12,9 @@
 //! ε/υ/β degrade.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// How actual execution times deviate from PACE predictions.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub enum NoiseModel {
     /// Test mode: predictions are exact (the paper's experiments).
     #[default]
@@ -34,7 +32,6 @@ pub enum NoiseModel {
         sigma: f64,
     },
 }
-
 
 impl NoiseModel {
     /// Sample the multiplicative factor for one task. Always strictly

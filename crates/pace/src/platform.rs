@@ -6,14 +6,12 @@
 //! Sun Ultra 10, 5, 1, and SPARCstation 2 in turn"). The exact factors are
 //! a calibration choice documented in DESIGN.md §5.
 
-use serde::{Deserialize, Serialize};
-
 /// A static hardware benchmark for one machine type.
 ///
 /// `cpu_factor` scales computation time relative to the reference platform
 /// (SGI Origin2000 = 1.0; larger is slower). `comm_factor` scales
 /// communication terms of analytic models the same way.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Platform {
     /// Stable identifier used in evaluation-cache keys.
     pub id: u32,
@@ -75,7 +73,9 @@ impl Platform {
 
     /// Look a case-study platform up by its model name.
     pub fn by_name(name: &str) -> Option<Platform> {
-        Platform::case_study_set().into_iter().find(|p| p.name == name)
+        Platform::case_study_set()
+            .into_iter()
+            .find(|p| p.name == name)
     }
 }
 

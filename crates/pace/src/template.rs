@@ -19,10 +19,9 @@
 //! correspondence.
 
 use crate::platform::Platform;
-use serde::{Deserialize, Serialize};
 
 /// The reference interconnect a template's communication phases assume.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NetworkModel {
     /// Per-message latency in seconds (reference platform).
     pub latency_s: f64,
@@ -48,7 +47,7 @@ impl NetworkModel {
 }
 
 /// One phase of a template's iteration body.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Phase {
     /// Computation that divides across the allocated nodes.
     ParallelCompute {
@@ -114,7 +113,7 @@ impl Phase {
 }
 
 /// A phase-structured application model.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TemplateModel {
     /// The per-iteration phase sequence.
     pub phases: Vec<Phase>,
@@ -318,7 +317,10 @@ mod tests {
         let slow = Platform::new(9, "slownet", 5.0, 4.0);
         let tf = m.time(8, &fast);
         let ts = m.time(8, &slow);
-        assert!((ts / tf - 4.0).abs() < 1e-9, "comm-only model scales by comm factor");
+        assert!(
+            (ts / tf - 4.0).abs() < 1e-9,
+            "comm-only model scales by comm factor"
+        );
     }
 
     #[test]
@@ -347,7 +349,10 @@ mod tests {
         let a = Phase::AllToAll { bytes: 0 };
         assert!((a.time(9, &net) - 8.0 * net.latency_s).abs() < 1e-12);
         // Exchange free on one node, constant beyond.
-        let e = Phase::Exchange { bytes: 100, count: 2 };
+        let e = Phase::Exchange {
+            bytes: 100,
+            count: 2,
+        };
         assert_eq!(e.time(1, &net), 0.0);
         assert!((e.time(4, &net) - e.time(16, &net)).abs() < 1e-15);
     }
@@ -407,7 +412,10 @@ mod tests {
     #[test]
     fn prediction_is_always_positive() {
         let m = TemplateModel::new(
-            vec![Phase::Exchange { bytes: 10, count: 1 }],
+            vec![Phase::Exchange {
+                bytes: 10,
+                count: 1,
+            }],
             1,
             NetworkModel::default(),
         )

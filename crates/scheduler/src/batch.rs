@@ -158,8 +158,7 @@ impl BatchPolicy {
                                 .copied()
                                 .filter(|i| !reserved.contains(*i))
                                 .collect();
-                            let completion =
-                                now + SimDuration::from_secs_f64(job.runtime_s);
+                            let completion = now + SimDuration::from_secs_f64(job.runtime_s);
                             if pick.len() < want_j {
                                 // Borrow reserved-but-free nodes only if the
                                 // job returns them before the shadow time.
@@ -170,8 +169,7 @@ impl BatchPolicy {
                                 }
                             }
                             if pick.len() >= want_j {
-                                let mask =
-                                    NodeMask::from_indices(pick.into_iter().take(want_j));
+                                let mask = NodeMask::from_indices(pick.into_iter().take(want_j));
                                 for i in mask.iter() {
                                     free_at[i] = completion;
                                 }
@@ -259,7 +257,12 @@ mod tests {
     fn fcfs_blocks_behind_a_wide_head() {
         let mut r = resource(4);
         // Nodes 0-1 busy until t=100.
-        r.commit(9, NodeMask::from_indices([0, 1]), SimTime::ZERO, SimTime::from_secs(100));
+        r.commit(
+            9,
+            NodeMask::from_indices([0, 1]),
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+        );
         let mut p = policy(false);
         p.enqueue(TaskId(1), 4, 10.0); // head needs all 4: must wait
         p.enqueue(TaskId(2), 1, 5.0); // would fit now, but no backfill
@@ -271,7 +274,12 @@ mod tests {
     #[test]
     fn easy_backfill_uses_spare_nodes() {
         let mut r = resource(4);
-        r.commit(9, NodeMask::from_indices([0, 1]), SimTime::ZERO, SimTime::from_secs(100));
+        r.commit(
+            9,
+            NodeMask::from_indices([0, 1]),
+            SimTime::ZERO,
+            SimTime::from_secs(100),
+        );
         let mut p = policy(true);
         p.enqueue(TaskId(1), 4, 10.0); // head: waits for t=100
         p.enqueue(TaskId(2), 1, 500.0); // long, but fits outside reservation?
@@ -294,13 +302,18 @@ mod tests {
     #[test]
     fn backfill_never_delays_the_head() {
         let mut r = resource(4);
-        r.commit(9, NodeMask::from_indices([0, 1, 2]), SimTime::ZERO, SimTime::from_secs(30));
+        r.commit(
+            9,
+            NodeMask::from_indices([0, 1, 2]),
+            SimTime::ZERO,
+            SimTime::from_secs(30),
+        );
         let mut p = policy(true);
         p.enqueue(TaskId(1), 2, 10.0); // head: shadow = t=30 (needs 2 nodes; node 3 free + one at 30)
         p.enqueue(TaskId(2), 1, 100.0); // doesn't finish by 30, but node 3 is outside??
-        // Reservation = node 3 (free now) + one of 0-2 (free at 30). The
-        // backfill candidate needs 1 node; the only free node (3) is
-        // reserved and the job overruns the shadow — must wait.
+                                        // Reservation = node 3 (free now) + one of 0-2 (free at 30). The
+                                        // backfill candidate needs 1 node; the only free node (3) is
+                                        // reserved and the job overruns the shadow — must wait.
         let started = p.try_start(SimTime::ZERO, &r);
         assert!(started.is_empty());
     }
@@ -318,7 +331,12 @@ mod tests {
     #[test]
     fn remove_cancels_queued_jobs() {
         let mut r = resource(1);
-        r.commit(9, NodeMask::single(0), SimTime::ZERO, SimTime::from_secs(50));
+        r.commit(
+            9,
+            NodeMask::single(0),
+            SimTime::ZERO,
+            SimTime::from_secs(50),
+        );
         let mut p = policy(false);
         p.enqueue(TaskId(1), 1, 10.0);
         assert!(p.remove(TaskId(1)));

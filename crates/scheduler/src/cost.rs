@@ -13,11 +13,10 @@
 //! ablated in the `ga_ablation` bench).
 
 use crate::decode::DecodedSchedule;
-use serde::{Deserialize, Serialize};
 
 /// Weights of the combined cost function (the `W` terms of eq. 8) plus the
 /// idle-weighting shape parameter.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CostWeights {
     /// Wᵐ: weight of the makespan ω.
     pub makespan: f64,
@@ -25,6 +24,12 @@ pub struct CostWeights {
     pub idle: f64,
     /// Wᶜ: weight of the contract penalty θ.
     pub deadline: f64,
+    /// Wᵃ: weight of the allocated node-time α. A small efficiency term
+    /// beyond eq. 8: without it a mask that grabs extra nodes with zero
+    /// speedup is cost-neutral (busy-but-useless nodes open no idle
+    /// pockets), so the GA can commit needlessly wide allocations that
+    /// starve later arrivals. 0.0 disables the term (ablation).
+    pub alloc: f64,
     /// Multiplier applied to an idle pocket at the very front of the
     /// schedule; pockets at the makespan get 1.0, linear in between.
     /// 1.0 disables front-weighting (ablation).
@@ -37,13 +42,14 @@ impl Default for CostWeights {
             makespan: 1.0,
             idle: 0.5,
             deadline: 2.0,
+            alloc: 0.08,
             idle_early_weight: 2.0,
         }
     }
 }
 
-/// The three cost ingredients of one schedule, in seconds.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+/// The cost ingredients of one schedule, in (node-)seconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ScheduleCost {
     /// Makespan ω relative to the planning instant.
     pub makespan_s: f64,
@@ -51,6 +57,8 @@ pub struct ScheduleCost {
     pub weighted_idle_s: f64,
     /// Contract penalty θ (total lateness).
     pub lateness_s: f64,
+    /// Allocated node-time α.
+    pub alloc_node_s: f64,
 }
 
 impl ScheduleCost {
@@ -71,17 +79,19 @@ impl ScheduleCost {
             makespan_s: schedule.makespan_rel_s,
             weighted_idle_s,
             lateness_s: schedule.lateness_s,
+            alloc_node_s: schedule.alloc_node_s,
         }
     }
 
-    /// The combined cost value f꜀ of eq. 8: the weighted mean of the three
-    /// ingredients. Lower is better.
+    /// The combined cost value f꜀ of eq. 8 (plus the allocation term): the
+    /// weighted mean of the ingredients. Lower is better.
     pub fn combined(&self, weights: &CostWeights) -> f64 {
-        let total = weights.makespan + weights.idle + weights.deadline;
+        let total = weights.makespan + weights.idle + weights.deadline + weights.alloc;
         debug_assert!(total > 0.0, "cost weights must not all be zero");
         (weights.makespan * self.makespan_s
             + weights.idle * self.weighted_idle_s
-            + weights.deadline * self.lateness_s)
+            + weights.deadline * self.lateness_s
+            + weights.alloc * self.alloc_node_s)
             / total
     }
 }
@@ -114,6 +124,7 @@ mod tests {
             idle_pockets: pockets,
             lateness_s: lateness,
             missed_deadlines: usize::from(lateness > 0.0),
+            alloc_node_s: makespan,
         }
     }
 
@@ -145,14 +156,34 @@ mod tests {
             makespan: 1.0,
             idle: 1.0,
             deadline: 2.0,
+            alloc: 1.0,
             idle_early_weight: 1.0,
         };
         let c = ScheduleCost {
             makespan_s: 40.0,
             weighted_idle_s: 8.0,
             lateness_s: 6.0,
+            alloc_node_s: 10.0,
         };
-        assert!((c.combined(&w) - (40.0 + 8.0 + 12.0) / 4.0).abs() < 1e-12);
+        assert!((c.combined(&w) - (40.0 + 8.0 + 12.0 + 10.0) / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn useless_extra_nodes_raise_the_combined_cost() {
+        // Same makespan, no idle pockets, no lateness — only the node-time
+        // differs, as when a flat-speedup task grabs extra nodes. The wide
+        // allocation must lose so it cannot starve later arrivals.
+        let w = CostWeights::default();
+        let mut narrow = schedule(10.0, vec![], 0.0);
+        narrow.alloc_node_s = 10.0;
+        let mut wide = schedule(10.0, vec![], 0.0);
+        wide.alloc_node_s = 40.0;
+        let narrow = ScheduleCost::of(&narrow, &w).combined(&w);
+        let wide = ScheduleCost::of(&wide, &w).combined(&w);
+        assert!(
+            wide > narrow,
+            "wide {wide} must cost more than narrow {narrow}"
+        );
     }
 
     #[test]

@@ -50,7 +50,10 @@ impl ResourceView {
 
     /// The lowest-numbered available node (mask-repair fallback).
     pub fn fallback_node(&self) -> usize {
-        self.available.iter().next().expect("view has available nodes")
+        self.available
+            .iter()
+            .next()
+            .expect("view has available nodes")
     }
 
     /// The `k` available nodes with the earliest free times.
@@ -95,6 +98,11 @@ pub struct DecodedSchedule {
     pub lateness_s: f64,
     /// Number of tasks missing their deadline under this schedule.
     pub missed_deadlines: usize,
+    /// Total allocated node-time α: Σ |mask| · exec_s in node-seconds.
+    /// Nodes that join a mask without shortening the run inflate this
+    /// without improving anything else, which is how the cost function
+    /// tells a wasteful wide allocation from a genuinely parallel one.
+    pub alloc_node_s: f64,
 }
 
 impl DecodedSchedule {
@@ -128,6 +136,7 @@ pub fn decode(
     let mut makespan = view.now;
     let mut lateness_s = 0.0;
     let mut missed = 0usize;
+    let mut alloc_node_s = 0.0;
 
     for (p, &task_idx) in solution.order.iter().enumerate() {
         let task = &tasks[task_idx];
@@ -141,6 +150,7 @@ pub fn decode(
             .fold(view.now, SimTime::max);
         let exec_s = engine.evaluate(&task.app, &view.model, mask.count());
         let completion = start + SimDuration::from_secs_f64(exec_s);
+        alloc_node_s += mask.count() as f64 * exec_s;
         for i in mask.iter() {
             let gap = start.saturating_since(node_free[i]).as_secs_f64();
             if gap > 0.0 {
@@ -168,6 +178,7 @@ pub fn decode(
         idle_pockets,
         lateness_s,
         missed_deadlines: missed,
+        alloc_node_s,
         placements,
     }
 }
@@ -244,6 +255,36 @@ mod tests {
         assert!((d.makespan_rel_s - 20.0).abs() < 1e-9);
         assert_eq!(d.total_idle_s(), 0.0);
         assert_eq!(d.missed_deadlines, 0);
+        assert!((d.alloc_node_s - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wider_masks_allocate_more_node_time_without_speedup() {
+        let engine = CachedEngine::new();
+        // Flat curve: extra nodes buy nothing but still count as allocated.
+        let a = app(vec![10.0, 10.0]);
+        let tasks = vec![task(1, a, 100)];
+        let narrow = decode(
+            &view(2),
+            &tasks,
+            &Solution {
+                order: vec![0],
+                mapping: vec![NodeMask::single(0)],
+            },
+            &engine,
+        );
+        let wide = decode(
+            &view(2),
+            &tasks,
+            &Solution {
+                order: vec![0],
+                mapping: vec![NodeMask::from_indices([0, 1])],
+            },
+            &engine,
+        );
+        assert_eq!(narrow.makespan, wide.makespan);
+        assert!((narrow.alloc_node_s - 10.0).abs() < 1e-9);
+        assert!((wide.alloc_node_s - 20.0).abs() < 1e-9);
     }
 
     #[test]
@@ -370,8 +411,18 @@ mod tests {
     #[test]
     fn earliest_k_view_matches_free_times() {
         let mut r = GridResource::new("S1", Platform::sgi_origin2000(), 3);
-        r.commit(1, NodeMask::single(0), SimTime::ZERO, SimTime::from_secs(30));
-        r.commit(2, NodeMask::single(1), SimTime::ZERO, SimTime::from_secs(10));
+        r.commit(
+            1,
+            NodeMask::single(0),
+            SimTime::ZERO,
+            SimTime::from_secs(30),
+        );
+        r.commit(
+            2,
+            NodeMask::single(1),
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+        );
         let v = ResourceView::snapshot(&r, SimTime::ZERO).unwrap();
         assert_eq!(v.earliest_k(1), NodeMask::single(2));
         assert_eq!(v.earliest_k(2), NodeMask::from_indices([1, 2]));

@@ -38,7 +38,10 @@ fn allocation_for_mask(
     model: &ResourceModel,
     engine: &CachedEngine,
 ) -> FifoAllocation {
-    let start = mask.iter().map(|i| node_free[i].max(now)).fold(now, SimTime::max);
+    let start = mask
+        .iter()
+        .map(|i| node_free[i].max(now))
+        .fold(now, SimTime::max);
     let exec = engine.evaluate(app, model, mask.count());
     FifoAllocation {
         mask,
@@ -102,7 +105,9 @@ pub fn best_allocation_exhaustive(
     let mut best: Option<FifoAllocation> = None;
     for bits in 1u32..(1u32 << nodes.len()) {
         let mask = NodeMask::from_indices(
-            (0..nodes.len()).filter(|b| bits & (1 << b) != 0).map(|b| nodes[b]),
+            (0..nodes.len())
+                .filter(|b| bits & (1 << b) != 0)
+                .map(|b| nodes[b]),
         );
         let cand = allocation_for_mask(node_free, now, mask, app, model, engine);
         if best.as_ref().is_none_or(|b| better(&cand, b)) {
@@ -145,8 +150,14 @@ impl FifoPolicy {
         engine: &CachedEngine,
     ) -> FifoAllocation {
         let earliest = now.max(self.floor);
-        let alloc =
-            best_allocation(&self.node_free, available, earliest, &task.app, model, engine);
+        let alloc = best_allocation(
+            &self.node_free,
+            available,
+            earliest,
+            &task.app,
+            model,
+            engine,
+        );
         for i in alloc.mask.iter() {
             self.node_free[i] = alloc.completion;
         }
@@ -240,7 +251,14 @@ mod tests {
         let engine = CachedEngine::new();
         let free = vec![SimTime::ZERO; 4];
         let a = app(vec![40.0, 20.0, 13.0, 10.0]);
-        let alloc = best_allocation(&free, NodeMask::first_n(4), SimTime::ZERO, &a, &model(4), &engine);
+        let alloc = best_allocation(
+            &free,
+            NodeMask::first_n(4),
+            SimTime::ZERO,
+            &a,
+            &model(4),
+            &engine,
+        );
         assert_eq!(alloc.mask.count(), 4);
         assert_eq!(alloc.completion, SimTime::from_secs(10));
     }
@@ -251,7 +269,14 @@ mod tests {
         let engine = CachedEngine::new();
         let free = vec![SimTime::ZERO; 4];
         let a = app(vec![10.0, 10.0, 10.0, 10.0]);
-        let alloc = best_allocation(&free, NodeMask::first_n(4), SimTime::ZERO, &a, &model(4), &engine);
+        let alloc = best_allocation(
+            &free,
+            NodeMask::first_n(4),
+            SimTime::ZERO,
+            &a,
+            &model(4),
+            &engine,
+        );
         assert_eq!(alloc.mask, NodeMask::single(0));
     }
 
@@ -263,7 +288,14 @@ mod tests {
         let mut free = vec![SimTime::from_secs(100); 4];
         free[3] = SimTime::ZERO;
         let a = app(vec![10.0, 9.5, 9.2, 9.0]);
-        let alloc = best_allocation(&free, NodeMask::first_n(4), SimTime::ZERO, &a, &model(4), &engine);
+        let alloc = best_allocation(
+            &free,
+            NodeMask::first_n(4),
+            SimTime::ZERO,
+            &a,
+            &model(4),
+            &engine,
+        );
         assert_eq!(alloc.mask, NodeMask::single(3));
         assert_eq!(alloc.completion, SimTime::from_secs(10));
     }
@@ -278,9 +310,7 @@ mod tests {
             let free: Vec<SimTime> = (0..nproc)
                 .map(|_| SimTime::from_secs(rng.gen_range(0..50u64)))
                 .collect();
-            let times: Vec<f64> = (0..nproc)
-                .map(|_| rng.gen_range(1.0..60.0f64))
-                .collect();
+            let times: Vec<f64> = (0..nproc).map(|_| rng.gen_range(1.0..60.0f64)).collect();
             let a = app(times);
             let m = model(nproc);
             let avail = NodeMask::first_n(nproc);

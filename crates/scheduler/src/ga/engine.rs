@@ -18,6 +18,7 @@ use crate::task::Task;
 use agentgrid_cluster::NodeMask;
 use agentgrid_pace::CachedEngine;
 use agentgrid_sim::{RngStream, SimDuration, SimTime};
+use agentgrid_telemetry::{Event, Telemetry};
 use rand::Rng;
 
 /// Tuning knobs of the GA.
@@ -75,6 +76,9 @@ pub struct GaScheduler {
     rng: RngStream,
     /// Task count the population currently encodes.
     ntasks: usize,
+    telemetry: Telemetry,
+    /// Resource name stamped on telemetry events.
+    label: String,
 }
 
 impl GaScheduler {
@@ -90,7 +94,16 @@ impl GaScheduler {
             population: Vec::new(),
             rng,
             ntasks: 0,
+            telemetry: Telemetry::disabled(),
+            label: String::new(),
         }
+    }
+
+    /// Record per-generation and per-evolve telemetry, labelling events
+    /// with `label` (the owning resource's name).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry, label: &str) {
+        self.telemetry = telemetry;
+        self.label = label.to_string();
     }
 
     /// The configuration in force.
@@ -154,6 +167,13 @@ impl GaScheduler {
 
         self.ensure_population(view, tasks, engine);
         self.inject_heuristic_seeds(view, tasks, engine);
+
+        // Wall clock and cache deltas are telemetry payload only — they
+        // never feed back into scheduling, so instrumented runs stay
+        // bit-identical to uninstrumented ones.
+        let t_now = view.now.ticks();
+        let wall_start = self.telemetry.is_enabled().then(std::time::Instant::now);
+        let stats_before = self.telemetry.is_enabled().then(|| engine.stats());
 
         let weights = self.config.weights;
         let evaluate = |sol: &Solution| -> (DecodedSchedule, f64) {
@@ -219,6 +239,12 @@ impl GaScheduler {
             self.population = next;
             costs = self.population.iter().map(|s| evaluate(s).1).collect();
             let (gen_best_idx, gen_best_cost) = argmin(&costs);
+            self.telemetry.emit(t_now, || Event::GaGeneration {
+                resource: self.label.clone(),
+                generation: (generations - 1) as u32,
+                best_cost: gen_best_cost,
+                mean_cost: costs.iter().sum::<f64>() / costs.len() as f64,
+            });
             if gen_best_cost + 1e-12 < best_cost {
                 best_cost = gen_best_cost;
                 best_idx = gen_best_idx;
@@ -231,6 +257,20 @@ impl GaScheduler {
 
         let _ = best_idx;
         let (schedule, cost) = evaluate(&best_solution);
+        if let (Some(wall), Some(before)) = (wall_start, stats_before) {
+            let after = engine.stats();
+            let converged = stall >= self.config.stall_generations;
+            let wall_us = wall.elapsed().as_micros() as u64;
+            self.telemetry.emit(t_now, || Event::GaEvolve {
+                resource: self.label.clone(),
+                generations: generations as u32,
+                best_cost: cost,
+                converged,
+                wall_us,
+                cache_hits: after.hits.saturating_sub(before.hits),
+                cache_misses: after.misses.saturating_sub(before.misses),
+            });
+        }
         EvolveOutcome {
             schedule,
             cost,

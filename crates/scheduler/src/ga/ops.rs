@@ -82,13 +82,7 @@ fn splice(first: &Solution, second: &Solution, cut: usize) -> Solution {
 
 /// Two-part mutation: with probability `order_rate` switch two random
 /// ordering positions; flip each mapping bit with probability `bit_rate`.
-pub fn mutate(
-    s: &mut Solution,
-    nproc: usize,
-    order_rate: f64,
-    bit_rate: f64,
-    rng: &mut impl Rng,
-) {
+pub fn mutate(s: &mut Solution, nproc: usize, order_rate: f64, bit_rate: f64, rng: &mut impl Rng) {
     let m = s.len();
     if m == 0 {
         return;

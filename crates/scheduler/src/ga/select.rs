@@ -18,7 +18,11 @@ pub fn stochastic_remainder(fitness: &[f64], target: usize, rng: &mut impl Rng) 
     if n == 0 || target == 0 {
         return Vec::new();
     }
-    let sum: f64 = fitness.iter().copied().filter(|f| f.is_finite() && *f > 0.0).sum();
+    let sum: f64 = fitness
+        .iter()
+        .copied()
+        .filter(|f| f.is_finite() && *f > 0.0)
+        .sum();
     if sum <= 0.0 {
         return (0..target).map(|i| i % n).collect();
     }

@@ -37,8 +37,8 @@ pub use batch::{BatchConfig, BatchPolicy};
 pub use cost::{CostWeights, ScheduleCost};
 pub use decode::{decode, DecodedSchedule, ResourceView};
 pub use fifo::FifoPolicy;
-pub use gantt::{Gantt, GanttBar};
 pub use ga::{GaConfig, GaScheduler};
+pub use gantt::{Gantt, GanttBar};
 pub use solution::Solution;
 pub use system::{PolicyConfig, SchedulerSystem, StartedTask};
 pub use task::{CompletedTask, Task, TaskId};

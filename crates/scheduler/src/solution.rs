@@ -169,7 +169,11 @@ mod tests {
     fn mask_of_task_follows_the_ordering() {
         let s = Solution {
             order: vec![2, 0, 1],
-            mapping: vec![NodeMask::single(5), NodeMask::single(3), NodeMask::single(7)],
+            mapping: vec![
+                NodeMask::single(5),
+                NodeMask::single(3),
+                NodeMask::single(7),
+            ],
         };
         assert_eq!(s.mask_of_task(2), Some(NodeMask::single(5)));
         assert_eq!(s.mask_of_task(0), Some(NodeMask::single(3)));
@@ -181,7 +185,11 @@ mod tests {
     fn remove_task_shifts_indices() {
         let mut s = Solution {
             order: vec![2, 0, 1],
-            mapping: vec![NodeMask::single(5), NodeMask::single(3), NodeMask::single(7)],
+            mapping: vec![
+                NodeMask::single(5),
+                NodeMask::single(3),
+                NodeMask::single(7),
+            ],
         };
         s.remove_task(1);
         // Former task 2 is now task 1.

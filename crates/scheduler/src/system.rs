@@ -28,6 +28,7 @@ use crate::task::{CompletedTask, Task, TaskId};
 use agentgrid_cluster::{ExecEnv, GridResource, NodeMask, ResourceMonitor};
 use agentgrid_pace::{ApplicationModel, CachedEngine, NoiseModel};
 use agentgrid_sim::{RngStream, SimDuration, SimTime};
+use agentgrid_telemetry::{Event, Telemetry};
 use std::sync::Arc;
 
 /// Which scheduling policy a system runs (Table 2's experiment knob,
@@ -108,6 +109,7 @@ pub struct SchedulerSystem {
     plan_makespan: SimTime,
     noise: NoiseModel,
     noise_rng: RngStream,
+    telemetry: Telemetry,
 }
 
 impl SchedulerSystem {
@@ -139,7 +141,18 @@ impl SchedulerSystem {
             plan_makespan: SimTime::ZERO,
             noise: NoiseModel::Exact,
             noise_rng,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Record task-lifecycle telemetry (submit/start/finish/deadline
+    /// miss), and wire the GA kernel's per-generation events when this
+    /// system runs the GA policy. Disabled by default.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        if let PolicyState::Ga(ga) = &mut self.policy {
+            ga.set_telemetry(telemetry.clone(), self.resource.name());
+        }
+        self.telemetry = telemetry;
     }
 
     /// Enable a prediction-error model: from now on every dispatched
@@ -154,7 +167,6 @@ impl SchedulerSystem {
     pub fn noise(&self) -> NoiseModel {
         self.noise
     }
-
 
     /// The grid resource this scheduler manages.
     pub fn resource(&self) -> &GridResource {
@@ -222,6 +234,11 @@ impl SchedulerSystem {
         if !self.supports(task.env) {
             return Err(SubmitError::UnsupportedEnvironment);
         }
+        self.telemetry.emit(now.ticks(), || Event::TaskSubmit {
+            task: task.id.0,
+            resource: self.resource.name().to_string(),
+            deadline: task.deadline.ticks(),
+        });
         match &mut self.policy {
             PolicyState::Fifo(fifo) => {
                 let available = self.resource.available_mask();
@@ -290,6 +307,23 @@ impl SchedulerSystem {
         if let Some(pos) = self.running.iter().position(|r| r.task.id == id) {
             let r = self.running.swap_remove(pos);
             debug_assert!(r.completion == now, "completion event at the wrong instant");
+            let deadline = r.task.deadline;
+            let met = r.completion <= deadline;
+            self.telemetry
+                .emit(r.completion.ticks(), || Event::TaskFinish {
+                    task: id.0,
+                    resource: self.resource.name().to_string(),
+                    deadline_met: met,
+                });
+            if !met {
+                let late = r.completion.saturating_since(deadline);
+                self.telemetry
+                    .emit(r.completion.ticks(), || Event::TaskDeadlineMiss {
+                        task: id.0,
+                        resource: self.resource.name().to_string(),
+                        late: late.ticks(),
+                    });
+            }
             self.completed.push(CompletedTask {
                 resource: self.resource.name().to_string(),
                 task: r.task,
@@ -355,6 +389,12 @@ impl SchedulerSystem {
                 now + SimDuration::from_secs_f64(predicted.as_secs_f64() * factor)
             };
             self.resource.commit(b.id.0, b.mask, now, completion);
+            self.telemetry.emit(now.ticks(), || Event::TaskStart {
+                task: b.id.0,
+                resource: self.resource.name().to_string(),
+                nodes: b.mask.count() as u32,
+                queue_wait: now.saturating_since(task.arrival).ticks(),
+            });
             started.push(StartedTask {
                 id: b.id,
                 mask: b.mask,
@@ -409,6 +449,12 @@ impl SchedulerSystem {
                 start + SimDuration::from_secs_f64(predicted.as_secs_f64() * factor)
             };
             self.resource.commit(id.0, alloc.mask, start, completion);
+            self.telemetry.emit(start.ticks(), || Event::TaskStart {
+                task: id.0,
+                resource: self.resource.name().to_string(),
+                nodes: alloc.mask.count() as u32,
+                queue_wait: start.saturating_since(task.arrival).ticks(),
+            });
             started.push(StartedTask {
                 id,
                 mask: alloc.mask,
@@ -463,6 +509,12 @@ impl SchedulerSystem {
                 }
             };
             self.resource.commit(task.id.0, p.mask, p.start, completion);
+            self.telemetry.emit(p.start.ticks(), || Event::TaskStart {
+                task: task.id.0,
+                resource: self.resource.name().to_string(),
+                nodes: p.mask.count() as u32,
+                queue_wait: p.start.saturating_since(task.arrival).ticks(),
+            });
             started.push(StartedTask {
                 id: task.id,
                 mask: p.mask,
@@ -565,7 +617,11 @@ mod tests {
         assert_eq!(s.queue_len(), 0);
         assert_eq!(s.running_len(), 0);
         // Third task ran 10..20 on whichever node freed first.
-        let last = s.completed().iter().find(|c| c.task.id == TaskId(3)).unwrap();
+        let last = s
+            .completed()
+            .iter()
+            .find(|c| c.task.id == TaskId(3))
+            .unwrap();
         assert_eq!(last.start, SimTime::from_secs(10));
         assert_eq!(last.completion, SimTime::from_secs(20));
     }
@@ -583,7 +639,9 @@ mod tests {
         assert_eq!(s.queue_len(), 0);
         // Every completion honoured the PACE prediction for its node count.
         for c in s.completed() {
-            let expected = s.engine().evaluate(&c.task.app, s.resource().model(), c.mask.count());
+            let expected = s
+                .engine()
+                .evaluate(&c.task.app, s.resource().model(), c.mask.count());
             let got = c.completion.saturating_since(c.start).as_secs_f64();
             assert!((got - expected).abs() < 1e-6);
         }
@@ -631,7 +689,9 @@ mod tests {
         let st1 = s.submit(mk_task(1, &a, 1000), SimTime::ZERO).unwrap();
         assert_eq!(st1.len(), 1);
         // Second task arrives mid-execution of the first.
-        let st2 = s.submit(mk_task(2, &a, 1000), SimTime::from_secs(4)).unwrap();
+        let st2 = s
+            .submit(mk_task(2, &a, 1000), SimTime::from_secs(4))
+            .unwrap();
         assert!(st2.is_empty());
         let st3 = s.on_task_complete(TaskId(1), SimTime::from_secs(10));
         assert_eq!(st3.len(), 1);
@@ -649,7 +709,11 @@ mod tests {
     fn noise_perturbs_actual_durations_but_loses_no_task() {
         use agentgrid_pace::NoiseModel;
         for policy in [true, false] {
-            let mut s = if policy { ga_system(4, 21) } else { fifo_system(4) };
+            let mut s = if policy {
+                ga_system(4, 21)
+            } else {
+                fifo_system(4)
+            };
             s.set_noise(NoiseModel::Uniform { rel: 0.4 });
             let a = app(vec![20.0, 12.0, 9.0, 8.0]);
             let mut started = Vec::new();
@@ -663,7 +727,8 @@ mod tests {
             let mut deviated = 0;
             for c in s.completed() {
                 let predicted =
-                    s.engine().evaluate(&c.task.app, s.resource().model(), c.mask.count());
+                    s.engine()
+                        .evaluate(&c.task.app, s.resource().model(), c.mask.count());
                 let actual = c.completion.saturating_since(c.start).as_secs_f64();
                 let ratio = actual / predicted;
                 assert!(
@@ -853,7 +918,10 @@ mod batch_tests {
             started.extend(s.submit(mk_task(1, &wide, 10_000), SimTime::ZERO).unwrap());
             started.extend(s.submit(mk_task(2, &wide, 10_000), SimTime::ZERO).unwrap());
             for id in 3..=6 {
-                started.extend(s.submit(mk_task(id, &narrow, 10_000), SimTime::ZERO).unwrap());
+                started.extend(
+                    s.submit(mk_task(id, &narrow, 10_000), SimTime::ZERO)
+                        .unwrap(),
+                );
             }
             drain(&mut s, started);
             assert_eq!(s.completed().len(), 6);

@@ -28,6 +28,11 @@
 
 use crate::queue::EventQueue;
 use crate::time::{SimDuration, SimTime};
+use agentgrid_telemetry::{Event, Telemetry};
+
+/// How often the engine emits an [`Event::EngineStep`] progress marker
+/// when telemetry is enabled.
+const STEP_MARK_EVERY: u64 = 256;
 
 /// A virtual clock driving an event queue of type `E`.
 pub struct Simulation<E> {
@@ -35,6 +40,7 @@ pub struct Simulation<E> {
     now: SimTime,
     processed: u64,
     horizon: Option<SimTime>,
+    telemetry: Telemetry,
 }
 
 impl<E> Default for Simulation<E> {
@@ -51,7 +57,14 @@ impl<E> Simulation<E> {
             now: SimTime::ZERO,
             processed: 0,
             horizon: None,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Record periodic [`Event::EngineStep`] markers (and horizon events)
+    /// through `telemetry`. Disabled by default.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Stop delivering events scheduled after `at` (they remain queued but
@@ -59,6 +72,10 @@ impl<E> Simulation<E> {
     /// runs and for defensive termination in tests.
     pub fn set_horizon(&mut self, at: SimTime) {
         self.horizon = Some(at);
+        self.telemetry
+            .emit(self.now.ticks(), || Event::EngineHorizon {
+                horizon: at.ticks(),
+            });
     }
 
     /// The current virtual time.
@@ -102,6 +119,13 @@ impl<E> Simulation<E> {
         let (at, event) = self.queue.pop()?;
         self.now = at;
         self.processed += 1;
+        if self.processed.is_multiple_of(STEP_MARK_EVERY) {
+            let (processed, pending) = (self.processed, self.queue.len() as u64);
+            self.telemetry.emit(self.now.ticks(), || Event::EngineStep {
+                processed,
+                pending,
+            });
+        }
         Some(event)
     }
 

@@ -5,7 +5,6 @@
 //! of resolution is far below anything the paper measures (PACE predictions
 //! are reported in whole seconds; advertisement periods are 10 s).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -13,15 +12,11 @@ use std::ops::{Add, AddAssign, Sub};
 pub const TICKS_PER_SEC: u64 = 1_000_000;
 
 /// An instant in virtual time, measured from the start of the simulation.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// A span of virtual time.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -213,7 +208,10 @@ mod tests {
     fn negative_and_nan_saturate_to_zero() {
         assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -241,9 +239,11 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_exact() {
-        let mut v = [SimTime::from_secs_f64(1.000001),
+        let mut v = [
+            SimTime::from_secs_f64(1.000001),
             SimTime::from_secs(1),
-            SimTime::ZERO];
+            SimTime::ZERO,
+        ];
         v.sort();
         assert_eq!(v[0], SimTime::ZERO);
         assert_eq!(v[1], SimTime::from_secs(1));

@@ -6,11 +6,10 @@
 //! the SPARCstations" — rather than only on aggregate metrics.
 
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Category of a trace record. Kept as a small closed enum so filters are
 /// cheap and typo-proof.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum TraceKind {
     /// A user request arrived at an agent.
     RequestArrival,
@@ -29,7 +28,7 @@ pub enum TraceKind {
 }
 
 /// One trace record.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TraceEvent {
     /// Virtual time of the record.
     pub at: SimTime,
@@ -118,7 +117,12 @@ mod tests {
     #[test]
     fn enabled_trace_retains_records_in_order() {
         let mut t = Trace::enabled();
-        t.record(SimTime::from_secs(1), TraceKind::RequestArrival, "S1", "req 0");
+        t.record(
+            SimTime::from_secs(1),
+            TraceKind::RequestArrival,
+            "S1",
+            "req 0",
+        );
         t.record(SimTime::from_secs(2), TraceKind::TaskStart, "S1", "task 0");
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.events()[0].kind, TraceKind::RequestArrival);

@@ -1,0 +1,400 @@
+//! The aggregating sink: counters per event kind plus log-linear
+//! histograms for the latency-shaped quantities, rendered as the
+//! `agentgrid report` summary.
+
+use crate::event::{Event, Micros, TimedEvent};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Sub-buckets per power-of-two octave. 16 gives ≤ 6.25% relative
+/// quantisation error above the linear region.
+const SUBBUCKETS: u64 = 16;
+/// Octaves above the linear region; covers values up to 2^63.
+const OCTAVES: usize = 60;
+const BUCKETS: usize = SUBBUCKETS as usize * (OCTAVES + 1);
+
+/// A fixed-memory histogram of `u64` samples with log-linear buckets:
+/// exact below 16, sub-6.25%-error above, ~8 KiB flat.
+#[derive(Clone)]
+pub struct LogLinearHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogLinearHistogram {
+    fn default() -> Self {
+        LogLinearHistogram {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUBBUCKETS {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize; // ≥ 4 here
+    let octave = msb - 3; // 1-based: values 16..32 are octave 1
+    let sub = ((v >> (msb - 4)) - SUBBUCKETS) as usize; // next 4 bits
+    (octave * SUBBUCKETS as usize + sub).min(BUCKETS - 1)
+}
+
+fn bucket_lower_bound(index: usize) -> u64 {
+    if index < SUBBUCKETS as usize {
+        return index as u64;
+    }
+    let octave = index / SUBBUCKETS as usize;
+    let sub = (index % SUBBUCKETS as usize) as u64;
+    (SUBBUCKETS + sub) << (octave - 1)
+}
+
+impl LogLinearHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogLinearHistogram {
+        LogLinearHistogram::default()
+    }
+
+    /// Add one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean, if any samples exist.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (bucket lower bound, so a
+    /// slight underestimate above the linear region; exact below it and
+    /// for the recorded min/max). `None` when empty.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based; q = 0 → first sample.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        if rank >= self.count {
+            return Some(self.max);
+        }
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Clamp to the observed range so p0/p100 are exact.
+                return Some(bucket_lower_bound(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+impl std::fmt::Debug for LogLinearHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogLinearHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+/// Counters and histograms accumulated from an event stream.
+#[derive(Clone, Debug, Default)]
+pub struct Aggregate {
+    /// Events seen, by [`Event::kind`].
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Queue wait per started task, µs of simulated time.
+    pub queue_wait_us: LogLinearHistogram,
+    /// Hops consumed per discovery decision.
+    pub discovery_hops: LogLinearHistogram,
+    /// Host wall-clock µs per GA generation (from `GaEvolve` events).
+    pub ga_generation_wall_us: LogLinearHistogram,
+    /// Simulated µs of lateness per missed deadline.
+    pub deadline_late_us: LogLinearHistogram,
+    /// Evaluation-cache hits summed over `GaEvolve` events.
+    pub cache_hits: u64,
+    /// Evaluation-cache misses summed over `GaEvolve` events.
+    pub cache_misses: u64,
+}
+
+impl Aggregate {
+    /// An empty aggregate.
+    pub fn new() -> Aggregate {
+        Aggregate::default()
+    }
+
+    /// Fold one event in.
+    pub fn observe(&mut self, event: &TimedEvent) {
+        *self.counters.entry(event.event.kind()).or_insert(0) += 1;
+        match &event.event {
+            Event::TaskStart { queue_wait, .. } => self.queue_wait_us.record(*queue_wait),
+            Event::Discovery { hops, .. } => self.discovery_hops.record(u64::from(*hops)),
+            Event::TaskDeadlineMiss { late, .. } => self.deadline_late_us.record(*late),
+            Event::GaEvolve {
+                generations,
+                wall_us,
+                cache_hits,
+                cache_misses,
+                ..
+            } => {
+                if *generations > 0 {
+                    self.ga_generation_wall_us
+                        .record(wall_us / u64::from(*generations));
+                }
+                self.cache_hits += cache_hits;
+                self.cache_misses += cache_misses;
+            }
+            _ => {}
+        }
+    }
+
+    /// Aggregate a whole stream.
+    pub fn from_events<'a>(events: impl IntoIterator<Item = &'a TimedEvent>) -> Aggregate {
+        let mut agg = Aggregate::new();
+        for event in events {
+            agg.observe(event);
+        }
+        agg
+    }
+
+    /// Human-readable summary (the body of `agentgrid report`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("event counts\n");
+        for (kind, count) in &self.counters {
+            let _ = writeln!(out, "  {kind:<20} {count:>10}");
+        }
+        let total_cache = self.cache_hits + self.cache_misses;
+        if total_cache > 0 {
+            let _ = writeln!(
+                out,
+                "\nevaluation cache        {} hits / {} misses ({:.1}% hit ratio)",
+                self.cache_hits,
+                self.cache_misses,
+                100.0 * self.cache_hits as f64 / total_cache as f64,
+            );
+        }
+        out.push('\n');
+        render_histogram(&mut out, "queue wait (sim µs)", &self.queue_wait_us);
+        render_histogram(&mut out, "discovery hops", &self.discovery_hops);
+        render_histogram(
+            &mut out,
+            "ga generation (wall µs)",
+            &self.ga_generation_wall_us,
+        );
+        render_histogram(&mut out, "deadline lateness (µs)", &self.deadline_late_us);
+        out
+    }
+}
+
+fn render_histogram(out: &mut String, label: &str, h: &LogLinearHistogram) {
+    let fmt = |v: Option<u64>| v.map_or_else(|| "-".to_string(), |v| v.to_string());
+    let _ = writeln!(
+        out,
+        "{label:<24} n={:<8} p50={:<10} p90={:<10} p99={:<10} max={}",
+        h.count(),
+        fmt(h.percentile(0.50)),
+        fmt(h.percentile(0.90)),
+        fmt(h.percentile(0.99)),
+        fmt(h.max()),
+    );
+}
+
+/// [`Aggregate`] behind a lock, usable as a live [`Recorder`] sink.
+#[derive(Default)]
+pub struct AggregateRecorder {
+    inner: Mutex<Aggregate>,
+}
+
+impl AggregateRecorder {
+    /// An empty aggregating sink.
+    pub fn new() -> AggregateRecorder {
+        AggregateRecorder::default()
+    }
+
+    /// Copy out the current totals.
+    pub fn snapshot(&self) -> Aggregate {
+        self.inner.lock().expect("aggregate lock").clone()
+    }
+}
+
+impl crate::Recorder for AggregateRecorder {
+    fn record(&self, t: Micros, event: Event) {
+        self.inner
+            .lock()
+            .expect("aggregate lock")
+            .observe(&TimedEvent { t, event });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = LogLinearHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut h = LogLinearHistogram::new();
+        h.record(1234);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), Some(h.percentile(0.5).unwrap()), "q={q}");
+        }
+        assert_eq!(h.min(), Some(1234));
+        assert_eq!(h.max(), Some(1234));
+        // 1234 lands in an octave bucket whose lower bound is ≤ 1234 and
+        // within 6.25%.
+        let p = h.percentile(0.5).unwrap();
+        assert!(p <= 1234 && (1234 - p) as f64 / 1234.0 < 0.0625);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogLinearHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), Some(0));
+        assert_eq!(h.percentile(1.0), Some(15));
+        assert_eq!(h.percentile(0.5), Some(7));
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded() {
+        let mut h = LogLinearHistogram::new();
+        let mut x = 1u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(x >> 40); // values up to ~16M
+        }
+        let mut prev = 0;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let p = h.percentile(q).unwrap();
+            assert!(p >= prev, "quantiles must not decrease");
+            assert!(p >= h.min().unwrap() && p <= h.max().unwrap());
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn saturating_bucket_swallows_huge_values() {
+        let mut h = LogLinearHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(u64::MAX));
+        // Both land in the top bucket; percentiles clamp to the observed
+        // range rather than reporting the (tiny) bucket lower bound.
+        assert_eq!(h.percentile(1.0), Some(u64::MAX));
+        assert_eq!(h.percentile(0.1), Some(u64::MAX - 1));
+    }
+
+    #[test]
+    fn relative_error_stays_under_one_sixteenth() {
+        for v in [17u64, 100, 999, 12_345, 1 << 20, (1 << 40) + 12345] {
+            let lb = bucket_lower_bound(bucket_index(v));
+            assert!(lb <= v, "lower bound exceeds value for {v}");
+            assert!(
+                (v - lb) as f64 / v as f64 <= 1.0 / 16.0,
+                "error too large for {v}: bound {lb}"
+            );
+        }
+    }
+
+    #[test]
+    fn aggregate_routes_fields_to_histograms() {
+        let events = vec![
+            TimedEvent {
+                t: 0,
+                event: Event::TaskStart {
+                    task: 1,
+                    resource: "S1".into(),
+                    nodes: 2,
+                    queue_wait: 500,
+                },
+            },
+            TimedEvent {
+                t: 1,
+                event: Event::Discovery {
+                    task: 1,
+                    agent: "S1".into(),
+                    decision: "local".into(),
+                    hops: 3,
+                },
+            },
+            TimedEvent {
+                t: 2,
+                event: Event::GaEvolve {
+                    resource: "S1".into(),
+                    generations: 10,
+                    best_cost: 0.5,
+                    converged: true,
+                    wall_us: 1000,
+                    cache_hits: 90,
+                    cache_misses: 10,
+                },
+            },
+        ];
+        let agg = Aggregate::from_events(&events);
+        assert_eq!(agg.counters["task_start"], 1);
+        assert_eq!(agg.queue_wait_us.count(), 1);
+        assert_eq!(agg.queue_wait_us.percentile(0.5), Some(500));
+        assert_eq!(agg.discovery_hops.percentile(0.5), Some(3));
+        assert_eq!(agg.ga_generation_wall_us.percentile(0.5), Some(100));
+        assert_eq!(agg.cache_hits, 90);
+        let report = agg.render();
+        assert!(report.contains("task_start"));
+        assert!(report.contains("queue wait"));
+        assert!(report.contains("90.0% hit ratio"));
+    }
+
+    #[test]
+    fn aggregate_recorder_is_a_live_sink() {
+        use crate::Recorder;
+        let rec = AggregateRecorder::new();
+        rec.record(
+            7,
+            Event::EngineStep {
+                processed: 1,
+                pending: 0,
+            },
+        );
+        assert_eq!(rec.snapshot().counters["engine_step"], 1);
+    }
+}

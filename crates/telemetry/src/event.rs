@@ -1,0 +1,587 @@
+//! The structured event vocabulary.
+//!
+//! Events carry their own primitive payloads (ids, names, microsecond
+//! ticks) rather than simulation types, so this crate sits below every
+//! other agentgrid crate and can be recorded from any layer. One tick
+//! equals one microsecond of simulated time, matching `SimTime`.
+
+use crate::json::{self, Value};
+
+/// Microseconds of simulated time.
+pub type Micros = u64;
+
+/// One structured occurrence inside the system.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A task entered a resource's scheduler queue.
+    TaskSubmit {
+        /// Task id.
+        task: u64,
+        /// Resource whose queue accepted it.
+        resource: String,
+        /// Absolute deadline, in ticks.
+        deadline: Micros,
+    },
+    /// Discovery moved a task from one agent to another for execution.
+    TaskDispatch {
+        /// Task id.
+        task: u64,
+        /// Agent that gave the task up.
+        from: String,
+        /// Agent that received it.
+        to: String,
+        /// Discovery hops consumed when the dispatch happened.
+        hops: u32,
+    },
+    /// A task began executing on cluster nodes.
+    TaskStart {
+        /// Task id.
+        task: u64,
+        /// Executing resource.
+        resource: String,
+        /// Number of nodes allocated.
+        nodes: u32,
+        /// Ticks spent queued between submit and start.
+        queue_wait: Micros,
+    },
+    /// A task finished executing.
+    TaskFinish {
+        /// Task id.
+        task: u64,
+        /// Executing resource.
+        resource: String,
+        /// Whether it completed by its deadline.
+        deadline_met: bool,
+    },
+    /// A task completed after its deadline.
+    TaskDeadlineMiss {
+        /// Task id.
+        task: u64,
+        /// Executing resource.
+        resource: String,
+        /// Ticks past the deadline at completion.
+        late: Micros,
+    },
+    /// Discovery gave up on a task (no capable resource found).
+    TaskReject {
+        /// Task id.
+        task: u64,
+        /// Agent at which the search ended.
+        resource: String,
+    },
+    /// One GA generation finished on a resource's scheduler.
+    GaGeneration {
+        /// Resource running the GA.
+        resource: String,
+        /// Generation index within this evolve call (0-based).
+        generation: u32,
+        /// Best cost in the population after this generation.
+        best_cost: f64,
+        /// Mean cost over the population after this generation.
+        mean_cost: f64,
+    },
+    /// One complete GA evolve call (a scheduling event's worth of search).
+    GaEvolve {
+        /// Resource running the GA.
+        resource: String,
+        /// Generations actually run (stall cut-off included).
+        generations: u32,
+        /// Final best cost.
+        best_cost: f64,
+        /// Whether the stall cut-off fired before the generation budget.
+        converged: bool,
+        /// Host wall-clock microseconds spent in the call.
+        wall_us: u64,
+        /// Evaluation-cache hits during the call.
+        cache_hits: u64,
+        /// Evaluation-cache misses during the call.
+        cache_misses: u64,
+    },
+    /// The evaluation cache missed and consulted the PACE engine.
+    CacheEvaluate {
+        /// Application model id.
+        app: u32,
+        /// Platform id.
+        platform: u32,
+        /// Processor count evaluated.
+        nprocs: u32,
+        /// Predicted execution time, seconds.
+        predicted_s: f64,
+    },
+    /// Service information moved between agents (ACT maintenance).
+    Advertise {
+        /// Agent whose information moved.
+        agent: String,
+        /// Agent whose coordination table was updated.
+        to: String,
+        /// True for data-push, false for data-pull.
+        push: bool,
+    },
+    /// An agent evaluated the discovery decision for a task.
+    Discovery {
+        /// Task id.
+        task: u64,
+        /// Deciding agent.
+        agent: String,
+        /// Outcome: `local`, `dispatch`, `escalate` or `reject`.
+        decision: String,
+        /// Hops consumed so far (this decision included).
+        hops: u32,
+    },
+    /// A discovery request escalated to the parent agent.
+    EscalationHop {
+        /// Task id.
+        task: u64,
+        /// Child agent that escalated.
+        from: String,
+        /// Parent agent that received the request.
+        to: String,
+    },
+    /// An execution backend launched a task (test-mode log or real
+    /// threads).
+    ExecutorLaunch {
+        /// Task id.
+        task: u64,
+        /// Execution environment (`mpi`, `pvm`, `test`).
+        env: String,
+        /// Predicted duration, seconds.
+        duration_s: f64,
+    },
+    /// Periodic progress marker from the simulation engine.
+    EngineStep {
+        /// Events processed so far.
+        processed: u64,
+        /// Events still queued.
+        pending: u64,
+    },
+    /// The simulation reached its horizon (end of run).
+    EngineHorizon {
+        /// Final simulated time, ticks.
+        horizon: Micros,
+    },
+}
+
+/// An [`Event`] plus the simulated instant it was recorded at.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedEvent {
+    /// Simulated time, microseconds.
+    pub t: Micros,
+    /// What happened.
+    pub event: Event,
+}
+
+impl Event {
+    /// Stable snake_case tag identifying the variant; used as the JSON
+    /// `type` field and as the counter key in aggregation.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::TaskSubmit { .. } => "task_submit",
+            Event::TaskDispatch { .. } => "task_dispatch",
+            Event::TaskStart { .. } => "task_start",
+            Event::TaskFinish { .. } => "task_finish",
+            Event::TaskDeadlineMiss { .. } => "task_deadline_miss",
+            Event::TaskReject { .. } => "task_reject",
+            Event::GaGeneration { .. } => "ga_generation",
+            Event::GaEvolve { .. } => "ga_evolve",
+            Event::CacheEvaluate { .. } => "cache_evaluate",
+            Event::Advertise { .. } => "advertise",
+            Event::Discovery { .. } => "discovery",
+            Event::EscalationHop { .. } => "escalation_hop",
+            Event::ExecutorLaunch { .. } => "executor_launch",
+            Event::EngineStep { .. } => "engine_step",
+            Event::EngineHorizon { .. } => "engine_horizon",
+        }
+    }
+
+    /// The track a visual trace viewer should file this event under:
+    /// the resource/agent name where one applies, else a subsystem name.
+    pub fn track(&self) -> &str {
+        match self {
+            Event::TaskSubmit { resource, .. }
+            | Event::TaskStart { resource, .. }
+            | Event::TaskFinish { resource, .. }
+            | Event::TaskDeadlineMiss { resource, .. }
+            | Event::TaskReject { resource, .. }
+            | Event::GaGeneration { resource, .. }
+            | Event::GaEvolve { resource, .. } => resource,
+            Event::TaskDispatch { to, .. } => to,
+            Event::Advertise { to, .. } => to,
+            Event::Discovery { agent, .. } => agent,
+            Event::EscalationHop { to, .. } => to,
+            Event::CacheEvaluate { .. } => "pace-cache",
+            Event::ExecutorLaunch { .. } => "executor",
+            Event::EngineStep { .. } | Event::EngineHorizon { .. } => "engine",
+        }
+    }
+}
+
+impl TimedEvent {
+    /// JSON object form: `{"t": ..., "type": ..., <payload fields>}`.
+    pub fn to_json(&self) -> Value {
+        let mut fields: Vec<(String, Value)> = vec![
+            ("t".to_string(), json::num(self.t as f64)),
+            ("type".to_string(), json::s(self.event.kind())),
+        ];
+        let mut push = |k: &str, v: Value| fields.push((k.to_string(), v));
+        match &self.event {
+            Event::TaskSubmit {
+                task,
+                resource,
+                deadline,
+            } => {
+                push("task", json::num(*task as f64));
+                push("resource", json::s(resource.clone()));
+                push("deadline", json::num(*deadline as f64));
+            }
+            Event::TaskDispatch {
+                task,
+                from,
+                to,
+                hops,
+            } => {
+                push("task", json::num(*task as f64));
+                push("from", json::s(from.clone()));
+                push("to", json::s(to.clone()));
+                push("hops", json::num(f64::from(*hops)));
+            }
+            Event::TaskStart {
+                task,
+                resource,
+                nodes,
+                queue_wait,
+            } => {
+                push("task", json::num(*task as f64));
+                push("resource", json::s(resource.clone()));
+                push("nodes", json::num(f64::from(*nodes)));
+                push("queue_wait", json::num(*queue_wait as f64));
+            }
+            Event::TaskFinish {
+                task,
+                resource,
+                deadline_met,
+            } => {
+                push("task", json::num(*task as f64));
+                push("resource", json::s(resource.clone()));
+                push("deadline_met", Value::Bool(*deadline_met));
+            }
+            Event::TaskDeadlineMiss {
+                task,
+                resource,
+                late,
+            } => {
+                push("task", json::num(*task as f64));
+                push("resource", json::s(resource.clone()));
+                push("late", json::num(*late as f64));
+            }
+            Event::TaskReject { task, resource } => {
+                push("task", json::num(*task as f64));
+                push("resource", json::s(resource.clone()));
+            }
+            Event::GaGeneration {
+                resource,
+                generation,
+                best_cost,
+                mean_cost,
+            } => {
+                push("resource", json::s(resource.clone()));
+                push("generation", json::num(f64::from(*generation)));
+                push("best_cost", json::num(*best_cost));
+                push("mean_cost", json::num(*mean_cost));
+            }
+            Event::GaEvolve {
+                resource,
+                generations,
+                best_cost,
+                converged,
+                wall_us,
+                cache_hits,
+                cache_misses,
+            } => {
+                push("resource", json::s(resource.clone()));
+                push("generations", json::num(f64::from(*generations)));
+                push("best_cost", json::num(*best_cost));
+                push("converged", Value::Bool(*converged));
+                push("wall_us", json::num(*wall_us as f64));
+                push("cache_hits", json::num(*cache_hits as f64));
+                push("cache_misses", json::num(*cache_misses as f64));
+            }
+            Event::CacheEvaluate {
+                app,
+                platform,
+                nprocs,
+                predicted_s,
+            } => {
+                push("app", json::num(f64::from(*app)));
+                push("platform", json::num(f64::from(*platform)));
+                push("nprocs", json::num(f64::from(*nprocs)));
+                push("predicted_s", json::num(*predicted_s));
+            }
+            Event::Advertise { agent, to, push: p } => {
+                push("agent", json::s(agent.clone()));
+                push("to", json::s(to.clone()));
+                push("push", Value::Bool(*p));
+            }
+            Event::Discovery {
+                task,
+                agent,
+                decision,
+                hops,
+            } => {
+                push("task", json::num(*task as f64));
+                push("agent", json::s(agent.clone()));
+                push("decision", json::s(decision.clone()));
+                push("hops", json::num(f64::from(*hops)));
+            }
+            Event::EscalationHop { task, from, to } => {
+                push("task", json::num(*task as f64));
+                push("from", json::s(from.clone()));
+                push("to", json::s(to.clone()));
+            }
+            Event::ExecutorLaunch {
+                task,
+                env,
+                duration_s,
+            } => {
+                push("task", json::num(*task as f64));
+                push("env", json::s(env.clone()));
+                push("duration_s", json::num(*duration_s));
+            }
+            Event::EngineStep { processed, pending } => {
+                push("processed", json::num(*processed as f64));
+                push("pending", json::num(*pending as f64));
+            }
+            Event::EngineHorizon { horizon } => {
+                push("horizon", json::num(*horizon as f64));
+            }
+        }
+        Value::Obj(fields)
+    }
+
+    /// Inverse of [`to_json`](Self::to_json); `None` when the object is
+    /// not a well-formed event.
+    pub fn from_json(v: &Value) -> Option<TimedEvent> {
+        let t = v.get("t")?.as_u64()?;
+        let kind = v.get("type")?.as_str()?;
+        let str_field = |k: &str| v.get(k).and_then(Value::as_str).map(str::to_string);
+        let u64_field = |k: &str| v.get(k).and_then(Value::as_u64);
+        let u32_field = |k: &str| u64_field(k).and_then(|n| u32::try_from(n).ok());
+        let f64_field = |k: &str| v.get(k).and_then(Value::as_f64);
+        let bool_field = |k: &str| v.get(k).and_then(Value::as_bool);
+        let event = match kind {
+            "task_submit" => Event::TaskSubmit {
+                task: u64_field("task")?,
+                resource: str_field("resource")?,
+                deadline: u64_field("deadline")?,
+            },
+            "task_dispatch" => Event::TaskDispatch {
+                task: u64_field("task")?,
+                from: str_field("from")?,
+                to: str_field("to")?,
+                hops: u32_field("hops")?,
+            },
+            "task_start" => Event::TaskStart {
+                task: u64_field("task")?,
+                resource: str_field("resource")?,
+                nodes: u32_field("nodes")?,
+                queue_wait: u64_field("queue_wait")?,
+            },
+            "task_finish" => Event::TaskFinish {
+                task: u64_field("task")?,
+                resource: str_field("resource")?,
+                deadline_met: bool_field("deadline_met")?,
+            },
+            "task_deadline_miss" => Event::TaskDeadlineMiss {
+                task: u64_field("task")?,
+                resource: str_field("resource")?,
+                late: u64_field("late")?,
+            },
+            "task_reject" => Event::TaskReject {
+                task: u64_field("task")?,
+                resource: str_field("resource")?,
+            },
+            "ga_generation" => Event::GaGeneration {
+                resource: str_field("resource")?,
+                generation: u32_field("generation")?,
+                best_cost: f64_field("best_cost")?,
+                mean_cost: f64_field("mean_cost")?,
+            },
+            "ga_evolve" => Event::GaEvolve {
+                resource: str_field("resource")?,
+                generations: u32_field("generations")?,
+                best_cost: f64_field("best_cost")?,
+                converged: bool_field("converged")?,
+                wall_us: u64_field("wall_us")?,
+                cache_hits: u64_field("cache_hits")?,
+                cache_misses: u64_field("cache_misses")?,
+            },
+            "cache_evaluate" => Event::CacheEvaluate {
+                app: u32_field("app")?,
+                platform: u32_field("platform")?,
+                nprocs: u32_field("nprocs")?,
+                predicted_s: f64_field("predicted_s")?,
+            },
+            "advertise" => Event::Advertise {
+                agent: str_field("agent")?,
+                to: str_field("to")?,
+                push: bool_field("push")?,
+            },
+            "discovery" => Event::Discovery {
+                task: u64_field("task")?,
+                agent: str_field("agent")?,
+                decision: str_field("decision")?,
+                hops: u32_field("hops")?,
+            },
+            "escalation_hop" => Event::EscalationHop {
+                task: u64_field("task")?,
+                from: str_field("from")?,
+                to: str_field("to")?,
+            },
+            "executor_launch" => Event::ExecutorLaunch {
+                task: u64_field("task")?,
+                env: str_field("env")?,
+                duration_s: f64_field("duration_s")?,
+            },
+            "engine_step" => Event::EngineStep {
+                processed: u64_field("processed")?,
+                pending: u64_field("pending")?,
+            },
+            "engine_horizon" => Event::EngineHorizon {
+                horizon: u64_field("horizon")?,
+            },
+            _ => return None,
+        };
+        Some(TimedEvent { t, event })
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn one_of_each_variant() -> Vec<TimedEvent> {
+    let name = |s: &str| s.to_string();
+    [
+        Event::TaskSubmit {
+            task: 1,
+            resource: name("S1"),
+            deadline: 5_000_000,
+        },
+        Event::TaskDispatch {
+            task: 1,
+            from: name("S1"),
+            to: name("S2 \"quoted\"\n"),
+            hops: 2,
+        },
+        Event::TaskStart {
+            task: 1,
+            resource: name("S2"),
+            nodes: 4,
+            queue_wait: 1_250_000,
+        },
+        Event::TaskFinish {
+            task: 1,
+            resource: name("S2"),
+            deadline_met: true,
+        },
+        Event::TaskDeadlineMiss {
+            task: 2,
+            resource: name("S3"),
+            late: 777,
+        },
+        Event::TaskReject {
+            task: 3,
+            resource: name("S4"),
+        },
+        Event::GaGeneration {
+            resource: name("S1"),
+            generation: 7,
+            best_cost: 0.125,
+            mean_cost: 0.5,
+        },
+        Event::GaEvolve {
+            resource: name("S1"),
+            generations: 40,
+            best_cost: 0.1,
+            converged: false,
+            wall_us: 1234,
+            cache_hits: 900,
+            cache_misses: 100,
+        },
+        Event::CacheEvaluate {
+            app: 3,
+            platform: 1,
+            nprocs: 8,
+            predicted_s: 12.75,
+        },
+        Event::Advertise {
+            agent: name("S5"),
+            to: name("S1"),
+            push: false,
+        },
+        Event::Discovery {
+            task: 9,
+            agent: name("S1"),
+            decision: name("escalate"),
+            hops: 1,
+        },
+        Event::EscalationHop {
+            task: 9,
+            from: name("S1"),
+            to: name("root"),
+        },
+        Event::ExecutorLaunch {
+            task: 9,
+            env: name("test"),
+            duration_s: 42.5,
+        },
+        Event::EngineStep {
+            processed: 1000,
+            pending: 17,
+        },
+        Event::EngineHorizon {
+            horizon: 86_400_000_000,
+        },
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(i, event)| TimedEvent {
+        t: i as u64 * 1000,
+        event,
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_roundtrips_through_json() {
+        for te in one_of_each_variant() {
+            let v = te.to_json();
+            let back = TimedEvent::from_json(&v).expect("roundtrip parses");
+            assert_eq!(back, te);
+            // And through the textual form too.
+            let reparsed = crate::json::Value::parse(&v.to_compact()).unwrap();
+            assert_eq!(TimedEvent::from_json(&reparsed).unwrap(), te);
+        }
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let kinds: std::collections::BTreeSet<&str> = one_of_each_variant()
+            .iter()
+            .map(|te| te.event.kind())
+            .collect();
+        assert_eq!(kinds.len(), one_of_each_variant().len());
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_shapes() {
+        assert_eq!(TimedEvent::from_json(&crate::json::num(1.0)), None);
+        let missing = crate::json::obj(vec![("t", crate::json::num(0.0))]);
+        assert_eq!(TimedEvent::from_json(&missing), None);
+        let unknown = crate::json::obj(vec![
+            ("t", crate::json::num(0.0)),
+            ("type", crate::json::s("no_such_event")),
+        ]);
+        assert_eq!(TimedEvent::from_json(&unknown), None);
+    }
+}

@@ -1,0 +1,288 @@
+//! Trace export and import.
+//!
+//! Two on-disk formats:
+//!
+//! - **JSONL** — one [`TimedEvent`] object per line; trivially
+//!   greppable and streamable.
+//! - **Chrome `trace_event`** — a JSON array of instant events loadable
+//!   in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!   Simulated microseconds map directly onto the format's `ts` field,
+//!   events are filed onto one named track per resource/agent, and each
+//!   trace event carries the original JSONL object under `args`, so a
+//!   Chrome trace is self-sufficient for [`read_trace`].
+
+use crate::event::{Event, Micros, TimedEvent};
+use crate::json::{self, Value};
+use std::io::{self, Write};
+use std::sync::Mutex;
+
+/// Streaming JSONL sink over any writer.
+pub struct JsonlRecorder<W: Write + Send> {
+    out: Mutex<JsonlState<W>>,
+}
+
+struct JsonlState<W> {
+    writer: W,
+    error: Option<io::Error>,
+}
+
+impl<W: Write + Send> JsonlRecorder<W> {
+    /// Write one line per event into `writer`.
+    pub fn new(writer: W) -> JsonlRecorder<W> {
+        JsonlRecorder {
+            out: Mutex::new(JsonlState {
+                writer,
+                error: None,
+            }),
+        }
+    }
+
+    /// The first IO error hit while writing, if any (recording itself
+    /// never fails; errors are remembered here).
+    pub fn take_error(&self) -> Option<io::Error> {
+        self.out.lock().expect("jsonl lock").error.take()
+    }
+}
+
+impl<W: Write + Send> crate::Recorder for JsonlRecorder<W> {
+    fn record(&self, t: Micros, event: Event) {
+        let line = TimedEvent { t, event }.to_json().to_compact();
+        let mut state = self.out.lock().expect("jsonl lock");
+        if state.error.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(state.writer, "{line}") {
+            state.error = Some(e);
+        }
+    }
+
+    fn flush(&self) {
+        let mut state = self.out.lock().expect("jsonl lock");
+        if state.error.is_none() {
+            if let Err(e) = state.writer.flush() {
+                state.error = Some(e);
+            }
+        }
+    }
+}
+
+/// Serialise events as JSONL text.
+pub fn write_jsonl(events: &[TimedEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&event.to_json().to_compact());
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialise events as a Chrome `trace_event` JSON array.
+pub fn write_chrome(events: &[TimedEvent]) -> String {
+    let mut entries: Vec<Value> = Vec::new();
+    // One named track (tid) per resource/agent/subsystem, in first-seen
+    // order so the output is deterministic.
+    let mut tracks: Vec<String> = Vec::new();
+    for event in events {
+        let track = event.event.track();
+        let tid = match tracks.iter().position(|t| t == track) {
+            Some(i) => i,
+            None => {
+                tracks.push(track.to_string());
+                tracks.len() - 1
+            }
+        };
+        entries.push(json::obj(vec![
+            ("name", json::s(event.event.kind())),
+            ("cat", json::s("agentgrid")),
+            ("ph", json::s("i")),
+            ("s", json::s("t")),
+            ("ts", json::num(event.t as f64)),
+            ("pid", json::num(1.0)),
+            ("tid", json::num(tid as f64)),
+            ("args", event.to_json()),
+        ]));
+    }
+    // Metadata events naming each track, prepended so viewers label
+    // tracks before data arrives.
+    let mut all: Vec<Value> = tracks
+        .iter()
+        .enumerate()
+        .map(|(tid, name)| {
+            json::obj(vec![
+                ("name", json::s("thread_name")),
+                ("ph", json::s("M")),
+                ("pid", json::num(1.0)),
+                ("tid", json::num(tid as f64)),
+                ("args", json::obj(vec![("name", json::s(name.clone()))])),
+            ])
+        })
+        .collect();
+    all.extend(entries);
+    Value::Arr(all).to_compact()
+}
+
+/// A trace-import failure.
+#[derive(Debug)]
+pub enum TraceReadError {
+    /// The text was not valid JSON/JSONL.
+    Parse(String),
+    /// The JSON parsed but contained no recognisable events.
+    NoEvents,
+}
+
+impl std::fmt::Display for TraceReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceReadError::Parse(msg) => write!(f, "trace parse error: {msg}"),
+            TraceReadError::NoEvents => write!(f, "trace contains no agentgrid events"),
+        }
+    }
+}
+
+impl std::error::Error for TraceReadError {}
+
+/// Read a trace back from either supported format (auto-detected: a
+/// leading `[` means Chrome, anything else means JSONL).
+pub fn read_trace(text: &str) -> Result<Vec<TimedEvent>, TraceReadError> {
+    let trimmed = text.trim_start();
+    let events = if trimmed.starts_with('[') {
+        let doc = Value::parse(trimmed).map_err(|e| TraceReadError::Parse(e.to_string()))?;
+        let entries = doc
+            .as_arr()
+            .ok_or_else(|| TraceReadError::Parse("chrome trace is not an array".into()))?;
+        entries
+            .iter()
+            // Skip metadata ("M") entries; real entries carry the
+            // original event under `args`.
+            .filter(|e| e.get("ph").and_then(Value::as_str) != Some("M"))
+            .filter_map(|e| e.get("args").and_then(TimedEvent::from_json))
+            .collect::<Vec<_>>()
+    } else {
+        let mut out = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let v = Value::parse(line)
+                .map_err(|e| TraceReadError::Parse(format!("line {}: {e}", i + 1)))?;
+            let event = TimedEvent::from_json(&v)
+                .ok_or_else(|| TraceReadError::Parse(format!("line {}: not an event", i + 1)))?;
+            out.push(event);
+        }
+        out
+    };
+    if events.is_empty() {
+        return Err(TraceReadError::NoEvents);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::one_of_each_variant;
+    use crate::Recorder;
+
+    #[test]
+    fn jsonl_roundtrips_every_variant() {
+        let events = one_of_each_variant();
+        let text = write_jsonl(&events);
+        assert_eq!(read_trace(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn chrome_roundtrips_every_variant() {
+        let events = one_of_each_variant();
+        let text = write_chrome(&events);
+        assert_eq!(read_trace(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed_trace_event_json() {
+        let events = one_of_each_variant();
+        let doc = Value::parse(&write_chrome(&events)).unwrap();
+        let entries = doc.as_arr().unwrap();
+        // Metadata first, then one entry per event.
+        let data: Vec<&Value> = entries
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("i"))
+            .collect();
+        assert_eq!(data.len(), events.len());
+        for entry in entries {
+            assert!(entry.get("pid").is_some());
+            assert!(entry.get("tid").is_some());
+            let ph = entry.get("ph").and_then(Value::as_str).unwrap();
+            assert!(ph == "i" || ph == "M");
+            if ph == "i" {
+                assert!(entry.get("ts").and_then(Value::as_f64).is_some());
+                assert_eq!(entry.get("cat").and_then(Value::as_str), Some("agentgrid"));
+            }
+        }
+    }
+
+    #[test]
+    fn chrome_escapes_hostile_strings() {
+        // Resource names with quotes, backslashes and control bytes must
+        // not corrupt the document.
+        let events = vec![crate::event::TimedEvent {
+            t: 1,
+            event: crate::event::Event::TaskReject {
+                task: 1,
+                resource: "S\"1\\ \n\t\u{01}end".to_string(),
+            },
+        }];
+        let text = write_chrome(&events);
+        assert!(Value::parse(&text).is_ok());
+        assert_eq!(read_trace(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn jsonl_recorder_streams_lines() {
+        let recorder = JsonlRecorder::new(Vec::new());
+        for event in one_of_each_variant() {
+            recorder.record(event.t, event.event);
+        }
+        recorder.flush();
+        assert!(recorder.take_error().is_none());
+        let bytes = recorder.out.into_inner().unwrap().writer;
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(read_trace(&text).unwrap(), one_of_each_variant());
+    }
+
+    #[test]
+    fn jsonl_recorder_remembers_first_io_error() {
+        struct FailAfter(usize);
+        impl std::io::Write for FailAfter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.0 == 0 {
+                    Err(std::io::Error::other("disk full"))
+                } else {
+                    self.0 -= 1;
+                    Ok(buf.len())
+                }
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let recorder = JsonlRecorder::new(FailAfter(1));
+        let [first, second, ..] = &one_of_each_variant()[..] else {
+            unreachable!()
+        };
+        recorder.record(first.t, first.event.clone());
+        recorder.record(second.t, second.event.clone());
+        assert!(recorder.take_error().is_some());
+        assert!(recorder.take_error().is_none(), "error reported once");
+    }
+
+    #[test]
+    fn read_trace_rejects_garbage() {
+        assert!(matches!(
+            read_trace("not json"),
+            Err(TraceReadError::Parse(_))
+        ));
+        assert!(matches!(read_trace("[]"), Err(TraceReadError::NoEvents)));
+        assert!(matches!(read_trace(""), Err(TraceReadError::NoEvents)));
+    }
+}

@@ -1,0 +1,36 @@
+//! # agentgrid-telemetry
+//!
+//! Structured tracing and metrics for the agentgrid stack.
+//!
+//! The system's layers (simulation engine, GA scheduler, PACE
+//! evaluation cache, agent hierarchy, cluster executor) emit
+//! [`Event`]s through a [`Telemetry`] handle stamped with simulated
+//! time. The handle is disabled by default and costs one predictable
+//! branch per instrumentation point when off; when on it feeds any
+//! [`Recorder`] sink:
+//!
+//! - [`RingRecorder`] — in-memory, bounded, for tests and buffering;
+//! - [`JsonlRecorder`] / [`export::write_jsonl`] — one JSON object per
+//!   line;
+//! - [`export::write_chrome`] — Chrome `trace_event` JSON loadable in
+//!   Perfetto;
+//! - [`AggregateRecorder`] — counters per event kind plus log-linear
+//!   histograms (p50/p90/p99) for queue wait, discovery hops and GA
+//!   generation time.
+//!
+//! This crate has no dependencies (its [`json`] module is a
+//! self-contained parser/writer) and sits below every other agentgrid
+//! crate.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod recorder;
+
+pub use aggregate::{Aggregate, AggregateRecorder, LogLinearHistogram};
+pub use event::{Event, Micros, TimedEvent};
+pub use export::{read_trace, write_chrome, write_jsonl, JsonlRecorder, TraceReadError};
+pub use recorder::{MultiRecorder, NoopRecorder, Recorder, RingRecorder, Telemetry};

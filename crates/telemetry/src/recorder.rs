@@ -1,0 +1,247 @@
+//! The [`Recorder`] trait, the cheap-to-pass [`Telemetry`] handle, and
+//! the in-memory sinks.
+
+use crate::event::{Event, Micros, TimedEvent};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// A sink for structured events.
+///
+/// Implementations must be cheap and infallible from the caller's point
+/// of view: recording is observation, never control flow, so a sink
+/// that hits an IO error degrades (drops events, remembers the error)
+/// rather than panicking into the simulation.
+pub trait Recorder: Send + Sync {
+    /// Accept one event stamped with simulated time `t`.
+    fn record(&self, t: Micros, event: Event);
+
+    /// Push any buffered output down to the underlying medium.
+    fn flush(&self) {}
+}
+
+/// A recorder that drops everything. Exists so call sites can hold a
+/// `&dyn Recorder` unconditionally; the usual disabled path is a
+/// [`Telemetry`] handle whose inner option is `None`, which skips even
+/// event construction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    #[inline]
+    fn record(&self, _t: Micros, _event: Event) {}
+}
+
+/// The handle threaded through the system. `Clone` is an `Arc` bump;
+/// the default handle is disabled.
+///
+/// The zero-cost-when-disabled contract: [`Telemetry::emit`] takes a
+/// closure, so when the handle is disabled the event — including any
+/// `String` the payload would carry — is never constructed. The check
+/// itself is one branch on an `Option` discriminant, which predicts
+/// perfectly in instrumented-but-disabled hot loops.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<dyn Recorder>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// A disabled handle (records nothing, costs one branch per emit).
+    pub fn disabled() -> Telemetry {
+        Telemetry { inner: None }
+    }
+
+    /// A handle feeding `recorder`.
+    pub fn new(recorder: Arc<dyn Recorder>) -> Telemetry {
+        Telemetry {
+            inner: Some(recorder),
+        }
+    }
+
+    /// Whether events are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record the event built by `f` at simulated time `t`. `f` only
+    /// runs when the handle is enabled.
+    #[inline]
+    pub fn emit(&self, t: Micros, f: impl FnOnce() -> Event) {
+        if let Some(recorder) = &self.inner {
+            recorder.record(t, f());
+        }
+    }
+
+    /// Flush the underlying recorder, if any.
+    pub fn flush(&self) {
+        if let Some(recorder) = &self.inner {
+            recorder.flush();
+        }
+    }
+}
+
+/// An in-memory sink keeping the most recent `capacity` events.
+pub struct RingRecorder {
+    buf: Mutex<Ring>,
+}
+
+struct Ring {
+    events: VecDeque<TimedEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingRecorder {
+    /// Keep at most `capacity` events, discarding the oldest.
+    pub fn with_capacity(capacity: usize) -> RingRecorder {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingRecorder {
+            buf: Mutex::new(Ring {
+                events: VecDeque::new(),
+                capacity,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Keep every event (bounded only by memory).
+    pub fn unbounded() -> RingRecorder {
+        RingRecorder::with_capacity(usize::MAX)
+    }
+
+    /// Copy out the retained events in recording order.
+    pub fn snapshot(&self) -> Vec<TimedEvent> {
+        self.buf
+            .lock()
+            .expect("ring lock")
+            .events
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of events discarded because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.buf.lock().expect("ring lock").dropped
+    }
+
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("ring lock").events.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record(&self, t: Micros, event: Event) {
+        let mut ring = self.buf.lock().expect("ring lock");
+        if ring.events.len() == ring.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(TimedEvent { t, event });
+    }
+}
+
+/// Fan one event stream out to several sinks.
+pub struct MultiRecorder {
+    sinks: Vec<Arc<dyn Recorder>>,
+}
+
+impl MultiRecorder {
+    /// Record into each of `sinks`, in order.
+    pub fn new(sinks: Vec<Arc<dyn Recorder>>) -> MultiRecorder {
+        MultiRecorder { sinks }
+    }
+}
+
+impl Recorder for MultiRecorder {
+    fn record(&self, t: Micros, event: Event) {
+        for sink in &self.sinks {
+            sink.record(t, event.clone());
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(processed: u64) -> Event {
+        Event::EngineStep {
+            processed,
+            pending: 0,
+        }
+    }
+
+    #[test]
+    fn disabled_handle_never_builds_the_event() {
+        let telemetry = Telemetry::disabled();
+        let mut built = false;
+        telemetry.emit(0, || {
+            built = true;
+            step(0)
+        });
+        assert!(!built);
+        assert!(!telemetry.is_enabled());
+    }
+
+    #[test]
+    fn enabled_handle_records() {
+        let ring = Arc::new(RingRecorder::unbounded());
+        let telemetry = Telemetry::new(ring.clone());
+        telemetry.emit(5, || step(1));
+        telemetry.emit(9, || step(2));
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].t, 5);
+        assert_eq!(events[1].event, step(2));
+    }
+
+    #[test]
+    fn ring_discards_oldest_beyond_capacity() {
+        let ring = RingRecorder::with_capacity(3);
+        for i in 0..10 {
+            ring.record(i, step(i));
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(ring.dropped(), 7);
+        assert_eq!(events[0].t, 7);
+        assert_eq!(events[2].t, 9);
+    }
+
+    #[test]
+    fn multi_recorder_duplicates() {
+        let a = Arc::new(RingRecorder::unbounded());
+        let b = Arc::new(RingRecorder::unbounded());
+        let multi = MultiRecorder::new(vec![a.clone(), b.clone()]);
+        multi.record(1, step(1));
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn noop_recorder_accepts_events() {
+        NoopRecorder.record(0, step(0));
+        NoopRecorder.flush();
+    }
+}

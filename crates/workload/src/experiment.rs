@@ -6,10 +6,8 @@
 //! | 2 |   | ✓ |   |
 //! | 3 |   | ✓ | ✓ |
 
-use serde::{Deserialize, Serialize};
-
 /// The local scheduling algorithm of an experiment.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LocalPolicy {
     /// First-come-first-served (comparison baseline).
     Fifo,
@@ -21,7 +19,7 @@ pub enum LocalPolicy {
 }
 
 /// One row of Table 2.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ExperimentDesign {
     /// Experiment number (1–3 in the paper).
     pub number: u32,

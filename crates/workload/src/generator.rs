@@ -4,10 +4,9 @@ use agentgrid_cluster::ExecEnv;
 use agentgrid_pace::Catalog;
 use agentgrid_sim::{RngStream, SimDuration, SimTime};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// One generated task-execution request.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GeneratedRequest {
     /// Arrival instant at the target agent.
     pub at: SimTime,
@@ -29,7 +28,7 @@ pub struct GeneratedRequest {
 /// so the generator also offers Poisson and on/off burst processes with
 /// the same mean rate — useful for stress-testing the schedulers beyond
 /// the paper's workload.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum ArrivalPattern {
     /// One request every `interarrival` exactly (the paper).
     Periodic,
@@ -92,7 +91,10 @@ impl WorkloadConfig {
         pattern: ArrivalPattern,
     ) -> Vec<GeneratedRequest> {
         assert!(!self.agents.is_empty(), "workload needs at least one agent");
-        assert!(!catalog.is_empty(), "workload needs at least one application");
+        assert!(
+            !catalog.is_empty(),
+            "workload needs at least one application"
+        );
         if let ArrivalPattern::Bursts { burst_size } = pattern {
             assert!(burst_size >= 1, "bursts need at least one request");
         }
@@ -121,8 +123,7 @@ impl WorkloadConfig {
                 }
             };
             // Strictly increasing arrivals (min 1 tick).
-            at = (at + SimDuration::from_secs_f64(gap_s))
-                .max(at + SimDuration::from_ticks(1));
+            at = (at + SimDuration::from_secs_f64(gap_s)).max(at + SimDuration::from_ticks(1));
             let agent = self.agents[rng.gen_range(0..self.agents.len())].clone();
             let app = &catalog.apps()[rng.gen_range(0..catalog.len())];
             let (lo, hi) = app.deadline_bounds_s;
@@ -194,7 +195,10 @@ mod tests {
         let cat = Catalog::case_study();
         let reqs = WorkloadConfig::case_study(agents(), 1).generate(&cat);
         for agent in agents() {
-            assert!(reqs.iter().any(|r| r.agent == agent), "{agent} never chosen");
+            assert!(
+                reqs.iter().any(|r| r.agent == agent),
+                "{agent} never chosen"
+            );
         }
         for app in cat.apps() {
             assert!(
@@ -257,9 +261,10 @@ mod tests {
     #[should_panic(expected = "at least one request")]
     fn zero_burst_size_panics() {
         let cfg = WorkloadConfig::case_study(agents(), 1);
-        cfg.generate_with_pattern(&Catalog::case_study(), ArrivalPattern::Bursts {
-            burst_size: 0,
-        });
+        cfg.generate_with_pattern(
+            &Catalog::case_study(),
+            ArrivalPattern::Bursts { burst_size: 0 },
+        );
     }
 
     #[test]

@@ -1,10 +1,9 @@
 //! The Fig. 7 resource set, and custom grid topologies for examples.
 
 use agentgrid_pace::Platform;
-use serde::{Deserialize, Serialize};
 
 /// One grid resource: an agent name, its machine type and node count.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ResourceSpec {
     /// Agent/resource name (e.g. `"S1"`).
     pub name: String,
@@ -17,7 +16,7 @@ pub struct ResourceSpec {
 }
 
 /// A grid topology: resources plus the agent hierarchy over them.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GridTopology {
     /// All resources, head first.
     pub resources: Vec<ResourceSpec>,
@@ -203,10 +202,7 @@ mod tests {
         assert_eq!(t.get("A5").unwrap().parent.as_deref(), Some("A2"));
         assert_eq!(t.get("A13").unwrap().parent.as_deref(), Some("A4"));
         // Exactly one head.
-        assert_eq!(
-            t.resources.iter().filter(|r| r.parent.is_none()).count(),
-            1
-        );
+        assert_eq!(t.resources.iter().filter(|r| r.parent.is_none()).count(), 1);
     }
 
     #[test]

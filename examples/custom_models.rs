@@ -72,7 +72,12 @@ fn main() {
     };
     let mut opts = RunOptions::paper();
     opts.catalog = catalog;
-    let result = run_experiment(&ExperimentDesign::experiment3(), &topology, &workload, &opts);
+    let result = run_experiment(
+        &ExperimentDesign::experiment3(),
+        &topology,
+        &workload,
+        &opts,
+    );
 
     println!();
     println!(

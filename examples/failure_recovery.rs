@@ -28,9 +28,7 @@ fn main() {
     // t = 240 s. The monitor polls every 120 s, so the failure is only
     // *observed* at the t = 120 poll — the staleness between polls is
     // the point.
-    system
-        .monitor_mut()
-        .set_period(SimDuration::from_secs(120));
+    system.monitor_mut().set_period(SimDuration::from_secs(120));
     for node in 4..8 {
         system.monitor_mut().inject(AvailabilityChange {
             at: SimTime::from_secs(60),
@@ -100,9 +98,7 @@ fn main() {
     let completed = system.completed();
     let during_outage = completed
         .iter()
-        .filter(|c| {
-            c.start >= SimTime::from_secs(120) && c.completion <= SimTime::from_secs(360)
-        })
+        .filter(|c| c.start >= SimTime::from_secs(120) && c.completion <= SimTime::from_secs(360))
         .collect::<Vec<_>>();
     println!();
     println!("{} tasks completed in total", completed.len());
@@ -110,9 +106,16 @@ fn main() {
         "{} tasks ran fully inside the observed outage window [120s, 360s]",
         during_outage.len()
     );
-    let widest = during_outage.iter().map(|c| c.mask.count()).max().unwrap_or(0);
+    let widest = during_outage
+        .iter()
+        .map(|c| c.mask.count())
+        .max()
+        .unwrap_or(0);
     println!("widest allocation inside the outage: {widest} nodes (capacity was 4)");
-    assert!(widest <= 4, "scheduler must not use dead nodes once observed");
+    assert!(
+        widest <= 4,
+        "scheduler must not use dead nodes once observed"
+    );
     let met = completed.iter().filter(|c| c.met_deadline()).count();
     println!("{met}/{} deadlines met despite the outage", completed.len());
 }

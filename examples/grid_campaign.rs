@@ -72,6 +72,10 @@ fn main() {
     );
     for w in series {
         let bar = "#".repeat((w.utilisation * 40.0).round() as usize);
-        println!("  t={:>4.0}s {:>5.1}% {bar}", w.start_s, w.utilisation * 100.0);
+        println!(
+            "  t={:>4.0}s {:>5.1}% {bar}",
+            w.start_s,
+            w.utilisation * 100.0
+        );
     }
 }

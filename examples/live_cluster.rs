@@ -66,6 +66,10 @@ fn main() {
     );
     assert_eq!(completed_real.len(), launched);
 
-    let met = system.completed().iter().filter(|c| c.met_deadline()).count();
+    let met = system
+        .completed()
+        .iter()
+        .filter(|c| c.met_deadline())
+        .count();
     println!("{met}/{} predicted deadlines met", system.completed().len());
 }

@@ -43,7 +43,11 @@ fn run(label: &str, mut system: SchedulerSystem) {
                 ExecEnv::Test,
             );
             id += 1;
-            started.extend(system.submit(task, SimTime::ZERO).expect("test env supported"));
+            started.extend(
+                system
+                    .submit(task, SimTime::ZERO)
+                    .expect("test env supported"),
+            );
         }
     }
     // Event loop: deliver completions in time order.
@@ -58,7 +62,11 @@ fn run(label: &str, mut system: SchedulerSystem) {
         .iter()
         .map(|c| c.completion)
         .fold(SimTime::ZERO, SimTime::max);
-    let met = system.completed().iter().filter(|c| c.met_deadline()).count();
+    let met = system
+        .completed()
+        .iter()
+        .filter(|c| c.met_deadline())
+        .count();
     let mean_advance: f64 = system
         .completed()
         .iter()
@@ -88,7 +96,10 @@ fn run(label: &str, mut system: SchedulerSystem) {
     // Fig. 2 style Gantt chart of the run.
     let gantt = Gantt::from_completed(&by_start, system.resource().nproc());
     println!("{}", gantt.to_ascii(72));
-    let svg_name = format!("gantt_{}.svg", label.split_whitespace().next().unwrap_or("run"));
+    let svg_name = format!(
+        "gantt_{}.svg",
+        label.split_whitespace().next().unwrap_or("run")
+    );
     std::fs::write(&svg_name, gantt.to_svg(900, 14)).expect("write SVG");
     println!("  wrote {svg_name}");
     println!();

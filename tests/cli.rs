@@ -32,7 +32,9 @@ fn unknown_command_fails() {
 fn models_lists_the_catalogue() {
     let (out, _, ok) = run(&["models"]);
     assert!(ok);
-    for app in ["sweep3d", "fft", "improc", "closure", "jacobi", "memsort", "cpi"] {
+    for app in [
+        "sweep3d", "fft", "improc", "closure", "jacobi", "memsort", "cpi",
+    ] {
         assert!(out.contains(app), "missing {app} in:\n{out}");
     }
 }
@@ -76,17 +78,76 @@ fn run_executes_a_small_experiment() {
 
 #[test]
 fn run_emits_json_when_asked() {
-    let (out, _, ok) = run(&[
+    let (out, _, ok) = run(&["run", "--topology", "flat:1:2", "--requests", "4", "--json"]);
+    assert!(ok);
+    let parsed = agentgrid_telemetry::json::Value::parse(&out).expect("valid JSON");
+    assert_eq!(parsed.get("requests").and_then(|v| v.as_u64()), Some(4));
+}
+
+#[test]
+fn run_records_and_report_summarises_a_trace() {
+    let dir = std::env::temp_dir().join(format!("agentgrid-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let jsonl = dir.join("trace.jsonl");
+    let chrome = dir.join("trace.json");
+
+    let (_, err, ok) = run(&[
         "run",
         "--topology",
-        "flat:1:2",
+        "flat:2:4",
         "--requests",
-        "4",
-        "--json",
+        "8",
+        "--policy",
+        "ga",
+        "--agents",
+        "--trace",
+        jsonl.to_str().unwrap(),
+    ]);
+    assert!(ok, "traced run failed:\n{err}");
+    assert!(err.contains("events"));
+
+    // Every line of the JSONL trace is a JSON object with t/kind.
+    let text = std::fs::read_to_string(&jsonl).expect("trace written");
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        let v = agentgrid_telemetry::json::Value::parse(line).expect("valid JSONL line");
+        assert!(
+            v.get("t").is_some() && v.get("type").is_some(),
+            "bad line {line}"
+        );
+    }
+
+    // Chrome format parses as a JSON array of trace_event entries.
+    let (_, _, ok) = run(&[
+        "run",
+        "--topology",
+        "flat:2:4",
+        "--requests",
+        "8",
+        "--policy",
+        "ga",
+        "--agents",
+        "--trace",
+        chrome.to_str().unwrap(),
+        "--trace-format",
+        "chrome",
     ]);
     assert!(ok);
-    let parsed: serde_json::Value = serde_json::from_str(&out).expect("valid JSON");
-    assert_eq!(parsed["requests"], 4);
+    let text = std::fs::read_to_string(&chrome).expect("chrome trace written");
+    let v = agentgrid_telemetry::json::Value::parse(&text).expect("valid chrome JSON");
+    assert!(!v.as_arr().expect("top-level array").is_empty());
+
+    // `report` summarises the JSONL trace.
+    let (out, _, ok) = run(&["report", jsonl.to_str().unwrap()]);
+    assert!(ok);
+    assert!(out.contains("event counts"), "report output:\n{out}");
+    assert!(out.contains("task_start"), "report output:\n{out}");
+
+    let (_, err, ok) = run(&["report"]);
+    assert!(!ok);
+    assert!(err.contains("report needs a trace file"));
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

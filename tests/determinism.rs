@@ -26,9 +26,28 @@ fn identical_seeds_give_identical_results() {
     let b = run_experiment(&design, &topology, &workload, &RunOptions::fast());
     assert_eq!(a, b);
     // Strong form: serialised bytes match.
-    assert_eq!(
-        serde_json::to_string(&a).unwrap(),
-        serde_json::to_string(&b).unwrap()
+    assert_eq!(a.to_json(), b.to_json());
+}
+
+#[test]
+fn telemetry_does_not_perturb_the_run() {
+    // Recording a full trace must not change a single scheduling
+    // decision: the instrumented run's results are byte-identical to the
+    // uninstrumented run with the same seed.
+    let (topology, workload) = small();
+    let design = ExperimentDesign::experiment3();
+    let plain = run_experiment(&design, &topology, &workload, &RunOptions::fast());
+
+    let ring = std::sync::Arc::new(RingRecorder::unbounded());
+    let mut opts = RunOptions::fast();
+    opts.telemetry = Telemetry::new(ring.clone());
+    let traced = run_experiment(&design, &topology, &workload, &opts);
+
+    assert_eq!(plain, traced);
+    assert_eq!(plain.to_json(), traced.to_json());
+    assert!(
+        !ring.snapshot().is_empty(),
+        "the trace must actually record"
     );
 }
 

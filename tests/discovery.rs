@@ -64,7 +64,13 @@ fn run_grid(
 #[test]
 fn discovery_moves_load_from_leaf_to_capacity() {
     let topology = lopsided();
-    let grid = run_grid(&topology, &leaf_workload(30), true, FailurePolicy::BestEffort, false);
+    let grid = run_grid(
+        &topology,
+        &leaf_workload(30),
+        true,
+        FailurePolicy::BestEffort,
+        false,
+    );
     let executed_on_leaf = grid.schedulers()["leaf"].completed().len();
     let executed_elsewhere: usize = ["head", "mid"]
         .iter()
@@ -81,7 +87,13 @@ fn discovery_moves_load_from_leaf_to_capacity() {
 #[test]
 fn without_agents_the_leaf_keeps_everything() {
     let topology = lopsided();
-    let grid = run_grid(&topology, &leaf_workload(30), false, FailurePolicy::BestEffort, false);
+    let grid = run_grid(
+        &topology,
+        &leaf_workload(30),
+        false,
+        FailurePolicy::BestEffort,
+        false,
+    );
     assert_eq!(grid.schedulers()["leaf"].completed().len(), 30);
     assert_eq!(grid.migrations(), 0);
 }
@@ -89,10 +101,19 @@ fn without_agents_the_leaf_keeps_everything() {
 #[test]
 fn trace_records_the_discovery_walk() {
     let topology = lopsided();
-    let grid = run_grid(&topology, &leaf_workload(20), true, FailurePolicy::BestEffort, true);
+    let grid = run_grid(
+        &topology,
+        &leaf_workload(20),
+        true,
+        FailurePolicy::BestEffort,
+        true,
+    );
     let trace = grid.trace();
     assert!(trace.count(TraceKind::RequestArrival) == 20);
-    assert!(trace.count(TraceKind::Discovery) > 0, "no discovery records");
+    assert!(
+        trace.count(TraceKind::Discovery) > 0,
+        "no discovery records"
+    );
     assert!(trace.count(TraceKind::TaskComplete) == 20);
     assert!(trace.count(TraceKind::Advertisement) > 0);
     // Discovery records must reference real agents.
@@ -132,7 +153,13 @@ fn reject_policy_drops_unsatisfiable_requests() {
 #[test]
 fn service_info_round_trips_the_wire_format() {
     let topology = lopsided();
-    let grid = run_grid(&topology, &leaf_workload(5), true, FailurePolicy::BestEffort, false);
+    let grid = run_grid(
+        &topology,
+        &leaf_workload(5),
+        true,
+        FailurePolicy::BestEffort,
+        false,
+    );
     for name in topology.names() {
         let info = grid.service_info(&name, SimTime::from_secs(100));
         let xml = info.to_xml().render();
@@ -159,7 +186,11 @@ fn event_push_advertisement_also_balances() {
     while let Some(ev) = sim.step() {
         grid.handle(&mut sim, ev);
     }
-    let completed: usize = grid.schedulers().values().map(|s| s.completed().len()).sum();
+    let completed: usize = grid
+        .schedulers()
+        .values()
+        .map(|s| s.completed().len())
+        .sum();
     assert_eq!(completed, 30);
     assert!(grid.migrations() > 0, "push mode must still redistribute");
     assert!(grid.pull_messages() > 0, "pushes are counted as messages");
@@ -221,15 +252,18 @@ fn gossip_spreads_service_info_beyond_neighbours() {
 #[test]
 fn acts_carry_advertised_freetime() {
     let topology = lopsided();
-    let grid = run_grid(&topology, &leaf_workload(10), true, FailurePolicy::BestEffort, false);
+    let grid = run_grid(
+        &topology,
+        &leaf_workload(10),
+        true,
+        FailurePolicy::BestEffort,
+        false,
+    );
     // After the run every agent has heard from each neighbour.
     for name in topology.names() {
         let agent = grid.hierarchy().get(&name).unwrap();
         for n in agent.neighbours() {
-            assert!(
-                agent.act().get(n).is_some(),
-                "{name} never heard from {n}"
-            );
+            assert!(agent.act().get(n).is_some(), "{name} never heard from {n}");
         }
     }
 }

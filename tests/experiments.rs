@@ -190,7 +190,11 @@ fn bursty_arrivals_are_absorbed() {
         while let Some(ev) = sim.step() {
             grid.handle(&mut sim, ev);
         }
-        let completed: usize = grid.schedulers().values().map(|s| s.completed().len()).sum();
+        let completed: usize = grid
+            .schedulers()
+            .values()
+            .map(|s| s.completed().len())
+            .sum();
         assert_eq!(completed, 40, "pattern {pattern:?} lost tasks");
         assert!(!grid.work_remains());
     }
@@ -208,8 +212,18 @@ fn noisy_predictions_still_complete_and_agents_still_win() {
     };
     let mut opts = RunOptions::fast();
     opts.noise = NoiseModel::LogNormal { sigma: 0.3 };
-    let exp2 = run_experiment(&ExperimentDesign::experiment2(), &topology, &workload, &opts);
-    let exp3 = run_experiment(&ExperimentDesign::experiment3(), &topology, &workload, &opts);
+    let exp2 = run_experiment(
+        &ExperimentDesign::experiment2(),
+        &topology,
+        &workload,
+        &opts,
+    );
+    let exp3 = run_experiment(
+        &ExperimentDesign::experiment3(),
+        &topology,
+        &workload,
+        &opts,
+    );
     assert_eq!(exp2.total.tasks, 40);
     assert_eq!(exp3.total.tasks, 40);
     assert!(

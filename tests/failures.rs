@@ -48,7 +48,11 @@ fn grid_absorbs_a_mid_run_outage() {
     }
 
     // Every task still completes despite the outage.
-    let completed: usize = grid.schedulers().values().map(|s| s.completed().len()).sum();
+    let completed: usize = grid
+        .schedulers()
+        .values()
+        .map(|s| s.completed().len())
+        .sum();
     assert_eq!(completed, 40);
     assert!(!grid.work_remains());
 

@@ -26,10 +26,7 @@ fn run_grid(
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 12,
-        ..ProptestConfig::default()
-    })]
+    #![proptest_config(ProptestConfig { cases: 12 })]
 
     /// Every submitted task completes exactly once, on exactly one
     /// resource, with no node ever double-booked.

@@ -1,0 +1,126 @@
+//! Integration: the telemetry subsystem wired through a whole grid run.
+//!
+//! A small experiment-3 run (GA + agents) with a ring recorder must
+//! surface events from every instrumented layer, round-trip through both
+//! exporters, and aggregate into a readable report.
+
+use agentgrid::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+fn traced_run() -> (ExperimentResult, Vec<TimedEvent>) {
+    let topology = GridTopology::flat(3, 4);
+    let workload = WorkloadConfig {
+        requests: 20,
+        interarrival: SimDuration::from_secs(1),
+        seed: 41,
+        agents: topology.names(),
+        environment: ExecEnv::Test,
+    };
+    let ring = Arc::new(RingRecorder::unbounded());
+    let mut opts = RunOptions::fast();
+    opts.telemetry = Telemetry::new(ring.clone());
+    let result = run_experiment(
+        &ExperimentDesign::experiment3(),
+        &topology,
+        &workload,
+        &opts,
+    );
+    (result, ring.snapshot())
+}
+
+#[test]
+fn every_instrumented_layer_reports() {
+    let (result, events) = traced_run();
+    assert_eq!(result.total.tasks, 20);
+    let kinds: BTreeSet<&str> = events.iter().map(|e| e.event.kind()).collect();
+    for expected in [
+        "task_submit",    // scheduler intake
+        "task_start",     // scheduler placement
+        "task_finish",    // scheduler completion
+        "ga_generation",  // GA inner loop
+        "ga_evolve",      // GA per-replan summary
+        "cache_evaluate", // PACE cache misses
+        "advertise",      // agent advertisement
+        "discovery",      // agent decision
+        "engine_horizon", // engine bookkeeping
+    ] {
+        assert!(
+            kinds.contains(expected),
+            "missing {expected}; saw {kinds:?}"
+        );
+    }
+}
+
+#[test]
+fn timestamps_are_monotone_per_run() {
+    let (_, events) = traced_run();
+    assert!(!events.is_empty());
+    for pair in events.windows(2) {
+        assert!(pair[0].t <= pair[1].t, "time went backwards: {pair:?}");
+    }
+}
+
+#[test]
+fn trace_round_trips_through_jsonl() {
+    let (_, events) = traced_run();
+    let text = write_jsonl(&events);
+    let back = read_trace(&text).expect("jsonl parses");
+    assert_eq!(events, back);
+}
+
+#[test]
+fn chrome_trace_is_perfetto_shaped() {
+    let (_, events) = traced_run();
+    let text = write_chrome(&events);
+    let v = agentgrid_telemetry::json::Value::parse(&text).expect("valid JSON");
+    let entries = v.as_arr().expect("trace_event array");
+    assert!(!entries.is_empty());
+    for e in entries {
+        // Every entry carries the minimal trace_event surface; data
+        // entries ("i") additionally carry a timestamp.
+        assert!(e.get("pid").is_some());
+        let ph = e.get("ph").and_then(|p| p.as_str()).expect("ph present");
+        if ph == "i" {
+            assert!(e.get("ts").is_some());
+        }
+    }
+    // Thread-name metadata entries label the tracks.
+    assert!(entries
+        .iter()
+        .any(|e| e.get("name").and_then(|n| n.as_str()) == Some("thread_name")));
+}
+
+#[test]
+fn aggregate_summarises_the_run() {
+    let (result, events) = traced_run();
+    let agg = Aggregate::from_events(&events);
+    let report = agg.render();
+    assert!(report.contains("event counts"));
+    assert!(report.contains("task_start"));
+    assert!(report.contains("p50"));
+    // Every submitted task starts exactly once.
+    let starts = events
+        .iter()
+        .filter(|e| e.event.kind() == "task_start")
+        .count();
+    assert_eq!(starts, result.total.tasks);
+}
+
+#[test]
+fn discovery_decisions_cover_the_request_stream() {
+    let (result, events) = traced_run();
+    // Each request triggers at least one agent decision, and every
+    // decision names a known verdict.
+    let mut decided: BTreeSet<u64> = BTreeSet::new();
+    for e in &events {
+        if let Event::Discovery { task, decision, .. } = &e.event {
+            assert!(
+                ["local", "dispatch", "escalate", "reject"].contains(&decision.as_str()),
+                "unknown decision {decision}"
+            );
+            decided.insert(*task);
+        }
+    }
+    assert_eq!(decided.len(), result.total.tasks);
+}

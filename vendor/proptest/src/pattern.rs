@@ -1,0 +1,152 @@
+//! Regex-subset string sampling for `&str` strategies.
+//!
+//! Supports the subset the workspace's tests use: literal characters,
+//! character classes `[...]` with ranges (`a-z`) and literals (a `-`
+//! that is first, last, or follows a range is literal), and the
+//! quantifiers `{n}` and `{m,n}` applied to the preceding atom.
+
+use crate::TestRng;
+use rand::Rng;
+
+enum Atom {
+    Literal(char),
+    /// Inclusive character ranges; a literal char is a one-char range.
+    Class(Vec<(char, char)>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|c| *c == ']')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+                let body = &chars[i + 1..close];
+                let mut ranges = Vec::new();
+                let mut j = 0;
+                while j < body.len() {
+                    if j + 2 < body.len() && body[j + 1] == '-' {
+                        assert!(
+                            body[j] <= body[j + 2],
+                            "inverted range in pattern {pattern:?}"
+                        );
+                        ranges.push((body[j], body[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((body[j], body[j]));
+                        j += 1;
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+                i = close + 1;
+                Atom::Class(ranges)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i + 1..]
+                .iter()
+                .position(|c| *c == '}')
+                .map(|p| p + i + 1)
+                .unwrap_or_else(|| panic!("unclosed quantifier in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse().expect("quantifier min"),
+                    hi.parse().expect("quantifier max"),
+                ),
+                None => {
+                    let n = body.parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                .sum();
+            let mut pick = rng.gen_range(0..total);
+            for (lo, hi) in ranges {
+                let span = *hi as u32 - *lo as u32 + 1;
+                if pick < span {
+                    return char::from_u32(*lo as u32 + pick).expect("class char");
+                }
+                pick -= span;
+            }
+            unreachable!("pick exceeded class total")
+        }
+    }
+}
+
+pub fn sample(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = rng.gen_range(piece.min..=piece.max);
+        for _ in 0..count {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn literal_and_class_mix() {
+        let mut rng = crate::new_rng(11);
+        for _ in 0..50 {
+            let s = super::sample("ab[0-9]{2,4}!", &mut rng);
+            assert!(s.starts_with("ab") && s.ends_with('!'));
+            let digits = &s[2..s.len() - 1];
+            assert!((2..=4).contains(&digits.len()));
+            assert!(digits.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut rng = crate::new_rng(12);
+        for _ in 0..200 {
+            let s = super::sample("[a-b.-]", &mut rng);
+            let c = s.chars().next().unwrap();
+            assert!(matches!(c, 'a' | 'b' | '.' | '-'), "got {c:?}");
+        }
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        let mut rng = crate::new_rng(13);
+        for _ in 0..100 {
+            let s = super::sample("[ -~]{0,40}", &mut rng);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+}
