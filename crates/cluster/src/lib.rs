@@ -24,6 +24,6 @@ pub mod monitor;
 pub mod resource;
 
 pub use executor::{ExecEnv, Executor, TestModeExecutor, ThreadedExecutor};
-pub use mask::NodeMask;
+pub use mask::{NodeMask, MAX_NODES};
 pub use monitor::ResourceMonitor;
 pub use resource::{Allocation, GridResource};

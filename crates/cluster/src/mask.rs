@@ -23,12 +23,14 @@ impl NodeMask {
     pub const EMPTY: NodeMask = NodeMask(0);
 
     /// A mask containing exactly node `i`.
+    #[inline]
     pub fn single(i: usize) -> NodeMask {
         assert!(i < MAX_NODES, "node index {i} out of range");
         NodeMask(1 << i)
     }
 
     /// A mask of the first `n` nodes (`n` may be 0..=32).
+    #[inline]
     pub fn first_n(n: usize) -> NodeMask {
         assert!(n <= MAX_NODES, "node count {n} out of range");
         if n == 32 {
@@ -48,27 +50,32 @@ impl NodeMask {
     }
 
     /// Number of nodes in the set.
+    #[inline]
     pub fn count(self) -> usize {
         self.0.count_ones() as usize
     }
 
     /// True when the set is empty.
+    #[inline]
     pub fn is_empty(self) -> bool {
         self.0 == 0
     }
 
     /// True when node `i` is in the set.
+    #[inline]
     pub fn contains(self, i: usize) -> bool {
         i < MAX_NODES && self.0 & (1 << i) != 0
     }
 
     /// Add node `i`.
+    #[inline]
     pub fn insert(&mut self, i: usize) {
         assert!(i < MAX_NODES, "node index {i} out of range");
         self.0 |= 1 << i;
     }
 
     /// Remove node `i`.
+    #[inline]
     pub fn remove(&mut self, i: usize) {
         if i < MAX_NODES {
             self.0 &= !(1 << i);
@@ -76,6 +83,7 @@ impl NodeMask {
     }
 
     /// Flip node `i`'s membership (the GA mapping-mutation operator).
+    #[inline]
     pub fn toggle(&mut self, i: usize) {
         assert!(i < MAX_NODES, "node index {i} out of range");
         self.0 ^= 1 << i;
@@ -83,6 +91,7 @@ impl NodeMask {
 
     /// Restrict the set to the first `nproc` nodes (used when a resource
     /// shrinks or a foreign mask is imported).
+    #[inline]
     pub fn clamp_to(self, nproc: usize) -> NodeMask {
         NodeMask(self.0 & NodeMask::first_n(nproc.min(MAX_NODES)).0)
     }
@@ -90,6 +99,7 @@ impl NodeMask {
     /// If empty, set the given fallback node; otherwise return unchanged.
     /// Keeps GA offspring legal ("any possible solution" must allocate at
     /// least one node per task).
+    #[inline]
     pub fn ensure_nonempty(self, fallback: usize) -> NodeMask {
         if self.is_empty() {
             NodeMask::single(fallback)
@@ -99,16 +109,19 @@ impl NodeMask {
     }
 
     /// Intersection.
+    #[inline]
     pub fn and(self, other: NodeMask) -> NodeMask {
         NodeMask(self.0 & other.0)
     }
 
     /// Union.
+    #[inline]
     pub fn or(self, other: NodeMask) -> NodeMask {
         NodeMask(self.0 | other.0)
     }
 
     /// Iterate over member node indices in ascending order.
+    #[inline]
     pub fn iter(self) -> impl Iterator<Item = usize> {
         let mut bits = self.0;
         std::iter::from_fn(move || {
@@ -125,6 +138,7 @@ impl NodeMask {
     /// Splice two masks at bit position `point`: bits below `point` from
     /// `self`, the rest from `other` (the single-point binary crossover of
     /// the mapping part).
+    #[inline]
     pub fn crossover(self, other: NodeMask, point: usize) -> NodeMask {
         let p = point.min(MAX_NODES);
         let low = if p == 0 { 0 } else { NodeMask::first_n(p).0 };

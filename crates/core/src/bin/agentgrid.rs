@@ -54,10 +54,16 @@ USAGE:
   agentgrid table3   [--requests N] [--seed S] [--json]
   agentgrid run      [--policy fifo|ga|batch] [--agents] [--topology SPEC]
                      [--requests N] [--seed S] [--noise SIGMA] [--json]
+                     [--ga-threads N]
                      [--trace FILE] [--trace-format jsonl|chrome]
   agentgrid report   TRACE
   agentgrid topology [--topology SPEC]
   agentgrid models
+
+SCHEDULING:
+  --ga-threads N          OS threads for GA fitness evaluation (default 1,
+                          or the GA_THREADS environment variable); results
+                          are bit-identical for any thread count
 
 TOPOLOGY SPECS:
   case-study              the paper's 12-resource grid (default)
@@ -83,6 +89,7 @@ struct Flags {
     topology: String,
     noise: f64,
     json: bool,
+    ga_threads: Option<usize>,
     trace: Option<String>,
     trace_format: TraceFormat,
 }
@@ -97,6 +104,7 @@ impl Flags {
             topology: "case-study".to_string(),
             noise: 0.0,
             json: false,
+            ga_threads: None,
             trace: None,
             trace_format: TraceFormat::Jsonl,
         };
@@ -124,6 +132,13 @@ impl Flags {
                 }
                 "--agents" => flags.agents = true,
                 "--json" => flags.json = true,
+                "--ga-threads" => {
+                    let n: usize = value("--ga-threads")?.parse().map_err(|e| format!("{e}"))?;
+                    if n == 0 {
+                        return Err("--ga-threads must be at least 1".to_string());
+                    }
+                    flags.ga_threads = Some(n);
+                }
                 "--trace" => flags.trace = Some(value("--trace")?),
                 "--trace-format" => {
                     flags.trace_format = match value("--trace-format")?.as_str() {
@@ -173,6 +188,9 @@ impl Flags {
         let mut opts = RunOptions::paper();
         if self.noise > 0.0 {
             opts.noise = NoiseModel::LogNormal { sigma: self.noise };
+        }
+        if let Some(threads) = self.ga_threads {
+            opts.ga.threads = threads;
         }
         opts
     }

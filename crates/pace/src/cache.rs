@@ -20,6 +20,29 @@ use std::sync::Mutex;
 
 type Key = (u32, u32, u32); // (app id, platform id, nprocs)
 
+// Dense fast-table bounds. The key space the GA actually exercises is
+// tiny and enumerable — catalog apps × a handful of platforms × node
+// counts up to the resource size — so a fixed array covers it with room
+// to spare (64 × 8 × 32 slots = 128 KiB). Keys outside these bounds fall
+// back to the locked map; correctness never depends on fitting.
+const FAST_APPS: usize = 64;
+const FAST_PLATFORMS: usize = 8;
+const FAST_NPROCS: usize = 32;
+const FAST_SLOTS: usize = FAST_APPS * FAST_PLATFORMS * FAST_NPROCS;
+/// Slot sentinel: all-ones is a NaN bit pattern no finite prediction can
+/// produce, so zero-second predictions still publish correctly.
+const FAST_EMPTY: u64 = u64::MAX;
+
+/// The dense slot for `key`, or `None` when it is out of table bounds.
+fn fast_slot(key: Key) -> Option<usize> {
+    let (app, platform, n) = (key.0 as usize, key.1 as usize, key.2 as usize);
+    if app < FAST_APPS && platform < FAST_PLATFORMS && (1..=FAST_NPROCS).contains(&n) {
+        Some((app * FAST_PLATFORMS + platform) * FAST_NPROCS + (n - 1))
+    } else {
+        None
+    }
+}
+
 /// Hit/miss counters for the cache.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -27,6 +50,8 @@ pub struct CacheStats {
     pub hits: u64,
     /// Requests that fell through to the engine.
     pub misses: u64,
+    /// Subset of `hits` served lock-free from the dense fast table.
+    pub fast_hits: u64,
 }
 
 impl CacheStats {
@@ -42,11 +67,31 @@ impl CacheStats {
 }
 
 /// A [`PaceEngine`] fronted by a cache of all previous evaluations.
+///
+/// The read side is lock-free for the keys the GA hot loop actually
+/// uses: published predictions live in a dense `(app, platform, nprocs)`
+/// → bits-of-`f64` table of atomics, so a warm hit is one array load.
+/// The locked map remains the source of truth and the only path for
+/// out-of-bounds keys.
 pub struct CachedEngine {
     engine: PaceEngine,
     cache: Mutex<HashMap<Key, f64>>,
-    hits: AtomicU64,
+    /// Dense atomic snapshot of `cache` for in-bounds keys; slots hold
+    /// `f64::to_bits` values, [`FAST_EMPTY`] marks absence. Entries are
+    /// write-once between invalidations and the prediction for a key is
+    /// a pure function of the key, so readers can take a relaxed load
+    /// and trust whatever value they see.
+    fast: Box<[AtomicU64]>,
+    /// When false every hit is served through the locked map instead of
+    /// the dense table. Results are bit-identical either way; the switch
+    /// exists so benchmarks can measure the pre-fast-table hit path.
+    fast_enabled: bool,
+    /// Hits served through the locked map only; total hits are
+    /// `slow_hits + fast_hits`, keeping the fast-hit path at a single
+    /// atomic add.
+    slow_hits: AtomicU64,
     misses: AtomicU64,
+    fast_hits: AtomicU64,
     telemetry: Telemetry,
     // The cache has no notion of simulated time; the owning driver keeps
     // this stamp current (see `set_clock`) so miss events carry it.
@@ -70,11 +115,25 @@ impl CachedEngine {
         CachedEngine {
             engine: PaceEngine::new(),
             cache: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
+            fast: (0..FAST_SLOTS)
+                .map(|_| AtomicU64::new(FAST_EMPTY))
+                .collect(),
+            fast_enabled: true,
+            slow_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            fast_hits: AtomicU64::new(0),
             telemetry,
             clock: AtomicU64::new(0),
         }
+    }
+
+    /// Disable the dense fast table, routing every warm hit through the
+    /// locked map. Predictions are bit-identical either way — only the
+    /// hit path changes — so this is purely an ablation knob for
+    /// benchmarking the pre-fast-table behaviour (`bench hotpath`).
+    pub fn without_fast_table(mut self) -> Self {
+        self.fast_enabled = false;
+        self
     }
 
     /// Update the simulated-time stamp used on telemetry events. Cheap
@@ -85,16 +144,50 @@ impl CachedEngine {
 
     /// Predicted execution time in seconds; identical to
     /// [`PaceEngine::evaluate`] but served from the cache when possible.
+    ///
+    /// Warm in-bounds keys are served lock-free from the dense table.
+    /// A miss computes *outside* the lock (the engine is pure), then
+    /// re-checks under the insert lock: when two threads miss the same
+    /// key concurrently, exactly one counts a miss and publishes, the
+    /// other counts a hit and returns the published value — the values
+    /// are identical anyway since the engine is deterministic.
     pub fn evaluate(&self, app: &ApplicationModel, resource: &ResourceModel, nprocs: usize) -> f64 {
         let n = nprocs.clamp(1, resource.nproc);
         let key = (app.id.0, resource.platform.id, n as u32);
-        if let Some(t) = self.cache.lock().expect("cache lock").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+        let slot = if self.fast_enabled {
+            fast_slot(key)
+        } else {
+            None
+        };
+        if let Some(s) = slot {
+            let bits = self.fast[s].load(Ordering::Relaxed);
+            if bits != FAST_EMPTY {
+                self.fast_hits.fetch_add(1, Ordering::Relaxed);
+                return f64::from_bits(bits);
+            }
+        } else if let Some(t) = self.cache.lock().expect("cache lock").get(&key) {
+            self.slow_hits.fetch_add(1, Ordering::Relaxed);
             return *t;
         }
         let t = self.engine.evaluate(app, resource, n);
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            if let Some(&existing) = cache.get(&key) {
+                // Lost a concurrent-miss race: the other thread already
+                // published. Count ours as a hit so stats stay truthful.
+                drop(cache);
+                self.slow_hits.fetch_add(1, Ordering::Relaxed);
+                return existing;
+            }
+            cache.insert(key, t);
+            // Publish to the fast table under the same lock so
+            // `invalidate` (which clears both while holding it) can
+            // never interleave between map insert and fast publish.
+            if let Some(s) = slot {
+                self.fast[s].store(t.to_bits(), Ordering::Relaxed);
+            }
+        }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.cache.lock().expect("cache lock").insert(key, t);
         self.telemetry.emit(self.clock.load(Ordering::Relaxed), || {
             Event::CacheEvaluate {
                 app: app.id.0,
@@ -121,9 +214,11 @@ impl CachedEngine {
 
     /// Current hit/miss counters.
     pub fn stats(&self) -> CacheStats {
+        let fast_hits = self.fast_hits.load(Ordering::Relaxed);
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
+            hits: self.slow_hits.load(Ordering::Relaxed) + fast_hits,
             misses: self.misses.load(Ordering::Relaxed),
+            fast_hits,
         }
     }
 
@@ -137,14 +232,23 @@ impl CachedEngine {
         self.len() == 0
     }
 
-    /// Number of raw engine evaluations performed (equals misses).
+    /// Number of raw engine evaluations performed. Equals misses in
+    /// single-threaded use; concurrent misses on one key may evaluate
+    /// more than once (the duplicate is discarded and counted as a hit).
     pub fn engine_evaluations(&self) -> u64 {
         self.engine.evaluation_count()
     }
 
     /// Drop all cached entries (counters are retained).
     pub fn invalidate(&self) {
-        self.cache.lock().expect("cache lock").clear();
+        let mut cache = self.cache.lock().expect("cache lock");
+        cache.clear();
+        // Clear the fast table while holding the lock so no insert can
+        // interleave between the two clears and survive in one but not
+        // the other.
+        for slot in self.fast.iter() {
+            slot.store(FAST_EMPTY, Ordering::Relaxed);
+        }
     }
 }
 
@@ -176,8 +280,100 @@ mod tests {
         let t1 = c.evaluate(&a, &r, 2);
         let t2 = c.evaluate(&a, &r, 2);
         assert_eq!(t1, t2);
-        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                fast_hits: 1,
+            }
+        );
         assert_eq!(c.engine_evaluations(), 1);
+    }
+
+    #[test]
+    fn in_bounds_hits_are_served_by_the_fast_table() {
+        let c = CachedEngine::new();
+        let a = app(1);
+        let r = resource();
+        c.evaluate(&a, &r, 2);
+        assert_eq!(c.stats().fast_hits, 0, "a miss is not a fast hit");
+        for _ in 0..5 {
+            c.evaluate(&a, &r, 2);
+        }
+        let s = c.stats();
+        assert_eq!(s.hits, 5);
+        assert_eq!(s.fast_hits, 5, "warm in-bounds keys bypass the lock");
+    }
+
+    #[test]
+    fn out_of_bounds_keys_fall_back_to_the_map() {
+        let c = CachedEngine::new();
+        // App id 999 is beyond the dense table; the locked map must
+        // still serve it correctly.
+        let a = app(999);
+        let r = resource();
+        let t1 = c.evaluate(&a, &r, 2);
+        let t2 = c.evaluate(&a, &r, 2);
+        assert_eq!(t1, t2);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.fast_hits, 0);
+    }
+
+    #[test]
+    fn invalidate_clears_the_fast_table_too() {
+        let c = CachedEngine::new();
+        let a = app(1);
+        let r = resource();
+        c.evaluate(&a, &r, 2);
+        c.invalidate();
+        c.evaluate(&a, &r, 2);
+        assert_eq!(c.stats().misses, 2, "post-invalidate request re-evaluates");
+    }
+
+    #[test]
+    fn concurrent_misses_count_one_miss_and_agree() {
+        use std::sync::Barrier;
+        let c = CachedEngine::new();
+        let a = app(1);
+        let r = resource();
+        let barrier = Barrier::new(4);
+        let results: Vec<f64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        c.evaluate(&a, &r, 2)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("evaluate thread"))
+                .collect()
+        });
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 4, "every request is counted once");
+        assert_eq!(s.misses, 1, "only the insert-race winner counts a miss");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn fast_table_ablation_serves_identical_hits_from_the_map() {
+        let fast = CachedEngine::new();
+        let slow = CachedEngine::new().without_fast_table();
+        let a = app(1);
+        let r = resource();
+        for k in 1..=3 {
+            let t1 = fast.evaluate(&a, &r, k);
+            let t2 = slow.evaluate(&a, &r, k);
+            assert_eq!(t1.to_bits(), t2.to_bits());
+            assert_eq!(slow.evaluate(&a, &r, k).to_bits(), t2.to_bits());
+        }
+        assert_eq!(slow.stats().hits, 3);
+        assert_eq!(slow.stats().fast_hits, 0, "ablated hits bypass the table");
     }
 
     #[test]
@@ -252,9 +448,13 @@ mod tests {
 
     #[test]
     fn hit_ratio_bounds() {
-        let s = CacheStats { hits: 0, misses: 0 };
+        let s = CacheStats::default();
         assert_eq!(s.hit_ratio(), 0.0);
-        let s = CacheStats { hits: 3, misses: 1 };
+        let s = CacheStats {
+            hits: 3,
+            misses: 1,
+            fast_hits: 2,
+        };
         assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
     }
 }

@@ -55,11 +55,59 @@ pub struct BatchStart {
     pub completion: SimTime,
 }
 
+/// Reusable planning-ledger buffers: `try_start` and `plan_makespan`
+/// both rebuild a virtual free-time ledger per call, and the scheduler
+/// calls them on every completion — recycling the buffers mirrors the
+/// GA decoder's `DecodeScratch` and keeps the event loop allocation-free
+/// at steady state.
+#[derive(Clone, Debug, Default)]
+struct BatchScratch {
+    /// Virtual per-node free instants.
+    free_at: Vec<SimTime>,
+    /// `(free instant, node)` pairs sorted for shadow-time computation.
+    frees: Vec<(SimTime, usize)>,
+    /// Nodes free right now.
+    free_now: Vec<usize>,
+    /// Backfill candidate node picks.
+    pick: Vec<usize>,
+}
+
+impl BatchScratch {
+    /// Refill `free_at` from the resource's actual ledger at `now`.
+    fn load_ledger(&mut self, now: SimTime, resource: &GridResource) {
+        self.free_at.clear();
+        self.free_at
+            .extend((0..resource.nproc()).map(|i| resource.node_free_at(i).max(now)));
+    }
+
+    /// Refill `free_now` with available nodes whose ledger time is `now`.
+    fn collect_free_now(&mut self, now: SimTime, up: NodeMask) {
+        self.free_now.clear();
+        for i in 0..self.free_at.len() {
+            if up.contains(i) && self.free_at[i] <= now {
+                self.free_now.push(i);
+            }
+        }
+    }
+
+    /// Refill `frees` with available nodes sorted by (free time, node).
+    fn collect_sorted_frees(&mut self, up: NodeMask) {
+        self.frees.clear();
+        for i in 0..self.free_at.len() {
+            if up.contains(i) {
+                self.frees.push((self.free_at[i], i));
+            }
+        }
+        self.frees.sort();
+    }
+}
+
 /// The FCFS(+backfill) queue state.
 #[derive(Clone, Debug)]
 pub struct BatchPolicy {
     config: BatchConfig,
     queue: VecDeque<BatchJob>,
+    scratch: BatchScratch,
 }
 
 impl BatchPolicy {
@@ -68,6 +116,7 @@ impl BatchPolicy {
         BatchPolicy {
             config,
             queue: VecDeque::new(),
+            scratch: BatchScratch::default(),
         }
     }
 
@@ -96,89 +145,93 @@ impl BatchPolicy {
     /// Start every job the FCFS(+backfill) rules allow at `now`, against
     /// the resource's *actual* ledger. Call again after each completion.
     pub fn try_start(&mut self, now: SimTime, resource: &GridResource) -> Vec<BatchStart> {
+        let BatchPolicy {
+            config,
+            queue,
+            scratch,
+        } = self;
+        let config = *config;
         let mut started = Vec::new();
         // Virtual ledger so one pass can start several jobs.
-        let nproc = resource.nproc();
-        let mut free_at: Vec<SimTime> = (0..nproc)
-            .map(|i| resource.node_free_at(i).max(now))
-            .collect();
+        scratch.load_ledger(now, resource);
         let up = resource.available_mask();
 
         loop {
             let mut started_one = false;
             // 1. Start the head if its nodes are free now.
-            while let Some(head) = self.queue.front().copied() {
+            while let Some(head) = queue.front().copied() {
                 let want = head.nodes.min(up.count().max(1));
-                let free_now: Vec<usize> = (0..nproc)
-                    .filter(|i| up.contains(*i) && free_at[*i] <= now)
-                    .collect();
-                if free_now.len() < want {
+                scratch.collect_free_now(now, up);
+                if scratch.free_now.len() < want {
                     break;
                 }
-                let mask = NodeMask::from_indices(free_now.into_iter().take(want));
+                let mask = NodeMask::from_indices(scratch.free_now.iter().copied().take(want));
                 let completion = now + SimDuration::from_secs_f64(head.runtime_s);
                 for i in mask.iter() {
-                    free_at[i] = completion;
+                    scratch.free_at[i] = completion;
                 }
                 started.push(BatchStart {
                     id: head.id,
                     mask,
                     completion,
                 });
-                self.queue.pop_front();
+                queue.pop_front();
                 started_one = true;
             }
 
             // 2. EASY backfill: one scan over the rest of the queue.
-            if self.config.backfill {
-                if let Some(head) = self.queue.front().copied() {
+            if config.backfill {
+                if let Some(head) = queue.front().copied() {
                     let want = head.nodes.min(up.count().max(1));
                     // Shadow time: when the head could start (the want-th
                     // smallest free time over available nodes).
-                    let mut frees: Vec<(SimTime, usize)> = (0..nproc)
-                        .filter(|i| up.contains(*i))
-                        .map(|i| (free_at[i], i))
-                        .collect();
-                    frees.sort();
-                    let shadow = frees.get(want.saturating_sub(1)).map(|(t, _)| *t);
+                    scratch.collect_sorted_frees(up);
+                    let shadow = scratch.frees.get(want.saturating_sub(1)).map(|(t, _)| *t);
                     let reserved: NodeMask =
-                        NodeMask::from_indices(frees.iter().take(want).map(|(_, i)| *i));
+                        NodeMask::from_indices(scratch.frees.iter().take(want).map(|(_, i)| *i));
 
                     if let Some(shadow) = shadow {
                         let mut qi = 1;
-                        while qi < self.queue.len() {
-                            let job = self.queue[qi];
+                        while qi < queue.len() {
+                            let job = queue[qi];
                             let want_j = job.nodes.min(up.count().max(1));
-                            let free_now: Vec<usize> = (0..nproc)
-                                .filter(|i| up.contains(*i) && free_at[*i] <= now)
-                                .collect();
+                            scratch.collect_free_now(now, up);
                             // Prefer nodes outside the head's reservation.
-                            let mut pick: Vec<usize> = free_now
-                                .iter()
-                                .copied()
-                                .filter(|i| !reserved.contains(*i))
-                                .collect();
+                            scratch.pick.clear();
+                            scratch.pick.extend(
+                                scratch
+                                    .free_now
+                                    .iter()
+                                    .copied()
+                                    .filter(|i| !reserved.contains(*i)),
+                            );
                             let completion = now + SimDuration::from_secs_f64(job.runtime_s);
-                            if pick.len() < want_j {
+                            if scratch.pick.len() < want_j {
                                 // Borrow reserved-but-free nodes only if the
                                 // job returns them before the shadow time.
                                 if completion <= shadow {
-                                    pick.extend(
-                                        free_now.iter().copied().filter(|i| reserved.contains(*i)),
+                                    scratch.pick.extend(
+                                        scratch
+                                            .free_now
+                                            .iter()
+                                            .copied()
+                                            .filter(|i| reserved.contains(*i)),
                                     );
                                 }
                             }
-                            if pick.len() >= want_j {
-                                let mask = NodeMask::from_indices(pick.into_iter().take(want_j));
+                            if scratch.pick.len() >= want_j {
+                                let mask = NodeMask::from_indices(
+                                    scratch.pick.iter().copied().take(want_j),
+                                );
                                 for i in mask.iter() {
-                                    free_at[i] = completion;
+                                    scratch.free_at[i] = completion;
                                 }
                                 started.push(BatchStart {
                                     id: job.id,
                                     mask,
                                     completion,
                                 });
-                                self.queue.remove(qi);
+                                queue.remove(qi);
                                 started_one = true;
                                 // The reservation may have shifted; restart
                                 // the outer loop for a fresh shadow.
@@ -199,26 +252,22 @@ impl BatchPolicy {
 
     /// The plan makespan: simulate the remaining queue FCFS against the
     /// ledger and report when the last job would finish (the batch
-    /// system's freetime estimate for service advertisement).
-    pub fn plan_makespan(&self, now: SimTime, resource: &GridResource) -> SimTime {
-        let nproc = resource.nproc();
-        let mut free_at: Vec<SimTime> = (0..nproc)
-            .map(|i| resource.node_free_at(i).max(now))
-            .collect();
+    /// system's freetime estimate for service advertisement). Takes
+    /// `&mut self` only to reuse the scratch ledger; the queue is not
+    /// consumed.
+    pub fn plan_makespan(&mut self, now: SimTime, resource: &GridResource) -> SimTime {
+        let BatchPolicy { queue, scratch, .. } = self;
+        scratch.load_ledger(now, resource);
         let up = resource.available_mask();
         let navail = up.count().max(1);
-        let mut makespan = free_at.iter().copied().fold(now, SimTime::max);
-        for job in &self.queue {
+        let mut makespan = scratch.free_at.iter().copied().fold(now, SimTime::max);
+        for job in queue.iter() {
             let want = job.nodes.min(navail);
-            let mut frees: Vec<(SimTime, usize)> = (0..nproc)
-                .filter(|i| up.contains(*i))
-                .map(|i| (free_at[i], i))
-                .collect();
-            frees.sort();
-            let start = frees[want - 1].0;
+            scratch.collect_sorted_frees(up);
+            let start = scratch.frees[want - 1].0;
             let completion = start + SimDuration::from_secs_f64(job.runtime_s);
-            for (_, i) in frees.into_iter().take(want) {
-                free_at[i] = completion;
+            for &(_, i) in scratch.frees.iter().take(want) {
+                scratch.free_at[i] = completion;
             }
             makespan = makespan.max(completion);
         }

@@ -64,10 +64,29 @@ pub struct ScheduleCost {
 impl ScheduleCost {
     /// Extract the cost ingredients from a decoded schedule.
     pub fn of(schedule: &DecodedSchedule, weights: &CostWeights) -> ScheduleCost {
-        let horizon = schedule.makespan_rel_s.max(1e-9);
+        ScheduleCost::of_parts(
+            schedule.makespan_rel_s,
+            &schedule.idle_pockets,
+            schedule.lateness_s,
+            schedule.alloc_node_s,
+            weights,
+        )
+    }
+
+    /// [`ScheduleCost::of`] over loose ingredients, for callers that keep
+    /// the idle pockets in a reusable scratch buffer instead of a
+    /// [`DecodedSchedule`]. `of` delegates here, so the two paths share
+    /// one implementation and cannot drift apart numerically.
+    pub fn of_parts(
+        makespan_rel_s: f64,
+        idle_pockets: &[(f64, f64)],
+        lateness_s: f64,
+        alloc_node_s: f64,
+        weights: &CostWeights,
+    ) -> ScheduleCost {
+        let horizon = makespan_rel_s.max(1e-9);
         let ew = weights.idle_early_weight.max(1.0);
-        let weighted_idle_s = schedule
-            .idle_pockets
+        let weighted_idle_s = idle_pockets
             .iter()
             .map(|(offset, len)| {
                 let rel = (offset / horizon).clamp(0.0, 1.0);
@@ -76,10 +95,10 @@ impl ScheduleCost {
             })
             .sum();
         ScheduleCost {
-            makespan_s: schedule.makespan_rel_s,
+            makespan_s: makespan_rel_s,
             weighted_idle_s,
-            lateness_s: schedule.lateness_s,
-            alloc_node_s: schedule.alloc_node_s,
+            lateness_s,
+            alloc_node_s,
         }
     }
 

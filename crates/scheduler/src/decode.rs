@@ -59,8 +59,20 @@ impl ResourceView {
     /// The `k` available nodes with the earliest free times.
     pub fn earliest_k(&self, k: usize) -> NodeMask {
         let mut nodes: Vec<usize> = self.available.iter().collect();
-        nodes.sort_by_key(|i| (self.node_free[*i], *i));
-        NodeMask::from_indices(nodes.into_iter().take(k))
+        if k < nodes.len() {
+            if k == 0 {
+                nodes.clear();
+            } else {
+                // Partition the k earliest to the front instead of sorting
+                // all of them; the (free time, index) key is a total order,
+                // so the selected *set* — and therefore the mask, which is
+                // order-insensitive — is identical to the full sort's,
+                // ties resolving to lower node indices.
+                nodes.select_nth_unstable_by_key(k - 1, |i| (self.node_free[*i], *i));
+                nodes.truncate(k);
+            }
+        }
+        NodeMask::from_indices(nodes)
     }
 
     /// Number of available nodes.
@@ -117,6 +129,57 @@ impl DecodedSchedule {
     }
 }
 
+/// Reusable decode buffers. The GA evaluates population × generations
+/// solutions per evolve call; decoding into a scratch instead of fresh
+/// `Vec`s eliminates three heap allocations per evaluation (node-free
+/// times, placements, idle pockets) while producing bit-identical
+/// results — [`decode`] itself is a thin wrapper over [`decode_into`].
+#[derive(Clone, Debug, Default)]
+pub struct DecodeScratch {
+    /// Working copy of the per-node free times.
+    node_free: Vec<SimTime>,
+    /// Placements in execution order (output).
+    pub placements: Vec<Placement>,
+    /// Idle pockets as `(offset_s from now, length_s)` pairs (output).
+    pub idle_pockets: Vec<(f64, f64)>,
+    /// Decodes served by already-warm buffers (telemetry).
+    reuses: u64,
+}
+
+impl DecodeScratch {
+    /// Decodes that recycled previously allocated buffers.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// Reset the buffers for one decode against `view`.
+    fn begin(&mut self, view: &ResourceView) {
+        if !self.node_free.is_empty() {
+            self.reuses += 1;
+        }
+        self.node_free.clear();
+        self.node_free.extend_from_slice(&view.node_free);
+        self.placements.clear();
+        self.idle_pockets.clear();
+    }
+}
+
+/// The scalar outputs of one scratch decode; the vector outputs
+/// (placements, idle pockets) stay in the [`DecodeScratch`].
+#[derive(Clone, Copy, Debug)]
+pub struct DecodeSummary {
+    /// Makespan ω as an absolute instant.
+    pub makespan: SimTime,
+    /// ω relative to the planning instant, in seconds.
+    pub makespan_rel_s: f64,
+    /// Total contract penalty θ in seconds.
+    pub lateness_s: f64,
+    /// Tasks missing their deadline.
+    pub missed_deadlines: usize,
+    /// Total allocated node-time α in node-seconds.
+    pub alloc_node_s: f64,
+}
+
 /// Decode `solution` for `tasks` against the resource snapshot `view`,
 /// querying predictions through `engine`.
 ///
@@ -129,10 +192,34 @@ pub fn decode(
     solution: &Solution,
     engine: &CachedEngine,
 ) -> DecodedSchedule {
+    let mut scratch = DecodeScratch::default();
+    let summary = decode_into(view, tasks, solution, engine, &mut scratch);
+    DecodedSchedule {
+        makespan: summary.makespan,
+        makespan_rel_s: summary.makespan_rel_s,
+        idle_pockets: scratch.idle_pockets,
+        lateness_s: summary.lateness_s,
+        missed_deadlines: summary.missed_deadlines,
+        alloc_node_s: summary.alloc_node_s,
+        placements: scratch.placements,
+    }
+}
+
+/// [`decode`] into reusable buffers: placements and idle pockets land in
+/// `scratch`, the scalars come back as a [`DecodeSummary`]. This is the
+/// single decode implementation — the allocating form delegates here —
+/// so scratch reuse cannot change a result bit.
+pub fn decode_into(
+    view: &ResourceView,
+    tasks: &[Task],
+    solution: &Solution,
+    engine: &CachedEngine,
+    scratch: &mut DecodeScratch,
+) -> DecodeSummary {
     debug_assert_eq!(solution.len(), tasks.len());
-    let mut node_free = view.node_free.clone();
-    let mut placements = Vec::with_capacity(solution.len());
-    let mut idle_pockets = Vec::new();
+    scratch.begin(view);
+    let node_free = &mut scratch.node_free;
+    scratch.placements.reserve(solution.len());
     let mut makespan = view.now;
     let mut lateness_s = 0.0;
     let mut missed = 0usize;
@@ -152,10 +239,15 @@ pub fn decode(
         let completion = start + SimDuration::from_secs_f64(exec_s);
         alloc_node_s += mask.count() as f64 * exec_s;
         for i in mask.iter() {
-            let gap = start.saturating_since(node_free[i]).as_secs_f64();
-            if gap > 0.0 {
-                let offset = node_free[i].saturating_since(view.now).as_secs_f64();
-                idle_pockets.push((offset, gap));
+            let free = node_free[i];
+            // Integer compare before any float conversion: `gap > 0`
+            // iff `free < start` in ticks, and most node visits open no
+            // pocket, so the two tick→seconds divisions only run for
+            // the visits that do. Surviving pockets are bit-identical.
+            if free < start {
+                let gap = start.saturating_since(free).as_secs_f64();
+                let offset = free.saturating_since(view.now).as_secs_f64();
+                scratch.idle_pockets.push((offset, gap));
             }
             node_free[i] = completion;
         }
@@ -164,7 +256,7 @@ pub fn decode(
             missed += 1;
         }
         makespan = makespan.max(completion);
-        placements.push(Placement {
+        scratch.placements.push(Placement {
             task: task_idx,
             mask,
             start,
@@ -172,14 +264,12 @@ pub fn decode(
         });
     }
 
-    DecodedSchedule {
+    DecodeSummary {
         makespan,
         makespan_rel_s: makespan.saturating_since(view.now).as_secs_f64(),
-        idle_pockets,
         lateness_s,
         missed_deadlines: missed,
         alloc_node_s,
-        placements,
     }
 }
 
@@ -406,6 +496,57 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn earliest_k_breaks_free_time_ties_by_lower_index() {
+        // Nodes 0, 2, 3 all free at the same instant; equal free times
+        // must resolve to the lowest indices, exactly as the former full
+        // sort by (free time, index) did.
+        let mut r = GridResource::new("S1", Platform::sgi_origin2000(), 4);
+        r.commit(1, NodeMask::single(1), SimTime::ZERO, SimTime::from_secs(9));
+        let v = ResourceView::snapshot(&r, SimTime::ZERO).unwrap();
+        assert_eq!(v.earliest_k(0), NodeMask::from_indices(std::iter::empty()));
+        assert_eq!(v.earliest_k(1), NodeMask::single(0));
+        assert_eq!(v.earliest_k(2), NodeMask::from_indices([0, 2]));
+        assert_eq!(v.earliest_k(3), NodeMask::from_indices([0, 2, 3]));
+        // k at or past the available count returns every available node.
+        assert_eq!(v.earliest_k(4), NodeMask::from_indices([0, 1, 2, 3]));
+        assert_eq!(v.earliest_k(99), NodeMask::from_indices([0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn scratch_decode_matches_fresh_decode() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let engine = CachedEngine::new();
+        let a = app(vec![8.0, 5.0, 4.0, 3.0]);
+        let tasks: Vec<Task> = (0..10).map(|i| task(i, a.clone(), 40)).collect();
+        let v = view(4);
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut scratch = DecodeScratch::default();
+        for _ in 0..25 {
+            let sol = Solution::random(10, 4, &mut rng);
+            let fresh = decode(&v, &tasks, &sol, &engine);
+            let summary = decode_into(&v, &tasks, &sol, &engine, &mut scratch);
+            assert_eq!(scratch.placements, fresh.placements);
+            assert_eq!(scratch.idle_pockets, fresh.idle_pockets);
+            assert_eq!(summary.makespan, fresh.makespan);
+            // Bit-level equality: the scratch path must run the exact
+            // same float operations as the allocating path.
+            assert_eq!(
+                summary.makespan_rel_s.to_bits(),
+                fresh.makespan_rel_s.to_bits()
+            );
+            assert_eq!(summary.lateness_s.to_bits(), fresh.lateness_s.to_bits());
+            assert_eq!(summary.alloc_node_s.to_bits(), fresh.alloc_node_s.to_bits());
+            assert_eq!(summary.missed_deadlines, fresh.missed_deadlines);
+        }
+        assert_eq!(
+            scratch.reuses(),
+            24,
+            "every decode after the first recycles"
+        );
     }
 
     #[test]

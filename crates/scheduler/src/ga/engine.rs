@@ -10,8 +10,9 @@
 //! the paper highlights as the reason for choosing an evolutionary method.
 
 use crate::cost::{scale_fitness, CostWeights, ScheduleCost};
-use crate::decode::{decode, DecodedSchedule, ResourceView};
+use crate::decode::{decode, decode_into, DecodeScratch, DecodedSchedule, ResourceView};
 use crate::ga::ops::{crossover, mutate};
+use crate::ga::par;
 use crate::ga::select::stochastic_remainder;
 use crate::solution::Solution;
 use crate::task::Task;
@@ -41,6 +42,23 @@ pub struct GaConfig {
     pub elitism: usize,
     /// Cost-function weights (eq. 8).
     pub weights: CostWeights,
+    /// OS threads for population fitness evaluation (1 = sequential).
+    /// Results are bit-identical for any value — parallelism only moves
+    /// chunk boundaries, never an RNG draw (see [`crate::ga::par`]).
+    /// Defaults from the `GA_THREADS` environment variable when set.
+    pub threads: usize,
+    /// Reuse per-worker [`DecodeScratch`] buffers between evaluations
+    /// (false = allocate fresh per decode, the pre-optimisation path;
+    /// kept as an ablation/regression knob — results are identical).
+    pub reuse_scratch: bool,
+}
+
+/// Evaluation-thread default: `GA_THREADS` when set and sane, else 1.
+fn threads_from_env() -> usize {
+    std::env::var("GA_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(1, |n| n.clamp(1, 64))
 }
 
 impl Default for GaConfig {
@@ -54,6 +72,8 @@ impl Default for GaConfig {
             bit_mutation_rate: 0.02,
             elitism: 2,
             weights: CostWeights::default(),
+            threads: threads_from_env(),
+            reuse_scratch: true,
         }
     }
 }
@@ -79,6 +99,11 @@ pub struct GaScheduler {
     telemetry: Telemetry,
     /// Resource name stamped on telemetry events.
     label: String,
+    /// One reusable decode scratch per evaluation worker, persisted
+    /// across evolve calls so warm buffers keep their capacity.
+    scratches: Vec<DecodeScratch>,
+    /// Reusable per-generation cost slots.
+    costs: Vec<f64>,
 }
 
 impl GaScheduler {
@@ -96,6 +121,8 @@ impl GaScheduler {
             ntasks: 0,
             telemetry: Telemetry::disabled(),
             label: String::new(),
+            scratches: Vec::new(),
+            costs: Vec::new(),
         }
     }
 
@@ -176,13 +203,44 @@ impl GaScheduler {
         let stats_before = self.telemetry.is_enabled().then(|| engine.stats());
 
         let weights = self.config.weights;
-        let evaluate = |sol: &Solution| -> (DecodedSchedule, f64) {
-            let d = decode(view, tasks, sol, engine);
-            let c = ScheduleCost::of(&d, &weights).combined(&weights);
-            (d, c)
+        let threads = self.config.threads.max(1);
+        let reuse = self.config.reuse_scratch;
+        // Pure per-solution cost: everything captured is frozen for the
+        // duration of the call, so evaluation order cannot matter.
+        let eval_cost = |sol: &Solution, scratch: &mut DecodeScratch| -> f64 {
+            if reuse {
+                let s = decode_into(view, tasks, sol, engine, scratch);
+                ScheduleCost::of_parts(
+                    s.makespan_rel_s,
+                    &scratch.idle_pockets,
+                    s.lateness_s,
+                    s.alloc_node_s,
+                    &weights,
+                )
+                .combined(&weights)
+            } else {
+                let d = decode(view, tasks, sol, engine);
+                ScheduleCost::of(&d, &weights).combined(&weights)
+            }
         };
 
-        let mut costs: Vec<f64> = self.population.iter().map(|s| evaluate(s).1).collect();
+        // Hot-path accounting (pure functions of sizes; telemetry only).
+        let reuses_before: u64 = self.scratches.iter().map(DecodeScratch::reuses).sum();
+        let mut evaluations: u64 = 0;
+        let mut util_sum = 0.0;
+        let mut passes = 0u32;
+
+        let mut costs = std::mem::take(&mut self.costs);
+        let stats = par::evaluate_into(
+            threads,
+            &self.population,
+            &mut costs,
+            &mut self.scratches,
+            &eval_cost,
+        );
+        evaluations += stats.evaluated as u64;
+        util_sum += stats.utilisation();
+        passes += 1;
         let (mut best_idx, mut best_cost) = argmin(&costs);
         let mut best_solution = self.population[best_idx].clone();
         let mut stall = 0usize;
@@ -237,7 +295,16 @@ impl GaScheduler {
             }
 
             self.population = next;
-            costs = self.population.iter().map(|s| evaluate(s).1).collect();
+            let stats = par::evaluate_into(
+                threads,
+                &self.population,
+                &mut costs,
+                &mut self.scratches,
+                &eval_cost,
+            );
+            evaluations += stats.evaluated as u64;
+            util_sum += stats.utilisation();
+            passes += 1;
             let (gen_best_idx, gen_best_cost) = argmin(&costs);
             self.telemetry.emit(t_now, || Event::GaGeneration {
                 resource: self.label.clone(),
@@ -256,7 +323,9 @@ impl GaScheduler {
         }
 
         let _ = best_idx;
-        let (schedule, cost) = evaluate(&best_solution);
+        self.costs = costs;
+        let schedule = decode(view, tasks, &best_solution, engine);
+        let cost = ScheduleCost::of(&schedule, &weights).combined(&weights);
         if let (Some(wall), Some(before)) = (wall_start, stats_before) {
             let after = engine.stats();
             let converged = stall >= self.config.stall_generations;
@@ -269,6 +338,21 @@ impl GaScheduler {
                 wall_us,
                 cache_hits: after.hits.saturating_sub(before.hits),
                 cache_misses: after.misses.saturating_sub(before.misses),
+            });
+            let reuses_after: u64 = self.scratches.iter().map(DecodeScratch::reuses).sum();
+            let wall_s = (wall_us as f64 / 1e6).max(1e-9);
+            self.telemetry.emit(t_now, || Event::GaHotPath {
+                resource: self.label.clone(),
+                threads: threads as u32,
+                evaluations,
+                evals_per_sec: evaluations as f64 / wall_s,
+                scratch_reuses: reuses_after.saturating_sub(reuses_before),
+                fast_hits: after.fast_hits.saturating_sub(before.fast_hits),
+                pool_utilisation: if passes > 0 {
+                    util_sum / f64::from(passes)
+                } else {
+                    0.0
+                },
             });
         }
         EvolveOutcome {
@@ -532,6 +616,34 @@ mod tests {
         let out2 = ga(7).evolve(&v, &tasks, &engine2);
         assert_eq!(out1.cost, out2.cost);
         assert_eq!(out1.schedule.placements, out2.schedule.placements);
+    }
+
+    #[test]
+    fn thread_count_and_scratch_mode_do_not_change_the_outcome() {
+        let a = app(vec![12.0, 7.0, 5.0, 4.0]);
+        let tasks: Vec<Task> = (0..6).map(|i| task(i, a.clone(), 50)).collect();
+        let v = view(4);
+        let run = |threads: usize, reuse_scratch: bool| {
+            let engine = CachedEngine::new();
+            let config = GaConfig {
+                threads,
+                reuse_scratch,
+                ..GaConfig::default()
+            };
+            let mut g = GaScheduler::new(config, RngStream::root(7).derive("ga"));
+            g.evolve(&v, &tasks, &engine)
+        };
+        let base = run(1, true);
+        for (threads, reuse) in [(4, true), (8, true), (1, false), (4, false)] {
+            let out = run(threads, reuse);
+            assert_eq!(
+                out.cost.to_bits(),
+                base.cost.to_bits(),
+                "threads={threads} reuse={reuse}"
+            );
+            assert_eq!(out.schedule.placements, base.schedule.placements);
+            assert_eq!(out.generations, base.generations);
+        }
     }
 
     #[test]

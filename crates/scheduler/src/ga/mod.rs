@@ -10,9 +10,11 @@
 //! * [`ops`] — the two-part crossover and mutation operators.
 //! * [`select`] — stochastic remainder selection.
 //! * [`engine`] — the evolving population with task add/remove absorption.
+//! * [`par`] — deterministic population-parallel fitness evaluation.
 
 pub mod engine;
 pub mod ops;
+pub mod par;
 pub mod select;
 
 pub use engine::{GaConfig, GaScheduler};

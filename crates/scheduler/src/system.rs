@@ -408,7 +408,7 @@ impl SchedulerSystem {
                 completion,
             });
         }
-        let PolicyState::Batch(batch) = &self.policy else {
+        let PolicyState::Batch(batch) = &mut self.policy else {
             unreachable!("policy changed mid-call");
         };
         self.plan_makespan = batch.plan_makespan(now, &self.resource);

@@ -26,39 +26,46 @@ impl SimTime {
     pub const MAX: SimTime = SimTime(u64::MAX);
 
     /// Construct from whole seconds.
+    #[inline]
     pub fn from_secs(secs: u64) -> Self {
         SimTime(secs * TICKS_PER_SEC)
     }
 
     /// Construct from fractional seconds. Negative or non-finite inputs
     /// saturate to zero; this keeps prediction arithmetic total.
+    #[inline]
     pub fn from_secs_f64(secs: f64) -> Self {
         SimTime(secs_f64_to_ticks(secs))
     }
 
     /// Construct from raw microsecond ticks.
+    #[inline]
     pub fn from_ticks(ticks: u64) -> Self {
         SimTime(ticks)
     }
 
     /// The raw microsecond tick count.
+    #[inline]
     pub fn ticks(self) -> u64 {
         self.0
     }
 
     /// This instant as fractional seconds.
+    #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / TICKS_PER_SEC as f64
     }
 
     /// Duration elapsed since `earlier`, saturating to zero if `earlier`
     /// is actually later.
+    #[inline]
     pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
     }
 
     /// Signed distance to `other` in seconds (`self - other`); positive when
     /// `self` is later. Used by the ε metric where deadlines may be missed.
+    #[inline]
     pub fn signed_secs_since(self, other: SimTime) -> f64 {
         if self.0 >= other.0 {
             (self.0 - other.0) as f64 / TICKS_PER_SEC as f64
@@ -68,6 +75,7 @@ impl SimTime {
     }
 
     /// The later of two instants.
+    #[inline]
     pub fn max(self, other: SimTime) -> SimTime {
         if self.0 >= other.0 {
             self
@@ -82,31 +90,37 @@ impl SimDuration {
     pub const ZERO: SimDuration = SimDuration(0);
 
     /// Construct from whole seconds.
+    #[inline]
     pub fn from_secs(secs: u64) -> Self {
         SimDuration(secs * TICKS_PER_SEC)
     }
 
     /// Construct from fractional seconds, saturating at zero.
+    #[inline]
     pub fn from_secs_f64(secs: f64) -> Self {
         SimDuration(secs_f64_to_ticks(secs))
     }
 
     /// Construct from raw microsecond ticks.
+    #[inline]
     pub fn from_ticks(ticks: u64) -> Self {
         SimDuration(ticks)
     }
 
     /// The raw microsecond tick count.
+    #[inline]
     pub fn ticks(self) -> u64 {
         self.0
     }
 
     /// This span as fractional seconds.
+    #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / TICKS_PER_SEC as f64
     }
 
     /// True if the span is zero.
+    #[inline]
     pub fn is_zero(self) -> bool {
         self.0 == 0
     }
@@ -129,12 +143,14 @@ fn secs_f64_to_ticks(secs: f64) -> u64 {
 
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
+    #[inline]
     fn add(self, rhs: SimDuration) -> SimTime {
         SimTime(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign<SimDuration> for SimTime {
+    #[inline]
     fn add_assign(&mut self, rhs: SimDuration) {
         self.0 = self.0.saturating_add(rhs.0);
     }
@@ -144,6 +160,7 @@ impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     /// Panics in debug builds if `rhs` is later than `self`; use
     /// [`SimTime::saturating_since`] when that is possible.
+    #[inline]
     fn sub(self, rhs: SimTime) -> SimDuration {
         debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
         SimDuration(self.0.saturating_sub(rhs.0))
@@ -152,12 +169,14 @@ impl Sub<SimTime> for SimTime {
 
 impl Add for SimDuration {
     type Output = SimDuration;
+    #[inline]
     fn add(self, rhs: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_add(rhs.0))
     }
 }
 
 impl AddAssign for SimDuration {
+    #[inline]
     fn add_assign(&mut self, rhs: SimDuration) {
         self.0 = self.0.saturating_add(rhs.0);
     }

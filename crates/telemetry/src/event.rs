@@ -97,6 +97,25 @@ pub enum Event {
         /// Evaluation-cache misses during the call.
         cache_misses: u64,
     },
+    /// Hot-path performance counters for one GA evolve call: how fast
+    /// the fitness loop ran and which optimisations carried it. All
+    /// payloads are observations — they never feed back into scheduling.
+    GaHotPath {
+        /// Resource running the GA.
+        resource: String,
+        /// Evaluation threads in force for the call.
+        threads: u32,
+        /// Population fitness evaluations performed.
+        evaluations: u64,
+        /// Evaluations per wall-clock second (host time).
+        evals_per_sec: f64,
+        /// Evaluations that recycled a warm decode scratch.
+        scratch_reuses: u64,
+        /// Cache hits served lock-free from the dense fast table.
+        fast_hits: u64,
+        /// Mean fraction of worker slots doing useful work, `[0, 1]`.
+        pool_utilisation: f64,
+    },
     /// The evaluation cache missed and consulted the PACE engine.
     CacheEvaluate {
         /// Application model id.
@@ -183,6 +202,7 @@ impl Event {
             Event::TaskReject { .. } => "task_reject",
             Event::GaGeneration { .. } => "ga_generation",
             Event::GaEvolve { .. } => "ga_evolve",
+            Event::GaHotPath { .. } => "ga_hot_path",
             Event::CacheEvaluate { .. } => "cache_evaluate",
             Event::Advertise { .. } => "advertise",
             Event::Discovery { .. } => "discovery",
@@ -203,7 +223,8 @@ impl Event {
             | Event::TaskDeadlineMiss { resource, .. }
             | Event::TaskReject { resource, .. }
             | Event::GaGeneration { resource, .. }
-            | Event::GaEvolve { resource, .. } => resource,
+            | Event::GaEvolve { resource, .. }
+            | Event::GaHotPath { resource, .. } => resource,
             Event::TaskDispatch { to, .. } => to,
             Event::Advertise { to, .. } => to,
             Event::Discovery { agent, .. } => agent,
@@ -304,6 +325,23 @@ impl TimedEvent {
                 push("wall_us", json::num(*wall_us as f64));
                 push("cache_hits", json::num(*cache_hits as f64));
                 push("cache_misses", json::num(*cache_misses as f64));
+            }
+            Event::GaHotPath {
+                resource,
+                threads,
+                evaluations,
+                evals_per_sec,
+                scratch_reuses,
+                fast_hits,
+                pool_utilisation,
+            } => {
+                push("resource", json::s(resource.clone()));
+                push("threads", json::num(f64::from(*threads)));
+                push("evaluations", json::num(*evaluations as f64));
+                push("evals_per_sec", json::num(*evals_per_sec));
+                push("scratch_reuses", json::num(*scratch_reuses as f64));
+                push("fast_hits", json::num(*fast_hits as f64));
+                push("pool_utilisation", json::num(*pool_utilisation));
             }
             Event::CacheEvaluate {
                 app,
@@ -414,6 +452,15 @@ impl TimedEvent {
                 cache_hits: u64_field("cache_hits")?,
                 cache_misses: u64_field("cache_misses")?,
             },
+            "ga_hot_path" => Event::GaHotPath {
+                resource: str_field("resource")?,
+                threads: u32_field("threads")?,
+                evaluations: u64_field("evaluations")?,
+                evals_per_sec: f64_field("evals_per_sec")?,
+                scratch_reuses: u64_field("scratch_reuses")?,
+                fast_hits: u64_field("fast_hits")?,
+                pool_utilisation: f64_field("pool_utilisation")?,
+            },
             "cache_evaluate" => Event::CacheEvaluate {
                 app: u32_field("app")?,
                 platform: u32_field("platform")?,
@@ -503,6 +550,15 @@ pub(crate) fn one_of_each_variant() -> Vec<TimedEvent> {
             wall_us: 1234,
             cache_hits: 900,
             cache_misses: 100,
+        },
+        Event::GaHotPath {
+            resource: name("S1"),
+            threads: 4,
+            evaluations: 1640,
+            evals_per_sec: 250_000.0,
+            scratch_reuses: 1630,
+            fast_hits: 15_000,
+            pool_utilisation: 0.875,
         },
         Event::CacheEvaluate {
             app: 3,

@@ -52,6 +52,47 @@ fn telemetry_does_not_perturb_the_run() {
 }
 
 #[test]
+fn ga_threads_do_not_perturb_the_run() {
+    // Parallel fitness evaluation must not change a single scheduling
+    // decision: costs land in per-index slots and every RNG draw stays
+    // on the driving thread, so any thread count reproduces the
+    // sequential run byte for byte.
+    let (topology, workload) = small();
+    let design = ExperimentDesign::experiment3();
+    let mut opts = RunOptions::fast();
+    opts.ga.threads = 1;
+    let sequential = run_experiment(&design, &topology, &workload, &opts);
+    for threads in [2, 4, 8] {
+        let mut opts = RunOptions::fast();
+        opts.ga.threads = threads;
+        let parallel = run_experiment(&design, &topology, &workload, &opts);
+        assert_eq!(sequential, parallel, "threads={threads}");
+        assert_eq!(
+            sequential.to_json(),
+            parallel.to_json(),
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn scratch_reuse_does_not_perturb_the_run() {
+    // The allocation-free decode path must be a pure mechanical change:
+    // reusing scratch buffers reproduces the fresh-allocation run byte
+    // for byte.
+    let (topology, workload) = small();
+    let design = ExperimentDesign::experiment3();
+    let mut opts = RunOptions::fast();
+    opts.ga.reuse_scratch = false;
+    let fresh = run_experiment(&design, &topology, &workload, &opts);
+    let mut opts = RunOptions::fast();
+    opts.ga.reuse_scratch = true;
+    let reused = run_experiment(&design, &topology, &workload, &opts);
+    assert_eq!(fresh, reused);
+    assert_eq!(fresh.to_json(), reused.to_json());
+}
+
+#[test]
 fn different_seeds_give_different_runs() {
     let (topology, mut workload) = small();
     let design = ExperimentDesign::experiment3();
