@@ -2,13 +2,21 @@
 //!
 //! "In the experimental system, each agent maintains a set of service
 //! information for the other agents in the system." The ACT maps a
-//! neighbour agent's name to the most recent [`ServiceInfo`] received from
-//! it, with the receipt timestamp. Entries go stale between
+//! neighbour agent's [`ResourceId`] to the most recent [`ServiceInfo`]
+//! received from it, with the receipt timestamp. Entries go stale between
 //! advertisements — that staleness is part of the system being
 //! reproduced, so the table never invents freshness.
+//!
+//! Keys are interned ids rather than names: an advertisement update is a
+//! 4-byte key insert instead of a `String` allocation plus string-compare
+//! walk, and because ids are assigned in lexicographic name order (see
+//! `agentgrid_telemetry::NameTable`), id-ordered iteration reproduces the
+//! legacy name-ordered iteration — and therefore matchmaking tie-breaking
+//! — exactly.
 
 use crate::info::ServiceInfo;
 use agentgrid_sim::{SimDuration, SimTime};
+use agentgrid_telemetry::ResourceId;
 use std::collections::BTreeMap;
 
 /// One ACT row.
@@ -20,12 +28,12 @@ pub struct ActEntry {
     pub received_at: SimTime,
 }
 
-/// An agent's view of its neighbours' services (keyed by agent name;
-/// `BTreeMap` so iteration order — and therefore tie-breaking in
-/// matchmaking — is deterministic).
+/// An agent's view of its neighbours' services (keyed by interned agent
+/// id; `BTreeMap` so iteration order — and therefore tie-breaking in
+/// matchmaking — is deterministic and equal to name order).
 #[derive(Clone, Debug, Default)]
 pub struct Act {
-    entries: BTreeMap<String, ActEntry>,
+    entries: BTreeMap<ResourceId, ActEntry>,
 }
 
 impl Act {
@@ -36,9 +44,9 @@ impl Act {
 
     /// Record service info received from `agent` at `now`, replacing any
     /// previous entry.
-    pub fn update(&mut self, agent: &str, info: ServiceInfo, now: SimTime) {
+    pub fn update(&mut self, agent: ResourceId, info: ServiceInfo, now: SimTime) {
         self.entries.insert(
-            agent.to_string(),
+            agent,
             ActEntry {
                 info,
                 received_at: now,
@@ -47,13 +55,13 @@ impl Act {
     }
 
     /// The current entry for `agent`.
-    pub fn get(&self, agent: &str) -> Option<&ActEntry> {
-        self.entries.get(agent)
+    pub fn get(&self, agent: ResourceId) -> Option<&ActEntry> {
+        self.entries.get(&agent)
     }
 
-    /// All entries in name order.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, &ActEntry)> {
-        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    /// All entries in id order (== lexicographic name order).
+    pub fn iter(&self) -> impl Iterator<Item = (ResourceId, &ActEntry)> {
+        self.entries.iter().map(|(k, v)| (*k, v))
     }
 
     /// Number of known neighbours.
@@ -67,7 +75,7 @@ impl Act {
     }
 
     /// Age of the entry for `agent` at `now`.
-    pub fn age(&self, agent: &str, now: SimTime) -> Option<SimDuration> {
+    pub fn age(&self, agent: ResourceId, now: SimTime) -> Option<SimDuration> {
         self.get(agent).map(|e| now.saturating_since(e.received_at))
     }
 
@@ -84,17 +92,17 @@ impl Act {
     /// maintains a set of service information for the other agents in
     /// the system" while only ever talking to its neighbours). Entries
     /// about `skip` (the merging agent itself) are ignored.
-    pub fn merge(&mut self, other: &Act, skip: &str) {
-        for (name, entry) in other.iter() {
-            if name == skip {
+    pub fn merge(&mut self, other: &Act, skip: ResourceId) {
+        for (id, entry) in other.iter() {
+            if id == skip {
                 continue;
             }
             let fresher = self
                 .entries
-                .get(name)
+                .get(&id)
                 .is_none_or(|mine| entry.received_at > mine.received_at);
             if fresher {
-                self.entries.insert(name.to_string(), entry.clone());
+                self.entries.insert(id, entry.clone());
             }
         }
     }
@@ -106,13 +114,21 @@ mod tests {
     use crate::info::Endpoint;
     use agentgrid_cluster::ExecEnv;
 
+    // Ids in these unit tests are arbitrary dense handles; the names they
+    // would intern to are irrelevant to ACT semantics.
+    const ME: ResourceId = ResourceId(0);
+    const S2: ResourceId = ResourceId(2);
+    const S5: ResourceId = ResourceId(5);
+    const S9: ResourceId = ResourceId(9);
+    const S11: ResourceId = ResourceId(11);
+
     fn info(freetime_s: u64) -> ServiceInfo {
         ServiceInfo {
             agent: Endpoint::new("host", 1000),
             local: Endpoint::new("host", 10000),
             machine_type: "SunUltra5".into(),
             nproc: 16,
-            environments: vec![ExecEnv::Test],
+            environments: vec![ExecEnv::Test].into(),
             freetime: SimTime::from_secs(freetime_s),
         }
     }
@@ -120,10 +136,10 @@ mod tests {
     #[test]
     fn update_replaces_previous_entry() {
         let mut act = Act::new();
-        act.update("S2", info(10), SimTime::from_secs(1));
-        act.update("S2", info(50), SimTime::from_secs(11));
+        act.update(S2, info(10), SimTime::from_secs(1));
+        act.update(S2, info(50), SimTime::from_secs(11));
         assert_eq!(act.len(), 1);
-        let e = act.get("S2").unwrap();
+        let e = act.get(S2).unwrap();
         assert_eq!(e.info.freetime, SimTime::from_secs(50));
         assert_eq!(e.received_at, SimTime::from_secs(11));
     }
@@ -131,68 +147,70 @@ mod tests {
     #[test]
     fn age_reflects_receipt_time() {
         let mut act = Act::new();
-        act.update("S2", info(10), SimTime::from_secs(5));
+        act.update(S2, info(10), SimTime::from_secs(5));
         assert_eq!(
-            act.age("S2", SimTime::from_secs(15)),
+            act.age(S2, SimTime::from_secs(15)),
             Some(SimDuration::from_secs(10))
         );
-        assert_eq!(act.age("S9", SimTime::from_secs(15)), None);
+        assert_eq!(act.age(S9, SimTime::from_secs(15)), None);
     }
 
     #[test]
-    fn iteration_is_name_ordered() {
+    fn iteration_is_id_ordered() {
         let mut act = Act::new();
-        act.update("S9", info(1), SimTime::ZERO);
-        act.update("S2", info(1), SimTime::ZERO);
-        act.update("S11", info(1), SimTime::ZERO);
-        let names: Vec<&str> = act.iter().map(|(n, _)| n).collect();
-        assert_eq!(names, ["S11", "S2", "S9"]); // lexicographic, deterministic
+        act.update(S9, info(1), SimTime::ZERO);
+        act.update(S2, info(1), SimTime::ZERO);
+        act.update(S11, info(1), SimTime::ZERO);
+        let ids: Vec<ResourceId> = act.iter().map(|(n, _)| n).collect();
+        // Ascending id == lexicographic name order by construction of
+        // the NameTable; deterministic either way.
+        assert_eq!(ids, [S2, S9, S11]);
     }
 
     #[test]
     fn merge_keeps_the_fresher_entry() {
         let mut a = Act::new();
         let mut b = Act::new();
-        a.update("S3", info(10), SimTime::from_secs(5));
-        b.update("S3", info(99), SimTime::from_secs(9));
-        b.update("S4", info(7), SimTime::from_secs(2));
-        a.merge(&b, "me");
-        assert_eq!(a.get("S3").unwrap().info.freetime, SimTime::from_secs(99));
-        assert_eq!(a.get("S4").unwrap().info.freetime, SimTime::from_secs(7));
-        // Merging back the other way keeps b's fresher S3.
-        b.merge(&a, "me");
-        assert_eq!(b.get("S3").unwrap().received_at, SimTime::from_secs(9));
+        a.update(S2, info(10), SimTime::from_secs(5));
+        b.update(S2, info(99), SimTime::from_secs(9));
+        b.update(S5, info(7), SimTime::from_secs(2));
+        a.merge(&b, ME);
+        assert_eq!(a.get(S2).unwrap().info.freetime, SimTime::from_secs(99));
+        assert_eq!(a.get(S5).unwrap().info.freetime, SimTime::from_secs(7));
+        // Merging back the other way keeps b's fresher S2.
+        b.merge(&a, ME);
+        assert_eq!(b.get(S2).unwrap().received_at, SimTime::from_secs(9));
     }
 
     #[test]
     fn merge_skips_entries_about_self() {
         let mut a = Act::new();
         let mut b = Act::new();
-        b.update("me", info(1), SimTime::from_secs(1));
-        b.update("S5", info(2), SimTime::from_secs(1));
-        a.merge(&b, "me");
-        assert!(a.get("me").is_none());
-        assert!(a.get("S5").is_some());
+        b.update(ME, info(1), SimTime::from_secs(1));
+        b.update(S5, info(2), SimTime::from_secs(1));
+        a.merge(&b, ME);
+        assert!(a.get(ME).is_none());
+        assert!(a.get(S5).is_some());
     }
 
     #[test]
     fn merge_does_not_overwrite_fresher_local_entries() {
         let mut a = Act::new();
         let mut b = Act::new();
-        a.update("S3", info(50), SimTime::from_secs(20));
-        b.update("S3", info(10), SimTime::from_secs(5));
-        a.merge(&b, "me");
-        assert_eq!(a.get("S3").unwrap().info.freetime, SimTime::from_secs(50));
+        a.update(S2, info(50), SimTime::from_secs(20));
+        b.update(S2, info(10), SimTime::from_secs(5));
+        a.merge(&b, ME);
+        assert_eq!(a.get(S2).unwrap().info.freetime, SimTime::from_secs(50));
     }
 
     #[test]
     fn expire_drops_stale_entries() {
         let mut act = Act::new();
-        act.update("old", info(1), SimTime::ZERO);
-        act.update("new", info(1), SimTime::from_secs(95));
+        act.update(S2, info(1), SimTime::ZERO);
+        act.update(S5, info(1), SimTime::from_secs(95));
         act.expire(SimTime::from_secs(100), SimDuration::from_secs(30));
-        assert!(act.get("old").is_none());
-        assert!(act.get("new").is_some());
+        assert!(act.get(S2).is_none());
+        assert!(act.get(S5).is_some());
         assert!(!act.is_empty());
     }
 }

@@ -17,6 +17,13 @@
 //! dispatches to the best estimate seen even though it misses the
 //! deadline, while [`FailurePolicy::Reject`] reproduces the paper's
 //! "terminates unsuccessfully".
+//!
+//! Agents refer to each other by interned [`ResourceId`] (see DESIGN.md
+//! §9): neighbour lists, visited-sets and discovery decisions carry
+//! 4-byte ids, and names are resolved through the shared [`NameTable`]
+//! only at construction and reporting edges. Because ids are assigned in
+//! lexicographic name order, the candidate tie-break `(completion, id)`
+//! reproduces the legacy `(completion, name)` ordering bit for bit.
 
 use crate::act::Act;
 use crate::advertise::AdvertisementStrategy;
@@ -24,7 +31,8 @@ use crate::info::{RequestInfo, ServiceInfo};
 use crate::matchmaking::{estimate, MatchEstimate};
 use agentgrid_pace::{ApplicationModel, CachedEngine, Platform};
 use agentgrid_sim::SimTime;
-use agentgrid_telemetry::{Event, Telemetry};
+use agentgrid_telemetry::{Event, NameTable, ResourceId, Telemetry};
+use std::sync::Arc;
 
 /// What an agent does with a request it cannot satisfy anywhere.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,10 +49,11 @@ pub enum FailurePolicy {
 /// A request travelling through the hierarchy.
 #[derive(Clone, Debug)]
 pub struct RequestEnvelope {
-    /// The user's request.
-    pub request: RequestInfo,
+    /// The user's request (shared: a discovery walk re-reads it at every
+    /// hop, so the envelope holds an `Arc` instead of cloning strings).
+    pub request: Arc<RequestInfo>,
     /// Agents that have already evaluated this request (loop guard).
-    pub visited: Vec<String>,
+    pub visited: Vec<ResourceId>,
     /// Number of agent-to-agent hops so far.
     pub hops: usize,
     /// Grid-wide task id this request resolved to (0 until assigned);
@@ -58,9 +67,9 @@ pub const MAX_HOPS: usize = 32;
 
 impl RequestEnvelope {
     /// Wrap a fresh request.
-    pub fn new(request: RequestInfo) -> RequestEnvelope {
+    pub fn new(request: impl Into<Arc<RequestInfo>>) -> RequestEnvelope {
         RequestEnvelope {
-            request,
+            request: request.into(),
             visited: Vec::new(),
             hops: 0,
             task: 0,
@@ -74,15 +83,15 @@ impl RequestEnvelope {
     }
 
     /// Record that `agent` has evaluated this request.
-    pub fn visit(&mut self, agent: &str) {
-        if !self.visited.iter().any(|v| v == agent) {
-            self.visited.push(agent.to_string());
+    pub fn visit(&mut self, agent: ResourceId) {
+        if !self.visited.contains(&agent) {
+            self.visited.push(agent);
         }
     }
 
     /// Whether `agent` has already evaluated this request.
-    pub fn has_visited(&self, agent: &str) -> bool {
-        self.visited.iter().any(|v| v == agent)
+    pub fn has_visited(&self, agent: ResourceId) -> bool {
+        self.visited.contains(&agent)
     }
 }
 
@@ -99,8 +108,8 @@ pub enum DiscoveryDecision {
     },
     /// Forward to a neighbour whose advertised service matches best.
     Dispatch {
-        /// Target agent name.
-        to: String,
+        /// Target agent.
+        to: ResourceId,
         /// η of the winning match.
         estimated: SimTime,
         /// Whether the estimate met the deadline.
@@ -108,8 +117,8 @@ pub enum DiscoveryDecision {
     },
     /// No match anywhere in view — submit the request to the upper agent.
     Escalate {
-        /// The upper agent's name.
-        to: String,
+        /// The upper agent.
+        to: ResourceId,
     },
     /// Discovery terminated unsuccessfully ("a request for computing
     /// resource which is not supported by the available grid").
@@ -119,9 +128,10 @@ pub enum DiscoveryDecision {
 /// One agent of the homogeneous hierarchy.
 #[derive(Clone, Debug)]
 pub struct Agent {
-    name: String,
-    upper: Option<String>,
-    lower: Vec<String>,
+    names: Arc<NameTable>,
+    id: ResourceId,
+    upper: Option<ResourceId>,
+    lower: Vec<ResourceId>,
     act: Act,
     policy: FailurePolicy,
     strategy: AdvertisementStrategy,
@@ -129,11 +139,32 @@ pub struct Agent {
 }
 
 impl Agent {
-    /// Create an agent with its place in the hierarchy.
+    /// Create a standalone agent, interning its own name and its
+    /// neighbours' names into a private table. Hierarchies share one
+    /// table instead — see [`Agent::with_table`].
     pub fn new(name: &str, upper: Option<&str>, lower: Vec<String>) -> Agent {
+        let names = NameTable::from_names(
+            std::iter::once(name)
+                .chain(upper)
+                .chain(lower.iter().map(String::as_str)),
+        );
+        let id = names.expect_id(name);
+        let upper = upper.map(|u| names.expect_id(u));
+        let lower = lower.iter().map(|l| names.expect_id(l)).collect();
+        Agent::with_table(names, id, upper, lower)
+    }
+
+    /// Create an agent at `id` within a shared name table.
+    pub fn with_table(
+        names: Arc<NameTable>,
+        id: ResourceId,
+        upper: Option<ResourceId>,
+        lower: Vec<ResourceId>,
+    ) -> Agent {
         Agent {
-            name: name.to_string(),
-            upper: upper.map(str::to_string),
+            names,
+            id,
+            upper,
             lower,
             act: Act::new(),
             policy: FailurePolicy::BestEffort,
@@ -162,26 +193,54 @@ impl Agent {
 
     /// The agent's name.
     pub fn name(&self) -> &str {
-        &self.name
+        self.names.name(self.id)
     }
 
-    /// The upper agent, if any (the head has none).
+    /// The agent's interned id.
+    pub fn id(&self) -> ResourceId {
+        self.id
+    }
+
+    /// The name table this agent resolves ids through.
+    pub fn table(&self) -> &Arc<NameTable> {
+        &self.names
+    }
+
+    /// Resolve a name through this agent's table (panics on unknown
+    /// names; intended for construction and tests).
+    pub fn id_of(&self, name: &str) -> ResourceId {
+        self.names.expect_id(name)
+    }
+
+    /// The upper agent's name, if any (the head has none).
     pub fn upper(&self) -> Option<&str> {
-        self.upper.as_deref()
+        self.upper.map(|u| self.names.name(u))
     }
 
-    /// Lower (child) agents.
-    pub fn lower(&self) -> &[String] {
+    /// The upper agent's id, if any.
+    pub fn upper_id(&self) -> Option<ResourceId> {
+        self.upper
+    }
+
+    /// Lower (child) agents' names.
+    pub fn lower(&self) -> Vec<&str> {
+        self.lower.iter().map(|l| self.names.name(*l)).collect()
+    }
+
+    /// Lower (child) agents' ids.
+    pub fn lower_ids(&self) -> &[ResourceId] {
         &self.lower
     }
 
     /// Upper and lower neighbours — the only agents this one talks to
     /// ("each agent is only aware of neighbouring agents").
     pub fn neighbours(&self) -> impl Iterator<Item = &str> {
-        self.upper
-            .iter()
-            .map(String::as_str)
-            .chain(self.lower.iter().map(String::as_str))
+        self.neighbour_ids().map(|id| self.names.name(id))
+    }
+
+    /// Neighbour ids, upper first then lower in id order.
+    pub fn neighbour_ids(&self) -> impl Iterator<Item = ResourceId> + '_ {
+        self.upper.into_iter().chain(self.lower.iter().copied())
     }
 
     /// The failure policy in force.
@@ -200,7 +259,7 @@ impl Agent {
     }
 
     /// Record service info received from a neighbour.
-    pub fn update_act(&mut self, from: &str, info: ServiceInfo, now: SimTime) {
+    pub fn update_act(&mut self, from: ResourceId, info: ServiceInfo, now: SimTime) {
         self.act.update(from, info, now);
     }
 
@@ -208,23 +267,24 @@ impl Agent {
     /// record noting whether the information arrived by push or pull.
     pub fn receive_advertisement(
         &mut self,
-        from: &str,
+        from: ResourceId,
         info: ServiceInfo,
         now: SimTime,
         push: bool,
     ) {
+        let names = &self.names;
         self.telemetry.emit(now.ticks(), || Event::Advertise {
-            agent: from.to_string(),
-            to: self.name.clone(),
+            agent: names.name(from).to_string(),
+            to: names.name(self.id).to_string(),
             push,
         });
-        self.update_act(from, info, now);
+        self.act.update(from, info, now);
     }
 
     /// Merge a gossiped capability table (keep-freshest; entries about
     /// this agent itself are dropped).
     pub fn merge_act(&mut self, table: &Act) {
-        self.act.merge(table, &self.name);
+        self.act.merge(table, self.id);
     }
 
     /// One discovery step (paper §3.2). `local` is this agent's *live*
@@ -242,7 +302,7 @@ impl Agent {
         let decision = self.decide_inner(envelope, app, local, now, platforms, engine);
         self.telemetry.emit(now.ticks(), || Event::Discovery {
             task: envelope.task,
-            agent: self.name.clone(),
+            agent: self.name().to_string(),
             decision: match &decision {
                 DiscoveryDecision::ExecuteLocally { .. } => "local",
                 DiscoveryDecision::Dispatch { .. } => "dispatch",
@@ -292,15 +352,17 @@ impl Agent {
         // 2. Advertised services in the capability table — the
         // neighbours under periodic pull, the whole known grid under
         // gossip — and the best match wins.
-        let mut candidates: Vec<(String, MatchEstimate)> = Vec::new();
+        let mut candidates: Vec<(ResourceId, MatchEstimate)> = Vec::new();
         for (known, entry) in self.act.iter() {
-            if known == self.name || envelope.has_visited(known) {
+            if known == self.id || envelope.has_visited(known) {
                 continue;
             }
             if let Ok(est) = estimate(&entry.info, app, env, deadline, now, platforms, engine) {
-                candidates.push((known.to_string(), est));
+                candidates.push((known, est));
             }
         }
+        // Tie-break on id == lexicographic name order (NameTable interns
+        // sorted), matching the legacy string compare exactly.
         candidates.sort_by(|a, b| {
             a.1.completion
                 .cmp(&b.1.completion)
@@ -308,16 +370,16 @@ impl Agent {
         });
         if let Some((to, est)) = candidates.iter().find(|(_, e)| e.meets_deadline) {
             return DiscoveryDecision::Dispatch {
-                to: to.clone(),
+                to: *to,
                 estimated: est.completion,
                 within_deadline: true,
             };
         }
 
         // 3. No match in view: escalate to the upper agent.
-        if let Some(upper) = &self.upper {
+        if let Some(upper) = self.upper {
             if !envelope.has_visited(upper) {
-                return DiscoveryDecision::Escalate { to: upper.clone() };
+                return DiscoveryDecision::Escalate { to: upper };
             }
         }
 
@@ -339,7 +401,7 @@ impl Agent {
                 if let Some((to, est)) = candidates.first() {
                     if est.completion < best_eta {
                         best = Some(DiscoveryDecision::Dispatch {
-                            to: to.clone(),
+                            to: *to,
                             estimated: est.completion,
                             within_deadline: false,
                         });
@@ -364,7 +426,7 @@ mod tests {
             local: Endpoint::new("host", 10000),
             machine_type: machine.into(),
             nproc,
-            environments: vec![ExecEnv::Test],
+            environments: vec![ExecEnv::Test].into(),
             freetime: SimTime::from_secs(freetime_s),
         }
     }
@@ -415,9 +477,21 @@ mod tests {
     fn busy_local_dispatches_to_best_neighbour() {
         let mut agent = Agent::new("S5", Some("S2"), vec!["S6".into(), "S7".into()]);
         let engine = CachedEngine::new();
-        agent.update_act("S2", service("SGIOrigin2000", 16, 20), SimTime::ZERO);
-        agent.update_act("S6", service("SunUltra5", 16, 0), SimTime::ZERO);
-        agent.update_act("S7", service("SunUltra5", 16, 200), SimTime::ZERO);
+        agent.update_act(
+            agent.id_of("S2"),
+            service("SGIOrigin2000", 16, 20),
+            SimTime::ZERO,
+        );
+        agent.update_act(
+            agent.id_of("S6"),
+            service("SunUltra5", 16, 0),
+            SimTime::ZERO,
+        );
+        agent.update_act(
+            agent.id_of("S7"),
+            service("SunUltra5", 16, 200),
+            SimTime::ZERO,
+        );
         // Local is backlogged 500 s; S6 (idle, completes at 10) beats S2
         // (freetime 20 → completes 24) and S7 (backlogged).
         let d = agent.decide(
@@ -434,7 +508,7 @@ mod tests {
                 within_deadline,
                 ..
             } => {
-                assert_eq!(to, "S6");
+                assert_eq!(to, agent.id_of("S6"));
                 assert!(within_deadline);
             }
             other => panic!("expected dispatch, got {other:?}"),
@@ -445,7 +519,11 @@ mod tests {
     fn no_match_escalates_to_upper() {
         let mut agent = Agent::new("S5", Some("S2"), vec!["S6".into()]);
         let engine = CachedEngine::new();
-        agent.update_act("S6", service("SunUltra5", 16, 900), SimTime::ZERO);
+        agent.update_act(
+            agent.id_of("S6"),
+            service("SunUltra5", 16, 900),
+            SimTime::ZERO,
+        );
         // Everything (local + S6) is too backlogged for a 30 s deadline.
         let d = agent.decide(
             &request(30),
@@ -458,7 +536,7 @@ mod tests {
         assert_eq!(
             d,
             DiscoveryDecision::Escalate {
-                to: "S2".to_string()
+                to: agent.id_of("S2")
             }
         );
     }
@@ -482,7 +560,11 @@ mod tests {
     fn head_with_best_effort_places_somewhere() {
         let mut agent = Agent::new("S1", None, vec!["S2".into()]);
         let engine = CachedEngine::new();
-        agent.update_act("S2", service("SGIOrigin2000", 16, 100), SimTime::ZERO);
+        agent.update_act(
+            agent.id_of("S2"),
+            service("SGIOrigin2000", 16, 100),
+            SimTime::ZERO,
+        );
         // Local backlogged 500 s, S2 100 s: best effort goes to S2 even
         // though the 1 s deadline is hopeless.
         let d = agent.decide(
@@ -499,7 +581,7 @@ mod tests {
                 within_deadline,
                 ..
             } => {
-                assert_eq!(to, "S2");
+                assert_eq!(to, agent.id_of("S2"));
                 assert!(!within_deadline);
             }
             other => panic!("expected best-effort dispatch, got {other:?}"),
@@ -510,9 +592,13 @@ mod tests {
     fn visited_agents_are_not_revisited() {
         let mut agent = Agent::new("S1", None, vec!["S2".into()]);
         let engine = CachedEngine::new();
-        agent.update_act("S2", service("SGIOrigin2000", 16, 0), SimTime::ZERO);
+        agent.update_act(
+            agent.id_of("S2"),
+            service("SGIOrigin2000", 16, 0),
+            SimTime::ZERO,
+        );
         let mut env = request(100);
-        env.visit("S2");
+        env.visit(agent.id_of("S2"));
         // S2 would match but was already visited; local (backlogged) is
         // the only best-effort option left.
         let d = agent.decide(
@@ -552,11 +638,11 @@ mod tests {
     #[test]
     fn envelope_visit_dedupes() {
         let mut env = request(10);
-        env.visit("S1");
-        env.visit("S1");
-        assert_eq!(env.visited, vec!["S1"]);
-        assert!(env.has_visited("S1"));
-        assert!(!env.has_visited("S2"));
+        env.visit(ResourceId(1));
+        env.visit(ResourceId(1));
+        assert_eq!(env.visited, vec![ResourceId(1)]);
+        assert!(env.has_visited(ResourceId(1)));
+        assert!(!env.has_visited(ResourceId(2)));
     }
 
     #[test]
@@ -564,5 +650,8 @@ mod tests {
         let agent = Agent::new("S2", Some("S1"), vec!["S5".into(), "S6".into()]);
         let n: Vec<&str> = agent.neighbours().collect();
         assert_eq!(n, ["S1", "S5", "S6"]);
+        assert_eq!(agent.name(), "S2");
+        assert_eq!(agent.upper(), Some("S1"));
+        assert_eq!(agent.lower(), ["S5", "S6"]);
     }
 }

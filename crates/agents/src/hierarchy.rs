@@ -6,16 +6,27 @@
 //! does not fully specify the tree shape, so we use a balanced three-level
 //! layout (documented in DESIGN.md): S1 heads the hierarchy with children
 //! S2–S4; S5–S7 sit under S2, S8–S10 under S3 and S11–S12 under S4.
+//!
+//! All agents share one [`NameTable`]: agent names are interned once at
+//! construction and the hierarchy stores its agents in a `Vec` indexed by
+//! [`ResourceId`], so the simulation hot path looks agents up by a dense
+//! integer instead of hashing strings. Name-based accessors remain for
+//! construction, tests and reporting.
 
 use crate::agent::Agent;
 use agentgrid_pace::Platform;
+use agentgrid_telemetry::{NameTable, ResourceId};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A validated agent hierarchy.
 #[derive(Clone, Debug)]
 pub struct Hierarchy {
-    agents: BTreeMap<String, Agent>,
-    head: String,
+    names: Arc<NameTable>,
+    /// Indexed by `ResourceId`; iteration order equals lexicographic name
+    /// order because ids are interned sorted.
+    agents: Vec<Agent>,
+    head: ResourceId,
 }
 
 /// Construction failures.
@@ -105,14 +116,28 @@ impl Hierarchy {
                 children.entry(p.clone()).or_default().push(name.clone());
             }
         }
-        let agents = parent_of
-            .iter()
-            .map(|(name, parent)| {
-                let lower = children.get(name).cloned().unwrap_or_default();
-                (name.clone(), Agent::new(name, parent.as_deref(), lower))
+
+        // Intern every name once; ids are dense and name-sorted, so the
+        // `Vec<Agent>` below iterates in the old `BTreeMap` order.
+        let names = NameTable::from_names(parent_of.keys().map(String::as_str));
+        let agents = names
+            .names()
+            .map(|name| {
+                let id = names.expect_id(name);
+                let upper = parent_of[name].as_deref().map(|p| names.expect_id(p));
+                let lower = children
+                    .get(name)
+                    .map(|ls| ls.iter().map(|l| names.expect_id(l)).collect())
+                    .unwrap_or_default();
+                Agent::with_table(Arc::clone(&names), id, upper, lower)
             })
             .collect();
-        Ok(Hierarchy { agents, head })
+        let head = names.expect_id(&head);
+        Ok(Hierarchy {
+            names,
+            agents,
+            head,
+        })
     }
 
     /// The Fig. 7 case-study hierarchy: twelve agents, S1 at the head.
@@ -154,29 +179,59 @@ impl Hierarchy {
         ]
     }
 
+    /// The shared name table — names interned in sorted order, ids dense.
+    pub fn table(&self) -> &Arc<NameTable> {
+        &self.names
+    }
+
     /// The head (root) agent's name.
     pub fn head(&self) -> &str {
-        &self.head
+        self.names.name(self.head)
+    }
+
+    /// The head (root) agent's id.
+    pub fn head_id(&self) -> ResourceId {
+        self.head
+    }
+
+    /// Resolve a name to its interned id.
+    pub fn id(&self, name: &str) -> Option<ResourceId> {
+        self.names.id(name)
     }
 
     /// Look an agent up by name.
     pub fn get(&self, name: &str) -> Option<&Agent> {
-        self.agents.get(name)
+        self.names.id(name).map(|id| &self.agents[id.index()])
     }
 
-    /// Mutable lookup (for ACT updates).
+    /// Mutable lookup by name (for ACT updates).
     pub fn get_mut(&mut self, name: &str) -> Option<&mut Agent> {
-        self.agents.get_mut(name)
+        self.names.id(name).map(|id| &mut self.agents[id.index()])
     }
 
-    /// All agent names in deterministic order.
+    /// Look an agent up by id — the hot-path accessor.
+    pub fn agent(&self, id: ResourceId) -> &Agent {
+        &self.agents[id.index()]
+    }
+
+    /// Mutable lookup by id.
+    pub fn agent_mut(&mut self, id: ResourceId) -> &mut Agent {
+        &mut self.agents[id.index()]
+    }
+
+    /// All agent names in deterministic (id == lexicographic) order.
     pub fn names(&self) -> impl Iterator<Item = &str> {
-        self.agents.keys().map(String::as_str)
+        self.names.names()
+    }
+
+    /// All agent ids in ascending order.
+    pub fn ids(&self) -> impl Iterator<Item = ResourceId> + '_ {
+        self.names.ids()
     }
 
     /// Route every agent's telemetry through `telemetry`.
     pub fn set_telemetry(&mut self, telemetry: &agentgrid_telemetry::Telemetry) {
-        for agent in self.agents.values_mut() {
+        for agent in &mut self.agents {
             agent.set_telemetry(telemetry.clone());
         }
     }
@@ -194,10 +249,10 @@ impl Hierarchy {
 
     /// Depth of `name` below the head (head = 0).
     pub fn depth(&self, name: &str) -> Option<usize> {
-        let mut cur = self.agents.get(name)?;
+        let mut cur = self.get(name)?;
         let mut d = 0;
-        while let Some(upper) = cur.upper() {
-            cur = self.agents.get(upper)?;
+        while let Some(upper) = cur.upper_id() {
+            cur = self.agent(upper);
             d += 1;
         }
         Some(d)
@@ -224,6 +279,21 @@ mod tests {
         assert_eq!(h.depth("S4"), Some(1));
         assert_eq!(h.depth("S12"), Some(2));
         assert_eq!(h.depth("S99"), None);
+    }
+
+    #[test]
+    fn ids_resolve_both_ways() {
+        let h = Hierarchy::case_study();
+        assert_eq!(h.agent(h.head_id()).name(), "S1");
+        let s5 = h.id("S5").unwrap();
+        assert_eq!(h.agent(s5).name(), "S5");
+        assert_eq!(h.table().name(s5), "S5");
+        assert!(h.id("S99").is_none());
+        // Dense ids cover 0..len in name order.
+        let ids: Vec<u32> = h.ids().map(|i| i.0).collect();
+        assert_eq!(ids, (0..12).collect::<Vec<u32>>());
+        // "S10" < "S2" lexicographically, so its id is lower.
+        assert!(h.id("S10").unwrap() < h.id("S2").unwrap());
     }
 
     #[test]

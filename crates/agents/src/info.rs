@@ -3,13 +3,14 @@
 use crate::xml::{parse, Element, XmlError};
 use agentgrid_cluster::ExecEnv;
 use agentgrid_sim::SimTime;
+use std::sync::Arc;
 
 /// A network endpoint: "the identity of a local scheduler and its
 /// corresponding agent is provided by a tuple of the address and port".
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Endpoint {
-    /// Host address.
-    pub address: String,
+    /// Host address (shared so cloning an endpoint is allocation-free).
+    pub address: Arc<str>,
     /// TCP port.
     pub port: u16,
 }
@@ -18,7 +19,7 @@ impl Endpoint {
     /// Convenience constructor.
     pub fn new(address: &str, port: u16) -> Endpoint {
         Endpoint {
-            address: address.to_string(),
+            address: address.into(),
             port,
         }
     }
@@ -32,12 +33,14 @@ pub struct ServiceInfo {
     pub agent: Endpoint,
     /// The local scheduler's endpoint.
     pub local: Endpoint,
-    /// Hardware model name, e.g. `"SunUltra10"`.
-    pub machine_type: String,
+    /// Hardware model name, e.g. `"SunUltra10"` (shared: cloning a
+    /// `ServiceInfo` — which the grid does on every advertisement —
+    /// bumps reference counts instead of copying strings).
+    pub machine_type: Arc<str>,
     /// Number of processing nodes.
     pub nproc: usize,
     /// Execution environments supported by the local scheduler.
-    pub environments: Vec<ExecEnv>,
+    pub environments: Arc<[ExecEnv]>,
     /// The freetime item: the latest GA scheduling makespan — "the
     /// earliest (approximate) time that corresponding processors become
     /// available for more tasks". Changes over time; must be refreshed by
@@ -58,7 +61,7 @@ impl ServiceInfo {
             .leaf("port", &self.local.port.to_string())
             .leaf("type", &self.machine_type)
             .leaf("nproc", &self.nproc.to_string());
-        for env in &self.environments {
+        for env in self.environments.iter() {
             local = local.leaf("environment", env.as_str());
         }
         local = local.leaf("freetime", &format!("{:.6}", self.freetime.as_secs_f64()));
@@ -88,11 +91,11 @@ impl ServiceInfo {
         Ok(ServiceInfo {
             agent: endpoint_of(agent)?,
             local: endpoint_of(local)?,
-            machine_type: leaf(local, "type")?,
+            machine_type: leaf(local, "type")?.into(),
             nproc: leaf(local, "nproc")?
                 .parse()
                 .map_err(|_| InfoError::invalid("nproc"))?,
-            environments,
+            environments: environments.into(),
             freetime: SimTime::from_secs_f64(
                 leaf(local, "freetime")?
                     .parse()
@@ -244,7 +247,7 @@ fn leaf(el: &Element, name: &str) -> Result<String, InfoError> {
 
 fn endpoint_of(el: &Element) -> Result<Endpoint, InfoError> {
     Ok(Endpoint {
-        address: leaf(el, "address")?,
+        address: leaf(el, "address")?.into(),
         port: leaf(el, "port")?
             .parse()
             .map_err(|_| InfoError::invalid("port"))?,
@@ -261,7 +264,7 @@ mod tests {
             local: Endpoint::new("gem.dcs.warwick.ac.uk", 10000),
             machine_type: "SunUltra10".into(),
             nproc: 16,
-            environments: vec![ExecEnv::Mpi, ExecEnv::Pvm, ExecEnv::Test],
+            environments: vec![ExecEnv::Mpi, ExecEnv::Pvm, ExecEnv::Test].into(),
             freetime: SimTime::from_secs_f64(160.25),
         }
     }
@@ -332,7 +335,7 @@ mod tests {
         let s = service();
         assert!(s.supports(ExecEnv::Mpi));
         let mut s2 = s.clone();
-        s2.environments = vec![ExecEnv::Test];
+        s2.environments = vec![ExecEnv::Test].into();
         assert!(!s2.supports(ExecEnv::Mpi));
     }
 

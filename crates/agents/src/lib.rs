@@ -41,3 +41,6 @@ pub use agent::{Agent, DiscoveryDecision, FailurePolicy, RequestEnvelope};
 pub use hierarchy::Hierarchy;
 pub use info::{Endpoint, RequestInfo, ServiceInfo};
 pub use portal::Portal;
+// Interned resource identifiers live in the telemetry crate (the bottom
+// of the dependency stack) but are part of the agents API surface.
+pub use agentgrid_telemetry::{NameTable, ResourceId};

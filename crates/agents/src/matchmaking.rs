@@ -55,8 +55,8 @@ pub fn estimate(
     }
     let platform = platforms
         .iter()
-        .find(|p| p.name == info.machine_type)
-        .ok_or_else(|| MatchError::UnknownPlatform(info.machine_type.clone()))?;
+        .find(|p| p.name.as_str() == &*info.machine_type)
+        .ok_or_else(|| MatchError::UnknownPlatform(info.machine_type.to_string()))?;
     let model = ResourceModel::new(platform.clone(), info.nproc.max(1))
         .expect("nproc clamped to at least 1");
     let (nprocs, best_s) = engine.best_time(app, &model);
@@ -81,7 +81,7 @@ mod tests {
             local: Endpoint::new("host", 10000),
             machine_type: machine.into(),
             nproc: 16,
-            environments: vec![ExecEnv::Test, ExecEnv::Mpi],
+            environments: vec![ExecEnv::Test, ExecEnv::Mpi].into(),
             freetime: SimTime::from_secs(freetime_s),
         }
     }
@@ -174,7 +174,7 @@ mod tests {
     fn unsupported_environment_is_an_error() {
         let engine = CachedEngine::new();
         let mut i = info("SGIOrigin2000", 0);
-        i.environments = vec![ExecEnv::Pvm];
+        i.environments = vec![ExecEnv::Pvm].into();
         let err = estimate(
             &i,
             &sweep3d(),

@@ -63,9 +63,9 @@ proptest! {
         let info = ServiceInfo {
             agent: Endpoint::new(&host, port),
             local: Endpoint::new(&host, port.wrapping_add(1).max(1)),
-            machine_type: machine,
+            machine_type: machine.into(),
             nproc,
-            environments: envs,
+            environments: envs.into(),
             freetime: SimTime::from_secs(freetime),
         };
         let xml = info.to_xml().render();
@@ -121,7 +121,7 @@ proptest! {
             let agent = h.get(name).unwrap();
             // Upper/lower symmetry.
             if let Some(upper) = agent.upper() {
-                prop_assert!(h.get(upper).unwrap().lower().contains(&name.to_string()));
+                prop_assert!(h.get(upper).unwrap().lower().contains(&name.as_str()));
             }
             for lower in agent.lower() {
                 prop_assert_eq!(h.get(lower).unwrap().upper(), Some(name.as_str()));

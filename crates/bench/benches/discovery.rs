@@ -13,7 +13,7 @@ fn service(machine: &str, freetime_s: u64) -> ServiceInfo {
         local: Endpoint::new("host.grid.example.org", 10000),
         machine_type: machine.into(),
         nproc: 16,
-        environments: vec![ExecEnv::Mpi, ExecEnv::Pvm, ExecEnv::Test],
+        environments: vec![ExecEnv::Mpi, ExecEnv::Pvm, ExecEnv::Test].into(),
         freetime: SimTime::from_secs(freetime_s),
     }
 }
@@ -61,7 +61,7 @@ fn bench_decide(c: &mut Criterion) {
     ];
     for (i, n) in lower.iter().enumerate() {
         agent.update_act(
-            n,
+            agent.id_of(n),
             service(machines[i % machines.len()], (i as u64) * 30),
             SimTime::ZERO,
         );

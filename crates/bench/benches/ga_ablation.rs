@@ -184,7 +184,7 @@ fn run_grid_with_dispatch(mode: DispatchMode) -> (f64, f64, f64) {
         .resources
         .iter()
         .map(|spec| {
-            let s = &grid.schedulers()[&spec.name];
+            let s = grid.scheduler(&spec.name).expect("scheduler per resource");
             ResourceStats::from_run(
                 &spec.name,
                 spec.nproc,

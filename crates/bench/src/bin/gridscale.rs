@@ -1,0 +1,306 @@
+//! Grid-layer scaling sweep (DESIGN.md §9).
+//!
+//! Runs experiment 3 (GA + agent discovery) over complete 4-ary agent
+//! trees up to 1365 agents and measures end-to-end event throughput of
+//! the reworked grid layer — interned resource ids, incremental
+//! bookkeeping, cached service-info templates and the timing-wheel event
+//! queue — against the pre-rework baseline (string-keyed lookups,
+//! full-grid scans, per-call `format!` and the binary-heap queue), which
+//! `--baseline` restores at run time.
+//!
+//! The GA is deliberately tiny (population 8, 4 generations): this
+//! bench isolates the grid layer's bookkeeping, and a paper-sized GA
+//! would bury it under compute that is identical on both sides. Both
+//! modes must agree on every simulation outcome — horizon, migrations,
+//! hops, event count — which the sweep asserts.
+//!
+//! Writes `BENCH_gridscale.json` (override with `--out PATH`); the
+//! largest shape also gets a per-layer breakdown from the telemetry
+//! aggregator. `--quick` shrinks the sweep for CI smoke runs;
+//! `--baseline` measures only the legacy paths.
+//!
+//! ```text
+//! cargo run -p agentgrid-bench --bin gridscale --release
+//! ```
+
+use agentgrid::prelude::*;
+use agentgrid_bench::{grid_totals, run_grid, GridRun};
+use agentgrid_telemetry::json::{self, Value};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything the sweep records about one (topology, mode) run.
+struct Row {
+    topology: String,
+    agents: usize,
+    requests: usize,
+    fast: Option<Measured>,
+    baseline: Option<Measured>,
+}
+
+struct Measured {
+    events: u64,
+    wall: Duration,
+    events_per_sec: f64,
+    horizon_s: f64,
+    migrations: usize,
+    discovery_hops: u64,
+    utilisation_pct: f64,
+    balance_pct: f64,
+}
+
+fn measure(run: &GridRun, topology: &GridTopology) -> Measured {
+    let (_, utilisation_pct, balance_pct) = grid_totals(&run.grid, topology);
+    Measured {
+        events: run.events,
+        wall: run.wall,
+        events_per_sec: run.events_per_sec(),
+        horizon_s: run.grid.horizon().as_secs_f64(),
+        migrations: run.grid.migrations(),
+        discovery_hops: run.grid.discovery_hops(),
+        utilisation_pct,
+        balance_pct,
+    }
+}
+
+fn shape_workload(topology: &GridTopology, per_agent: usize, seed: u64) -> WorkloadConfig {
+    WorkloadConfig {
+        requests: topology.resources.len() * per_agent,
+        interarrival: SimDuration::from_secs(1),
+        seed,
+        agents: topology.names(),
+        environment: ExecEnv::Test,
+    }
+}
+
+fn histogram_json(h: &LogLinearHistogram) -> Value {
+    json::obj(vec![
+        ("count", json::num(h.count() as f64)),
+        ("mean", json::num(h.mean().unwrap_or(0.0))),
+        ("p50", json::num(h.percentile(0.50).unwrap_or(0) as f64)),
+        ("p90", json::num(h.percentile(0.90).unwrap_or(0) as f64)),
+        ("max", json::num(h.max().unwrap_or(0) as f64)),
+    ])
+}
+
+fn main() {
+    let (quick, seed) = agentgrid_bench::parse_args();
+    let args: Vec<String> = std::env::args().collect();
+    let baseline_only = args.iter().any(|a| a == "--baseline");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_gridscale.json".to_string());
+
+    // Complete 4-ary trees: 21, 85, 341 and 1365 agents. The two big
+    // shapes are the ones the §9 rework targets.
+    let (shapes, per_agent): (&[u32], usize) = if quick {
+        (&[2, 3], 4)
+    } else {
+        (&[3, 4, 5, 6], 8)
+    };
+    let branching = 4;
+    let nproc = 8;
+    let mut opts = RunOptions::fast();
+    // Shrink the GA below even the `fast` tuning: GA compute is identical
+    // in both modes, so any GA cycle spent only dilutes the ratio this
+    // bench exists to measure.
+    opts.ga = GaConfig {
+        population: 8,
+        generations_per_event: 4,
+        stall_generations: 2,
+        ..GaConfig::default()
+    };
+
+    eprintln!(
+        "gridscale: 4-ary trees {:?} levels, {} requests/agent, seed {}{}{}",
+        shapes,
+        per_agent,
+        seed,
+        if quick { " (quick)" } else { "" },
+        if baseline_only {
+            " (baseline only)"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "{:<10}{:>8}{:>10}{:>12}{:>12}{:>14}{:>14}{:>9}",
+        "grid", "agents", "requests", "wall", "base wall", "events/s", "base ev/s", "speedup"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &levels in shapes {
+        let topology = GridTopology::tree(levels, branching, nproc);
+        let agents = topology.resources.len();
+        let workload = shape_workload(&topology, per_agent, seed);
+        let mut row = Row {
+            topology: format!("{levels}lv x{branching}"),
+            agents,
+            requests: workload.requests,
+            fast: None,
+            baseline: None,
+        };
+
+        if !baseline_only {
+            let run = run_grid(&topology, &workload, &opts, false, false);
+            row.fast = Some(measure(&run, &topology));
+        }
+        let run = run_grid(&topology, &workload, &opts, false, true);
+        row.baseline = Some(measure(&run, &topology));
+
+        // Determinism gate: the rework must not change a single
+        // simulation outcome, only the wall time spent reaching it.
+        if let (Some(fast), Some(base)) = (&row.fast, &row.baseline) {
+            assert_eq!(
+                fast.events, base.events,
+                "{}: event count diverged",
+                row.topology
+            );
+            assert_eq!(
+                fast.horizon_s, base.horizon_s,
+                "{}: horizon diverged",
+                row.topology
+            );
+            assert_eq!(
+                fast.migrations, base.migrations,
+                "{}: migrations diverged",
+                row.topology
+            );
+            assert_eq!(
+                fast.discovery_hops, base.discovery_hops,
+                "{}: discovery hops diverged",
+                row.topology
+            );
+        }
+
+        let speedup = match (&row.fast, &row.baseline) {
+            (Some(f), Some(b)) => f.events_per_sec / b.events_per_sec.max(1e-9),
+            _ => 1.0,
+        };
+        let base = row.baseline.as_ref().expect("baseline always runs");
+        println!(
+            "{:<10}{:>8}{:>10}{:>12}{:>12}{:>14.0}{:>14.0}{:>8.2}x",
+            row.topology,
+            agents,
+            row.requests,
+            row.fast
+                .as_ref()
+                .map_or_else(|| "-".into(), |f| format!("{:.2?}", f.wall)),
+            format!("{:.2?}", base.wall),
+            row.fast.as_ref().map_or(0.0, |f| f.events_per_sec),
+            base.events_per_sec,
+            speedup,
+        );
+        rows.push(row);
+    }
+
+    // Per-layer breakdown of the largest shape via the telemetry
+    // aggregator (a separate run: the recorder itself costs time).
+    let breakdown = if baseline_only {
+        Value::Null
+    } else {
+        let levels = *shapes.last().expect("non-empty sweep");
+        let topology = GridTopology::tree(levels, branching, nproc);
+        let workload = shape_workload(&topology, per_agent, seed);
+        let recorder = Arc::new(AggregateRecorder::new());
+        let mut traced = opts.clone();
+        traced.telemetry = Telemetry::new(recorder.clone());
+        let run = run_grid(&topology, &workload, &traced, false, false);
+        traced.telemetry.flush();
+        let agg = recorder.snapshot();
+        eprintln!(
+            "breakdown ({}lv x{branching}, telemetry on): {} events in {:.2?}",
+            levels, run.events, run.wall
+        );
+        json::obj(vec![
+            ("topology", json::s(format!("{levels}lv x{branching}"))),
+            (
+                "counters",
+                Value::Obj(
+                    agg.counters
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), json::num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            ("queue_wait_us", histogram_json(&agg.queue_wait_us)),
+            ("discovery_hops", histogram_json(&agg.discovery_hops)),
+            (
+                "ga_generation_wall_us",
+                histogram_json(&agg.ga_generation_wall_us),
+            ),
+            ("cache_hits", json::num(agg.cache_hits as f64)),
+            ("cache_misses", json::num(agg.cache_misses as f64)),
+        ])
+    };
+
+    let measured_json = |m: &Measured| {
+        json::obj(vec![
+            ("events", json::num(m.events as f64)),
+            ("wall_s", json::num(m.wall.as_secs_f64())),
+            ("events_per_sec", json::num(m.events_per_sec)),
+            ("horizon_s", json::num(m.horizon_s)),
+            ("migrations", json::num(m.migrations as f64)),
+            ("discovery_hops", json::num(m.discovery_hops as f64)),
+            ("utilisation_pct", json::num(m.utilisation_pct)),
+            ("balance_pct", json::num(m.balance_pct)),
+        ])
+    };
+    let doc = json::obj(vec![
+        ("bench", json::s("gridscale")),
+        (
+            "description",
+            json::s(
+                "experiment-3 runs over complete 4-ary agent trees; 'fast' = interned ids, \
+                 incremental bookkeeping and the timing-wheel queue, 'baseline' = the \
+                 pre-rework string-keyed scans and binary-heap queue; both modes produce \
+                 bit-identical simulation outcomes (asserted)",
+            ),
+        ),
+        (
+            "workload",
+            json::obj(vec![
+                ("branching", json::num(branching as f64)),
+                ("nproc", json::num(nproc as f64)),
+                ("requests_per_agent", json::num(per_agent as f64)),
+                ("interarrival_s", json::num(1.0)),
+                ("seed", json::num(seed as f64)),
+                ("ga", json::s("tiny (population 8, 4 generations)")),
+                ("quick", Value::Bool(quick)),
+            ]),
+        ),
+        (
+            "rows",
+            Value::Arr(
+                rows.iter()
+                    .map(|row| {
+                        let mut fields = vec![
+                            ("topology", json::s(row.topology.clone())),
+                            ("agents", json::num(row.agents as f64)),
+                            ("requests", json::num(row.requests as f64)),
+                        ];
+                        if let Some(f) = &row.fast {
+                            fields.push(("fast", measured_json(f)));
+                        }
+                        if let Some(b) = &row.baseline {
+                            fields.push(("baseline", measured_json(b)));
+                        }
+                        if let (Some(f), Some(b)) = (&row.fast, &row.baseline) {
+                            fields.push((
+                                "speedup_events_per_sec",
+                                json::num(f.events_per_sec / b.events_per_sec.max(1e-9)),
+                            ));
+                        }
+                        json::obj(fields)
+                    })
+                    .collect(),
+            ),
+        ),
+        ("breakdown", breakdown),
+    ]);
+    std::fs::write(&out_path, doc.to_pretty()).expect("write bench output");
+    eprintln!("wrote {out_path}");
+}

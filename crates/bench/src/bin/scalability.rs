@@ -13,7 +13,7 @@
 //! ```
 
 use agentgrid::prelude::*;
-use std::time::Instant;
+use agentgrid_bench::{grid_totals, run_grid};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -42,28 +42,15 @@ fn main() {
                 agents: topology.names(),
                 environment: ExecEnv::Test,
             };
-            let mut opts = RunOptions::paper();
-            if quick {
-                opts = RunOptions::fast();
-            }
+            let opts = if quick {
+                RunOptions::fast()
+            } else {
+                RunOptions::paper()
+            };
 
-            let t0 = Instant::now();
-            let design = ExperimentDesign::experiment3();
-
-            // Run through GridSystem directly to read the hop counter.
-            let mut config = GridConfig::new(design.local_policy, true, workload.seed);
-            config.ga = opts.ga;
-            config.gossip = gossip;
-            let mut grid = GridSystem::new(&topology, &opts.catalog, &config);
-            let mut sim = Simulation::new();
-            grid.bootstrap(&mut sim, workload.generate(&opts.catalog));
-            while let Some(ev) = sim.step() {
-                grid.handle(&mut sim, ev);
-            }
-            let wall = t0.elapsed();
-
-            let result = run_stats(&grid, &topology, workload.requests);
-            let placed = workload.requests - grid.rejected();
+            let run = run_grid(&topology, &workload, &opts, gossip, false);
+            let (advance, utilisation, balance) = grid_totals(&run.grid, &topology);
+            let placed = workload.requests - run.grid.rejected();
             println!(
                 "{:<22}{:>8}{:>10}{:>12.2}{:>12.1}{:>9.1}{:>8.1}{:>8.1}{:>9.2?}",
                 format!(
@@ -72,12 +59,12 @@ fn main() {
                 ),
                 agents,
                 workload.requests,
-                grid.discovery_hops() as f64 / placed.max(1) as f64,
-                grid.pull_messages() as f64 / agents as f64,
-                result.0,
-                result.1,
-                result.2,
-                wall,
+                run.grid.discovery_hops() as f64 / placed.max(1) as f64,
+                run.grid.pull_messages() as f64 / agents as f64,
+                advance,
+                utilisation,
+                balance,
+                run.wall,
             );
         }
     }
@@ -89,26 +76,4 @@ fn main() {
     println!("# (requests chase the globally best resource through stale views)");
     println!("# for visibly better placement: higher utilisation and balance and");
     println!("# less lateness as the grid grows.");
-}
-
-/// Total (ε, υ, β) from a finished grid.
-fn run_stats(grid: &GridSystem, topology: &GridTopology, _requests: usize) -> (f64, f64, f64) {
-    let horizon = grid.horizon();
-    let horizon_s = horizon.as_secs_f64().max(1e-9);
-    let stats: Vec<ResourceStats> = topology
-        .resources
-        .iter()
-        .map(|spec| {
-            let s = &grid.schedulers()[&spec.name];
-            ResourceStats::from_run(
-                &spec.name,
-                spec.nproc,
-                s.resource().allocations(),
-                s.completed(),
-                horizon,
-            )
-        })
-        .collect();
-    let total = compute_grid(&stats, horizon_s);
-    (total.advance_s, total.utilisation_pct, total.balance_pct)
 }

@@ -1,6 +1,8 @@
 //! Shared plumbing for the experiment binaries and Criterion benches.
 
 use agentgrid::prelude::*;
+use agentgrid_sim::EventQueue;
+use std::time::{Duration, Instant};
 
 /// The paper's full case-study run: twelve 16-node resources, 600
 /// requests at 1-second intervals, seed fixed across experiments.
@@ -17,6 +19,92 @@ pub fn quick_workload(seed: u64) -> (GridTopology, WorkloadConfig) {
     let mut workload = WorkloadConfig::case_study(topology.names(), seed);
     workload.requests = 120;
     (topology, workload)
+}
+
+/// One finished experiment-3 grid run plus its throughput numbers.
+pub struct GridRun {
+    /// The grid, post-run, for reading counters and per-resource stats.
+    pub grid: GridSystem,
+    /// How many requests the workload generated.
+    pub requests: usize,
+    /// Simulation events processed to drain the run.
+    pub events: u64,
+    /// Wall time from bootstrap to the last event.
+    pub wall: Duration,
+}
+
+impl GridRun {
+    /// Simulation events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Run experiment 3 (GA + agent discovery) over a topology and workload
+/// until the event queue drains.
+///
+/// `baseline` restores the pre-rework grid paths — the binary-heap event
+/// queue instead of the timing wheel, full-grid scans instead of the
+/// incremental counters, and per-call service-info formatting instead of
+/// cached templates — so before/after comparisons measure real work on
+/// both sides (`gridscale` reports the ratio).
+pub fn run_grid(
+    topology: &GridTopology,
+    workload: &WorkloadConfig,
+    opts: &RunOptions,
+    gossip: bool,
+    baseline: bool,
+) -> GridRun {
+    let design = ExperimentDesign::experiment3();
+    let mut config = GridConfig::new(design.local_policy, design.agents_enabled, workload.seed);
+    config.ga = opts.ga;
+    config.gossip = gossip;
+    config.telemetry = opts.telemetry.clone();
+    let mut grid = GridSystem::new(topology, &opts.catalog, &config);
+    grid.set_baseline_bookkeeping(baseline);
+    let mut sim = if baseline {
+        Simulation::with_queue(EventQueue::heap())
+    } else {
+        Simulation::new()
+    };
+    sim.set_telemetry(opts.telemetry.clone());
+    let requests = workload.generate(&opts.catalog);
+    let n_requests = requests.len();
+    let t0 = Instant::now();
+    grid.bootstrap(&mut sim, requests);
+    while let Some(ev) = sim.step() {
+        grid.handle(&mut sim, ev);
+    }
+    GridRun {
+        grid,
+        requests: n_requests,
+        events: sim.processed(),
+        wall: t0.elapsed(),
+    }
+}
+
+/// Total (ε, υ, β) metrics from a finished grid.
+pub fn grid_totals(grid: &GridSystem, topology: &GridTopology) -> (f64, f64, f64) {
+    let horizon = grid.horizon();
+    let horizon_s = horizon.as_secs_f64().max(1e-9);
+    let stats: Vec<ResourceStats> = topology
+        .resources
+        .iter()
+        .map(|spec| {
+            let s = grid
+                .scheduler(&spec.name)
+                .expect("scheduler per topology resource");
+            ResourceStats::from_run(
+                &spec.name,
+                spec.nproc,
+                s.resource().allocations(),
+                s.completed(),
+                horizon,
+            )
+        })
+        .collect();
+    let total = compute_grid(&stats, horizon_s);
+    (total.advance_s, total.utilisation_pct, total.balance_pct)
 }
 
 /// Parse the common `--quick` / `--seed N` flags of the experiment bins.

@@ -140,8 +140,7 @@ fn collect_result(
     let mut per_resource = Vec::new();
     for spec in &topology.resources {
         let s = grid
-            .schedulers()
-            .get(&spec.name)
+            .scheduler(&spec.name)
             .expect("scheduler per topology resource");
         let stats = ResourceStats::from_run(
             &spec.name,

@@ -11,10 +11,30 @@
 //! LAN latencies are negligible against multi-second task runtimes); what
 //! is *not* instantaneous — and is the crux of the reproduced behaviour —
 //! is the staleness of advertised freetime between pulls.
+//!
+//! # Scaling (DESIGN.md §9)
+//!
+//! The event loop is sized for thousand-agent topologies:
+//!
+//! * Resources are interned into dense [`ResourceId`]s at construction;
+//!   events, neighbour lists and bookkeeping index `Vec`s instead of
+//!   walking `BTreeMap<String, _>`s. Ids are assigned in lexicographic
+//!   name order, so every iteration order the string-keyed code relied on
+//!   is reproduced exactly.
+//! * `work_remains`/`horizon`/`migrations` are O(1) running counters
+//!   maintained on submit/complete, not O(resources) scans per event
+//!   (`debug_assert`s cross-check them against the scans).
+//! * Per-resource [`ServiceInfo`] is templated once at construction; a
+//!   pull clones the template (a few `Arc` bumps) and stamps the live
+//!   freetime instead of re-`format!`ing hostnames.
+//!
+//! [`GridSystem::set_baseline_bookkeeping`] restores the legacy
+//! scan-per-event behaviour for benchmark comparison (`gridscale
+//! --baseline`); results are identical either way, only the cost moves.
 
 use agentgrid_agents::{
-    AdvertisementStrategy, DiscoveryDecision, Endpoint, FailurePolicy, Hierarchy, Portal,
-    RequestEnvelope, ServiceInfo,
+    AdvertisementStrategy, DiscoveryDecision, Endpoint, FailurePolicy, Hierarchy, NameTable,
+    Portal, RequestEnvelope, RequestInfo, ResourceId, ServiceInfo,
 };
 use agentgrid_cluster::ExecEnv;
 use agentgrid_pace::{ApplicationModel, CachedEngine, Catalog, NoiseModel, Platform};
@@ -100,53 +120,90 @@ impl GridConfig {
     }
 }
 
-/// The event alphabet of a grid run.
-#[derive(Clone, Debug, PartialEq)]
+/// The event alphabet of a grid run. Events carry interned
+/// [`ResourceId`]s, so the whole enum is `Copy` and a scheduled event
+/// costs no allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum GridEvent {
     /// The `i`-th workload request reaches its target agent.
     Request(usize),
     /// A running task's (predicted, exact in test mode) completion.
     TaskComplete {
         /// Resource executing the task.
-        resource: String,
+        resource: ResourceId,
         /// The task.
         id: TaskId,
     },
     /// An agent pulls service info from all its neighbours.
     AdvertisementPull {
         /// The pulling agent.
-        agent: String,
+        agent: ResourceId,
     },
     /// A resource monitor polls host availability.
     MonitorPoll {
         /// The polled resource.
-        resource: String,
+        resource: ResourceId,
     },
+}
+
+/// A workload request resolved against the grid at bootstrap: target
+/// agent interned, application model looked up, the Fig. 6 request
+/// document built once. The per-event cost of `GridEvent::Request` is a
+/// couple of `Arc` clones instead of a string-cloning `GeneratedRequest`.
+struct PreparedRequest {
+    agent: ResourceId,
+    app: Option<Arc<ApplicationModel>>,
+    info: Arc<RequestInfo>,
+    deadline: SimTime,
+    environment: ExecEnv,
 }
 
 /// A grid of resources, their schedulers, and the agent hierarchy.
 pub struct GridSystem {
-    schedulers: BTreeMap<String, SchedulerSystem>,
+    names: Arc<NameTable>,
+    /// Indexed by [`ResourceId`]; iteration order == name order.
+    schedulers: Vec<SchedulerSystem>,
     hierarchy: Hierarchy,
     dispatch: DispatchMode,
     rr_counter: usize,
     platforms: Vec<Platform>,
     apps: BTreeMap<String, Arc<ApplicationModel>>,
     engine: Arc<CachedEngine>,
-    requests: Vec<GeneratedRequest>,
+    requests: Vec<PreparedRequest>,
     remaining_requests: usize,
     advertisement: AdvertisementStrategy,
     gossip: bool,
     /// Freetime advertised at the last push, per resource (push mode).
-    last_advertised: BTreeMap<String, SimTime>,
+    last_advertised: Vec<SimTime>,
     monitor_polls_enabled: bool,
     portal: Portal,
     next_task: u64,
-    origins: BTreeMap<u64, String>,
-    executors: BTreeMap<u64, String>,
+    /// Submitting agent per task, indexed by task id.
+    origins: Vec<ResourceId>,
+    /// Executing resource per task (set at submission), indexed by task
+    /// id; `None` for rejected tasks.
+    executors: Vec<Option<ResourceId>>,
+    /// Tasks submitted to a scheduler and not yet completed.
+    active_tasks: usize,
+    /// Running max of completion instants (== the completed-task scan).
+    horizon_max: SimTime,
+    /// Running count of origin != executor submissions.
+    migration_count: usize,
     rejected: usize,
     pull_messages: u64,
     discovery_hops: u64,
+    /// Reusable neighbour-id buffer (avoids a Vec per pull/push).
+    scratch_neighbours: Vec<ResourceId>,
+    /// Per-resource Fig. 5 documents with freetime left at zero; cloned
+    /// (Arc bumps) and stamped per advertisement.
+    service_templates: Vec<ServiceInfo>,
+    /// Legacy bookkeeping for benchmarking: O(R) scans per event and
+    /// re-formatted service info, exactly as before the §9 rework.
+    baseline: bool,
+    /// Set once a scheduler is handed out mutably: incremental counters
+    /// can no longer be trusted, so the metric accessors fall back to
+    /// the scans (failure-injection tests mutate schedulers directly).
+    external_mutation: bool,
     trace: Trace,
     telemetry: Telemetry,
 }
@@ -157,8 +214,32 @@ impl GridSystem {
         let engine = Arc::new(CachedEngine::with_telemetry(config.telemetry.clone()));
         let root = RngStream::root(config.seed);
 
-        let mut schedulers = BTreeMap::new();
-        for spec in &topology.resources {
+        let pairs: Vec<(String, Option<String>)> = topology.parent_pairs();
+        let pairs_ref: Vec<(&str, Option<&str>)> = pairs
+            .iter()
+            .map(|(n, p)| (n.as_str(), p.as_deref()))
+            .collect();
+        let mut hierarchy =
+            Hierarchy::from_parents(&pairs_ref).expect("topology forms a valid hierarchy");
+        let ids: Vec<ResourceId> = hierarchy.ids().collect();
+        for id in &ids {
+            let agent = hierarchy
+                .agent(*id)
+                .clone()
+                .with_policy(config.failure_policy);
+            *hierarchy.agent_mut(*id) = agent;
+        }
+        hierarchy.set_telemetry(&config.telemetry);
+        let names = Arc::clone(hierarchy.table());
+
+        let spec_by_name: BTreeMap<&str, &agentgrid_workload::ResourceSpec> = topology
+            .resources
+            .iter()
+            .map(|s| (s.name.as_str(), s))
+            .collect();
+        let mut schedulers = Vec::with_capacity(names.len());
+        for id in names.ids() {
+            let spec = spec_by_name[names.name(id)];
             let resource =
                 agentgrid_cluster::GridResource::new(&spec.name, spec.platform.clone(), spec.nproc);
             let policy_cfg = match config.policy {
@@ -173,22 +254,8 @@ impl GridSystem {
                 SchedulerSystem::new(resource, policy_cfg, Arc::clone(&engine), rng);
             scheduler.set_noise(config.noise);
             scheduler.set_telemetry(config.telemetry.clone());
-            schedulers.insert(spec.name.clone(), scheduler);
+            schedulers.push(scheduler);
         }
-
-        let pairs: Vec<(String, Option<String>)> = topology.parent_pairs();
-        let pairs_ref: Vec<(&str, Option<&str>)> = pairs
-            .iter()
-            .map(|(n, p)| (n.as_str(), p.as_deref()))
-            .collect();
-        let mut hierarchy =
-            Hierarchy::from_parents(&pairs_ref).expect("topology forms a valid hierarchy");
-        for name in topology.names() {
-            let agent = hierarchy.get(&name).expect("agent exists").clone();
-            *hierarchy.get_mut(&name).expect("agent exists") =
-                agent.with_policy(config.failure_policy);
-        }
-        hierarchy.set_telemetry(&config.telemetry);
 
         let mut platforms: Vec<Platform> = Vec::new();
         for spec in &topology.resources {
@@ -203,7 +270,25 @@ impl GridSystem {
             .map(|a| (a.name.clone(), Arc::new(a.clone())))
             .collect();
 
+        let service_templates = names
+            .ids()
+            .map(|id| {
+                let s = &schedulers[id.index()];
+                let host = format!("{}.grid.example.org", names.name(id).to_lowercase());
+                ServiceInfo {
+                    agent: Endpoint::new(&host, 1000),
+                    local: Endpoint::new(&host, 10000),
+                    machine_type: s.resource().model().platform.name.as_str().into(),
+                    nproc: s.resource().nproc(),
+                    environments: s.supported_envs().to_vec().into(),
+                    freetime: SimTime::ZERO,
+                }
+            })
+            .collect();
+        let n = names.len();
+
         GridSystem {
+            names,
             schedulers,
             hierarchy,
             dispatch: config.dispatch,
@@ -215,15 +300,22 @@ impl GridSystem {
             remaining_requests: 0,
             advertisement: config.advertisement,
             gossip: config.gossip,
-            last_advertised: BTreeMap::new(),
+            last_advertised: vec![SimTime::ZERO; n],
             monitor_polls_enabled: false,
             portal: Portal::new("user@grid.example.org"),
             next_task: 0,
-            origins: BTreeMap::new(),
-            executors: BTreeMap::new(),
+            origins: Vec::new(),
+            executors: Vec::new(),
+            active_tasks: 0,
+            horizon_max: SimTime::ZERO,
+            migration_count: 0,
             rejected: 0,
             pull_messages: 0,
             discovery_hops: 0,
+            scratch_neighbours: Vec::new(),
+            service_templates,
+            baseline: false,
+            external_mutation: false,
             trace: if config.trace {
                 Trace::enabled()
             } else {
@@ -240,44 +332,76 @@ impl GridSystem {
         self.monitor_polls_enabled = true;
     }
 
+    /// Restore the pre-§9 bookkeeping — O(resources) `work_remains`/
+    /// `horizon`/`migrations` scans and per-advertisement `format!`-built
+    /// service info — for benchmark comparison. Results are identical;
+    /// only the cost profile changes.
+    pub fn set_baseline_bookkeeping(&mut self, on: bool) {
+        self.baseline = on;
+    }
+
+    /// Record a trace event attributed to `who`, with the detail string
+    /// built by `detail` against the shared name table. In normal mode
+    /// the closure runs only when the trace is enabled; in baseline mode
+    /// it runs eagerly, reproducing the legacy per-event formatting cost.
+    fn trace_at(
+        &mut self,
+        at: SimTime,
+        kind: TraceKind,
+        who: ResourceId,
+        detail: impl FnOnce(&NameTable) -> String,
+    ) {
+        if self.baseline {
+            let detail = detail(&self.names);
+            let who = self.names.name_arc(who);
+            self.trace.record(at, kind, &who, detail);
+        } else {
+            let names = &self.names;
+            self.trace
+                .record_with(at, kind, || (names.name(who).to_string(), detail(names)));
+        }
+    }
+
     /// Load the workload and schedule all bootstrap events: one
     /// [`GridEvent::Request`] per generated request, plus the initial
     /// advertisement pulls (and monitor polls if enabled).
     pub fn bootstrap(&mut self, sim: &mut Simulation<GridEvent>, requests: Vec<GeneratedRequest>) {
         self.remaining_requests = requests.len();
-        for (i, r) in requests.iter().enumerate() {
-            sim.schedule(r.at, GridEvent::Request(i));
-        }
-        self.requests = requests;
+        self.requests = requests
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                sim.schedule(r.at, GridEvent::Request(i));
+                PreparedRequest {
+                    agent: self.names.expect_id(&r.agent),
+                    app: self.apps.get(&r.application).cloned(),
+                    info: Arc::new(
+                        self.portal
+                            .request(&r.application, r.environment, r.deadline),
+                    ),
+                    deadline: r.deadline,
+                    environment: r.environment,
+                }
+            })
+            .collect();
         if self.dispatch == DispatchMode::Discovery {
             match self.advertisement {
                 AdvertisementStrategy::PeriodicPull { .. } => {
-                    for name in self.hierarchy.names() {
-                        sim.schedule(
-                            SimTime::ZERO,
-                            GridEvent::AdvertisementPull {
-                                agent: name.to_string(),
-                            },
-                        );
+                    for agent in self.names.ids() {
+                        sim.schedule(SimTime::ZERO, GridEvent::AdvertisementPull { agent });
                     }
                 }
                 AdvertisementStrategy::EventPush { .. } => {
                     // Seed every ACT once, then rely on pushes.
-                    let names: Vec<String> = self.hierarchy.names().map(str::to_string).collect();
-                    for name in &names {
-                        self.push_from(name, SimTime::ZERO);
+                    for id in 0..self.names.len() as u32 {
+                        self.push_from(ResourceId(id), SimTime::ZERO);
                     }
                 }
             }
         }
         if self.monitor_polls_enabled {
-            for name in self.schedulers.keys() {
-                sim.schedule(
-                    SimTime::ZERO,
-                    GridEvent::MonitorPoll {
-                        resource: name.clone(),
-                    },
-                );
+            for resource in self.names.ids() {
+                sim.schedule(SimTime::ZERO, GridEvent::MonitorPoll { resource });
             }
         }
     }
@@ -293,31 +417,28 @@ impl GridSystem {
         match event {
             GridEvent::Request(i) => {
                 self.remaining_requests = self.remaining_requests.saturating_sub(1);
-                let req = self.requests[i].clone();
-                self.trace.record(
-                    now,
-                    TraceKind::RequestArrival,
-                    &req.agent,
-                    format!("{} deadline {}", req.application, req.deadline),
-                );
-                if let Some((executor, task)) = self.route(&req, now) {
-                    self.submit_to(sim, &executor, task, now);
-                    self.maybe_push(&executor, now);
+                let prep = &self.requests[i];
+                let (who, deadline, info) = (prep.agent, prep.deadline, Arc::clone(&prep.info));
+                self.trace_at(now, TraceKind::RequestArrival, who, |_| {
+                    format!("{} deadline {deadline}", info.application)
+                });
+                if let Some((executor, task)) = self.route(i, now) {
+                    self.submit_to(sim, executor, task, now);
+                    self.maybe_push(executor, now);
                 }
             }
             GridEvent::TaskComplete { resource, id } => {
-                self.trace
-                    .record(now, TraceKind::TaskComplete, &resource, format!("{id}"));
-                let started = self
-                    .schedulers
-                    .get_mut(&resource)
-                    .expect("completion for a known resource")
-                    .on_task_complete(id, now);
-                self.schedule_started(sim, &resource, &started);
-                self.maybe_push(&resource, now);
+                self.trace_at(now, TraceKind::TaskComplete, resource, |_| format!("{id}"));
+                let started = self.schedulers[resource.index()].on_task_complete(id, now);
+                // One completion event per started task, one start per
+                // submitted task: the counter mirrors the queue scan.
+                self.active_tasks = self.active_tasks.saturating_sub(1);
+                self.horizon_max = self.horizon_max.max(now);
+                self.schedule_started(sim, resource, &started);
+                self.maybe_push(resource, now);
             }
             GridEvent::AdvertisementPull { agent } => {
-                self.pull(&agent, now);
+                self.pull(agent, now);
                 if let AdvertisementStrategy::PeriodicPull { period } = self.advertisement {
                     if self.work_remains() {
                         sim.schedule_in(period, GridEvent::AdvertisementPull { agent });
@@ -325,15 +446,10 @@ impl GridSystem {
                 }
             }
             GridEvent::MonitorPoll { resource } => {
-                let (started, period) = {
-                    let s = self
-                        .schedulers
-                        .get_mut(&resource)
-                        .expect("poll for a known resource");
-                    let period = s.monitor_mut().period();
-                    (s.on_monitor_poll(now), period)
-                };
-                self.schedule_started(sim, &resource, &started);
+                let s = &mut self.schedulers[resource.index()];
+                let period = s.monitor_mut().period();
+                let started = s.on_monitor_poll(now);
+                self.schedule_started(sim, resource, &started);
                 if self.work_remains() {
                     sim.schedule_in(period, GridEvent::MonitorPoll { resource });
                 }
@@ -343,114 +459,100 @@ impl GridSystem {
 
     /// Decide where a request executes. Without agents: at the agent it
     /// reached. With agents: run the §3.2 discovery walk.
-    fn route(&mut self, req: &GeneratedRequest, now: SimTime) -> Option<(String, Task)> {
-        let app = match self.apps.get(&req.application) {
+    fn route(&mut self, i: usize, now: SimTime) -> Option<(ResourceId, Task)> {
+        let prep = &self.requests[i];
+        let origin = prep.agent;
+        let deadline = prep.deadline;
+        let environment = prep.environment;
+        let app = match &prep.app {
             Some(a) => Arc::clone(a),
             None => {
                 self.rejected += 1;
-                self.trace.record(
-                    now,
-                    TraceKind::Discovery,
-                    &req.agent,
-                    format!("unknown application {}", req.application),
-                );
+                let info = Arc::clone(&prep.info);
+                self.trace_at(now, TraceKind::Discovery, origin, |_| {
+                    format!("unknown application {}", info.application)
+                });
                 return None;
             }
         };
         let id = TaskId(self.next_task);
         self.next_task += 1;
-        let task = Task::new(id, app.clone(), now, req.deadline, req.environment);
-        self.origins.insert(id.0, req.agent.clone());
+        let task = Task::new(id, app.clone(), now, deadline, environment);
+        debug_assert_eq!(self.origins.len(), id.0 as usize, "task ids are dense");
+        self.origins.push(origin);
+        self.executors.push(None);
 
         match self.dispatch {
-            DispatchMode::Local => return Some((req.agent.clone(), task)),
+            DispatchMode::Local => return Some((origin, task)),
             DispatchMode::Random => {
                 // Deterministic per-task pseudo-random pick over the
-                // resources (seed-independent of the GA streams).
-                let names: Vec<&String> = self.schedulers.keys().collect();
-                let pick = split_mix(id.0) as usize % names.len();
-                return Some((names[pick].clone(), task));
+                // resources (seed-independent of the GA streams). Dense
+                // ids replace the old sorted-name list: index == id.
+                let pick = split_mix(id.0) as usize % self.schedulers.len();
+                return Some((ResourceId(pick as u32), task));
             }
             DispatchMode::RoundRobin => {
-                let names: Vec<&String> = self.schedulers.keys().collect();
-                let pick = self.rr_counter % names.len();
+                let pick = self.rr_counter % self.schedulers.len();
                 self.rr_counter += 1;
-                return Some((names[pick].clone(), task));
+                return Some((ResourceId(pick as u32), task));
             }
             DispatchMode::Discovery => {}
         }
 
-        let mut envelope = RequestEnvelope::new(self.portal.request(
-            &req.application,
-            req.environment,
-            req.deadline,
-        ))
-        .with_task(id.0);
-        let mut current = req.agent.clone();
+        let mut envelope = RequestEnvelope::new(Arc::clone(&self.requests[i].info)).with_task(id.0);
+        let mut current = origin;
         loop {
-            let local = self.service_info(&current, now);
-            let agent = self
-                .hierarchy
-                .get(&current)
-                .expect("request routed to a known agent");
+            let local = self.service_info_id(current, now);
+            let agent = self.hierarchy.agent(current);
             let decision =
                 agent.decide(&envelope, &app, &local, now, &self.platforms, &self.engine);
             match decision {
                 DiscoveryDecision::ExecuteLocally { .. } => {
-                    self.trace.record(
-                        now,
-                        TraceKind::Discovery,
-                        &current,
-                        format!("{id} executes locally after {} hops", envelope.hops),
-                    );
+                    let hops = envelope.hops;
+                    self.trace_at(now, TraceKind::Discovery, current, |_| {
+                        format!("{id} executes locally after {hops} hops")
+                    });
                     self.discovery_hops += envelope.hops as u64;
                     return Some((current, task));
                 }
                 DiscoveryDecision::Dispatch { to, .. } => {
-                    self.trace.record(
-                        now,
-                        TraceKind::Discovery,
-                        &current,
-                        format!("{id} dispatched to {to}"),
-                    );
-                    envelope.visit(&current);
+                    self.trace_at(now, TraceKind::Discovery, current, |names| {
+                        format!("{id} dispatched to {}", names.name(to))
+                    });
+                    envelope.visit(current);
                     envelope.hops += 1;
+                    let names = &self.names;
                     self.telemetry.emit(now.ticks(), || Event::TaskDispatch {
                         task: id.0,
-                        from: current.clone(),
-                        to: to.clone(),
+                        from: names.name(current).to_string(),
+                        to: names.name(to).to_string(),
                         hops: envelope.hops as u32,
                     });
                     current = to;
                 }
                 DiscoveryDecision::Escalate { to } => {
-                    self.trace.record(
-                        now,
-                        TraceKind::Discovery,
-                        &current,
-                        format!("{id} escalated to {to}"),
-                    );
-                    envelope.visit(&current);
+                    self.trace_at(now, TraceKind::Discovery, current, |names| {
+                        format!("{id} escalated to {}", names.name(to))
+                    });
+                    envelope.visit(current);
                     envelope.hops += 1;
+                    let names = &self.names;
                     self.telemetry.emit(now.ticks(), || Event::EscalationHop {
                         task: id.0,
-                        from: current.clone(),
-                        to: to.clone(),
+                        from: names.name(current).to_string(),
+                        to: names.name(to).to_string(),
                     });
                     current = to;
                 }
                 DiscoveryDecision::Reject => {
                     self.rejected += 1;
-                    self.origins.remove(&id.0);
-                    self.trace.record(
-                        now,
-                        TraceKind::Discovery,
-                        &current,
-                        format!("{id} rejected: no available service"),
-                    );
+                    self.trace_at(now, TraceKind::Discovery, current, |_| {
+                        format!("{id} rejected: no available service")
+                    });
+                    let names = &self.names;
                     self.telemetry.emit(now.ticks(), || Event::TaskReject {
                         task: id.0,
-                        resource: current.clone(),
+                        resource: names.name(current).to_string(),
                     });
                     return None;
                 }
@@ -463,28 +565,30 @@ impl GridSystem {
     fn submit_to(
         &mut self,
         sim: &mut Simulation<GridEvent>,
-        resource: &str,
+        resource: ResourceId,
         task: Task,
         now: SimTime,
     ) {
         let id = task.id;
-        self.executors.insert(id.0, resource.to_string());
-        self.trace
-            .record(now, TraceKind::Enqueue, resource, format!("{id}"));
-        let started = match self
-            .schedulers
-            .get_mut(resource)
-            .expect("submission to a known resource")
-            .submit(task, now)
-        {
-            Ok(s) => s,
+        self.executors[id.0 as usize] = Some(resource);
+        if self.origins[id.0 as usize] != resource {
+            self.migration_count += 1;
+        }
+        self.trace_at(now, TraceKind::Enqueue, resource, |_| format!("{id}"));
+        let started = match self.schedulers[resource.index()].submit(task, now) {
+            Ok(s) => {
+                self.active_tasks += 1;
+                s
+            }
             Err(e) => {
                 self.rejected += 1;
-                self.trace
-                    .record(now, TraceKind::Discovery, resource, format!("{id}: {e}"));
+                self.trace_at(now, TraceKind::Discovery, resource, |_| {
+                    format!("{id}: {e}")
+                });
+                let names = &self.names;
                 self.telemetry.emit(now.ticks(), || Event::TaskReject {
                     task: id.0,
-                    resource: resource.to_string(),
+                    resource: names.name(resource).to_string(),
                 });
                 return;
             }
@@ -495,134 +599,156 @@ impl GridSystem {
     fn schedule_started(
         &mut self,
         sim: &mut Simulation<GridEvent>,
-        resource: &str,
+        resource: ResourceId,
         started: &[StartedTask],
     ) {
         for s in started {
-            self.trace.record(
-                s.start,
-                TraceKind::TaskStart,
-                resource,
-                format!("{} on {}", s.id, s.mask),
-            );
-            sim.schedule(
-                s.completion,
-                GridEvent::TaskComplete {
-                    resource: resource.to_string(),
-                    id: s.id,
-                },
-            );
+            self.trace_at(s.start, TraceKind::TaskStart, resource, |_| {
+                format!("{} on {}", s.id, s.mask)
+            });
+            sim.schedule(s.completion, GridEvent::TaskComplete { resource, id: s.id });
         }
     }
 
     /// One agent pulls live service info from all its neighbours
     /// (§3.2's ten-second refresh).
-    fn pull(&mut self, agent_name: &str, now: SimTime) {
-        let Some(agent) = self.hierarchy.get(agent_name) else {
-            return;
-        };
-        let neighbours: Vec<String> = agent.neighbours().map(str::to_string).collect();
-        for n in neighbours {
-            let info = self.service_info(&n, now);
+    fn pull(&mut self, agent: ResourceId, now: SimTime) {
+        let mut neighbours = std::mem::take(&mut self.scratch_neighbours);
+        neighbours.clear();
+        neighbours.extend(self.hierarchy.agent(agent).neighbour_ids());
+        for &n in &neighbours {
+            let info = self.service_info_id(n, now);
             self.pull_messages += 1;
-            self.trace.record(
-                now,
-                TraceKind::Advertisement,
-                agent_name,
-                format!("pulled {n} freetime={}", info.freetime),
-            );
+            let freetime = info.freetime;
+            self.trace_at(now, TraceKind::Advertisement, agent, |names| {
+                format!("pulled {} freetime={freetime}", names.name(n))
+            });
             // Under gossip a pull also carries the neighbour's table, so
             // knowledge of distant resources ripples through the tree.
             let gossiped = if self.gossip {
-                self.hierarchy.get(&n).map(|a| a.act().clone())
+                Some(self.hierarchy.agent(n).act().clone())
             } else {
                 None
             };
-            let me = self.hierarchy.get_mut(agent_name).expect("agent exists");
-            me.receive_advertisement(&n, info, now, false);
+            let me = self.hierarchy.agent_mut(agent);
+            me.receive_advertisement(n, info, now, false);
             if let Some(table) = gossiped {
                 me.merge_act(&table);
             }
         }
+        self.scratch_neighbours = neighbours;
     }
 
     /// Push one resource's live service info to all its neighbours
     /// (event-driven advertisement).
-    fn push_from(&mut self, agent_name: &str, now: SimTime) {
-        let Some(agent) = self.hierarchy.get(agent_name) else {
-            return;
-        };
-        let neighbours: Vec<String> = agent.neighbours().map(str::to_string).collect();
-        let info = self.service_info(agent_name, now);
-        self.last_advertised
-            .insert(agent_name.to_string(), info.freetime);
-        for n in neighbours {
+    fn push_from(&mut self, agent: ResourceId, now: SimTime) {
+        let mut neighbours = std::mem::take(&mut self.scratch_neighbours);
+        neighbours.clear();
+        neighbours.extend(self.hierarchy.agent(agent).neighbour_ids());
+        let info = self.service_info_id(agent, now);
+        self.last_advertised[agent.index()] = info.freetime;
+        let freetime = info.freetime;
+        for &n in &neighbours {
             self.pull_messages += 1;
-            self.trace.record(
-                now,
-                TraceKind::Advertisement,
-                agent_name,
-                format!("pushed freetime={} to {n}", info.freetime),
-            );
+            self.trace_at(now, TraceKind::Advertisement, agent, |names| {
+                format!("pushed freetime={freetime} to {}", names.name(n))
+            });
             self.hierarchy
-                .get_mut(&n)
-                .expect("neighbour exists")
-                .receive_advertisement(agent_name, info.clone(), now, true);
+                .agent_mut(n)
+                .receive_advertisement(agent, info.clone(), now, true);
         }
+        self.scratch_neighbours = neighbours;
     }
 
     /// In push mode: advertise `resource` if its freetime moved past the
     /// strategy threshold since the last push.
-    fn maybe_push(&mut self, resource: &str, now: SimTime) {
+    fn maybe_push(&mut self, resource: ResourceId, now: SimTime) {
         if self.dispatch != DispatchMode::Discovery {
             return;
         }
         let AdvertisementStrategy::EventPush { .. } = self.advertisement else {
             return;
         };
-        let current = self
-            .schedulers
-            .get(resource)
-            .map(|s| s.freetime(now))
-            .unwrap_or(now);
-        let last = self
-            .last_advertised
-            .get(resource)
-            .copied()
-            .unwrap_or(SimTime::ZERO);
+        let current = self.schedulers[resource.index()].freetime(now);
+        let last = self.last_advertised[resource.index()];
         if self.advertisement.push_due(last, current) {
             self.push_from(resource, now);
         }
     }
 
-    /// Live service information of one resource (Fig. 5 content).
+    /// Live service information of one resource (Fig. 5 content), by id:
+    /// template clone + live freetime on the fast path.
+    pub fn service_info_id(&self, id: ResourceId, now: SimTime) -> ServiceInfo {
+        if self.baseline || self.external_mutation {
+            // Legacy path: rebuild the document from the scheduler (also
+            // the correct path once a scheduler was mutated externally —
+            // e.g. its supported environments may have changed).
+            return self.build_service_info(id, now);
+        }
+        let mut info = self.service_templates[id.index()].clone();
+        info.freetime = self.schedulers[id.index()].freetime(now);
+        info
+    }
+
+    /// Live service information of one resource, by name.
     pub fn service_info(&self, name: &str, now: SimTime) -> ServiceInfo {
-        let s = self.schedulers.get(name).expect("known resource");
-        let host = format!("{}.grid.example.org", name.to_lowercase());
+        self.service_info_id(self.names.expect_id(name), now)
+    }
+
+    fn build_service_info(&self, id: ResourceId, now: SimTime) -> ServiceInfo {
+        let s = &self.schedulers[id.index()];
+        let host = format!("{}.grid.example.org", self.names.name(id).to_lowercase());
         ServiceInfo {
             agent: Endpoint::new(&host, 1000),
             local: Endpoint::new(&host, 10000),
-            machine_type: s.resource().model().platform.name.clone(),
+            machine_type: s.resource().model().platform.name.as_str().into(),
             nproc: s.resource().nproc(),
-            environments: s.supported_envs().to_vec(),
+            environments: s.supported_envs().to_vec().into(),
             freetime: s.freetime(now),
         }
     }
 
     /// Whether any requests are outstanding or any scheduler still has
     /// queued/running work (periodic events stop rescheduling once this
-    /// turns false, which ends the run).
+    /// turns false, which ends the run). O(1) via the active-task
+    /// counter; falls back to the queue scan under baseline bookkeeping
+    /// or after external scheduler mutation.
     pub fn work_remains(&self) -> bool {
-        self.remaining_requests > 0
-            || self
-                .schedulers
-                .values()
-                .any(|s| s.queue_len() > 0 || s.running_len() > 0)
+        if self.baseline || self.external_mutation {
+            return self.remaining_requests > 0 || self.scan_work_remains();
+        }
+        debug_assert_eq!(
+            self.active_tasks > 0,
+            self.scan_work_remains(),
+            "active-task counter diverged from the queue scan"
+        );
+        self.remaining_requests > 0 || self.active_tasks > 0
     }
 
-    /// The schedulers by resource name.
-    pub fn schedulers(&self) -> &BTreeMap<String, SchedulerSystem> {
-        &self.schedulers
+    fn scan_work_remains(&self) -> bool {
+        self.schedulers
+            .iter()
+            .any(|s| s.queue_len() > 0 || s.running_len() > 0)
+    }
+
+    /// The interned name table shared by every layer of this grid.
+    pub fn names(&self) -> &Arc<NameTable> {
+        &self.names
+    }
+
+    /// The schedulers in id order (== lexicographic resource-name order).
+    pub fn schedulers(&self) -> impl Iterator<Item = &SchedulerSystem> {
+        self.schedulers.iter()
+    }
+
+    /// One scheduler by resource name.
+    pub fn scheduler(&self, name: &str) -> Option<&SchedulerSystem> {
+        self.names.id(name).map(|id| &self.schedulers[id.index()])
+    }
+
+    /// One scheduler by interned id.
+    pub fn scheduler_by_id(&self, id: ResourceId) -> &SchedulerSystem {
+        &self.schedulers[id.index()]
     }
 
     /// The agent hierarchy.
@@ -631,8 +757,16 @@ impl GridSystem {
     }
 
     /// Mutable access to one scheduler (failure injection in examples).
+    ///
+    /// Handing out `&mut` invalidates the incremental bookkeeping (a
+    /// caller may cancel tasks or change environments behind the grid's
+    /// back), so `work_remains`/`horizon`/`migrations` permanently fall
+    /// back to their scan forms for this grid.
     pub fn scheduler_mut(&mut self, name: &str) -> Option<&mut SchedulerSystem> {
-        self.schedulers.get_mut(name)
+        self.external_mutation = true;
+        self.names
+            .id(name)
+            .map(|id| &mut self.schedulers[id.index()])
     }
 
     /// The shared evaluation cache.
@@ -641,20 +775,47 @@ impl GridSystem {
     }
 
     /// The latest completion instant across the grid (the observation
-    /// horizon for metrics); zero when nothing ran.
+    /// horizon for metrics); zero when nothing ran. O(1) via a running
+    /// max except under baseline/external-mutation modes.
     pub fn horizon(&self) -> SimTime {
+        if self.baseline || self.external_mutation {
+            return self.scan_horizon();
+        }
+        debug_assert_eq!(
+            self.horizon_max,
+            self.scan_horizon(),
+            "horizon running max diverged from the completed-task scan"
+        );
+        self.horizon_max
+    }
+
+    fn scan_horizon(&self) -> SimTime {
         self.schedulers
-            .values()
+            .iter()
             .flat_map(|s| s.completed().iter().map(|c| c.completion))
             .fold(SimTime::ZERO, SimTime::max)
     }
 
     /// Tasks that executed on a different resource than the agent they
-    /// were submitted to (the agent layer's redistribution).
+    /// were submitted to (the agent layer's redistribution). O(1) via a
+    /// running counter except under baseline/external-mutation modes.
     pub fn migrations(&self) -> usize {
+        if self.baseline || self.external_mutation {
+            return self.scan_migrations();
+        }
+        debug_assert_eq!(
+            self.migration_count,
+            self.scan_migrations(),
+            "migration counter diverged from the origin/executor scan"
+        );
+        self.migration_count
+    }
+
+    fn scan_migrations(&self) -> usize {
         self.executors
             .iter()
-            .filter(|(id, exec)| self.origins.get(*id).is_some_and(|o| o != *exec))
+            .zip(&self.origins)
+            .filter(|(e, o)| e.is_some_and(|e| e != **o))
             .count()
     }
 

@@ -50,10 +50,18 @@ impl<E> Default for Simulation<E> {
 }
 
 impl<E> Simulation<E> {
-    /// A fresh simulation with the clock at zero.
+    /// A fresh simulation with the clock at zero, on the default
+    /// (timing-wheel) event queue.
     pub fn new() -> Self {
+        Self::with_queue(EventQueue::new())
+    }
+
+    /// A fresh simulation driving the given event queue. Both
+    /// [`EventQueue`] backends deliver identical schedules; pick the
+    /// heap explicitly only for baseline comparisons.
+    pub fn with_queue(queue: EventQueue<E>) -> Self {
         Simulation {
-            queue: EventQueue::new(),
+            queue,
             now: SimTime::ZERO,
             processed: 0,
             horizon: None,

@@ -70,12 +70,35 @@ impl Trace {
     }
 
     /// Record an event (no-op when disabled).
+    ///
+    /// The `detail` argument is evaluated by the caller even when the
+    /// trace is disabled; hot paths that would `format!` should use
+    /// [`Trace::record_with`] instead.
     pub fn record(&mut self, at: SimTime, kind: TraceKind, who: &str, detail: impl Into<String>) {
         if self.enabled {
             self.events.push(TraceEvent {
                 at,
                 kind,
                 who: who.to_string(),
+                detail: detail.into(),
+            });
+        }
+    }
+
+    /// Record an event, building `who`/`detail` lazily: the closure runs
+    /// only when the trace is enabled, so a disabled trace costs one
+    /// branch and zero allocations per call site.
+    pub fn record_with<W, D>(&mut self, at: SimTime, kind: TraceKind, f: impl FnOnce() -> (W, D))
+    where
+        W: Into<String>,
+        D: Into<String>,
+    {
+        if self.enabled {
+            let (who, detail) = f();
+            self.events.push(TraceEvent {
+                at,
+                kind,
+                who: who.into(),
                 detail: detail.into(),
             });
         }
@@ -139,6 +162,24 @@ mod tests {
         assert_eq!(t.count(TraceKind::Discovery), 5);
         assert_eq!(t.count(TraceKind::TaskComplete), 1);
         assert_eq!(t.count(TraceKind::Enqueue), 0);
+    }
+
+    #[test]
+    fn record_with_is_lazy() {
+        let mut t = Trace::disabled();
+        let mut built = false;
+        t.record_with(SimTime::ZERO, TraceKind::Info, || -> (&str, &str) {
+            unreachable!("closure must not run on a disabled trace")
+        });
+        assert!(t.events().is_empty());
+        let mut t = Trace::enabled();
+        t.record_with(SimTime::ZERO, TraceKind::Info, || {
+            built = true;
+            ("S1", "detail")
+        });
+        assert!(built);
+        assert_eq!(t.events()[0].who, "S1");
+        assert_eq!(t.events()[0].detail, "detail");
     }
 
     #[test]

@@ -49,6 +49,50 @@ proptest! {
         }
     }
 
+    /// The timing wheel and the reference binary heap deliver ANY
+    /// schedule in exactly the same order — times spanning every wheel
+    /// level plus the far-future overflow path, with interleaved pops
+    /// (including pops while empty and same-instant re-pushes).
+    #[test]
+    fn wheel_matches_heap_for_any_schedule(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                // Push: tick chosen to exercise level-0 slots, mid
+                // levels, the top level and the overflow heap.
+                (0u64..200u64).prop_map(Some),                    // dense low ticks
+                (0u64..5_000_000_000u64).prop_map(Some),                 // all wheel levels
+                (u64::MAX - 1000..u64::MAX).prop_map(Some),              // overflow region
+                Just(None),                                              // pop
+            ],
+            1..300,
+        )
+    ) {
+        let mut heap = EventQueue::heap();
+        let mut wheel = EventQueue::wheel();
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                Some(t) => {
+                    let at = SimTime::from_ticks(t);
+                    heap.push(at, i);
+                    wheel.push(at, i);
+                }
+                None => {
+                    prop_assert_eq!(heap.peek_time(), wheel.peek_time());
+                    prop_assert_eq!(heap.pop(), wheel.pop());
+                }
+            }
+            prop_assert_eq!(heap.len(), wheel.len());
+        }
+        // Drain: every remaining event must come out identically.
+        loop {
+            let (a, b) = (heap.pop(), wheel.pop());
+            prop_assert_eq!(&a, &b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
     /// The simulation clock never goes backwards, whatever the schedule.
     #[test]
     fn clock_is_monotone(delays in proptest::collection::vec(0u64..100, 1..100)) {

@@ -28,9 +28,11 @@ pub mod aggregate;
 pub mod event;
 pub mod export;
 pub mod json;
+pub mod names;
 pub mod recorder;
 
 pub use aggregate::{Aggregate, AggregateRecorder, LogLinearHistogram};
 pub use event::{Event, Micros, TimedEvent};
 pub use export::{read_trace, write_chrome, write_jsonl, JsonlRecorder, TraceReadError};
+pub use names::{NameTable, ResourceId};
 pub use recorder::{MultiRecorder, NoopRecorder, Recorder, RingRecorder, Telemetry};

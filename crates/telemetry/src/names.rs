@@ -1,0 +1,184 @@
+//! Dense interned resource identifiers.
+//!
+//! Every grid resource (equivalently: agent, since the paper pairs one
+//! agent with one resource) is named by a string such as `"S5"` or
+//! `"A137"`. Strings are the right currency at construction time and in
+//! reports, but inside the event loop they force a `BTreeMap<String, _>`
+//! lookup — a pointer-chasing string comparison — on every event, and a
+//! heap allocation every time a name is cloned into an event or a trace
+//! line. At the thousand-agent topologies the ROADMAP targets, that
+//! bookkeeping dominates the run.
+//!
+//! [`NameTable`] interns the full resource set once, up front, into dense
+//! [`ResourceId`]s (`u32` indices), so the hot path indexes `Vec`s
+//! instead of walking trees. Two properties are load-bearing:
+//!
+//! 1. **Sorted interning.** Ids are assigned in lexicographic name
+//!    order, so iterating resources by ascending id visits them in
+//!    exactly the order `BTreeMap<String, _>` iteration used to. Every
+//!    ordering the legacy string-keyed code relied on (monitor-poll
+//!    bootstrap order, `Random`/`RoundRobin` index→name mapping, ACT
+//!    candidate tie-breaking) is reproduced bit for bit.
+//! 2. **Immutability.** The table is frozen at construction and shared
+//!    via `Arc`, so a `ResourceId` can never dangle and id→name lookup
+//!    is a branchless slice index.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A dense identifier for one grid resource / agent.
+///
+/// Ids are indices into the [`NameTable`] that produced them; they are
+/// assigned in lexicographic name order (see the module docs for why
+/// that matters). `ResourceId` is `Copy` and 4 bytes, so events and
+/// neighbour lists carry it for free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceId(pub u32);
+
+impl ResourceId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An immutable, sorted intern table mapping resource names to dense
+/// [`ResourceId`]s and back.
+///
+/// ```
+/// use agentgrid_telemetry::{NameTable, ResourceId};
+///
+/// let table = NameTable::from_names(["S2", "S1", "S10"]);
+/// // Ids follow lexicographic name order, duplicates collapse.
+/// assert_eq!(table.id("S1"), Some(ResourceId(0)));
+/// assert_eq!(table.id("S10"), Some(ResourceId(1)));
+/// assert_eq!(table.id("S2"), Some(ResourceId(2)));
+/// assert_eq!(table.name(ResourceId(1)), "S10");
+/// assert_eq!(table.len(), 3);
+/// ```
+#[derive(Debug, PartialEq, Eq)]
+pub struct NameTable {
+    /// Names in id order == lexicographic order.
+    names: Vec<Arc<str>>,
+}
+
+impl NameTable {
+    /// Intern `names`, deduplicated and sorted lexicographically.
+    pub fn from_names<I, S>(names: I) -> Arc<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut names: Vec<Arc<str>> = names.into_iter().map(|n| Arc::from(n.as_ref())).collect();
+        names.sort_unstable();
+        names.dedup();
+        Arc::new(NameTable { names })
+    }
+
+    /// The id for `name`, if interned.
+    #[inline]
+    pub fn id(&self, name: &str) -> Option<ResourceId> {
+        self.names
+            .binary_search_by(|n| n.as_ref().cmp(name))
+            .ok()
+            .map(|i| ResourceId(i as u32))
+    }
+
+    /// The id for `name`; panics with a clear message if unknown.
+    ///
+    /// Use at construction/reporting edges where an unknown name is a
+    /// configuration bug, not a runtime condition.
+    #[inline]
+    pub fn expect_id(&self, name: &str) -> ResourceId {
+        self.id(name)
+            .unwrap_or_else(|| panic!("unknown resource name {name:?}"))
+    }
+
+    /// The name for `id`. Panics if `id` came from a different table.
+    #[inline]
+    pub fn name(&self, id: ResourceId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// The name for `id` as a shared `Arc<str>` (no allocation).
+    #[inline]
+    pub fn name_arc(&self, id: ResourceId) -> Arc<str> {
+        Arc::clone(&self.names[id.index()])
+    }
+
+    /// Number of interned names.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All ids in ascending order (== lexicographic name order).
+    pub fn ids(&self) -> impl ExactSizeIterator<Item = ResourceId> + '_ {
+        (0..self.names.len() as u32).map(ResourceId)
+    }
+
+    /// All names in id order (== lexicographic order).
+    pub fn names(&self) -> impl ExactSizeIterator<Item = &str> + '_ {
+        self.names.iter().map(|n| n.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_follow_sorted_name_order() {
+        let t = NameTable::from_names(["R3", "R1", "R2"]);
+        assert_eq!(
+            t.names().collect::<Vec<_>>(),
+            ["R1", "R2", "R3"],
+            "id order must equal BTreeMap iteration order"
+        );
+        for (i, name) in t.names().enumerate() {
+            assert_eq!(t.id(name), Some(ResourceId(i as u32)));
+            assert_eq!(t.name(ResourceId(i as u32)), name);
+        }
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let t = NameTable::from_names(["A", "B", "A"]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn unknown_names_are_none() {
+        let t = NameTable::from_names(["A"]);
+        assert_eq!(t.id("Z"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown resource name")]
+    fn expect_id_panics_on_unknown() {
+        let t = NameTable::from_names(["A"]);
+        t.expect_id("Z");
+    }
+
+    #[test]
+    fn lexicographic_not_numeric() {
+        // "A10" sorts before "A2": the table must agree with string
+        // order, not human numeric order, because the legacy BTreeMap
+        // did too.
+        let t = NameTable::from_names(["A2", "A10", "A1"]);
+        assert_eq!(t.names().collect::<Vec<_>>(), ["A1", "A10", "A2"]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerate the golden Table 3 snapshot used by `tests/golden.rs`.
+//!
+//! The golden fixture pins the *behaviour* of the whole stack — workload
+//! generation, discovery, GA scheduling, metrics — for a small grid, so
+//! that pure-performance refactors (id interning, the timing-wheel event
+//! queue, incremental bookkeeping) can prove they did not move a single
+//! scheduling decision:
+//!
+//! ```text
+//! cargo run --release --example golden_table3 > tests/golden_table3.json
+//! ```
+//!
+//! Only regenerate when a change is *meant* to alter results; the diff is
+//! the review artefact.
+
+use agentgrid::prelude::*;
+
+fn main() {
+    let topology = GridTopology::flat(3, 4);
+    let workload = WorkloadConfig {
+        requests: 25,
+        interarrival: SimDuration::from_secs(1),
+        seed: 77,
+        agents: topology.names(),
+        environment: ExecEnv::Test,
+    };
+    let results = run_table3(&topology, &workload, &RunOptions::fast());
+    println!("{}", results.to_json());
+}

@@ -63,7 +63,7 @@ fn main() {
     while let Some(ev) = sim.step() {
         grid.handle(&mut sim, ev);
     }
-    let s12 = &grid.schedulers()["S12"];
+    let s12 = &grid.scheduler("S12").unwrap();
     let series = agentgrid_metrics::utilisation_series(
         s12.resource().allocations(),
         s12.resource().nproc(),

@@ -71,10 +71,10 @@ fn discovery_moves_load_from_leaf_to_capacity() {
         FailurePolicy::BestEffort,
         false,
     );
-    let executed_on_leaf = grid.schedulers()["leaf"].completed().len();
+    let executed_on_leaf = grid.scheduler("leaf").unwrap().completed().len();
     let executed_elsewhere: usize = ["head", "mid"]
         .iter()
-        .map(|n| grid.schedulers()[*n].completed().len())
+        .map(|n| grid.scheduler(n).unwrap().completed().len())
         .sum();
     assert_eq!(executed_on_leaf + executed_elsewhere, 30);
     assert!(
@@ -94,7 +94,7 @@ fn without_agents_the_leaf_keeps_everything() {
         FailurePolicy::BestEffort,
         false,
     );
-    assert_eq!(grid.schedulers()["leaf"].completed().len(), 30);
+    assert_eq!(grid.scheduler("leaf").unwrap().completed().len(), 30);
     assert_eq!(grid.migrations(), 0);
 }
 
@@ -142,7 +142,7 @@ fn reject_policy_drops_unsatisfiable_requests() {
         environment: ExecEnv::Test,
     };
     let grid = run_grid(&topology, &workload, true, FailurePolicy::Reject, false);
-    let completed = grid.schedulers()["only"].completed().len();
+    let completed = grid.scheduler("only").unwrap().completed().len();
     assert_eq!(completed + grid.rejected(), 40);
     assert!(
         grid.rejected() > 0,
@@ -186,11 +186,7 @@ fn event_push_advertisement_also_balances() {
     while let Some(ev) = sim.step() {
         grid.handle(&mut sim, ev);
     }
-    let completed: usize = grid
-        .schedulers()
-        .values()
-        .map(|s| s.completed().len())
-        .sum();
+    let completed: usize = grid.schedulers().map(|s| s.completed().len()).sum();
     assert_eq!(completed, 30);
     assert!(grid.migrations() > 0, "push mode must still redistribute");
     assert!(grid.pull_messages() > 0, "pushes are counted as messages");
@@ -198,7 +194,10 @@ fn event_push_advertisement_also_balances() {
     for name in topology.names() {
         let agent = grid.hierarchy().get(&name).unwrap();
         for n in agent.neighbours() {
-            assert!(agent.act().get(n).is_some(), "{name} never heard from {n}");
+            assert!(
+                agent.act().get(agent.id_of(n)).is_some(),
+                "{name} never heard from {n}"
+            );
         }
     }
 }
@@ -227,24 +226,20 @@ fn gossip_spreads_service_info_beyond_neighbours() {
 
     let plain = run(false);
     let leaf = plain.hierarchy().get("leaf").unwrap();
-    assert!(leaf.act().get("mid").is_some());
+    assert!(leaf.act().get(leaf.id_of("mid")).is_some());
     assert!(
-        leaf.act().get("head").is_none(),
+        leaf.act().get(leaf.id_of("head")).is_none(),
         "without gossip the leaf must not know the head"
     );
 
     let gossiped = run(true);
     let leaf = gossiped.hierarchy().get("leaf").unwrap();
     assert!(
-        leaf.act().get("head").is_some(),
+        leaf.act().get(leaf.id_of("head")).is_some(),
         "gossip must propagate the head's service info to the leaf"
     );
     // Both modes place every task; gossip can only shorten discovery.
-    let completed: usize = gossiped
-        .schedulers()
-        .values()
-        .map(|s| s.completed().len())
-        .sum();
+    let completed: usize = gossiped.schedulers().map(|s| s.completed().len()).sum();
     assert_eq!(completed, 25);
     assert!(gossiped.discovery_hops() <= plain.discovery_hops());
 }
@@ -263,7 +258,10 @@ fn acts_carry_advertised_freetime() {
     for name in topology.names() {
         let agent = grid.hierarchy().get(&name).unwrap();
         for n in agent.neighbours() {
-            assert!(agent.act().get(n).is_some(), "{name} never heard from {n}");
+            assert!(
+                agent.act().get(agent.id_of(n)).is_some(),
+                "{name} never heard from {n}"
+            );
         }
     }
 }

@@ -149,7 +149,7 @@ fn completed_executions_honour_pace_predictions() {
         grid.handle(&mut sim, ev);
     }
     let engine = CachedEngine::new();
-    for (_, s) in grid.schedulers().iter() {
+    for s in grid.schedulers() {
         for c in s.completed() {
             let predicted = engine.evaluate(&c.task.app, s.resource().model(), c.mask.count());
             let actual = c.completion.saturating_since(c.start).as_secs_f64();
@@ -190,11 +190,7 @@ fn bursty_arrivals_are_absorbed() {
         while let Some(ev) = sim.step() {
             grid.handle(&mut sim, ev);
         }
-        let completed: usize = grid
-            .schedulers()
-            .values()
-            .map(|s| s.completed().len())
-            .sum();
+        let completed: usize = grid.schedulers().map(|s| s.completed().len()).sum();
         assert_eq!(completed, 40, "pattern {pattern:?} lost tasks");
         assert!(!grid.work_remains());
     }

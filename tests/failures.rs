@@ -48,11 +48,7 @@ fn grid_absorbs_a_mid_run_outage() {
     }
 
     // Every task still completes despite the outage.
-    let completed: usize = grid
-        .schedulers()
-        .values()
-        .map(|s| s.completed().len())
-        .sum();
+    let completed: usize = grid.schedulers().map(|s| s.completed().len()).sum();
     assert_eq!(completed, 40);
     assert!(!grid.work_remains());
 
@@ -60,7 +56,7 @@ fn grid_absorbs_a_mid_run_outage() {
     // used a dead node. (Tasks committed before — or by events processed
     // at the same instant as — the observing poll legitimately keep
     // their nodes: the staleness the paper's monitor design accepts.)
-    let r1 = &grid.schedulers()["R1"];
+    let r1 = &grid.scheduler("R1").unwrap();
     for c in r1.completed() {
         if c.start > SimTime::from_secs(20) && c.start < SimTime::from_secs(50) {
             for node in c.mask.iter() {
@@ -75,7 +71,7 @@ fn grid_absorbs_a_mid_run_outage() {
     }
 
     // R2 remained fully available and did some of the work.
-    assert!(!grid.schedulers()["R2"].completed().is_empty());
+    assert!(!grid.scheduler("R2").unwrap().completed().is_empty());
 }
 
 #[test]
@@ -118,10 +114,12 @@ fn full_outage_holds_tasks_until_recovery() {
     while let Some(ev) = sim.step() {
         grid.handle(&mut sim, ev);
     }
-    let completed = grid.schedulers()["R1"].completed().len();
+    let completed = grid.scheduler("R1").unwrap().completed().len();
     assert_eq!(completed, 5, "held tasks must run after recovery");
     // At least one task can only have started after the recovery poll.
-    let late_start = grid.schedulers()["R1"]
+    let late_start = grid
+        .scheduler("R1")
+        .unwrap()
         .completed()
         .iter()
         .filter(|c| c.start >= SimTime::from_secs(30))

@@ -1,0 +1,46 @@
+//! Golden determinism test for the §9 grid-layer rework.
+//!
+//! `tests/golden_table3.json` was captured from `run_table3` **before**
+//! interned ids, incremental bookkeeping and the timing-wheel event queue
+//! landed (see `examples/golden_table3.rs` for the exact invocation). The
+//! rework claims bit-identical behaviour, so the current code must
+//! reproduce that file byte for byte — any divergence in event order,
+//! tie-breaking or metric accounting shows up here first.
+//!
+//! Regenerate the fixture (`cargo run --example golden_table3`) only when
+//! a change is *meant* to alter results, and say so in the commit.
+
+use agentgrid::prelude::*;
+use agentgrid_sim::SimDuration;
+
+const GOLDEN: &str = include_str!("golden_table3.json");
+
+fn scenario() -> (GridTopology, WorkloadConfig) {
+    let topology = GridTopology::flat(3, 4);
+    let workload = WorkloadConfig {
+        requests: 25,
+        interarrival: SimDuration::from_secs(1),
+        seed: 77,
+        agents: topology.names(),
+        environment: ExecEnv::Test,
+    };
+    (topology, workload)
+}
+
+#[test]
+fn table3_output_is_bit_identical_to_the_pre_rework_fixture() {
+    let (topology, workload) = scenario();
+    let results = run_table3(&topology, &workload, &RunOptions::fast());
+    assert_eq!(
+        results.to_json(),
+        GOLDEN.trim_end(),
+        "run_table3 output diverged from the pre-rework golden fixture"
+    );
+}
+
+#[test]
+fn parallel_table3_matches_the_fixture_too() {
+    let (topology, workload) = scenario();
+    let results = run_table3_parallel(&topology, &workload, &RunOptions::fast());
+    assert_eq!(results.to_json(), GOLDEN.trim_end());
+}

@@ -49,14 +49,13 @@ proptest! {
         let grid = run_grid(&topology, &workload, agents_enabled);
 
         // Completion count conservation.
-        let completed: usize = grid.schedulers().values().map(|s| s.completed().len()).sum();
+        let completed: usize = grid.schedulers().map(|s| s.completed().len()).sum();
         prop_assert_eq!(completed + grid.rejected(), requests);
         prop_assert_eq!(grid.rejected(), 0, "best-effort placement never rejects");
 
         // Unique task ids across the grid.
         let mut ids: Vec<u64> = grid
             .schedulers()
-            .values()
             .flat_map(|s| s.completed().iter().map(|c| c.task.id.0))
             .collect();
         ids.sort_unstable();
@@ -66,7 +65,7 @@ proptest! {
 
         // No double-booking: per-node intervals from the allocation logs
         // must be disjoint.
-        for s in grid.schedulers().values() {
+        for s in grid.schedulers() {
             let n = s.resource().nproc();
             let mut per_node: Vec<Vec<(SimTime, SimTime)>> = vec![vec![]; n];
             for a in s.resource().allocations() {
@@ -134,7 +133,7 @@ proptest! {
         };
         let grid = run_grid(&topology, &workload, true);
         let engine = CachedEngine::new();
-        for s in grid.schedulers().values() {
+        for s in grid.schedulers() {
             for c in s.completed() {
                 prop_assert!(c.start >= c.task.arrival, "task started before arrival");
                 let predicted = engine.evaluate(&c.task.app, s.resource().model(), c.mask.count());
