@@ -79,6 +79,11 @@ impl Act {
         self.get(agent).map(|e| now.saturating_since(e.received_at))
     }
 
+    /// Forget everything (a crashed agent restarts with an empty table).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Drop entries older than `max_age` (housekeeping; the experiments
     /// never expire entries, matching the paper).
     pub fn expire(&mut self, now: SimTime, max_age: SimDuration) {
@@ -201,6 +206,16 @@ mod tests {
         b.update(S2, info(10), SimTime::from_secs(5));
         a.merge(&b, ME);
         assert_eq!(a.get(S2).unwrap().info.freetime, SimTime::from_secs(50));
+    }
+
+    #[test]
+    fn clear_forgets_everything() {
+        let mut act = Act::new();
+        act.update(S2, info(1), SimTime::ZERO);
+        act.update(S5, info(2), SimTime::ZERO);
+        act.clear();
+        assert!(act.is_empty());
+        assert!(act.get(S2).is_none());
     }
 
     #[test]

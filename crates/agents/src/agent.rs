@@ -30,7 +30,7 @@ use crate::advertise::AdvertisementStrategy;
 use crate::info::{RequestInfo, ServiceInfo};
 use crate::matchmaking::{estimate, MatchEstimate};
 use agentgrid_pace::{ApplicationModel, CachedEngine, Platform};
-use agentgrid_sim::SimTime;
+use agentgrid_sim::{SimDuration, SimTime};
 use agentgrid_telemetry::{Event, NameTable, ResourceId, Telemetry};
 use std::sync::Arc;
 
@@ -52,8 +52,13 @@ pub struct RequestEnvelope {
     /// The user's request (shared: a discovery walk re-reads it at every
     /// hop, so the envelope holds an `Arc` instead of cloning strings).
     pub request: Arc<RequestInfo>,
-    /// Agents that have already evaluated this request (loop guard).
+    /// Agents that have already evaluated this request, in hop order
+    /// (telemetry and traces report this order). Membership queries go
+    /// through the sorted `index` — keep mutations on [`Self::visit`].
     pub visited: Vec<ResourceId>,
+    /// The same ids kept sorted, so `has_visited` is a binary search
+    /// instead of an O(n) scan repeated at every ACT candidate.
+    index: Vec<ResourceId>,
     /// Number of agent-to-agent hops so far.
     pub hops: usize,
     /// Grid-wide task id this request resolved to (0 until assigned);
@@ -71,6 +76,7 @@ impl RequestEnvelope {
         RequestEnvelope {
             request: request.into(),
             visited: Vec::new(),
+            index: Vec::new(),
             hops: 0,
             task: 0,
         }
@@ -84,14 +90,15 @@ impl RequestEnvelope {
 
     /// Record that `agent` has evaluated this request.
     pub fn visit(&mut self, agent: ResourceId) {
-        if !self.visited.contains(&agent) {
+        if let Err(pos) = self.index.binary_search(&agent) {
+            self.index.insert(pos, agent);
             self.visited.push(agent);
         }
     }
 
     /// Whether `agent` has already evaluated this request.
     pub fn has_visited(&self, agent: ResourceId) -> bool {
-        self.visited.contains(&agent)
+        self.index.binary_search(&agent).is_ok()
     }
 }
 
@@ -133,6 +140,7 @@ pub struct Agent {
     upper: Option<ResourceId>,
     lower: Vec<ResourceId>,
     act: Act,
+    act_ttl: Option<SimDuration>,
     policy: FailurePolicy,
     strategy: AdvertisementStrategy,
     telemetry: Telemetry,
@@ -167,6 +175,7 @@ impl Agent {
             upper,
             lower,
             act: Act::new(),
+            act_ttl: None,
             policy: FailurePolicy::BestEffort,
             strategy: AdvertisementStrategy::default(),
             telemetry: Telemetry::disabled(),
@@ -256,6 +265,25 @@ impl Agent {
     /// This agent's capability table.
     pub fn act(&self) -> &Act {
         &self.act
+    }
+
+    /// Ignore ACT entries older than `ttl` during matchmaking (`None`,
+    /// the default, keeps the paper's never-expire behaviour). A crashed
+    /// neighbour stops advertising; with a TTL its frozen freetime ages
+    /// out of eq. 10 instead of winning forever.
+    pub fn set_act_ttl(&mut self, ttl: Option<SimDuration>) {
+        self.act_ttl = ttl;
+    }
+
+    /// The ACT entry TTL in force, if any.
+    pub fn act_ttl(&self) -> Option<SimDuration> {
+        self.act_ttl
+    }
+
+    /// Forget every ACT entry (crash amnesia: a restarted agent knows
+    /// nothing until neighbours advertise again).
+    pub fn clear_act(&mut self) {
+        self.act.clear();
     }
 
     /// Record service info received from a neighbour.
@@ -356,6 +384,14 @@ impl Agent {
         for (known, entry) in self.act.iter() {
             if known == self.id || envelope.has_visited(known) {
                 continue;
+            }
+            // Stale entries (no advertisement within the TTL) are
+            // excluded: their frozen freetime says nothing about a
+            // neighbour that may be down.
+            if let Some(ttl) = self.act_ttl {
+                if now.saturating_since(entry.received_at) > ttl {
+                    continue;
+                }
             }
             if let Ok(est) = estimate(&entry.info, app, env, deadline, now, platforms, engine) {
                 candidates.push((known, est));
@@ -643,6 +679,70 @@ mod tests {
         assert_eq!(env.visited, vec![ResourceId(1)]);
         assert!(env.has_visited(ResourceId(1)));
         assert!(!env.has_visited(ResourceId(2)));
+    }
+
+    #[test]
+    fn envelope_preserves_hop_order_with_sorted_membership() {
+        let mut env = request(10);
+        for id in [5, 3, 9, 3, 5, 1] {
+            env.visit(ResourceId(id));
+        }
+        // Hop order survives (telemetry/trace-visible)…
+        assert_eq!(
+            env.visited,
+            vec![ResourceId(5), ResourceId(3), ResourceId(9), ResourceId(1)]
+        );
+        // …while membership queries answer correctly.
+        for id in [1, 3, 5, 9] {
+            assert!(env.has_visited(ResourceId(id)));
+        }
+        for id in [0, 2, 4, 8, 100] {
+            assert!(!env.has_visited(ResourceId(id)));
+        }
+    }
+
+    #[test]
+    fn stale_act_entries_are_excluded_under_a_ttl() {
+        let mut agent = Agent::new("S5", Some("S2"), vec!["S6".into()]);
+        let engine = CachedEngine::new();
+        // S6 advertised at t=0; by t=60 that entry is 60 s old.
+        agent.update_act(
+            agent.id_of("S6"),
+            service("SunUltra5", 16, 0),
+            SimTime::ZERO,
+        );
+        let now = SimTime::from_secs(60);
+        let busy_local = service("SunUltra5", 16, 500);
+        // Without a TTL the stale S6 entry wins.
+        let d = agent.decide(
+            &request(120),
+            &sweep3d(),
+            &busy_local,
+            now,
+            &platforms(),
+            &engine,
+        );
+        assert!(matches!(d, DiscoveryDecision::Dispatch { .. }));
+        // With a 30 s TTL the entry is stale: no candidate, escalate.
+        agent.set_act_ttl(Some(agentgrid_sim::SimDuration::from_secs(30)));
+        let d = agent.decide(
+            &request(120),
+            &sweep3d(),
+            &busy_local,
+            now,
+            &platforms(),
+            &engine,
+        );
+        assert_eq!(
+            d,
+            DiscoveryDecision::Escalate {
+                to: agent.id_of("S2")
+            }
+        );
+        // clear_act leaves no candidates even without a TTL.
+        agent.set_act_ttl(None);
+        agent.clear_act();
+        assert!(agent.act().is_empty());
     }
 
     #[test]

@@ -60,6 +60,8 @@ pub fn run_grid(
     config.ga = opts.ga;
     config.gossip = gossip;
     config.telemetry = opts.telemetry.clone();
+    config.failure_policy = opts.failure_policy;
+    config.chaos = opts.chaos.clone();
     let mut grid = GridSystem::new(topology, &opts.catalog, &config);
     grid.set_baseline_bookkeeping(baseline);
     let mut sim = if baseline {

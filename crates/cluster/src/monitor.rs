@@ -37,6 +37,11 @@ pub struct ResourceMonitor {
 /// The paper's polling period: five minutes.
 pub const DEFAULT_POLL_PERIOD_S: u64 = 300;
 
+/// Shortest accepted polling period (one second). A zero period would
+/// make the driver's poll→reschedule loop fire at the same instant
+/// forever; periods below a second are clamped up to this floor.
+pub const MIN_POLL_PERIOD: SimDuration = SimDuration::from_secs(1);
+
 impl Default for ResourceMonitor {
     fn default() -> Self {
         Self::new(SimDuration::from_secs(DEFAULT_POLL_PERIOD_S))
@@ -44,10 +49,11 @@ impl Default for ResourceMonitor {
 }
 
 impl ResourceMonitor {
-    /// A monitor polling with the given period.
+    /// A monitor polling with the given period, clamped up to
+    /// [`MIN_POLL_PERIOD`].
     pub fn new(period: SimDuration) -> ResourceMonitor {
         ResourceMonitor {
-            period,
+            period: period.max(MIN_POLL_PERIOD),
             last_poll: None,
             plan: Vec::new(),
             applied: 0,
@@ -60,8 +66,10 @@ impl ResourceMonitor {
     }
 
     /// Change the polling period (takes effect from the next poll).
+    /// Periods below [`MIN_POLL_PERIOD`] — in particular zero, which
+    /// would schedule a poll storm — are clamped up to the floor.
     pub fn set_period(&mut self, period: SimDuration) {
-        self.period = period;
+        self.period = period.max(MIN_POLL_PERIOD);
     }
 
     /// Script an availability change. Changes must be scripted in
@@ -185,6 +193,56 @@ mod tests {
         let observed = m.poll(SimTime::from_secs(300), &mut r);
         assert_eq!(observed, 3);
         assert_eq!(r.available_mask().count(), 1);
+    }
+
+    #[test]
+    fn zero_period_is_clamped_to_the_floor() {
+        let mut m = ResourceMonitor::new(SimDuration::ZERO);
+        assert_eq!(m.period(), MIN_POLL_PERIOD);
+        m.set_period(SimDuration::ZERO);
+        assert_eq!(m.period(), MIN_POLL_PERIOD);
+        m.set_period(SimDuration::from_ticks(1));
+        assert_eq!(m.period(), MIN_POLL_PERIOD);
+        // At-or-above the floor passes through unchanged.
+        m.set_period(SimDuration::from_secs(10));
+        assert_eq!(m.period(), SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn same_instant_down_up_injections_apply_in_order() {
+        let mut m = ResourceMonitor::new(SimDuration::from_secs(10));
+        let mut r = resource();
+        // Node 2 flaps down and back up at the same instant; both
+        // changes are legal (equal timestamps keep injection order) and
+        // one poll applies them in sequence, ending up.
+        m.inject(AvailabilityChange {
+            at: SimTime::from_secs(5),
+            node: 2,
+            up: false,
+        });
+        m.inject(AvailabilityChange {
+            at: SimTime::from_secs(5),
+            node: 2,
+            up: true,
+        });
+        let observed = m.poll(SimTime::from_secs(10), &mut r);
+        assert_eq!(observed, 2);
+        assert!(r.available_mask().contains(2));
+        // The reverse order at one instant ends down.
+        let mut m2 = ResourceMonitor::new(SimDuration::from_secs(10));
+        let mut r2 = resource();
+        m2.inject(AvailabilityChange {
+            at: SimTime::from_secs(5),
+            node: 2,
+            up: true,
+        });
+        m2.inject(AvailabilityChange {
+            at: SimTime::from_secs(5),
+            node: 2,
+            up: false,
+        });
+        m2.poll(SimTime::from_secs(10), &mut r2);
+        assert!(!r2.available_mask().contains(2));
     }
 
     #[test]

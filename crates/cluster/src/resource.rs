@@ -157,6 +157,32 @@ impl GridResource {
             .sum()
     }
 
+    /// Abort every in-flight allocation at `now` (the resource crashed):
+    /// allocations ending after `now` are truncated to end at `now` —
+    /// the node-time they consumed up to the crash stays in the ledger
+    /// as (wasted) busy time — and every node becomes free at `now` at
+    /// the latest. Returns the number of allocations truncated.
+    ///
+    /// # Panics
+    /// In debug builds, if a truncated allocation starts after `now`
+    /// (the schedulers only commit placements with `start <= now`).
+    pub fn abort_running(&mut self, now: SimTime) -> usize {
+        let mut aborted = 0;
+        for a in &mut self.log {
+            if a.end > now {
+                debug_assert!(a.start <= now, "future-dated allocation at a crash");
+                a.end = now;
+                aborted += 1;
+            }
+        }
+        for f in &mut self.free_at {
+            if *f > now {
+                *f = now;
+            }
+        }
+        aborted
+    }
+
     /// Forget all committed work and make every node free at t = 0.
     pub fn reset(&mut self) {
         self.free_at.fill(SimTime::ZERO);
@@ -244,6 +270,33 @@ mod tests {
         );
         r.commit(2, NodeMask::single(2), SimTime::ZERO, SimTime::from_secs(5));
         assert!((r.busy_node_seconds() - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abort_running_truncates_and_frees() {
+        let mut r = resource();
+        r.commit(
+            1,
+            NodeMask::from_indices([0, 1]),
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+        );
+        r.commit(2, NodeMask::single(2), SimTime::ZERO, SimTime::from_secs(3));
+        let aborted = r.abort_running(SimTime::from_secs(5));
+        assert_eq!(aborted, 1, "only the still-running allocation truncates");
+        assert_eq!(r.makespan(), SimTime::from_secs(5));
+        // The truncated allocation keeps its consumed node-time.
+        assert_eq!(r.allocations()[0].end, SimTime::from_secs(5));
+        // The finished one is untouched; its node stays free at 3 s.
+        assert_eq!(r.allocations()[1].end, SimTime::from_secs(3));
+        assert_eq!(r.node_free_at(2), SimTime::from_secs(3));
+        // New work can start at the crash instant without double-booking.
+        r.commit(
+            3,
+            NodeMask::from_indices([0, 1]),
+            SimTime::from_secs(5),
+            SimTime::from_secs(9),
+        );
     }
 
     #[test]

@@ -1,0 +1,360 @@
+//! Deterministic fault injection: the chaos layer (DESIGN.md §10).
+//!
+//! A [`FaultPlan`] scripts agent crashes/restarts, directed link drops
+//! and delays, and a random advertisement-loss rate. The plan is
+//! resolved against the grid's name table at bootstrap and driven
+//! through the ordinary [`Simulation`](agentgrid_sim::Simulation) event
+//! loop, so faults interleave with requests, completions and
+//! advertisements in bit-reproducible order: two runs with the same
+//! seed and the same plan produce identical telemetry streams.
+//!
+//! The plan also carries the recovery knobs the grid needs to survive
+//! it: the acknowledged-dispatch timeout and retry budget, and the ACT
+//! entry TTL that ages a crashed neighbour's frozen freetime out of
+//! eq. 10 matchmaking.
+//!
+//! An empty plan ([`FaultPlan::none`], the default) is a strict no-op:
+//! the grid takes the exact pre-chaos code paths and produces
+//! byte-identical results (guarded by `tests/golden.rs`).
+
+use agentgrid_sim::{RngStream, SimDuration, SimTime};
+use rand::Rng;
+
+/// One scripted fault.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Fault {
+    /// The resource (scheduler + agent) crashes: queued and running
+    /// tasks are lost, the ACT is forgotten, and the agent neither
+    /// advertises nor answers discovery until it restarts. Ignored if
+    /// the resource is already down.
+    AgentCrash {
+        /// Resource name (e.g. `"S3"`).
+        resource: String,
+    },
+    /// The resource restarts with empty queues and an empty ACT.
+    /// Ignored if the resource is up.
+    AgentRestart {
+        /// Resource name.
+        resource: String,
+    },
+    /// Messages from `from` to `to` are dropped until a matching
+    /// [`Fault::LinkRestore`].
+    LinkDrop {
+        /// Sending agent.
+        from: String,
+        /// Receiving agent.
+        to: String,
+    },
+    /// Messages from `from` to `to` flow again.
+    LinkRestore {
+        /// Sending agent.
+        from: String,
+        /// Receiving agent.
+        to: String,
+    },
+    /// Advertisements from `from` to `to` arrive `delay` later than
+    /// sent (a zero delay clears the fault). Dispatches are not
+    /// delayed — only slowed information, the staleness the paper's
+    /// protocol already tolerates, just worse.
+    LinkDelay {
+        /// Sending agent.
+        from: String,
+        /// Receiving agent.
+        to: String,
+        /// Added latency; [`SimDuration::ZERO`] restores the link.
+        delay: SimDuration,
+    },
+}
+
+/// A fault with its injection instant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// What happens.
+    pub fault: Fault,
+}
+
+/// A complete, deterministic fault script plus the recovery knobs.
+///
+/// Build scripted plans with the `with_*` methods, or seeded-random
+/// crash/restart storms with [`FaultPlan::random`]. The default plan is
+/// empty and leaves the grid bit-identical to a chaos-free build.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// The scripted timeline. Events at the same instant apply in
+    /// `Vec` order.
+    pub events: Vec<FaultEvent>,
+    /// Probability in `[0, 1]` that any single advertisement pull is
+    /// lost (drawn from a dedicated `chaos` RNG stream, so enabling it
+    /// never shifts the GA or workload draws).
+    pub pull_loss_rate: f64,
+    /// Base delay before a failed dispatch is retried; doubles per
+    /// attempt up to `2^backoff_cap` times this value.
+    pub dispatch_timeout: SimDuration,
+    /// Retry budget per request. When exhausted the origin agent's
+    /// [`FailurePolicy`](agentgrid_agents::FailurePolicy) decides:
+    /// best-effort executes at the origin if it is up, otherwise the
+    /// request is rejected.
+    pub max_retries: u32,
+    /// Exponent cap for the retry backoff.
+    pub backoff_cap: u32,
+    /// ACT entry TTL for every agent (see [`Agent::set_act_ttl`]
+    /// (agentgrid_agents::Agent::set_act_ttl)); `None` keeps the
+    /// paper's never-expire behaviour.
+    pub act_ttl: Option<SimDuration>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            events: Vec::new(),
+            pull_loss_rate: 0.0,
+            dispatch_timeout: SimDuration::from_secs(5),
+            max_retries: 16,
+            backoff_cap: 4,
+            act_ttl: None,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, no loss, no TTL — a strict no-op.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Whether this plan changes anything at all. When true the grid
+    /// skips the chaos machinery entirely.
+    pub fn is_noop(&self) -> bool {
+        self.events.is_empty() && self.pull_loss_rate == 0.0 && self.act_ttl.is_none()
+    }
+
+    /// Append one fault event (builder style).
+    pub fn with_event(mut self, at: SimTime, fault: Fault) -> FaultPlan {
+        self.events.push(FaultEvent { at, fault });
+        self
+    }
+
+    /// Crash `resource` at `down` and restart it at `up`.
+    ///
+    /// # Panics
+    /// If `up <= down`.
+    pub fn with_crash(self, resource: &str, down: SimTime, up: SimTime) -> FaultPlan {
+        assert!(up > down, "restart must come after the crash");
+        self.with_event(
+            down,
+            Fault::AgentCrash {
+                resource: resource.to_string(),
+            },
+        )
+        .with_event(
+            up,
+            Fault::AgentRestart {
+                resource: resource.to_string(),
+            },
+        )
+    }
+
+    /// Drop the directed link `from → to` over `[at, until)`.
+    ///
+    /// # Panics
+    /// If `until <= at`.
+    pub fn with_link_drop(self, from: &str, to: &str, at: SimTime, until: SimTime) -> FaultPlan {
+        assert!(until > at, "link restore must come after the drop");
+        self.with_event(
+            at,
+            Fault::LinkDrop {
+                from: from.to_string(),
+                to: to.to_string(),
+            },
+        )
+        .with_event(
+            until,
+            Fault::LinkRestore {
+                from: from.to_string(),
+                to: to.to_string(),
+            },
+        )
+    }
+
+    /// Delay advertisements on the directed link `from → to` by `delay`
+    /// over `[at, until)`.
+    ///
+    /// # Panics
+    /// If `until <= at`.
+    pub fn with_link_delay(
+        self,
+        from: &str,
+        to: &str,
+        delay: SimDuration,
+        at: SimTime,
+        until: SimTime,
+    ) -> FaultPlan {
+        assert!(until > at, "delay window must have positive length");
+        self.with_event(
+            at,
+            Fault::LinkDelay {
+                from: from.to_string(),
+                to: to.to_string(),
+                delay,
+            },
+        )
+        .with_event(
+            until,
+            Fault::LinkDelay {
+                from: from.to_string(),
+                to: to.to_string(),
+                delay: SimDuration::ZERO,
+            },
+        )
+    }
+
+    /// Set the advertisement-pull loss rate (clamped to `[0, 1]`).
+    pub fn with_pull_loss(mut self, rate: f64) -> FaultPlan {
+        self.pull_loss_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the ACT entry TTL.
+    pub fn with_act_ttl(mut self, ttl: SimDuration) -> FaultPlan {
+        self.act_ttl = Some(ttl);
+        self
+    }
+
+    /// Set the acknowledged-dispatch timeout.
+    pub fn with_dispatch_timeout(mut self, timeout: SimDuration) -> FaultPlan {
+        self.dispatch_timeout = timeout;
+        self
+    }
+
+    /// Set the per-request retry budget.
+    pub fn with_max_retries(mut self, retries: u32) -> FaultPlan {
+        self.max_retries = retries;
+        self
+    }
+
+    /// A seeded-random crash storm: `crashes` crash/restart pairs over
+    /// resources drawn from `resources`, with crash instants in the
+    /// first half of `horizon` and outages up to `max_outage` (at least
+    /// one second). Every crash is paired with a strictly later
+    /// restart, so any run that outlives the script sees every resource
+    /// recover — the precondition of the at-least-once invariant.
+    ///
+    /// The same `(seed, resources, horizon, crashes, max_outage)`
+    /// always yields the same plan.
+    pub fn random(
+        seed: u64,
+        resources: &[String],
+        horizon: SimTime,
+        crashes: usize,
+        max_outage: SimDuration,
+    ) -> FaultPlan {
+        assert!(!resources.is_empty(), "need at least one resource");
+        let mut rng = RngStream::root(seed).derive("chaos/plan");
+        let mut plan = FaultPlan::none();
+        let half = (horizon.ticks() / 2).max(1);
+        let outage_cap = max_outage.ticks().max(1_000_000);
+        for _ in 0..crashes {
+            let who = &resources[rng.gen_range(0..resources.len())];
+            let down = SimTime::from_ticks(rng.gen_range(0..half));
+            let outage = rng.gen_range(1_000_000..=outage_cap);
+            plan = plan.with_crash(who, down, down + SimDuration::from_ticks(outage));
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_noop() {
+        assert!(FaultPlan::none().is_noop());
+        assert!(FaultPlan::default().is_noop());
+        assert!(!FaultPlan::none().with_pull_loss(0.1).is_noop());
+        assert!(!FaultPlan::none()
+            .with_act_ttl(SimDuration::from_secs(30))
+            .is_noop());
+        assert!(!FaultPlan::none()
+            .with_crash("S1", SimTime::from_secs(1), SimTime::from_secs(2))
+            .is_noop());
+    }
+
+    #[test]
+    fn builders_pair_faults_with_recoveries() {
+        let plan = FaultPlan::none()
+            .with_crash("S2", SimTime::from_secs(10), SimTime::from_secs(40))
+            .with_link_drop("S1", "S2", SimTime::from_secs(5), SimTime::from_secs(9))
+            .with_link_delay(
+                "S2",
+                "S3",
+                SimDuration::from_secs(2),
+                SimTime::from_secs(1),
+                SimTime::from_secs(3),
+            );
+        assert_eq!(plan.events.len(), 6);
+        assert_eq!(
+            plan.events[0].fault,
+            Fault::AgentCrash {
+                resource: "S2".into()
+            }
+        );
+        assert_eq!(
+            plan.events[5].fault,
+            Fault::LinkDelay {
+                from: "S2".into(),
+                to: "S3".into(),
+                delay: SimDuration::ZERO,
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "restart must come after")]
+    fn crash_without_later_restart_panics() {
+        let _ = FaultPlan::none().with_crash("S1", SimTime::from_secs(5), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_recover() {
+        let names = vec!["S1".to_string(), "S2".to_string(), "S3".to_string()];
+        let a = FaultPlan::random(
+            9,
+            &names,
+            SimTime::from_secs(600),
+            4,
+            SimDuration::from_secs(40),
+        );
+        let b = FaultPlan::random(
+            9,
+            &names,
+            SimTime::from_secs(600),
+            4,
+            SimDuration::from_secs(40),
+        );
+        assert_eq!(a, b, "same seed, same plan");
+        assert_eq!(a.events.len(), 8);
+        // Each crash is immediately followed by its (later) restart.
+        for pair in a.events.chunks(2) {
+            assert!(matches!(pair[0].fault, Fault::AgentCrash { .. }));
+            assert!(matches!(pair[1].fault, Fault::AgentRestart { .. }));
+            assert!(pair[1].at > pair[0].at);
+        }
+        let c = FaultPlan::random(
+            10,
+            &names,
+            SimTime::from_secs(600),
+            4,
+            SimDuration::from_secs(40),
+        );
+        assert_ne!(a, c, "different seed, different plan");
+    }
+
+    #[test]
+    fn pull_loss_is_clamped() {
+        assert_eq!(FaultPlan::none().with_pull_loss(7.0).pull_loss_rate, 1.0);
+        assert_eq!(FaultPlan::none().with_pull_loss(-1.0).pull_loss_rate, 0.0);
+    }
+}

@@ -5,6 +5,7 @@
 //! exactly as the paper does, producing the data behind Table 3 and
 //! Figs. 8–10.
 
+use crate::chaos::FaultPlan;
 use crate::grid::{GridConfig, GridSystem};
 use crate::result::{CaseStudyResults, ExperimentResult, ResourceRow};
 use agentgrid_agents::{AdvertisementStrategy, FailurePolicy};
@@ -38,6 +39,8 @@ pub struct RunOptions {
     pub gossip: bool,
     /// Structured telemetry sink; disabled by default (zero overhead).
     pub telemetry: Telemetry,
+    /// Fault-injection plan; the default empty plan is a strict no-op.
+    pub chaos: FaultPlan,
 }
 
 impl RunOptions {
@@ -53,6 +56,7 @@ impl RunOptions {
             noise: NoiseModel::Exact,
             gossip: false,
             telemetry: Telemetry::disabled(),
+            chaos: FaultPlan::none(),
         }
     }
 
@@ -101,6 +105,7 @@ pub fn run_experiment(
         noise: opts.noise,
         gossip: opts.gossip,
         telemetry: opts.telemetry.clone(),
+        chaos: opts.chaos.clone(),
     };
     let mut grid = GridSystem::new(topology, &opts.catalog, &config);
     let requests = workload.generate(&opts.catalog);

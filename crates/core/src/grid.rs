@@ -39,11 +39,14 @@ use agentgrid_agents::{
 use agentgrid_cluster::ExecEnv;
 use agentgrid_pace::{ApplicationModel, CachedEngine, Catalog, NoiseModel, Platform};
 use agentgrid_scheduler::{GaConfig, PolicyConfig, SchedulerSystem, StartedTask, Task, TaskId};
-use agentgrid_sim::{trace::TraceKind, RngStream, SimTime, Simulation, Trace};
+use agentgrid_sim::{trace::TraceKind, RngStream, SimDuration, SimTime, Simulation, Trace};
 use agentgrid_telemetry::{Event, Telemetry};
 use agentgrid_workload::{GeneratedRequest, GridTopology, LocalPolicy};
-use std::collections::BTreeMap;
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+
+use crate::chaos::{Fault, FaultPlan};
 
 /// How a request is assigned to an executing resource.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -96,6 +99,10 @@ pub struct GridConfig {
     /// enabled every layer (engine, schedulers, GA, cache, agents)
     /// records through this handle.
     pub telemetry: Telemetry,
+    /// Fault-injection script and recovery knobs (DESIGN.md §10). The
+    /// default empty plan is a strict no-op: the grid stays on the
+    /// exact pre-chaos code paths and produces byte-identical results.
+    pub chaos: FaultPlan,
 }
 
 impl GridConfig {
@@ -116,6 +123,7 @@ impl GridConfig {
             noise: NoiseModel::Exact,
             gossip: false,
             telemetry: Telemetry::disabled(),
+            chaos: FaultPlan::none(),
         }
     }
 }
@@ -144,6 +152,23 @@ pub enum GridEvent {
         /// The polled resource.
         resource: ResourceId,
     },
+    /// A scripted fault from the run's [`FaultPlan`] fires.
+    Fault {
+        /// Index into the resolved fault timeline.
+        index: u32,
+    },
+    /// A failed dispatch's retry backoff expired: re-run discovery for
+    /// the request, routing around the targets that failed before.
+    DispatchRetry {
+        /// Index of the workload request being retried.
+        request: u32,
+    },
+    /// An advertisement in flight on a delayed link reaches its
+    /// receiver.
+    AdvertDeliver {
+        /// Slot in the in-flight advertisement slab.
+        slot: u32,
+    },
 }
 
 /// A workload request resolved against the grid at bootstrap: target
@@ -156,6 +181,123 @@ struct PreparedRequest {
     info: Arc<RequestInfo>,
     deadline: SimTime,
     environment: ExecEnv,
+}
+
+/// Counters from a run's fault-injection layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ChaosStats {
+    /// Crash faults applied (a crash while already down is ignored).
+    pub crashes: u64,
+    /// Messages lost to crashed endpoints, severed links and random
+    /// advertisement loss.
+    pub dropped_messages: u64,
+    /// Tasks lost in a crash and successfully re-placed.
+    pub recovered_tasks: u64,
+    /// Requests whose dispatch retry budget ran out.
+    pub retries_exhausted: u64,
+    /// Mean loss-to-replacement latency over recovered tasks, seconds.
+    pub recovery_latency_mean_s: f64,
+    /// Worst loss-to-replacement latency, seconds.
+    pub recovery_latency_max_s: f64,
+}
+
+/// One entry of the fault timeline with its names interned.
+struct ResolvedFault {
+    at: SimTime,
+    kind: FaultKind,
+}
+
+#[derive(Clone, Copy)]
+enum FaultKind {
+    Crash(ResourceId),
+    Restart(ResourceId),
+    LinkDrop(ResourceId, ResourceId),
+    LinkRestore(ResourceId, ResourceId),
+    LinkDelay(ResourceId, ResourceId, SimDuration),
+}
+
+/// Per-request recovery state under chaos.
+#[derive(Clone, Default)]
+struct ReqChaos {
+    /// Cumulative dispatch attempts (arrival plus every retry) over the
+    /// request's whole lifetime, crashes included.
+    attempt: u32,
+    /// Stable task id, allocated on the first routed attempt and reused
+    /// by every retry so completion dedup has one id to track.
+    task: Option<TaskId>,
+    /// When the task was last lost in a crash; taken on re-placement.
+    lost_at: Option<SimTime>,
+    /// Arrived but not yet completed or terminally rejected.
+    outstanding: bool,
+    /// Targets that proved unreachable; pre-marked visited on retries
+    /// so discovery routes around them.
+    excluded: Vec<ResourceId>,
+}
+
+/// An advertisement in flight on a delayed link.
+struct DelayedAdvert {
+    from: ResourceId,
+    to: ResourceId,
+    info: ServiceInfo,
+    push: bool,
+}
+
+/// Live fault-injection state. Present only for non-noop plans: with an
+/// empty [`FaultPlan`] this is `None` and every event takes the exact
+/// legacy code path.
+struct ChaosState {
+    timeline: Vec<ResolvedFault>,
+    /// Crashed-and-not-yet-restarted flag per resource.
+    down: Vec<bool>,
+    /// Severed directed links `(from, to)`.
+    link_down: BTreeSet<(ResourceId, ResourceId)>,
+    /// Added advertisement latency per directed link.
+    link_delay: BTreeMap<(ResourceId, ResourceId), SimDuration>,
+    pull_loss_rate: f64,
+    /// Dedicated stream for loss draws, so enabling chaos never shifts
+    /// the GA or workload randomness.
+    loss_rng: RngStream,
+    dispatch_timeout: SimDuration,
+    max_retries: u32,
+    backoff_cap: u32,
+    /// Indexed like the workload requests.
+    reqs: Vec<ReqChaos>,
+    /// Slab of in-flight delayed advertisements.
+    delayed: Vec<Option<DelayedAdvert>>,
+    free_slots: Vec<u32>,
+    /// Requests arrived but not yet completed or rejected; folds into
+    /// `work_remains` so periodic chains outlive an outage.
+    outstanding: usize,
+    /// Completion-dedup set, indexed by task id.
+    completed_tasks: Vec<bool>,
+    /// Request index per task id.
+    task_request: Vec<usize>,
+    duplicate_completions: u64,
+    crashes: u64,
+    dropped_messages: u64,
+    recovered: u64,
+    retries_exhausted: u64,
+    recovery_latency_ticks: u64,
+    recovery_latency_max: SimDuration,
+}
+
+impl ChaosState {
+    fn enqueue_delayed(&mut self, adv: DelayedAdvert) -> u32 {
+        if let Some(slot) = self.free_slots.pop() {
+            self.delayed[slot as usize] = Some(adv);
+            slot
+        } else {
+            self.delayed.push(Some(adv));
+            (self.delayed.len() - 1) as u32
+        }
+    }
+
+    fn clear_outstanding(&mut self, i: usize) {
+        if self.reqs[i].outstanding {
+            self.reqs[i].outstanding = false;
+            self.outstanding -= 1;
+        }
+    }
 }
 
 /// A grid of resources, their schedulers, and the agent hierarchy.
@@ -204,6 +346,11 @@ pub struct GridSystem {
     /// can no longer be trusted, so the metric accessors fall back to
     /// the scans (failure-injection tests mutate schedulers directly).
     external_mutation: bool,
+    /// What the hierarchy head does when discovery or the retry budget
+    /// fails (also threaded into each agent at construction).
+    failure_policy: FailurePolicy,
+    /// Fault-injection state; `None` for a no-op plan.
+    chaos: Option<Box<ChaosState>>,
     trace: Trace,
     telemetry: Telemetry,
 }
@@ -287,6 +434,70 @@ impl GridSystem {
             .collect();
         let n = names.len();
 
+        let chaos = if config.chaos.is_noop() {
+            None
+        } else {
+            if let Some(ttl) = config.chaos.act_ttl {
+                for id in names.ids() {
+                    hierarchy.agent_mut(id).set_act_ttl(Some(ttl));
+                }
+            }
+            let timeline = config
+                .chaos
+                .events
+                .iter()
+                .map(|e| ResolvedFault {
+                    at: e.at,
+                    kind: match &e.fault {
+                        Fault::AgentCrash { resource } => {
+                            FaultKind::Crash(names.expect_id(resource))
+                        }
+                        Fault::AgentRestart { resource } => {
+                            FaultKind::Restart(names.expect_id(resource))
+                        }
+                        Fault::LinkDrop { from, to } => {
+                            FaultKind::LinkDrop(names.expect_id(from), names.expect_id(to))
+                        }
+                        Fault::LinkRestore { from, to } => {
+                            FaultKind::LinkRestore(names.expect_id(from), names.expect_id(to))
+                        }
+                        Fault::LinkDelay { from, to, delay } => {
+                            FaultKind::LinkDelay(names.expect_id(from), names.expect_id(to), *delay)
+                        }
+                    },
+                })
+                .collect();
+            Some(Box::new(ChaosState {
+                timeline,
+                down: vec![false; n],
+                link_down: BTreeSet::new(),
+                link_delay: BTreeMap::new(),
+                pull_loss_rate: config.chaos.pull_loss_rate,
+                loss_rng: root.derive("chaos"),
+                // A zero timeout would retry at the same instant; one
+                // tick is the shortest meaningful backoff base.
+                dispatch_timeout: config
+                    .chaos
+                    .dispatch_timeout
+                    .max(SimDuration::from_ticks(1)),
+                max_retries: config.chaos.max_retries,
+                backoff_cap: config.chaos.backoff_cap,
+                reqs: Vec::new(),
+                delayed: Vec::new(),
+                free_slots: Vec::new(),
+                outstanding: 0,
+                completed_tasks: Vec::new(),
+                task_request: Vec::new(),
+                duplicate_completions: 0,
+                crashes: 0,
+                dropped_messages: 0,
+                recovered: 0,
+                retries_exhausted: 0,
+                recovery_latency_ticks: 0,
+                recovery_latency_max: SimDuration::ZERO,
+            }))
+        };
+
         GridSystem {
             names,
             schedulers,
@@ -316,6 +527,8 @@ impl GridSystem {
             service_templates,
             baseline: false,
             external_mutation: false,
+            failure_policy: config.failure_policy,
+            chaos,
             trace: if config.trace {
                 Trace::enabled()
             } else {
@@ -394,7 +607,7 @@ impl GridSystem {
                 AdvertisementStrategy::EventPush { .. } => {
                     // Seed every ACT once, then rely on pushes.
                     for id in 0..self.names.len() as u32 {
-                        self.push_from(ResourceId(id), SimTime::ZERO);
+                        self.push_from(sim, ResourceId(id), SimTime::ZERO);
                     }
                 }
             }
@@ -402,6 +615,17 @@ impl GridSystem {
         if self.monitor_polls_enabled {
             for resource in self.names.ids() {
                 sim.schedule(SimTime::ZERO, GridEvent::MonitorPoll { resource });
+            }
+        }
+        if let Some(c) = self.chaos.as_mut() {
+            c.reqs = vec![ReqChaos::default(); self.requests.len()];
+            for (index, f) in c.timeline.iter().enumerate() {
+                sim.schedule(
+                    f.at,
+                    GridEvent::Fault {
+                        index: index as u32,
+                    },
+                );
             }
         }
     }
@@ -422,23 +646,58 @@ impl GridSystem {
                 self.trace_at(now, TraceKind::RequestArrival, who, |_| {
                     format!("{} deadline {deadline}", info.application)
                 });
-                if let Some((executor, task)) = self.route(i, now) {
+                if self.chaos.is_some() {
+                    if self.requests[i].app.is_none() {
+                        // Unknown applications are terminal, exactly as
+                        // in the legacy route: no retries.
+                        self.rejected += 1;
+                        self.trace_at(now, TraceKind::Discovery, who, |_| {
+                            format!("unknown application {}", info.application)
+                        });
+                    } else {
+                        let c = self.chaos.as_mut().expect("chaos checked above");
+                        c.reqs[i].outstanding = true;
+                        c.outstanding += 1;
+                        self.attempt_request(sim, i, now);
+                    }
+                } else if let Some((executor, task)) = self.route(i, now) {
                     self.submit_to(sim, executor, task, now);
-                    self.maybe_push(executor, now);
+                    self.maybe_push(sim, executor, now);
                 }
             }
             GridEvent::TaskComplete { resource, id } => {
+                if let Some(c) = self.chaos.as_mut() {
+                    // A completion event can outlive a crash that lost
+                    // its task. The genuine completion fires at exactly
+                    // the instant the scheduler recorded, so anything
+                    // else — task gone, or a resubmitted incarnation
+                    // with a different completion — is stale noise.
+                    if self.schedulers[resource.index()].running_completion(id) != Some(now) {
+                        return;
+                    }
+                    // At-least-once dedup: resubmission must never let a
+                    // task complete twice. This cannot fire while the
+                    // recovery bookkeeping is sound; the counter is the
+                    // detector the chaos tests assert stays zero.
+                    if c.completed_tasks[id.0 as usize] {
+                        c.duplicate_completions += 1;
+                        return;
+                    }
+                }
                 self.trace_at(now, TraceKind::TaskComplete, resource, |_| format!("{id}"));
                 let started = self.schedulers[resource.index()].on_task_complete(id, now);
                 // One completion event per started task, one start per
                 // submitted task: the counter mirrors the queue scan.
                 self.active_tasks = self.active_tasks.saturating_sub(1);
                 self.horizon_max = self.horizon_max.max(now);
+                self.settle_completion(id);
                 self.schedule_started(sim, resource, &started);
-                self.maybe_push(resource, now);
+                self.maybe_push(sim, resource, now);
             }
             GridEvent::AdvertisementPull { agent } => {
-                self.pull(agent, now);
+                if !self.chaos_down(agent) {
+                    self.pull(sim, agent, now);
+                }
                 if let AdvertisementStrategy::PeriodicPull { period } = self.advertisement {
                     if self.work_remains() {
                         sim.schedule_in(period, GridEvent::AdvertisementPull { agent });
@@ -448,12 +707,23 @@ impl GridSystem {
             GridEvent::MonitorPoll { resource } => {
                 let s = &mut self.schedulers[resource.index()];
                 let period = s.monitor_mut().period();
-                let started = s.on_monitor_poll(now);
-                self.schedule_started(sim, resource, &started);
+                if !self.chaos_down(resource) {
+                    let started = self.schedulers[resource.index()].on_monitor_poll(now);
+                    self.schedule_started(sim, resource, &started);
+                }
                 if self.work_remains() {
                     sim.schedule_in(period, GridEvent::MonitorPoll { resource });
                 }
             }
+            GridEvent::Fault { index } => self.apply_fault(sim, index as usize, now),
+            GridEvent::DispatchRetry { request } => {
+                let i = request as usize;
+                let live = self.chaos.as_ref().is_some_and(|c| c.reqs[i].outstanding);
+                if live {
+                    self.attempt_request(sim, i, now);
+                }
+            }
+            GridEvent::AdvertDeliver { slot } => self.deliver_advert(slot as usize, now),
         }
     }
 
@@ -561,14 +831,14 @@ impl GridSystem {
     }
 
     /// Submit a task to a resource's scheduler and schedule completions
-    /// for whatever started.
+    /// for whatever started. Returns whether the scheduler accepted it.
     fn submit_to(
         &mut self,
         sim: &mut Simulation<GridEvent>,
         resource: ResourceId,
         task: Task,
         now: SimTime,
-    ) {
+    ) -> bool {
         let id = task.id;
         self.executors[id.0 as usize] = Some(resource);
         if self.origins[id.0 as usize] != resource {
@@ -590,10 +860,11 @@ impl GridSystem {
                     task: id.0,
                     resource: names.name(resource).to_string(),
                 });
-                return;
+                return false;
             }
         };
         self.schedule_started(sim, resource, &started);
+        true
     }
 
     fn schedule_started(
@@ -612,11 +883,17 @@ impl GridSystem {
 
     /// One agent pulls live service info from all its neighbours
     /// (§3.2's ten-second refresh).
-    fn pull(&mut self, agent: ResourceId, now: SimTime) {
+    fn pull(&mut self, sim: &mut Simulation<GridEvent>, agent: ResourceId, now: SimTime) {
+        let mut chaos = self.chaos.take();
         let mut neighbours = std::mem::take(&mut self.scratch_neighbours);
         neighbours.clear();
         neighbours.extend(self.hierarchy.agent(agent).neighbour_ids());
         for &n in &neighbours {
+            if let Some(c) = chaos.as_deref_mut() {
+                if self.chaos_pull_intercepted(sim, c, n, agent, now) {
+                    continue;
+                }
+            }
             let info = self.service_info_id(n, now);
             self.pull_messages += 1;
             let freetime = info.freetime;
@@ -637,11 +914,86 @@ impl GridSystem {
             }
         }
         self.scratch_neighbours = neighbours;
+        self.chaos = chaos;
+    }
+
+    /// Chaos checks for one pull message `from → to`. Returns true when
+    /// the message was dropped or put in flight on a delayed link (the
+    /// caller then skips immediate delivery).
+    fn chaos_pull_intercepted(
+        &mut self,
+        sim: &mut Simulation<GridEvent>,
+        c: &mut ChaosState,
+        from: ResourceId,
+        to: ResourceId,
+        now: SimTime,
+    ) -> bool {
+        if c.down[from.index()] || c.link_down.contains(&(from, to)) {
+            self.pull_messages += 1;
+            self.drop_message(c, from, to, "pull", now);
+            return true;
+        }
+        if c.pull_loss_rate > 0.0 && c.loss_rng.gen_range(0.0..1.0) < c.pull_loss_rate {
+            self.pull_messages += 1;
+            self.drop_message(c, from, to, "pull", now);
+            return true;
+        }
+        if let Some(&delay) = c.link_delay.get(&(from, to)) {
+            self.pull_messages += 1;
+            let info = self.service_info_id(from, now);
+            let slot = c.enqueue_delayed(DelayedAdvert {
+                from,
+                to,
+                info,
+                push: false,
+            });
+            sim.schedule_in(delay, GridEvent::AdvertDeliver { slot });
+            return true;
+        }
+        false
+    }
+
+    /// Record one lost message: counter, telemetry, trace.
+    fn drop_message(
+        &mut self,
+        c: &mut ChaosState,
+        from: ResourceId,
+        to: ResourceId,
+        what: &'static str,
+        now: SimTime,
+    ) {
+        c.dropped_messages += 1;
+        let names = &self.names;
+        self.telemetry.emit(now.ticks(), || Event::MsgDropped {
+            from: names.name(from).to_string(),
+            to: names.name(to).to_string(),
+            what: what.to_string(),
+        });
+        self.trace_at(now, TraceKind::Info, to, |names| {
+            format!("dropped {what} from {}", names.name(from))
+        });
     }
 
     /// Push one resource's live service info to all its neighbours
     /// (event-driven advertisement).
-    fn push_from(&mut self, agent: ResourceId, now: SimTime) {
+    fn push_from(&mut self, sim: &mut Simulation<GridEvent>, agent: ResourceId, now: SimTime) {
+        let mut chaos = self.chaos.take();
+        self.push_from_inner(sim, chaos.as_deref_mut(), agent, now);
+        self.chaos = chaos;
+    }
+
+    fn push_from_inner(
+        &mut self,
+        sim: &mut Simulation<GridEvent>,
+        mut chaos: Option<&mut ChaosState>,
+        agent: ResourceId,
+        now: SimTime,
+    ) {
+        if let Some(c) = chaos.as_deref_mut() {
+            if c.down[agent.index()] {
+                return;
+            }
+        }
         let mut neighbours = std::mem::take(&mut self.scratch_neighbours);
         neighbours.clear();
         neighbours.extend(self.hierarchy.agent(agent).neighbour_ids());
@@ -649,6 +1001,24 @@ impl GridSystem {
         self.last_advertised[agent.index()] = info.freetime;
         let freetime = info.freetime;
         for &n in &neighbours {
+            if let Some(c) = chaos.as_deref_mut() {
+                if c.down[n.index()] || c.link_down.contains(&(agent, n)) {
+                    self.pull_messages += 1;
+                    self.drop_message(c, agent, n, "advert", now);
+                    continue;
+                }
+                if let Some(&delay) = c.link_delay.get(&(agent, n)) {
+                    self.pull_messages += 1;
+                    let slot = c.enqueue_delayed(DelayedAdvert {
+                        from: agent,
+                        to: n,
+                        info: info.clone(),
+                        push: true,
+                    });
+                    sim.schedule_in(delay, GridEvent::AdvertDeliver { slot });
+                    continue;
+                }
+            }
             self.pull_messages += 1;
             self.trace_at(now, TraceKind::Advertisement, agent, |names| {
                 format!("pushed freetime={freetime} to {}", names.name(n))
@@ -662,7 +1032,19 @@ impl GridSystem {
 
     /// In push mode: advertise `resource` if its freetime moved past the
     /// strategy threshold since the last push.
-    fn maybe_push(&mut self, resource: ResourceId, now: SimTime) {
+    fn maybe_push(&mut self, sim: &mut Simulation<GridEvent>, resource: ResourceId, now: SimTime) {
+        let mut chaos = self.chaos.take();
+        self.maybe_push_inner(sim, chaos.as_deref_mut(), resource, now);
+        self.chaos = chaos;
+    }
+
+    fn maybe_push_inner(
+        &mut self,
+        sim: &mut Simulation<GridEvent>,
+        chaos: Option<&mut ChaosState>,
+        resource: ResourceId,
+        now: SimTime,
+    ) {
         if self.dispatch != DispatchMode::Discovery {
             return;
         }
@@ -672,8 +1054,422 @@ impl GridSystem {
         let current = self.schedulers[resource.index()].freetime(now);
         let last = self.last_advertised[resource.index()];
         if self.advertisement.push_due(last, current) {
-            self.push_from(resource, now);
+            self.push_from_inner(sim, chaos, resource, now);
         }
+    }
+
+    // ---- fault injection and recovery (DESIGN.md §10) -------------------
+
+    fn chaos_down(&self, r: ResourceId) -> bool {
+        self.chaos.as_ref().is_some_and(|c| c.down[r.index()])
+    }
+
+    /// Apply scripted fault `index` from the plan's resolved timeline.
+    fn apply_fault(&mut self, sim: &mut Simulation<GridEvent>, index: usize, now: SimTime) {
+        let Some(mut c) = self.chaos.take() else {
+            return;
+        };
+        match c.timeline[index].kind {
+            FaultKind::Crash(r) => self.crash_resource(sim, &mut c, r, now),
+            FaultKind::Restart(r) => self.restart_resource(sim, &mut c, r, now),
+            FaultKind::LinkDrop(a, b) => {
+                c.link_down.insert((a, b));
+            }
+            FaultKind::LinkRestore(a, b) => {
+                c.link_down.remove(&(a, b));
+            }
+            FaultKind::LinkDelay(a, b, d) => {
+                if d == SimDuration::ZERO {
+                    c.link_delay.remove(&(a, b));
+                } else {
+                    c.link_delay.insert((a, b), d);
+                }
+            }
+        }
+        self.chaos = Some(c);
+    }
+
+    /// A resource crashes: its scheduler loses every queued and running
+    /// task, the agent forgets its capability table and goes dark until
+    /// restart. Lost tasks are re-driven from their origin through the
+    /// retry path — the at-least-once half of the recovery invariant.
+    fn crash_resource(
+        &mut self,
+        sim: &mut Simulation<GridEvent>,
+        c: &mut ChaosState,
+        r: ResourceId,
+        now: SimTime,
+    ) {
+        if c.down[r.index()] {
+            return;
+        }
+        c.down[r.index()] = true;
+        c.crashes += 1;
+        let names = &self.names;
+        self.telemetry.emit(now.ticks(), || Event::AgentDown {
+            resource: names.name(r).to_string(),
+        });
+        self.trace_at(now, TraceKind::Info, r, |_| "crashed".to_string());
+        self.hierarchy.agent_mut(r).clear_act();
+        self.last_advertised[r.index()] = SimTime::ZERO;
+        let lost = self.schedulers[r.index()].crash(now);
+        for task in lost {
+            let idx = task.id.0 as usize;
+            self.active_tasks = self.active_tasks.saturating_sub(1);
+            if self.executors[idx].is_some_and(|e| e != self.origins[idx]) {
+                self.migration_count -= 1;
+            }
+            self.executors[idx] = None;
+            let i = c.task_request[idx];
+            if c.reqs[i].lost_at.is_none() {
+                c.reqs[i].lost_at = Some(now);
+            }
+            self.schedule_retry(sim, c, i, now);
+        }
+    }
+
+    /// A crashed resource restarts with empty queues and an empty ACT;
+    /// periodic pull chains kept ticking through the outage, so fresh
+    /// service information flows again within one period.
+    fn restart_resource(
+        &mut self,
+        sim: &mut Simulation<GridEvent>,
+        c: &mut ChaosState,
+        r: ResourceId,
+        now: SimTime,
+    ) {
+        if !c.down[r.index()] {
+            return;
+        }
+        c.down[r.index()] = false;
+        let names = &self.names;
+        self.telemetry.emit(now.ticks(), || Event::AgentUp {
+            resource: names.name(r).to_string(),
+        });
+        self.trace_at(now, TraceKind::Info, r, |_| "restarted".to_string());
+        if self.dispatch == DispatchMode::Discovery {
+            if let AdvertisementStrategy::EventPush { .. } = self.advertisement {
+                // Push mode has no standing chain: re-announce now.
+                self.push_from_inner(sim, Some(c), r, now);
+            }
+        }
+    }
+
+    /// Drive one request attempt end to end (first arrival and every
+    /// retry): check the origin is alive, walk discovery with the
+    /// crash/link guards, and submit on success. Acknowledgement is
+    /// implicit: a dispatch that reaches a live resource is accepted,
+    /// one that does not comes back through the timeout/retry path.
+    fn attempt_request(&mut self, sim: &mut Simulation<GridEvent>, i: usize, now: SimTime) {
+        let Some(mut c) = self.chaos.take() else {
+            return;
+        };
+        let origin = self.requests[i].agent;
+        if c.down[origin.index()] {
+            // The portal cannot even reach the submission agent.
+            c.dropped_messages += 1;
+            let names = &self.names;
+            self.telemetry.emit(now.ticks(), || Event::MsgDropped {
+                from: "portal".to_string(),
+                to: names.name(origin).to_string(),
+                what: "request".to_string(),
+            });
+            self.schedule_retry(sim, &mut c, i, now);
+        } else if let Some((executor, task)) = self.route_chaos(sim, &mut c, i, now) {
+            let id = task.id;
+            let recovering = c.reqs[i].lost_at.take();
+            if self.submit_to(sim, executor, task, now) {
+                if let Some(lost) = recovering {
+                    self.record_recovery(&mut c, id, executor, lost, now);
+                }
+                self.maybe_push_inner(sim, Some(&mut c), executor, now);
+            } else {
+                // The scheduler itself refused the task (e.g. an
+                // unsupported environment): terminal, like the legacy
+                // submit path.
+                c.clear_outstanding(i);
+            }
+        }
+        self.chaos = Some(c);
+    }
+
+    /// The discovery walk under chaos: identical to [`GridSystem::route`]
+    /// except the task identity is stable across attempts, previously
+    /// failed targets are pre-marked visited, and any hop onto a crashed
+    /// resource or severed link aborts the attempt into the retry path.
+    fn route_chaos(
+        &mut self,
+        sim: &mut Simulation<GridEvent>,
+        c: &mut ChaosState,
+        i: usize,
+        now: SimTime,
+    ) -> Option<(ResourceId, Task)> {
+        let (id, task) = self.chaos_task(c, i, now);
+        let origin = self.requests[i].agent;
+
+        match self.dispatch {
+            DispatchMode::Local => return Some((origin, task)),
+            DispatchMode::Random => {
+                let pick = ResourceId((split_mix(id.0) as usize % self.schedulers.len()) as u32);
+                if c.down[pick.index()] {
+                    self.fail_hop(sim, c, i, origin, pick, now);
+                    return None;
+                }
+                return Some((pick, task));
+            }
+            DispatchMode::RoundRobin => {
+                let pick = ResourceId((self.rr_counter % self.schedulers.len()) as u32);
+                self.rr_counter += 1;
+                if c.down[pick.index()] {
+                    self.fail_hop(sim, c, i, origin, pick, now);
+                    return None;
+                }
+                return Some((pick, task));
+            }
+            DispatchMode::Discovery => {}
+        }
+
+        let mut envelope = RequestEnvelope::new(Arc::clone(&self.requests[i].info)).with_task(id.0);
+        for &failed in &c.reqs[i].excluded {
+            envelope.visit(failed);
+        }
+        let app = Arc::clone(&task.app);
+        let mut current = origin;
+        loop {
+            let local = self.service_info_id(current, now);
+            let agent = self.hierarchy.agent(current);
+            let decision =
+                agent.decide(&envelope, &app, &local, now, &self.platforms, &self.engine);
+            match decision {
+                DiscoveryDecision::ExecuteLocally { .. } => {
+                    let hops = envelope.hops;
+                    self.trace_at(now, TraceKind::Discovery, current, |_| {
+                        format!("{id} executes locally after {hops} hops")
+                    });
+                    self.discovery_hops += envelope.hops as u64;
+                    return Some((current, task));
+                }
+                DiscoveryDecision::Dispatch { to, .. } => {
+                    if c.down[to.index()] || c.link_down.contains(&(current, to)) {
+                        self.fail_hop(sim, c, i, current, to, now);
+                        return None;
+                    }
+                    self.trace_at(now, TraceKind::Discovery, current, |names| {
+                        format!("{id} dispatched to {}", names.name(to))
+                    });
+                    envelope.visit(current);
+                    envelope.hops += 1;
+                    let names = &self.names;
+                    self.telemetry.emit(now.ticks(), || Event::TaskDispatch {
+                        task: id.0,
+                        from: names.name(current).to_string(),
+                        to: names.name(to).to_string(),
+                        hops: envelope.hops as u32,
+                    });
+                    current = to;
+                }
+                DiscoveryDecision::Escalate { to } => {
+                    if c.down[to.index()] || c.link_down.contains(&(current, to)) {
+                        self.fail_hop(sim, c, i, current, to, now);
+                        return None;
+                    }
+                    self.trace_at(now, TraceKind::Discovery, current, |names| {
+                        format!("{id} escalated to {}", names.name(to))
+                    });
+                    envelope.visit(current);
+                    envelope.hops += 1;
+                    let names = &self.names;
+                    self.telemetry.emit(now.ticks(), || Event::EscalationHop {
+                        task: id.0,
+                        from: names.name(current).to_string(),
+                        to: names.name(to).to_string(),
+                    });
+                    current = to;
+                }
+                DiscoveryDecision::Reject => {
+                    self.rejected += 1;
+                    self.trace_at(now, TraceKind::Discovery, current, |_| {
+                        format!("{id} rejected: no available service")
+                    });
+                    let names = &self.names;
+                    self.telemetry.emit(now.ticks(), || Event::TaskReject {
+                        task: id.0,
+                        resource: names.name(current).to_string(),
+                    });
+                    c.clear_outstanding(i);
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// A discovery hop could not reach `to`: drop the message, remember
+    /// the failed target so the next attempt routes around it, and back
+    /// off into a retry.
+    fn fail_hop(
+        &mut self,
+        sim: &mut Simulation<GridEvent>,
+        c: &mut ChaosState,
+        i: usize,
+        from: ResourceId,
+        to: ResourceId,
+        now: SimTime,
+    ) {
+        self.drop_message(c, from, to, "dispatch", now);
+        if !c.reqs[i].excluded.contains(&to) {
+            c.reqs[i].excluded.push(to);
+        }
+        self.schedule_retry(sim, c, i, now);
+    }
+
+    /// The stable task identity of request `i`: allocated on the first
+    /// routed attempt, reused (with a fresh arrival stamp) on retries so
+    /// the completion-dedup set has exactly one id per request.
+    fn chaos_task(&mut self, c: &mut ChaosState, i: usize, now: SimTime) -> (TaskId, Task) {
+        let prep = &self.requests[i];
+        let app = Arc::clone(
+            prep.app
+                .as_ref()
+                .expect("unknown applications are rejected at arrival"),
+        );
+        let id = match c.reqs[i].task {
+            Some(id) => id,
+            None => {
+                let id = TaskId(self.next_task);
+                self.next_task += 1;
+                debug_assert_eq!(self.origins.len(), id.0 as usize, "task ids are dense");
+                self.origins.push(prep.agent);
+                self.executors.push(None);
+                c.completed_tasks.push(false);
+                c.task_request.push(i);
+                c.reqs[i].task = Some(id);
+                id
+            }
+        };
+        let deadline = self.requests[i].deadline;
+        let environment = self.requests[i].environment;
+        (id, Task::new(id, app, now, deadline, environment))
+    }
+
+    /// Arrange the next attempt for request `i` with exponential
+    /// backoff (`timeout × 2^min(attempt-1, cap)`), or hand it to the
+    /// failure policy once the budget is spent. The attempt counter is
+    /// cumulative over the request's whole lifetime, crashes included.
+    fn schedule_retry(
+        &mut self,
+        sim: &mut Simulation<GridEvent>,
+        c: &mut ChaosState,
+        i: usize,
+        now: SimTime,
+    ) {
+        c.reqs[i].attempt += 1;
+        let attempt = c.reqs[i].attempt;
+        if attempt > c.max_retries {
+            self.exhaust_request(sim, c, i, now);
+            return;
+        }
+        let exp = (attempt - 1).min(c.backoff_cap).min(62);
+        let delay = SimDuration::from_ticks(c.dispatch_timeout.ticks().saturating_mul(1u64 << exp));
+        sim.schedule_in(delay, GridEvent::DispatchRetry { request: i as u32 });
+    }
+
+    /// The retry budget is spent: best-effort executes at the origin if
+    /// it is alive, otherwise (or under [`FailurePolicy::Reject`]) the
+    /// request is rejected for good.
+    fn exhaust_request(
+        &mut self,
+        sim: &mut Simulation<GridEvent>,
+        c: &mut ChaosState,
+        i: usize,
+        now: SimTime,
+    ) {
+        let (id, task) = self.chaos_task(c, i, now);
+        let attempts = c.reqs[i].attempt;
+        let origin = self.requests[i].agent;
+        c.retries_exhausted += 1;
+        let names = &self.names;
+        self.telemetry.emit(now.ticks(), || Event::RetryExhausted {
+            task: id.0,
+            resource: names.name(origin).to_string(),
+            attempts,
+        });
+        self.trace_at(now, TraceKind::Info, origin, |_| {
+            format!("{id} retry budget exhausted after {attempts} attempts")
+        });
+        if self.failure_policy == FailurePolicy::BestEffort && !c.down[origin.index()] {
+            let recovering = c.reqs[i].lost_at.take();
+            if self.submit_to(sim, origin, task, now) {
+                if let Some(lost) = recovering {
+                    self.record_recovery(c, id, origin, lost, now);
+                }
+                self.maybe_push_inner(sim, Some(c), origin, now);
+                return;
+            }
+        }
+        self.rejected += 1;
+        let names = &self.names;
+        self.telemetry.emit(now.ticks(), || Event::TaskReject {
+            task: id.0,
+            resource: names.name(origin).to_string(),
+        });
+        c.clear_outstanding(i);
+    }
+
+    /// A lost task made it back into a scheduler: count the recovery
+    /// and its loss-to-replacement latency.
+    fn record_recovery(
+        &self,
+        c: &mut ChaosState,
+        id: TaskId,
+        executor: ResourceId,
+        lost: SimTime,
+        now: SimTime,
+    ) {
+        c.recovered += 1;
+        let latency = now.saturating_since(lost);
+        c.recovery_latency_ticks += latency.ticks();
+        c.recovery_latency_max = c.recovery_latency_max.max(latency);
+        let names = &self.names;
+        self.telemetry.emit(now.ticks(), || Event::TaskRecovered {
+            task: id.0,
+            resource: names.name(executor).to_string(),
+            latency: latency.ticks(),
+        });
+    }
+
+    /// Mark a task completed in the dedup set and settle its request.
+    fn settle_completion(&mut self, id: TaskId) {
+        let Some(c) = self.chaos.as_mut() else {
+            return;
+        };
+        c.completed_tasks[id.0 as usize] = true;
+        let i = c.task_request[id.0 as usize];
+        c.clear_outstanding(i);
+    }
+
+    /// A link-delayed advertisement arrives — or finds its receiver has
+    /// crashed in the meantime.
+    fn deliver_advert(&mut self, slot: usize, now: SimTime) {
+        let Some(mut c) = self.chaos.take() else {
+            return;
+        };
+        if let Some(adv) = c.delayed[slot].take() {
+            c.free_slots.push(slot as u32);
+            if c.down[adv.to.index()] {
+                self.drop_message(&mut c, adv.from, adv.to, "advert", now);
+            } else {
+                let from = adv.from;
+                self.trace_at(now, TraceKind::Advertisement, adv.to, |names| {
+                    format!("delayed advert from {}", names.name(from))
+                });
+                // Only the Fig. 5 document itself was in flight: delayed
+                // adverts carry no gossip table.
+                self.hierarchy
+                    .agent_mut(adv.to)
+                    .receive_advertisement(adv.from, adv.info, now, adv.push);
+            }
+        }
+        self.chaos = Some(c);
     }
 
     /// Live service information of one resource (Fig. 5 content), by id:
@@ -714,15 +1510,19 @@ impl GridSystem {
     /// counter; falls back to the queue scan under baseline bookkeeping
     /// or after external scheduler mutation.
     pub fn work_remains(&self) -> bool {
+        // Under chaos a request can be outstanding with every scheduler
+        // queue empty (lost in a crash, waiting out a retry backoff) —
+        // the periodic chains must survive such gaps.
+        let chaos_outstanding = self.chaos.as_ref().is_some_and(|c| c.outstanding > 0);
         if self.baseline || self.external_mutation {
-            return self.remaining_requests > 0 || self.scan_work_remains();
+            return self.remaining_requests > 0 || chaos_outstanding || self.scan_work_remains();
         }
         debug_assert_eq!(
             self.active_tasks > 0,
             self.scan_work_remains(),
             "active-task counter diverged from the queue scan"
         );
-        self.remaining_requests > 0 || self.active_tasks > 0
+        self.remaining_requests > 0 || chaos_outstanding || self.active_tasks > 0
     }
 
     fn scan_work_remains(&self) -> bool {
@@ -822,6 +1622,30 @@ impl GridSystem {
     /// Requests that could not be placed anywhere.
     pub fn rejected(&self) -> usize {
         self.rejected
+    }
+
+    /// Completions observed for an already-completed task — the
+    /// at-least-once dedup guard. Stays zero while the recovery
+    /// bookkeeping is sound; the chaos tests assert exactly that.
+    pub fn duplicate_completions(&self) -> u64 {
+        self.chaos.as_ref().map_or(0, |c| c.duplicate_completions)
+    }
+
+    /// Fault-injection counters for the run; `None` when the configured
+    /// [`FaultPlan`] was a no-op.
+    pub fn chaos_stats(&self) -> Option<ChaosStats> {
+        self.chaos.as_ref().map(|c| ChaosStats {
+            crashes: c.crashes,
+            dropped_messages: c.dropped_messages,
+            recovered_tasks: c.recovered,
+            retries_exhausted: c.retries_exhausted,
+            recovery_latency_mean_s: if c.recovered > 0 {
+                c.recovery_latency_ticks as f64 / c.recovered as f64 / 1e6
+            } else {
+                0.0
+            },
+            recovery_latency_max_s: c.recovery_latency_max.ticks() as f64 / 1e6,
+        })
     }
 
     /// Advertisement messages exchanged.

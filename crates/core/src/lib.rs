@@ -40,18 +40,21 @@
 //! println!("grid utilisation: {:.0}%", result.total.utilisation_pct);
 //! ```
 
+pub mod chaos;
 pub mod experiment;
 pub mod grid;
 pub mod result;
 
+pub use chaos::{Fault, FaultEvent, FaultPlan};
 pub use experiment::{run_experiment, run_table3, run_table3_parallel, RunOptions};
-pub use grid::{DispatchMode, GridConfig, GridEvent, GridSystem};
+pub use grid::{ChaosStats, DispatchMode, GridConfig, GridEvent, GridSystem};
 pub use result::{CaseStudyResults, ExperimentResult, ResourceRow};
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    pub use crate::chaos::{Fault, FaultEvent, FaultPlan};
     pub use crate::experiment::{run_experiment, run_table3, run_table3_parallel, RunOptions};
-    pub use crate::grid::{DispatchMode, GridConfig, GridEvent, GridSystem};
+    pub use crate::grid::{ChaosStats, DispatchMode, GridConfig, GridEvent, GridSystem};
     pub use crate::result::{CaseStudyResults, ExperimentResult, ResourceRow};
     pub use agentgrid_agents::{
         Act, Agent, DiscoveryDecision, FailurePolicy, Hierarchy, Portal, RequestEnvelope,

@@ -301,6 +301,60 @@ impl SchedulerSystem {
         }
     }
 
+    /// Whether `id` is currently executing here. The grid's chaos layer
+    /// uses this to recognise completion events that outlived a crash.
+    pub fn is_running(&self, id: TaskId) -> bool {
+        self.running.iter().any(|r| r.task.id == id)
+    }
+
+    /// The recorded completion instant of a currently running task, or
+    /// `None` if `id` is not running here. A genuine completion event
+    /// always fires at exactly this instant, so the chaos layer can
+    /// tell a live completion from one scheduled for a lost-and-
+    /// resubmitted incarnation of the same task.
+    pub fn running_completion(&self, id: TaskId) -> Option<SimTime> {
+        self.running
+            .iter()
+            .find(|r| r.task.id == id)
+            .map(|r| r.completion)
+    }
+
+    /// Crash this scheduler's resource at `now`: every running and
+    /// queued task is lost and returned (sorted by id) for grid-level
+    /// recovery, in-flight allocations are truncated on the resource
+    /// ledger, and the plan is reset so a restarted scheduler starts
+    /// from a clean slate. Completed-task history survives — it already
+    /// happened.
+    pub fn crash(&mut self, now: SimTime) -> Vec<Task> {
+        let mut lost: Vec<Task> = Vec::with_capacity(self.pending.len() + self.running.len());
+        lost.extend(self.running.drain(..).map(|r| r.task));
+        match &mut self.policy {
+            PolicyState::Ga(ga) => {
+                // Remove from the tail so earlier indices stay valid.
+                for pos in (0..self.pending.len()).rev() {
+                    ga.absorb_removed_task(pos);
+                }
+            }
+            PolicyState::Fifo(_) => {
+                // The FIFO plan ledger only ever grows; rebuild it fresh
+                // below instead of dropping reservations one by one.
+            }
+            PolicyState::Batch(batch) => {
+                for t in &self.pending {
+                    batch.remove(t.id);
+                }
+            }
+        }
+        lost.append(&mut self.pending);
+        self.resource.abort_running(now);
+        if let PolicyState::Fifo(_) = self.policy {
+            self.policy = PolicyState::Fifo(FifoPolicy::new(self.resource.nproc()));
+        }
+        self.plan_makespan = SimTime::ZERO;
+        lost.sort_by_key(|t| t.id.0);
+        lost
+    }
+
     /// Report that a running task's completion instant has arrived.
     /// Returns the tasks that started as a consequence.
     pub fn on_task_complete(&mut self, id: TaskId, now: SimTime) -> Vec<StartedTask> {
@@ -813,6 +867,59 @@ mod tests {
             .find(|c| c.task.id == TaskId(3))
             .expect("quick task ran");
         assert_eq!(quick_done.completion, SimTime::from_secs(105));
+    }
+
+    #[test]
+    fn crash_loses_queued_and_running_work() {
+        for ga in [true, false] {
+            let mut s = if ga { ga_system(1, 77) } else { fifo_system(1) };
+            let a = app(vec![10.0]);
+            // Task 1 runs; 2 and 3 queue behind it.
+            for id in 1..=3 {
+                s.submit(mk_task(id, &a, 1000), SimTime::ZERO).unwrap();
+            }
+            assert!(s.is_running(TaskId(1)));
+            assert_eq!(s.queue_len(), 2);
+            let lost = s.crash(SimTime::from_secs(4));
+            let ids: Vec<u64> = lost.iter().map(|t| t.id.0).collect();
+            assert_eq!(ids, [1, 2, 3], "everything not completed is lost");
+            assert_eq!(s.queue_len(), 0);
+            assert_eq!(s.running_len(), 0);
+            assert!(!s.is_running(TaskId(1)));
+            assert!(s.completed().is_empty());
+            // The ledger is truncated at the crash: freetime == now.
+            assert_eq!(s.freetime(SimTime::from_secs(4)), SimTime::from_secs(4));
+            // The restarted scheduler accepts and completes new work.
+            let started = s
+                .submit(mk_task(4, &a, 1000), SimTime::from_secs(4))
+                .unwrap();
+            assert_eq!(started.len(), 1);
+            assert_eq!(started[0].start, SimTime::from_secs(4));
+            drain(&mut s, started);
+            assert_eq!(s.completed().len(), 1);
+        }
+    }
+
+    #[test]
+    fn crash_then_resubmit_completes_the_lost_tasks() {
+        let mut s = ga_system(2, 78);
+        let a = app(vec![10.0, 10.0]);
+        let mut started = Vec::new();
+        for id in 1..=4 {
+            started.extend(s.submit(mk_task(id, &a, 1000), SimTime::ZERO).unwrap());
+        }
+        let lost = s.crash(SimTime::from_secs(3));
+        assert_eq!(lost.len(), 4);
+        // Re-submit everything at the restart instant, as the grid does.
+        let mut started = Vec::new();
+        for t in lost {
+            started.extend(s.submit(t, SimTime::from_secs(30)).unwrap());
+        }
+        drain(&mut s, started);
+        assert_eq!(s.completed().len(), 4);
+        let ids: std::collections::BTreeSet<u64> =
+            s.completed().iter().map(|c| c.task.id.0).collect();
+        assert_eq!(ids.len(), 4, "each task completes exactly once");
     }
 
     #[test]

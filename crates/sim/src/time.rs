@@ -27,7 +27,7 @@ impl SimTime {
 
     /// Construct from whole seconds.
     #[inline]
-    pub fn from_secs(secs: u64) -> Self {
+    pub const fn from_secs(secs: u64) -> Self {
         SimTime(secs * TICKS_PER_SEC)
     }
 
@@ -40,13 +40,13 @@ impl SimTime {
 
     /// Construct from raw microsecond ticks.
     #[inline]
-    pub fn from_ticks(ticks: u64) -> Self {
+    pub const fn from_ticks(ticks: u64) -> Self {
         SimTime(ticks)
     }
 
     /// The raw microsecond tick count.
     #[inline]
-    pub fn ticks(self) -> u64 {
+    pub const fn ticks(self) -> u64 {
         self.0
     }
 
@@ -91,7 +91,7 @@ impl SimDuration {
 
     /// Construct from whole seconds.
     #[inline]
-    pub fn from_secs(secs: u64) -> Self {
+    pub const fn from_secs(secs: u64) -> Self {
         SimDuration(secs * TICKS_PER_SEC)
     }
 
@@ -103,13 +103,13 @@ impl SimDuration {
 
     /// Construct from raw microsecond ticks.
     #[inline]
-    pub fn from_ticks(ticks: u64) -> Self {
+    pub const fn from_ticks(ticks: u64) -> Self {
         SimDuration(ticks)
     }
 
     /// The raw microsecond tick count.
     #[inline]
-    pub fn ticks(self) -> u64 {
+    pub const fn ticks(self) -> u64 {
         self.0
     }
 

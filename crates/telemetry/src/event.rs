@@ -166,6 +166,47 @@ pub enum Event {
         /// Predicted duration, seconds.
         duration_s: f64,
     },
+    /// A grid resource (and its agent) crashed: queued and running work
+    /// is lost, the agent stops advertising and answering discovery.
+    AgentDown {
+        /// The crashed resource.
+        resource: String,
+    },
+    /// A previously crashed resource restarted with empty queues and a
+    /// cleared capability table.
+    AgentUp {
+        /// The restarted resource.
+        resource: String,
+    },
+    /// An agent-to-agent message was lost (crashed endpoint, dropped
+    /// link, or random advertisement loss).
+    MsgDropped {
+        /// Sending agent.
+        from: String,
+        /// Intended receiver.
+        to: String,
+        /// What was lost: `pull`, `advert`, `dispatch` or `request`.
+        what: String,
+    },
+    /// A task lost in a crash was re-submitted from its origin agent.
+    TaskRecovered {
+        /// Task id.
+        task: u64,
+        /// Resource the recovered task was re-placed on.
+        resource: String,
+        /// Ticks between the loss and this re-placement.
+        latency: Micros,
+    },
+    /// Dispatch retries for a task exhausted their budget; the failure
+    /// policy decides its fate.
+    RetryExhausted {
+        /// Task id.
+        task: u64,
+        /// Origin agent where the retries ended.
+        resource: String,
+        /// Attempts made.
+        attempts: u32,
+    },
     /// Periodic progress marker from the simulation engine.
     EngineStep {
         /// Events processed so far.
@@ -208,6 +249,11 @@ impl Event {
             Event::Discovery { .. } => "discovery",
             Event::EscalationHop { .. } => "escalation_hop",
             Event::ExecutorLaunch { .. } => "executor_launch",
+            Event::AgentDown { .. } => "agent_down",
+            Event::AgentUp { .. } => "agent_up",
+            Event::MsgDropped { .. } => "msg_dropped",
+            Event::TaskRecovered { .. } => "task_recovered",
+            Event::RetryExhausted { .. } => "retry_exhausted",
             Event::EngineStep { .. } => "engine_step",
             Event::EngineHorizon { .. } => "engine_horizon",
         }
@@ -224,7 +270,12 @@ impl Event {
             | Event::TaskReject { resource, .. }
             | Event::GaGeneration { resource, .. }
             | Event::GaEvolve { resource, .. }
-            | Event::GaHotPath { resource, .. } => resource,
+            | Event::GaHotPath { resource, .. }
+            | Event::AgentDown { resource }
+            | Event::AgentUp { resource }
+            | Event::TaskRecovered { resource, .. }
+            | Event::RetryExhausted { resource, .. } => resource,
+            Event::MsgDropped { to, .. } => to,
             Event::TaskDispatch { to, .. } => to,
             Event::Advertise { to, .. } => to,
             Event::Discovery { agent, .. } => agent,
@@ -384,6 +435,35 @@ impl TimedEvent {
                 push("env", json::s(env.clone()));
                 push("duration_s", json::num(*duration_s));
             }
+            Event::AgentDown { resource } => {
+                push("resource", json::s(resource.clone()));
+            }
+            Event::AgentUp { resource } => {
+                push("resource", json::s(resource.clone()));
+            }
+            Event::MsgDropped { from, to, what } => {
+                push("from", json::s(from.clone()));
+                push("to", json::s(to.clone()));
+                push("what", json::s(what.clone()));
+            }
+            Event::TaskRecovered {
+                task,
+                resource,
+                latency,
+            } => {
+                push("task", json::num(*task as f64));
+                push("resource", json::s(resource.clone()));
+                push("latency", json::num(*latency as f64));
+            }
+            Event::RetryExhausted {
+                task,
+                resource,
+                attempts,
+            } => {
+                push("task", json::num(*task as f64));
+                push("resource", json::s(resource.clone()));
+                push("attempts", json::num(f64::from(*attempts)));
+            }
             Event::EngineStep { processed, pending } => {
                 push("processed", json::num(*processed as f64));
                 push("pending", json::num(*pending as f64));
@@ -488,6 +568,27 @@ impl TimedEvent {
                 env: str_field("env")?,
                 duration_s: f64_field("duration_s")?,
             },
+            "agent_down" => Event::AgentDown {
+                resource: str_field("resource")?,
+            },
+            "agent_up" => Event::AgentUp {
+                resource: str_field("resource")?,
+            },
+            "msg_dropped" => Event::MsgDropped {
+                from: str_field("from")?,
+                to: str_field("to")?,
+                what: str_field("what")?,
+            },
+            "task_recovered" => Event::TaskRecovered {
+                task: u64_field("task")?,
+                resource: str_field("resource")?,
+                latency: u64_field("latency")?,
+            },
+            "retry_exhausted" => Event::RetryExhausted {
+                task: u64_field("task")?,
+                resource: str_field("resource")?,
+                attempts: u32_field("attempts")?,
+            },
             "engine_step" => Event::EngineStep {
                 processed: u64_field("processed")?,
                 pending: u64_field("pending")?,
@@ -586,6 +687,27 @@ pub(crate) fn one_of_each_variant() -> Vec<TimedEvent> {
             task: 9,
             env: name("test"),
             duration_s: 42.5,
+        },
+        Event::AgentDown {
+            resource: name("S3"),
+        },
+        Event::AgentUp {
+            resource: name("S3"),
+        },
+        Event::MsgDropped {
+            from: name("S3"),
+            to: name("S1"),
+            what: name("pull"),
+        },
+        Event::TaskRecovered {
+            task: 11,
+            resource: name("S2"),
+            latency: 4_000_000,
+        },
+        Event::RetryExhausted {
+            task: 12,
+            resource: name("S4"),
+            attempts: 16,
         },
         Event::EngineStep {
             processed: 1000,

@@ -10,6 +10,13 @@
 //! later recovery, and shows the scheduler absorbing both: queued work is
 //! re-planned onto surviving nodes at the poll that observes the failure,
 //! and spreads back out after the recovery poll.
+//!
+//! This is the *node*-level fault model: the resource stays up, keeps
+//! its queue, and merely re-plans onto fewer processors — no task is
+//! ever lost, so no recovery protocol is needed. For whole-resource
+//! crashes, lossy links and the at-least-once re-submission machinery
+//! that handles actually *losing* queued work, see the grid-level chaos
+//! layer (`examples/chaos_grid.rs`, DESIGN.md §10).
 
 use agentgrid::prelude::*;
 use agentgrid_cluster::monitor::AvailabilityChange;

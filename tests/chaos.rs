@@ -1,0 +1,332 @@
+//! Integration: the fault-injection and recovery layer (DESIGN.md §10).
+//!
+//! The chaos layer claims three invariants:
+//!
+//! 1. **At-least-once, exactly-once-counted** — under any fault plan
+//!    whose crashes all recover before the horizon, every submitted task
+//!    completes exactly once (the completion-dedup set absorbs the
+//!    at-least-once re-submissions).
+//! 2. **Determinism** — two runs with the same workload seed and the
+//!    same plan produce identical telemetry streams (host-clock GA
+//!    fields normalised out).
+//! 3. **Strict no-op when disabled** — an empty [`FaultPlan`] leaves
+//!    every legacy code path untouched (`tests/golden.rs` pins the
+//!    byte-identical output; here we pin the absence of chaos state).
+
+use agentgrid::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// GA telemetry carries host-clock observations (wall time, eval
+/// throughput) that legitimately differ between identical virtual-time
+/// runs; zero them before comparing streams.
+fn normalise(mut events: Vec<TimedEvent>) -> Vec<TimedEvent> {
+    for e in &mut events {
+        match &mut e.event {
+            Event::GaEvolve { wall_us, .. } => *wall_us = 0,
+            Event::GaHotPath {
+                evals_per_sec,
+                pool_utilisation,
+                ..
+            } => {
+                *evals_per_sec = 0.0;
+                *pool_utilisation = 0.0;
+            }
+            _ => {}
+        }
+    }
+    events
+}
+
+struct ChaosRun {
+    grid: GridSystem,
+    events: Vec<TimedEvent>,
+    completed: usize,
+}
+
+fn run_chaos(
+    topology: &GridTopology,
+    requests: Vec<GeneratedRequest>,
+    seed: u64,
+    plan: FaultPlan,
+    policy: FailurePolicy,
+) -> ChaosRun {
+    let opts = RunOptions::fast();
+    let ring = Arc::new(RingRecorder::unbounded());
+    let telemetry = Telemetry::new(ring.clone());
+    let design = ExperimentDesign::experiment3();
+    let mut config = GridConfig::new(design.local_policy, design.agents_enabled, seed);
+    config.ga = opts.ga;
+    config.failure_policy = policy;
+    config.telemetry = telemetry.clone();
+    config.chaos = plan;
+    let mut grid = GridSystem::new(topology, &opts.catalog, &config);
+    let mut sim = Simulation::new();
+    sim.set_telemetry(telemetry.clone());
+    grid.bootstrap(&mut sim, requests);
+    while let Some(ev) = sim.step() {
+        grid.handle(&mut sim, ev);
+    }
+    assert!(!grid.work_remains(), "run ended with work outstanding");
+    telemetry.flush();
+    let completed = grid.schedulers().map(|s| s.completed().len()).sum();
+    ChaosRun {
+        grid,
+        events: ring.snapshot(),
+        completed,
+    }
+}
+
+fn workload(topology: &GridTopology, requests: usize, seed: u64) -> WorkloadConfig {
+    WorkloadConfig {
+        requests,
+        interarrival: SimDuration::from_secs(1),
+        seed,
+        agents: topology.names(),
+        environment: ExecEnv::Test,
+    }
+}
+
+fn kinds(events: &[TimedEvent]) -> BTreeSet<&str> {
+    events.iter().map(|e| e.event.kind()).collect()
+}
+
+#[test]
+fn scripted_crash_recovers_every_task() {
+    let topology = GridTopology::flat(3, 8);
+    let wl = workload(&topology, 30, 7);
+    let plan = FaultPlan::none()
+        .with_crash("R2", SimTime::from_secs(10), SimTime::from_secs(40))
+        .with_act_ttl(SimDuration::from_secs(30))
+        .with_dispatch_timeout(SimDuration::from_secs(2));
+    let run = run_chaos(
+        &topology,
+        wl.generate(&RunOptions::fast().catalog),
+        wl.seed,
+        plan,
+        FailurePolicy::BestEffort,
+    );
+
+    // Every task completes exactly once despite the mid-run crash.
+    assert_eq!(run.completed, 30);
+    assert_eq!(run.grid.rejected(), 0);
+    assert_eq!(run.grid.duplicate_completions(), 0);
+
+    let stats = run.grid.chaos_stats().expect("chaos layer active");
+    assert_eq!(stats.crashes, 1);
+    assert!(
+        stats.recovered_tasks >= 1,
+        "the crash at t=10s must lose queued work: {stats:?}"
+    );
+    assert!(stats.recovery_latency_max_s > 0.0);
+
+    let k = kinds(&run.events);
+    for expected in ["agent_down", "agent_up", "task_recovered"] {
+        assert!(k.contains(expected), "missing {expected}; saw {k:?}");
+    }
+}
+
+#[test]
+fn lossy_links_and_pull_loss_still_complete() {
+    let topology = GridTopology::flat(3, 4);
+    let wl = workload(&topology, 20, 11);
+    let plan = FaultPlan::none()
+        .with_link_drop("R1", "R2", SimTime::from_secs(5), SimTime::from_secs(25))
+        .with_pull_loss(0.3);
+    let run = run_chaos(
+        &topology,
+        wl.generate(&RunOptions::fast().catalog),
+        wl.seed,
+        plan,
+        FailurePolicy::BestEffort,
+    );
+
+    assert_eq!(run.completed, 20);
+    assert_eq!(run.grid.duplicate_completions(), 0);
+    let stats = run.grid.chaos_stats().expect("chaos layer active");
+    assert!(
+        stats.dropped_messages > 0,
+        "30% pull loss over 20s must drop something: {stats:?}"
+    );
+    assert!(kinds(&run.events).contains("msg_dropped"));
+}
+
+#[test]
+fn delayed_links_deliver_adverts_late_but_complete() {
+    let topology = GridTopology::flat(3, 4);
+    let wl = workload(&topology, 15, 23);
+    let plan = FaultPlan::none().with_link_delay(
+        "R2",
+        "R1",
+        SimDuration::from_secs(3),
+        SimTime::from_secs(2),
+        SimTime::from_secs(30),
+    );
+    let run = run_chaos(
+        &topology,
+        wl.generate(&RunOptions::fast().catalog),
+        wl.seed,
+        plan,
+        FailurePolicy::BestEffort,
+    );
+    assert_eq!(run.completed, 15);
+    assert_eq!(run.grid.duplicate_completions(), 0);
+}
+
+/// `FailurePolicy::Reject`: a request no resource can serve walks the
+/// discovery chain, terminates unsuccessfully at the hierarchy head, and
+/// the rejection is visible in both the run counters and telemetry.
+#[test]
+fn reject_policy_terminates_at_the_hierarchy_head() {
+    let topology = GridTopology::flat(3, 4);
+    // A deadline one tick after arrival is impossible everywhere, so
+    // matchmaking fails at every hop and escalation runs out at R1.
+    let at = SimTime::from_secs(1);
+    let requests = vec![GeneratedRequest {
+        at,
+        agent: "R3".into(),
+        application: "sweep3d".into(),
+        deadline: at + SimDuration::from_ticks(1),
+        environment: ExecEnv::Test,
+    }];
+    let run = run_chaos(
+        &topology,
+        requests,
+        3,
+        FaultPlan::none(),
+        FailurePolicy::Reject,
+    );
+
+    assert_eq!(run.completed, 0);
+    assert_eq!(run.grid.rejected(), 1, "the impossible request is rejected");
+    let reject = run
+        .events
+        .iter()
+        .find_map(|e| match &e.event {
+            Event::TaskReject { resource, .. } => Some(resource.clone()),
+            _ => None,
+        })
+        .expect("rejection surfaces in telemetry");
+    assert_eq!(reject, "R1", "the search must end at the hierarchy head");
+}
+
+#[test]
+fn same_seed_chaos_runs_are_bit_identical() {
+    let topology = GridTopology::flat(3, 4);
+    let wl = workload(&topology, 20, 13);
+    let plan = FaultPlan::random(
+        99,
+        &topology.names(),
+        SimTime::from_secs(40),
+        2,
+        SimDuration::from_secs(20),
+    )
+    .with_pull_loss(0.2)
+    .with_act_ttl(SimDuration::from_secs(30))
+    .with_dispatch_timeout(SimDuration::from_secs(2))
+    .with_max_retries(24);
+
+    let catalog = RunOptions::fast().catalog;
+    let a = run_chaos(
+        &topology,
+        wl.generate(&catalog),
+        wl.seed,
+        plan.clone(),
+        FailurePolicy::BestEffort,
+    );
+    let b = run_chaos(
+        &topology,
+        wl.generate(&catalog),
+        wl.seed,
+        plan,
+        FailurePolicy::BestEffort,
+    );
+
+    assert_eq!(normalise(a.events), normalise(b.events));
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.grid.migrations(), b.grid.migrations());
+    assert_eq!(a.grid.chaos_stats(), b.grid.chaos_stats());
+}
+
+#[test]
+fn empty_plan_leaves_the_chaos_layer_dormant() {
+    let topology = GridTopology::flat(2, 4);
+    let wl = workload(&topology, 10, 5);
+    let run = run_chaos(
+        &topology,
+        wl.generate(&RunOptions::fast().catalog),
+        wl.seed,
+        FaultPlan::none(),
+        FailurePolicy::BestEffort,
+    );
+    assert_eq!(run.completed, 10);
+    // No chaos state exists at all — the legacy paths ran untouched.
+    assert!(run.grid.chaos_stats().is_none());
+    assert_eq!(run.grid.duplicate_completions(), 0);
+    let k = kinds(&run.events);
+    for absent in ["agent_down", "agent_up", "msg_dropped", "task_recovered"] {
+        assert!(!k.contains(absent), "{absent} leaked from a dormant layer");
+    }
+}
+
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8 })]
+
+        /// The headline invariant: any seeded plan whose crashes all
+        /// recover before the horizon completes every task exactly once,
+        /// and the whole run is reproducible from its seeds.
+        #[test]
+        fn recovering_plans_complete_every_task_exactly_once(
+            seed in 0u64..500,
+            plan_seed in 0u64..500,
+            crashes in 0usize..3,
+            loss in 0u32..30,
+            requests in 5usize..20,
+        ) {
+            let topology = GridTopology::flat(3, 4);
+            let wl = WorkloadConfig {
+                requests,
+                interarrival: SimDuration::from_secs(2),
+                seed,
+                agents: topology.names(),
+                environment: ExecEnv::Test,
+            };
+            let plan = FaultPlan::random(
+                plan_seed,
+                &topology.names(),
+                SimTime::from_secs(60),
+                crashes,
+                SimDuration::from_secs(20),
+            )
+            .with_pull_loss(loss as f64 / 100.0)
+            .with_act_ttl(SimDuration::from_secs(30))
+            .with_dispatch_timeout(SimDuration::from_secs(2))
+            .with_max_retries(24);
+
+            let catalog = RunOptions::fast().catalog;
+            let a = run_chaos(
+                &topology,
+                wl.generate(&catalog),
+                wl.seed,
+                plan.clone(),
+                FailurePolicy::BestEffort,
+            );
+            prop_assert_eq!(a.completed, requests, "every task completes");
+            prop_assert_eq!(a.grid.rejected(), 0, "retry budget outlasts outages");
+            prop_assert_eq!(a.grid.duplicate_completions(), 0, "exactly once");
+
+            let b = run_chaos(
+                &topology,
+                wl.generate(&catalog),
+                wl.seed,
+                plan,
+                FailurePolicy::BestEffort,
+            );
+            prop_assert_eq!(normalise(a.events), normalise(b.events));
+        }
+    }
+}

@@ -44,3 +44,18 @@ fn parallel_table3_matches_the_fixture_too() {
     let results = run_table3_parallel(&topology, &workload, &RunOptions::fast());
     assert_eq!(results.to_json(), GOLDEN.trim_end());
 }
+
+/// The §10 chaos layer guard: an explicitly empty [`FaultPlan`] must be
+/// a strict no-op — same bytes as the pre-chaos (and pre-rework) fixture.
+#[test]
+fn empty_fault_plan_is_a_strict_noop() {
+    let (topology, workload) = scenario();
+    let mut opts = RunOptions::fast();
+    opts.chaos = FaultPlan::none();
+    let results = run_table3(&topology, &workload, &opts);
+    assert_eq!(
+        results.to_json(),
+        GOLDEN.trim_end(),
+        "a disabled chaos layer altered the golden output"
+    );
+}
