@@ -223,6 +223,50 @@ mod tests {
     }
 
     #[test]
+    fn estimate_agrees_with_an_exhaustive_per_k_minimum() {
+        // Oracle check of eq. 10: for every case-study application on
+        // every case-study platform, recompute η_r with a plain loop over
+        // k = 1..=n calls to the evaluation function and compare. The
+        // reported processor count must achieve that minimum, and ties
+        // must resolve to the smallest k (best_time's contract).
+        let engine = CachedEngine::new();
+        let platforms = Platform::case_study_set();
+        let catalog = Catalog::case_study();
+        let now = SimTime::from_secs(3);
+        for platform in &platforms {
+            for app in catalog.apps() {
+                for freetime_s in [0u64, 7, 60] {
+                    let i = info(platform.name.as_str(), freetime_s);
+                    let est = estimate(
+                        &i,
+                        app,
+                        ExecEnv::Test,
+                        SimTime::from_secs(10_000),
+                        now,
+                        &platforms,
+                        &engine,
+                    )
+                    .unwrap();
+                    let model = ResourceModel::new(platform.clone(), i.nproc).unwrap();
+                    let mut best_k = 1;
+                    let mut best_s = f64::INFINITY;
+                    for k in 1..=i.nproc {
+                        let t = engine.evaluate(app, &model, k);
+                        if t < best_s {
+                            best_s = t;
+                            best_k = k;
+                        }
+                    }
+                    let expected = i.freetime.max(now) + SimDuration::from_secs_f64(best_s);
+                    let ctx = format!("{} / {} / freetime {freetime_s}s", platform.name, app.name);
+                    assert_eq!(est.completion, expected, "{ctx}");
+                    assert_eq!(est.nprocs, best_k, "{ctx}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn tiny_nproc_is_clamped() {
         let engine = CachedEngine::new();
         let mut i = info("SGIOrigin2000", 0);

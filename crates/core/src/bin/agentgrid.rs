@@ -1,10 +1,10 @@
 //! The `agentgrid` command-line interface.
 //!
 //! ```text
-//! agentgrid table3 [--requests N] [--seed S]        # the paper's case study
+//! agentgrid table3 [--requests N] [--seed S] [--verify]  # the paper's case study
 //! agentgrid run [--policy fifo|ga] [--agents] [--topology SPEC]
 //!               [--requests N] [--seed S] [--noise SIGMA] [--json]
-//!               [--trace FILE] [--trace-format jsonl|chrome]
+//!               [--trace FILE] [--trace-format jsonl|chrome] [--verify]
 //! agentgrid report TRACE                            # summarise a recorded trace
 //! agentgrid topology SPEC                           # inspect a topology
 //! agentgrid models                                  # print the Table 1 catalogue
@@ -51,14 +51,20 @@ const USAGE: &str = "\
 agentgrid — agent-based grid load balancing (Cao et al., IPPS 2003)
 
 USAGE:
-  agentgrid table3   [--requests N] [--seed S] [--json]
+  agentgrid table3   [--requests N] [--seed S] [--json] [--verify]
   agentgrid run      [--policy fifo|ga|batch] [--agents] [--topology SPEC]
                      [--requests N] [--seed S] [--noise SIGMA] [--json]
-                     [--ga-threads N]
+                     [--ga-threads N] [--verify]
                      [--trace FILE] [--trace-format jsonl|chrome]
   agentgrid report   TRACE
   agentgrid topology [--topology SPEC]
   agentgrid models
+
+VERIFICATION:
+  --verify                check behavioural invariants online during the run
+                          (exactly-once completion, freetime soundness, GA
+                          solution legitimacy); violations go to stderr and
+                          the exit code turns non-zero
 
 SCHEDULING:
   --ga-threads N          OS threads for GA fitness evaluation (default 1,
@@ -92,6 +98,7 @@ struct Flags {
     ga_threads: Option<usize>,
     trace: Option<String>,
     trace_format: TraceFormat,
+    verify: bool,
 }
 
 impl Flags {
@@ -107,6 +114,7 @@ impl Flags {
             ga_threads: None,
             trace: None,
             trace_format: TraceFormat::Jsonl,
+            verify: false,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -139,6 +147,7 @@ impl Flags {
                     }
                     flags.ga_threads = Some(n);
                 }
+                "--verify" => flags.verify = true,
                 "--trace" => flags.trace = Some(value("--trace")?),
                 "--trace-format" => {
                     flags.trace_format = match value("--trace-format")?.as_str() {
@@ -196,16 +205,45 @@ impl Flags {
     }
 }
 
+/// The online checker for `--verify` runs. CLI runs are chaos-free, so
+/// the strict mode applies. Returns `true` when the stream was clean
+/// (always true when `--verify` is off); the report goes to stderr so
+/// `--json` output stays parseable.
+fn verify_verdict(checker: Option<&InvariantRecorder>) -> bool {
+    match checker {
+        None => true,
+        Some(c) => {
+            eprintln!("{}", c.report().trim_end());
+            c.is_clean()
+        }
+    }
+}
+
+fn exit_for(clean: bool) -> ExitCode {
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn cmd_table3(flags: &Flags) -> ExitCode {
     let topology = GridTopology::case_study();
     let workload = flags.workload(&topology, 600);
-    let results = run_table3(&topology, &workload, &flags.options());
+    let mut opts = flags.options();
+    let checker = flags
+        .verify
+        .then(|| std::sync::Arc::new(InvariantRecorder::strict()));
+    if let Some(c) = &checker {
+        opts.telemetry = Telemetry::new(c.clone());
+    }
+    let results = run_table3(&topology, &workload, &opts);
     if flags.json {
         println!("{}", results.to_json());
     } else {
         print!("{}", results.table3());
     }
-    ExitCode::SUCCESS
+    exit_for(verify_verdict(checker.as_deref()))
 }
 
 fn cmd_run(flags: &Flags) -> ExitCode {
@@ -223,11 +261,25 @@ fn cmd_run(flags: &Flags) -> ExitCode {
         agents_enabled: flags.agents,
     };
     let mut opts = flags.options();
-    let ring = flags.trace.as_ref().map(|_| {
-        let ring = std::sync::Arc::new(RingRecorder::unbounded());
-        opts.telemetry = Telemetry::new(ring.clone());
-        ring
-    });
+    let ring = flags
+        .trace
+        .as_ref()
+        .map(|_| std::sync::Arc::new(RingRecorder::unbounded()));
+    let checker = flags
+        .verify
+        .then(|| std::sync::Arc::new(InvariantRecorder::strict()));
+    let mut sinks: Vec<std::sync::Arc<dyn Recorder>> = Vec::new();
+    if let Some(r) = &ring {
+        sinks.push(r.clone());
+    }
+    if let Some(c) = &checker {
+        sinks.push(c.clone());
+    }
+    opts.telemetry = match sinks.len() {
+        0 => Telemetry::disabled(),
+        1 => Telemetry::new(sinks.pop().expect("one sink")),
+        _ => Telemetry::new(std::sync::Arc::new(MultiRecorder::new(sinks))),
+    };
     let result = run_experiment(&design, &topology, &workload, &opts);
     if let (Some(path), Some(ring)) = (&flags.trace, &ring) {
         let events = ring.snapshot();
@@ -243,7 +295,7 @@ fn cmd_run(flags: &Flags) -> ExitCode {
     }
     if flags.json {
         println!("{}", result.to_json());
-        return ExitCode::SUCCESS;
+        return exit_for(verify_verdict(checker.as_deref()));
     }
     println!("{}", design.label());
     println!(
@@ -272,7 +324,7 @@ fn cmd_run(flags: &Flags) -> ExitCode {
         result.total.tasks,
         result.migrations
     );
-    ExitCode::SUCCESS
+    exit_for(verify_verdict(checker.as_deref()))
 }
 
 fn cmd_report(path: &str) -> ExitCode {

@@ -103,6 +103,12 @@ pub struct FaultPlan {
     /// (agentgrid_agents::Agent::set_act_ttl)); `None` keeps the
     /// paper's never-expire behaviour.
     pub act_ttl: Option<SimDuration>,
+    /// Test-only sabotage: disable the grid's completion-dedup set so a
+    /// stale pre-crash completion event is processed twice. Exists so
+    /// the verify fuzzer can prove it *catches* (and shrinks) a real
+    /// exactly-once violation; never set it outside a test.
+    #[doc(hidden)]
+    pub sabotage_dedup: bool,
 }
 
 impl Default for FaultPlan {
@@ -114,6 +120,7 @@ impl Default for FaultPlan {
             max_retries: 16,
             backoff_cap: 4,
             act_ttl: None,
+            sabotage_dedup: false,
         }
     }
 }
@@ -127,7 +134,10 @@ impl FaultPlan {
     /// Whether this plan changes anything at all. When true the grid
     /// skips the chaos machinery entirely.
     pub fn is_noop(&self) -> bool {
-        self.events.is_empty() && self.pull_loss_rate == 0.0 && self.act_ttl.is_none()
+        self.events.is_empty()
+            && self.pull_loss_rate == 0.0
+            && self.act_ttl.is_none()
+            && !self.sabotage_dedup
     }
 
     /// Append one fault event (builder style).

@@ -41,6 +41,10 @@ pub struct RunOptions {
     pub telemetry: Telemetry,
     /// Fault-injection plan; the default empty plan is a strict no-op.
     pub chaos: FaultPlan,
+    /// Hard cap on delivered sim events (`None` = unlimited). A livelock
+    /// guard for fuzzing: a run that exceeds it panics with a clear
+    /// message instead of spinning forever.
+    pub step_limit: Option<u64>,
 }
 
 impl RunOptions {
@@ -57,6 +61,7 @@ impl RunOptions {
             gossip: false,
             telemetry: Telemetry::disabled(),
             chaos: FaultPlan::none(),
+            step_limit: None,
         }
     }
 
@@ -113,10 +118,18 @@ pub fn run_experiment(
 
     let mut sim = Simulation::new();
     sim.set_telemetry(opts.telemetry.clone());
+    if let Some(limit) = opts.step_limit {
+        sim.set_step_limit(limit);
+    }
     grid.bootstrap(&mut sim, requests);
     while let Some(ev) = sim.step() {
         grid.handle(&mut sim, ev);
     }
+    assert!(
+        !sim.step_limit_reached(),
+        "simulation exceeded the step limit of {:?} events (possible livelock)",
+        opts.step_limit
+    );
     debug_assert!(!grid.work_remains(), "run ended with work outstanding");
 
     let final_now = sim.now().ticks();

@@ -270,6 +270,10 @@ struct ChaosState {
     outstanding: usize,
     /// Completion-dedup set, indexed by task id.
     completed_tasks: Vec<bool>,
+    /// Test-only: skip the dedup set so stale completions are processed
+    /// twice ([`FaultPlan::sabotage_dedup`]). The verify fuzzer proves
+    /// it catches the resulting exactly-once violation.
+    sabotage_dedup: bool,
     /// Request index per task id.
     task_request: Vec<usize>,
     duplicate_completions: u64,
@@ -487,6 +491,7 @@ impl GridSystem {
                 free_slots: Vec::new(),
                 outstanding: 0,
                 completed_tasks: Vec::new(),
+                sabotage_dedup: config.chaos.sabotage_dedup,
                 task_request: Vec::new(),
                 duplicate_completions: 0,
                 crashes: 0,
@@ -672,14 +677,18 @@ impl GridSystem {
                     // the instant the scheduler recorded, so anything
                     // else — task gone, or a resubmitted incarnation
                     // with a different completion — is stale noise.
-                    if self.schedulers[resource.index()].running_completion(id) != Some(now) {
+                    // Under test-only sabotage both guards are skipped,
+                    // recreating the bug they exist to prevent.
+                    if !c.sabotage_dedup
+                        && self.schedulers[resource.index()].running_completion(id) != Some(now)
+                    {
                         return;
                     }
                     // At-least-once dedup: resubmission must never let a
                     // task complete twice. This cannot fire while the
                     // recovery bookkeeping is sound; the counter is the
                     // detector the chaos tests assert stays zero.
-                    if c.completed_tasks[id.0 as usize] {
+                    if !c.sabotage_dedup && c.completed_tasks[id.0 as usize] {
                         c.duplicate_completions += 1;
                         return;
                     }

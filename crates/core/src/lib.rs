@@ -71,9 +71,9 @@ pub mod prelude {
     };
     pub use agentgrid_sim::{RngStream, SimDuration, SimTime, Simulation};
     pub use agentgrid_telemetry::{
-        read_trace, write_chrome, write_jsonl, Aggregate, AggregateRecorder, Event, JsonlRecorder,
-        LogLinearHistogram, MultiRecorder, NoopRecorder, Recorder, RingRecorder, Telemetry,
-        TimedEvent,
+        read_trace, write_chrome, write_jsonl, Aggregate, AggregateRecorder, CheckMode, Event,
+        InvariantRecorder, JsonlRecorder, LogLinearHistogram, MultiRecorder, NoopRecorder,
+        Recorder, RingRecorder, Telemetry, TimedEvent, Violation,
     };
     pub use agentgrid_workload::{
         ArrivalPattern, ExperimentDesign, GeneratedRequest, GridTopology, LocalPolicy,

@@ -326,6 +326,14 @@ impl GaScheduler {
         self.costs = costs;
         let schedule = decode(view, tasks, &best_solution, engine);
         let cost = ScheduleCost::of(&schedule, &weights).combined(&weights);
+        // Legitimacy verdict on the solution being committed, for the
+        // online invariant checker. Emitted whenever telemetry is on —
+        // not only when the wall-clock block below runs.
+        self.telemetry.emit(t_now, || Event::GaSolutionCheck {
+            resource: self.label.clone(),
+            tasks: m as u32,
+            legit: best_solution.is_legitimate(m, nproc),
+        });
         if let (Some(wall), Some(before)) = (wall_start, stats_before) {
             let after = engine.stats();
             let converged = stall >= self.config.stall_generations;
@@ -643,6 +651,37 @@ mod tests {
             );
             assert_eq!(out.schedule.placements, base.schedule.placements);
             assert_eq!(out.generations, base.generations);
+        }
+    }
+
+    #[test]
+    fn evolved_population_is_legitimate_across_seeds_and_thread_counts() {
+        // The operators are exercised through the full engine here: after
+        // evolving under different seeds and evaluation-thread counts,
+        // every survivor (not just the champion) must still be a valid
+        // permutation with non-empty in-range masks.
+        let a = app(vec![14.0, 8.0, 6.0, 5.0]);
+        let v = view(4);
+        for seed in [1u64, 17, 42] {
+            for threads in [1usize, 4] {
+                let engine = CachedEngine::new();
+                let config = GaConfig {
+                    threads,
+                    population: 12,
+                    generations_per_event: 10,
+                    ..GaConfig::default()
+                };
+                let mut g = GaScheduler::new(config, RngStream::root(seed).derive("ga"));
+                let tasks: Vec<Task> = (0..7).map(|i| task(i, a.clone(), 60)).collect();
+                let out = g.evolve(&v, &tasks, &engine);
+                assert_eq!(out.schedule.placements.len(), 7);
+                for (i, s) in g.population().iter().enumerate() {
+                    assert!(
+                        s.is_legitimate(7, 4),
+                        "seed={seed} threads={threads}: survivor {i} illegitimate: {s:?}"
+                    );
+                }
+            }
         }
     }
 

@@ -249,6 +249,58 @@ mod tests {
         assert!(changed);
     }
 
+    /// Explicit check of the two legitimacy clauses, independent of
+    /// `is_legitimate`: the ordering is a permutation of `0..m` and every
+    /// mapping mask is non-empty and within the resource.
+    fn assert_valid(s: &Solution, m: usize, nproc: usize, ctx: &str) {
+        let mut seen = vec![false; m];
+        for &t in &s.order {
+            assert!(t < m, "{ctx}: ordering references task {t} >= {m}");
+            assert!(!seen[t], "{ctx}: task {t} appears twice in the ordering");
+            seen[t] = true;
+        }
+        assert!(
+            seen.iter().all(|&v| v),
+            "{ctx}: ordering is not a permutation"
+        );
+        assert_eq!(s.mapping.len(), m, "{ctx}: mapping length");
+        for (p, mask) in s.mapping.iter().enumerate() {
+            assert!(!mask.is_empty(), "{ctx}: empty mask at position {p}");
+            assert!(
+                mask.iter().all(|bit| bit < nproc),
+                "{ctx}: mask at position {p} references a node >= {nproc}"
+            );
+        }
+    }
+
+    #[test]
+    fn operators_preserve_validity_across_many_seeds() {
+        // A long chained stress: generations of crossover + aggressive
+        // mutation, each product checked bit by bit. Covers the corner
+        // sizes (m=1, nproc=1, nproc=32-clamp) the happy path misses.
+        for seed in 0..60u64 {
+            let mut r = rng(seed);
+            let m = 1 + (seed as usize % 9);
+            let nproc = 1 + (seed as usize % 5) * 7; // 1, 8, 15, 22, 29
+            let mut a = Solution::random(m, nproc, &mut r);
+            let mut b = Solution::random(m, nproc, &mut r);
+            assert_valid(&a, m, nproc, &format!("seed {seed} parent a"));
+            assert_valid(&b, m, nproc, &format!("seed {seed} parent b"));
+            for gen in 0..25 {
+                let (mut c1, mut c2) = crossover(&a, &b, nproc, &mut r);
+                mutate(&mut c1, nproc, 0.9, 0.5, &mut r);
+                mutate(&mut c2, nproc, 0.9, 0.5, &mut r);
+                let ctx = format!("seed {seed} gen {gen} (m={m} nproc={nproc})");
+                assert_valid(&c1, m, nproc, &ctx);
+                assert_valid(&c2, m, nproc, &ctx);
+                assert!(c1.is_legitimate(m, nproc), "{ctx}");
+                assert!(c2.is_legitimate(m, nproc), "{ctx}");
+                a = c1;
+                b = c2;
+            }
+        }
+    }
+
     #[test]
     fn mutation_on_empty_solution_is_noop() {
         let mut r = rng(9);

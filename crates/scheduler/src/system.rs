@@ -239,24 +239,25 @@ impl SchedulerSystem {
             resource: self.resource.name().to_string(),
             deadline: task.deadline.ticks(),
         });
-        match &mut self.policy {
+        let started = match &mut self.policy {
             PolicyState::Fifo(fifo) => {
                 let available = self.resource.available_mask();
                 if available.is_empty() {
                     // Nothing to plan against; hold the task until a poll
                     // brings nodes back.
                     self.pending.push(task);
-                    return Ok(Vec::new());
+                    Vec::new()
+                } else {
+                    fifo.assign(&task, now, available, self.resource.model(), &self.engine);
+                    self.pending.push(task);
+                    self.plan_makespan = fifo.makespan();
+                    self.start_due_fifo(now)
                 }
-                fifo.assign(&task, now, available, self.resource.model(), &self.engine);
-                self.pending.push(task);
-                self.plan_makespan = fifo.makespan();
-                Ok(self.start_due_fifo(now))
             }
             PolicyState::Ga(ga) => {
                 self.pending.push(task);
                 ga.absorb_added_task(self.resource.nproc());
-                Ok(self.replan_ga(now))
+                self.replan_ga(now)
             }
             PolicyState::Batch(batch) => {
                 // The "user" requests the application's reference-optimum
@@ -264,9 +265,17 @@ impl SchedulerSystem {
                 let (k, runtime) = self.engine.best_time(&task.app, self.resource.model());
                 batch.enqueue(task.id, k, runtime);
                 self.pending.push(task);
-                Ok(self.start_due_batch(now))
+                self.start_due_batch(now)
             }
-        }
+        };
+        // Sampled *after* planning absorbed the submit, so checkers can
+        // hold the advertised freetime against the instant and the ledger.
+        self.telemetry.emit(now.ticks(), || Event::FreetimeSample {
+            resource: self.resource.name().to_string(),
+            freetime: self.freetime(now).ticks(),
+            committed: self.resource.makespan().ticks(),
+        });
+        Ok(started)
     }
 
     /// Cancel a task that has not started executing ("task management
@@ -867,6 +876,57 @@ mod tests {
             .find(|c| c.task.id == TaskId(3))
             .expect("quick task ran");
         assert_eq!(quick_done.completion, SimTime::from_secs(105));
+    }
+
+    #[test]
+    fn cancel_of_running_task_with_pending_poll_leaves_no_ghost_completion() {
+        // Regression: a cancel aimed at the *running* task while a monitor
+        // poll is outstanding must refuse cleanly — the poll must not start
+        // anything on the busy node, the already-scheduled completion event
+        // must still land, and the task must complete exactly once.
+        for ga in [true, false] {
+            let mut s = if ga { ga_system(1, 46) } else { fifo_system(1) };
+            let a = app(vec![10.0]);
+            let started = s.submit(mk_task(1, &a, 1000), SimTime::ZERO).unwrap();
+            assert_eq!(started.len(), 1, "ga={ga}: one node, one start");
+            let completion = started[0].completion;
+            assert!(s
+                .submit(mk_task(2, &a, 1000), SimTime::ZERO)
+                .unwrap()
+                .is_empty());
+            assert_eq!(s.queue_len(), 1, "ga={ga}: task 2 queued behind");
+
+            // The running task is not cancellable; nothing is disturbed.
+            assert!(s.cancel(TaskId(1), SimTime::from_secs(2)).is_none());
+            assert!(s.is_running(TaskId(1)), "ga={ga}");
+            assert_eq!(s.running_len(), 1, "ga={ga}");
+            assert_eq!(s.queue_len(), 1, "ga={ga}");
+            assert_eq!(s.running_completion(TaskId(1)), Some(completion));
+
+            // The pending poll fires mid-run: the node is still busy, so
+            // no task may start and the refused cancel must not resurface.
+            let mid = s.on_monitor_poll(SimTime::from_secs(5));
+            assert!(
+                mid.is_empty(),
+                "ga={ga}: poll started {mid:?} on a busy node"
+            );
+            assert!(s.is_running(TaskId(1)), "ga={ga}");
+            assert_eq!(s.completed().len(), 0, "ga={ga}: nothing completed yet");
+
+            // The completion event scheduled at submit time still lands.
+            let after = s.on_task_complete(TaskId(1), completion);
+            drain(&mut s, after);
+
+            let firsts = s
+                .completed()
+                .iter()
+                .filter(|c| c.task.id == TaskId(1))
+                .count();
+            assert_eq!(firsts, 1, "ga={ga}: exactly one completion for task 1");
+            assert_eq!(s.completed().len(), 2, "ga={ga}: both tasks ran");
+            assert_eq!(s.queue_len(), 0, "ga={ga}");
+            assert_eq!(s.running_len(), 0, "ga={ga}");
+        }
     }
 
     #[test]

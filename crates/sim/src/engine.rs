@@ -40,6 +40,7 @@ pub struct Simulation<E> {
     now: SimTime,
     processed: u64,
     horizon: Option<SimTime>,
+    step_limit: Option<u64>,
     telemetry: Telemetry,
 }
 
@@ -65,6 +66,7 @@ impl<E> Simulation<E> {
             now: SimTime::ZERO,
             processed: 0,
             horizon: None,
+            step_limit: None,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -84,6 +86,21 @@ impl<E> Simulation<E> {
             .emit(self.now.ticks(), || Event::EngineHorizon {
                 horizon: at.ticks(),
             });
+    }
+
+    /// Refuse to deliver more than `limit` events in total: once
+    /// [`Simulation::processed`] reaches the limit, [`Simulation::step`]
+    /// returns `None` with events still queued. A livelock guard for
+    /// fuzzing and defensive tests — a buggy handler that reschedules
+    /// forever terminates instead of hanging, and the caller can detect
+    /// the tripped limit via [`Simulation::step_limit_reached`].
+    pub fn set_step_limit(&mut self, limit: u64) {
+        self.step_limit = Some(limit);
+    }
+
+    /// Whether a step limit is set and has been exhausted.
+    pub fn step_limit_reached(&self) -> bool {
+        self.step_limit.is_some_and(|l| self.processed >= l)
     }
 
     /// The current virtual time.
@@ -119,6 +136,9 @@ impl<E> Simulation<E> {
     /// Advance to and return the next event, or `None` when the queue is
     /// exhausted or the horizon has been reached.
     pub fn step(&mut self) -> Option<E> {
+        if self.step_limit_reached() {
+            return None;
+        }
         if let (Some(h), Some(t)) = (self.horizon, self.queue.peek_time()) {
             if t > h {
                 return None;
@@ -191,6 +211,22 @@ mod tests {
         assert_eq!(sim.step(), Some(Ev::Tick(0)));
         assert_eq!(sim.step(), None);
         assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn step_limit_stops_runaway_delivery() {
+        let mut sim = Simulation::new();
+        sim.schedule(SimTime::ZERO, Ev::Tick(0));
+        sim.set_step_limit(5);
+        let mut fired = 0;
+        while let Some(Ev::Tick(n)) = sim.step() {
+            fired += 1;
+            // A livelocked handler: always reschedules itself.
+            sim.schedule_in(SimDuration::from_secs(1), Ev::Tick(n + 1));
+        }
+        assert_eq!(fired, 5);
+        assert!(sim.step_limit_reached());
+        assert_eq!(sim.pending(), 1, "the runaway event is still queued");
     }
 
     #[test]

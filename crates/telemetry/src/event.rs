@@ -207,6 +207,29 @@ pub enum Event {
         /// Attempts made.
         attempts: u32,
     },
+    /// A scheduler sampled its advertised freetime (eq. 7's φ) right
+    /// after absorbing a submit. Emitted for invariant checking: the
+    /// sample must never precede its own instant or the committed
+    /// ledger makespan.
+    FreetimeSample {
+        /// Resource whose freetime was sampled.
+        resource: String,
+        /// Advertised freetime φ, ticks (absolute).
+        freetime: Micros,
+        /// Committed ledger makespan at the sample, ticks (absolute).
+        committed: Micros,
+    },
+    /// Legitimacy verdict on the solution a GA evolve call committed
+    /// to: the ordering must be a permutation and every task's node
+    /// mask non-empty within the resource's processor count.
+    GaSolutionCheck {
+        /// Resource running the GA.
+        resource: String,
+        /// Tasks in the optimisation set.
+        tasks: u32,
+        /// Whether the committed solution passed the legitimacy check.
+        legit: bool,
+    },
     /// Periodic progress marker from the simulation engine.
     EngineStep {
         /// Events processed so far.
@@ -254,6 +277,8 @@ impl Event {
             Event::MsgDropped { .. } => "msg_dropped",
             Event::TaskRecovered { .. } => "task_recovered",
             Event::RetryExhausted { .. } => "retry_exhausted",
+            Event::FreetimeSample { .. } => "freetime_sample",
+            Event::GaSolutionCheck { .. } => "ga_solution_check",
             Event::EngineStep { .. } => "engine_step",
             Event::EngineHorizon { .. } => "engine_horizon",
         }
@@ -274,7 +299,9 @@ impl Event {
             | Event::AgentDown { resource }
             | Event::AgentUp { resource }
             | Event::TaskRecovered { resource, .. }
-            | Event::RetryExhausted { resource, .. } => resource,
+            | Event::RetryExhausted { resource, .. }
+            | Event::FreetimeSample { resource, .. }
+            | Event::GaSolutionCheck { resource, .. } => resource,
             Event::MsgDropped { to, .. } => to,
             Event::TaskDispatch { to, .. } => to,
             Event::Advertise { to, .. } => to,
@@ -464,6 +491,24 @@ impl TimedEvent {
                 push("resource", json::s(resource.clone()));
                 push("attempts", json::num(f64::from(*attempts)));
             }
+            Event::FreetimeSample {
+                resource,
+                freetime,
+                committed,
+            } => {
+                push("resource", json::s(resource.clone()));
+                push("freetime", json::num(*freetime as f64));
+                push("committed", json::num(*committed as f64));
+            }
+            Event::GaSolutionCheck {
+                resource,
+                tasks,
+                legit,
+            } => {
+                push("resource", json::s(resource.clone()));
+                push("tasks", json::num(f64::from(*tasks)));
+                push("legit", Value::Bool(*legit));
+            }
             Event::EngineStep { processed, pending } => {
                 push("processed", json::num(*processed as f64));
                 push("pending", json::num(*pending as f64));
@@ -589,6 +634,16 @@ impl TimedEvent {
                 resource: str_field("resource")?,
                 attempts: u32_field("attempts")?,
             },
+            "freetime_sample" => Event::FreetimeSample {
+                resource: str_field("resource")?,
+                freetime: u64_field("freetime")?,
+                committed: u64_field("committed")?,
+            },
+            "ga_solution_check" => Event::GaSolutionCheck {
+                resource: str_field("resource")?,
+                tasks: u32_field("tasks")?,
+                legit: bool_field("legit")?,
+            },
             "engine_step" => Event::EngineStep {
                 processed: u64_field("processed")?,
                 pending: u64_field("pending")?,
@@ -708,6 +763,16 @@ pub(crate) fn one_of_each_variant() -> Vec<TimedEvent> {
             task: 12,
             resource: name("S4"),
             attempts: 16,
+        },
+        Event::FreetimeSample {
+            resource: name("S2"),
+            freetime: 9_500_000,
+            committed: 9_000_000,
+        },
+        Event::GaSolutionCheck {
+            resource: name("S1"),
+            tasks: 12,
+            legit: true,
         },
         Event::EngineStep {
             processed: 1000,

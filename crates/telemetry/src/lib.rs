@@ -16,7 +16,10 @@
 //!   Perfetto;
 //! - [`AggregateRecorder`] — counters per event kind plus log-linear
 //!   histograms (p50/p90/p99) for queue wait, discovery hops and GA
-//!   generation time.
+//!   generation time;
+//! - [`InvariantRecorder`] — checks behavioural invariants live
+//!   (exactly-once completion, freetime soundness, GA solution
+//!   legitimacy) instead of storing the stream.
 //!
 //! This crate has no dependencies (its [`json`] module is a
 //! self-contained parser/writer) and sits below every other agentgrid
@@ -27,6 +30,7 @@
 pub mod aggregate;
 pub mod event;
 pub mod export;
+pub mod invariant;
 pub mod json;
 pub mod names;
 pub mod recorder;
@@ -34,5 +38,6 @@ pub mod recorder;
 pub use aggregate::{Aggregate, AggregateRecorder, LogLinearHistogram};
 pub use event::{Event, Micros, TimedEvent};
 pub use export::{read_trace, write_chrome, write_jsonl, JsonlRecorder, TraceReadError};
+pub use invariant::{CheckMode, InvariantRecorder, Violation};
 pub use names::{NameTable, ResourceId};
 pub use recorder::{MultiRecorder, NoopRecorder, Recorder, RingRecorder, Telemetry};

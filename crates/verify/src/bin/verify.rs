@@ -1,0 +1,150 @@
+//! The verification CLI: a seeded fuzz campaign with shrinking.
+//!
+//! ```text
+//! verify fuzz [--seeds N] [--start S] [--quick] [--out FILE]
+//! ```
+//!
+//! Runs `N` generated cases (default 100) starting at seed `S`
+//! (default 0). Every failure is shrunk to a minimal replayable case
+//! and printed as a ready-to-paste regression line; with `--out` a JSON
+//! summary is written, and any failures also land in
+//! `verify-fuzz-failures.txt` next to it so CI can upload them as an
+//! artifact. Exits non-zero if any case failed.
+
+use agentgrid_verify::fuzz::fuzz_corpus;
+use std::io::Write;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: verify fuzz [--seeds N] [--start S] [--quick] [--out FILE]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("fuzz") {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut seeds: usize = 100;
+    let mut start: u64 = 0;
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seeds" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seeds = v,
+                None => return bad_usage("--seeds needs a number"),
+            },
+            "--start" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => start = v,
+                None => return bad_usage("--start needs a number"),
+            },
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(v) => out = Some(v.clone()),
+                None => return bad_usage("--out needs a path"),
+            },
+            other => return bad_usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    // Failing candidates panic constantly while the shrinker probes
+    // them; keep those backtraces off the terminal.
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut ran = 0usize;
+    let report = fuzz_corpus(start, seeds, quick, |case, failure| {
+        ran += 1;
+        if let Some(f) = failure {
+            eprintln!("seed {}: FAILED ({f}) — shrinking...", case.seed);
+        } else if ran.is_multiple_of(25) {
+            eprintln!("... {ran} cases, clean so far");
+        }
+    });
+    let _ = std::panic::take_hook();
+
+    println!(
+        "verify fuzz: {} case(s), {} telemetry events checked, {} failure(s)",
+        report.cases,
+        report.events,
+        report.failures.len()
+    );
+    let mut failure_lines = Vec::new();
+    for f in &report.failures {
+        println!("  seed {} -> shrunk to: {:?}", f.case.seed, f.shrunk);
+        println!("    failure: {}", f.failure);
+        println!("    regression: {}", f.shrunk.regression_line());
+        failure_lines.push(format!(
+            "{}\n  // {}\n",
+            f.shrunk.regression_line(),
+            f.failure
+        ));
+    }
+
+    if let Some(path) = &out {
+        if let Err(e) = write_report(path, &report, quick, start) {
+            eprintln!("verify: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !failure_lines.is_empty() {
+            let artifact = sibling(path, "verify-fuzz-failures.txt");
+            if let Err(e) = std::fs::write(&artifact, failure_lines.concat()) {
+                eprintln!("verify: cannot write {artifact}: {e}");
+            } else {
+                eprintln!("verify: failure artifact at {artifact}");
+            }
+        }
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn bad_usage(msg: &str) -> ExitCode {
+    eprintln!("verify: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Place `name` in the same directory as `path`.
+fn sibling(path: &str, name: &str) -> String {
+    match std::path::Path::new(path).parent() {
+        Some(dir) if dir.as_os_str().is_empty() => name.to_string(),
+        Some(dir) => dir.join(name).to_string_lossy().into_owned(),
+        None => name.to_string(),
+    }
+}
+
+fn write_report(
+    path: &str,
+    report: &agentgrid_verify::FuzzReport,
+    quick: bool,
+    start: u64,
+) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    let failures: Vec<String> = report
+        .failures
+        .iter()
+        .map(|fl| {
+            format!(
+                "{{\"seed\": {}, \"shrunk\": \"{}\", \"failure\": \"{}\"}}",
+                fl.case.seed,
+                escape(&format!("{:?}", fl.shrunk)),
+                escape(&fl.failure.to_string())
+            )
+        })
+        .collect();
+    writeln!(
+        f,
+        "{{\"cases\": {}, \"start\": {start}, \"quick\": {quick}, \"events\": {}, \
+         \"failures\": [{}]}}",
+        report.cases,
+        report.events,
+        failures.join(", ")
+    )
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}

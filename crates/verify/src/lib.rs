@@ -1,0 +1,47 @@
+//! # agentgrid-verify
+//!
+//! Verification harness for the agentgrid stack: model-based oracles,
+//! online invariant checking, and a shrinking simulation fuzzer.
+//!
+//! The rest of the workspace asserts what the *implementation* does;
+//! this crate asserts what the *model* says it should do, by
+//! independent means:
+//!
+//! - [`oracle`] — brute-force reference schedulers for tiny instances.
+//!   [`oracle::brute_force_best`] enumerates every ordering × node-mask
+//!   assignment, bounding the GA's cost from below;
+//!   [`oracle::fifo_reference`] rebuilds the arrival-order greedy
+//!   schedule, bounding it from above (the GA seeds its population with
+//!   exactly that schedule); [`oracle::matchmaking_reference`]
+//!   re-derives eq. 10's completion estimate.
+//! - [`invariant`] — the online checker. [`InvariantRecorder`] is a
+//!   telemetry sink validating event streams live: exactly-once
+//!   completion (even under chaos), causal submit→start→finish order,
+//!   freetime/ledger soundness, horizon consistency and GA solution
+//!   legitimacy. It lives in `agentgrid-telemetry` (re-exported here)
+//!   so the `agentgrid run --verify` CLI can attach it without a
+//!   dependency cycle.
+//! - [`fuzz`] — seeded random topologies × workloads × fault plans run
+//!   under the checker, with greedy shrinking to a minimal replayable
+//!   case printed as a ready-to-paste regression test.
+//!
+//! The `verify` binary drives the fuzzer from the command line:
+//! `cargo run --bin verify -- fuzz --seeds 100 --quick`.
+
+#![warn(missing_docs)]
+
+pub mod fuzz;
+pub mod oracle;
+
+/// The online invariant checker (re-exported from
+/// `agentgrid-telemetry`, where it lives so every layer — including the
+/// `agentgrid` CLI — can attach it).
+pub mod invariant {
+    pub use agentgrid_telemetry::invariant::{CheckMode, InvariantRecorder, Violation};
+}
+
+pub use fuzz::{fuzz_corpus, shrink, CaseFailure, CaseOutcome, FuzzCase, FuzzFailure, FuzzReport};
+pub use invariant::{CheckMode, InvariantRecorder, Violation};
+pub use oracle::{
+    brute_force_best, cost_of, fifo_reference, matchmaking_reference, OracleSchedule,
+};

@@ -1,0 +1,176 @@
+//! Differential testing: the GA bracketed by reference oracles.
+//!
+//! For 50+ seeded tiny instances, the GA's final cost must land between
+//! the brute-force optimum (it cannot beat an exhaustive search of its
+//! own cost function) and the FIFO arrival-order greedy (it seeds its
+//! population with exactly that schedule, so it can never do worse).
+//! Ties are allowed on both sides. A failing seed prints the complete
+//! instance — execution-time tables, deadlines, node availability —
+//! so it can be lifted straight into a unit test.
+
+use agentgrid_cluster::{ExecEnv, GridResource};
+use agentgrid_pace::{AppId, ApplicationModel, CachedEngine, ModelCurve, Platform, TabulatedModel};
+use agentgrid_scheduler::{CostWeights, GaConfig, GaScheduler, ResourceView, Task, TaskId};
+use agentgrid_sim::{RngStream, SimTime};
+use agentgrid_verify::oracle::{brute_force_best, fifo_reference};
+use rand::Rng;
+use std::sync::Arc;
+
+struct Instance {
+    seed: u64,
+    view: ResourceView,
+    tasks: Vec<Task>,
+    engine: CachedEngine,
+}
+
+/// Sizes keep the brute-force budget `m! * (2^n - 1)^m` under ~60k
+/// decodes per instance.
+fn instance(seed: u64) -> Instance {
+    let mut rng = RngStream::root(seed).derive("verify/differential");
+    let nproc = rng.gen_range(2..=4);
+    let m = match nproc {
+        2 => rng.gen_range(2..=5),
+        3 => rng.gen_range(2..=4),
+        _ => rng.gen_range(2..=3),
+    };
+    let r = GridResource::new("S1", Platform::sgi_origin2000(), nproc);
+    let mut view = ResourceView::snapshot(&r, SimTime::ZERO).expect("all nodes up");
+    // Stagger node availability so idle pockets and ordering matter.
+    for free in view.node_free.iter_mut() {
+        if rng.gen_range(0..2) == 1 {
+            *free = SimTime::from_secs(rng.gen_range(0..6));
+        }
+    }
+    let tasks = (0..m)
+        .map(|i| {
+            // A random speedup curve: t(1) in [2, 20]s, each extra
+            // processor multiplying by [0.5, 1.1] — sometimes slower,
+            // so wider is not always better.
+            let mut t = 2.0 + rng.gen_range(0..1800) as f64 / 100.0;
+            let mut times = vec![t];
+            for _ in 1..nproc {
+                t *= 0.5 + rng.gen_range(0..60) as f64 / 100.0;
+                times.push(t);
+            }
+            let app = Arc::new(
+                ApplicationModel::new(
+                    AppId(i as u32),
+                    "fuzz",
+                    ModelCurve::Tabulated(TabulatedModel::new(times).expect("valid curve")),
+                    (1.0, 1000.0),
+                )
+                .expect("valid model"),
+            );
+            Task::new(
+                TaskId(i as u64),
+                app,
+                SimTime::ZERO,
+                SimTime::from_secs(rng.gen_range(5..60)),
+                ExecEnv::Test,
+            )
+        })
+        .collect();
+    Instance {
+        seed,
+        view,
+        tasks,
+        engine: CachedEngine::new(),
+    }
+}
+
+/// Everything needed to reproduce a failing seed by hand.
+fn describe(inst: &Instance) -> String {
+    let mut out = format!(
+        "seed {}: {} tasks on {} processors\n  node_free: {:?}\n",
+        inst.seed,
+        inst.tasks.len(),
+        inst.view.model.nproc,
+        inst.view
+            .node_free
+            .iter()
+            .map(|t| t.as_secs_f64())
+            .collect::<Vec<_>>(),
+    );
+    for task in &inst.tasks {
+        let times: Vec<f64> = (1..=inst.view.model.nproc)
+            .map(|k| inst.engine.evaluate(&task.app, &inst.view.model, k))
+            .collect();
+        out.push_str(&format!(
+            "  task {}: times {:?} deadline {}s\n",
+            task.id.0,
+            times,
+            task.deadline.as_secs_f64()
+        ));
+    }
+    out
+}
+
+#[test]
+fn ga_cost_is_bracketed_by_the_oracles_on_50_seeded_instances() {
+    let weights = CostWeights::default();
+    for seed in 0..55u64 {
+        let inst = instance(seed);
+        let optimum = brute_force_best(&inst.view, &inst.tasks, &inst.engine, &weights);
+        let fifo = fifo_reference(&inst.view, &inst.tasks, &inst.engine, &weights);
+
+        let mut ga = GaScheduler::new(
+            GaConfig {
+                population: 16,
+                generations_per_event: 12,
+                stall_generations: 5,
+                ..GaConfig::default()
+            },
+            RngStream::root(seed).derive("ga"),
+        );
+        let outcome = ga.evolve(&inst.view, &inst.tasks, &inst.engine);
+
+        assert!(
+            outcome.cost >= optimum.cost - 1e-9,
+            "GA beat the exhaustive optimum ({} < {}) on:\n{}\n  optimum: {:?}",
+            outcome.cost,
+            optimum.cost,
+            describe(&inst),
+            optimum.solution,
+        );
+        assert!(
+            outcome.cost <= fifo.cost + 1e-9,
+            "GA did worse than its own FIFO seed ({} > {}) on:\n{}\n  fifo: {:?}",
+            outcome.cost,
+            fifo.cost,
+            describe(&inst),
+            fifo.solution,
+        );
+        // The bracket itself must be consistent.
+        assert!(
+            fifo.cost >= optimum.cost - 1e-9,
+            "greedy beat the optimum ({} < {}) on:\n{}",
+            fifo.cost,
+            optimum.cost,
+            describe(&inst),
+        );
+    }
+}
+
+#[test]
+fn ga_finds_the_exact_optimum_on_trivial_instances() {
+    // With one or two tasks the GA's search space is tiny; it should
+    // actually hit the brute-force optimum, not just stay above it.
+    let weights = CostWeights::default();
+    let mut exact = 0;
+    let mut total = 0;
+    for seed in 100..110u64 {
+        let mut inst = instance(seed);
+        inst.tasks.truncate(2);
+        let optimum = brute_force_best(&inst.view, &inst.tasks, &inst.engine, &weights);
+        let mut ga = GaScheduler::new(GaConfig::default(), RngStream::root(seed).derive("ga"));
+        let outcome = ga.evolve(&inst.view, &inst.tasks, &inst.engine);
+        total += 1;
+        if (outcome.cost - optimum.cost).abs() <= 1e-9 {
+            exact += 1;
+        }
+    }
+    assert!(
+        exact >= total - 1,
+        "GA matched the optimum on only {exact}/{total} two-task instances"
+    );
+}

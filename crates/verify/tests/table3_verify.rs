@@ -1,0 +1,41 @@
+//! The paper's own experiment under the online invariant checker.
+//!
+//! One strict-mode [`InvariantRecorder`] watches all three Table 2
+//! experiments back to back (task ids repeat across experiments — the
+//! end-of-run horizon event resets the per-run state). This is the
+//! library-level twin of `agentgrid table3 --verify`, which
+//! `tests/cli.rs` exercises through the real binary.
+
+use agentgrid::{run_table3, RunOptions};
+use agentgrid_cluster::ExecEnv;
+use agentgrid_sim::SimDuration;
+use agentgrid_telemetry::{InvariantRecorder, Telemetry};
+use agentgrid_workload::{GridTopology, WorkloadConfig};
+use std::sync::Arc;
+
+#[test]
+fn table3_run_reports_zero_invariant_violations() {
+    let topology = GridTopology::flat(3, 4);
+    let workload = WorkloadConfig {
+        requests: 25,
+        interarrival: SimDuration::from_secs(1),
+        seed: 77,
+        agents: topology.names(),
+        environment: ExecEnv::Test,
+    };
+    let recorder = Arc::new(InvariantRecorder::strict());
+    let mut opts = RunOptions::fast();
+    opts.telemetry = Telemetry::new(recorder.clone());
+
+    let results = run_table3(&topology, &workload, &opts);
+
+    assert_eq!(results.experiments.len(), 3);
+    for e in &results.experiments {
+        assert_eq!(e.requests, 25);
+    }
+    assert!(
+        recorder.events_seen() > 0,
+        "the recorder must actually see the stream"
+    );
+    assert!(recorder.is_clean(), "{}", recorder.report());
+}

@@ -151,6 +151,59 @@ fn run_records_and_report_summarises_a_trace() {
 }
 
 #[test]
+fn report_text_output_matches_the_golden_fixture() {
+    // `tests/report_trace.jsonl` is a frozen trace of
+    // `run --topology flat:2:4 --requests 8 --seed 42 --policy ga --agents`;
+    // the report over it must stay byte-identical to the golden file.
+    // Regenerate both with:
+    //   agentgrid run --topology flat:2:4 --requests 8 --seed 42 \
+    //     --policy ga --agents --trace tests/report_trace.jsonl
+    //   agentgrid report tests/report_trace.jsonl > tests/report_golden.txt
+    let trace = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/report_trace.jsonl"
+    );
+    let golden = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/report_golden.txt");
+    let (out, _, ok) = run(&["report", trace]);
+    assert!(ok);
+    let expected = std::fs::read_to_string(golden).expect("golden fixture readable");
+    assert!(
+        out == expected,
+        "report drifted from tests/report_golden.txt:\n--- expected\n{expected}\n--- got\n{out}"
+    );
+}
+
+#[test]
+fn verify_flag_reports_clean_invariants_and_exits_zero() {
+    // The paper run under the online invariant checker: stderr carries
+    // the verdict, the exit code stays zero when the stream is clean.
+    let (out, err, ok) = run(&["table3", "--requests", "12", "--seed", "5", "--verify"]);
+    assert!(ok, "table3 --verify failed:\n{err}");
+    assert!(out.contains("Exp 1"), "table3 output:\n{out}");
+    assert!(
+        err.contains("invariants: clean"),
+        "verdict missing from stderr:\n{err}"
+    );
+
+    let (_, err, ok) = run(&[
+        "run",
+        "--topology",
+        "flat:2:4",
+        "--requests",
+        "8",
+        "--policy",
+        "ga",
+        "--agents",
+        "--verify",
+    ]);
+    assert!(ok, "run --verify failed:\n{err}");
+    assert!(
+        err.contains("invariants: clean"),
+        "verdict missing from stderr:\n{err}"
+    );
+}
+
+#[test]
 fn bad_flags_are_reported() {
     let (_, err, ok) = run(&["run", "--policy", "quantum"]);
     assert!(!ok);
