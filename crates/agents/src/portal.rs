@@ -29,9 +29,22 @@ impl Portal {
     }
 
     /// Override the base directory of binaries/models (builder style).
+    /// Trailing slashes are stripped; an empty or root (`""`, `"/"`,
+    /// `"///"`) base normalises to `"/"` so generated paths stay
+    /// well-formed absolute paths instead of growing from an empty base.
     pub fn with_base_dir(mut self, dir: &str) -> Portal {
-        self.base_dir = dir.trim_end_matches('/').to_string();
+        let trimmed = dir.trim_end_matches('/');
+        self.base_dir = if trimmed.is_empty() {
+            "/".to_string()
+        } else {
+            trimmed.to_string()
+        };
         self
+    }
+
+    /// The normalised base directory of binaries/models.
+    pub fn base_dir(&self) -> &str {
+        &self.base_dir
     }
 
     /// The contact e-mail results are posted to.
@@ -39,14 +52,23 @@ impl Portal {
         &self.email
     }
 
+    /// Join `tail` onto the base directory without doubling separators.
+    fn path(&self, tail: &str) -> String {
+        if self.base_dir.ends_with('/') {
+            format!("{}{}", self.base_dir, tail)
+        } else {
+            format!("{}/{}", self.base_dir, tail)
+        }
+    }
+
     /// Build a request for `application` under `env` with absolute
     /// deadline `deadline`.
     pub fn request(&self, application: &str, env: ExecEnv, deadline: SimTime) -> RequestInfo {
         RequestInfo {
             application: application.to_string(),
-            binary_file: format!("{}/binary/{}", self.base_dir, application),
-            input_file: format!("{}/binary/{}.input", self.base_dir, application),
-            model_name: format!("{}/model/{}", self.base_dir, application),
+            binary_file: self.path(&format!("binary/{application}")),
+            input_file: self.path(&format!("binary/{application}.input")),
+            model_name: self.path(&format!("model/{application}")),
             environment: env,
             deadline,
             email: self.email.clone(),
@@ -75,6 +97,21 @@ mod tests {
         let p = Portal::new("a@b").with_base_dir("/opt/grid/");
         let r = p.request("fft", ExecEnv::Mpi, SimTime::from_secs(1));
         assert_eq!(r.binary_file, "/opt/grid/binary/fft");
+    }
+
+    #[test]
+    fn empty_and_root_base_dirs_normalise() {
+        // "" and "/" (and any run of slashes) all mean the filesystem
+        // root; paths must come out single-slash absolute, never
+        // "//binary/..." or rooted at an empty base.
+        for base in ["", "/", "///"] {
+            let p = Portal::new("a@b").with_base_dir(base);
+            assert_eq!(p.base_dir(), "/", "base {base:?}");
+            let r = p.request("fft", ExecEnv::Test, SimTime::from_secs(1));
+            assert_eq!(r.binary_file, "/binary/fft", "base {base:?}");
+            assert_eq!(r.input_file, "/binary/fft.input", "base {base:?}");
+            assert_eq!(r.model_name, "/model/fft", "base {base:?}");
+        }
     }
 
     #[test]

@@ -45,6 +45,22 @@ pub enum Fault {
         /// Receiving agent.
         to: String,
     },
+    /// Planned elasticity: the resource leaves the grid gracefully.
+    /// Queued tasks are re-placed through the recovery machinery while
+    /// running tasks finish; the agent stops advertising and answering
+    /// discovery until a matching [`Fault::ScaleUp`]. Ignored if the
+    /// resource is already down.
+    ScaleDown {
+        /// Resource name.
+        resource: String,
+    },
+    /// Planned elasticity: the resource (re)joins the grid with empty
+    /// queues and starts advertising again. Ignored if the resource is
+    /// up.
+    ScaleUp {
+        /// Resource name.
+        resource: String,
+    },
     /// Messages from `from` to `to` flow again.
     LinkRestore {
         /// Sending agent.
@@ -103,6 +119,12 @@ pub struct FaultPlan {
     /// (agentgrid_agents::Agent::set_act_ttl)); `None` keeps the
     /// paper's never-expire behaviour.
     pub act_ttl: Option<SimDuration>,
+    /// Force the recovery machinery (dedup sets, retry bookkeeping,
+    /// per-request chaos state) on even when the timeline is empty. The
+    /// serve loop sets this so elasticity directives and live-injected
+    /// requests can arrive at any point of an already-running grid; the
+    /// default `false` keeps [`FaultPlan::none`] a strict no-op.
+    pub enable_recovery: bool,
     /// Test-only sabotage: disable the grid's completion-dedup set so a
     /// stale pre-crash completion event is processed twice. Exists so
     /// the verify fuzzer can prove it *catches* (and shrinks) a real
@@ -120,6 +142,7 @@ impl Default for FaultPlan {
             max_retries: 16,
             backoff_cap: 4,
             act_ttl: None,
+            enable_recovery: false,
             sabotage_dedup: false,
         }
     }
@@ -137,6 +160,7 @@ impl FaultPlan {
         self.events.is_empty()
             && self.pull_loss_rate == 0.0
             && self.act_ttl.is_none()
+            && !self.enable_recovery
             && !self.sabotage_dedup
     }
 
@@ -220,6 +244,34 @@ impl FaultPlan {
         )
     }
 
+    /// Scale `resource` down (planned leave) at `down` and back up at
+    /// `up`.
+    ///
+    /// # Panics
+    /// If `up <= down`.
+    pub fn with_scale_cycle(self, resource: &str, down: SimTime, up: SimTime) -> FaultPlan {
+        assert!(up > down, "scale-up must come after the scale-down");
+        self.with_event(
+            down,
+            Fault::ScaleDown {
+                resource: resource.to_string(),
+            },
+        )
+        .with_event(
+            up,
+            Fault::ScaleUp {
+                resource: resource.to_string(),
+            },
+        )
+    }
+
+    /// Force the recovery machinery on (see
+    /// [`FaultPlan::enable_recovery`]).
+    pub fn with_recovery(mut self) -> FaultPlan {
+        self.enable_recovery = true;
+        self
+    }
+
     /// Set the advertisement-pull loss rate (clamped to `[0, 1]`).
     pub fn with_pull_loss(mut self, rate: f64) -> FaultPlan {
         self.pull_loss_rate = rate.clamp(0.0, 1.0);
@@ -289,6 +341,10 @@ mod tests {
             .is_noop());
         assert!(!FaultPlan::none()
             .with_crash("S1", SimTime::from_secs(1), SimTime::from_secs(2))
+            .is_noop());
+        assert!(!FaultPlan::none().with_recovery().is_noop());
+        assert!(!FaultPlan::none()
+            .with_scale_cycle("S1", SimTime::from_secs(1), SimTime::from_secs(2))
             .is_noop());
     }
 

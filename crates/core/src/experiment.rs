@@ -95,23 +95,7 @@ pub fn run_experiment(
     workload: &WorkloadConfig,
     opts: &RunOptions,
 ) -> ExperimentResult {
-    let config = GridConfig {
-        policy: design.local_policy,
-        ga: opts.ga,
-        dispatch: if design.agents_enabled {
-            crate::grid::DispatchMode::Discovery
-        } else {
-            crate::grid::DispatchMode::Local
-        },
-        failure_policy: opts.failure_policy,
-        advertisement: opts.advertisement,
-        seed: workload.seed,
-        trace: opts.trace,
-        noise: opts.noise,
-        gossip: opts.gossip,
-        telemetry: opts.telemetry.clone(),
-        chaos: opts.chaos.clone(),
-    };
+    let config = grid_config(design, workload.seed, opts);
     let mut grid = GridSystem::new(topology, &opts.catalog, &config);
     let requests = workload.generate(&opts.catalog);
     let n_requests = requests.len();
@@ -141,8 +125,32 @@ pub fn run_experiment(
     collect_result(design, topology, &grid, n_requests)
 }
 
-/// Build the metrics report from a finished grid.
-fn collect_result(
+/// Assemble the [`GridConfig`] for one experiment design — the exact
+/// mapping [`run_experiment`] uses, exposed so other drivers (serve
+/// mode) produce bit-identical grids.
+pub fn grid_config(design: &ExperimentDesign, seed: u64, opts: &RunOptions) -> GridConfig {
+    GridConfig {
+        policy: design.local_policy,
+        ga: opts.ga,
+        dispatch: if design.agents_enabled {
+            crate::grid::DispatchMode::Discovery
+        } else {
+            crate::grid::DispatchMode::Local
+        },
+        failure_policy: opts.failure_policy,
+        advertisement: opts.advertisement,
+        seed,
+        trace: opts.trace,
+        noise: opts.noise,
+        gossip: opts.gossip,
+        telemetry: opts.telemetry.clone(),
+        chaos: opts.chaos.clone(),
+    }
+}
+
+/// Build the metrics report from a finished grid — public so serve mode
+/// can report the identical [`ExperimentResult`] a batch run would.
+pub fn collect_result(
     design: &ExperimentDesign,
     topology: &GridTopology,
     grid: &GridSystem,

@@ -211,6 +211,8 @@ struct ResolvedFault {
 enum FaultKind {
     Crash(ResourceId),
     Restart(ResourceId),
+    ScaleDown(ResourceId),
+    ScaleUp(ResourceId),
     LinkDrop(ResourceId, ResourceId),
     LinkRestore(ResourceId, ResourceId),
     LinkDelay(ResourceId, ResourceId, SimDuration),
@@ -322,6 +324,16 @@ pub struct GridSystem {
     /// Freetime advertised at the last push, per resource (push mode).
     last_advertised: Vec<SimTime>,
     monitor_polls_enabled: bool,
+    /// Whether each agent's periodic pull chain has a pending event.
+    /// Chains lapse when `work_remains` turns false; the serve loop
+    /// revives them when it injects new work into an idle grid. Purely
+    /// passive bookkeeping for batch runs.
+    pull_live: Vec<bool>,
+    /// Same, for the periodic monitor-poll chains.
+    monitor_live: Vec<bool>,
+    /// The ACT TTL in force on every agent (mirrors the per-agent
+    /// setting so the online tuner can read and adjust it).
+    act_ttl: Option<SimDuration>,
     portal: Portal,
     next_task: u64,
     /// Submitting agent per task, indexed by task id.
@@ -459,6 +471,12 @@ impl GridSystem {
                         Fault::AgentRestart { resource } => {
                             FaultKind::Restart(names.expect_id(resource))
                         }
+                        Fault::ScaleDown { resource } => {
+                            FaultKind::ScaleDown(names.expect_id(resource))
+                        }
+                        Fault::ScaleUp { resource } => {
+                            FaultKind::ScaleUp(names.expect_id(resource))
+                        }
                         Fault::LinkDrop { from, to } => {
                             FaultKind::LinkDrop(names.expect_id(from), names.expect_id(to))
                         }
@@ -518,6 +536,9 @@ impl GridSystem {
             gossip: config.gossip,
             last_advertised: vec![SimTime::ZERO; n],
             monitor_polls_enabled: false,
+            pull_live: vec![false; n],
+            monitor_live: vec![false; n],
+            act_ttl: config.chaos.act_ttl,
             portal: Portal::new("user@grid.example.org"),
             next_task: 0,
             origins: Vec::new(),
@@ -607,6 +628,7 @@ impl GridSystem {
                 AdvertisementStrategy::PeriodicPull { .. } => {
                     for agent in self.names.ids() {
                         sim.schedule(SimTime::ZERO, GridEvent::AdvertisementPull { agent });
+                        self.pull_live[agent.index()] = true;
                     }
                 }
                 AdvertisementStrategy::EventPush { .. } => {
@@ -620,6 +642,7 @@ impl GridSystem {
         if self.monitor_polls_enabled {
             for resource in self.names.ids() {
                 sim.schedule(SimTime::ZERO, GridEvent::MonitorPoll { resource });
+                self.monitor_live[resource.index()] = true;
             }
         }
         if let Some(c) = self.chaos.as_mut() {
@@ -708,9 +731,11 @@ impl GridSystem {
                     self.pull(sim, agent, now);
                 }
                 if let AdvertisementStrategy::PeriodicPull { period } = self.advertisement {
-                    if self.work_remains() {
+                    let live = self.work_remains();
+                    if live {
                         sim.schedule_in(period, GridEvent::AdvertisementPull { agent });
                     }
+                    self.pull_live[agent.index()] = live;
                 }
             }
             GridEvent::MonitorPoll { resource } => {
@@ -720,9 +745,11 @@ impl GridSystem {
                     let started = self.schedulers[resource.index()].on_monitor_poll(now);
                     self.schedule_started(sim, resource, &started);
                 }
-                if self.work_remains() {
+                let live = self.work_remains();
+                if live {
                     sim.schedule_in(period, GridEvent::MonitorPoll { resource });
                 }
+                self.monitor_live[resource.index()] = live;
             }
             GridEvent::Fault { index } => self.apply_fault(sim, index as usize, now),
             GridEvent::DispatchRetry { request } => {
@@ -1081,6 +1108,8 @@ impl GridSystem {
         match c.timeline[index].kind {
             FaultKind::Crash(r) => self.crash_resource(sim, &mut c, r, now),
             FaultKind::Restart(r) => self.restart_resource(sim, &mut c, r, now),
+            FaultKind::ScaleDown(r) => self.scale_down_resource(sim, &mut c, r, now),
+            FaultKind::ScaleUp(r) => self.scale_up_resource(sim, &mut c, r, now),
             FaultKind::LinkDrop(a, b) => {
                 c.link_down.insert((a, b));
             }
@@ -1161,6 +1190,101 @@ impl GridSystem {
                 // Push mode has no standing chain: re-announce now.
                 self.push_from_inner(sim, Some(c), r, now);
             }
+        }
+    }
+
+    /// Planned elasticity: the resource leaves the grid gracefully. The
+    /// contrast with [`GridSystem::crash_resource`] is the treatment of
+    /// in-flight work — *queued* tasks are drained and re-placed through
+    /// the recovery path, while *running* tasks execute to completion
+    /// (their completion events still process on a down resource). The
+    /// agent stops advertising and answering discovery, and its ACT is
+    /// cleared, exactly as for a crash.
+    fn scale_down_resource(
+        &mut self,
+        sim: &mut Simulation<GridEvent>,
+        c: &mut ChaosState,
+        r: ResourceId,
+        now: SimTime,
+    ) {
+        if c.down[r.index()] {
+            return;
+        }
+        c.down[r.index()] = true;
+        let drained = self.schedulers[r.index()].drain_pending(now);
+        let names = &self.names;
+        let n_drained = drained.len() as u32;
+        self.telemetry.emit(now.ticks(), || Event::ScaleDirective {
+            resource: names.name(r).to_string(),
+            up: false,
+            drained: n_drained,
+        });
+        self.telemetry.emit(now.ticks(), || Event::AgentDown {
+            resource: names.name(r).to_string(),
+        });
+        self.trace_at(now, TraceKind::Info, r, |_| {
+            format!("scale-down (drained {n_drained} queued)")
+        });
+        self.hierarchy.agent_mut(r).clear_act();
+        self.last_advertised[r.index()] = SimTime::ZERO;
+        for task in drained {
+            let idx = task.id.0 as usize;
+            self.active_tasks = self.active_tasks.saturating_sub(1);
+            if self.executors[idx].is_some_and(|e| e != self.origins[idx]) {
+                self.migration_count -= 1;
+            }
+            self.executors[idx] = None;
+            let i = c.task_request[idx];
+            if c.reqs[i].lost_at.is_none() {
+                c.reqs[i].lost_at = Some(now);
+            }
+            self.schedule_retry(sim, c, i, now);
+        }
+    }
+
+    /// Planned elasticity: a scaled-down (or crashed) resource rejoins
+    /// the grid with empty queues. Mirrors
+    /// [`GridSystem::restart_resource`], plus a revival of any lapsed
+    /// periodic chains so a rejoin into an idle served grid starts
+    /// advertising again.
+    fn scale_up_resource(
+        &mut self,
+        sim: &mut Simulation<GridEvent>,
+        c: &mut ChaosState,
+        r: ResourceId,
+        now: SimTime,
+    ) {
+        if !c.down[r.index()] {
+            return;
+        }
+        c.down[r.index()] = false;
+        let names = &self.names;
+        self.telemetry.emit(now.ticks(), || Event::ScaleDirective {
+            resource: names.name(r).to_string(),
+            up: true,
+            drained: 0,
+        });
+        self.telemetry.emit(now.ticks(), || Event::AgentUp {
+            resource: names.name(r).to_string(),
+        });
+        self.trace_at(now, TraceKind::Info, r, |_| "scale-up".to_string());
+        if self.dispatch == DispatchMode::Discovery {
+            match self.advertisement {
+                AdvertisementStrategy::EventPush { .. } => {
+                    // Push mode has no standing chain: re-announce now.
+                    self.push_from_inner(sim, Some(c), r, now);
+                }
+                AdvertisementStrategy::PeriodicPull { .. } => {
+                    if !self.pull_live[r.index()] {
+                        sim.schedule(now, GridEvent::AdvertisementPull { agent: r });
+                        self.pull_live[r.index()] = true;
+                    }
+                }
+            }
+        }
+        if self.monitor_polls_enabled && !self.monitor_live[r.index()] {
+            sim.schedule(now, GridEvent::MonitorPoll { resource: r });
+            self.monitor_live[r.index()] = true;
         }
     }
 
@@ -1677,6 +1801,188 @@ impl GridSystem {
     /// part of the Fig. 5 surface).
     pub fn environments() -> [ExecEnv; 3] {
         [ExecEnv::Mpi, ExecEnv::Pvm, ExecEnv::Test]
+    }
+
+    // ---- live ingestion, elasticity and online tuning (serve mode) ------
+
+    /// Inject one request into a running grid: the live-ingestion
+    /// counterpart of [`GridSystem::bootstrap`]. The request is prepared
+    /// exactly as at bootstrap and its [`GridEvent::Request`] scheduled
+    /// at `r.at` (clamped to now), and any lapsed periodic chains are
+    /// revived so an idle grid wakes up. Returns the request index, or
+    /// an error for an unknown target agent.
+    pub fn inject_request(
+        &mut self,
+        sim: &mut Simulation<GridEvent>,
+        r: &GeneratedRequest,
+    ) -> Result<usize, String> {
+        let agent = self
+            .names
+            .id(&r.agent)
+            .ok_or_else(|| format!("unknown agent {:?}", r.agent))?;
+        let i = self.requests.len();
+        self.requests.push(PreparedRequest {
+            agent,
+            app: self.apps.get(&r.application).cloned(),
+            info: Arc::new(
+                self.portal
+                    .request(&r.application, r.environment, r.deadline),
+            ),
+            deadline: r.deadline,
+            environment: r.environment,
+        });
+        self.remaining_requests += 1;
+        if let Some(c) = self.chaos.as_mut() {
+            c.reqs.push(ReqChaos::default());
+        }
+        sim.schedule(r.at.max(sim.now()), GridEvent::Request(i));
+        self.revive_idle_chains(sim);
+        Ok(i)
+    }
+
+    /// Append a planned scale directive to the fault timeline of a
+    /// running grid, firing at `at` (clamped to now). Requires the
+    /// recovery machinery ([`FaultPlan::with_recovery`] or any non-noop
+    /// plan); errors on an unknown resource or a recovery-free grid.
+    pub fn schedule_scale(
+        &mut self,
+        sim: &mut Simulation<GridEvent>,
+        resource: &str,
+        up: bool,
+        at: SimTime,
+    ) -> Result<(), String> {
+        let id = self
+            .names
+            .id(resource)
+            .ok_or_else(|| format!("unknown resource {resource:?}"))?;
+        let c = self.chaos.as_mut().ok_or_else(|| {
+            "elasticity needs the recovery machinery (FaultPlan::with_recovery)".to_string()
+        })?;
+        let index = c.timeline.len() as u32;
+        c.timeline.push(ResolvedFault {
+            at,
+            kind: if up {
+                FaultKind::ScaleUp(id)
+            } else {
+                FaultKind::ScaleDown(id)
+            },
+        });
+        sim.schedule(at.max(sim.now()), GridEvent::Fault { index });
+        self.revive_idle_chains(sim);
+        Ok(())
+    }
+
+    /// Re-arm any periodic pull/monitor chain that lapsed while the grid
+    /// was idle (chains stop rescheduling once `work_remains` turns
+    /// false). Injection calls this so a served grid wakes back up; a
+    /// batch run never goes idle with work pending, so this is a no-op
+    /// there.
+    pub fn revive_idle_chains(&mut self, sim: &mut Simulation<GridEvent>) {
+        let now = sim.now();
+        if self.dispatch == DispatchMode::Discovery {
+            if let AdvertisementStrategy::PeriodicPull { .. } = self.advertisement {
+                for agent in self.names.ids() {
+                    if !self.pull_live[agent.index()] {
+                        sim.schedule(now, GridEvent::AdvertisementPull { agent });
+                        self.pull_live[agent.index()] = true;
+                    }
+                }
+            }
+        }
+        if self.monitor_polls_enabled {
+            for resource in self.names.ids() {
+                if !self.monitor_live[resource.index()] {
+                    sim.schedule(now, GridEvent::MonitorPoll { resource });
+                    self.monitor_live[resource.index()] = true;
+                }
+            }
+        }
+    }
+
+    /// The advertisement pull period in force, or `None` in push mode.
+    pub fn pull_period(&self) -> Option<SimDuration> {
+        match self.advertisement {
+            AdvertisementStrategy::PeriodicPull { period } => Some(period),
+            AdvertisementStrategy::EventPush { .. } => None,
+        }
+    }
+
+    /// Adjust the advertisement pull period at runtime (the online
+    /// tuner's knob; takes effect at each chain's next reschedule).
+    /// Returns false in push mode. Clamped to at least one tick.
+    pub fn set_pull_period(&mut self, period: SimDuration) -> bool {
+        match &mut self.advertisement {
+            AdvertisementStrategy::PeriodicPull { period: p } => {
+                *p = period.max(SimDuration::from_ticks(1));
+                true
+            }
+            AdvertisementStrategy::EventPush { .. } => false,
+        }
+    }
+
+    /// The ACT entry TTL in force on every agent.
+    pub fn act_ttl(&self) -> Option<SimDuration> {
+        self.act_ttl
+    }
+
+    /// Set the ACT entry TTL on every agent at runtime (the online
+    /// tuner's knob; `None` restores the paper's never-expire default).
+    pub fn set_act_ttl(&mut self, ttl: Option<SimDuration>) {
+        self.act_ttl = ttl;
+        for id in self.names.ids() {
+            self.hierarchy.agent_mut(id).set_act_ttl(ttl);
+        }
+    }
+
+    /// The GA generation budget in force, or `None` for non-GA policies.
+    pub fn ga_generations(&self) -> Option<usize> {
+        self.schedulers.first().and_then(|s| s.ga_generations())
+    }
+
+    /// Adjust every scheduler's GA generation budget at runtime (the
+    /// online tuner's knob; no-op returning false for non-GA policies).
+    /// Search budget only — queue contents are untouched, so the
+    /// incremental bookkeeping stays valid.
+    pub fn set_ga_generations(&mut self, generations: usize) -> bool {
+        let mut any = false;
+        for s in &mut self.schedulers {
+            any |= s.set_ga_generations(generations);
+        }
+        any
+    }
+
+    /// Tasks submitted to a scheduler and not yet completed.
+    pub fn active_tasks(&self) -> usize {
+        if self.baseline || self.external_mutation {
+            return self
+                .schedulers
+                .iter()
+                .map(|s| s.queue_len() + s.running_len())
+                .sum();
+        }
+        self.active_tasks
+    }
+
+    /// Tasks queued (not yet started) across all schedulers.
+    pub fn queued_tasks(&self) -> usize {
+        self.schedulers.iter().map(|s| s.queue_len()).sum()
+    }
+
+    /// Tasks completed across all schedulers.
+    pub fn completed_tasks(&self) -> usize {
+        self.schedulers.iter().map(|s| s.completed().len()).sum()
+    }
+
+    /// Workload requests accepted so far (bootstrap plus injected).
+    pub fn total_requests(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether `name` is currently serving (not crashed or scaled
+    /// down); `None` for unknown names.
+    pub fn resource_online(&self, name: &str) -> Option<bool> {
+        let id = self.names.id(name)?;
+        Some(!self.chaos_down(id))
     }
 }
 

@@ -46,14 +46,18 @@ pub mod grid;
 pub mod result;
 
 pub use chaos::{Fault, FaultEvent, FaultPlan};
-pub use experiment::{run_experiment, run_table3, run_table3_parallel, RunOptions};
+pub use experiment::{
+    collect_result, grid_config, run_experiment, run_table3, run_table3_parallel, RunOptions,
+};
 pub use grid::{ChaosStats, DispatchMode, GridConfig, GridEvent, GridSystem};
 pub use result::{CaseStudyResults, ExperimentResult, ResourceRow};
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use crate::chaos::{Fault, FaultEvent, FaultPlan};
-    pub use crate::experiment::{run_experiment, run_table3, run_table3_parallel, RunOptions};
+    pub use crate::experiment::{
+        collect_result, grid_config, run_experiment, run_table3, run_table3_parallel, RunOptions,
+    };
     pub use crate::grid::{ChaosStats, DispatchMode, GridConfig, GridEvent, GridSystem};
     pub use crate::result::{CaseStudyResults, ExperimentResult, ResourceRow};
     pub use agentgrid_agents::{

@@ -138,6 +138,14 @@ impl GaScheduler {
         &self.config
     }
 
+    /// Adjust the per-event generation budget at runtime (the online
+    /// tuner's knob). Only the search budget moves: population shape,
+    /// operators and the random stream are untouched, so runs that
+    /// never call this are unaffected.
+    pub fn set_generations_per_event(&mut self, generations: usize) {
+        self.config.generations_per_event = generations.max(1);
+    }
+
     /// Current population (empty until the first evolve).
     pub fn population(&self) -> &[Solution] {
         &self.population

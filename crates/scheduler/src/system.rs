@@ -310,6 +310,56 @@ impl SchedulerSystem {
         }
     }
 
+    /// Drain every *queued* task for a planned scale-down: pending tasks
+    /// are removed and returned (sorted by id) for grid-level
+    /// re-placement, while running tasks keep executing to completion —
+    /// the graceful half of [`SchedulerSystem::crash`]. The resource
+    /// ledger and completed history are untouched.
+    pub fn drain_pending(&mut self, _now: SimTime) -> Vec<Task> {
+        match &mut self.policy {
+            PolicyState::Ga(ga) => {
+                // Remove from the tail so earlier indices stay valid.
+                for pos in (0..self.pending.len()).rev() {
+                    ga.absorb_removed_task(pos);
+                }
+            }
+            PolicyState::Fifo(fifo) => {
+                for t in &self.pending {
+                    fifo.drop_task(t.id);
+                }
+            }
+            PolicyState::Batch(batch) => {
+                for t in &self.pending {
+                    batch.remove(t.id);
+                }
+            }
+        }
+        let mut drained = std::mem::take(&mut self.pending);
+        drained.sort_by_key(|t| t.id.0);
+        drained
+    }
+
+    /// The GA generation budget in force, or `None` for non-GA policies.
+    pub fn ga_generations(&self) -> Option<usize> {
+        match &self.policy {
+            PolicyState::Ga(ga) => Some(ga.config().generations_per_event),
+            _ => None,
+        }
+    }
+
+    /// Adjust the GA generation budget at runtime (no-op for non-GA
+    /// policies; returns whether the knob existed). Search budget only —
+    /// queue contents and bookkeeping are untouched.
+    pub fn set_ga_generations(&mut self, generations: usize) -> bool {
+        match &mut self.policy {
+            PolicyState::Ga(ga) => {
+                ga.set_generations_per_event(generations);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Whether `id` is currently executing here. The grid's chaos layer
     /// uses this to recognise completion events that outlived a crash.
     pub fn is_running(&self, id: TaskId) -> bool {

@@ -5,6 +5,8 @@
 //! agentgrid run [--policy fifo|ga] [--agents] [--topology SPEC]
 //!               [--requests N] [--seed S] [--noise SIGMA] [--json]
 //!               [--trace FILE] [--trace-format jsonl|chrome] [--verify]
+//! agentgrid serve [--fast-forward | --speed X] [--listen ADDR] [--tune]
+//!                 [--input FILE] [--metrics-out FILE] [--verify] [--json]
 //! agentgrid report TRACE                            # summarise a recorded trace
 //! agentgrid topology SPEC                           # inspect a topology
 //! agentgrid models                                  # print the Table 1 catalogue
@@ -14,6 +16,10 @@
 //! `tree:<levels>:<branching>:<nproc>`.
 
 use agentgrid::prelude::*;
+use agentgrid_serve::{
+    parse_stream, spawn_listener, GridService, PacedOptions, ServeConfig, ServeReport, ServeShared,
+    TunerConfig,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -38,6 +44,7 @@ fn main() -> ExitCode {
         }
         ("table3", Ok(flags)) => cmd_table3(&flags),
         ("run", Ok(flags)) => cmd_run(&flags),
+        ("serve", Ok(flags)) => cmd_serve(&flags),
         ("topology", Ok(flags)) => cmd_topology(&flags),
         ("models", Ok(_)) => cmd_models(),
         (other, Ok(_)) => {
@@ -56,9 +63,28 @@ USAGE:
                      [--requests N] [--seed S] [--noise SIGMA] [--json]
                      [--ga-threads N] [--verify]
                      [--trace FILE] [--trace-format jsonl|chrome]
+  agentgrid serve    [--fast-forward | --speed X] [--listen ADDR] [--tune]
+                     [--input FILE] [--metrics-out FILE] [--json] [--verify]
+                     [--policy fifo|ga|batch] [--agents] [--topology SPEC]
+                     [--seed S] [--noise SIGMA]
   agentgrid report   TRACE
   agentgrid topology [--topology SPEC]
   agentgrid models
+
+SERVE MODE:
+  reads JSONL request/scale lines from stdin (or --input FILE) into a
+  live grid; see DESIGN.md §12 for the line format
+  --fast-forward          drain the whole stream at simulator speed
+                          (bit-identical to `run` on the same requests)
+  --speed X               paced mode: X sim-seconds per wall-second
+                          (default 1.0)
+  --listen ADDR           HTTP listener (GET /metrics Prometheus text,
+                          GET /status, POST /ingest JSONL); port 0 picks
+                          a free port, printed to stderr
+  --tune                  online self-tuner: adapts the GA budget, pull
+                          period and ACT TTL to queue backlog, every
+                          change emitted as telemetry
+  --metrics-out FILE      write the final Prometheus exposition to FILE
 
 VERIFICATION:
   --verify                check behavioural invariants online during the run
@@ -99,6 +125,13 @@ struct Flags {
     trace: Option<String>,
     trace_format: TraceFormat,
     verify: bool,
+    // serve-only flags
+    fast_forward: bool,
+    speed: f64,
+    listen: Option<String>,
+    tune: bool,
+    input: Option<String>,
+    metrics_out: Option<String>,
 }
 
 impl Flags {
@@ -115,6 +148,12 @@ impl Flags {
             trace: None,
             trace_format: TraceFormat::Jsonl,
             verify: false,
+            fast_forward: false,
+            speed: 1.0,
+            listen: None,
+            tune: false,
+            input: None,
+            metrics_out: None,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -156,6 +195,12 @@ impl Flags {
                         other => return Err(format!("unknown trace format `{other}`")),
                     }
                 }
+                "--fast-forward" => flags.fast_forward = true,
+                "--speed" => flags.speed = value("--speed")?.parse().map_err(|e| format!("{e}"))?,
+                "--listen" => flags.listen = Some(value("--listen")?),
+                "--tune" => flags.tune = true,
+                "--input" => flags.input = Some(value("--input")?),
+                "--metrics-out" => flags.metrics_out = Some(value("--metrics-out")?),
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -325,6 +370,139 @@ fn cmd_run(flags: &Flags) -> ExitCode {
         result.migrations
     );
     exit_for(verify_verdict(checker.as_deref()))
+}
+
+fn cmd_serve(flags: &Flags) -> ExitCode {
+    let topology = match flags.topology() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = ServeConfig {
+        topology,
+        design: ExperimentDesign {
+            number: 0,
+            local_policy: flags.policy,
+            agents_enabled: flags.agents,
+        },
+        opts: flags.options(),
+        seed: flags.seed,
+        verify: flags.verify,
+        tune: flags.tune.then(TunerConfig::default),
+    };
+
+    let outcome = if flags.fast_forward {
+        let text = match &flags.input {
+            Some(path) => match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => {
+                let mut t = String::new();
+                use std::io::Read;
+                if let Err(e) = std::io::stdin().read_to_string(&mut t) {
+                    eprintln!("error: cannot read stdin: {e}");
+                    return ExitCode::FAILURE;
+                }
+                t
+            }
+        };
+        parse_stream(&text, SimTime::ZERO).and_then(|lines| GridService::fast_forward(&cfg, &lines))
+    } else {
+        let paced = PacedOptions {
+            speed: flags.speed,
+            ..PacedOptions::default()
+        };
+        let (ingest_tx, ingest_rx) = std::sync::mpsc::channel();
+        let shared = flags.listen.as_ref().map(|_| ServeShared::new(ingest_tx));
+        let listener = match (&flags.listen, &shared) {
+            (Some(addr), Some(shared)) => match spawn_listener(addr, shared.clone()) {
+                Ok((local, handle)) => {
+                    eprintln!("serve: listening on {local}");
+                    Some(handle)
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            _ => None,
+        };
+        let paced = PacedOptions {
+            ingest: shared.is_some().then_some(ingest_rx),
+            ..paced
+        };
+        let result = match &flags.input {
+            Some(path) => match std::fs::File::open(path) {
+                Ok(f) => GridService::run_paced(&cfg, std::io::BufReader::new(f), paced, shared),
+                Err(e) => {
+                    eprintln!("error: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => GridService::run_paced(
+                &cfg,
+                std::io::BufReader::new(std::io::stdin()),
+                paced,
+                shared,
+            ),
+        };
+        if let Some(handle) = listener {
+            let _ = handle.join();
+        }
+        result
+    };
+
+    let report = match outcome {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &flags.metrics_out {
+        if let Err(e) = std::fs::write(path, &report.metrics_text) {
+            eprintln!("error: cannot write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    print_serve_report(flags, &report);
+    if let Some(text) = &report.verify_report {
+        eprintln!("{text}");
+    }
+    exit_for(report.clean && report.skipped_lines == 0)
+}
+
+fn print_serve_report(flags: &Flags, report: &ServeReport) {
+    if flags.json {
+        println!("{}", report.result.to_json());
+        return;
+    }
+    let r = &report.result;
+    println!(
+        "served {} requests ({} completed, {} rejected), {} scale directives, horizon {:.0}s",
+        report.injected, report.completed, r.rejected, report.scale_directives, r.horizon_s
+    );
+    println!(
+        "  e {:+.1}s  u {:.1}%  b {:.1}%  ({}/{} deadlines met, {} migrations)",
+        r.total.advance_s,
+        r.total.utilisation_pct,
+        r.total.balance_pct,
+        r.total.deadlines_met,
+        r.total.tasks,
+        r.migrations
+    );
+    if report.tuner_adjustments > 0 {
+        println!("  tuner: {} knob adjustments", report.tuner_adjustments);
+    }
+    if report.skipped_lines > 0 {
+        println!("  skipped {} malformed input lines", report.skipped_lines);
+    }
 }
 
 fn cmd_report(path: &str) -> ExitCode {

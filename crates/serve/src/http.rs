@@ -1,0 +1,300 @@
+//! A dependency-free HTTP/1.1 listener for the served grid.
+//!
+//! Three endpoints, all tiny and std-only:
+//!
+//! * `GET /metrics` — the Prometheus text exposition (exporter format
+//!   0.0.4) with the live ε/ῡ/β gauges appended.
+//! * `GET /status`  — the [`LiveStatus`](crate::service::LiveStatus)
+//!   JSON one-liner.
+//! * `POST /ingest` — raw JSONL request/scale lines, injected into the
+//!   running grid exactly as stdin lines are.
+//!
+//! The listener thread never touches the simulation: the event loop
+//! *publishes* rendered snapshots into [`ServeShared`] and the listener
+//! serves the latest one. A `GET` marks the shared state refresh-wanted,
+//! so the next loop iteration (≤ ~20 ms away) re-renders; the handler
+//! waits briefly to pick that up. Ingested lines travel back over a
+//! channel, keeping all grid mutation on the sim thread.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::Arc;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// State shared between the sim loop (writer) and the listener (reader).
+pub struct ServeShared {
+    metrics: Mutex<String>,
+    status: Mutex<String>,
+    refresh: AtomicBool,
+    stop: AtomicBool,
+    ingest: Sender<String>,
+}
+
+impl ServeShared {
+    /// Shared state whose `/ingest` lines flow into `ingest`.
+    pub fn new(ingest: Sender<String>) -> Arc<ServeShared> {
+        Arc::new(ServeShared {
+            metrics: Mutex::new(String::new()),
+            status: Mutex::new(String::new()),
+            refresh: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            ingest,
+        })
+    }
+
+    /// Publish fresh snapshots (called by the sim loop).
+    pub fn publish(&self, metrics: String, status: String) {
+        *self.metrics.lock().expect("metrics lock") = metrics;
+        *self.status.lock().expect("status lock") = status;
+        self.refresh.store(false, Ordering::Release);
+    }
+
+    /// True when a reader asked for fresher data than the last publish.
+    pub fn wants_refresh(&self) -> bool {
+        self.refresh.load(Ordering::Acquire)
+    }
+
+    /// Tell the listener thread to wind down.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:9090`; port 0 picks one) and serve it on
+/// a background thread until [`ServeShared::shutdown`]. Returns the
+/// actual bound address.
+pub fn spawn_listener(
+    addr: &str,
+    shared: Arc<ServeShared>,
+) -> Result<(SocketAddr, std::thread::JoinHandle<()>), String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("no local addr: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot set nonblocking: {e}"))?;
+    let handle = std::thread::spawn(move || loop {
+        if shared.stopping() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => handle_connection(stream, &shared),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => {
+                eprintln!("serve: accept error: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    });
+    Ok((local, handle))
+}
+
+/// Read one request (head + `Content-Length` body, 1 MiB cap), answer
+/// it, close. Every response carries `Connection: close` — the exporter
+/// and curl both cope, and it keeps the server a one-shot loop.
+fn handle_connection(mut stream: TcpStream, shared: &ServeShared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if let Some(pos) = find_head_end(&buf) {
+                    break pos;
+                }
+                if buf.len() > 64 * 1024 {
+                    respond(&mut stream, 431, "text/plain", "header too large\n");
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.lines();
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_string(), p.to_string()),
+        _ => {
+            respond(&mut stream, 400, "text/plain", "bad request\n");
+            return;
+        }
+    };
+    let content_length = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.trim().eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+    if content_length > 1024 * 1024 {
+        respond(&mut stream, 413, "text/plain", "body too large\n");
+        return;
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+
+    match (method.as_str(), path.as_str()) {
+        ("GET", "/metrics") => {
+            // Ask the sim loop for a fresh render, give it a beat to
+            // land, then serve whatever is newest.
+            shared.refresh.store(true, Ordering::Release);
+            std::thread::sleep(Duration::from_millis(60));
+            let text = shared.metrics.lock().expect("metrics lock").clone();
+            respond(
+                &mut stream,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &text,
+            );
+        }
+        ("GET", "/status") => {
+            shared.refresh.store(true, Ordering::Release);
+            std::thread::sleep(Duration::from_millis(60));
+            let text = shared.status.lock().expect("status lock").clone();
+            respond(&mut stream, 200, "application/json", &text);
+        }
+        ("POST", "/ingest") => {
+            let text = String::from_utf8_lossy(&body);
+            let mut accepted = 0usize;
+            for line in text.lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if shared.ingest.send(line.to_string()).is_err() {
+                    respond(&mut stream, 503, "text/plain", "service draining\n");
+                    return;
+                }
+                accepted += 1;
+            }
+            respond(
+                &mut stream,
+                202,
+                "application/json",
+                &format!("{{\"accepted\": {accepted}}}\n"),
+            );
+        }
+        ("GET", _) => respond(&mut stream, 404, "text/plain", "try /metrics or /status\n"),
+        _ => respond(&mut stream, 405, "text/plain", "method not allowed\n"),
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) {
+    let reason = match code {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader};
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        request(addr, &format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n"))
+    }
+
+    fn request(addr: SocketAddr, raw: &str) -> (u16, String) {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(raw.as_bytes()).expect("write");
+        let mut reader = BufReader::new(s);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).expect("status line");
+        let code: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .expect("status code");
+        let mut line = String::new();
+        let mut len = 0usize;
+        loop {
+            line.clear();
+            reader.read_line(&mut line).expect("header");
+            if line.trim().is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                if k.eq_ignore_ascii_case("content-length") {
+                    len = v.trim().parse().unwrap_or(0);
+                }
+            }
+        }
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body).expect("body");
+        (code, String::from_utf8_lossy(&body).into_owned())
+    }
+
+    #[test]
+    fn listener_serves_metrics_status_and_ingest() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let shared = ServeShared::new(tx);
+        shared.publish(
+            "# HELP x y\nx 1\n".to_string(),
+            "{\"ok\": true}".to_string(),
+        );
+        let (addr, handle) = spawn_listener("127.0.0.1:0", shared.clone()).expect("bind");
+
+        let (code, body) = get(addr, "/metrics");
+        assert_eq!(code, 200);
+        assert!(body.contains("x 1"), "{body}");
+
+        let (code, body) = get(addr, "/status");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"ok\""), "{body}");
+
+        let payload = "{\"scale\": \"down\", \"resource\": \"S3\"}\n";
+        let (code, body) = request(
+            addr,
+            &format!(
+                "POST /ingest HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{payload}",
+                payload.len()
+            ),
+        );
+        assert_eq!(code, 202);
+        assert!(body.contains("\"accepted\": 1"), "{body}");
+        assert_eq!(rx.try_recv().expect("ingested line").trim(), payload.trim());
+
+        let (code, _) = get(addr, "/nope");
+        assert_eq!(code, 404);
+
+        shared.shutdown();
+        handle.join().expect("listener joins");
+    }
+}

@@ -1,0 +1,31 @@
+//! `agentgrid serve` — the grid as a long-running service.
+//!
+//! The batch experiment driver answers "what did this workload do?";
+//! this crate answers "what is the grid doing *right now*?". It wraps
+//! one [`GridSystem`](agentgrid::GridSystem) +
+//! [`Simulation`](agentgrid_sim::Simulation) pair in a service loop
+//! with:
+//!
+//! * **live ingestion** — JSONL request lines from stdin or a std-only
+//!   TCP listener become portal requests injected into the running
+//!   simulation ([`stream`]);
+//! * **pacing** — real-time driving under a configurable time-dilation
+//!   factor, or fast-forward batch equivalence ([`service`]);
+//! * **elasticity** — scripted or ingested scale-up/down directives,
+//!   generalising the chaos crash/restart machinery into planned,
+//!   graceful resource joins and leaves;
+//! * **observability** — a Prometheus `/metrics` exposition and a live
+//!   ε/ῡ/β status line ([`http`]);
+//! * **self-tuning** — an optional monitoring → analysis → tuning loop
+//!   that adapts the GA budget, pull period and ACT TTL under load,
+//!   with every adjustment on the telemetry record ([`tuner`]).
+
+pub mod http;
+pub mod service;
+pub mod stream;
+pub mod tuner;
+
+pub use http::{spawn_listener, ServeShared};
+pub use service::{GridService, LiveStatus, PacedOptions, ServeConfig, ServeReport};
+pub use stream::{parse_line, parse_stream, write_request, write_scale, write_stream, ServeLine};
+pub use tuner::{Tuner, TunerConfig};

@@ -1,0 +1,592 @@
+//! The grid service: one long-lived `GridSystem` + `Simulation` pair
+//! driven by an input stream instead of a pre-generated batch workload.
+//!
+//! Three drive modes share the same grid, telemetry and finalisation:
+//!
+//! * [`GridService::fast_forward`] — the whole stream is known up front;
+//!   requests bootstrap exactly as a batch run and scale directives
+//!   become fault-timeline entries, so a pure request stream is
+//!   *bit-identical* to `agentgrid run` on the same workload.
+//! * [`GridService::run_scripted`] — deterministic mid-run injection:
+//!   lines are injected into the running simulation the moment the event
+//!   clock reaches them (via [`Simulation::peek_at`]), exercising the
+//!   live-ingestion path without wall clocks. The fuzzer drives this.
+//! * [`GridService::run_paced`] — real time: a reader thread feeds lines
+//!   through a channel, the event loop sleeps until each event's wall
+//!   deadline under a configurable time-dilation factor, and an optional
+//!   HTTP listener serves `/metrics`, `/status` and `POST /ingest`.
+
+use crate::stream::{parse_line, ServeLine};
+use crate::tuner::{Tuner, TunerConfig};
+use agentgrid::{
+    collect_result, grid_config, ExperimentResult, Fault, GridEvent, GridSystem, RunOptions,
+};
+use agentgrid_metrics::{compute_grid, MetricsReport, ResourceStats};
+use agentgrid_sim::{SimTime, Simulation};
+use agentgrid_telemetry::prometheus;
+use agentgrid_telemetry::{
+    AggregateRecorder, Event, InvariantRecorder, MultiRecorder, Recorder, Telemetry,
+};
+use agentgrid_workload::{ExperimentDesign, GridTopology};
+use std::io::BufRead;
+use std::sync::mpsc::{Receiver, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Everything needed to stand up a served grid.
+pub struct ServeConfig {
+    /// The grid topology to serve.
+    pub topology: GridTopology,
+    /// Policy/agents configuration (`number` is cosmetic here).
+    pub design: ExperimentDesign,
+    /// Run options: catalogue, GA tuning, advertisement strategy, noise.
+    /// The `telemetry` field is ignored (the service owns its sinks) and
+    /// `chaos` is extended with any scale directives from the stream.
+    pub opts: RunOptions,
+    /// Workload/grid RNG seed.
+    pub seed: u64,
+    /// Check behavioural invariants online over the served stream.
+    pub verify: bool,
+    /// Attach the online self-tuner.
+    pub tune: Option<TunerConfig>,
+}
+
+/// What a finished serve run reports.
+pub struct ServeReport {
+    /// The batch-equivalent §3.3 metrics report.
+    pub result: ExperimentResult,
+    /// Requests accepted from the stream.
+    pub injected: usize,
+    /// Tasks completed (exactly-once; excludes rejected).
+    pub completed: usize,
+    /// Scale directives applied.
+    pub scale_directives: usize,
+    /// Knob changes made by the tuner.
+    pub tuner_adjustments: u64,
+    /// Input lines that failed to parse or apply (paced mode skips bad
+    /// lines instead of dying mid-serve; scripted/fast-forward error out).
+    pub skipped_lines: usize,
+    /// The final Prometheus text exposition.
+    pub metrics_text: String,
+    /// The invariant checker's report (None when `verify` is off).
+    pub verify_report: Option<String>,
+    /// Telemetry events the checker examined (0 when `verify` is off).
+    pub verify_events: u64,
+    /// True when `verify` is off or the stream was violation-free.
+    pub clean: bool,
+}
+
+/// Live ε/ῡ/β over everything completed so far, plus queue depths — the
+/// serve-mode status line and `/status` endpoint body.
+#[derive(Clone, Debug)]
+pub struct LiveStatus {
+    /// Current sim time, seconds.
+    pub now_s: f64,
+    /// ε — mean completion advance over deadline, seconds.
+    pub epsilon_s: f64,
+    /// ῡ — mean resource utilisation, percent.
+    pub upsilon_pct: f64,
+    /// β — load-balancing level, percent.
+    pub beta_pct: f64,
+    /// Tasks completed so far.
+    pub completed: usize,
+    /// Tasks queued (not started).
+    pub queued: usize,
+    /// Tasks submitted and unfinished.
+    pub active: usize,
+    /// Resources currently serving.
+    pub online: usize,
+}
+
+impl LiveStatus {
+    /// The one-line human form (`--status` stderr line).
+    pub fn line(&self) -> String {
+        format!(
+            "t={:.1}s  ε={:+.1}s  ῡ={:.1}%  β={:.1}%  completed={} active={} queued={} online={}",
+            self.now_s,
+            self.epsilon_s,
+            self.upsilon_pct,
+            self.beta_pct,
+            self.completed,
+            self.active,
+            self.queued,
+            self.online
+        )
+    }
+
+    /// The JSON form served at `/status`.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"now_s\": {:.6}, \"epsilon_s\": {:.6}, \"upsilon_pct\": {:.6}, ",
+                "\"beta_pct\": {:.6}, \"completed\": {}, \"active\": {}, ",
+                "\"queued\": {}, \"online\": {}}}"
+            ),
+            self.now_s,
+            self.epsilon_s,
+            self.upsilon_pct,
+            self.beta_pct,
+            self.completed,
+            self.active,
+            self.queued,
+            self.online
+        )
+    }
+}
+
+/// Pacing knobs for [`GridService::run_paced`].
+pub struct PacedOptions {
+    /// Sim-seconds that elapse per wall-second (1.0 = real time; 60.0
+    /// runs a simulated minute every second).
+    pub speed: f64,
+    /// Wall period between stderr status lines (zero disables them).
+    pub status_every: Duration,
+    /// Lines arriving from the network listener, if one is attached.
+    pub ingest: Option<Receiver<String>>,
+}
+
+impl Default for PacedOptions {
+    fn default() -> PacedOptions {
+        PacedOptions {
+            speed: 1.0,
+            status_every: Duration::from_secs(2),
+            ingest: None,
+        }
+    }
+}
+
+/// A long-lived grid with its simulation, telemetry sinks and tuner.
+pub struct GridService {
+    topology: GridTopology,
+    design: ExperimentDesign,
+    grid: GridSystem,
+    sim: Simulation<GridEvent>,
+    telemetry: Telemetry,
+    agg: Arc<AggregateRecorder>,
+    checker: Option<Arc<InvariantRecorder>>,
+    tuner: Option<Tuner>,
+    injected: usize,
+    scale_directives: usize,
+    skipped_lines: usize,
+}
+
+impl GridService {
+    /// Stand up the grid. `arm_recovery` decides whether the chaos
+    /// recovery machinery exists from boot (the live modes always arm it
+    /// — directives can arrive at any time — while fast-forward arms it
+    /// only when the stream actually scales, keeping pure request
+    /// streams on the exact chaos-free batch configuration).
+    /// `chaotic_check` picks the invariant checker's tolerance and is
+    /// decided from the *stream content*, not from the arming: a
+    /// scripted stream with no directives is still held to the strict
+    /// invariants. `plan_scales` pre-resolves known directives into the
+    /// fault timeline (fast-forward); live modes pass none and inject.
+    fn new(
+        cfg: &ServeConfig,
+        arm_recovery: bool,
+        plan_scales: &[ServeLine],
+        chaotic_check: bool,
+    ) -> GridService {
+        let mut opts = cfg.opts.clone();
+        if arm_recovery {
+            opts.chaos = opts.chaos.with_recovery();
+        }
+        for l in plan_scales {
+            if let ServeLine::Scale { at, resource, up } = l {
+                let fault = if *up {
+                    Fault::ScaleUp {
+                        resource: resource.clone(),
+                    }
+                } else {
+                    Fault::ScaleDown {
+                        resource: resource.clone(),
+                    }
+                };
+                opts.chaos = opts.chaos.with_event(*at, fault);
+            }
+        }
+
+        let agg = Arc::new(AggregateRecorder::new());
+        let checker = cfg.verify.then(|| {
+            Arc::new(if chaotic_check {
+                InvariantRecorder::chaos()
+            } else {
+                InvariantRecorder::strict()
+            })
+        });
+        let mut sinks: Vec<Arc<dyn Recorder>> = vec![agg.clone()];
+        if let Some(c) = &checker {
+            sinks.push(c.clone());
+        }
+        let telemetry = Telemetry::new(Arc::new(MultiRecorder::new(sinks)));
+        opts.telemetry = telemetry.clone();
+
+        let config = grid_config(&cfg.design, cfg.seed, &opts);
+        let grid = GridSystem::new(&cfg.topology, &opts.catalog, &config);
+        let mut sim = Simulation::new();
+        sim.set_telemetry(telemetry.clone());
+        if let Some(limit) = opts.step_limit {
+            sim.set_step_limit(limit);
+        }
+        let tuner = cfg
+            .tune
+            .map(|t| Tuner::new(t, cfg.topology.resources.len(), &grid));
+        GridService {
+            topology: cfg.topology.clone(),
+            design: cfg.design,
+            grid,
+            sim,
+            telemetry,
+            agg,
+            checker,
+            tuner,
+            injected: 0,
+            scale_directives: 0,
+            skipped_lines: 0,
+        }
+    }
+
+    /// Serve a fully-known stream as fast as the simulator runs. A
+    /// stream without scale directives reproduces `agentgrid run` on the
+    /// same requests bit-for-bit.
+    pub fn fast_forward(cfg: &ServeConfig, lines: &[ServeLine]) -> Result<ServeReport, String> {
+        let scales = lines.iter().any(|l| matches!(l, ServeLine::Scale { .. }));
+        let chaotic = scales || !cfg.opts.chaos.is_noop();
+        let mut svc = GridService::new(cfg, scales, lines, chaotic);
+        let requests: Vec<_> = lines
+            .iter()
+            .filter_map(|l| match l {
+                ServeLine::Request(r) => Some(r.clone()),
+                ServeLine::Scale { .. } => {
+                    svc.scale_directives += 1;
+                    None
+                }
+            })
+            .collect();
+        svc.injected = requests.len();
+        svc.grid.bootstrap(&mut svc.sim, requests);
+        while let Some(ev) = svc.sim.step() {
+            svc.grid.handle(&mut svc.sim, ev);
+            svc.tune();
+        }
+        svc.check_step_limit()?;
+        Ok(svc.finish())
+    }
+
+    /// Serve a fully-known stream through the *live* injection path:
+    /// each line enters the running simulation exactly when the event
+    /// clock reaches its instant. Deterministic (no wall clock), so the
+    /// fuzzer can shrink failures through it.
+    pub fn run_scripted(cfg: &ServeConfig, lines: &[ServeLine]) -> Result<ServeReport, String> {
+        let scales = lines.iter().any(|l| matches!(l, ServeLine::Scale { .. }));
+        let chaotic = scales || !cfg.opts.chaos.is_noop();
+        let mut svc = GridService::new(cfg, true, &[], chaotic);
+        let mut lines = lines.to_vec();
+        lines.sort_by_key(ServeLine::at);
+        svc.grid.bootstrap(&mut svc.sim, Vec::new());
+        let mut next = 0;
+        loop {
+            let due = lines.get(next).map(ServeLine::at);
+            let inject = match (due, svc.sim.peek_at()) {
+                (Some(d), Some(n)) => d <= n,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if inject {
+                svc.apply_line(&lines[next])?;
+                next += 1;
+            } else if let Some(ev) = svc.sim.step() {
+                svc.grid.handle(&mut svc.sim, ev);
+                svc.tune();
+            } else {
+                break;
+            }
+        }
+        svc.check_step_limit()?;
+        Ok(svc.finish())
+    }
+
+    /// Serve live: read JSONL lines from `input` on a background thread,
+    /// pace the event clock against the wall clock at `paced.speed`
+    /// sim-seconds per second, and drain cleanly once the input (and any
+    /// network ingest channel) closes. Bad lines are reported to stderr
+    /// and skipped — a long-running service must not die on a typo.
+    pub fn run_paced(
+        cfg: &ServeConfig,
+        input: impl BufRead + Send + 'static,
+        paced: PacedOptions,
+        shared: Option<Arc<crate::http::ServeShared>>,
+    ) -> Result<ServeReport, String> {
+        if !(paced.speed.is_finite() && paced.speed > 0.0) {
+            return Err("--speed must be a positive number".to_string());
+        }
+        let mut svc = GridService::new(cfg, true, &[], true);
+        svc.grid.bootstrap(&mut svc.sim, Vec::new());
+
+        let (tx, rx) = std::sync::mpsc::channel::<String>();
+        let reader = std::thread::spawn(move || {
+            for line in input.lines() {
+                match line {
+                    Ok(l) => {
+                        if tx.send(l).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("serve: input read error: {e}");
+                        break;
+                    }
+                }
+            }
+        });
+
+        let epoch = Instant::now();
+        let wall_to_sim =
+            |elapsed: Duration| SimTime::from_secs_f64(elapsed.as_secs_f64() * paced.speed);
+        let mut stdin_open = true;
+        let mut ingest_open = paced.ingest.is_some();
+        let mut last_status = Instant::now();
+        loop {
+            // Drain every line currently available from stdin + network.
+            loop {
+                let line = match rx.try_recv() {
+                    Ok(l) => Some(l),
+                    Err(TryRecvError::Empty) => None,
+                    Err(TryRecvError::Disconnected) => {
+                        stdin_open = false;
+                        None
+                    }
+                };
+                let line = line.or_else(|| {
+                    paced.ingest.as_ref().and_then(|r| match r.try_recv() {
+                        Ok(l) => Some(l),
+                        Err(TryRecvError::Empty) => None,
+                        Err(TryRecvError::Disconnected) => {
+                            ingest_open = false;
+                            None
+                        }
+                    })
+                });
+                let Some(raw) = line else { break };
+                // A live line with no explicit instant arrives "now" in
+                // paced sim time.
+                let arrival = wall_to_sim(epoch.elapsed()).max(svc.sim.now());
+                match parse_line(&raw, arrival) {
+                    Ok(Some(l)) => {
+                        if let Err(e) = svc.apply_line(&l) {
+                            eprintln!("serve: skipping line: {e}");
+                            svc.skipped_lines += 1;
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        eprintln!("serve: skipping line: {e}");
+                        svc.skipped_lines += 1;
+                    }
+                }
+            }
+
+            match svc.sim.peek_at() {
+                Some(t) => {
+                    let due = Duration::from_secs_f64(t.as_secs_f64() / paced.speed);
+                    let elapsed = epoch.elapsed();
+                    if elapsed >= due {
+                        if let Some(ev) = svc.sim.step() {
+                            svc.grid.handle(&mut svc.sim, ev);
+                            svc.tune();
+                        }
+                    } else {
+                        // Sleep in short slices so fresh input and
+                        // shutdown stay responsive.
+                        std::thread::sleep((due - elapsed).min(Duration::from_millis(20)));
+                    }
+                }
+                None => {
+                    if !stdin_open && !ingest_open {
+                        break; // drained: no events, no more input.
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+
+            let publish =
+                !paced.status_every.is_zero() && last_status.elapsed() >= paced.status_every;
+            if publish {
+                last_status = Instant::now();
+                let status = svc.live_status();
+                eprintln!("serve: {}", status.line());
+            }
+            if let Some(shared) = &shared {
+                if publish || shared.wants_refresh() {
+                    let status = svc.live_status();
+                    shared.publish(svc.render_metrics(&status), status.to_json());
+                }
+            }
+        }
+        let _ = reader.join();
+        svc.check_step_limit()?;
+        let report = svc.finish();
+        if let Some(shared) = &shared {
+            shared.publish(report.metrics_text.clone(), String::new());
+            shared.shutdown();
+        }
+        Ok(report)
+    }
+
+    /// Inject one parsed line into the running grid.
+    fn apply_line(&mut self, line: &ServeLine) -> Result<(), String> {
+        match line {
+            ServeLine::Request(r) => {
+                self.grid.inject_request(&mut self.sim, r)?;
+                self.injected += 1;
+            }
+            ServeLine::Scale { at, resource, up } => {
+                self.grid
+                    .schedule_scale(&mut self.sim, resource, *up, *at)?;
+                self.scale_directives += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn tune(&mut self) {
+        if let Some(t) = &mut self.tuner {
+            t.tick(self.sim.now(), &mut self.grid, &self.telemetry);
+        }
+    }
+
+    fn check_step_limit(&self) -> Result<(), String> {
+        if self.sim.step_limit_reached() {
+            return Err("serve exceeded the step limit (possible livelock)".to_string());
+        }
+        Ok(())
+    }
+
+    /// Live ε/ῡ/β over the work completed so far, observed at `now`.
+    fn live_status(&self) -> LiveStatus {
+        let now = self.sim.now();
+        let horizon = now.max(SimTime::from_ticks(1));
+        let stats: Vec<ResourceStats> = self
+            .topology
+            .resources
+            .iter()
+            .map(|spec| {
+                let s = self
+                    .grid
+                    .scheduler(&spec.name)
+                    .expect("scheduler per topology resource");
+                ResourceStats::from_run(
+                    &spec.name,
+                    spec.nproc,
+                    s.resource().allocations(),
+                    s.completed(),
+                    horizon,
+                )
+            })
+            .collect();
+        let total: MetricsReport = compute_grid(&stats, horizon.as_secs_f64().max(1e-9));
+        let online = self
+            .topology
+            .resources
+            .iter()
+            .filter(|r| self.grid.resource_online(&r.name) == Some(true))
+            .count();
+        LiveStatus {
+            now_s: now.as_secs_f64(),
+            epsilon_s: total.advance_s,
+            upsilon_pct: total.utilisation_pct,
+            beta_pct: total.balance_pct,
+            completed: total.tasks,
+            queued: self.grid.queued_tasks(),
+            active: self.grid.active_tasks(),
+            online,
+        }
+    }
+
+    /// Render the Prometheus exposition with the live gauges appended.
+    fn render_metrics(&self, status: &LiveStatus) -> String {
+        prometheus::render(
+            &self.agg.snapshot(),
+            &[
+                (
+                    "agentgrid_epsilon_advance_seconds",
+                    "Mean completion advance over deadline (paper eq. 11).",
+                    status.epsilon_s,
+                ),
+                (
+                    "agentgrid_upsilon_utilisation_percent",
+                    "Mean resource utilisation (paper eqs. 12-13).",
+                    status.upsilon_pct,
+                ),
+                (
+                    "agentgrid_beta_balance_percent",
+                    "Load-balancing level (paper eqs. 14-15).",
+                    status.beta_pct,
+                ),
+                (
+                    "agentgrid_completed_tasks",
+                    "Tasks completed exactly once.",
+                    status.completed as f64,
+                ),
+                (
+                    "agentgrid_active_tasks",
+                    "Tasks submitted and not yet complete.",
+                    status.active as f64,
+                ),
+                (
+                    "agentgrid_queued_tasks",
+                    "Tasks waiting in scheduler queues.",
+                    status.queued as f64,
+                ),
+                (
+                    "agentgrid_resources_online",
+                    "Resources currently serving (not crashed or scaled down).",
+                    status.online as f64,
+                ),
+                (
+                    "agentgrid_sim_now_seconds",
+                    "Current simulation time.",
+                    status.now_s,
+                ),
+            ],
+        )
+    }
+
+    /// Emit the final horizon, flush telemetry and assemble the report.
+    fn finish(self) -> ServeReport {
+        debug_assert!(
+            !self.grid.work_remains(),
+            "serve ended with work outstanding"
+        );
+        let final_now = self.sim.now().ticks();
+        self.telemetry.emit(final_now, || Event::EngineHorizon {
+            horizon: self.grid.horizon().ticks(),
+        });
+        // The tuner's final state is part of the served record even if
+        // the last interval never elapsed.
+        self.telemetry.flush();
+        let result = collect_result(&self.design, &self.topology, &self.grid, self.injected);
+        let status = self.live_status();
+        let metrics_text = self.render_metrics(&status);
+        let (verify_report, verify_events, clean) = match &self.checker {
+            None => (None, 0, true),
+            Some(c) => (
+                Some(c.report().trim_end().to_string()),
+                c.events_seen(),
+                c.is_clean(),
+            ),
+        };
+        ServeReport {
+            result,
+            injected: self.injected,
+            completed: self.grid.completed_tasks(),
+            scale_directives: self.scale_directives,
+            tuner_adjustments: self.tuner.as_ref().map_or(0, Tuner::adjustments),
+            skipped_lines: self.skipped_lines,
+            metrics_text,
+            verify_report,
+            verify_events,
+            clean,
+        }
+    }
+}

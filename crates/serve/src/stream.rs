@@ -1,0 +1,284 @@
+//! The serve-mode wire format: one JSON object per line.
+//!
+//! Two line shapes are accepted, distinguished by their fields:
+//!
+//! ```text
+//! {"app": "sweep3d", "agent": "S1", "deadline": 300, "at": 1.5}   request
+//! {"scale": "down", "resource": "S3", "at": 5}                   directive
+//! ```
+//!
+//! Request lines become [`GeneratedRequest`]s — `agent` is the submitting
+//! agent, `deadline` is seconds *after arrival* (the natural way to type
+//! one by hand), `at` the arrival instant in seconds (default: now for a
+//! paced stream, t=0 for fast-forward). The tick-exact variants `at_us`
+//! and `deadline_us` (absolute microsecond ticks) override the float
+//! fields; [`write_request`] emits those, so a written stream re-parses
+//! to bit-identical requests. `env` picks `mpi`/`pvm`/`test` (default
+//! `test`, the paper's experiment mode).
+//!
+//! Scale lines are elasticity directives: a planned, graceful resource
+//! leave (`down`: queued work drains and re-places, running tasks finish)
+//! or join (`up`). Blank lines and `#` comments are skipped.
+
+use agentgrid_cluster::ExecEnv;
+use agentgrid_sim::SimTime;
+use agentgrid_telemetry::json::{self, Value};
+use agentgrid_workload::GeneratedRequest;
+
+/// One parsed line of a serve-mode input stream.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeLine {
+    /// Submit a request through the portal.
+    Request(GeneratedRequest),
+    /// Scale a resource gracefully down (leave) or up (join).
+    Scale {
+        /// When the directive fires.
+        at: SimTime,
+        /// The resource that leaves or joins.
+        resource: String,
+        /// Join (`true`) or leave (`false`).
+        up: bool,
+    },
+}
+
+impl ServeLine {
+    /// The instant this line acts on the grid.
+    pub fn at(&self) -> SimTime {
+        match self {
+            ServeLine::Request(r) => r.at,
+            ServeLine::Scale { at, .. } => *at,
+        }
+    }
+}
+
+fn time_field(obj: &Value, secs_key: &str, ticks_key: &str) -> Result<Option<SimTime>, String> {
+    if let Some(v) = obj.get(ticks_key) {
+        let t = v
+            .as_u64()
+            .ok_or_else(|| format!("{ticks_key} must be an unsigned tick count"))?;
+        return Ok(Some(SimTime::from_ticks(t)));
+    }
+    match obj.get(secs_key) {
+        None => Ok(None),
+        Some(v) => {
+            let s = v
+                .as_f64()
+                .ok_or_else(|| format!("{secs_key} must be a number of seconds"))?;
+            if !s.is_finite() || s < 0.0 {
+                return Err(format!("{secs_key} must be finite and non-negative"));
+            }
+            Ok(Some(SimTime::from_secs_f64(s)))
+        }
+    }
+}
+
+/// Parse one line. `default_at` supplies the arrival instant when the
+/// line does not carry one (a paced stream stamps lines as they arrive;
+/// fast-forward uses t=0). Returns `Ok(None)` for blanks and comments.
+pub fn parse_line(line: &str, default_at: SimTime) -> Result<Option<ServeLine>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let v = Value::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let at = time_field(&v, "at", "at_us")?.unwrap_or(default_at);
+
+    if let Some(scale) = v.get("scale") {
+        let dir = scale
+            .as_str()
+            .ok_or_else(|| "scale must be \"up\" or \"down\"".to_string())?;
+        let up = match dir {
+            "up" => true,
+            "down" => false,
+            other => return Err(format!("scale must be \"up\" or \"down\", got {other:?}")),
+        };
+        let resource = v
+            .get("resource")
+            .and_then(|r| r.as_str())
+            .ok_or_else(|| "scale directive needs a \"resource\"".to_string())?
+            .to_string();
+        return Ok(Some(ServeLine::Scale { at, resource, up }));
+    }
+
+    let application = v
+        .get("app")
+        .and_then(|a| a.as_str())
+        .ok_or_else(|| "request needs an \"app\"".to_string())?
+        .to_string();
+    let agent = v
+        .get("agent")
+        .and_then(|a| a.as_str())
+        .ok_or_else(|| "request needs an \"agent\"".to_string())?
+        .to_string();
+    let environment = match v.get("env").and_then(|e| e.as_str()) {
+        None | Some("test") => ExecEnv::Test,
+        Some("mpi") => ExecEnv::Mpi,
+        Some("pvm") => ExecEnv::Pvm,
+        Some(other) => return Err(format!("unknown env {other:?}")),
+    };
+    // `deadline` (float) is relative to arrival; `deadline_us` absolute.
+    let deadline = if let Some(t) = v.get("deadline_us") {
+        let ticks = t
+            .as_u64()
+            .ok_or_else(|| "deadline_us must be an unsigned tick count".to_string())?;
+        SimTime::from_ticks(ticks)
+    } else {
+        let rel = v
+            .get("deadline")
+            .and_then(|d| d.as_f64())
+            .ok_or_else(|| "request needs a \"deadline\" (seconds after arrival)".to_string())?;
+        if !rel.is_finite() || rel < 0.0 {
+            return Err("deadline must be finite and non-negative".to_string());
+        }
+        SimTime::from_ticks(
+            at.ticks()
+                .saturating_add(SimTime::from_secs_f64(rel).ticks()),
+        )
+    };
+    Ok(Some(ServeLine::Request(GeneratedRequest {
+        at,
+        agent,
+        application,
+        deadline,
+        environment,
+    })))
+}
+
+/// Parse a whole stream, reporting the first bad line with its number.
+pub fn parse_stream(text: &str, default_at: SimTime) -> Result<Vec<ServeLine>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if let Some(l) = parse_line(line, default_at).map_err(|e| format!("line {}: {e}", i + 1))? {
+            out.push(l);
+        }
+    }
+    Ok(out)
+}
+
+/// Write one request as a tick-exact JSONL line that re-parses to the
+/// identical [`GeneratedRequest`] — the bridge that lets a generated
+/// batch workload be replayed through serve bit-identically.
+pub fn write_request(r: &GeneratedRequest) -> String {
+    let env = match r.environment {
+        ExecEnv::Mpi => "mpi",
+        ExecEnv::Pvm => "pvm",
+        ExecEnv::Test => "test",
+    };
+    let mut out = String::new();
+    out.push_str("{\"at_us\": ");
+    out.push_str(&r.at.ticks().to_string());
+    out.push_str(", \"agent\": ");
+    json::write_escaped(&mut out, &r.agent);
+    out.push_str(", \"app\": ");
+    json::write_escaped(&mut out, &r.application);
+    out.push_str(", \"env\": \"");
+    out.push_str(env);
+    out.push_str("\", \"deadline_us\": ");
+    out.push_str(&r.deadline.ticks().to_string());
+    out.push('}');
+    out
+}
+
+/// Write one scale directive as a JSONL line.
+pub fn write_scale(at: SimTime, resource: &str, up: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\"at_us\": ");
+    out.push_str(&at.ticks().to_string());
+    out.push_str(", \"scale\": \"");
+    out.push_str(if up { "up" } else { "down" });
+    out.push_str("\", \"resource\": ");
+    json::write_escaped(&mut out, resource);
+    out.push('}');
+    out
+}
+
+/// Write a whole stream of lines, requests and directives interleaved.
+pub fn write_stream(lines: &[ServeLine]) -> String {
+    let mut out = String::new();
+    for l in lines {
+        match l {
+            ServeLine::Request(r) => out.push_str(&write_request(r)),
+            ServeLine::Scale { at, resource, up } => out.push_str(&write_scale(*at, resource, *up)),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_through_ticks() {
+        let r = GeneratedRequest {
+            at: SimTime::from_ticks(1_234_567),
+            agent: "S1".into(),
+            application: "sweep3d".into(),
+            deadline: SimTime::from_ticks(301_234_567),
+            environment: ExecEnv::Test,
+        };
+        let line = write_request(&r);
+        let back = parse_line(&line, SimTime::ZERO).unwrap().unwrap();
+        assert_eq!(back, ServeLine::Request(r));
+    }
+
+    #[test]
+    fn human_form_uses_relative_deadline() {
+        let l = parse_line(
+            r#"{"app": "fft", "agent": "S2", "deadline": 300, "at": 1.5}"#,
+            SimTime::ZERO,
+        )
+        .unwrap()
+        .unwrap();
+        let ServeLine::Request(r) = l else {
+            panic!("expected a request")
+        };
+        assert_eq!(r.at, SimTime::from_secs_f64(1.5));
+        assert_eq!(r.deadline, SimTime::from_secs_f64(301.5));
+        assert_eq!(r.environment, ExecEnv::Test);
+    }
+
+    #[test]
+    fn missing_at_takes_the_default() {
+        let now = SimTime::from_secs(42);
+        let l = parse_line(r#"{"app": "fft", "agent": "S1", "deadline": 10}"#, now)
+            .unwrap()
+            .unwrap();
+        assert_eq!(l.at(), now);
+    }
+
+    #[test]
+    fn scale_directives_parse_and_round_trip() {
+        let l = parse_line(
+            r#"{"at": 5, "scale": "down", "resource": "S3"}"#,
+            SimTime::ZERO,
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(
+            l,
+            ServeLine::Scale {
+                at: SimTime::from_secs(5),
+                resource: "S3".into(),
+                up: false
+            }
+        );
+        let text = write_stream(std::slice::from_ref(&l));
+        assert_eq!(parse_stream(&text, SimTime::ZERO).unwrap(), vec![l]);
+    }
+
+    #[test]
+    fn blanks_and_comments_are_skipped() {
+        let text = "\n# a comment\n  \n{\"scale\": \"up\", \"resource\": \"R\", \"at\": 1}\n";
+        assert_eq!(parse_stream(text, SimTime::ZERO).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_carry_line_numbers() {
+        let err = parse_stream("{\"app\": \"fft\"}\n", SimTime::ZERO).unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+        let err = parse_stream("# ok\n{nope}\n", SimTime::ZERO).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+}

@@ -1,0 +1,190 @@
+//! The online self-tuner (the `--tune` flag).
+//!
+//! A small monitoring → analysis → tuning loop in the style of the
+//! agent-based performance-tuning literature (arXiv:1005.2027,
+//! arXiv:1005.2037): every `interval` of sim time the tuner samples the
+//! grid's queue backlog, classifies the pressure against hysteresis
+//! thresholds, and moves three runtime knobs one *level* at a time —
+//!
+//! * the GA generation budget (more search when queues deepen, the
+//!   baseline budget when they drain),
+//! * the advertisement pull period (fresher capability data under
+//!   pressure, the paper's economical cadence when idle),
+//! * the ACT entry TTL (stale capability entries age out faster while
+//!   the grid is churning).
+//!
+//! Every change is emitted as an [`Event::TunerAdjust`] telemetry event,
+//! so a served stream records exactly what the tuner did and when, and
+//! the invariant checker can run over the adjusted stream.
+
+use agentgrid::GridSystem;
+use agentgrid_sim::{SimDuration, SimTime};
+use agentgrid_telemetry::{Event, Telemetry};
+
+/// Tuning thresholds and cadence.
+#[derive(Clone, Copy, Debug)]
+pub struct TunerConfig {
+    /// Sim-time between analysis passes.
+    pub interval: SimDuration,
+    /// Queued tasks per resource above which pressure escalates.
+    pub high_backlog_per_resource: f64,
+    /// Queued tasks per resource below which pressure relaxes. Must be
+    /// below `high_backlog_per_resource`; the gap is the hysteresis
+    /// dead-zone that stops the tuner flapping.
+    pub low_backlog_per_resource: f64,
+    /// Highest escalation level (each level doubles/halves the knobs).
+    pub max_level: u32,
+}
+
+impl Default for TunerConfig {
+    fn default() -> TunerConfig {
+        TunerConfig {
+            interval: SimDuration::from_secs(10),
+            high_backlog_per_resource: 4.0,
+            low_backlog_per_resource: 1.0,
+            max_level: 3,
+        }
+    }
+}
+
+/// Fallback ACT TTL base when the grid runs with the paper's
+/// never-expire default: the tuner has to pick *some* finite horizon to
+/// tighten from.
+const DEFAULT_TTL_BASE: SimDuration = SimDuration::from_secs(120);
+
+/// The running tuner. Attach one per served grid; call [`Tuner::tick`]
+/// after every handled event — passes between analysis instants return
+/// immediately.
+pub struct Tuner {
+    cfg: TunerConfig,
+    resources: usize,
+    next_at: SimTime,
+    level: u32,
+    /// Baselines captured at attach time; levels scale away from these.
+    base_ga: Option<usize>,
+    base_pull: Option<SimDuration>,
+    base_ttl: Option<SimDuration>,
+    adjustments: u64,
+}
+
+impl Tuner {
+    /// Attach a tuner to `grid`, capturing the baseline knob values.
+    pub fn new(cfg: TunerConfig, resources: usize, grid: &GridSystem) -> Tuner {
+        assert!(
+            cfg.low_backlog_per_resource < cfg.high_backlog_per_resource,
+            "tuner thresholds must leave a hysteresis gap"
+        );
+        Tuner {
+            cfg,
+            resources: resources.max(1),
+            next_at: SimTime::ZERO + cfg.interval,
+            level: 0,
+            base_ga: grid.ga_generations(),
+            base_pull: grid.pull_period(),
+            base_ttl: grid.act_ttl(),
+            adjustments: 0,
+        }
+    }
+
+    /// Total knob changes applied so far.
+    pub fn adjustments(&self) -> u64 {
+        self.adjustments
+    }
+
+    /// The current escalation level (0 = baseline).
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Run the monitoring → analysis → tuning pass if an interval has
+    /// elapsed. Returns the number of knob changes applied this call.
+    pub fn tick(&mut self, now: SimTime, grid: &mut GridSystem, telemetry: &Telemetry) -> u64 {
+        if now < self.next_at {
+            return 0;
+        }
+        // Catch up in one hop: analysis uses current state, so replaying
+        // skipped intervals would only repeat the same observation.
+        while self.next_at <= now {
+            self.next_at += self.cfg.interval;
+        }
+        let pressure = grid.queued_tasks() as f64 / self.resources as f64;
+        let (target, trigger) = if pressure > self.cfg.high_backlog_per_resource {
+            (
+                self.level.saturating_add(1).min(self.cfg.max_level),
+                "backlog-high",
+            )
+        } else if pressure < self.cfg.low_backlog_per_resource {
+            (self.level.saturating_sub(1), "backlog-low")
+        } else {
+            return 0;
+        };
+        if target == self.level {
+            return 0;
+        }
+        self.level = target;
+        let applied = self.apply(now, grid, telemetry, trigger);
+        self.adjustments += applied;
+        applied
+    }
+
+    /// Drive the three knobs to the current level, emitting one
+    /// `TunerAdjust` per knob that actually moved.
+    fn apply(
+        &self,
+        now: SimTime,
+        grid: &mut GridSystem,
+        telemetry: &Telemetry,
+        trigger: &str,
+    ) -> u64 {
+        let mut applied = 0;
+        let ticks = now.ticks();
+        let shift = self.level;
+
+        if let Some(base) = self.base_ga {
+            let from = grid.ga_generations().unwrap_or(base) as u64;
+            let to = (base << shift).max(1) as u64;
+            if from != to && grid.set_ga_generations(to as usize) {
+                telemetry.emit(ticks, || Event::TunerAdjust {
+                    parameter: "ga_generations".to_string(),
+                    from,
+                    to,
+                    trigger: trigger.to_string(),
+                });
+                applied += 1;
+            }
+        }
+
+        if let Some(base) = self.base_pull {
+            let from = grid.pull_period().unwrap_or(base).ticks();
+            let to = (base.ticks() >> shift).max(1);
+            if from != to && grid.set_pull_period(SimDuration::from_ticks(to)) {
+                telemetry.emit(ticks, || Event::TunerAdjust {
+                    parameter: "pull_period_us".to_string(),
+                    from,
+                    to,
+                    trigger: trigger.to_string(),
+                });
+                applied += 1;
+            }
+        }
+
+        // TTL: tick values use 0 for "never expires" (the paper default).
+        let from = grid.act_ttl().map_or(0, |t| t.ticks());
+        let to = if shift == 0 {
+            self.base_ttl.map_or(0, |t| t.ticks())
+        } else {
+            (self.base_ttl.unwrap_or(DEFAULT_TTL_BASE).ticks() >> shift).max(1)
+        };
+        if from != to {
+            grid.set_act_ttl((to > 0).then(|| SimDuration::from_ticks(to)));
+            telemetry.emit(ticks, || Event::TunerAdjust {
+                parameter: "act_ttl_us".to_string(),
+                from,
+                to,
+                trigger: trigger.to_string(),
+            });
+            applied += 1;
+        }
+        applied
+    }
+}

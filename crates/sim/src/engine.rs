@@ -118,6 +118,15 @@ impl<E> Simulation<E> {
         self.queue.len()
     }
 
+    /// The instant of the next pending event without delivering it, or
+    /// `None` when the queue is empty. Ignores horizon and step limits —
+    /// this is an injection hook for external drivers (the serve loop)
+    /// that interleave runtime event injection with stepping: inject
+    /// everything due at or before `peek_at()`, then `step()`.
+    pub fn peek_at(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
     /// Schedule `event` at absolute time `at`.
     ///
     /// Scheduling in the past is a logic error; the event is clamped to the

@@ -91,6 +91,26 @@ impl LogLinearHistogram {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
 
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Number of samples in buckets whose lower bound is ≤ `bound` —
+    /// i.e. a cumulative count at the histogram's own quantisation
+    /// (exact below 16, within one sub-bucket ≤ 6.25% above). This is
+    /// the shape a Prometheus cumulative `le` bucket wants: counts are
+    /// monotone in `bound` and reach [`count`](Self::count) at the
+    /// observed max.
+    pub fn rank_le(&self, bound: u64) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .take_while(|(i, _)| bucket_lower_bound(*i) <= bound)
+            .map(|(_, c)| c)
+            .sum()
+    }
+
     /// The value at quantile `q` in `[0, 1]` (bucket lower bound, so a
     /// slight underestimate above the linear region; exact below it and
     /// for the recorded min/max). `None` when empty.
@@ -335,6 +355,27 @@ mod tests {
                 "error too large for {v}: bound {lb}"
             );
         }
+    }
+
+    #[test]
+    fn rank_le_is_monotone_and_exhaustive() {
+        let mut h = LogLinearHistogram::new();
+        for v in [0u64, 1, 5, 15, 100, 1000, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.sum(), 1_001_121);
+        // Exact in the linear region.
+        assert_eq!(h.rank_le(0), 1);
+        assert_eq!(h.rank_le(4), 2);
+        assert_eq!(h.rank_le(15), 4);
+        // Monotone and exhaustive above it.
+        let mut prev = 0;
+        for bound in [10u64, 100, 1000, 10_000, 1_000_000, u64::MAX] {
+            let r = h.rank_le(bound);
+            assert!(r >= prev);
+            prev = r;
+        }
+        assert_eq!(h.rank_le(u64::MAX), h.count());
     }
 
     #[test]

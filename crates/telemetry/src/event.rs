@@ -230,6 +230,31 @@ pub enum Event {
         /// Whether the committed solution passed the legitimacy check.
         legit: bool,
     },
+    /// A planned elasticity directive was applied to a resource: a
+    /// scale-down (graceful leave: queued work re-placed, running work
+    /// allowed to finish) or a scale-up (rejoin with empty queues).
+    /// Always followed by the matching `AgentDown`/`AgentUp` event.
+    ScaleDirective {
+        /// The resource leaving or joining.
+        resource: String,
+        /// `true` for scale-up (join), `false` for scale-down (leave).
+        up: bool,
+        /// Queued tasks displaced by a scale-down (0 for scale-up).
+        drained: u32,
+    },
+    /// The online tuner adjusted a runtime parameter in response to
+    /// observed load (the monitoring→analysis→tuning loop).
+    TunerAdjust {
+        /// Which knob moved: `ga_generations`, `pull_period_us` or
+        /// `act_ttl_us` (0 meaning "no TTL").
+        parameter: String,
+        /// Value before the adjustment.
+        from: u64,
+        /// Value after the adjustment.
+        to: u64,
+        /// Why: `backlog-high` or `backlog-low`.
+        trigger: String,
+    },
     /// Periodic progress marker from the simulation engine.
     EngineStep {
         /// Events processed so far.
@@ -279,6 +304,8 @@ impl Event {
             Event::RetryExhausted { .. } => "retry_exhausted",
             Event::FreetimeSample { .. } => "freetime_sample",
             Event::GaSolutionCheck { .. } => "ga_solution_check",
+            Event::ScaleDirective { .. } => "scale_directive",
+            Event::TunerAdjust { .. } => "tuner_adjust",
             Event::EngineStep { .. } => "engine_step",
             Event::EngineHorizon { .. } => "engine_horizon",
         }
@@ -301,7 +328,9 @@ impl Event {
             | Event::TaskRecovered { resource, .. }
             | Event::RetryExhausted { resource, .. }
             | Event::FreetimeSample { resource, .. }
-            | Event::GaSolutionCheck { resource, .. } => resource,
+            | Event::GaSolutionCheck { resource, .. }
+            | Event::ScaleDirective { resource, .. } => resource,
+            Event::TunerAdjust { .. } => "tuner",
             Event::MsgDropped { to, .. } => to,
             Event::TaskDispatch { to, .. } => to,
             Event::Advertise { to, .. } => to,
@@ -509,6 +538,26 @@ impl TimedEvent {
                 push("tasks", json::num(f64::from(*tasks)));
                 push("legit", Value::Bool(*legit));
             }
+            Event::ScaleDirective {
+                resource,
+                up,
+                drained,
+            } => {
+                push("resource", json::s(resource.clone()));
+                push("up", Value::Bool(*up));
+                push("drained", json::num(f64::from(*drained)));
+            }
+            Event::TunerAdjust {
+                parameter,
+                from,
+                to,
+                trigger,
+            } => {
+                push("parameter", json::s(parameter.clone()));
+                push("from", json::num(*from as f64));
+                push("to", json::num(*to as f64));
+                push("trigger", json::s(trigger.clone()));
+            }
             Event::EngineStep { processed, pending } => {
                 push("processed", json::num(*processed as f64));
                 push("pending", json::num(*pending as f64));
@@ -644,6 +693,17 @@ impl TimedEvent {
                 tasks: u32_field("tasks")?,
                 legit: bool_field("legit")?,
             },
+            "scale_directive" => Event::ScaleDirective {
+                resource: str_field("resource")?,
+                up: bool_field("up")?,
+                drained: u32_field("drained")?,
+            },
+            "tuner_adjust" => Event::TunerAdjust {
+                parameter: str_field("parameter")?,
+                from: u64_field("from")?,
+                to: u64_field("to")?,
+                trigger: str_field("trigger")?,
+            },
             "engine_step" => Event::EngineStep {
                 processed: u64_field("processed")?,
                 pending: u64_field("pending")?,
@@ -773,6 +833,17 @@ pub(crate) fn one_of_each_variant() -> Vec<TimedEvent> {
             resource: name("S1"),
             tasks: 12,
             legit: true,
+        },
+        Event::ScaleDirective {
+            resource: name("S3"),
+            up: false,
+            drained: 5,
+        },
+        Event::TunerAdjust {
+            parameter: name("ga_generations"),
+            from: 40,
+            to: 80,
+            trigger: name("backlog-high"),
         },
         Event::EngineStep {
             processed: 1000,

@@ -331,6 +331,7 @@ impl Recorder for InvariantRecorder {
             Event::MsgDropped { .. }
             | Event::TaskRecovered { .. }
             | Event::RetryExhausted { .. }
+            | Event::ScaleDirective { .. }
                 if strict =>
             {
                 push(

@@ -33,6 +33,7 @@ pub mod export;
 pub mod invariant;
 pub mod json;
 pub mod names;
+pub mod prometheus;
 pub mod recorder;
 
 pub use aggregate::{Aggregate, AggregateRecorder, LogLinearHistogram};

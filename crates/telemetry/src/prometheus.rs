@@ -1,0 +1,310 @@
+//! Prometheus text-format exposition of the aggregating sink.
+//!
+//! [`render`] turns an [`Aggregate`] snapshot (plus caller-supplied
+//! gauges) into the classic `text/plain; version=0.0.4` exposition
+//! format: `# HELP`/`# TYPE` headers, one sample per line, histograms
+//! as cumulative `le` buckets with `_sum`/`_count`. The bucket bounds
+//! are quantised to the log-linear histogram's own grid (exact below
+//! 16, ≤ 6.25% relative error above), which keeps the export lossless
+//! with respect to what the histogram actually stored.
+//!
+//! [`parse`] is the matching minimal reader — enough to round-trip the
+//! output of [`render`] and to let tests and the serve smoke job check
+//! the endpoint without external tooling.
+
+use crate::aggregate::{Aggregate, LogLinearHistogram};
+use std::fmt::Write as _;
+
+/// Cumulative bucket bounds for microsecond-valued histograms: decades
+/// from 1 µs to 1000 s.
+const US_BOUNDS: [u64; 10] = [
+    1,
+    10,
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+/// Cumulative bucket bounds for hop counts.
+const HOP_BOUNDS: [u64; 6] = [1, 2, 4, 8, 16, 32];
+
+/// One parsed sample line: metric name, label pairs, value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name (e.g. `agentgrid_queue_wait_us_bucket`).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Render `agg` (plus caller-supplied `gauges`, each `(name, help,
+/// value)`) in Prometheus text exposition format. Deterministic: equal
+/// inputs produce byte-identical output (counters iterate a `BTreeMap`,
+/// bucket ladders are fixed).
+pub fn render(agg: &Aggregate, gauges: &[(&str, &str, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str("# HELP agentgrid_events_total Telemetry events observed, by kind.\n");
+    out.push_str("# TYPE agentgrid_events_total counter\n");
+    for (kind, count) in &agg.counters {
+        let _ = writeln!(
+            out,
+            "agentgrid_events_total{{kind=\"{}\"}} {count}",
+            escape_label(kind)
+        );
+    }
+    out.push_str("# HELP agentgrid_cache_hits_total GA evaluation-cache hits.\n");
+    out.push_str("# TYPE agentgrid_cache_hits_total counter\n");
+    let _ = writeln!(out, "agentgrid_cache_hits_total {}", agg.cache_hits);
+    out.push_str("# HELP agentgrid_cache_misses_total GA evaluation-cache misses.\n");
+    out.push_str("# TYPE agentgrid_cache_misses_total counter\n");
+    let _ = writeln!(out, "agentgrid_cache_misses_total {}", agg.cache_misses);
+    render_histogram(
+        &mut out,
+        "agentgrid_queue_wait_us",
+        "Queue wait per started task, simulated microseconds.",
+        &agg.queue_wait_us,
+        &US_BOUNDS,
+    );
+    render_histogram(
+        &mut out,
+        "agentgrid_discovery_hops",
+        "Hops consumed per discovery decision.",
+        &agg.discovery_hops,
+        &HOP_BOUNDS,
+    );
+    render_histogram(
+        &mut out,
+        "agentgrid_ga_generation_wall_us",
+        "Host wall-clock microseconds per GA generation.",
+        &agg.ga_generation_wall_us,
+        &US_BOUNDS,
+    );
+    render_histogram(
+        &mut out,
+        "agentgrid_deadline_late_us",
+        "Lateness per missed deadline, simulated microseconds.",
+        &agg.deadline_late_us,
+        &US_BOUNDS,
+    );
+    for (name, help, value) in gauges {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", fmt_value(*value));
+    }
+    out
+}
+
+fn render_histogram(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    h: &LogLinearHistogram,
+    bounds: &[u64],
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    for b in bounds {
+        let _ = writeln!(out, "{name}_bucket{{le=\"{b}\"}} {}", h.rank_le(*b));
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+    let _ = writeln!(out, "{name}_sum {}", h.sum());
+    let _ = writeln!(out, "{name}_count {}", h.count());
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Parse Prometheus text exposition format into its sample lines.
+/// Comments (`#`) and blank lines are skipped. Returns an error naming
+/// the first malformed line.
+pub fn parse(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples.push(parse_sample(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(samples)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (head, value) = line
+        .rsplit_once(|c: char| c.is_whitespace())
+        .ok_or("missing value")?;
+    let value: f64 = value.parse().map_err(|_| format!("bad value {value:?}"))?;
+    let head = head.trim();
+    let (name, labels) = match head.split_once('{') {
+        None => (head.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest.strip_suffix('}').ok_or("unterminated label set")?;
+            (name.to_string(), parse_labels(body)?)
+        }
+    };
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        // Label name up to '='.
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        let key = key.trim().to_string();
+        if key.is_empty() {
+            return Err("empty label name".to_string());
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label {key} value not quoted"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                None => return Err(format!("unterminated value for label {key}")),
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('n') => value.push('\n'),
+                    Some(c) => value.push(c),
+                    None => return Err("dangling escape".to_string()),
+                },
+                Some(c) => value.push(c),
+            }
+        }
+        labels.push((key, value));
+        match chars.next() {
+            None => return Ok(labels),
+            Some(',') => continue,
+            Some(c) => return Err(format!("unexpected {c:?} after label value")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, TimedEvent};
+
+    fn sample_aggregate() -> Aggregate {
+        let events = vec![
+            TimedEvent {
+                t: 0,
+                event: Event::TaskStart {
+                    task: 1,
+                    resource: "S1".into(),
+                    nodes: 2,
+                    queue_wait: 500,
+                },
+            },
+            TimedEvent {
+                t: 1,
+                event: Event::Discovery {
+                    task: 1,
+                    agent: "S1".into(),
+                    decision: "local".into(),
+                    hops: 3,
+                },
+            },
+        ];
+        Aggregate::from_events(&events)
+    }
+
+    #[test]
+    fn render_is_parseable_and_cumulative() {
+        let text = render(&sample_aggregate(), &[("agentgrid_epsilon", "e", 1.5)]);
+        let samples = parse(&text).expect("own output parses");
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "agentgrid_events_total" && s.label("kind") == Some("task_start")));
+        // Cumulative buckets are monotone and end at the count.
+        let buckets: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| s.name == "agentgrid_queue_wait_us_bucket")
+            .collect();
+        assert!(!buckets.is_empty());
+        let mut prev = 0.0;
+        for b in &buckets {
+            assert!(b.value >= prev, "bucket counts must be cumulative");
+            prev = b.value;
+        }
+        assert_eq!(buckets.last().unwrap().label("le"), Some("+Inf"));
+        let count = samples
+            .iter()
+            .find(|s| s.name == "agentgrid_queue_wait_us_count")
+            .unwrap();
+        assert_eq!(buckets.last().unwrap().value, count.value);
+        // The gauge arrived too.
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "agentgrid_epsilon" && s.value == 1.5));
+    }
+
+    #[test]
+    fn render_is_deterministic() {
+        let a = render(&sample_aggregate(), &[]);
+        let b = render(&sample_aggregate(), &[]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn labels_escape_and_unescape() {
+        let tricky = "a\"b\\c\nd";
+        let line = format!("m{{kind=\"{}\"}} 1", escape_label(tricky));
+        let parsed = parse_sample(&line).expect("parses");
+        assert_eq!(parsed.label("kind"), Some(tricky));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("agentgrid_x").is_err());
+        assert!(parse("agentgrid_x{le=\"1\" 2").is_err());
+        assert!(parse("agentgrid_x{le=1} 2").is_err());
+        assert!(parse("bad name 1").is_err());
+        assert!(parse("# a comment\n\nagentgrid_ok 1\n").unwrap().len() == 1);
+    }
+}

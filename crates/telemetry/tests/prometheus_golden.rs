@@ -1,0 +1,178 @@
+//! Golden-fixture test for the Prometheus text exporter.
+//!
+//! The exposition format is a wire contract — scrapers parse it byte by
+//! byte — so the exact rendering (HELP/TYPE lines, label escaping,
+//! bucket ladders, `+Inf` terminators, `_sum`/`_count` pairs, gauge
+//! tail) is frozen in `tests/fixtures/prometheus_golden.txt`. Any
+//! intentional format change must regenerate the fixture (set
+//! `BLESS_PROMETHEUS=1` and re-run this test) and show up in review as
+//! a fixture diff.
+
+use agentgrid_telemetry::prometheus::{parse, render};
+use agentgrid_telemetry::{Aggregate, Event, TimedEvent};
+
+/// A small deterministic event stream touching every exported surface:
+/// counters, the queue-wait/hops/GA/deadline histograms and the cache
+/// tallies.
+fn fixture_aggregate() -> Aggregate {
+    let mut events = Vec::new();
+    for task in 0..6u64 {
+        events.push(TimedEvent {
+            t: 1_000 * task,
+            event: Event::TaskStart {
+                task,
+                resource: format!("R{}", task % 2),
+                nodes: 4,
+                queue_wait: 10u64.pow(task as u32 % 5),
+            },
+        });
+        events.push(TimedEvent {
+            t: 1_000 * task + 500,
+            event: Event::TaskFinish {
+                task,
+                resource: format!("R{}", task % 2),
+                deadline_met: task % 3 != 0,
+            },
+        });
+    }
+    events.push(TimedEvent {
+        t: 7_000,
+        event: Event::TaskDeadlineMiss {
+            task: 3,
+            resource: "R1".to_string(),
+            late: 2_500_000,
+        },
+    });
+    for (hops, task) in [(1u32, 10u64), (2, 11), (2, 12), (5, 13)] {
+        events.push(TimedEvent {
+            t: 8_000,
+            event: Event::Discovery {
+                task,
+                agent: "S1".to_string(),
+                decision: "dispatch".to_string(),
+                hops,
+            },
+        });
+    }
+    events.push(TimedEvent {
+        t: 9_000,
+        event: Event::GaEvolve {
+            resource: "R0".to_string(),
+            generations: 10,
+            best_cost: 42.5,
+            converged: true,
+            wall_us: 12_340,
+            cache_hits: 90,
+            cache_misses: 10,
+        },
+    });
+    Aggregate::from_events(&events)
+}
+
+fn fixture_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/prometheus_golden.txt")
+}
+
+fn render_fixture() -> String {
+    render(
+        &fixture_aggregate(),
+        &[
+            (
+                "agentgrid_epsilon_advance_seconds",
+                "Mean completion advance over deadline.",
+                123.25,
+            ),
+            (
+                "agentgrid_resources_online",
+                "Resources currently serving.",
+                12.0,
+            ),
+        ],
+    )
+}
+
+#[test]
+fn exporter_output_matches_the_golden_fixture() {
+    let text = render_fixture();
+    let path = fixture_path();
+    if std::env::var_os("BLESS_PROMETHEUS").is_some() {
+        std::fs::write(&path, &text).expect("fixture written");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).expect(
+        "golden fixture readable (regenerate with BLESS_PROMETHEUS=1 cargo test -p agentgrid-telemetry)",
+    );
+    assert!(
+        text == expected,
+        "exporter drifted from {}:\n--- expected\n{expected}\n--- got\n{text}",
+        path.display()
+    );
+}
+
+#[test]
+fn golden_fixture_round_trips_through_the_parser() {
+    let text = render_fixture();
+    let samples = parse(&text).expect("rendered exposition parses");
+    assert!(!samples.is_empty());
+
+    // Counters carry the event kinds the stream actually contained.
+    let kind = |k: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == "agentgrid_events_total" && s.label("kind") == Some(k))
+            .unwrap_or_else(|| panic!("missing events_total kind={k}"))
+            .value
+    };
+    assert_eq!(kind("task_start"), 6.0);
+    assert_eq!(kind("task_finish"), 6.0);
+    assert_eq!(kind("task_deadline_miss"), 1.0);
+    assert_eq!(kind("discovery"), 4.0);
+    assert_eq!(kind("ga_evolve"), 1.0);
+
+    // Histogram buckets are cumulative and end at +Inf == _count.
+    let buckets: Vec<&_> = samples
+        .iter()
+        .filter(|s| s.name == "agentgrid_discovery_hops_bucket")
+        .collect();
+    assert!(buckets.len() >= 2);
+    let mut last = 0.0;
+    for b in &buckets {
+        assert!(b.value >= last, "bucket counts must be cumulative");
+        last = b.value;
+    }
+    assert_eq!(buckets.last().unwrap().label("le"), Some("+Inf"));
+    let count = samples
+        .iter()
+        .find(|s| s.name == "agentgrid_discovery_hops_count")
+        .expect("hops _count")
+        .value;
+    assert_eq!(buckets.last().unwrap().value, count);
+    assert_eq!(count, 4.0);
+    // le="2" sees the 1-hop and both 2-hop decisions.
+    let le2 = buckets
+        .iter()
+        .find(|b| b.label("le") == Some("2"))
+        .expect("le=2 bucket");
+    assert_eq!(le2.value, 3.0);
+
+    // _sum matches the recorded hop total (1 + 2 + 2 + 5).
+    let sum = samples
+        .iter()
+        .find(|s| s.name == "agentgrid_discovery_hops_sum")
+        .expect("hops _sum")
+        .value;
+    assert_eq!(sum, 10.0);
+
+    // Cache counters and gauges survive the round trip.
+    let get = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("missing {name}"))
+            .value
+    };
+    assert_eq!(get("agentgrid_cache_hits_total"), 90.0);
+    assert_eq!(get("agentgrid_cache_misses_total"), 10.0);
+    assert_eq!(get("agentgrid_epsilon_advance_seconds"), 123.25);
+    assert_eq!(get("agentgrid_resources_online"), 12.0);
+}

@@ -1,7 +1,7 @@
 //! The verification CLI: a seeded fuzz campaign with shrinking.
 //!
 //! ```text
-//! verify fuzz [--seeds N] [--start S] [--quick] [--out FILE]
+//! verify fuzz [--seeds N] [--start S] [--quick] [--serve] [--out FILE]
 //! ```
 //!
 //! Runs `N` generated cases (default 100) starting at seed `S`
@@ -10,12 +10,17 @@
 //! summary is written, and any failures also land in
 //! `verify-fuzz-failures.txt` next to it so CI can upload them as an
 //! artifact. Exits non-zero if any case failed.
+//!
+//! `--serve` switches to the serve-mode corpus: random JSONL request
+//! streams plus elasticity directives pushed through the live-injection
+//! serve loop (`GridService::run_scripted`) under the same checker.
 
 use agentgrid_verify::fuzz::fuzz_corpus;
+use agentgrid_verify::serve_fuzz::serve_fuzz_corpus;
 use std::io::Write;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: verify fuzz [--seeds N] [--start S] [--quick] [--out FILE]";
+const USAGE: &str = "usage: verify fuzz [--seeds N] [--start S] [--quick] [--serve] [--out FILE]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +32,7 @@ fn main() -> ExitCode {
     let mut seeds: usize = 100;
     let mut start: u64 = 0;
     let mut quick = false;
+    let mut serve = false;
     let mut out: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
@@ -40,6 +46,7 @@ fn main() -> ExitCode {
                 None => return bad_usage("--start needs a number"),
             },
             "--quick" => quick = true,
+            "--serve" => serve = true,
             "--out" => match it.next() {
                 Some(v) => out = Some(v.clone()),
                 None => return bad_usage("--out needs a path"),
@@ -52,36 +59,83 @@ fn main() -> ExitCode {
     // them; keep those backtraces off the terminal.
     std::panic::set_hook(Box::new(|_| {}));
     let mut ran = 0usize;
-    let report = fuzz_corpus(start, seeds, quick, |case, failure| {
+    let mut progress = |seed: u64, failure: Option<&agentgrid_verify::CaseFailure>| {
         ran += 1;
         if let Some(f) = failure {
-            eprintln!("seed {}: FAILED ({f}) — shrinking...", case.seed);
+            eprintln!("seed {seed}: FAILED ({f}) — shrinking...");
         } else if ran.is_multiple_of(25) {
             eprintln!("... {ran} cases, clean so far");
         }
-    });
+    };
+    let (summary, failure_lines) = if serve {
+        let report = serve_fuzz_corpus(start, seeds, quick, |case, failure| {
+            progress(case.seed, failure)
+        });
+        let lines: Vec<(String, String, String)> = report
+            .failures
+            .iter()
+            .map(|f| {
+                (
+                    format!("seed {} -> shrunk to: {:?}", f.case.seed, f.shrunk),
+                    f.failure.to_string(),
+                    f.shrunk.regression_line(),
+                )
+            })
+            .collect();
+        (
+            Summary {
+                label: "verify fuzz --serve",
+                cases: report.cases,
+                events: report.events,
+                clean: report.is_clean(),
+            },
+            lines,
+        )
+    } else {
+        let report = fuzz_corpus(start, seeds, quick, |case, failure| {
+            progress(case.seed, failure)
+        });
+        let lines: Vec<(String, String, String)> = report
+            .failures
+            .iter()
+            .map(|f| {
+                (
+                    format!("seed {} -> shrunk to: {:?}", f.case.seed, f.shrunk),
+                    f.failure.to_string(),
+                    f.shrunk.regression_line(),
+                )
+            })
+            .collect();
+        (
+            Summary {
+                label: "verify fuzz",
+                cases: report.cases,
+                events: report.events,
+                clean: report.is_clean(),
+            },
+            lines,
+        )
+    };
     let _ = std::panic::take_hook();
 
     println!(
-        "verify fuzz: {} case(s), {} telemetry events checked, {} failure(s)",
-        report.cases,
-        report.events,
-        report.failures.len()
+        "{}: {} case(s), {} telemetry events checked, {} failure(s)",
+        summary.label,
+        summary.cases,
+        summary.events,
+        failure_lines.len()
     );
-    let mut failure_lines = Vec::new();
-    for f in &report.failures {
-        println!("  seed {} -> shrunk to: {:?}", f.case.seed, f.shrunk);
-        println!("    failure: {}", f.failure);
-        println!("    regression: {}", f.shrunk.regression_line());
-        failure_lines.push(format!(
-            "{}\n  // {}\n",
-            f.shrunk.regression_line(),
-            f.failure
-        ));
+    let mut artifact_lines = Vec::new();
+    for (head, failure, regression) in &failure_lines {
+        println!("  {head}");
+        println!("    failure: {failure}");
+        println!("    regression: {regression}");
+        artifact_lines.push(format!("{regression}\n  // {failure}\n"));
     }
+    let failure_lines = artifact_lines;
 
     if let Some(path) = &out {
-        if let Err(e) = write_report(path, &report, quick, start) {
+        if let Err(e) = write_report(path, &summary, &failure_lines, quick, start) {
             eprintln!("verify: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -95,11 +149,19 @@ fn main() -> ExitCode {
         }
     }
 
-    if report.is_clean() {
+    if summary.clean {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Corpus totals shared by both fuzz modes.
+struct Summary {
+    label: &'static str,
+    cases: usize,
+    events: u64,
+    clean: bool,
 }
 
 fn bad_usage(msg: &str) -> ExitCode {
@@ -118,29 +180,23 @@ fn sibling(path: &str, name: &str) -> String {
 
 fn write_report(
     path: &str,
-    report: &agentgrid_verify::FuzzReport,
+    summary: &Summary,
+    failure_lines: &[String],
     quick: bool,
     start: u64,
 ) -> std::io::Result<()> {
     let mut f = std::fs::File::create(path)?;
-    let failures: Vec<String> = report
-        .failures
+    let failures: Vec<String> = failure_lines
         .iter()
-        .map(|fl| {
-            format!(
-                "{{\"seed\": {}, \"shrunk\": \"{}\", \"failure\": \"{}\"}}",
-                fl.case.seed,
-                escape(&format!("{:?}", fl.shrunk)),
-                escape(&fl.failure.to_string())
-            )
-        })
+        .map(|l| format!("\"{}\"", escape(l.trim_end())))
         .collect();
     writeln!(
         f,
-        "{{\"cases\": {}, \"start\": {start}, \"quick\": {quick}, \"events\": {}, \
-         \"failures\": [{}]}}",
-        report.cases,
-        report.events,
+        "{{\"mode\": \"{}\", \"cases\": {}, \"start\": {start}, \"quick\": {quick}, \
+         \"events\": {}, \"failures\": [{}]}}",
+        summary.label,
+        summary.cases,
+        summary.events,
         failures.join(", ")
     )
 }

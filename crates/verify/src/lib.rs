@@ -24,6 +24,9 @@
 //! - [`fuzz`] — seeded random topologies × workloads × fault plans run
 //!   under the checker, with greedy shrinking to a minimal replayable
 //!   case printed as a ready-to-paste regression test.
+//! - [`serve_fuzz`] — the serve-mode sibling: random JSONL request
+//!   streams plus elasticity directives pushed through the live
+//!   injection path (`verify fuzz --serve`).
 //!
 //! The `verify` binary drives the fuzzer from the command line:
 //! `cargo run --bin verify -- fuzz --seeds 100 --quick`.
@@ -32,6 +35,7 @@
 
 pub mod fuzz;
 pub mod oracle;
+pub mod serve_fuzz;
 
 /// The online invariant checker (re-exported from
 /// `agentgrid-telemetry`, where it lives so every layer — including the
@@ -44,4 +48,7 @@ pub use fuzz::{fuzz_corpus, shrink, CaseFailure, CaseOutcome, FuzzCase, FuzzFail
 pub use invariant::{CheckMode, InvariantRecorder, Violation};
 pub use oracle::{
     brute_force_best, cost_of, fifo_reference, matchmaking_reference, OracleSchedule,
+};
+pub use serve_fuzz::{
+    serve_fuzz_corpus, shrink_serve, ServeFuzzCase, ServeFuzzFailure, ServeFuzzReport,
 };

@@ -1,0 +1,382 @@
+//! Fuzzing the serve loop: random JSONL request streams plus elasticity
+//! directives, pushed through [`GridService::run_scripted`] — the
+//! deterministic live-injection drive mode — under the online
+//! [`InvariantRecorder`](agentgrid_telemetry::InvariantRecorder).
+//!
+//! This is the serve-mode sibling of [`fuzz`](crate::fuzz): where that
+//! module exercises the batch driver, this one exercises runtime
+//! ingestion (`GridSystem::inject_request`), runtime elasticity
+//! (`GridSystem::schedule_scale` → graceful drain and re-place), idle
+//! chain revival, and optionally the online tuner. Failures shrink the
+//! same way — fewer requests, fewer scale cycles, fewer resources — to
+//! a minimal replayable case.
+
+use crate::fuzz::CaseFailure;
+use agentgrid::{FaultPlan, RunOptions};
+use agentgrid_serve::{GridService, ServeConfig, ServeLine, TunerConfig};
+use agentgrid_sim::{RngStream, SimDuration, SimTime};
+use agentgrid_workload::{ExperimentDesign, GridTopology, WorkloadConfig};
+use rand::Rng;
+use std::panic::{self, AssertUnwindSafe};
+
+/// Hard cap on delivered simulation events per serve fuzz case.
+const STEP_LIMIT: u64 = 2_000_000;
+
+/// One self-contained serve-mode fuzz scenario, fully determined by its
+/// fields — paste a failing `Debug` print into a regression test and it
+/// replays forever.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeFuzzCase {
+    /// Seed for the workload, the GA and the scale-cycle draws.
+    pub seed: u64,
+    /// Grid resources in a flat topology.
+    pub resources: usize,
+    /// Processors per resource.
+    pub nproc: usize,
+    /// Requests injected live through the serve loop.
+    pub requests: usize,
+    /// Graceful scale-down/scale-up cycles injected as directives
+    /// (0 = no elasticity; the stream is checked strictly).
+    pub scales: usize,
+    /// Table 2 experiment design; elastic cases always use design 3 —
+    /// discovery and retry are the supported re-placement path.
+    pub design: u8,
+    /// Attach the online tuner, so its knob turns run under the checker
+    /// too.
+    pub tune: bool,
+}
+
+impl ServeFuzzCase {
+    /// Derive a scenario from `seed` alone; `quick` bounds the sizes for
+    /// CI smoke budgets. Same `(seed, quick)`, same case.
+    pub fn generate(seed: u64, quick: bool) -> ServeFuzzCase {
+        let mut rng = RngStream::root(seed).derive("verify/serve-fuzz");
+        let resources = rng.gen_range(1..=if quick { 3 } else { 4 });
+        let nproc = rng.gen_range(1..=4);
+        let requests = rng.gen_range(3..=if quick { 8 } else { 16 });
+        // Half the corpus is elasticity-free and checked strictly.
+        let scales = if rng.gen_range(0..2) == 0 {
+            0
+        } else {
+            rng.gen_range(1..=2)
+        };
+        let design = if scales > 0 {
+            3
+        } else {
+            [1u8, 2, 3][rng.gen_range(0..3usize)]
+        };
+        let tune = rng.gen_range(0..4) == 0;
+        ServeFuzzCase {
+            seed,
+            resources,
+            nproc,
+            requests,
+            scales,
+            design,
+            tune,
+        }
+    }
+
+    /// The JSONL stream this case serves: the seeded workload as request
+    /// lines, interleaved with `scales` down→up cycles on seed-chosen
+    /// resources. Cycles always close (every leave is followed by a
+    /// rejoin) so queued work can never be stranded past the horizon.
+    pub fn lines(&self) -> Vec<ServeLine> {
+        let topology = GridTopology::flat(self.resources, self.nproc);
+        let workload = WorkloadConfig {
+            requests: self.requests,
+            interarrival: SimDuration::from_secs(1),
+            seed: self.seed,
+            agents: topology.names(),
+            environment: agentgrid_cluster::ExecEnv::Test,
+        };
+        let mut lines: Vec<ServeLine> = workload
+            .generate(&RunOptions::fast().catalog)
+            .into_iter()
+            .map(ServeLine::Request)
+            .collect();
+        let names = topology.names();
+        let mut rng = RngStream::root(self.seed).derive("verify/serve-fuzz/scales");
+        let horizon = 2 * self.requests as u64 + 4;
+        for _ in 0..self.scales {
+            let resource = names[rng.gen_range(0..names.len())].clone();
+            let down = rng.gen_range(1..=horizon);
+            let up = down + rng.gen_range(1..=10);
+            lines.push(ServeLine::Scale {
+                at: SimTime::from_secs(down),
+                resource: resource.clone(),
+                up: false,
+            });
+            lines.push(ServeLine::Scale {
+                at: SimTime::from_secs(up),
+                resource,
+                up: true,
+            });
+        }
+        lines
+    }
+
+    /// Execute the stream through the scripted serve loop and classify
+    /// the outcome exactly as the batch fuzzer does: panic, invariant
+    /// violation, or task-accounting mismatch.
+    pub fn run(&self) -> Option<CaseFailure> {
+        self.run_counted().0
+    }
+
+    /// [`ServeFuzzCase::run`] plus the number of telemetry events the
+    /// checker examined (0 when the case panicked before finishing).
+    pub fn run_counted(&self) -> (Option<CaseFailure>, u64) {
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| self.execute()));
+        match outcome {
+            Err(payload) => (
+                Some(CaseFailure::Panic(crate::fuzz::panic_message(&*payload))),
+                0,
+            ),
+            Ok(Err(e)) => (
+                Some(CaseFailure::Accounting(format!("serve error: {e}"))),
+                0,
+            ),
+            Ok(Ok(summary)) => {
+                let failure = if !summary.clean {
+                    Some(CaseFailure::Accounting(format!(
+                        "invariant violations:\n{}",
+                        summary.verify_report
+                    )))
+                } else if summary.completed + summary.rejected != summary.requests {
+                    Some(CaseFailure::Accounting(format!(
+                        "{} completed + {} rejected != {} requested",
+                        summary.completed, summary.rejected, summary.requests
+                    )))
+                } else {
+                    None
+                };
+                (failure, summary.verify_events)
+            }
+        }
+    }
+
+    fn execute(&self) -> Result<ServeSummary, String> {
+        let topology = GridTopology::flat(self.resources, self.nproc);
+        let design = match self.design {
+            1 => ExperimentDesign::experiment1(),
+            2 => ExperimentDesign::experiment2(),
+            _ => ExperimentDesign::experiment3(),
+        };
+        let mut opts = RunOptions::fast();
+        opts.step_limit = Some(STEP_LIMIT);
+        if self.scales > 0 {
+            // The proven recovery envelope (tests/chaos.rs): retries
+            // outlast outages, stale ACT entries age out.
+            opts.chaos = FaultPlan::none()
+                .with_act_ttl(SimDuration::from_secs(30))
+                .with_dispatch_timeout(SimDuration::from_secs(2))
+                .with_max_retries(24);
+        }
+        let cfg = ServeConfig {
+            topology,
+            design,
+            opts,
+            seed: self.seed,
+            verify: true,
+            tune: self.tune.then(|| TunerConfig {
+                interval: SimDuration::from_secs(5),
+                ..TunerConfig::default()
+            }),
+        };
+        let report = GridService::run_scripted(&cfg, &self.lines())?;
+        Ok(ServeSummary {
+            requests: report.injected,
+            completed: report.completed,
+            rejected: report.result.rejected,
+            clean: report.clean,
+            verify_report: report.verify_report.unwrap_or_default(),
+            verify_events: report.verify_events,
+        })
+    }
+
+    /// A ready-to-paste regression test line.
+    pub fn regression_line(&self) -> String {
+        format!("let case = {self:?}; assert!(case.run().is_some());")
+    }
+
+    /// Assert the case upholds every invariant.
+    ///
+    /// # Panics
+    /// If the case fails, with the failure in the message.
+    pub fn assert_clean(&self) {
+        if let Some(f) = self.run() {
+            panic!("expected {self:?} to run clean, but: {f}");
+        }
+    }
+}
+
+struct ServeSummary {
+    requests: usize,
+    completed: usize,
+    rejected: usize,
+    clean: bool,
+    verify_report: String,
+    verify_events: u64,
+}
+
+/// Greedily minimise a failing serve case: fewer requests (halving
+/// first), fewer scale cycles, fewer resources, fewer processors, no
+/// tuner; keep any still-failing candidate and repeat to a fixpoint.
+pub fn shrink_serve(case: ServeFuzzCase) -> ServeFuzzCase {
+    let mut best = case;
+    loop {
+        let mut candidates = Vec::new();
+        if best.requests > 1 {
+            candidates.push(ServeFuzzCase {
+                requests: best.requests / 2,
+                ..best
+            });
+            candidates.push(ServeFuzzCase {
+                requests: best.requests - 1,
+                ..best
+            });
+        }
+        if best.scales > 0 {
+            candidates.push(ServeFuzzCase {
+                scales: best.scales - 1,
+                ..best
+            });
+        }
+        if best.resources > 1 {
+            candidates.push(ServeFuzzCase {
+                resources: best.resources - 1,
+                ..best
+            });
+        }
+        if best.nproc > 1 {
+            candidates.push(ServeFuzzCase {
+                nproc: best.nproc - 1,
+                ..best
+            });
+        }
+        if best.tune {
+            candidates.push(ServeFuzzCase {
+                tune: false,
+                ..best
+            });
+        }
+        candidates.dedup();
+        match candidates.into_iter().find(|c| c.run().is_some()) {
+            Some(c) => best = c,
+            None => return best,
+        }
+    }
+}
+
+/// One serve-corpus failure, shrunk and replayable.
+#[derive(Clone, Debug)]
+pub struct ServeFuzzFailure {
+    /// The case as generated.
+    pub case: ServeFuzzCase,
+    /// Its minimal failing neighbour.
+    pub shrunk: ServeFuzzCase,
+    /// Why the shrunken case fails.
+    pub failure: CaseFailure,
+}
+
+/// A whole serve-corpus run.
+#[derive(Clone, Debug, Default)]
+pub struct ServeFuzzReport {
+    /// Cases executed.
+    pub cases: usize,
+    /// Telemetry events the checker examined across the corpus.
+    pub events: u64,
+    /// Failures, shrunk and replayable.
+    pub failures: Vec<ServeFuzzFailure>,
+}
+
+impl ServeFuzzReport {
+    /// Whether the whole corpus upheld every invariant.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Run `count` generated serve cases starting at `start_seed`, shrinking
+/// every failure. `progress` sees each case after it ran.
+pub fn serve_fuzz_corpus(
+    start_seed: u64,
+    count: usize,
+    quick: bool,
+    mut progress: impl FnMut(&ServeFuzzCase, Option<&CaseFailure>),
+) -> ServeFuzzReport {
+    let mut report = ServeFuzzReport::default();
+    for seed in start_seed..start_seed + count as u64 {
+        let case = ServeFuzzCase::generate(seed, quick);
+        let (failure, events) = case.run_counted();
+        report.events += events;
+        report.cases += 1;
+        progress(&case, failure.as_ref());
+        if failure.is_some() {
+            let shrunk = shrink_serve(case);
+            let failure = shrunk
+                .run()
+                .expect("a shrunken case must still reproduce its failure");
+            report.failures.push(ServeFuzzFailure {
+                case,
+                shrunk,
+                failure,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_bounded() {
+        for seed in 0..40 {
+            let a = ServeFuzzCase::generate(seed, true);
+            assert_eq!(a, ServeFuzzCase::generate(seed, true));
+            assert!((1..=3).contains(&a.resources));
+            assert!((1..=4).contains(&a.nproc));
+            assert!((3..=8).contains(&a.requests));
+            assert!(a.scales <= 2);
+            if a.scales > 0 {
+                assert_eq!(a.design, 3, "elastic cases use the recovery path");
+            }
+        }
+        let cases: Vec<_> = (0..40).map(|s| ServeFuzzCase::generate(s, true)).collect();
+        assert!(cases.iter().any(|c| c.scales == 0));
+        assert!(cases.iter().any(|c| c.scales > 0));
+        assert!(cases.iter().any(|c| c.tune));
+    }
+
+    #[test]
+    fn scale_cycles_always_close() {
+        for seed in 0..20 {
+            let case = ServeFuzzCase::generate(seed, true);
+            let lines = case.lines();
+            let downs = lines
+                .iter()
+                .filter(|l| matches!(l, ServeLine::Scale { up: false, .. }))
+                .count();
+            let ups = lines
+                .iter()
+                .filter(|l| matches!(l, ServeLine::Scale { up: true, .. }))
+                .count();
+            assert_eq!(downs, ups, "every leave must be paired with a rejoin");
+            assert_eq!(downs, case.scales);
+        }
+    }
+
+    #[test]
+    fn a_small_serve_corpus_runs_clean() {
+        let report = serve_fuzz_corpus(0, 4, true, |_, _| {});
+        assert_eq!(report.cases, 4);
+        assert!(report.events > 0, "the recorder must actually see events");
+        assert!(
+            report.is_clean(),
+            "clean serve corpus failed: {:?}",
+            report.failures
+        );
+    }
+}

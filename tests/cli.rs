@@ -1,12 +1,37 @@
 //! Integration: the `agentgrid` CLI binary end to end.
 
-use std::process::Command;
+use std::io::Write;
+use std::process::{Command, Stdio};
 
 fn run(args: &[&str]) -> (String, String, bool) {
     let out = Command::new(env!("CARGO_BIN_EXE_agentgrid"))
         .args(args)
         .output()
         .expect("CLI binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+/// Like [`run`] but with `stdin` piped in — serve mode reads its JSONL
+/// stream from standard input.
+fn run_with_stdin(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_agentgrid"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("CLI binary spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("stdin written");
+    let out = child.wait_with_output().expect("CLI binary runs");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
@@ -201,6 +226,85 @@ fn verify_flag_reports_clean_invariants_and_exits_zero() {
         err.contains("invariants: clean"),
         "verdict missing from stderr:\n{err}"
     );
+}
+
+#[test]
+fn serve_fast_forward_drains_a_piped_stream_with_a_scale_cycle() {
+    // The CI smoke in miniature: two requests and a closed down/up scale
+    // cycle through `serve --fast-forward --verify`, metrics written out.
+    let dir = std::env::temp_dir().join(format!("agentgrid-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let metrics = dir.join("metrics.prom");
+
+    let stream = concat!(
+        "# two requests and a planned leave/join of R2\n",
+        "{\"app\": \"sweep3d\", \"agent\": \"R1\", \"deadline\": 300, \"at\": 0}\n",
+        "{\"app\": \"fft\", \"agent\": \"R2\", \"deadline\": 300, \"at\": 1}\n",
+        "{\"scale\": \"down\", \"resource\": \"R2\", \"at\": 5}\n",
+        "{\"scale\": \"up\", \"resource\": \"R2\", \"at\": 15}\n",
+    );
+    let (out, err, ok) = run_with_stdin(
+        &[
+            "serve",
+            "--fast-forward",
+            "--topology",
+            "flat:2:2",
+            "--agents",
+            "--verify",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ],
+        stream,
+    );
+    assert!(ok, "serve failed:\nstdout:\n{out}\nstderr:\n{err}");
+    assert!(
+        out.contains("served 2 requests (2 completed, 0 rejected), 2 scale directives"),
+        "serve summary missing:\n{out}"
+    );
+    assert!(
+        err.contains("invariants: clean"),
+        "verify verdict missing from stderr:\n{err}"
+    );
+
+    let text = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert!(!text.is_empty());
+    assert!(
+        text.contains("agentgrid_events_total{kind=\"scale_directive\"} 2"),
+        "metrics must record the scale cycle:\n{text}"
+    );
+    assert!(text.contains("agentgrid_completed_tasks 2"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_fast_forward_rejects_a_malformed_stream() {
+    let (_, err, ok) = run_with_stdin(
+        &["serve", "--fast-forward", "--topology", "flat:2:2"],
+        "{\"app\": \"sweep3d\"}\n",
+    );
+    assert!(!ok, "malformed stream must fail fast in fast-forward");
+    assert!(
+        err.contains("line 1") && err.contains("agent"),
+        "error must name the line and the missing field:\n{err}"
+    );
+}
+
+#[test]
+fn serve_emits_json_when_asked() {
+    let (out, _, ok) = run_with_stdin(
+        &[
+            "serve",
+            "--fast-forward",
+            "--topology",
+            "flat:2:2",
+            "--json",
+        ],
+        "{\"app\": \"cpi\", \"agent\": \"R1\", \"deadline\": 120}\n",
+    );
+    assert!(ok);
+    let parsed = agentgrid_telemetry::json::Value::parse(&out).expect("valid JSON");
+    assert_eq!(parsed.get("requests").and_then(|v| v.as_u64()), Some(1));
 }
 
 #[test]

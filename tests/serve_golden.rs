@@ -1,0 +1,235 @@
+//! Serve-mode determinism and batch-equivalence guarantees.
+//!
+//! The contract `agentgrid serve --fast-forward` makes: a pure request
+//! stream is *bit-identical* to the batch `run` command on the same
+//! workload, any fixed stream (scales included) reproduces itself
+//! byte-for-byte, a scale cycle completes every task exactly once under
+//! the online invariant checker, and the tuner's knob changes are
+//! visible in the telemetry record.
+
+use agentgrid::prelude::*;
+use agentgrid_serve::{
+    parse_stream, write_stream, GridService, PacedOptions, ServeConfig, ServeLine, TunerConfig,
+};
+
+fn small() -> (GridTopology, WorkloadConfig) {
+    let topology = GridTopology::flat(3, 4);
+    let workload = WorkloadConfig {
+        requests: 25,
+        interarrival: SimDuration::from_secs(1),
+        seed: 77,
+        agents: topology.names(),
+        environment: ExecEnv::Test,
+    };
+    (topology, workload)
+}
+
+fn serve_cfg(topology: &GridTopology, seed: u64, verify: bool) -> ServeConfig {
+    ServeConfig {
+        topology: topology.clone(),
+        design: ExperimentDesign::experiment3(),
+        opts: RunOptions::fast(),
+        seed,
+        verify,
+        tune: None,
+    }
+}
+
+/// The request lines of `small()`'s workload, round-tripped through the
+/// JSONL wire format so the test also covers the writer/parser bridge.
+fn request_lines(workload: &WorkloadConfig) -> Vec<ServeLine> {
+    let requests = workload.generate(&RunOptions::fast().catalog);
+    let lines: Vec<ServeLine> = requests.into_iter().map(ServeLine::Request).collect();
+    let text = write_stream(&lines);
+    let reparsed = parse_stream(&text, SimTime::ZERO).expect("written stream re-parses");
+    assert_eq!(reparsed, lines, "wire format must round-trip exactly");
+    reparsed
+}
+
+/// A closed scale cycle: R2 leaves mid-stream and rejoins before the
+/// workload ends, with a recovery envelope wide enough to re-place
+/// everything (mirrors tests/chaos.rs).
+fn scale_cycle_lines(workload: &WorkloadConfig) -> Vec<ServeLine> {
+    let mut lines = request_lines(workload);
+    lines.push(ServeLine::Scale {
+        at: SimTime::from_secs(5),
+        resource: "R2".to_string(),
+        up: false,
+    });
+    lines.push(ServeLine::Scale {
+        at: SimTime::from_secs(12),
+        resource: "R2".to_string(),
+        up: true,
+    });
+    lines
+}
+
+/// Drop the one metric family measured against the *host* wall clock
+/// (`ga_generation_wall_us`) — everything else in the exposition is a
+/// pure function of the seed and must reproduce byte-for-byte.
+fn sim_deterministic_metrics(text: &str) -> String {
+    text.lines()
+        .filter(|l| !l.contains("ga_generation_wall_us"))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+fn recovery_envelope(cfg: &mut ServeConfig) {
+    cfg.opts.chaos = FaultPlan::none()
+        .with_act_ttl(SimDuration::from_secs(30))
+        .with_dispatch_timeout(SimDuration::from_secs(2))
+        .with_max_retries(24);
+}
+
+#[test]
+fn fast_forward_on_a_pure_stream_is_bit_identical_to_batch_run() {
+    let (topology, workload) = small();
+    let design = ExperimentDesign::experiment3();
+    let batch = run_experiment(&design, &topology, &workload, &RunOptions::fast());
+
+    let lines = request_lines(&workload);
+    let report = GridService::fast_forward(&serve_cfg(&topology, workload.seed, false), &lines)
+        .expect("fast-forward serves");
+
+    assert_eq!(report.injected, workload.requests);
+    assert_eq!(report.result, batch);
+    // Strong form: serialised bytes match — serve IS the batch driver.
+    assert_eq!(report.result.to_json(), batch.to_json());
+}
+
+#[test]
+fn fast_forward_with_scales_reproduces_itself_byte_for_byte() {
+    let (topology, workload) = small();
+    let lines = scale_cycle_lines(&workload);
+    let mut cfg = serve_cfg(&topology, workload.seed, false);
+    recovery_envelope(&mut cfg);
+
+    let a = GridService::fast_forward(&cfg, &lines).expect("first run");
+    let b = GridService::fast_forward(&cfg, &lines).expect("second run");
+    assert_eq!(a.result.to_json(), b.result.to_json());
+    assert_eq!(
+        sim_deterministic_metrics(&a.metrics_text),
+        sim_deterministic_metrics(&b.metrics_text)
+    );
+    assert_eq!(a.scale_directives, 2);
+}
+
+#[test]
+fn scale_cycle_completes_exactly_once_under_verify() {
+    let (topology, workload) = small();
+    let lines = scale_cycle_lines(&workload);
+    let mut cfg = serve_cfg(&topology, workload.seed, true);
+    recovery_envelope(&mut cfg);
+
+    let report = GridService::fast_forward(&cfg, &lines).expect("serves under verify");
+    assert!(
+        report.clean,
+        "invariant violations:\n{}",
+        report.verify_report.as_deref().unwrap_or("")
+    );
+    assert!(
+        report.verify_events > 0,
+        "the checker must actually observe"
+    );
+    assert_eq!(
+        report.completed + report.result.rejected,
+        report.injected,
+        "every injected task completes exactly once or is rejected"
+    );
+}
+
+#[test]
+fn scripted_injection_matches_fast_forward_totals() {
+    // The live-injection path arms the recovery machinery from boot (a
+    // directive could arrive at any time), so event interleavings may
+    // differ — but on a pure request stream the *outcome* must agree.
+    let (topology, workload) = small();
+    let lines = request_lines(&workload);
+    let cfg = serve_cfg(&topology, workload.seed, true);
+
+    let ff = GridService::fast_forward(&cfg, &lines).expect("fast-forward");
+    let scripted = GridService::run_scripted(&cfg, &lines).expect("scripted");
+    assert!(scripted.clean);
+    assert_eq!(scripted.injected, ff.injected);
+    assert_eq!(scripted.completed, ff.completed);
+    assert_eq!(scripted.result.rejected, ff.result.rejected);
+}
+
+#[test]
+fn scripted_injection_is_deterministic() {
+    let (topology, workload) = small();
+    let lines = scale_cycle_lines(&workload);
+    let mut cfg = serve_cfg(&topology, workload.seed, true);
+    recovery_envelope(&mut cfg);
+
+    let a = GridService::run_scripted(&cfg, &lines).expect("first run");
+    let b = GridService::run_scripted(&cfg, &lines).expect("second run");
+    assert_eq!(a.result.to_json(), b.result.to_json());
+    assert_eq!(
+        sim_deterministic_metrics(&a.metrics_text),
+        sim_deterministic_metrics(&b.metrics_text)
+    );
+    assert!(a.clean && b.clean);
+}
+
+#[test]
+fn the_tuner_visibly_changes_the_knobs() {
+    // A burst far above the high-backlog threshold: 60 requests landing
+    // once a second on two single-node resources. The tuner must
+    // escalate (and record every adjustment in telemetry).
+    let topology = GridTopology::flat(2, 1);
+    let workload = WorkloadConfig {
+        requests: 60,
+        interarrival: SimDuration::from_secs(1),
+        seed: 9,
+        agents: topology.names(),
+        environment: ExecEnv::Test,
+    };
+    let mut cfg = serve_cfg(&topology, workload.seed, false);
+    cfg.tune = Some(TunerConfig {
+        interval: SimDuration::from_secs(5),
+        ..TunerConfig::default()
+    });
+
+    let lines = request_lines(&workload);
+    let report = GridService::fast_forward(&cfg, &lines).expect("tuned serve");
+    assert!(
+        report.tuner_adjustments > 0,
+        "the tuner never adjusted a knob under sustained backlog"
+    );
+    assert!(
+        report
+            .metrics_text
+            .contains("agentgrid_events_total{kind=\"tuner_adjust\"}"),
+        "tuner adjustments must appear on the telemetry record:\n{}",
+        report.metrics_text
+    );
+}
+
+#[test]
+fn paced_mode_drains_a_piped_stream() {
+    // Real-time smoke at heavy time dilation: a short stream arrives via
+    // the reader thread and the service drains to the same exactly-once
+    // accounting. Wall-clock arrival stamps make the run non-reproducible
+    // by design, so only totals are asserted.
+    let (topology, workload) = small();
+    let mut short = workload;
+    short.requests = 4;
+    let text = write_stream(&request_lines(&short));
+
+    let report = GridService::run_paced(
+        &serve_cfg(&topology, short.seed, true),
+        std::io::Cursor::new(text),
+        PacedOptions {
+            speed: 1000.0,
+            status_every: std::time::Duration::ZERO,
+            ingest: None,
+        },
+        None,
+    )
+    .expect("paced serve drains");
+    assert!(report.clean);
+    assert_eq!(report.injected, 4);
+    assert_eq!(report.completed + report.result.rejected, 4);
+    assert!(report.metrics_text.contains("agentgrid_events_total"));
+}
