@@ -1,23 +1,36 @@
 //! GA hot-path benchmark: wall time per `evolve` call across the
 //! paper's 12-resource case-study grid.
 //!
-//! Measures the optimised hot path (reusable decode scratch + lock-free
-//! cache fast table) at 1/2/4/8 evaluation threads against a `baseline`
-//! configuration that reproduces the pre-optimisation path: fresh
-//! allocations per decode (`reuse_scratch = false`) and every cache hit
-//! served through the locked map (`CachedEngine::without_fast_table`).
-//! Every configuration must produce bit-identical best costs — the
-//! bench asserts it — so the numbers compare *only* the mechanics.
+//! Ablation ladder, oldest mechanics first:
+//!
+//! * `baseline`   — the pre-optimisation path: fresh allocations per
+//!   decode (`reuse_scratch = false`), every cache hit through the locked
+//!   map (`CachedEngine::without_fast_table`), full re-decode per child.
+//! * `pr2-1t`     — the scratch + lock-free fast-table path (the previous
+//!   perf PR), still full re-decode per child. This is the reference for
+//!   the `speedup_vs_pr2` column.
+//! * `delta-1t`   — adds delta fitness: children resume decoding from the
+//!   first position where they diverge from their parent.
+//! * `islands-{2,4,8}t` — delta plus the deterministic island model, with
+//!   as many threads as islands so every island evolves concurrently.
+//!
+//! Configurations with `islands = 1` must produce bit-identical best
+//! costs — the bench asserts it — so those rows compare *only* the
+//! mechanics. Island rows legitimately change the search (a different,
+//! partitioned evolution), so they are instead asserted bit-identical
+//! across thread counts: the island count chooses the result, the thread
+//! count never does.
 //!
 //! Writes `BENCH_hotpath.json` (override with `--out PATH`); `--quick`
 //! shrinks the workload for CI smoke runs. The JSON records the host's
 //! available parallelism: on a single-core runner the thread-scaling
-//! rows are expected to stay flat and the honest speedup signal is
-//! `optimised vs baseline` at any thread count.
+//! rows are expected to stay flat and the honest speedup signal is the
+//! single-thread ladder (`baseline` → `pr2-1t` → `delta-1t`).
 
 use agentgrid::prelude::*;
 use agentgrid_scheduler::decode::{
-    decode_into, DecodeScratch, DecodedSchedule, Placement, ResourceView,
+    decode_into, evaluate_delta, DecodeMemo, DecodeScratch, DecodedSchedule, EvalContext,
+    Placement, ResourceView,
 };
 use agentgrid_scheduler::{CostWeights, ScheduleCost, Solution};
 use agentgrid_telemetry::json::{self, Value};
@@ -27,6 +40,8 @@ use std::time::Instant;
 struct Config {
     label: &'static str,
     threads: usize,
+    islands: usize,
+    delta: bool,
     reuse_scratch: bool,
     fast_table: bool,
 }
@@ -35,30 +50,48 @@ const CONFIGS: &[Config] = &[
     Config {
         label: "baseline",
         threads: 1,
+        islands: 1,
+        delta: false,
         reuse_scratch: false,
         fast_table: false,
     },
     Config {
-        label: "optimised-1t",
+        label: "pr2-1t",
         threads: 1,
+        islands: 1,
+        delta: false,
         reuse_scratch: true,
         fast_table: true,
     },
     Config {
-        label: "optimised-2t",
+        label: "delta-1t",
+        threads: 1,
+        islands: 1,
+        delta: true,
+        reuse_scratch: true,
+        fast_table: true,
+    },
+    Config {
+        label: "islands-2t",
         threads: 2,
+        islands: 2,
+        delta: true,
         reuse_scratch: true,
         fast_table: true,
     },
     Config {
-        label: "optimised-4t",
+        label: "islands-4t",
         threads: 4,
+        islands: 4,
+        delta: true,
         reuse_scratch: true,
         fast_table: true,
     },
     Config {
-        label: "optimised-8t",
+        label: "islands-8t",
         threads: 8,
+        islands: 8,
+        delta: true,
         reuse_scratch: true,
         fast_table: true,
     },
@@ -92,6 +125,8 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 struct Row {
     label: &'static str,
     threads: usize,
+    islands: usize,
+    delta: bool,
     reuse_scratch: bool,
     fast_table: bool,
     samples: usize,
@@ -102,7 +137,19 @@ struct Row {
     cost_bits: Vec<u64>,
 }
 
-#[allow(clippy::too_many_arguments)]
+fn ga_config(config: &Config, population: usize, generations: usize, threads: usize) -> GaConfig {
+    GaConfig {
+        population,
+        generations_per_event: generations,
+        stall_generations: generations,
+        threads,
+        islands: config.islands,
+        delta: config.delta,
+        reuse_scratch: config.reuse_scratch,
+        ..GaConfig::default()
+    }
+}
+
 fn measure(
     config: &Config,
     resources: &[(GridResource, Vec<Task>)],
@@ -116,14 +163,7 @@ fn measure(
     } else {
         CachedEngine::new().without_fast_table()
     };
-    let ga = GaConfig {
-        population,
-        generations_per_event: generations,
-        stall_generations: generations,
-        threads: config.threads,
-        reuse_scratch: config.reuse_scratch,
-        ..GaConfig::default()
-    };
+    let ga = ga_config(config, population, generations, config.threads);
     let mut samples = Vec::with_capacity(iters * resources.len());
     let mut cost_bits = vec![0u64; resources.len()];
     // One warm-up pass fills the evaluation cache so the measured
@@ -146,6 +186,8 @@ fn measure(
     Row {
         label: config.label,
         threads: config.threads,
+        islands: config.islands,
+        delta: config.delta,
         reuse_scratch: config.reuse_scratch,
         fast_table: config.fast_table,
         samples: samples.len(),
@@ -154,6 +196,32 @@ fn measure(
         mean_us: mean,
         cost_bits,
     }
+}
+
+/// One untimed evolve per resource at an arbitrary thread count — the
+/// cheap probe behind the islands-vs-threads determinism gate.
+fn cost_bits_at(
+    config: &Config,
+    threads: usize,
+    resources: &[(GridResource, Vec<Task>)],
+    population: usize,
+    generations: usize,
+    seed: u64,
+) -> Vec<u64> {
+    let engine = if config.fast_table {
+        CachedEngine::new()
+    } else {
+        CachedEngine::new().without_fast_table()
+    };
+    let ga = ga_config(config, population, generations, threads);
+    resources
+        .iter()
+        .map(|(resource, tasks)| {
+            let view = ResourceView::snapshot(resource, SimTime::ZERO).expect("all nodes up");
+            let mut scheduler = GaScheduler::new(ga, RngStream::root(seed).derive(resource.name()));
+            scheduler.evolve(&view, tasks, &engine).cost.to_bits()
+        })
+        .collect()
 }
 
 /// Verbatim re-implementation of the decode loop as of the PR base
@@ -228,8 +296,10 @@ struct EvalPath {
 /// Measure the fitness-evaluation path alone — the tentpole's target —
 /// over a fixed population, excluding the (by-design sequential) GA
 /// operators. `seed-eval` is the base-commit mechanics; `opt-eval` is
-/// the scratch + fast-table path. Asserts both produce identical cost
-/// bits for every solution.
+/// the scratch + fast-table path; `soa-eval` is the context-backed
+/// structure-of-arrays kernel (pre-resolved exec-time table, columnar
+/// idle pockets) that delta evaluation decodes through. Asserts all
+/// paths produce identical cost bits for every solution.
 fn measure_eval_paths(
     resources: &[(GridResource, Vec<Task>)],
     population: usize,
@@ -240,7 +310,7 @@ fn measure_eval_paths(
     let mut out = Vec::new();
     let mut reference: Vec<Vec<u64>> = Vec::new();
 
-    for pass in 0..2 {
+    for pass in 0..3 {
         let engine = if pass == 0 {
             CachedEngine::new().without_fast_table()
         } else {
@@ -248,7 +318,7 @@ fn measure_eval_paths(
         };
         let mut evals = 0usize;
         let mut elapsed_s = 0.0;
-        // `derive` is pure in the base seed, so both passes draw the
+        // `derive` is pure in the base seed, so all passes draw the
         // exact same populations.
         let mut rng_pass = RngStream::root(seed).derive("hotpath-eval");
         for (ri, (resource, tasks)) in resources.iter().enumerate() {
@@ -258,6 +328,8 @@ fn measure_eval_paths(
                 .map(|_| Solution::random(tasks.len(), nproc, &mut rng_pass))
                 .collect();
             let mut scratch = DecodeScratch::default();
+            let mut memo = DecodeMemo::default();
+            let ctx = EvalContext::build(&view, tasks, &engine);
             let mut bits = vec![0u64; sols.len()];
             // Warm the cache outside the timed region, as in steady state.
             for sol in &sols {
@@ -266,19 +338,31 @@ fn measure_eval_paths(
             let t = Instant::now();
             for _ in 0..rounds {
                 for (sol, slot) in sols.iter().zip(bits.iter_mut()) {
-                    let cost = if pass == 0 {
-                        let d = seed_decode(&view, tasks, sol, &engine);
-                        ScheduleCost::of(&d, &weights).combined(&weights)
-                    } else {
-                        let s = decode_into(&view, tasks, sol, &engine, &mut scratch);
-                        ScheduleCost::of_parts(
-                            s.makespan_rel_s,
-                            &scratch.idle_pockets,
-                            s.lateness_s,
-                            s.alloc_node_s,
+                    let cost = match pass {
+                        0 => {
+                            let d = seed_decode(&view, tasks, sol, &engine);
+                            ScheduleCost::of(&d, &weights).combined(&weights)
+                        }
+                        1 => {
+                            let s = decode_into(&view, tasks, sol, &engine, &mut scratch);
+                            ScheduleCost::of_parts(
+                                s.makespan_rel_s,
+                                &scratch.idle_pockets,
+                                s.lateness_s,
+                                s.alloc_node_s,
+                                &weights,
+                            )
+                            .combined(&weights)
+                        }
+                        _ => evaluate_delta(
+                            &view,
+                            &ctx,
+                            sol,
+                            None,
+                            &mut memo,
+                            &mut scratch,
                             &weights,
-                        )
-                        .combined(&weights)
+                        ),
                     };
                     *slot = cost.to_bits();
                 }
@@ -295,7 +379,7 @@ fn measure_eval_paths(
             }
         }
         out.push(EvalPath {
-            label: if pass == 0 { "seed-eval" } else { "opt-eval" },
+            label: ["seed-eval", "opt-eval", "soa-eval"][pass],
             ns_per_eval: elapsed_s * 1e9 / evals as f64,
             evals_per_sec: evals as f64 / elapsed_s,
         });
@@ -347,29 +431,54 @@ fn main() {
         .map(|c| {
             let row = measure(c, &resources, population, generations, iters, seed);
             eprintln!(
-                "  {:<13} p50 {:>9.1}us  p90 {:>9.1}us  mean {:>9.1}us",
-                row.label, row.p50_us, row.p90_us, row.mean_us
+                "  {:<11} threads={} islands={} p50 {:>9.1}us  p90 {:>9.1}us  mean {:>9.1}us",
+                row.label, row.threads, row.islands, row.p50_us, row.p90_us, row.mean_us
             );
             row
         })
         .collect();
 
-    // Determinism gate: every configuration must find the same best
-    // schedule cost on every resource, bit for bit.
-    for row in &rows[1..] {
+    // Determinism gate 1: every islands=1 configuration must find the
+    // same best schedule cost on every resource, bit for bit — delta
+    // and the scratch/fast-table mechanics never change a decision.
+    for row in rows.iter().filter(|r| r.islands == 1).skip(1) {
         assert_eq!(
             row.cost_bits, rows[0].cost_bits,
             "{} diverged from {}: the hot path changed a scheduling decision",
             row.label, rows[0].label
         );
     }
-    eprintln!("  determinism: all configurations agree bit-for-bit");
+    // Determinism gate 2: island rows are a different (partitioned)
+    // search, so they are instead pinned across thread counts — the
+    // same island count must replay the same evolution at any
+    // `--ga-threads`.
+    for (config, row) in CONFIGS.iter().zip(&rows) {
+        if row.islands == 1 {
+            continue;
+        }
+        for probe_threads in [1usize, 3] {
+            let bits = cost_bits_at(
+                config,
+                probe_threads,
+                &resources,
+                population,
+                generations,
+                seed,
+            );
+            assert_eq!(
+                bits, row.cost_bits,
+                "{} changed its result at {} threads: islands must pin the search",
+                row.label, probe_threads
+            );
+        }
+    }
+    eprintln!("  determinism: islands=1 rows agree bit-for-bit; island rows thread-invariant");
 
     let eval_rounds = if quick { 5 } else { 40 };
     let eval_paths = measure_eval_paths(&resources, population, eval_rounds, seed);
     for p in &eval_paths {
         eprintln!(
-            "  {:<13} {:>8.1} ns/eval  ({:.2}M evals/s)",
+            "  {:<11} {:>8.1} ns/eval  ({:.2}M evals/s)",
             p.label,
             p.ns_per_eval,
             p.evals_per_sec / 1e6
@@ -377,6 +486,11 @@ fn main() {
     }
 
     let baseline_p50 = rows[0].p50_us;
+    let pr2_p50 = rows
+        .iter()
+        .find(|r| r.label == "pr2-1t")
+        .expect("pr2 reference row")
+        .p50_us;
     let seed_ns = eval_paths[0].ns_per_eval;
     let parallelism = std::thread::available_parallelism().map_or(0, usize::from);
     let doc = json::obj(vec![
@@ -384,8 +498,11 @@ fn main() {
         (
             "description",
             json::s(
-                "wall time per GaScheduler::evolve call; baseline = fresh allocations per \
-                 decode + locked-map cache hits (the pre-optimisation path)",
+                "wall time per GaScheduler::evolve call; baseline = the pre-optimisation \
+                 path (fresh allocations, locked-map cache hits, full re-decode); pr2-1t = \
+                 the previous perf PR's scratch + fast-table path and the reference for \
+                 speedup_vs_pr2; delta/island rows add incremental fitness repair and the \
+                 deterministic island model",
             ),
         ),
         (
@@ -408,10 +525,10 @@ fn main() {
                 (
                     "note",
                     json::s(
-                        "thread-scaling rows only show wall-clock gains when \
-                         available_parallelism > 1; on a single-core host they stay flat \
-                         and the speedup column reflects the allocation-free scratch and \
-                         lock-free cache fast path alone",
+                        "island rows only show wall-clock gains when available_parallelism \
+                         > 1; on a single-core host they stay flat (or pay a small spawn \
+                         tax) and the honest speedup signal is the single-thread ladder \
+                         baseline -> pr2-1t -> delta-1t plus the soa-eval kernel row",
                     ),
                 ),
             ]),
@@ -424,6 +541,8 @@ fn main() {
                         json::obj(vec![
                             ("label", json::s(r.label)),
                             ("threads", json::num(r.threads as f64)),
+                            ("islands", json::num(r.islands as f64)),
+                            ("delta", Value::Bool(r.delta)),
                             ("reuse_scratch", Value::Bool(r.reuse_scratch)),
                             ("fast_table", Value::Bool(r.fast_table)),
                             ("samples", json::num(r.samples as f64)),
@@ -431,6 +550,7 @@ fn main() {
                             ("p90_us", json::num(r.p90_us)),
                             ("mean_us", json::num(r.mean_us)),
                             ("speedup_vs_baseline", json::num(baseline_p50 / r.p50_us)),
+                            ("speedup_vs_pr2", json::num(pr2_p50 / r.p50_us)),
                         ])
                     })
                     .collect(),
@@ -444,7 +564,8 @@ fn main() {
                     json::s(
                         "the fitness-evaluation path alone (decode + cost + cache lookups), \
                          excluding the by-design sequential GA operators; seed-eval re-runs \
-                         the PR base commit's mechanics inside this binary",
+                         the PR base commit's mechanics inside this binary; soa-eval is the \
+                         context-backed structure-of-arrays kernel used by delta evaluation",
                     ),
                 ),
                 (
@@ -471,11 +592,13 @@ fn main() {
     eprintln!("wrote {out_path}");
     for row in &rows {
         println!(
-            "{:<13} threads={} p50={:.1}us speedup={:.2}x",
+            "{:<11} threads={} islands={} p50={:.1}us speedup={:.2}x vs_pr2={:.2}x",
             row.label,
             row.threads,
+            row.islands,
             row.p50_us,
-            baseline_p50 / row.p50_us
+            baseline_p50 / row.p50_us,
+            pr2_p50 / row.p50_us
         );
     }
 }

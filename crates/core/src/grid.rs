@@ -374,7 +374,25 @@ pub struct GridSystem {
 impl GridSystem {
     /// Assemble a grid over `topology` and `catalog` under `config`.
     pub fn new(topology: &GridTopology, catalog: &Catalog, config: &GridConfig) -> GridSystem {
-        let engine = Arc::new(CachedEngine::with_telemetry(config.telemetry.clone()));
+        // Size the dense lock-free prediction table for exactly the
+        // catalogue × platform × node-count matrix this grid can query,
+        // so island-concurrent GA readers never contend on the map lock
+        // for an in-matrix key.
+        let max_app = catalog.apps().iter().map(|a| a.id.0).max().unwrap_or(0);
+        let max_platform = topology
+            .resources
+            .iter()
+            .map(|r| r.platform.id)
+            .max()
+            .unwrap_or(0);
+        let max_nproc = topology
+            .resources
+            .iter()
+            .map(|r| r.nproc)
+            .max()
+            .unwrap_or(1);
+        let dims = agentgrid_pace::FastTableDims::for_matrix(max_app, max_platform, max_nproc);
+        let engine = Arc::new(CachedEngine::with_dims(config.telemetry.clone(), dims));
         let root = RngStream::root(config.seed);
 
         let pairs: Vec<(String, Option<String>)> = topology.parent_pairs();

@@ -20,26 +20,80 @@ use std::sync::Mutex;
 
 type Key = (u32, u32, u32); // (app id, platform id, nprocs)
 
-// Dense fast-table bounds. The key space the GA actually exercises is
-// tiny and enumerable — catalog apps × a handful of platforms × node
-// counts up to the resource size — so a fixed array covers it with room
-// to spare (64 × 8 × 32 slots = 128 KiB). Keys outside these bounds fall
-// back to the locked map; correctness never depends on fitting.
-const FAST_APPS: usize = 64;
-const FAST_PLATFORMS: usize = 8;
-const FAST_NPROCS: usize = 32;
-const FAST_SLOTS: usize = FAST_APPS * FAST_PLATFORMS * FAST_NPROCS;
+// Default dense fast-table bounds: the key space the GA actually
+// exercises is tiny and enumerable — catalog apps × a handful of
+// platforms × node counts up to the resource size — so a fixed array
+// covers it with room to spare (64 × 8 × 32 slots = 128 KiB). Callers
+// that know their catalogue/platform matrix derive exact dimensions via
+// [`FastTableDims::for_matrix`] instead; keys outside the bounds always
+// fall back to the locked map, so correctness never depends on fitting.
+const DEFAULT_APPS: usize = 64;
+const DEFAULT_PLATFORMS: usize = 8;
+const DEFAULT_NPROCS: usize = 32;
+/// Hard ceiling on dense slots (8 MiB of `AtomicU64`s): a derived matrix
+/// larger than this keeps the default shape rather than ballooning.
+const MAX_SLOTS: usize = 1 << 20;
 /// Slot sentinel: all-ones is a NaN bit pattern no finite prediction can
 /// produce, so zero-second predictions still publish correctly.
 const FAST_EMPTY: u64 = u64::MAX;
 
-/// The dense slot for `key`, or `None` when it is out of table bounds.
-fn fast_slot(key: Key) -> Option<usize> {
-    let (app, platform, n) = (key.0 as usize, key.1 as usize, key.2 as usize);
-    if app < FAST_APPS && platform < FAST_PLATFORMS && (1..=FAST_NPROCS).contains(&n) {
-        Some((app * FAST_PLATFORMS + platform) * FAST_NPROCS + (n - 1))
-    } else {
-        None
+/// Dimensions of the dense fast table: how many distinct application
+/// ids, platform ids and processor counts get a lock-free slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FastTableDims {
+    /// Application ids `0..apps` are in bounds.
+    pub apps: usize,
+    /// Platform ids `0..platforms` are in bounds.
+    pub platforms: usize,
+    /// Processor counts `1..=nprocs` are in bounds.
+    pub nprocs: usize,
+}
+
+impl Default for FastTableDims {
+    fn default() -> Self {
+        FastTableDims {
+            apps: DEFAULT_APPS,
+            platforms: DEFAULT_PLATFORMS,
+            nprocs: DEFAULT_NPROCS,
+        }
+    }
+}
+
+impl FastTableDims {
+    /// Exact dimensions for a known catalogue/platform matrix: the
+    /// largest application id, platform id and resource size that will
+    /// be queried. Ids beyond these bounds still work — they are served
+    /// by the locked map — but get no dense slot. Falls back to the
+    /// default shape when the requested matrix would exceed the slot
+    /// ceiling (or is empty on any axis).
+    pub fn for_matrix(max_app_id: u32, max_platform_id: u32, max_nproc: usize) -> FastTableDims {
+        let dims = FastTableDims {
+            apps: max_app_id as usize + 1,
+            platforms: max_platform_id as usize + 1,
+            nprocs: max_nproc.max(1),
+        };
+        if dims.slots() == 0 || dims.slots() > MAX_SLOTS {
+            FastTableDims::default()
+        } else {
+            dims
+        }
+    }
+
+    /// Total dense slots the dimensions describe.
+    pub fn slots(&self) -> usize {
+        self.apps
+            .saturating_mul(self.platforms)
+            .saturating_mul(self.nprocs)
+    }
+
+    /// The dense slot for `key`, or `None` when it is out of bounds.
+    fn slot(&self, key: Key) -> Option<usize> {
+        let (app, platform, n) = (key.0 as usize, key.1 as usize, key.2 as usize);
+        if app < self.apps && platform < self.platforms && (1..=self.nprocs).contains(&n) {
+            Some((app * self.platforms + platform) * self.nprocs + (n - 1))
+        } else {
+            None
+        }
     }
 }
 
@@ -82,6 +136,9 @@ pub struct CachedEngine {
     /// a pure function of the key, so readers can take a relaxed load
     /// and trust whatever value they see.
     fast: Box<[AtomicU64]>,
+    /// Shape of `fast` (derived from the catalogue/platform matrix when
+    /// the caller knows it, default 64×8×32 otherwise).
+    dims: FastTableDims,
     /// When false every hit is served through the locked map instead of
     /// the dense table. Results are bit-identical either way; the switch
     /// exists so benchmarks can measure the pre-fast-table hit path.
@@ -112,12 +169,22 @@ impl CachedEngine {
 
     /// A fresh engine that records [`Event::CacheEvaluate`] on every miss.
     pub fn with_telemetry(telemetry: Telemetry) -> Self {
+        CachedEngine::with_dims(telemetry, FastTableDims::default())
+    }
+
+    /// A fresh engine whose dense fast table is sized for `dims` —
+    /// usually [`FastTableDims::for_matrix`] over the catalogue and
+    /// platform set actually in play, so island-concurrent readers get a
+    /// lock-free slot for every key the GA can generate. Out-of-bounds
+    /// keys are served through the locked map, never silently missed.
+    pub fn with_dims(telemetry: Telemetry, dims: FastTableDims) -> Self {
         CachedEngine {
             engine: PaceEngine::new(),
             cache: Mutex::new(HashMap::new()),
-            fast: (0..FAST_SLOTS)
+            fast: (0..dims.slots())
                 .map(|_| AtomicU64::new(FAST_EMPTY))
                 .collect(),
+            dims,
             fast_enabled: true,
             slow_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -125,6 +192,11 @@ impl CachedEngine {
             telemetry,
             clock: AtomicU64::new(0),
         }
+    }
+
+    /// The dense fast-table shape in force.
+    pub fn dims(&self) -> FastTableDims {
+        self.dims
     }
 
     /// Disable the dense fast table, routing every warm hit through the
@@ -155,7 +227,7 @@ impl CachedEngine {
         let n = nprocs.clamp(1, resource.nproc);
         let key = (app.id.0, resource.platform.id, n as u32);
         let slot = if self.fast_enabled {
-            fast_slot(key)
+            self.dims.slot(key)
         } else {
             None
         };
@@ -165,7 +237,13 @@ impl CachedEngine {
                 self.fast_hits.fetch_add(1, Ordering::Relaxed);
                 return f64::from_bits(bits);
             }
-        } else if let Some(t) = self.cache.lock().expect("cache lock").get(&key) {
+        }
+        // Cold slot or out-of-bounds key: the locked map is the source
+        // of truth, so consult it before paying for an engine run. Keys
+        // beyond the dense bounds are *always* served here — a derived
+        // table that undershoots the key space degrades to map hits,
+        // never to repeated evaluation.
+        if let Some(t) = self.cache.lock().expect("cache lock").get(&key) {
             self.slow_hits.fetch_add(1, Ordering::Relaxed);
             return *t;
         }
@@ -374,6 +452,56 @@ mod tests {
         }
         assert_eq!(slow.stats().hits, 3);
         assert_eq!(slow.stats().fast_hits, 0, "ablated hits bypass the table");
+    }
+
+    #[test]
+    fn derived_dims_cover_the_declared_matrix() {
+        let dims = FastTableDims::for_matrix(6, 4, 16);
+        assert_eq!(
+            dims,
+            FastTableDims {
+                apps: 7,
+                platforms: 5,
+                nprocs: 16
+            }
+        );
+        assert_eq!(dims.slots(), 7 * 5 * 16);
+        let c = CachedEngine::with_dims(Telemetry::disabled(), dims);
+        assert_eq!(c.dims(), dims);
+        let a = app(6); // the largest in-matrix app id
+        let r = resource();
+        c.evaluate(&a, &r, 2);
+        for _ in 0..3 {
+            c.evaluate(&a, &r, 2);
+        }
+        assert_eq!(c.stats().fast_hits, 3, "in-matrix keys get dense slots");
+    }
+
+    #[test]
+    fn beyond_derived_bounds_falls_back_to_the_map_not_reevaluation() {
+        let c = CachedEngine::with_dims(Telemetry::disabled(), FastTableDims::for_matrix(1, 1, 4));
+        let wide = CachedEngine::new();
+        let a = app(37); // beyond apps=2: no dense slot
+        let r = resource();
+        let t1 = c.evaluate(&a, &r, 2);
+        for _ in 0..3 {
+            assert_eq!(c.evaluate(&a, &r, 2).to_bits(), t1.to_bits());
+        }
+        // Identical prediction to a generously sized table.
+        assert_eq!(wide.evaluate(&a, &r, 2).to_bits(), t1.to_bits());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.fast_hits), (3, 1, 0));
+        assert_eq!(
+            c.engine_evaluations(),
+            1,
+            "the map absorbs every re-request"
+        );
+    }
+
+    #[test]
+    fn oversized_matrix_keeps_the_default_shape() {
+        let dims = FastTableDims::for_matrix(u32::MAX - 1, 7, 32);
+        assert_eq!(dims, FastTableDims::default());
     }
 
     #[test]

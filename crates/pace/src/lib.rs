@@ -37,7 +37,7 @@ pub mod noise;
 pub mod platform;
 pub mod template;
 
-pub use cache::{CacheStats, CachedEngine};
+pub use cache::{CacheStats, CachedEngine, FastTableDims};
 pub use catalog::Catalog;
 pub use eval::PaceEngine;
 pub use model::{

@@ -9,6 +9,8 @@
 //! opens up, with their start offsets, so the cost function can weight
 //! early idle time more heavily than late idle time.
 
+use crate::cost::{CostWeights, ScheduleCost};
+use crate::gantt::ScheduleLedger;
 use crate::solution::Solution;
 use crate::task::Task;
 use agentgrid_cluster::{GridResource, NodeMask};
@@ -271,6 +273,317 @@ pub fn decode_into(
         missed_deadlines: missed,
         alloc_node_s,
     }
+}
+
+/// Structure-of-arrays evaluation context, built once per evolve call:
+/// every PACE prediction the decoder can need, pre-queried into a flat
+/// `tasks × nproc` seconds table, plus the deadline column. Inside the GA
+/// inner loop this replaces an `Arc` deref + atomic fast-table load per
+/// placement with a plain indexed read from a contiguous row, and it is
+/// what lets the delta evaluator run without an engine handle at all.
+/// The table holds the engine's own outputs verbatim, so context-based
+/// decoding is bit-identical to engine-based decoding.
+#[derive(Clone, Debug)]
+pub struct EvalContext {
+    nproc: usize,
+    /// `exec_s[t * nproc + (k - 1)]` = predicted seconds for task `t` on
+    /// `k` nodes, exactly as `engine.evaluate` returns it.
+    exec_s: Vec<f64>,
+    /// Per-task deadlines, in task-index order.
+    deadlines: Vec<SimTime>,
+}
+
+impl EvalContext {
+    /// Pre-query `engine` for every `(task, nproc)` pair of this view.
+    pub fn build(view: &ResourceView, tasks: &[Task], engine: &CachedEngine) -> EvalContext {
+        let nproc = view.model.nproc.max(1);
+        let mut exec_s = Vec::with_capacity(tasks.len() * nproc);
+        for task in tasks {
+            for k in 1..=nproc {
+                exec_s.push(engine.evaluate(&task.app, &view.model, k));
+            }
+        }
+        EvalContext {
+            nproc,
+            exec_s,
+            deadlines: tasks.iter().map(|t| t.deadline).collect(),
+        }
+    }
+
+    /// Number of tasks this context covers.
+    pub fn task_count(&self) -> usize {
+        self.deadlines.len()
+    }
+
+    /// Predicted seconds for `task` on `k` nodes (`1 ≤ k ≤ nproc`).
+    #[inline]
+    pub fn exec_s(&self, task: usize, k: usize) -> f64 {
+        self.exec_s[task * self.nproc + (k - 1)]
+    }
+
+    /// Deadline of `task`.
+    #[inline]
+    pub fn deadline(&self, task: usize) -> SimTime {
+        self.deadlines[task]
+    }
+}
+
+/// The running scalars of a decode, frozen *before* a given position.
+/// `DecodeMemo` stores one of these per position (plus one final state),
+/// so a delta evaluation can resume the fold mid-string with exactly the
+/// accumulator bits the full decode would hold there.
+#[derive(Clone, Copy, Debug)]
+struct PrefixState {
+    makespan: SimTime,
+    lateness_s: f64,
+    missed: usize,
+    alloc_node_s: f64,
+    /// Pockets recorded so far — a prefix length into the SoA columns.
+    pockets: usize,
+}
+
+/// Cached evaluation state of one GA individual: the placement ledger,
+/// per-position prefix accumulators, idle pockets in SoA layout, and the
+/// finished summary/cost. When an offspring shares a prefix with its
+/// parent (point mutation, single-cut crossover), [`evaluate_delta`]
+/// clones the shared prefix out of the parent's memo and decodes only the
+/// suffix — the incremental repair path of the GA hot loop.
+#[derive(Clone, Debug, Default)]
+pub struct DecodeMemo {
+    valid: bool,
+    ledger: ScheduleLedger,
+    /// `prefix[p]` = accumulator state before position `p`; length
+    /// `m + 1`, with `prefix[m]` the final state.
+    prefix: Vec<PrefixState>,
+    /// Idle-pocket start offsets (seconds from `now`), SoA column.
+    pocket_offsets: Vec<f64>,
+    /// Idle-pocket lengths (seconds), SoA column.
+    pocket_lengths: Vec<f64>,
+    summary: Option<DecodeSummary>,
+    cost: f64,
+    /// Positions actually decoded (suffix length) — telemetry.
+    decoded_positions: u64,
+}
+
+impl DecodeMemo {
+    /// Whether this memo holds a finished evaluation.
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    /// The combined cost of the memoised evaluation.
+    pub fn cost(&self) -> f64 {
+        debug_assert!(self.valid);
+        self.cost
+    }
+
+    /// The memoised decode summary.
+    pub fn summary(&self) -> Option<DecodeSummary> {
+        self.summary
+    }
+
+    /// Positions decoded by the evaluation that produced this memo
+    /// (`0` when the cost was copied from an identical parent).
+    pub fn decoded_positions(&self) -> u64 {
+        self.decoded_positions
+    }
+
+    /// Idle pockets as SoA columns `(offsets, lengths)`.
+    pub fn pockets(&self) -> (&[f64], &[f64]) {
+        (&self.pocket_offsets, &self.pocket_lengths)
+    }
+
+    /// Drop the memoised state (e.g. when the view it was built against
+    /// has gone stale).
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+    }
+
+    /// Adopt the shared prefix `[0, upto)` of `parent`, truncating any
+    /// leftover suffix from this memo's previous life.
+    fn adopt_prefix(&mut self, parent: &DecodeMemo, upto: usize) {
+        self.ledger.copy_prefix(&parent.ledger, upto);
+        self.prefix.clear();
+        self.prefix.extend_from_slice(&parent.prefix[..=upto]);
+        let pockets = parent.prefix[upto].pockets;
+        self.pocket_offsets.clear();
+        self.pocket_offsets
+            .extend_from_slice(&parent.pocket_offsets[..pockets]);
+        self.pocket_lengths.clear();
+        self.pocket_lengths
+            .extend_from_slice(&parent.pocket_lengths[..pockets]);
+    }
+
+    /// Start a from-scratch evaluation (no usable parent prefix).
+    fn begin_fresh(&mut self, view: &ResourceView) {
+        self.ledger.clear();
+        self.prefix.clear();
+        self.prefix.push(PrefixState {
+            makespan: view.now,
+            lateness_s: 0.0,
+            missed: 0,
+            alloc_node_s: 0.0,
+            pockets: 0,
+        });
+        self.pocket_offsets.clear();
+        self.pocket_lengths.clear();
+    }
+}
+
+/// Length of the longest common prefix of two solutions: the first
+/// position where either the ordering or the mapping differs. The GA's
+/// operators (order swap, per-bit mask flips, one-cut splices) perturb a
+/// handful of positions, so offspring typically share a long prefix with
+/// one parent — everything before the divergence decodes identically and
+/// can be resumed from the parent's memo.
+fn divergence(a: &Solution, b: &Solution) -> usize {
+    let m = a.len().min(b.len());
+    for p in 0..m {
+        if a.order[p] != b.order[p] || a.mapping[p] != b.mapping[p] {
+            return p;
+        }
+    }
+    m
+}
+
+/// Evaluate `solution` against `view`, resuming from `parent`'s memo when
+/// a shared prefix allows it, and leave the full evaluation state in
+/// `memo`. Returns the combined cost.
+///
+/// Three paths, cheapest first:
+/// * parent identical → copy the memo, zero decoding;
+/// * shared prefix of length `d` → adopt the parent's ledger/prefix up to
+///   `d`, replay the ledger into the node-free table, decode `[d, m)`;
+/// * no parent (or stale memo) → full decode from position 0.
+///
+/// All three run the same per-position float operations in the same order
+/// as [`decode_into`], and the node-free table reconstructed by ledger
+/// replay is exact (integer `SimTime` stores), so the resulting summary
+/// and cost are bit-identical to a full re-decode — asserted on every
+/// delta evaluation in debug builds, and by the determinism suite and
+/// `agentgrid-verify` oracles in release.
+pub fn evaluate_delta(
+    view: &ResourceView,
+    ctx: &EvalContext,
+    solution: &Solution,
+    parent: Option<(&Solution, &DecodeMemo)>,
+    memo: &mut DecodeMemo,
+    scratch: &mut DecodeScratch,
+    weights: &CostWeights,
+) -> f64 {
+    let m = solution.len();
+    debug_assert_eq!(m, ctx.task_count(), "context built for this task set");
+    let d = match parent {
+        Some((psol, pmemo)) if pmemo.valid && psol.len() == m => divergence(solution, psol),
+        _ => 0,
+    };
+
+    if d == m {
+        if let Some((_, pmemo)) = parent {
+            // Identical to the parent (elite copy, no-op offspring):
+            // the whole evaluation is memoised.
+            if m > 0 {
+                memo.clone_from(pmemo);
+                memo.decoded_positions = 0;
+                return memo.cost;
+            }
+        }
+    }
+
+    if d == 0 {
+        memo.begin_fresh(view);
+        scratch.begin(view);
+    } else {
+        let (_, pmemo) = parent.expect("divergence > 0 implies a parent");
+        memo.adopt_prefix(pmemo, d);
+        // Rebuild the node-free table as of position `d` by replaying the
+        // shared prefix over the view's snapshot.
+        pmemo
+            .ledger
+            .replay_into(d, &view.node_free, &mut scratch.node_free);
+    }
+
+    let node_free = &mut scratch.node_free;
+    let mut state = *memo.prefix.last().expect("begin pushed the initial state");
+    for p in d..m {
+        let task_idx = solution.order[p];
+        let mask = solution.mapping[p]
+            .and(view.available)
+            .ensure_nonempty(view.fallback_node());
+        let start = mask
+            .iter()
+            .map(|i| node_free[i])
+            .fold(view.now, SimTime::max);
+        let exec_s = ctx.exec_s(task_idx, mask.count());
+        let completion = start + SimDuration::from_secs_f64(exec_s);
+        state.alloc_node_s += mask.count() as f64 * exec_s;
+        for i in mask.iter() {
+            let free = node_free[i];
+            if free < start {
+                let gap = start.saturating_since(free).as_secs_f64();
+                let offset = free.saturating_since(view.now).as_secs_f64();
+                memo.pocket_offsets.push(offset);
+                memo.pocket_lengths.push(gap);
+                state.pockets += 1;
+            }
+            node_free[i] = completion;
+        }
+        let deadline = ctx.deadline(task_idx);
+        if completion > deadline {
+            state.lateness_s += completion.saturating_since(deadline).as_secs_f64();
+            state.missed += 1;
+        }
+        state.makespan = state.makespan.max(completion);
+        memo.ledger.push(mask, completion);
+        memo.prefix.push(state);
+    }
+
+    let summary = DecodeSummary {
+        makespan: state.makespan,
+        makespan_rel_s: state.makespan.saturating_since(view.now).as_secs_f64(),
+        lateness_s: state.lateness_s,
+        missed_deadlines: state.missed,
+        alloc_node_s: state.alloc_node_s,
+    };
+    let cost = ScheduleCost::of_parts_soa(
+        summary.makespan_rel_s,
+        &memo.pocket_offsets,
+        &memo.pocket_lengths,
+        summary.lateness_s,
+        summary.alloc_node_s,
+        weights,
+    )
+    .combined(weights);
+    memo.summary = Some(summary);
+    memo.cost = cost;
+    memo.valid = true;
+    memo.decoded_positions = (m - d) as u64;
+
+    #[cfg(debug_assertions)]
+    if d > 0 {
+        // Every delta resume cross-checks against a from-scratch decode,
+        // so the whole test suite doubles as a bit-equality oracle.
+        let mut fresh = DecodeMemo::default();
+        let mut fresh_scratch = DecodeScratch::default();
+        let fresh_cost = evaluate_delta(
+            view,
+            ctx,
+            solution,
+            None,
+            &mut fresh,
+            &mut fresh_scratch,
+            weights,
+        );
+        debug_assert_eq!(cost.to_bits(), fresh_cost.to_bits(), "delta cost drifted");
+        let fs = fresh.summary.expect("fresh eval summarised");
+        debug_assert_eq!(summary.makespan, fs.makespan);
+        debug_assert_eq!(summary.lateness_s.to_bits(), fs.lateness_s.to_bits());
+        debug_assert_eq!(summary.alloc_node_s.to_bits(), fs.alloc_node_s.to_bits());
+        debug_assert_eq!(memo.pocket_offsets, fresh.pocket_offsets);
+        debug_assert_eq!(memo.pocket_lengths, fresh.pocket_lengths);
+    }
+
+    cost
 }
 
 #[cfg(test)]
@@ -547,6 +860,138 @@ mod tests {
             24,
             "every decode after the first recycles"
         );
+    }
+
+    #[test]
+    fn context_backed_eval_matches_engine_backed_decode() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let engine = CachedEngine::new();
+        let a = app(vec![8.0, 5.0, 4.0, 3.0]);
+        let tasks: Vec<Task> = (0..10).map(|i| task(i, a.clone(), 40)).collect();
+        let v = view(4);
+        let ctx = EvalContext::build(&v, &tasks, &engine);
+        let w = crate::cost::CostWeights::default();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut memo = DecodeMemo::default();
+        let mut scratch = DecodeScratch::default();
+        let mut full_scratch = DecodeScratch::default();
+        for _ in 0..25 {
+            let sol = Solution::random(10, 4, &mut rng);
+            let cost = evaluate_delta(&v, &ctx, &sol, None, &mut memo, &mut scratch, &w);
+            let summary = decode_into(&v, &tasks, &sol, &engine, &mut full_scratch);
+            let full_cost = crate::cost::ScheduleCost::of_parts(
+                summary.makespan_rel_s,
+                &full_scratch.idle_pockets,
+                summary.lateness_s,
+                summary.alloc_node_s,
+                &w,
+            )
+            .combined(&w);
+            assert_eq!(cost.to_bits(), full_cost.to_bits());
+            let ms = memo.summary().unwrap();
+            assert_eq!(ms.makespan, summary.makespan);
+            assert_eq!(ms.alloc_node_s.to_bits(), summary.alloc_node_s.to_bits());
+            assert_eq!(ms.lateness_s.to_bits(), summary.lateness_s.to_bits());
+            assert_eq!(ms.missed_deadlines, summary.missed_deadlines);
+            let (offs, lens) = memo.pockets();
+            let pairs: Vec<(f64, f64)> = offs.iter().copied().zip(lens.iter().copied()).collect();
+            assert_eq!(pairs, full_scratch.idle_pockets);
+        }
+    }
+
+    #[test]
+    fn delta_resume_matches_full_decode_bit_for_bit() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let engine = CachedEngine::new();
+        let a = app(vec![8.0, 5.0, 4.0, 3.0]);
+        let tasks: Vec<Task> = (0..12).map(|i| task(i, a.clone(), 30)).collect();
+        let v = view(4);
+        let ctx = EvalContext::build(&v, &tasks, &engine);
+        let w = crate::cost::CostWeights::default();
+        let mut rng = SmallRng::seed_from_u64(77);
+        let mut parent = Solution::random(12, 4, &mut rng);
+        let mut parent_memo = DecodeMemo::default();
+        let mut scratch = DecodeScratch::default();
+        evaluate_delta(&v, &ctx, &parent, None, &mut parent_memo, &mut scratch, &w);
+        let mut decoded_total = 0;
+        for _ in 0..60 {
+            // GA-operator-shaped perturbations: an order swap and/or a
+            // couple of mask bit flips at random positions.
+            let mut child = parent.clone();
+            if rng.gen_bool(0.5) {
+                let i = rng.gen_range(0..12);
+                let j = rng.gen_range(0..12);
+                child.order.swap(i, j);
+            }
+            for _ in 0..rng.gen_range(0..3) {
+                let p = rng.gen_range(0..12);
+                let bit = rng.gen_range(0..4);
+                child.mapping[p].toggle(bit);
+                child.mapping[p] = child.mapping[p].clamp_to(4).ensure_nonempty(0);
+            }
+            let mut child_memo = DecodeMemo::default();
+            let delta_cost = evaluate_delta(
+                &v,
+                &ctx,
+                &child,
+                Some((&parent, &parent_memo)),
+                &mut child_memo,
+                &mut scratch,
+                &w,
+            );
+            decoded_total += child_memo.decoded_positions();
+            // From-scratch reference (also re-exercises the engine path).
+            let mut fresh = DecodeMemo::default();
+            let mut fresh_scratch = DecodeScratch::default();
+            let full_cost =
+                evaluate_delta(&v, &ctx, &child, None, &mut fresh, &mut fresh_scratch, &w);
+            assert_eq!(delta_cost.to_bits(), full_cost.to_bits());
+            assert_eq!(
+                child_memo.summary().unwrap().makespan,
+                fresh.summary().unwrap().makespan
+            );
+            assert_eq!(child_memo.pockets().0, fresh.pockets().0);
+            assert_eq!(child_memo.pockets().1, fresh.pockets().1);
+            parent = child;
+            parent_memo = child_memo;
+        }
+        assert!(
+            decoded_total < 60 * 12,
+            "delta path must decode fewer positions than full re-decode"
+        );
+    }
+
+    #[test]
+    fn identical_offspring_copies_the_parent_memo() {
+        let engine = CachedEngine::new();
+        let a = app(vec![8.0, 5.0]);
+        let tasks: Vec<Task> = (0..6).map(|i| task(i, a.clone(), 30)).collect();
+        let v = view(2);
+        let ctx = EvalContext::build(&v, &tasks, &engine);
+        let w = crate::cost::CostWeights::default();
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let sol = Solution::random(6, 2, &mut rng);
+        let mut memo = DecodeMemo::default();
+        let mut scratch = DecodeScratch::default();
+        let cost = evaluate_delta(&v, &ctx, &sol, None, &mut memo, &mut scratch, &w);
+        let clone = sol.clone();
+        let mut clone_memo = DecodeMemo::default();
+        let copied = evaluate_delta(
+            &v,
+            &ctx,
+            &clone,
+            Some((&sol, &memo)),
+            &mut clone_memo,
+            &mut scratch,
+            &w,
+        );
+        assert_eq!(copied.to_bits(), cost.to_bits());
+        assert_eq!(clone_memo.decoded_positions(), 0);
+        assert!(clone_memo.is_valid());
     }
 
     #[test]

@@ -10,9 +10,11 @@
 //! the paper highlights as the reason for choosing an evolutionary method.
 
 use crate::cost::{scale_fitness, CostWeights, ScheduleCost};
-use crate::decode::{decode, decode_into, DecodeScratch, DecodedSchedule, ResourceView};
+use crate::decode::{
+    decode, decode_into, DecodeMemo, DecodeScratch, DecodedSchedule, EvalContext, ResourceView,
+};
 use crate::ga::ops::{crossover, mutate};
-use crate::ga::par;
+use crate::ga::par::{self, Lineage};
 use crate::ga::select::stochastic_remainder;
 use crate::solution::Solution;
 use crate::task::Task;
@@ -51,11 +53,48 @@ pub struct GaConfig {
     /// (false = allocate fresh per decode, the pre-optimisation path;
     /// kept as an ablation/regression knob — results are identical).
     pub reuse_scratch: bool,
+    /// Independent island subpopulations evolved concurrently (1 = the
+    /// single-population path, which preserves the historical decision
+    /// stream exactly). Island RNG streams are keyed by island *index*,
+    /// never by thread id, so results depend only on this count — any
+    /// `threads` value replays the identical evolution. Defaults from
+    /// the `GA_ISLANDS` environment variable when set.
+    pub islands: usize,
+    /// Generations each island evolves between best-individual ring
+    /// migrations (island mode only).
+    pub migration_interval: usize,
+    /// Incremental (delta) fitness evaluation: an offspring resumes
+    /// decoding after the longest prefix it shares with its recorded
+    /// parent instead of re-decoding from position 0. Results are
+    /// bit-identical either way (asserted in debug builds on every
+    /// resume); the knob exists as a [`GaConfig::without_delta`]
+    /// ablation for the hotpath bench.
+    pub delta: bool,
+}
+
+impl GaConfig {
+    /// This configuration with delta evaluation disabled — every
+    /// individual is fully re-decoded each generation (the ablation /
+    /// pre-optimisation path).
+    pub fn without_delta(self) -> GaConfig {
+        GaConfig {
+            delta: false,
+            ..self
+        }
+    }
 }
 
 /// Evaluation-thread default: `GA_THREADS` when set and sane, else 1.
 fn threads_from_env() -> usize {
     std::env::var("GA_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(1, |n| n.clamp(1, 64))
+}
+
+/// Island-count default: `GA_ISLANDS` when set and sane, else 1.
+fn islands_from_env() -> usize {
+    std::env::var("GA_ISLANDS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .map_or(1, |n| n.clamp(1, 64))
@@ -74,6 +113,9 @@ impl Default for GaConfig {
             weights: CostWeights::default(),
             threads: threads_from_env(),
             reuse_scratch: true,
+            islands: islands_from_env(),
+            migration_interval: 5,
+            delta: true,
         }
     }
 }
@@ -104,6 +146,16 @@ pub struct GaScheduler {
     scratches: Vec<DecodeScratch>,
     /// Reusable per-generation cost slots.
     costs: Vec<f64>,
+    /// Double-buffered per-individual decode memos: `memos` holds the
+    /// evaluated current generation (the parents of the next), the
+    /// delta pass writes offspring into `memos_next`, then the buffers
+    /// swap. Persisted across evolve calls for their capacity only —
+    /// every evolve starts from fresh full decodes because the view has
+    /// moved.
+    memos: Vec<DecodeMemo>,
+    memos_next: Vec<DecodeMemo>,
+    /// Per-offspring parent indices recorded by the breeding loop.
+    lineage: Vec<Lineage>,
 }
 
 impl GaScheduler {
@@ -123,6 +175,9 @@ impl GaScheduler {
             label: String::new(),
             scratches: Vec::new(),
             costs: Vec::new(),
+            memos: Vec::new(),
+            memos_next: Vec::new(),
+            lineage: Vec::new(),
         }
     }
 
@@ -200,8 +255,12 @@ impl GaScheduler {
             };
         }
 
-        self.ensure_population(view, tasks, engine);
-        self.inject_heuristic_seeds(view, tasks, engine);
+        // Pre-query every PACE prediction the decoders can need into a
+        // flat SoA table: the hot loops below touch contiguous memory
+        // instead of the engine's synchronised cache.
+        let ctx = EvalContext::build(view, tasks, engine);
+        self.ensure_population(view, tasks, &ctx);
+        self.inject_heuristic_seeds(view, tasks, &ctx);
 
         // Wall clock and cache deltas are telemetry payload only — they
         // never feed back into scheduling, so instrumented runs stay
@@ -212,9 +271,86 @@ impl GaScheduler {
 
         let weights = self.config.weights;
         let threads = self.config.threads.max(1);
+        let reuses_before: u64 = self.scratches.iter().map(DecodeScratch::reuses).sum();
+        // Islands need at least four individuals each (elites plus a
+        // crossover pair), so the requested count clamps to population/4.
+        let islands = self
+            .config
+            .islands
+            .clamp(1, (self.config.population / 4).max(1));
+        let (best_solution, generations, search) = if islands > 1 {
+            self.evolve_islands(view, &ctx, islands, t_now)
+        } else {
+            self.evolve_single(view, tasks, engine, &ctx, t_now)
+        };
+
+        let schedule = decode(view, tasks, &best_solution, engine);
+        let cost = ScheduleCost::of(&schedule, &weights).combined(&weights);
+        // Legitimacy verdict on the solution being committed, for the
+        // online invariant checker. Emitted whenever telemetry is on —
+        // not only when the wall-clock block below runs.
+        self.telemetry.emit(t_now, || Event::GaSolutionCheck {
+            resource: self.label.clone(),
+            tasks: m as u32,
+            legit: best_solution.is_legitimate(m, nproc),
+        });
+        if let (Some(wall), Some(before)) = (wall_start, stats_before) {
+            let after = engine.stats();
+            let wall_us = wall.elapsed().as_micros() as u64;
+            self.telemetry.emit(t_now, || Event::GaEvolve {
+                resource: self.label.clone(),
+                generations: generations as u32,
+                best_cost: cost,
+                converged: search.converged,
+                wall_us,
+                cache_hits: after.hits.saturating_sub(before.hits),
+                cache_misses: after.misses.saturating_sub(before.misses),
+            });
+            let reuses_after: u64 = self.scratches.iter().map(DecodeScratch::reuses).sum();
+            let wall_s = (wall_us as f64 / 1e6).max(1e-9);
+            self.telemetry.emit(t_now, || Event::GaHotPath {
+                resource: self.label.clone(),
+                threads: threads as u32,
+                evaluations: search.evaluations,
+                evals_per_sec: search.evaluations as f64 / wall_s,
+                scratch_reuses: reuses_after.saturating_sub(reuses_before),
+                fast_hits: after.fast_hits.saturating_sub(before.fast_hits),
+                pool_utilisation: if search.passes > 0 {
+                    search.util_sum / f64::from(search.passes)
+                } else {
+                    0.0
+                },
+                islands: islands as u32,
+                delta_positions: search.decoded_positions,
+            });
+        }
+        EvolveOutcome {
+            schedule,
+            cost,
+            generations,
+        }
+    }
+
+    /// The single-population search loop (the historical path, decision
+    /// stream preserved exactly): breed on the driving thread, evaluate
+    /// the population across worker threads, either incrementally
+    /// (delta) or by full re-decode.
+    fn evolve_single(
+        &mut self,
+        view: &ResourceView,
+        tasks: &[Task],
+        engine: &CachedEngine,
+        ctx: &EvalContext,
+        t_now: u64,
+    ) -> (Solution, usize, SearchStats) {
+        let nproc = view.model.nproc;
+        let weights = self.config.weights;
+        let threads = self.config.threads.max(1);
         let reuse = self.config.reuse_scratch;
-        // Pure per-solution cost: everything captured is frozen for the
-        // duration of the call, so evaluation order cannot matter.
+        let delta = self.config.delta;
+        // Pure per-solution cost for the non-delta path: everything
+        // captured is frozen for the duration of the call, so evaluation
+        // order cannot matter.
         let eval_cost = |sol: &Solution, scratch: &mut DecodeScratch| -> f64 {
             if reuse {
                 let s = decode_into(view, tasks, sol, engine, scratch);
@@ -232,23 +368,37 @@ impl GaScheduler {
             }
         };
 
-        // Hot-path accounting (pure functions of sizes; telemetry only).
-        let reuses_before: u64 = self.scratches.iter().map(DecodeScratch::reuses).sum();
-        let mut evaluations: u64 = 0;
-        let mut util_sum = 0.0;
-        let mut passes = 0u32;
-
+        let mut search = SearchStats::default();
         let mut costs = std::mem::take(&mut self.costs);
-        let stats = par::evaluate_into(
-            threads,
-            &self.population,
-            &mut costs,
-            &mut self.scratches,
-            &eval_cost,
-        );
-        evaluations += stats.evaluated as u64;
-        util_sum += stats.utilisation();
-        passes += 1;
+
+        // Initial pass: always from scratch — the view has moved since
+        // the previous event, so old memos describe a stale world.
+        self.lineage.clear();
+        self.lineage.resize(self.population.len(), Lineage::Fresh);
+        let stats = if delta {
+            par::evaluate_delta_into(
+                threads,
+                view,
+                ctx,
+                &self.population,
+                &self.lineage,
+                &[],
+                &[],
+                &mut self.memos,
+                &mut costs,
+                &mut self.scratches,
+                &weights,
+            )
+        } else {
+            par::evaluate_into(
+                threads,
+                &self.population,
+                &mut costs,
+                &mut self.scratches,
+                &eval_cost,
+            )
+        };
+        search.absorb(stats);
         let (mut best_idx, mut best_cost) = argmin(&costs);
         let mut best_solution = self.population[best_idx].clone();
         let mut stall = 0usize;
@@ -264,18 +414,26 @@ impl GaScheduler {
             let offspring_slots = self.config.population - self.config.elitism;
             let parents = stochastic_remainder(&fitness, offspring_slots, &mut self.rng);
 
-            // Elites survive unchanged.
+            // Elites survive unchanged; their lineage points at
+            // themselves, so the delta pass copies their memoised cost
+            // without decoding a single position.
             let mut next: Vec<Solution> = Vec::with_capacity(self.config.population);
+            self.lineage.clear();
             let elite_indices = k_smallest(&costs, self.config.elitism);
             for &i in &elite_indices {
                 next.push(self.population[i].clone());
+                self.lineage.push(Lineage::Parent(i));
             }
 
-            // Pair parents, recombine, mutate.
+            // Pair parents, recombine, mutate. Each child's lineage is
+            // the parent contributing its prefix (crossover splices the
+            // head of `a` onto `b` and vice versa).
             let mut pi = 0;
             while next.len() < self.config.population {
-                let pa = &self.population[parents[pi % parents.len()]];
-                let pb = &self.population[parents[(pi + 1) % parents.len()]];
+                let ia = parents[pi % parents.len()];
+                let ib = parents[(pi + 1) % parents.len()];
+                let pa = &self.population[ia];
+                let pb = &self.population[ib];
                 pi += 2;
                 let (mut c1, mut c2) = if self.rng.gen::<f64>() < self.config.crossover_rate {
                     crossover(pa, pb, nproc, &mut self.rng)
@@ -290,6 +448,7 @@ impl GaScheduler {
                     &mut self.rng,
                 );
                 next.push(c1);
+                self.lineage.push(Lineage::Parent(ia));
                 if next.len() < self.config.population {
                     mutate(
                         &mut c2,
@@ -299,20 +458,37 @@ impl GaScheduler {
                         &mut self.rng,
                     );
                     next.push(c2);
+                    self.lineage.push(Lineage::Parent(ib));
                 }
             }
 
-            self.population = next;
-            let stats = par::evaluate_into(
-                threads,
-                &self.population,
-                &mut costs,
-                &mut self.scratches,
-                &eval_cost,
-            );
-            evaluations += stats.evaluated as u64;
-            util_sum += stats.utilisation();
-            passes += 1;
+            let prev = std::mem::replace(&mut self.population, next);
+            let stats = if delta {
+                let s = par::evaluate_delta_into(
+                    threads,
+                    view,
+                    ctx,
+                    &self.population,
+                    &self.lineage,
+                    &prev,
+                    &self.memos,
+                    &mut self.memos_next,
+                    &mut costs,
+                    &mut self.scratches,
+                    &weights,
+                );
+                std::mem::swap(&mut self.memos, &mut self.memos_next);
+                s
+            } else {
+                par::evaluate_into(
+                    threads,
+                    &self.population,
+                    &mut costs,
+                    &mut self.scratches,
+                    &eval_cost,
+                )
+            };
+            search.absorb(stats);
             let (gen_best_idx, gen_best_cost) = argmin(&costs);
             self.telemetry.emit(t_now, || Event::GaGeneration {
                 resource: self.label.clone(),
@@ -331,51 +507,179 @@ impl GaScheduler {
         }
 
         let _ = best_idx;
+        search.converged = stall >= self.config.stall_generations;
         self.costs = costs;
-        let schedule = decode(view, tasks, &best_solution, engine);
-        let cost = ScheduleCost::of(&schedule, &weights).combined(&weights);
-        // Legitimacy verdict on the solution being committed, for the
-        // online invariant checker. Emitted whenever telemetry is on —
-        // not only when the wall-clock block below runs.
-        self.telemetry.emit(t_now, || Event::GaSolutionCheck {
-            resource: self.label.clone(),
-            tasks: m as u32,
-            legit: best_solution.is_legitimate(m, nproc),
-        });
-        if let (Some(wall), Some(before)) = (wall_start, stats_before) {
-            let after = engine.stats();
-            let converged = stall >= self.config.stall_generations;
-            let wall_us = wall.elapsed().as_micros() as u64;
-            self.telemetry.emit(t_now, || Event::GaEvolve {
-                resource: self.label.clone(),
-                generations: generations as u32,
-                best_cost: cost,
-                converged,
-                wall_us,
-                cache_hits: after.hits.saturating_sub(before.hits),
-                cache_misses: after.misses.saturating_sub(before.misses),
-            });
-            let reuses_after: u64 = self.scratches.iter().map(DecodeScratch::reuses).sum();
-            let wall_s = (wall_us as f64 / 1e6).max(1e-9);
-            self.telemetry.emit(t_now, || Event::GaHotPath {
-                resource: self.label.clone(),
-                threads: threads as u32,
-                evaluations,
-                evals_per_sec: evaluations as f64 / wall_s,
-                scratch_reuses: reuses_after.saturating_sub(reuses_before),
-                fast_hits: after.fast_hits.saturating_sub(before.fast_hits),
-                pool_utilisation: if passes > 0 {
-                    util_sum / f64::from(passes)
-                } else {
-                    0.0
+        (best_solution, generations, search)
+    }
+
+    /// The island-model search loop: the population splits into
+    /// `islands` contiguous subpopulations, each evolving independently
+    /// on its own RNG stream (keyed by island index), with the islands
+    /// advanced concurrently across worker threads and the per-island
+    /// champion migrating one step around the ring every
+    /// `migration_interval` generations. Stall is accounted per
+    /// generation but only *checked* between bursts, so an exhausted
+    /// search can overshoot the stall budget by at most one interval.
+    fn evolve_islands(
+        &mut self,
+        view: &ResourceView,
+        ctx: &EvalContext,
+        k: usize,
+        t_now: u64,
+    ) -> (Solution, usize, SearchStats) {
+        let config = self.config;
+        let weights = config.weights;
+        let threads = config.threads.max(1);
+        let nproc = view.model.nproc;
+        // One epoch draw per evolve; island streams derive from it by
+        // index, so the evolution is a pure function of (scheduler
+        // stream, island count) — thread count never touches an RNG.
+        let epoch: u64 = self.rng.gen();
+
+        let mut islands: Vec<Island> = Vec::with_capacity(k);
+        let base = self.population.len() / k;
+        let rem = self.population.len() % k;
+        let mut offset = 0;
+        for i in 0..k {
+            let size = base + usize::from(i < rem);
+            islands.push(Island {
+                solutions: self.population[offset..offset + size].to_vec(),
+                costs: Vec::new(),
+                memos: Vec::new(),
+                memos_next: Vec::new(),
+                lineage: Vec::new(),
+                scratches: Vec::new(),
+                rng: RngStream::root(epoch).derive(&format!("island-{i}")),
+                best_cost: f64::INFINITY,
+                best: Solution {
+                    order: vec![],
+                    mapping: vec![],
                 },
+                gen_stats: Vec::new(),
+                evaluations: 0,
+                decoded: 0,
             });
+            offset += size;
         }
-        EvolveOutcome {
-            schedule,
-            cost,
-            generations,
+
+        let mut search = SearchStats::default();
+        // Pool occupancy per island pass (pure function of the counts).
+        let workers = threads.min(k);
+        let island_util = k as f64 / (workers * k.div_ceil(workers)) as f64;
+
+        // Initial fitness of every island, islands in parallel.
+        par::for_each_parallel(threads, &mut islands, &|isl: &mut Island| {
+            isl.lineage.clear();
+            isl.lineage.resize(isl.solutions.len(), Lineage::Fresh);
+            let stats = par::evaluate_delta_into(
+                1,
+                view,
+                ctx,
+                &isl.solutions,
+                &isl.lineage,
+                &[],
+                &[],
+                &mut isl.memos,
+                &mut isl.costs,
+                &mut isl.scratches,
+                &weights,
+            );
+            isl.evaluations += stats.evaluated as u64;
+            isl.decoded += stats.decoded_positions;
+            let (bi, bc) = argmin(&isl.costs);
+            isl.best_cost = bc;
+            isl.best = isl.solutions[bi].clone();
+        });
+        search.passes += 1;
+        search.util_sum += island_util;
+
+        let total_pop = self.population.len();
+        let mut best_cost = islands
+            .iter()
+            .map(|isl| isl.best_cost)
+            .fold(f64::INFINITY, f64::min);
+        let interval = config.migration_interval.max(1);
+        let mut generations = 0usize;
+        let mut stall = 0usize;
+        while generations < config.generations_per_event && stall < config.stall_generations {
+            let burst = interval.min(config.generations_per_event - generations);
+            par::for_each_parallel(threads, &mut islands, &|isl: &mut Island| {
+                island_burst(isl, burst, view, ctx, nproc, &config);
+            });
+            search.passes += burst as u32;
+            search.util_sum += island_util * burst as f64;
+
+            // Per-generation telemetry and stall accounting, aggregated
+            // deterministically on the driving thread — workers never
+            // emit, so tracing cannot perturb the decision stream.
+            for g in 0..burst {
+                let mut gen_best = f64::INFINITY;
+                let mut sum = 0.0;
+                for isl in &islands {
+                    gen_best = gen_best.min(isl.gen_stats[g].0);
+                    sum += isl.gen_stats[g].1;
+                }
+                self.telemetry.emit(t_now, || Event::GaGeneration {
+                    resource: self.label.clone(),
+                    generation: generations as u32,
+                    best_cost: gen_best,
+                    mean_cost: sum / total_pop as f64,
+                });
+                generations += 1;
+                if gen_best + 1e-12 < best_cost {
+                    best_cost = gen_best;
+                    stall = 0;
+                } else {
+                    stall += 1;
+                }
+            }
+
+            // Ring migration: island i's current champion replaces
+            // island (i+1)'s worst member, memo travelling with it so
+            // the migrant stays a valid delta parent. Migrants are
+            // snapshotted first (a simultaneous exchange, not a chain).
+            let migrants: Vec<(Solution, f64, DecodeMemo)> = islands
+                .iter()
+                .map(|isl| {
+                    let (bi, _) = argmin(&isl.costs);
+                    (
+                        isl.solutions[bi].clone(),
+                        isl.costs[bi],
+                        isl.memos[bi].clone(),
+                    )
+                })
+                .collect();
+            for (i, (sol, cost, memo)) in migrants.into_iter().enumerate() {
+                let dst = &mut islands[(i + 1) % k];
+                let (wi, _) = argmax(&dst.costs);
+                dst.solutions[wi] = sol;
+                dst.costs[wi] = cost;
+                dst.memos[wi] = memo;
+            }
         }
+        search.converged = stall >= config.stall_generations;
+
+        for isl in &islands {
+            search.evaluations += isl.evaluations;
+            search.decoded_positions += isl.decoded;
+        }
+        // Champion across islands, ties to the lowest index.
+        let mut champ = 0usize;
+        for (i, isl) in islands.iter().enumerate() {
+            if isl.best_cost < islands[champ].best_cost {
+                champ = i;
+            }
+        }
+        let best_solution = islands[champ].best.clone();
+        // Reassemble the population so absorption and reseeding between
+        // events keep working on the full individual set.
+        self.population.clear();
+        self.costs.clear();
+        for isl in &mut islands {
+            self.costs.extend_from_slice(&isl.costs);
+            self.population.append(&mut isl.solutions);
+        }
+        (best_solution, generations, search)
     }
 
     /// Refresh the two heuristic seeds against the *current* resource
@@ -385,27 +689,22 @@ impl GaScheduler {
     /// behind FIFO by the cost function. Without this, the seeds only
     /// exist at reseed time and decay as tasks are absorbed at random
     /// positions.
-    fn inject_heuristic_seeds(
-        &mut self,
-        view: &ResourceView,
-        tasks: &[Task],
-        engine: &CachedEngine,
-    ) {
+    fn inject_heuristic_seeds(&mut self, view: &ResourceView, tasks: &[Task], ctx: &EvalContext) {
         let m = tasks.len();
         let n = self.population.len();
         if m == 0 || n < 4 {
             return;
         }
-        self.population[n - 1] = greedy_seed(view, tasks, engine, |i| i);
+        self.population[n - 1] = greedy_seed(view, ctx, |i| i);
         let mut by_deadline: Vec<usize> = (0..m).collect();
         by_deadline.sort_by_key(|i| tasks[*i].deadline);
-        self.population[n - 2] = greedy_seed(view, tasks, engine, |p| by_deadline[p]);
+        self.population[n - 2] = greedy_seed(view, ctx, |p| by_deadline[p]);
     }
 
     /// (Re)seed the population if it is missing or inconsistent with the
     /// task set: two heuristic seeds (arrival-order greedy and
     /// earliest-deadline-first greedy) plus random individuals.
-    fn ensure_population(&mut self, view: &ResourceView, tasks: &[Task], engine: &CachedEngine) {
+    fn ensure_population(&mut self, view: &ResourceView, tasks: &[Task], ctx: &EvalContext) {
         let m = tasks.len();
         let consistent = self.ntasks == m
             && self.population.len() == self.config.population
@@ -418,12 +717,11 @@ impl GaScheduler {
         }
         let nproc = view.model.nproc;
         self.population.clear();
-        self.population
-            .push(greedy_seed(view, tasks, engine, |i| i));
+        self.population.push(greedy_seed(view, ctx, |i| i));
         let mut by_deadline: Vec<usize> = (0..m).collect();
         by_deadline.sort_by_key(|i| tasks[*i].deadline);
         self.population
-            .push(greedy_seed(view, tasks, engine, |p| by_deadline[p]));
+            .push(greedy_seed(view, ctx, |p| by_deadline[p]));
         while self.population.len() < self.config.population {
             self.population
                 .push(Solution::random(m, nproc, &mut self.rng));
@@ -432,38 +730,190 @@ impl GaScheduler {
     }
 }
 
+/// Hot-path accounting for one evolve call (telemetry payload only; every
+/// number is a pure function of the search structure, never of timing).
+#[derive(Clone, Copy, Debug, Default)]
+struct SearchStats {
+    evaluations: u64,
+    util_sum: f64,
+    passes: u32,
+    decoded_positions: u64,
+    converged: bool,
+}
+
+impl SearchStats {
+    fn absorb(&mut self, stats: par::EvalStats) {
+        self.evaluations += stats.evaluated as u64;
+        self.util_sum += stats.utilisation();
+        self.passes += 1;
+        self.decoded_positions += stats.decoded_positions;
+    }
+}
+
+/// One island subpopulation with everything its evolution touches, so a
+/// burst can run on any worker thread without shared state: solutions,
+/// costs, double-buffered memos, its own RNG stream (keyed by island
+/// index at construction) and decode scratch.
+struct Island {
+    solutions: Vec<Solution>,
+    costs: Vec<f64>,
+    memos: Vec<DecodeMemo>,
+    memos_next: Vec<DecodeMemo>,
+    lineage: Vec<Lineage>,
+    scratches: Vec<DecodeScratch>,
+    rng: RngStream,
+    /// Best cost ever observed on this island (elites may still lose it
+    /// when `elitism` is 0, so it is tracked, not derived).
+    best_cost: f64,
+    best: Solution,
+    /// Per-generation `(best, cost sum)` of the last burst, in order —
+    /// the driving thread aggregates these into the telemetry stream.
+    gen_stats: Vec<(f64, f64)>,
+    evaluations: u64,
+    decoded: u64,
+}
+
+/// Advance one island by `gens` generations: the same
+/// select/recombine/mutate/evaluate cycle as the single-population loop,
+/// but against the island's own RNG stream and with a sequential
+/// (1-thread) delta evaluation — cross-island parallelism is the outer
+/// loop's job.
+fn island_burst(
+    isl: &mut Island,
+    gens: usize,
+    view: &ResourceView,
+    ctx: &EvalContext,
+    nproc: usize,
+    config: &GaConfig,
+) {
+    isl.gen_stats.clear();
+    let pop = isl.solutions.len();
+    let elitism = config.elitism.min(pop.saturating_sub(2));
+    for _ in 0..gens {
+        let fitness = scale_fitness(&isl.costs);
+        let offspring_slots = pop - elitism;
+        let parents = stochastic_remainder(&fitness, offspring_slots, &mut isl.rng);
+
+        let mut next: Vec<Solution> = Vec::with_capacity(pop);
+        isl.lineage.clear();
+        for &i in &k_smallest(&isl.costs, elitism) {
+            next.push(isl.solutions[i].clone());
+            isl.lineage.push(Lineage::Parent(i));
+        }
+        let mut pi = 0;
+        while next.len() < pop {
+            let ia = parents[pi % parents.len()];
+            let ib = parents[(pi + 1) % parents.len()];
+            pi += 2;
+            let pa = &isl.solutions[ia];
+            let pb = &isl.solutions[ib];
+            let (mut c1, mut c2) = if isl.rng.gen::<f64>() < config.crossover_rate {
+                crossover(pa, pb, nproc, &mut isl.rng)
+            } else {
+                (pa.clone(), pb.clone())
+            };
+            mutate(
+                &mut c1,
+                nproc,
+                config.order_mutation_rate,
+                config.bit_mutation_rate,
+                &mut isl.rng,
+            );
+            next.push(c1);
+            isl.lineage.push(Lineage::Parent(ia));
+            if next.len() < pop {
+                mutate(
+                    &mut c2,
+                    nproc,
+                    config.order_mutation_rate,
+                    config.bit_mutation_rate,
+                    &mut isl.rng,
+                );
+                next.push(c2);
+                isl.lineage.push(Lineage::Parent(ib));
+            }
+        }
+
+        let prev = std::mem::replace(&mut isl.solutions, next);
+        let stats = if config.delta {
+            let s = par::evaluate_delta_into(
+                1,
+                view,
+                ctx,
+                &isl.solutions,
+                &isl.lineage,
+                &prev,
+                &isl.memos,
+                &mut isl.memos_next,
+                &mut isl.costs,
+                &mut isl.scratches,
+                &config.weights,
+            );
+            std::mem::swap(&mut isl.memos, &mut isl.memos_next);
+            s
+        } else {
+            isl.lineage.clear();
+            isl.lineage.resize(pop, Lineage::Fresh);
+            par::evaluate_delta_into(
+                1,
+                view,
+                ctx,
+                &isl.solutions,
+                &isl.lineage,
+                &[],
+                &[],
+                &mut isl.memos,
+                &mut isl.costs,
+                &mut isl.scratches,
+                &config.weights,
+            )
+        };
+        isl.evaluations += stats.evaluated as u64;
+        isl.decoded += stats.decoded_positions;
+        let (bi, bc) = argmin(&isl.costs);
+        if bc + 1e-12 < isl.best_cost {
+            isl.best_cost = bc;
+            isl.best = isl.solutions[bi].clone();
+        }
+        isl.gen_stats.push((bc, isl.costs.iter().sum()));
+    }
+}
+
 /// Greedy seed: tasks in the order induced by `order_of`, each allocated
-/// the earliest-completing `k`-earliest-free node set.
+/// the earliest-completing `k`-earliest-free node set. With the free
+/// times sorted ascending, the start of the `k`-widest candidate is just
+/// the `k`-th free time, so the scan is O(n) per task after the sort and
+/// only the winning mask is materialised — same selections as the former
+/// per-`k` mask build, measured on the same engine predictions (now read
+/// from the [`EvalContext`] table).
 fn greedy_seed(
     view: &ResourceView,
-    tasks: &[Task],
-    engine: &CachedEngine,
+    ctx: &EvalContext,
     order_of: impl Fn(usize) -> usize,
 ) -> Solution {
-    let m = tasks.len();
+    let m = ctx.task_count();
     let mut node_free = view.node_free.clone();
     let mut order = Vec::with_capacity(m);
     let mut mapping = Vec::with_capacity(m);
+    let mut sorted: Vec<usize> = Vec::new();
     for p in 0..m {
         let t = order_of(p);
-        let task = &tasks[t];
-        let mut best: Option<(SimTime, NodeMask)> = None;
-        let avail: Vec<usize> = view.available.iter().collect();
-        let mut sorted = avail.clone();
+        sorted.clear();
+        sorted.extend(view.available.iter());
         sorted.sort_by_key(|i| (node_free[*i], *i));
+        let mut best: Option<(SimTime, usize)> = None;
         for k in 1..=sorted.len() {
-            let mask = NodeMask::from_indices(sorted.iter().copied().take(k));
-            let start = mask
-                .iter()
-                .map(|i| node_free[i])
-                .fold(view.now, SimTime::max);
-            let exec = engine.evaluate(&task.app, &view.model, k);
+            // All free times are clamped to `now` at snapshot and only
+            // advance, so the max over the k earliest is the k-th entry.
+            let start = node_free[sorted[k - 1]].max(view.now);
+            let exec = ctx.exec_s(t, k);
             let completion = start + SimDuration::from_secs_f64(exec);
             if best.is_none_or(|(bc, _)| completion < bc) {
-                best = Some((completion, mask));
+                best = Some((completion, k));
             }
         }
-        let (completion, mask) = best.expect("at least one node available");
+        let (completion, k) = best.expect("at least one node available");
+        let mask = NodeMask::from_indices(sorted.iter().copied().take(k));
         for i in mask.iter() {
             node_free[i] = completion;
         }
@@ -481,6 +931,17 @@ fn argmin(costs: &[f64]) -> (usize, f64) {
         }
     }
     best
+}
+
+/// Index and value of the largest cost (the migration victim).
+fn argmax(costs: &[f64]) -> (usize, f64) {
+    let mut worst = (0usize, f64::NEG_INFINITY);
+    for (i, &c) in costs.iter().enumerate() {
+        if c > worst.1 {
+            worst = (i, c);
+        }
+    }
+    worst
 }
 
 /// Indices of the `k` smallest costs (stable by index).
@@ -553,7 +1014,15 @@ mod tests {
     #[test]
     fn ga_beats_or_matches_random_solutions() {
         let engine = CachedEngine::new();
-        let mut g = ga(3);
+        // Quality claim about the single-population search; pin islands
+        // so a GA_ISLANDS environment override (the CI island leg)
+        // doesn't shrink this already-tiny population into fragments
+        // that search marginally worse.
+        let config = GaConfig {
+            islands: 1,
+            ..GaConfig::default()
+        };
+        let mut g = GaScheduler::new(config, RngStream::root(3).derive("ga"));
         let a = app(vec![20.0, 12.0, 9.0, 8.0]);
         let tasks: Vec<Task> = (0..8).map(|i| task(i, a.clone(), 60)).collect();
         let v = view(4);
@@ -659,6 +1128,120 @@ mod tests {
             );
             assert_eq!(out.schedule.placements, base.schedule.placements);
             assert_eq!(out.generations, base.generations);
+        }
+    }
+
+    #[test]
+    fn delta_evaluation_does_not_change_the_outcome() {
+        // The delta/full-redecode knob must be invisible in results:
+        // same champion, same placements, same generation count — only
+        // the work done per generation differs.
+        let a = app(vec![12.0, 7.0, 5.0, 4.0]);
+        let tasks: Vec<Task> = (0..8).map(|i| task(i, a.clone(), 50)).collect();
+        let v = view(4);
+        let run = |config: GaConfig| {
+            let engine = CachedEngine::new();
+            let mut g = GaScheduler::new(config, RngStream::root(11).derive("ga"));
+            g.evolve(&v, &tasks, &engine)
+        };
+        for islands in [1usize, 2, 4] {
+            let base = run(GaConfig {
+                islands,
+                ..GaConfig::default()
+            });
+            let ablated = run(GaConfig {
+                islands,
+                ..GaConfig::default()
+            }
+            .without_delta());
+            assert_eq!(
+                base.cost.to_bits(),
+                ablated.cost.to_bits(),
+                "islands={islands}"
+            );
+            assert_eq!(base.schedule.placements, ablated.schedule.placements);
+            assert_eq!(base.generations, ablated.generations);
+        }
+    }
+
+    #[test]
+    fn island_outcome_is_identical_for_any_thread_count() {
+        // The island count *chooses* the evolution; threads only decide
+        // how many islands advance concurrently. For a fixed island
+        // count, every thread count must replay the same search.
+        let a = app(vec![12.0, 7.0, 5.0, 4.0]);
+        let tasks: Vec<Task> = (0..8).map(|i| task(i, a.clone(), 50)).collect();
+        let v = view(4);
+        let run = |threads: usize, islands: usize| {
+            let engine = CachedEngine::new();
+            let config = GaConfig {
+                threads,
+                islands,
+                ..GaConfig::default()
+            };
+            let mut g = GaScheduler::new(config, RngStream::root(13).derive("ga"));
+            let out = g.evolve(&v, &tasks, &engine);
+            let pop: Vec<Solution> = g.population().to_vec();
+            (out, pop)
+        };
+        for islands in [2usize, 4] {
+            let (base, base_pop) = run(1, islands);
+            for threads in [2usize, 4, 8] {
+                let (out, pop) = run(threads, islands);
+                assert_eq!(
+                    out.cost.to_bits(),
+                    base.cost.to_bits(),
+                    "islands={islands} threads={threads}"
+                );
+                assert_eq!(out.schedule.placements, base.schedule.placements);
+                assert_eq!(out.generations, base.generations);
+                // The whole surviving population — not just the champion
+                // — must match, or a later absorb would diverge.
+                assert_eq!(pop, base_pop, "islands={islands} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn island_mode_keeps_population_shape_and_legitimacy() {
+        let a = app(vec![14.0, 8.0, 6.0, 5.0]);
+        let v = view(4);
+        let engine = CachedEngine::new();
+        let config = GaConfig {
+            islands: 4,
+            ..GaConfig::default()
+        };
+        let mut g = GaScheduler::new(config, RngStream::root(21).derive("ga"));
+        let mut tasks: Vec<Task> = (0..9).map(|i| task(i, a.clone(), 60)).collect();
+        let out = g.evolve(&v, &tasks, &engine);
+        assert_eq!(out.schedule.placements.len(), 9);
+        assert_eq!(g.population().len(), g.config().population);
+        for s in g.population() {
+            assert!(s.is_legitimate(9, 4));
+        }
+        // Absorption still works on the reassembled population.
+        tasks.push(task(9, a.clone(), 60));
+        g.absorb_added_task(4);
+        let out = g.evolve(&v, &tasks, &engine);
+        assert_eq!(out.schedule.placements.len(), 10);
+    }
+
+    #[test]
+    fn island_request_clamps_to_viable_subpopulations() {
+        // 40 individuals / 4 = at most 10 islands; a silly request must
+        // not panic or create degenerate islands.
+        let a = app(vec![10.0, 6.0]);
+        let tasks: Vec<Task> = (0..5).map(|i| task(i, a.clone(), 60)).collect();
+        let engine = CachedEngine::new();
+        let config = GaConfig {
+            islands: 64,
+            ..GaConfig::default()
+        };
+        let mut g = GaScheduler::new(config, RngStream::root(5).derive("ga"));
+        let out = g.evolve(&view(2), &tasks, &engine);
+        assert_eq!(out.schedule.placements.len(), 5);
+        for s in g.population() {
+            assert!(s.is_legitimate(5, 2));
         }
     }
 

@@ -16,7 +16,8 @@
 //! boundaries (and therefore results) depend only on the requested
 //! thread count, never on the machine.
 
-use crate::decode::DecodeScratch;
+use crate::cost::CostWeights;
+use crate::decode::{evaluate_delta, DecodeMemo, DecodeScratch, EvalContext, ResourceView};
 use crate::solution::Solution;
 use std::sync::OnceLock;
 
@@ -26,6 +27,21 @@ use std::sync::OnceLock;
 fn host_parallelism() -> usize {
     static HOST: OnceLock<usize> = OnceLock::new();
     *HOST.get_or_init(|| std::thread::available_parallelism().map_or(1, usize::from))
+}
+
+/// Where one offspring came from, for delta evaluation: the breeding
+/// loop records, per individual of the new generation, which member of
+/// the previous generation it was derived from (elites and clones point
+/// at themselves/their originals; each crossover child points at the
+/// parent contributing its prefix). `Fresh` means no usable parent —
+/// evaluate from scratch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lineage {
+    /// No parent: full decode.
+    Fresh,
+    /// Derived from previous-generation individual `i`: resume from its
+    /// memo past the longest common prefix.
+    Parent(usize),
 }
 
 /// Occupancy accounting for one evaluation pass (telemetry payload; the
@@ -38,6 +54,9 @@ pub struct EvalStats {
     pub workers: usize,
     /// Chunk size each worker was handed (the last may get less).
     pub chunk: usize,
+    /// Solution positions actually decoded (delta passes only; the
+    /// legacy path reports 0 because it does not track positions).
+    pub decoded_positions: u64,
 }
 
 impl EvalStats {
@@ -88,6 +107,7 @@ where
         evaluated: solutions.len(),
         workers,
         chunk,
+        decoded_positions: 0,
     };
 
     if workers == 1 {
@@ -133,6 +153,155 @@ where
         }
     });
     stats
+}
+
+/// Delta-evaluate `solutions` into `costs` and `memos`, resuming each
+/// individual from its recorded [`Lineage`] parent in the previous
+/// generation (`prev`/`prev_memos`). Chunk boundaries are computed
+/// exactly as in [`evaluate_into`] — a pure function of `threads` and the
+/// population size — and every evaluation is a pure function of its own
+/// solution, its parent's frozen memo and the frozen view/context, so the
+/// outputs are bit-identical for any thread count.
+#[allow(clippy::too_many_arguments)] // one call site per mode; a params struct would just rename the arguments
+pub fn evaluate_delta_into(
+    threads: usize,
+    view: &ResourceView,
+    ctx: &EvalContext,
+    solutions: &[Solution],
+    lineage: &[Lineage],
+    prev: &[Solution],
+    prev_memos: &[DecodeMemo],
+    memos: &mut Vec<DecodeMemo>,
+    costs: &mut Vec<f64>,
+    scratches: &mut Vec<DecodeScratch>,
+    weights: &CostWeights,
+) -> EvalStats {
+    debug_assert_eq!(solutions.len(), lineage.len());
+    costs.clear();
+    costs.resize(solutions.len(), 0.0);
+    memos.truncate(solutions.len());
+    memos.resize_with(solutions.len(), DecodeMemo::default);
+    if solutions.is_empty() {
+        return EvalStats::default();
+    }
+    let workers = threads.max(1).min(solutions.len());
+    if scratches.len() < workers {
+        scratches.resize_with(workers, DecodeScratch::default);
+    }
+    let chunk = solutions.len().div_ceil(workers);
+
+    let eval_one = |cost: &mut f64,
+                    memo: &mut DecodeMemo,
+                    sol: &Solution,
+                    lin: Lineage,
+                    scratch: &mut DecodeScratch| {
+        let parent = match lin {
+            Lineage::Fresh => None,
+            Lineage::Parent(j) => Some((&prev[j], &prev_memos[j])),
+        };
+        *cost = evaluate_delta(view, ctx, sol, parent, memo, scratch, weights);
+    };
+
+    if workers == 1 {
+        let scratch = &mut scratches[0];
+        for (((cost, memo), sol), &lin) in costs
+            .iter_mut()
+            .zip(memos.iter_mut())
+            .zip(solutions)
+            .zip(lineage)
+        {
+            eval_one(cost, memo, sol, lin, scratch);
+        }
+    } else {
+        let spawn = workers.min(host_parallelism());
+        type Job<'a> = (
+            &'a mut [f64],
+            &'a mut [DecodeMemo],
+            &'a [Solution],
+            &'a [Lineage],
+            &'a mut DecodeScratch,
+        );
+        let jobs: Vec<Job> = costs
+            .chunks_mut(chunk)
+            .zip(memos.chunks_mut(chunk))
+            .zip(solutions.chunks(chunk))
+            .zip(lineage.chunks(chunk))
+            .zip(scratches.iter_mut())
+            .map(|((((cc, mc), sc), lc), scratch)| (cc, mc, sc, lc, scratch))
+            .collect();
+        let per_thread = jobs.len().div_ceil(spawn);
+        let eval_one = &eval_one;
+        std::thread::scope(|scope| {
+            let mut rest = jobs;
+            let first: Vec<_> = rest.drain(..per_thread.min(rest.len())).collect();
+            while !rest.is_empty() {
+                let group: Vec<_> = rest.drain(..per_thread.min(rest.len())).collect();
+                scope.spawn(move || {
+                    for (cc, mc, sc, lc, scratch) in group {
+                        for (((cost, memo), sol), &lin) in
+                            cc.iter_mut().zip(mc.iter_mut()).zip(sc).zip(lc)
+                        {
+                            eval_one(cost, memo, sol, lin, scratch);
+                        }
+                    }
+                });
+            }
+            for (cc, mc, sc, lc, scratch) in first {
+                for (((cost, memo), sol), &lin) in cc.iter_mut().zip(mc.iter_mut()).zip(sc).zip(lc)
+                {
+                    eval_one(cost, memo, sol, lin, scratch);
+                }
+            }
+        });
+    }
+    EvalStats {
+        evaluated: solutions.len(),
+        workers,
+        chunk,
+        decoded_positions: memos.iter().map(DecodeMemo::decoded_positions).sum(),
+    }
+}
+
+/// Run `work` once over every item, splitting the items across up to
+/// `threads` scoped OS threads (capped at host parallelism, driving
+/// thread included). The island evolver uses this to advance whole
+/// subpopulations concurrently: each item is processed exactly once, in
+/// isolation, mutating only its own state — so results cannot depend on
+/// the thread count or OS scheduling, only on the items themselves.
+pub fn for_each_parallel<T, F>(threads: usize, items: &mut [T], work: &F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let workers = threads.max(1).min(items.len());
+    if workers <= 1 {
+        for item in items {
+            work(item);
+        }
+        return;
+    }
+    let spawn = workers.min(host_parallelism());
+    let chunk = items.len().div_ceil(workers);
+    let mut chunks: Vec<&mut [T]> = items.chunks_mut(chunk).collect();
+    let per_thread = chunks.len().div_ceil(spawn);
+    std::thread::scope(|scope| {
+        let first: Vec<_> = chunks.drain(..per_thread.min(chunks.len())).collect();
+        while !chunks.is_empty() {
+            let group: Vec<_> = chunks.drain(..per_thread.min(chunks.len())).collect();
+            scope.spawn(move || {
+                for ch in group {
+                    for item in ch.iter_mut() {
+                        work(item);
+                    }
+                }
+            });
+        }
+        for ch in first {
+            for item in ch {
+                work(item);
+            }
+        }
+    });
 }
 
 #[cfg(test)]

@@ -35,10 +35,10 @@ pub mod task;
 
 pub use batch::{BatchConfig, BatchPolicy};
 pub use cost::{CostWeights, ScheduleCost};
-pub use decode::{decode, DecodedSchedule, ResourceView};
+pub use decode::{decode, evaluate_delta, DecodeMemo, DecodedSchedule, EvalContext, ResourceView};
 pub use fifo::FifoPolicy;
 pub use ga::{GaConfig, GaScheduler};
-pub use gantt::{Gantt, GanttBar};
+pub use gantt::{Gantt, GanttBar, ScheduleLedger};
 pub use solution::Solution;
 pub use system::{PolicyConfig, SchedulerSystem, StartedTask};
 pub use task::{CompletedTask, Task, TaskId};

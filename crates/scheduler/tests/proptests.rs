@@ -5,11 +5,13 @@ use agentgrid_pace::{
     AppId, ApplicationModel, CachedEngine, ModelCurve, Platform, ResourceModel, TabulatedModel,
 };
 use agentgrid_scheduler::cost::scale_fitness;
-use agentgrid_scheduler::decode::{decode, ResourceView};
+use agentgrid_scheduler::decode::{
+    decode, evaluate_delta, DecodeMemo, DecodeScratch, EvalContext, ResourceView,
+};
 use agentgrid_scheduler::fifo::{best_allocation, best_allocation_exhaustive};
 use agentgrid_scheduler::ga::ops::{crossover, mutate};
 use agentgrid_scheduler::ga::select::stochastic_remainder;
-use agentgrid_scheduler::{Solution, Task, TaskId};
+use agentgrid_scheduler::{CostWeights, ScheduleCost, Solution, Task, TaskId};
 use agentgrid_sim::SimTime;
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -102,6 +104,81 @@ proptest! {
             .map(|p| p.completion.saturating_since(tasks[p.task].deadline).as_secs_f64())
             .sum();
         prop_assert!((d.lateness_s - expected_late).abs() < 1e-6);
+    }
+
+    /// Delta-repaired evaluation matches a from-scratch full decode bit
+    /// for bit across random mutation/crossover chains — the contract
+    /// the GA leans on every generation. Runs under the debug-build
+    /// cross-check inside `evaluate_delta`, so the memo internals
+    /// (prefix states, ledger replay, pocket columns) are verified on
+    /// every resumed step too, not just the final cost.
+    #[test]
+    fn delta_chain_matches_full_decode(
+        m in 1usize..16,
+        nproc in 1usize..=8,
+        seed in any::<u64>(),
+        steps in 1usize..25,
+        order_rate in 0.0f64..=1.0,
+        bit_rate in 0.0f64..=0.5,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let times: Vec<f64> = (1..=nproc).map(|k| 45.0 / k as f64 + 2.0).collect();
+        let tasks: Vec<Task> = (0..m)
+            .map(|i| Task::new(
+                TaskId(i as u64),
+                app_with_id(i as u32, times.clone()),
+                SimTime::ZERO,
+                SimTime::from_secs(40 + (i as u64 % 7) * 10),
+                ExecEnv::Test,
+            ))
+            .collect();
+        let resource = GridResource::new("R", Platform::sgi_origin2000(), nproc);
+        let view = ResourceView::snapshot(&resource, SimTime::ZERO).unwrap();
+        let engine = CachedEngine::new();
+        let ctx = EvalContext::build(&view, &tasks, &engine);
+        let weights = CostWeights::default();
+        let mut scratch = DecodeScratch::default();
+
+        let mut parent = Solution::random(m, nproc, &mut rng);
+        let mut parent_memo = DecodeMemo::default();
+        let mut child_memo = DecodeMemo::default();
+        evaluate_delta(&view, &ctx, &parent, None, &mut parent_memo, &mut scratch, &weights);
+
+        for step in 0..steps {
+            // Alternate the GA's real variation operators so divergence
+            // points land everywhere: early (crossover tails), late
+            // (single bit flips), or nowhere (no-op mutations → the
+            // memoised d == m path).
+            let child = if step % 3 == 2 {
+                let partner = Solution::random(m, nproc, &mut rng);
+                crossover(&parent, &partner, nproc, &mut rng).0
+            } else {
+                let mut c = parent.clone();
+                mutate(&mut c, nproc, order_rate, bit_rate, &mut rng);
+                c
+            };
+            let got = evaluate_delta(
+                &view,
+                &ctx,
+                &child,
+                Some((&parent, &parent_memo)),
+                &mut child_memo,
+                &mut scratch,
+                &weights,
+            );
+            let d = decode(&view, &tasks, &child, &engine);
+            let want = ScheduleCost::of_parts(
+                d.makespan_rel_s,
+                &d.idle_pockets,
+                d.lateness_s,
+                d.alloc_node_s,
+                &weights,
+            )
+            .combined(&weights);
+            prop_assert_eq!(got.to_bits(), want.to_bits(), "diverged at step {}", step);
+            std::mem::swap(&mut parent_memo, &mut child_memo);
+            parent = child;
+        }
     }
 
     /// The O(n²) FIFO search finds the same optimal completion time as

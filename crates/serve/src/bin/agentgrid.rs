@@ -61,7 +61,7 @@ USAGE:
   agentgrid table3   [--requests N] [--seed S] [--json] [--verify]
   agentgrid run      [--policy fifo|ga|batch] [--agents] [--topology SPEC]
                      [--requests N] [--seed S] [--noise SIGMA] [--json]
-                     [--ga-threads N] [--verify]
+                     [--ga-threads N] [--ga-islands N] [--verify]
                      [--trace FILE] [--trace-format jsonl|chrome]
   agentgrid serve    [--fast-forward | --speed X] [--listen ADDR] [--tune]
                      [--input FILE] [--metrics-out FILE] [--json] [--verify]
@@ -96,6 +96,10 @@ SCHEDULING:
   --ga-threads N          OS threads for GA fitness evaluation (default 1,
                           or the GA_THREADS environment variable); results
                           are bit-identical for any thread count
+  --ga-islands N          evolve N deterministic subpopulations with
+                          periodic best-individual migration (default 1,
+                          or the GA_ISLANDS environment variable); island
+                          count changes the search, thread count never does
 
 TOPOLOGY SPECS:
   case-study              the paper's 12-resource grid (default)
@@ -122,6 +126,7 @@ struct Flags {
     noise: f64,
     json: bool,
     ga_threads: Option<usize>,
+    ga_islands: Option<usize>,
     trace: Option<String>,
     trace_format: TraceFormat,
     verify: bool,
@@ -145,6 +150,7 @@ impl Flags {
             noise: 0.0,
             json: false,
             ga_threads: None,
+            ga_islands: None,
             trace: None,
             trace_format: TraceFormat::Jsonl,
             verify: false,
@@ -185,6 +191,13 @@ impl Flags {
                         return Err("--ga-threads must be at least 1".to_string());
                     }
                     flags.ga_threads = Some(n);
+                }
+                "--ga-islands" => {
+                    let n: usize = value("--ga-islands")?.parse().map_err(|e| format!("{e}"))?;
+                    if n == 0 {
+                        return Err("--ga-islands must be at least 1".to_string());
+                    }
+                    flags.ga_islands = Some(n);
                 }
                 "--verify" => flags.verify = true,
                 "--trace" => flags.trace = Some(value("--trace")?),
@@ -245,6 +258,9 @@ impl Flags {
         }
         if let Some(threads) = self.ga_threads {
             opts.ga.threads = threads;
+        }
+        if let Some(islands) = self.ga_islands {
+            opts.ga.islands = islands;
         }
         opts
     }

@@ -115,6 +115,13 @@ pub enum Event {
         fast_hits: u64,
         /// Mean fraction of worker slots doing useful work, `[0, 1]`.
         pool_utilisation: f64,
+        /// Island subpopulations evolved in parallel (1 = single
+        /// population).
+        islands: u32,
+        /// Solution-string positions actually decoded by the delta
+        /// evaluator; `evaluations × tasks` when delta is off, less when
+        /// prefix resumes and memo copies kicked in.
+        delta_positions: u64,
     },
     /// The evaluation cache missed and consulted the PACE engine.
     CacheEvaluate {
@@ -441,6 +448,8 @@ impl TimedEvent {
                 scratch_reuses,
                 fast_hits,
                 pool_utilisation,
+                islands,
+                delta_positions,
             } => {
                 push("resource", json::s(resource.clone()));
                 push("threads", json::num(f64::from(*threads)));
@@ -449,6 +458,8 @@ impl TimedEvent {
                 push("scratch_reuses", json::num(*scratch_reuses as f64));
                 push("fast_hits", json::num(*fast_hits as f64));
                 push("pool_utilisation", json::num(*pool_utilisation));
+                push("islands", json::num(f64::from(*islands)));
+                push("delta_positions", json::num(*delta_positions as f64));
             }
             Event::CacheEvaluate {
                 app,
@@ -634,6 +645,10 @@ impl TimedEvent {
                 scratch_reuses: u64_field("scratch_reuses")?,
                 fast_hits: u64_field("fast_hits")?,
                 pool_utilisation: f64_field("pool_utilisation")?,
+                // Added after the field set above shipped; absent in
+                // older traces, so default rather than reject.
+                islands: u32_field("islands").unwrap_or(1),
+                delta_positions: u64_field("delta_positions").unwrap_or(0),
             },
             "cache_evaluate" => Event::CacheEvaluate {
                 app: u32_field("app")?,
@@ -775,6 +790,8 @@ pub(crate) fn one_of_each_variant() -> Vec<TimedEvent> {
             scratch_reuses: 1630,
             fast_hits: 15_000,
             pool_utilisation: 0.875,
+            islands: 4,
+            delta_positions: 9_800,
         },
         Event::CacheEvaluate {
             app: 3,
