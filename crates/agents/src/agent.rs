@@ -309,6 +309,30 @@ impl Agent {
         self.act.update(from, info, now);
     }
 
+    /// [`Agent::receive_advertisement`] with the telemetry record
+    /// *deferred*: the would-be [`Event::Advertise`] is appended to
+    /// `buf` instead of being emitted. Shard workers apply pull batches
+    /// through this and the coordinator replays the buffered events in
+    /// sequential delivery order, so the recorded stream is identical to
+    /// an unsharded run. No-op buffering when telemetry is disabled.
+    pub fn receive_advertisement_into(
+        &mut self,
+        from: ResourceId,
+        info: ServiceInfo,
+        now: SimTime,
+        push: bool,
+        buf: &mut Vec<Event>,
+    ) {
+        if self.telemetry.is_enabled() {
+            buf.push(Event::Advertise {
+                agent: self.names.name(from).to_string(),
+                to: self.names.name(self.id).to_string(),
+                push,
+            });
+        }
+        self.act.update(from, info, now);
+    }
+
     /// Merge a gossiped capability table (keep-freshest; entries about
     /// this agent itself are dropped).
     pub fn merge_act(&mut self, table: &Act) {

@@ -219,6 +219,51 @@ impl Hierarchy {
         &mut self.agents[id.index()]
     }
 
+    /// Every agent as one id-indexed mutable slice. The sharded
+    /// simulation splits this with `split_at_mut` into disjoint
+    /// contiguous-id sub-slices, one per shard, so worker threads mutate
+    /// their shard's agents without locks or unsafe code.
+    pub fn agents_mut(&mut self) -> &mut [Agent] {
+        &mut self.agents
+    }
+
+    /// Partition the id space into `shards` contiguous ranges balanced
+    /// on per-agent *degree weight* (1 + neighbour count): the cost of
+    /// handling an agent's advertisement pull is proportional to its
+    /// neighbour degree, so inner tree nodes count more than leaves.
+    /// The boundaries are a pure function of the hierarchy and the
+    /// requested shard count — never of thread scheduling — which is
+    /// what keeps sharded runs reproducible. Ranges are expressed as
+    /// `start` indices; shard `s` covers `bounds[s]..bounds[s + 1]`,
+    /// with `bounds.len() == shards + 1`. Shards may be empty when the
+    /// weight distribution is skewed or there are more shards than
+    /// agents.
+    pub fn shard_bounds(&self, shards: usize) -> Vec<usize> {
+        let shards = shards.max(1);
+        let weights: Vec<u64> = self
+            .agents
+            .iter()
+            .map(|a| 1 + a.neighbour_ids().count() as u64)
+            .collect();
+        let total: u64 = weights.iter().sum();
+        let mut bounds = Vec::with_capacity(shards + 1);
+        bounds.push(0);
+        let mut acc = 0u64;
+        let mut next = 0usize;
+        for s in 1..=shards {
+            // Greedy prefix cut at the s-th weight quantile; each shard
+            // gets at least the agent its cut lands on, so cuts are
+            // monotone and the final bound is exactly `len`.
+            let target = total * s as u64 / shards as u64;
+            while next < self.agents.len() && (acc < target || s == shards) {
+                acc += weights[next];
+                next += 1;
+            }
+            bounds.push(next);
+        }
+        bounds
+    }
+
     /// All agent names in deterministic (id == lexicographic) order.
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.names.names()
@@ -348,5 +393,40 @@ mod tests {
         let h = Hierarchy::from_parents(&[("solo", None)]).unwrap();
         assert_eq!(h.head(), "solo");
         assert_eq!(h.get("solo").unwrap().lower().len(), 0);
+    }
+
+    #[test]
+    fn shard_bounds_cover_the_id_space_exactly() {
+        let h = Hierarchy::case_study();
+        for shards in 1..=8 {
+            let bounds = h.shard_bounds(shards);
+            assert_eq!(bounds.len(), shards + 1);
+            assert_eq!(bounds[0], 0);
+            assert_eq!(*bounds.last().unwrap(), h.len());
+            assert!(bounds.windows(2).all(|w| w[0] <= w[1]), "{bounds:?}");
+        }
+        // One shard is the whole grid; more shards than agents leaves
+        // the extras empty but still covers everything.
+        assert_eq!(h.shard_bounds(1), [0, 12]);
+        assert_eq!(*h.shard_bounds(64).last().unwrap(), 12);
+    }
+
+    #[test]
+    fn shard_bounds_balance_on_degree_weight() {
+        let h = Hierarchy::case_study();
+        // Total weight: 12 agents + 2 neighbour-list entries per edge.
+        let bounds = h.shard_bounds(2);
+        let weight = |lo: usize, hi: usize| -> u64 {
+            (lo..hi)
+                .map(|i| {
+                    let a = h.agent(agentgrid_telemetry::ResourceId(i as u32));
+                    1 + a.neighbour_ids().count() as u64
+                })
+                .sum()
+        };
+        let (a, b) = (weight(0, bounds[1]), weight(bounds[1], 12));
+        let total = a + b;
+        // Each half within one max-degree agent of the ideal split.
+        assert!(a.abs_diff(b) <= 2 * (total / 12 + 4), "{a} vs {b}");
     }
 }

@@ -14,17 +14,27 @@
 //! modes must agree on every simulation outcome — horizon, migrations,
 //! hops, event count — which the sweep asserts.
 //!
+//! A second sweep exercises the sharded event loop (DESIGN.md §13) at
+//! scale: complete 4-ary trees of 5 461 and 21 845 agents — the latter
+//! pushing 1 048 560 requests through the grid — run at shard counts
+//! 1/2/4 plus a thread-count probe. Every sharded run is asserted
+//! bit-identical to the sequential reference on events, horizon,
+//! migrations, discovery hops and pull messages; the recorded speedups
+//! are only meaningful on multi-core hosts (the merge barrier keeps
+//! outcomes identical regardless, which is the point of the gate).
+//!
 //! Writes `BENCH_gridscale.json` (override with `--out PATH`); the
-//! largest shape also gets a per-layer breakdown from the telemetry
-//! aggregator. `--quick` shrinks the sweep for CI smoke runs;
-//! `--baseline` measures only the legacy paths.
+//! largest legacy shape also gets a per-layer breakdown from the
+//! telemetry aggregator. `--quick` shrinks both sweeps for CI smoke
+//! runs; `--baseline` measures only the legacy paths and skips the
+//! shard sweep.
 //!
 //! ```text
 //! cargo run -p agentgrid-bench --bin gridscale --release
 //! ```
 
 use agentgrid::prelude::*;
-use agentgrid_bench::{grid_totals, run_grid, GridRun};
+use agentgrid_bench::{grid_totals, run_grid, run_grid_sharded, GridRun};
 use agentgrid_telemetry::json::{self, Value};
 use std::sync::Arc;
 use std::time::Duration;
@@ -45,6 +55,7 @@ struct Measured {
     horizon_s: f64,
     migrations: usize,
     discovery_hops: u64,
+    pull_messages: u64,
     utilisation_pct: f64,
     balance_pct: f64,
 }
@@ -58,15 +69,49 @@ fn measure(run: &GridRun, topology: &GridTopology) -> Measured {
         horizon_s: run.grid.horizon().as_secs_f64(),
         migrations: run.grid.migrations(),
         discovery_hops: run.grid.discovery_hops(),
+        pull_messages: run.grid.pull_messages(),
         utilisation_pct,
         balance_pct,
     }
 }
 
-fn shape_workload(topology: &GridTopology, per_agent: usize, seed: u64) -> WorkloadConfig {
+/// Every simulation outcome two runs of the same workload must agree
+/// on. The shard sweep is the sharp edge: a merge-barrier bug shows up
+/// here as a diverged event count or pull total.
+fn assert_same_outcomes(label: &str, got: &Measured, want: &Measured) {
+    assert_eq!(got.events, want.events, "{label}: event count diverged");
+    assert_eq!(got.horizon_s, want.horizon_s, "{label}: horizon diverged");
+    assert_eq!(
+        got.migrations, want.migrations,
+        "{label}: migrations diverged"
+    );
+    assert_eq!(
+        got.discovery_hops, want.discovery_hops,
+        "{label}: discovery hops diverged"
+    );
+    assert_eq!(
+        got.pull_messages, want.pull_messages,
+        "{label}: pull messages diverged"
+    );
+    assert_eq!(
+        got.utilisation_pct, want.utilisation_pct,
+        "{label}: utilisation diverged"
+    );
+    assert_eq!(
+        got.balance_pct, want.balance_pct,
+        "{label}: balance diverged"
+    );
+}
+
+fn shape_workload(
+    topology: &GridTopology,
+    per_agent: usize,
+    interarrival: SimDuration,
+    seed: u64,
+) -> WorkloadConfig {
     WorkloadConfig {
         requests: topology.resources.len() * per_agent,
-        interarrival: SimDuration::from_secs(1),
+        interarrival,
         seed,
         agents: topology.names(),
         environment: ExecEnv::Test,
@@ -135,7 +180,7 @@ fn main() {
     for &levels in shapes {
         let topology = GridTopology::tree(levels, branching, nproc);
         let agents = topology.resources.len();
-        let workload = shape_workload(&topology, per_agent, seed);
+        let workload = shape_workload(&topology, per_agent, SimDuration::from_secs(1), seed);
         let mut row = Row {
             topology: format!("{levels}lv x{branching}"),
             agents,
@@ -154,26 +199,7 @@ fn main() {
         // Determinism gate: the rework must not change a single
         // simulation outcome, only the wall time spent reaching it.
         if let (Some(fast), Some(base)) = (&row.fast, &row.baseline) {
-            assert_eq!(
-                fast.events, base.events,
-                "{}: event count diverged",
-                row.topology
-            );
-            assert_eq!(
-                fast.horizon_s, base.horizon_s,
-                "{}: horizon diverged",
-                row.topology
-            );
-            assert_eq!(
-                fast.migrations, base.migrations,
-                "{}: migrations diverged",
-                row.topology
-            );
-            assert_eq!(
-                fast.discovery_hops, base.discovery_hops,
-                "{}: discovery hops diverged",
-                row.topology
-            );
+            assert_same_outcomes(&row.topology, fast, base);
         }
 
         let speedup = match (&row.fast, &row.baseline) {
@@ -197,6 +223,120 @@ fn main() {
         rows.push(row);
     }
 
+    // Shard sweep (DESIGN.md §13): the big shapes the sharded loop
+    // targets, run sequentially and at 2/4 shards, plus a thread-count
+    // probe (4 shards on 1 worker). Each (levels, requests/agent,
+    // interarrival, pull period) tuple bounds the horizon — and with it
+    // the pull count, which scales as agents x horizon / period — while
+    // the largest shape still pushes over a million requests. The
+    // horizon is work-limited here (the flood of requests drains for
+    // thousands of sim-seconds), so the 21 845-agent shape pulls on a
+    // 60 s period: at 10 s it would process a quarter-billion pull
+    // events per run, all measuring the same code path.
+    let shard_shapes: &[(u32, usize, f64, u64)] = if baseline_only {
+        &[]
+    } else if quick {
+        &[(4, 4, 0.1, 10)] // 85 agents, 340 requests
+    } else {
+        // 5 461 agents x 8 = 43 688 and 21 845 agents x 48 = 1 048 560.
+        &[(7, 8, 0.02, 10), (8, 48, 0.002, 60)]
+    };
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    type ShardRow = (
+        String,
+        usize,
+        usize,
+        f64,
+        u64,
+        Vec<(usize, Option<usize>, Measured)>,
+    );
+    let mut shard_rows: Vec<ShardRow> = Vec::new();
+    if !shard_shapes.is_empty() {
+        eprintln!(
+            "shard sweep: {} worker thread(s) available{}",
+            host_parallelism,
+            if host_parallelism == 1 {
+                " — speedups will be flat, equality gates still bind"
+            } else {
+                ""
+            }
+        );
+        println!(
+            "\n{:<10}{:>8}{:>10}{:>8}{:>9}{:>12}{:>14}{:>9}",
+            "grid", "agents", "requests", "shards", "workers", "wall", "events/s", "vs seq"
+        );
+    }
+    for &(levels, per_agent, interarrival_s, pull_period_s) in shard_shapes {
+        let topology = GridTopology::tree(levels, branching, nproc);
+        let agents = topology.resources.len();
+        let workload = shape_workload(
+            &topology,
+            per_agent,
+            SimDuration::from_secs_f64(interarrival_s),
+            seed,
+        );
+        let mut opts = opts.clone();
+        opts.advertisement = AdvertisementStrategy::PeriodicPull {
+            period: SimDuration::from_secs(pull_period_s),
+        };
+        // FIFO local queues, discovery on. The sweep measures the event
+        // loop, and at these request counts a GA local policy measures
+        // only itself: the pre-advertisement arrival flood piles tasks
+        // onto few resources and every submit then re-evolves a
+        // thousands-deep chromosome — quadratic scheduler work that is
+        // identical across shard counts and has its own bench
+        // (`hotpath`). Advertisement pulls — the sharded event class —
+        // don't depend on the local policy.
+        let design = ExperimentDesign {
+            number: 3,
+            local_policy: LocalPolicy::Fifo,
+            agents_enabled: true,
+        };
+        // (shards, workers): 1 is the plain sequential loop and the
+        // reference every other row must match bit-for-bit; the
+        // (4, Some(1)) probe pins thread-count invariance — same shard
+        // geometry, one worker, identical outcomes. The probe runs on
+        // the smaller shape only: one extra full pass over the million-
+        // request shape buys nothing the 5 461-agent pass doesn't.
+        let sweep: &[(usize, Option<usize>)] = if agents < 10_000 {
+            &[(1, None), (2, None), (4, None), (4, Some(1))]
+        } else {
+            &[(1, None), (2, None), (4, None)]
+        };
+        let mut runs: Vec<(usize, Option<usize>, Measured)> = Vec::new();
+        for &(shards, workers) in sweep {
+            let run = run_grid_sharded(&topology, &workload, &opts, &design, shards, workers);
+            let m = measure(&run, &topology);
+            if let Some((_, _, reference)) = runs.first() {
+                let label = format!("{levels}lv x{branching} shards={shards}");
+                assert_same_outcomes(&label, &m, reference);
+            }
+            println!(
+                "{:<10}{:>8}{:>10}{:>8}{:>9}{:>12}{:>14.0}{:>8.2}x",
+                format!("{levels}lv x{branching}"),
+                agents,
+                workload.requests,
+                shards,
+                workers.map_or_else(|| "auto".into(), |w| w.to_string()),
+                format!("{:.2?}", m.wall),
+                m.events_per_sec,
+                m.events_per_sec
+                    / runs
+                        .first()
+                        .map_or(m.events_per_sec, |(_, _, r)| r.events_per_sec),
+            );
+            runs.push((shards, workers, m));
+        }
+        shard_rows.push((
+            format!("{levels}lv x{branching}"),
+            agents,
+            workload.requests,
+            interarrival_s,
+            pull_period_s,
+            runs,
+        ));
+    }
+
     // Per-layer breakdown of the largest shape via the telemetry
     // aggregator (a separate run: the recorder itself costs time).
     let breakdown = if baseline_only {
@@ -204,7 +344,7 @@ fn main() {
     } else {
         let levels = *shapes.last().expect("non-empty sweep");
         let topology = GridTopology::tree(levels, branching, nproc);
-        let workload = shape_workload(&topology, per_agent, seed);
+        let workload = shape_workload(&topology, per_agent, SimDuration::from_secs(1), seed);
         let recorder = Arc::new(AggregateRecorder::new());
         let mut traced = opts.clone();
         traced.telemetry = Telemetry::new(recorder.clone());
@@ -245,6 +385,7 @@ fn main() {
             ("horizon_s", json::num(m.horizon_s)),
             ("migrations", json::num(m.migrations as f64)),
             ("discovery_hops", json::num(m.discovery_hops as f64)),
+            ("pull_messages", json::num(m.pull_messages as f64)),
             ("utilisation_pct", json::num(m.utilisation_pct)),
             ("balance_pct", json::num(m.balance_pct)),
         ])
@@ -298,6 +439,72 @@ fn main() {
                     })
                     .collect(),
             ),
+        ),
+        (
+            "shard_sweep",
+            json::obj(vec![
+                (
+                    "description",
+                    json::s(
+                        "sharded event loop (DESIGN.md §13) at scale: every row is asserted \
+                         bit-identical to the shards=1 sequential reference on events, horizon, \
+                         migrations, discovery hops and pull messages; (shards=4, workers=1) \
+                         probes thread-count invariance; FIFO local queues with discovery on \
+                         (the GA measures only itself at these request counts and has its own \
+                         bench)",
+                    ),
+                ),
+                ("host_parallelism", json::num(host_parallelism as f64)),
+                (
+                    "shapes",
+                    Value::Arr(
+                        shard_rows
+                            .iter()
+                            .map(
+                                |(topology, agents, requests, interarrival_s, period, runs)| {
+                                    let reference = runs
+                                        .first()
+                                        .map(|(_, _, m)| m.events_per_sec)
+                                        .unwrap_or(0.0);
+                                    json::obj(vec![
+                                        ("topology", json::s(topology.clone())),
+                                        ("agents", json::num(*agents as f64)),
+                                        ("requests", json::num(*requests as f64)),
+                                        ("interarrival_s", json::num(*interarrival_s)),
+                                        ("pull_period_s", json::num(*period as f64)),
+                                        (
+                                            "runs",
+                                            Value::Arr(
+                                                runs.iter()
+                                                    .map(|(shards, workers, m)| {
+                                                        json::obj(vec![
+                                                            ("shards", json::num(*shards as f64)),
+                                                            (
+                                                                "workers",
+                                                                workers.map_or(Value::Null, |w| {
+                                                                    json::num(w as f64)
+                                                                }),
+                                                            ),
+                                                            ("measured", measured_json(m)),
+                                                            (
+                                                                "speedup_vs_sequential",
+                                                                json::num(
+                                                                    m.events_per_sec
+                                                                        / reference.max(1e-9),
+                                                                ),
+                                                            ),
+                                                        ])
+                                                    })
+                                                    .collect(),
+                                            ),
+                                        ),
+                                    ])
+                                },
+                            )
+                            .collect(),
+                    ),
+                ),
+            ]),
         ),
         ("breakdown", breakdown),
     ]);

@@ -85,6 +85,50 @@ pub fn run_grid(
     }
 }
 
+/// [`run_grid`], but through the sharded event loop (DESIGN.md §13)
+/// and with the design axes chosen by the caller: `shards > 1` batches
+/// runs of advertisement pulls over contiguous agent-subtree shards on
+/// worker threads; `shards == 1` is the plain sequential loop.
+/// Outcomes are identical either way — `gridscale` asserts it — so the
+/// two are interchangeable except for wall time.
+pub fn run_grid_sharded(
+    topology: &GridTopology,
+    workload: &WorkloadConfig,
+    opts: &RunOptions,
+    design: &ExperimentDesign,
+    shards: usize,
+    shard_workers: Option<usize>,
+) -> GridRun {
+    let mut config = GridConfig::new(design.local_policy, design.agents_enabled, workload.seed);
+    config.ga = opts.ga;
+    config.telemetry = opts.telemetry.clone();
+    config.failure_policy = opts.failure_policy;
+    config.advertisement = opts.advertisement;
+    config.chaos = opts.chaos.clone();
+    let mut grid = GridSystem::new(topology, &opts.catalog, &config);
+    let mut sim = Simulation::new();
+    sim.set_telemetry(opts.telemetry.clone());
+    let requests = workload.generate(&opts.catalog);
+    let n_requests = requests.len();
+    sim.reserve(n_requests + topology.resources.len() * 2);
+    let t0 = Instant::now();
+    grid.bootstrap(&mut sim, requests);
+    if shards > 1 {
+        let mut runner = ShardRunner::new(shards, shard_workers);
+        while runner.pump(&mut grid, &mut sim, None, true) > 0 {}
+    } else {
+        while let Some(ev) = sim.step() {
+            grid.handle(&mut sim, ev);
+        }
+    }
+    GridRun {
+        grid,
+        requests: n_requests,
+        events: sim.processed(),
+        wall: t0.elapsed(),
+    }
+}
+
 /// Total (ε, υ, β) metrics from a finished grid.
 pub fn grid_totals(grid: &GridSystem, topology: &GridTopology) -> (f64, f64, f64) {
     let horizon = grid.horizon();

@@ -8,6 +8,7 @@
 use crate::chaos::FaultPlan;
 use crate::grid::{GridConfig, GridSystem};
 use crate::result::{CaseStudyResults, ExperimentResult, ResourceRow};
+use crate::shard::ShardRunner;
 use agentgrid_agents::{AdvertisementStrategy, FailurePolicy};
 use agentgrid_metrics::{compute, compute_grid, ResourceStats};
 use agentgrid_pace::{Catalog, NoiseModel};
@@ -45,6 +46,16 @@ pub struct RunOptions {
     /// guard for fuzzing: a run that exceeds it panics with a clear
     /// message instead of spinning forever.
     pub step_limit: Option<u64>,
+    /// Agent-subtree shards the event loop batches advertisement pulls
+    /// over (DESIGN.md §13). `1` (the default) is the plain sequential
+    /// loop; any value yields bit-identical results — sharding moves
+    /// cost, never outcomes. [`RunOptions::paper`] reads the `SHARDS`
+    /// environment variable.
+    pub shards: usize,
+    /// Worker threads for shard batches (`None` = available
+    /// parallelism, capped at the shard count). Performance-only: the
+    /// merge barrier makes results independent of the thread count.
+    pub shard_workers: Option<usize>,
 }
 
 impl RunOptions {
@@ -62,6 +73,8 @@ impl RunOptions {
             telemetry: Telemetry::disabled(),
             chaos: FaultPlan::none(),
             step_limit: None,
+            shards: env_shards(),
+            shard_workers: None,
         }
     }
 
@@ -87,6 +100,48 @@ impl Default for RunOptions {
     }
 }
 
+/// The `SHARDS` environment override (default 1, clamped to ≥ 1).
+fn env_shards() -> usize {
+    std::env::var("SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(1)
+}
+
+/// Thread-local recycling pool for grid event queues. Serve mode and
+/// batch sweeps build a fresh [`Simulation`] per run; recycling the
+/// queue keeps the timing wheel's slot, ready and overflow allocations
+/// warm across runs.
+pub mod queue_pool {
+    use crate::grid::GridEvent;
+    use agentgrid_sim::{EventQueue, Simulation};
+    use std::cell::RefCell;
+
+    /// Queues kept warm per thread (more would just pin memory).
+    const POOL_CAP: usize = 4;
+
+    thread_local! {
+        static POOL: RefCell<Vec<EventQueue<GridEvent>>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// A reset queue with warm allocations, or a fresh one.
+    pub fn take() -> EventQueue<GridEvent> {
+        POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default()
+    }
+
+    /// Recover a finished simulation's queue for later [`take`]s.
+    pub fn give(sim: Simulation<GridEvent>) {
+        let queue = sim.into_queue();
+        POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < POOL_CAP {
+                pool.push(queue);
+            }
+        });
+    }
+}
+
 /// Run one experiment configuration over one workload and report the
 /// §3.3 metrics.
 pub fn run_experiment(
@@ -100,14 +155,22 @@ pub fn run_experiment(
     let requests = workload.generate(&opts.catalog);
     let n_requests = requests.len();
 
-    let mut sim = Simulation::new();
+    let mut sim = Simulation::with_queue(queue_pool::take());
     sim.set_telemetry(opts.telemetry.clone());
     if let Some(limit) = opts.step_limit {
         sim.set_step_limit(limit);
     }
+    // Pre-size for the bootstrap burst: one Request per workload entry
+    // plus the initial pull/monitor chains per resource.
+    sim.reserve(n_requests + topology.resources.len() * 2);
     grid.bootstrap(&mut sim, requests);
-    while let Some(ev) = sim.step() {
-        grid.handle(&mut sim, ev);
+    if opts.shards > 1 {
+        let mut runner = ShardRunner::new(opts.shards, opts.shard_workers);
+        while runner.pump(&mut grid, &mut sim, None, true) > 0 {}
+    } else {
+        while let Some(ev) = sim.step() {
+            grid.handle(&mut sim, ev);
+        }
     }
     assert!(
         !sim.step_limit_reached(),
@@ -117,6 +180,7 @@ pub fn run_experiment(
     debug_assert!(!grid.work_remains(), "run ended with work outstanding");
 
     let final_now = sim.now().ticks();
+    queue_pool::give(sim);
     opts.telemetry.emit(final_now, || Event::EngineHorizon {
         horizon: grid.horizon().ticks(),
     });

@@ -33,7 +33,7 @@
 //! --baseline`); results are identical either way, only the cost moves.
 
 use agentgrid_agents::{
-    AdvertisementStrategy, DiscoveryDecision, Endpoint, FailurePolicy, Hierarchy, NameTable,
+    AdvertisementStrategy, Agent, DiscoveryDecision, Endpoint, FailurePolicy, Hierarchy, NameTable,
     Portal, RequestEnvelope, RequestInfo, ResourceId, ServiceInfo,
 };
 use agentgrid_cluster::ExecEnv;
@@ -304,6 +304,18 @@ impl ChaosState {
             self.outstanding -= 1;
         }
     }
+}
+
+/// The disjoint state views a sharded pull batch runs over (DESIGN.md
+/// §13): shard workers split `agents` into per-shard sub-slices and read
+/// the shared tables immutably, so batched pulls commute exactly.
+pub struct PullBatchParts<'a> {
+    /// Every agent, id-indexed (split per shard by the runner).
+    pub agents: &'a mut [Agent],
+    /// Read-only: pure `freetime(now)` queries during a batch.
+    pub schedulers: &'a [SchedulerSystem],
+    /// Read-only: per-resource Fig. 5 templates to clone-and-stamp.
+    pub templates: &'a [ServiceInfo],
 }
 
 /// A grid of resources, their schedulers, and the agent hierarchy.
@@ -969,6 +981,76 @@ impl GridSystem {
         }
         self.scratch_neighbours = neighbours;
         self.chaos = chaos;
+    }
+
+    /// Whether consecutive `AdvertisementPull` events currently commute
+    /// (DESIGN.md §13): each pull then reads only state that no other
+    /// pull writes (immutable service templates, pure scheduler
+    /// `freetime`, its own neighbour list) and writes only its own
+    /// agent's ACT plus the batch-summable pull counter. Chaos can drop
+    /// or delay individual messages, gossip copies neighbour ACTs
+    /// mid-batch, the legacy baseline re-formats shared state, external
+    /// mutation invalidates templates, and tracing interleaves log
+    /// lines — any of those forces the sequential path.
+    pub fn pull_batching_eligible(&self) -> bool {
+        matches!(
+            self.advertisement,
+            AdvertisementStrategy::PeriodicPull { .. }
+        ) && self.chaos.is_none()
+            && !self.gossip
+            && !self.baseline
+            && !self.external_mutation
+            && !self.trace.is_enabled()
+    }
+
+    /// The disjoint views one batch window's shard workers need: the
+    /// id-indexed agent slice (split per shard by the runner) plus the
+    /// shared read-only scheduler and template tables that stamp live
+    /// freetime. Only meaningful while [`Self::pull_batching_eligible`].
+    pub fn pull_batch_parts(&mut self) -> PullBatchParts<'_> {
+        PullBatchParts {
+            agents: self.hierarchy.agents_mut(),
+            schedulers: &self.schedulers,
+            templates: &self.service_templates,
+        }
+    }
+
+    /// Contiguous agent-id shard bounds for `shards` shards (see
+    /// [`Hierarchy::shard_bounds`]): a pure function of the topology and
+    /// the requested shard count, never of worker threads.
+    pub fn shard_bounds(&self, shards: usize) -> Vec<usize> {
+        self.hierarchy.shard_bounds(shards)
+    }
+
+    /// Commit one replayed pull from a batch window: everything the
+    /// sequential `AdvertisementPull` arm does around the ACT updates
+    /// the workers already applied — the telemetry prologue and buffered
+    /// `Advertise` events in neighbour order, the pull-message counter,
+    /// and the periodic reschedule (which re-derives `work_remains` at
+    /// the same instant the sequential run would, so chain liveness and
+    /// event seqs match exactly).
+    pub fn finish_pull(
+        &mut self,
+        sim: &mut Simulation<GridEvent>,
+        agent: ResourceId,
+        now: SimTime,
+        pulls: u64,
+        events: Vec<Event>,
+    ) {
+        if self.telemetry.is_enabled() {
+            self.engine.set_clock(now.ticks());
+            for event in events {
+                self.telemetry.emit(now.ticks(), || event);
+            }
+        }
+        self.pull_messages += pulls;
+        if let AdvertisementStrategy::PeriodicPull { period } = self.advertisement {
+            let live = self.work_remains();
+            if live {
+                sim.schedule_in(period, GridEvent::AdvertisementPull { agent });
+            }
+            self.pull_live[agent.index()] = live;
+        }
     }
 
     /// Chaos checks for one pull message `from → to`. Returns true when

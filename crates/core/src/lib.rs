@@ -44,13 +44,16 @@ pub mod chaos;
 pub mod experiment;
 pub mod grid;
 pub mod result;
+pub mod shard;
 
 pub use chaos::{Fault, FaultEvent, FaultPlan};
 pub use experiment::{
-    collect_result, grid_config, run_experiment, run_table3, run_table3_parallel, RunOptions,
+    collect_result, grid_config, queue_pool, run_experiment, run_table3, run_table3_parallel,
+    RunOptions,
 };
 pub use grid::{ChaosStats, DispatchMode, GridConfig, GridEvent, GridSystem};
 pub use result::{CaseStudyResults, ExperimentResult, ResourceRow};
+pub use shard::{ShardRunner, SyncStats};
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
@@ -60,9 +63,10 @@ pub mod prelude {
     };
     pub use crate::grid::{ChaosStats, DispatchMode, GridConfig, GridEvent, GridSystem};
     pub use crate::result::{CaseStudyResults, ExperimentResult, ResourceRow};
+    pub use crate::shard::{ShardRunner, SyncStats};
     pub use agentgrid_agents::{
-        Act, Agent, DiscoveryDecision, FailurePolicy, Hierarchy, Portal, RequestEnvelope,
-        RequestInfo, ServiceInfo,
+        Act, AdvertisementStrategy, Agent, DiscoveryDecision, FailurePolicy, Hierarchy, Portal,
+        RequestEnvelope, RequestInfo, ServiceInfo,
     };
     pub use agentgrid_cluster::{ExecEnv, GridResource, NodeMask};
     pub use agentgrid_metrics::{compute, compute_grid, MetricsReport, ResourceStats};

@@ -61,12 +61,12 @@ USAGE:
   agentgrid table3   [--requests N] [--seed S] [--json] [--verify]
   agentgrid run      [--policy fifo|ga|batch] [--agents] [--topology SPEC]
                      [--requests N] [--seed S] [--noise SIGMA] [--json]
-                     [--ga-threads N] [--ga-islands N] [--verify]
+                     [--ga-threads N] [--ga-islands N] [--shards N] [--verify]
                      [--trace FILE] [--trace-format jsonl|chrome]
   agentgrid serve    [--fast-forward | --speed X] [--listen ADDR] [--tune]
                      [--input FILE] [--metrics-out FILE] [--json] [--verify]
                      [--policy fifo|ga|batch] [--agents] [--topology SPEC]
-                     [--seed S] [--noise SIGMA]
+                     [--seed S] [--noise SIGMA] [--shards N]
   agentgrid report   TRACE
   agentgrid topology [--topology SPEC]
   agentgrid models
@@ -100,6 +100,12 @@ SCHEDULING:
                           periodic best-individual migration (default 1,
                           or the GA_ISLANDS environment variable); island
                           count changes the search, thread count never does
+  --shards N              partition the agent tree into N contiguous
+                          subtree shards and run advertisement-pull
+                          windows on worker threads (default 1, or the
+                          SHARDS environment variable); results and
+                          telemetry are bit-identical for any shard or
+                          thread count (DESIGN.md §13)
 
 TOPOLOGY SPECS:
   case-study              the paper's 12-resource grid (default)
@@ -127,6 +133,7 @@ struct Flags {
     json: bool,
     ga_threads: Option<usize>,
     ga_islands: Option<usize>,
+    shards: Option<usize>,
     trace: Option<String>,
     trace_format: TraceFormat,
     verify: bool,
@@ -151,6 +158,7 @@ impl Flags {
             json: false,
             ga_threads: None,
             ga_islands: None,
+            shards: None,
             trace: None,
             trace_format: TraceFormat::Jsonl,
             verify: false,
@@ -198,6 +206,13 @@ impl Flags {
                         return Err("--ga-islands must be at least 1".to_string());
                     }
                     flags.ga_islands = Some(n);
+                }
+                "--shards" => {
+                    let n: usize = value("--shards")?.parse().map_err(|e| format!("{e}"))?;
+                    if n == 0 {
+                        return Err("--shards must be at least 1".to_string());
+                    }
+                    flags.shards = Some(n);
                 }
                 "--verify" => flags.verify = true,
                 "--trace" => flags.trace = Some(value("--trace")?),
@@ -261,6 +276,9 @@ impl Flags {
         }
         if let Some(islands) = self.ga_islands {
             opts.ga.islands = islands;
+        }
+        if let Some(shards) = self.shards {
+            opts.shards = shards;
         }
         opts
     }

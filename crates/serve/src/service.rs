@@ -19,10 +19,11 @@
 use crate::stream::{parse_line, ServeLine};
 use crate::tuner::{Tuner, TunerConfig};
 use agentgrid::{
-    collect_result, grid_config, ExperimentResult, Fault, GridEvent, GridSystem, RunOptions,
+    collect_result, grid_config, queue_pool, ExperimentResult, Fault, GridEvent, GridSystem,
+    RunOptions, ShardRunner,
 };
 use agentgrid_metrics::{compute_grid, MetricsReport, ResourceStats};
-use agentgrid_sim::{SimTime, Simulation};
+use agentgrid_sim::{SimDuration, SimTime, Simulation};
 use agentgrid_telemetry::prometheus;
 use agentgrid_telemetry::{
     AggregateRecorder, Event, InvariantRecorder, MultiRecorder, Recorder, Telemetry,
@@ -96,13 +97,17 @@ pub struct LiveStatus {
     pub active: usize,
     /// Resources currently serving.
     pub online: usize,
+    /// Agent-subtree shards the event loop runs over (DESIGN.md §13;
+    /// 1 = sequential loop). Results never depend on this.
+    pub shards: usize,
 }
 
 impl LiveStatus {
     /// The one-line human form (`--status` stderr line).
     pub fn line(&self) -> String {
         format!(
-            "t={:.1}s  ε={:+.1}s  ῡ={:.1}%  β={:.1}%  completed={} active={} queued={} online={}",
+            "t={:.1}s  ε={:+.1}s  ῡ={:.1}%  β={:.1}%  completed={} active={} queued={} \
+             online={} shards={}",
             self.now_s,
             self.epsilon_s,
             self.upsilon_pct,
@@ -110,7 +115,8 @@ impl LiveStatus {
             self.completed,
             self.active,
             self.queued,
-            self.online
+            self.online,
+            self.shards
         )
     }
 
@@ -120,7 +126,7 @@ impl LiveStatus {
             concat!(
                 "{{\"now_s\": {:.6}, \"epsilon_s\": {:.6}, \"upsilon_pct\": {:.6}, ",
                 "\"beta_pct\": {:.6}, \"completed\": {}, \"active\": {}, ",
-                "\"queued\": {}, \"online\": {}}}"
+                "\"queued\": {}, \"online\": {}, \"shards\": {}}}"
             ),
             self.now_s,
             self.epsilon_s,
@@ -129,7 +135,8 @@ impl LiveStatus {
             self.completed,
             self.active,
             self.queued,
-            self.online
+            self.online,
+            self.shards
         )
     }
 }
@@ -161,6 +168,7 @@ pub struct GridService {
     design: ExperimentDesign,
     grid: GridSystem,
     sim: Simulation<GridEvent>,
+    runner: ShardRunner,
     telemetry: Telemetry,
     agg: Arc<AggregateRecorder>,
     checker: Option<Arc<InvariantRecorder>>,
@@ -223,7 +231,9 @@ impl GridService {
 
         let config = grid_config(&cfg.design, cfg.seed, &opts);
         let grid = GridSystem::new(&cfg.topology, &opts.catalog, &config);
-        let mut sim = Simulation::new();
+        // Recycled queue: a service restarted in-process (the fuzzer,
+        // sweeps) reuses the previous run's wheel allocations.
+        let mut sim = Simulation::with_queue(queue_pool::take());
         sim.set_telemetry(telemetry.clone());
         if let Some(limit) = opts.step_limit {
             sim.set_step_limit(limit);
@@ -236,6 +246,7 @@ impl GridService {
             design: cfg.design,
             grid,
             sim,
+            runner: ShardRunner::new(opts.shards, opts.shard_workers),
             telemetry,
             agg,
             checker,
@@ -265,10 +276,7 @@ impl GridService {
             .collect();
         svc.injected = requests.len();
         svc.grid.bootstrap(&mut svc.sim, requests);
-        while let Some(ev) = svc.sim.step() {
-            svc.grid.handle(&mut svc.sim, ev);
-            svc.tune();
-        }
+        while svc.pump(None) > 0 {}
         svc.check_step_limit()?;
         Ok(svc.finish())
     }
@@ -295,10 +303,7 @@ impl GridService {
             if inject {
                 svc.apply_line(&lines[next])?;
                 next += 1;
-            } else if let Some(ev) = svc.sim.step() {
-                svc.grid.handle(&mut svc.sim, ev);
-                svc.tune();
-            } else {
+            } else if svc.pump(due) == 0 {
                 break;
             }
         }
@@ -391,10 +396,11 @@ impl GridService {
                     let due = Duration::from_secs_f64(t.as_secs_f64() / paced.speed);
                     let elapsed = epoch.elapsed();
                     if elapsed >= due {
-                        if let Some(ev) = svc.sim.step() {
-                            svc.grid.handle(&mut svc.sim, ev);
-                            svc.tune();
-                        }
+                        // Everything at or before the wall watermark is
+                        // due; deliver one event or one batch window
+                        // within it (`max(t)` guards float rounding).
+                        let watermark = wall_to_sim(elapsed).max(t) + SimDuration::from_ticks(1);
+                        svc.pump(Some(watermark));
                     } else {
                         // Sleep in short slices so fresh input and
                         // shutdown stay responsive.
@@ -449,6 +455,22 @@ impl GridService {
         Ok(())
     }
 
+    /// Deliver the next event — or one shard batch window — bounded by
+    /// `before`, then give the tuner its per-event tick. Batching stays
+    /// off while a tuner is attached: the tuner may move knobs (pull
+    /// period, ACT TTL) between any two events, which the batch
+    /// commuting argument does not cover.
+    fn pump(&mut self, before: Option<SimTime>) -> usize {
+        let allow_batch = self.tuner.is_none();
+        let n = self
+            .runner
+            .pump(&mut self.grid, &mut self.sim, before, allow_batch);
+        if n > 0 {
+            self.tune();
+        }
+        n
+    }
+
     fn tune(&mut self) {
         if let Some(t) = &mut self.tuner {
             t.tick(self.sim.now(), &mut self.grid, &self.telemetry);
@@ -500,6 +522,7 @@ impl GridService {
             queued: self.grid.queued_tasks(),
             active: self.grid.active_tasks(),
             online,
+            shards: self.runner.shards(),
         }
     }
 
@@ -576,7 +599,7 @@ impl GridService {
                 c.is_clean(),
             ),
         };
-        ServeReport {
+        let report = ServeReport {
             result,
             injected: self.injected,
             completed: self.grid.completed_tasks(),
@@ -587,6 +610,8 @@ impl GridService {
             verify_report,
             verify_events,
             clean,
-        }
+        };
+        queue_pool::give(self.sim);
+        report
     }
 }

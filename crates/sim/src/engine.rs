@@ -103,9 +103,21 @@ impl<E> Simulation<E> {
         self.step_limit.is_some_and(|l| self.processed >= l)
     }
 
+    /// How many more events the step limit permits (`None` = unlimited).
+    /// Batch drivers use this to bound speculative [`Simulation::pop_entry`]
+    /// runs so replay can never trip the limit mid-batch.
+    pub fn steps_remaining(&self) -> Option<u64> {
+        self.step_limit.map(|l| l.saturating_sub(self.processed))
+    }
+
     /// The current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// The delivery horizon, if one was set.
+    pub fn horizon(&self) -> Option<SimTime> {
+        self.horizon
     }
 
     /// Number of events delivered so far.
@@ -140,6 +152,41 @@ impl<E> Simulation<E> {
     /// Schedule `event` after `delay` from the current instant.
     pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
         self.queue.push(self.now + delay, event);
+    }
+
+    /// Remove and return the earliest queue entry — `(time, seq, event)`
+    /// — *without* advancing the clock, the processed counter or the
+    /// step-marker telemetry. Ignores horizon and step limits.
+    ///
+    /// This is the speculative half of the sharded batch protocol: a
+    /// driver inspects upcoming entries, then puts every one of them
+    /// back with [`Simulation::restore_entry`] and re-delivers through
+    /// [`Simulation::step`], so the observable run (clock, counters,
+    /// telemetry, FIFO order) is identical to never having peeked.
+    pub fn pop_entry(&mut self) -> Option<(SimTime, u64, E)> {
+        self.queue.pop_entry()
+    }
+
+    /// Put back an entry obtained from [`Simulation::pop_entry`] under
+    /// its original `(time, seq)` key. The sequence counter is not
+    /// advanced, so events scheduled afterwards still order after it.
+    pub fn restore_entry(&mut self, at: SimTime, seq: u64, event: E) {
+        self.queue.push_at_seq(at, seq, event);
+    }
+
+    /// Pre-size queue storage for about `additional` pending events
+    /// (see [`EventQueue::reserve`]).
+    pub fn reserve(&mut self, additional: usize) {
+        self.queue.reserve(additional);
+    }
+
+    /// Tear the simulation down and recover its event queue for reuse
+    /// (reset and handed to [`Simulation::with_queue`] again), keeping
+    /// the queue's grown allocations across runs.
+    pub fn into_queue(self) -> EventQueue<E> {
+        let mut queue = self.queue;
+        queue.reset();
+        queue
     }
 
     /// Advance to and return the next event, or `None` when the queue is

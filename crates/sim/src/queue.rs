@@ -80,8 +80,39 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Re-insert an entry under its *original* sequence number without
+    /// advancing the sequence counter. This is the replay half of
+    /// [`EventQueue::pop_entry`]: a driver that speculatively pops
+    /// entries (the sharded batch collector) puts them back with the
+    /// exact `(at, seq)` key they were issued, so subsequent delivery
+    /// order — including FIFO ties against events that were never
+    /// popped — is indistinguishable from never having popped them.
+    ///
+    /// `seq` must come from a prior `pop_entry` (it is below the
+    /// sequence counter and unique among pending entries).
+    pub fn push_at_seq(&mut self, at: SimTime, seq: u64, event: E) {
+        debug_assert!(seq < self.next_seq, "push_at_seq requires a recycled seq");
+        match &mut self.backend {
+            Backend::Heap(h) => h.push(at, seq, event),
+            Backend::Wheel(w) => {
+                // A restored entry may sort before entries already staged
+                // for delivery; flush the staging buffer back into the
+                // wheel so the next pop re-sorts the full instant.
+                w.unstage();
+                w.push(at, seq, event);
+            }
+        }
+    }
+
     /// Remove and return the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_entry().map(|(at, _, e)| (at, e))
+    }
+
+    /// Like [`EventQueue::pop`], but also returns the entry's sequence
+    /// number so it can be restored verbatim via
+    /// [`EventQueue::push_at_seq`].
+    pub fn pop_entry(&mut self) -> Option<(SimTime, u64, E)> {
         match &mut self.backend {
             Backend::Heap(h) => h.pop(),
             Backend::Wheel(w) => w.pop(),
@@ -118,6 +149,34 @@ impl<E> EventQueue<E> {
         match &mut self.backend {
             Backend::Heap(h) => h.heap.clear(),
             Backend::Wheel(w) => w.clear(),
+        }
+    }
+
+    /// Return the queue to its freshly-constructed state — clock origin
+    /// and sequence counter back to zero — while keeping every slot,
+    /// heap and staging allocation. A reset queue behaves exactly like a
+    /// new one, so long-running drivers (the serve loop, fuzz corpora)
+    /// can recycle one queue across sessions instead of re-growing the
+    /// wheel each time.
+    pub fn reset(&mut self) {
+        self.clear();
+        self.next_seq = 0;
+        if let Backend::Wheel(w) = &mut self.backend {
+            w.current = 0;
+        }
+    }
+
+    /// Pre-size backing storage for about `additional` pending events
+    /// (e.g. the bootstrap arrivals of a run, all pushed before the
+    /// first pop). The wheel proper is allocation-cheap; this sizes the
+    /// overflow heap and staging buffer that absorb bursts.
+    pub fn reserve(&mut self, additional: usize) {
+        match &mut self.backend {
+            Backend::Heap(h) => h.heap.reserve(additional),
+            Backend::Wheel(w) => {
+                w.overflow.reserve(additional);
+                w.ready.reserve(additional.min(1024));
+            }
         }
     }
 }
@@ -170,8 +229,8 @@ impl<E> HeapQueue<E> {
         self.heap.push(Entry { at, seq, event });
     }
 
-    fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.at, e.event))
+    fn pop(&mut self) -> Option<(SimTime, u64, E)> {
+        self.heap.pop().map(|e| (e.at, e.seq, e.event))
     }
 
     fn peek_time(&self) -> Option<SimTime> {
@@ -274,18 +333,39 @@ impl<E> WheelQueue<E> {
         self.occupied[level] |= 1 << slot;
     }
 
-    fn pop(&mut self) -> Option<(SimTime, E)> {
+    fn pop(&mut self) -> Option<(SimTime, u64, E)> {
         if self.ready.is_empty() && !self.stage_next_tick() {
             return None;
         }
         if self.overflow_undercuts_ready() {
             let e = self.overflow.pop().expect("peeked entry");
             self.len -= 1;
-            return Some((e.at, e.event));
+            return Some((e.at, e.seq, e.event));
         }
         let e = self.ready.pop().expect("staged tick cannot be empty");
         self.len -= 1;
-        Some((SimTime::from_ticks(e.tick), e.event))
+        Some((SimTime::from_ticks(e.tick), e.seq, e.event))
+    }
+
+    /// Move any staged-but-undelivered entries back into the wheel so a
+    /// subsequent [`WheelQueue::push`] of an *older* sequence number at
+    /// the staged instant is re-sorted ahead of them on the next pop.
+    /// Staged entries normally have `tick == current` and re-insert at
+    /// level 0; past-time entries (staged from the overflow heap) go
+    /// back to overflow. Either way the next
+    /// [`WheelQueue::stage_next_tick`] rebuilds the seq-sorted instant
+    /// from scratch.
+    fn unstage(&mut self) {
+        while let Some(e) = self.ready.pop() {
+            match self.level_for(e.tick) {
+                Some(level) => self.insert(level, e),
+                None => self.overflow.push(Entry {
+                    at: SimTime::from_ticks(e.tick),
+                    seq: e.seq,
+                    event: e.event,
+                }),
+            }
+        }
     }
 
     fn peek_time(&mut self) -> Option<SimTime> {
@@ -542,6 +622,72 @@ mod tests {
         q.push(t, 2);
         assert_eq!(q.pop(), Some((t, 1)));
         assert_eq!(q.pop(), Some((t, 2)));
+    }
+
+    #[test]
+    fn pop_entry_then_restore_is_invisible() {
+        // Popping entries and pushing them back under their original
+        // seqs must leave delivery order exactly as if nothing happened,
+        // including FIFO ties against never-popped entries.
+        both(|mut q| {
+            let t = SimTime::from_secs(1);
+            q.push(t, 10); // seq 0
+            q.push(t, 11); // seq 1
+            q.push(SimTime::from_secs(2), 12); // seq 2
+            let (at, seq, e) = q.pop_entry().unwrap();
+            assert_eq!((at, seq, e), (t, 0, 10));
+            // A fresh push interleaves while the entry is out.
+            q.push(t, 13); // seq 3
+            q.push_at_seq(at, seq, e);
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, [10, 11, 13, 12]);
+        });
+    }
+
+    #[test]
+    fn restore_resorts_a_partially_drained_instant() {
+        // The wheel stages a whole instant at the first pop; restoring a
+        // lower-seq entry at that instant must still deliver it before
+        // the staged higher-seq remainder.
+        both(|mut q| {
+            let t = SimTime::from_secs(5);
+            q.push(t, 20); // seq 0
+            q.push(t, 21); // seq 1
+            q.push(t, 22); // seq 2
+            let (at, seq, e) = q.pop_entry().unwrap();
+            assert_eq!(e, 20);
+            let (at1, seq1, e1) = q.pop_entry().unwrap();
+            assert_eq!(e1, 21);
+            q.push_at_seq(at, seq, e);
+            q.push_at_seq(at1, seq1, e1);
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, [20, 21, 22]);
+        });
+    }
+
+    #[test]
+    fn reset_behaves_like_new() {
+        both(|mut q| {
+            q.push(SimTime::from_secs(3), 1);
+            q.push(SimTime::from_secs(9), 2);
+            q.pop();
+            q.reset();
+            assert!(q.is_empty());
+            // Seqs restart at zero: FIFO ties behave like a fresh queue.
+            q.push(SimTime::from_secs(1), 7);
+            q.push(SimTime::from_secs(1), 8);
+            assert_eq!(q.pop(), Some((SimTime::from_secs(1), 7)));
+            assert_eq!(q.pop(), Some((SimTime::from_secs(1), 8)));
+        });
+    }
+
+    #[test]
+    fn reserve_is_behaviour_neutral() {
+        both(|mut q| {
+            q.reserve(1000);
+            q.push(SimTime::from_secs(1), 1);
+            assert_eq!(q.pop(), Some((SimTime::from_secs(1), 1)));
+        });
     }
 
     #[test]

@@ -274,6 +274,20 @@ pub enum Event {
         /// Final simulated time, ticks.
         horizon: Micros,
     },
+    /// One merge-barrier window of the sharded simulation: a batch of
+    /// commuting events executed across shard workers and re-delivered
+    /// in sequential order. Emitted on a dedicated sync channel so the
+    /// main stream stays identical across shard counts.
+    ShardSync {
+        /// Barrier window index (0-based, monotonic per run).
+        window: u64,
+        /// Configured shard count.
+        shards: u32,
+        /// Events executed in this window.
+        batched: u64,
+        /// Events landing on the busiest shard of the window.
+        busiest: u64,
+    },
 }
 
 /// An [`Event`] plus the simulated instant it was recorded at.
@@ -315,6 +329,7 @@ impl Event {
             Event::TunerAdjust { .. } => "tuner_adjust",
             Event::EngineStep { .. } => "engine_step",
             Event::EngineHorizon { .. } => "engine_horizon",
+            Event::ShardSync { .. } => "shard_sync",
         }
     }
 
@@ -345,7 +360,9 @@ impl Event {
             Event::EscalationHop { to, .. } => to,
             Event::CacheEvaluate { .. } => "pace-cache",
             Event::ExecutorLaunch { .. } => "executor",
-            Event::EngineStep { .. } | Event::EngineHorizon { .. } => "engine",
+            Event::EngineStep { .. } | Event::EngineHorizon { .. } | Event::ShardSync { .. } => {
+                "engine"
+            }
         }
     }
 }
@@ -576,6 +593,17 @@ impl TimedEvent {
             Event::EngineHorizon { horizon } => {
                 push("horizon", json::num(*horizon as f64));
             }
+            Event::ShardSync {
+                window,
+                shards,
+                batched,
+                busiest,
+            } => {
+                push("window", json::num(*window as f64));
+                push("shards", json::num(f64::from(*shards)));
+                push("batched", json::num(*batched as f64));
+                push("busiest", json::num(*busiest as f64));
+            }
         }
         Value::Obj(fields)
     }
@@ -726,6 +754,12 @@ impl TimedEvent {
             "engine_horizon" => Event::EngineHorizon {
                 horizon: u64_field("horizon")?,
             },
+            "shard_sync" => Event::ShardSync {
+                window: u64_field("window")?,
+                shards: u32_field("shards")?,
+                batched: u64_field("batched")?,
+                busiest: u64_field("busiest")?,
+            },
             _ => return None,
         };
         Some(TimedEvent { t, event })
@@ -868,6 +902,12 @@ pub(crate) fn one_of_each_variant() -> Vec<TimedEvent> {
         },
         Event::EngineHorizon {
             horizon: 86_400_000_000,
+        },
+        Event::ShardSync {
+            window: 12,
+            shards: 4,
+            batched: 96,
+            busiest: 31,
         },
     ]
     .into_iter()

@@ -1,7 +1,7 @@
 //! The verification CLI: a seeded fuzz campaign with shrinking.
 //!
 //! ```text
-//! verify fuzz [--seeds N] [--start S] [--quick] [--serve] [--out FILE]
+//! verify fuzz [--seeds N] [--start S] [--quick] [--serve] [--shards N] [--out FILE]
 //! ```
 //!
 //! Runs `N` generated cases (default 100) starting at seed `S`
@@ -14,13 +14,18 @@
 //! `--serve` switches to the serve-mode corpus: random JSONL request
 //! streams plus elasticity directives pushed through the live-injection
 //! serve loop (`GridService::run_scripted`) under the same checker.
+//!
+//! `--shards N` forces every case onto `N` agent-subtree shards
+//! (DESIGN.md §13) instead of the generated per-case value: re-running
+//! one corpus at several shard counts must give identical verdicts.
 
-use agentgrid_verify::fuzz::fuzz_corpus;
+use agentgrid_verify::fuzz::fuzz_corpus_sharded;
 use agentgrid_verify::serve_fuzz::serve_fuzz_corpus;
 use std::io::Write;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: verify fuzz [--seeds N] [--start S] [--quick] [--serve] [--out FILE]";
+const USAGE: &str =
+    "usage: verify fuzz [--seeds N] [--start S] [--quick] [--serve] [--shards N] [--out FILE]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,6 +38,7 @@ fn main() -> ExitCode {
     let mut start: u64 = 0;
     let mut quick = false;
     let mut serve = false;
+    let mut shards: Option<usize> = None;
     let mut out: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
@@ -47,6 +53,10 @@ fn main() -> ExitCode {
             },
             "--quick" => quick = true,
             "--serve" => serve = true,
+            "--shards" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => shards = Some(v),
+                _ => return bad_usage("--shards needs a number >= 1"),
+            },
             "--out" => match it.next() {
                 Some(v) => out = Some(v.clone()),
                 None => return bad_usage("--out needs a path"),
@@ -68,6 +78,9 @@ fn main() -> ExitCode {
         }
     };
     let (summary, failure_lines) = if serve {
+        if shards.is_some() {
+            return bad_usage("--shards applies to the batch corpus, not --serve");
+        }
         let report = serve_fuzz_corpus(start, seeds, quick, |case, failure| {
             progress(case.seed, failure)
         });
@@ -92,7 +105,7 @@ fn main() -> ExitCode {
             lines,
         )
     } else {
-        let report = fuzz_corpus(start, seeds, quick, |case, failure| {
+        let report = fuzz_corpus_sharded(start, seeds, quick, shards, |case, failure| {
             progress(case.seed, failure)
         });
         let lines: Vec<(String, String, String)> = report

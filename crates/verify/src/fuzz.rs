@@ -60,6 +60,13 @@ pub struct FuzzCase {
     /// Test-only: disable the grid's completion-dedup protections so
     /// the fuzzer can prove it catches a real exactly-once violation.
     pub sabotage: bool,
+    /// Agent-subtree shards the event loop runs over (DESIGN.md §13;
+    /// 1 = plain sequential loop). Results must be invariant in this,
+    /// so the fuzzer varies it like any other dimension — and shrinking
+    /// tries `1` first, separating genuine scheduling bugs from
+    /// merge-barrier bugs. Last field so pasted regression lines from
+    /// earlier corpora stay readable prefixes.
+    pub shards: usize,
 }
 
 /// Why a case failed.
@@ -115,6 +122,8 @@ impl FuzzCase {
         } else {
             [1u8, 2, 3][rng.gen_range(0..3usize)]
         };
+        // Drawn last so the other dimensions reproduce earlier corpora.
+        let shards = [1usize, 2, 4][rng.gen_range(0..3usize)];
         FuzzCase {
             seed,
             resources,
@@ -123,6 +132,7 @@ impl FuzzCase {
             crashes,
             design,
             sabotage: false,
+            shards,
         }
     }
 
@@ -177,6 +187,8 @@ impl FuzzCase {
         let mut opts = RunOptions::fast();
         opts.telemetry = Telemetry::new(recorder.clone());
         opts.step_limit = Some(STEP_LIMIT);
+        opts.shards = self.shards.max(1);
+        opts.shard_workers = Some(2);
         if self.crashes > 0 {
             // The proven recovery envelope (tests/chaos.rs): every crash
             // restarts, retries outlast outages, stale ACT entries age out.
@@ -251,6 +263,11 @@ pub fn shrink(case: FuzzCase) -> FuzzCase {
     let mut best = case;
     loop {
         let mut candidates = Vec::new();
+        // Try the sequential loop first: if the failure survives at
+        // shards = 1 it is a scheduling bug, not a merge-barrier bug.
+        if best.shards > 1 {
+            candidates.push(FuzzCase { shards: 1, ..best });
+        }
         if best.requests > 1 {
             candidates.push(FuzzCase {
                 requests: best.requests / 2,
@@ -324,11 +341,28 @@ pub fn fuzz_corpus(
     start_seed: u64,
     count: usize,
     quick: bool,
+    progress: impl FnMut(&FuzzCase, Option<&CaseFailure>),
+) -> FuzzReport {
+    fuzz_corpus_sharded(start_seed, count, quick, None, progress)
+}
+
+/// [`fuzz_corpus`] with every case's shard count overridden (the
+/// `verify fuzz --shards N` dimension). Re-running an identical corpus
+/// at different shard counts must produce identical verdicts: any
+/// difference is a merge-barrier bug.
+pub fn fuzz_corpus_sharded(
+    start_seed: u64,
+    count: usize,
+    quick: bool,
+    shards: Option<usize>,
     mut progress: impl FnMut(&FuzzCase, Option<&CaseFailure>),
 ) -> FuzzReport {
     let mut report = FuzzReport::default();
     for seed in start_seed..start_seed + count as u64 {
-        let case = FuzzCase::generate(seed, quick);
+        let mut case = FuzzCase::generate(seed, quick);
+        if let Some(s) = shards {
+            case.shards = s.max(1);
+        }
         let outcome = case.run();
         report.cases += 1;
         report.events += outcome.events;
@@ -363,11 +397,15 @@ mod tests {
                 assert_eq!(a.design, 3, "crashy cases use the recovery path");
             }
             assert!(!a.sabotage);
+            assert!(matches!(a.shards, 1 | 2 | 4));
         }
-        // Both strict and chaotic cases appear in the corpus.
+        // Both strict and chaotic cases appear in the corpus, and both
+        // sequential and sharded loops get exercised.
         let cases: Vec<_> = (0..40).map(|s| FuzzCase::generate(s, true)).collect();
         assert!(cases.iter().any(|c| c.crashes == 0));
         assert!(cases.iter().any(|c| c.crashes > 0));
+        assert!(cases.iter().any(|c| c.shards == 1));
+        assert!(cases.iter().any(|c| c.shards > 1));
     }
 
     #[test]

@@ -44,7 +44,10 @@ pub mod invariant {
     pub use agentgrid_telemetry::invariant::{CheckMode, InvariantRecorder, Violation};
 }
 
-pub use fuzz::{fuzz_corpus, shrink, CaseFailure, CaseOutcome, FuzzCase, FuzzFailure, FuzzReport};
+pub use fuzz::{
+    fuzz_corpus, fuzz_corpus_sharded, shrink, CaseFailure, CaseOutcome, FuzzCase, FuzzFailure,
+    FuzzReport,
+};
 pub use invariant::{CheckMode, InvariantRecorder, Violation};
 pub use oracle::{
     brute_force_best, cost_of, fifo_reference, matchmaking_reference, OracleSchedule,

@@ -20,6 +20,7 @@ fn injected_dedup_bug_is_caught_and_shrunk_to_a_tiny_case() {
         crashes: 2,
         design: 3,
         sabotage: true,
+        shards: 2,
     };
 
     // Caught: the sabotaged run fails...

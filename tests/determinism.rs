@@ -6,6 +6,23 @@
 
 use agentgrid::prelude::*;
 
+/// Zero the host wall-clock fields (`wall_us`, `evals_per_sec`) so two
+/// telemetry streams of the same run compare equal: host timing is the
+/// one thing no replay can reproduce.
+fn scrub_wall_clock(events: Vec<TimedEvent>) -> Vec<TimedEvent> {
+    events
+        .into_iter()
+        .map(|mut te| {
+            match &mut te.event {
+                Event::GaEvolve { wall_us, .. } => *wall_us = 0,
+                Event::GaHotPath { evals_per_sec, .. } => *evals_per_sec = 0.0,
+                _ => {}
+            }
+            te
+        })
+        .collect()
+}
+
 fn small() -> (GridTopology, WorkloadConfig) {
     let topology = GridTopology::flat(3, 4);
     let workload = WorkloadConfig {
@@ -90,6 +107,44 @@ fn scratch_reuse_does_not_perturb_the_run() {
     let reused = run_experiment(&design, &topology, &workload, &opts);
     assert_eq!(fresh, reused);
     assert_eq!(fresh.to_json(), reused.to_json());
+}
+
+#[test]
+fn shards_do_not_perturb_the_run() {
+    // Sharded pull batching must not change a single scheduling decision
+    // or telemetry event: the merge barrier replays every batch window
+    // in `(time, seq)` order, so any shard/worker count reproduces the
+    // sequential loop byte for byte. 85 agents put the bootstrap pull
+    // wave over the inline threshold, so the scoped-thread path runs.
+    let topology = GridTopology::tree(4, 4, 2);
+    let workload = WorkloadConfig {
+        requests: 40,
+        interarrival: SimDuration::from_secs(1),
+        seed: 2003,
+        agents: topology.names(),
+        environment: ExecEnv::Test,
+    };
+    let design = ExperimentDesign::experiment3();
+    let run = |shards: usize, workers: Option<usize>| {
+        let ring = std::sync::Arc::new(RingRecorder::unbounded());
+        let mut opts = RunOptions::fast();
+        opts.shards = shards;
+        opts.shard_workers = workers;
+        opts.telemetry = Telemetry::new(ring.clone());
+        let result = run_experiment(&design, &topology, &workload, &opts);
+        (result, scrub_wall_clock(ring.snapshot()))
+    };
+    let (sequential, sequential_events) = run(1, None);
+    assert!(!sequential_events.is_empty());
+    for (shards, workers) in [(2, None), (4, Some(1)), (4, Some(3)), (8, None)] {
+        let (sharded, events) = run(shards, workers);
+        assert_eq!(sequential, sharded, "shards={shards} workers={workers:?}");
+        assert_eq!(sequential.to_json(), sharded.to_json(), "shards={shards}");
+        assert_eq!(
+            sequential_events, events,
+            "shards={shards} workers={workers:?}: telemetry must match"
+        );
+    }
 }
 
 #[test]

@@ -116,6 +116,79 @@ proptest! {
         }
     }
 
+    /// Shard-count invariance (DESIGN.md §13): results and the telemetry
+    /// stream are pure functions of the workload — never of the shard or
+    /// worker count — across random tree topologies, workloads and fault
+    /// plans. Chaos runs take the sequential path by construction; the
+    /// property pins that the eligibility gate keeps them identical too.
+    #[test]
+    fn shard_count_never_changes_outcomes(
+        seed in 0u64..500,
+        requests in 1usize..14,
+        levels in 1u32..4,
+        branching in 1usize..4,
+        nproc in 1usize..5,
+        crashes in 0usize..3,
+    ) {
+        let topology = GridTopology::tree(levels, branching, nproc);
+        let workload = WorkloadConfig {
+            requests,
+            interarrival: SimDuration::from_secs(1),
+            seed,
+            agents: topology.names(),
+            environment: ExecEnv::Test,
+        };
+        let design = ExperimentDesign::experiment3();
+        let chaos = if crashes > 0 {
+            FaultPlan::random(
+                seed,
+                &topology.names(),
+                SimTime::from_secs(60),
+                crashes,
+                SimDuration::from_secs(10),
+            )
+            .with_act_ttl(SimDuration::from_secs(30))
+            .with_dispatch_timeout(SimDuration::from_secs(2))
+            .with_max_retries(24)
+        } else {
+            FaultPlan::none()
+        };
+        let run = |shards: usize| {
+            let ring = std::sync::Arc::new(RingRecorder::unbounded());
+            let mut opts = RunOptions::fast();
+            opts.ga.population = 8;
+            opts.ga.generations_per_event = 4;
+            opts.ga.stall_generations = 2;
+            opts.chaos = chaos.clone();
+            opts.step_limit = Some(2_000_000);
+            opts.shards = shards;
+            opts.shard_workers = Some(2);
+            opts.telemetry = Telemetry::new(ring.clone());
+            let result = run_experiment(&design, &topology, &workload, &opts);
+            // Zero host wall-clock fields: the one thing a replay can
+            // never reproduce.
+            let events: Vec<TimedEvent> = ring
+                .snapshot()
+                .into_iter()
+                .map(|mut te| {
+                    match &mut te.event {
+                        Event::GaEvolve { wall_us, .. } => *wall_us = 0,
+                        Event::GaHotPath { evals_per_sec, .. } => *evals_per_sec = 0.0,
+                        _ => {}
+                    }
+                    te
+                })
+                .collect();
+            (result.to_json(), events)
+        };
+        let (reference, reference_events) = run(1);
+        for shards in [2usize, 4, 8] {
+            let (json, events) = run(shards);
+            prop_assert_eq!(&reference, &json, "shards={}", shards);
+            prop_assert_eq!(&reference_events, &events, "shards={}", shards);
+        }
+    }
+
     /// Tasks never start before their arrival and always run for exactly
     /// their predicted duration (test mode).
     #[test]
