@@ -1,0 +1,204 @@
+//! Bounded ingest admission with per-client fairness.
+//!
+//! Both live inputs — the stdin reader thread and the HTTP listener —
+//! feed one [`AdmissionQueue`] instead of an unbounded channel. The
+//! queue holds at most `capacity` lines across all clients; each client
+//! (stdin, or one peer IP) gets its own FIFO, and the sim loop dequeues
+//! round-robin across clients, so one chatty client cannot starve the
+//! others however fast it posts.
+//!
+//! Overflow is explicit backpressure, not silent buffering: an HTTP
+//! batch that does not fit is rejected *whole* ([`AdmitError::Full`] →
+//! `429 Too Many Requests` + `Retry-After`), and the stdin reader
+//! blocks ([`AdmissionQueue::push_blocking`]) so pipe backpressure
+//! propagates to whatever writes the stream. [`AdmissionQueue::close`]
+//! starts the graceful drain: producers see [`AdmitError::Closed`]
+//! while the sim loop pops whatever was already admitted.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Why a push was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The batch would overflow `capacity`; nothing was enqueued.
+    /// Carries the depth observed, for the `Retry-After` hint body.
+    Full {
+        /// Lines queued across all clients at rejection time.
+        queue_depth: usize,
+    },
+    /// The service is draining; no new lines are admitted.
+    Closed,
+}
+
+/// The shared bounded queue. All methods are `&self`; one mutex guards
+/// the client FIFOs, atomics serve the hot telemetry reads.
+pub struct AdmissionQueue {
+    capacity: usize,
+    /// Client FIFOs in round-robin order; the front client serves next.
+    clients: Mutex<VecDeque<(String, VecDeque<String>)>>,
+    depth: AtomicUsize,
+    rejected: AtomicU64,
+    closed: AtomicBool,
+}
+
+impl AdmissionQueue {
+    /// A queue admitting at most `capacity` lines across all clients.
+    pub fn new(capacity: usize) -> AdmissionQueue {
+        AdmissionQueue {
+            capacity: capacity.max(1),
+            clients: Mutex::new(VecDeque::new()),
+            depth: AtomicUsize::new(0),
+            rejected: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Admit a whole batch for `client`, or none of it: on overflow the
+    /// batch is counted rejected and [`AdmitError::Full`] returned, so
+    /// an HTTP 429 never leaves a half-applied body behind.
+    pub fn push_batch(&self, client: &str, lines: Vec<String>) -> Result<(), AdmitError> {
+        let n = lines.len();
+        match self.offer(client, lines) {
+            Err(AdmitError::Full { queue_depth }) => {
+                self.rejected.fetch_add(n as u64, Ordering::Relaxed);
+                Err(AdmitError::Full { queue_depth })
+            }
+            other => other,
+        }
+    }
+
+    /// Admit one line for `client`, waiting out Full states (the stdin
+    /// path: blocking here blocks the reader thread, which blocks the
+    /// pipe — backpressure all the way to the producer). Returns `false`
+    /// once the queue closes. Waiting is not a rejection: the counter
+    /// only tracks refused batches.
+    pub fn push_blocking(&self, client: &str, line: String) -> bool {
+        loop {
+            match self.offer(client, vec![line.clone()]) {
+                Ok(()) => return true,
+                Err(AdmitError::Closed) => return false,
+                Err(AdmitError::Full { .. }) => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+    }
+
+    /// The common admit path; does not touch the rejection counter.
+    fn offer(&self, client: &str, lines: Vec<String>) -> Result<(), AdmitError> {
+        if lines.is_empty() {
+            return Ok(());
+        }
+        let mut clients = self.clients.lock().expect("admission lock");
+        if self.closed.load(Ordering::Acquire) {
+            return Err(AdmitError::Closed);
+        }
+        let depth = self.depth.load(Ordering::Acquire);
+        if depth + lines.len() > self.capacity {
+            return Err(AdmitError::Full { queue_depth: depth });
+        }
+        let added = lines.len();
+        match clients.iter_mut().find(|(name, _)| name == client) {
+            Some((_, q)) => q.extend(lines),
+            None => clients.push_back((client.to_string(), lines.into())),
+        }
+        self.depth.fetch_add(added, Ordering::Release);
+        Ok(())
+    }
+
+    /// Dequeue the next line, fair across clients: serve the front
+    /// client's oldest line, then rotate that client to the back.
+    pub fn pop(&self) -> Option<(String, String)> {
+        let mut clients = self.clients.lock().expect("admission lock");
+        let (name, mut q) = clients.pop_front()?;
+        let line = q.pop_front().expect("client FIFOs are never left empty");
+        if !q.is_empty() {
+            clients.push_back((name.clone(), q));
+        }
+        self.depth.fetch_sub(1, Ordering::Release);
+        Some((name, line))
+    }
+
+    /// Lines currently admitted and waiting.
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Acquire)
+    }
+
+    /// Lines refused with [`AdmitError::Full`] since construction.
+    pub fn rejected_total(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Stop admitting (graceful drain): producers get
+    /// [`AdmitError::Closed`]; already-admitted lines still pop.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    /// True once [`close`](Self::close) was called.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_is_fair_across_clients() {
+        let q = AdmissionQueue::new(16);
+        q.push_batch("a", vec!["a1".into(), "a2".into(), "a3".into()])
+            .expect("a fits");
+        q.push_batch("b", vec!["b1".into()]).expect("b fits");
+        q.push_batch("c", vec!["c1".into(), "c2".into()])
+            .expect("c fits");
+        let order: Vec<String> = std::iter::from_fn(|| q.pop()).map(|(_, l)| l).collect();
+        assert_eq!(order, ["a1", "b1", "c1", "a2", "c2", "a3"]);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn overflow_rejects_the_whole_batch() {
+        let q = AdmissionQueue::new(3);
+        q.push_batch("a", vec!["1".into(), "2".into()])
+            .expect("fits");
+        let err = q
+            .push_batch("b", vec!["3".into(), "4".into()])
+            .expect_err("overflows");
+        assert_eq!(err, AdmitError::Full { queue_depth: 2 });
+        assert_eq!(q.rejected_total(), 2, "both lines of the batch count");
+        assert_eq!(q.depth(), 2, "nothing from the failed batch landed");
+        // A batch that fits exactly still goes through.
+        q.push_batch("b", vec!["3".into()]).expect("fits exactly");
+        assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn close_refuses_new_lines_but_drains_old_ones() {
+        let q = AdmissionQueue::new(8);
+        q.push_batch("a", vec!["1".into()]).expect("fits");
+        q.close();
+        assert_eq!(q.push_batch("a", vec!["2".into()]), Err(AdmitError::Closed));
+        assert!(!q.push_blocking("stdin", "3".into()));
+        assert_eq!(q.pop(), Some(("a".to_string(), "1".to_string())));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.rejected_total(), 0, "closed is not a 429");
+    }
+
+    #[test]
+    fn blocking_push_waits_out_a_full_queue() {
+        let q = std::sync::Arc::new(AdmissionQueue::new(1));
+        q.push_batch("a", vec!["1".into()]).expect("fits");
+        let q2 = q.clone();
+        let pusher = std::thread::spawn(move || q2.push_blocking("stdin", "2".into()));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.pop().expect("first line").1, "1");
+        assert!(pusher.join().expect("pusher joins"), "push lands after pop");
+        assert_eq!(q.pop().expect("second line").1, "2");
+        assert_eq!(q.rejected_total(), 0, "blocking retries are not rejections");
+    }
+}

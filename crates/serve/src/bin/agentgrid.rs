@@ -6,6 +6,8 @@
 //!               [--requests N] [--seed S] [--noise SIGMA] [--json]
 //!               [--trace FILE] [--trace-format jsonl|chrome] [--verify]
 //! agentgrid serve [--fast-forward | --speed X] [--listen ADDR] [--tune]
+//!                 [--wal FILE] [--wal-sync always|batch|off]
+//!                 [--record FILE] [--replay FILE]
 //!                 [--input FILE] [--metrics-out FILE] [--verify] [--json]
 //! agentgrid report TRACE                            # summarise a recorded trace
 //! agentgrid topology SPEC                           # inspect a topology
@@ -17,8 +19,9 @@
 
 use agentgrid::prelude::*;
 use agentgrid_serve::{
-    parse_stream, spawn_listener, GridService, PacedOptions, ServeConfig, ServeReport, ServeShared,
-    TunerConfig,
+    parse_stream, read_recording, spawn_listener, write_meta, AdmissionQueue, GridService,
+    PacedOptions, RecordMeta, ServeConfig, ServeReport, ServeShared, SyncPolicy, TunerConfig,
+    WalConfig, DEFAULT_ADMISSION_CAPACITY,
 };
 use std::process::ExitCode;
 
@@ -64,6 +67,8 @@ USAGE:
                      [--ga-threads N] [--ga-islands N] [--shards N] [--verify]
                      [--trace FILE] [--trace-format jsonl|chrome]
   agentgrid serve    [--fast-forward | --speed X] [--listen ADDR] [--tune]
+                     [--wal FILE] [--wal-sync always|batch|off]
+                     [--record FILE] [--replay FILE]
                      [--input FILE] [--metrics-out FILE] [--json] [--verify]
                      [--policy fifo|ga|batch] [--agents] [--topology SPEC]
                      [--seed S] [--noise SIGMA] [--shards N]
@@ -79,12 +84,29 @@ SERVE MODE:
   --speed X               paced mode: X sim-seconds per wall-second
                           (default 1.0)
   --listen ADDR           HTTP listener (GET /metrics Prometheus text,
-                          GET /status, POST /ingest JSONL); port 0 picks
-                          a free port, printed to stderr
+                          GET /status, POST /ingest JSONL, POST /shutdown
+                          for a graceful drain); port 0 picks a free
+                          port, printed to stderr; ingest overflow gets
+                          429 + Retry-After, malformed batches a 400
+                          naming the offending line
   --tune                  online self-tuner: adapts the GA budget, pull
                           period and ACT TTL to queue backlog, every
                           change emitted as telemetry
   --metrics-out FILE      write the final Prometheus exposition to FILE
+
+DURABILITY (DESIGN.md §14):
+  --wal FILE              write-ahead log: every accepted line is logged
+                          before it applies; restarting with the same
+                          FILE replays the log and resumes bit-identical
+                          to an uninterrupted session (live modes only)
+  --wal-sync POLICY       fsync cadence: always (every record), batch
+                          (every 64 records and on flush; default), off
+  --record FILE           append every accepted line (canonically
+                          stamped, with a session header) to FILE — a
+                          deterministic regression case for --replay
+  --replay FILE           re-run a --record file (or a raw WAL) at
+                          simulator speed in original acceptance order;
+                          the header restores topology/seed/policy flags
 
 VERIFICATION:
   --verify                check behavioural invariants online during the run
@@ -144,6 +166,10 @@ struct Flags {
     tune: bool,
     input: Option<String>,
     metrics_out: Option<String>,
+    wal: Option<String>,
+    wal_sync: SyncPolicy,
+    record: Option<String>,
+    replay: Option<String>,
 }
 
 impl Flags {
@@ -168,6 +194,10 @@ impl Flags {
             tune: false,
             input: None,
             metrics_out: None,
+            wal: None,
+            wal_sync: SyncPolicy::Batch,
+            record: None,
+            replay: None,
         };
         let mut it = args.iter();
         while let Some(arg) = it.next() {
@@ -229,6 +259,10 @@ impl Flags {
                 "--tune" => flags.tune = true,
                 "--input" => flags.input = Some(value("--input")?),
                 "--metrics-out" => flags.metrics_out = Some(value("--metrics-out")?),
+                "--wal" => flags.wal = Some(value("--wal")?),
+                "--wal-sync" => flags.wal_sync = SyncPolicy::parse(&value("--wal-sync")?)?,
+                "--record" => flags.record = Some(value("--record")?),
+                "--replay" => flags.replay = Some(value("--replay")?),
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -236,24 +270,7 @@ impl Flags {
     }
 
     fn topology(&self) -> Result<GridTopology, String> {
-        let parts: Vec<&str> = self.topology.split(':').collect();
-        match parts.as_slice() {
-            ["case-study"] => Ok(GridTopology::case_study()),
-            ["flat", n, nproc] => {
-                let n = n.parse().map_err(|e| format!("flat resources: {e}"))?;
-                let p = nproc.parse().map_err(|e| format!("flat nproc: {e}"))?;
-                Ok(GridTopology::flat(n, p))
-            }
-            ["tree", levels, branching, nproc] => {
-                let l = levels.parse().map_err(|e| format!("tree levels: {e}"))?;
-                let b = branching
-                    .parse()
-                    .map_err(|e| format!("tree branching: {e}"))?;
-                let p = nproc.parse().map_err(|e| format!("tree nproc: {e}"))?;
-                Ok(GridTopology::tree(l, b, p))
-            }
-            _ => Err(format!("bad topology spec `{}`", self.topology)),
-        }
+        GridTopology::from_spec(&self.topology)
     }
 
     fn workload(&self, topology: &GridTopology, default_requests: usize) -> WorkloadConfig {
@@ -406,7 +423,42 @@ fn cmd_run(flags: &Flags) -> ExitCode {
     exit_for(verify_verdict(checker.as_deref()))
 }
 
+fn policy_name(p: LocalPolicy) -> &'static str {
+    match p {
+        LocalPolicy::Fifo => "fifo",
+        LocalPolicy::Ga => "ga",
+        LocalPolicy::Batch => "batch",
+    }
+}
+
+fn parse_policy(name: &str) -> Result<LocalPolicy, String> {
+    match name {
+        "fifo" => Ok(LocalPolicy::Fifo),
+        "ga" => Ok(LocalPolicy::Ga),
+        "batch" => Ok(LocalPolicy::Batch),
+        other => Err(format!("unknown policy `{other}`")),
+    }
+}
+
 fn cmd_serve(flags: &Flags) -> ExitCode {
+    if flags.replay.is_some() {
+        for (set, what) in [
+            (flags.wal.is_some(), "--wal"),
+            (flags.fast_forward, "--fast-forward"),
+            (flags.input.is_some(), "--input"),
+            (flags.record.is_some(), "--record"),
+        ] {
+            if set {
+                eprintln!("error: --replay re-runs a finished session; {what} does not apply");
+                return ExitCode::FAILURE;
+            }
+        }
+        return cmd_serve_replay(flags);
+    }
+    if flags.wal.is_some() && flags.fast_forward {
+        eprintln!("error: --wal needs a live drive mode (drop --fast-forward)");
+        return ExitCode::FAILURE;
+    }
     let topology = match flags.topology() {
         Ok(t) => t,
         Err(e) => {
@@ -414,6 +466,25 @@ fn cmd_serve(flags: &Flags) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // A new recording opens with a self-describing header; appending to
+    // an existing recording keeps the original header.
+    if let Some(path) = &flags.record {
+        let header_needed = std::fs::metadata(path).map_or(true, |m| m.len() == 0);
+        if header_needed {
+            let meta = write_meta(&RecordMeta {
+                topology: flags.topology.clone(),
+                seed: flags.seed,
+                policy: policy_name(flags.policy).to_string(),
+                agents: flags.agents,
+                noise: flags.noise,
+                tune: flags.tune,
+            });
+            if let Err(e) = std::fs::write(path, format!("{meta}\n")) {
+                eprintln!("error: cannot write record header to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let cfg = ServeConfig {
         topology,
         design: ExperimentDesign {
@@ -425,6 +496,11 @@ fn cmd_serve(flags: &Flags) -> ExitCode {
         seed: flags.seed,
         verify: flags.verify,
         tune: flags.tune.then(TunerConfig::default),
+        wal: flags.wal.clone().map(|path| WalConfig {
+            path,
+            sync: flags.wal_sync,
+        }),
+        record: flags.record.clone(),
     };
 
     let outcome = if flags.fast_forward {
@@ -448,12 +524,11 @@ fn cmd_serve(flags: &Flags) -> ExitCode {
         };
         parse_stream(&text, SimTime::ZERO).and_then(|lines| GridService::fast_forward(&cfg, &lines))
     } else {
-        let paced = PacedOptions {
-            speed: flags.speed,
-            ..PacedOptions::default()
-        };
-        let (ingest_tx, ingest_rx) = std::sync::mpsc::channel();
-        let shared = flags.listen.as_ref().map(|_| ServeShared::new(ingest_tx));
+        let admission = std::sync::Arc::new(AdmissionQueue::new(DEFAULT_ADMISSION_CAPACITY));
+        let shared = flags
+            .listen
+            .as_ref()
+            .map(|_| ServeShared::new(admission.clone()));
         let listener = match (&flags.listen, &shared) {
             (Some(addr), Some(shared)) => match spawn_listener(addr, shared.clone()) {
                 Ok((local, handle)) => {
@@ -468,8 +543,9 @@ fn cmd_serve(flags: &Flags) -> ExitCode {
             _ => None,
         };
         let paced = PacedOptions {
-            ingest: shared.is_some().then_some(ingest_rx),
-            ..paced
+            speed: flags.speed,
+            admission: Some(admission),
+            ..PacedOptions::default()
         };
         let result = match &flags.input {
             Some(path) => match std::fs::File::open(path) {
@@ -512,6 +588,99 @@ fn cmd_serve(flags: &Flags) -> ExitCode {
     exit_for(report.clean && report.skipped_lines == 0)
 }
 
+/// `serve --replay FILE`: re-run a recorded session (or a raw WAL) at
+/// simulator speed, in the order the original session accepted the
+/// lines. The recording header, when present, restores the original
+/// topology/seed/policy flags; explicit CLI flags for a headerless file.
+fn cmd_serve_replay(flags: &Flags) -> ExitCode {
+    let path = flags.replay.as_deref().expect("checked by caller");
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (meta, lines) = match read_recording(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (topology_spec, seed, policy, agents, noise, tune) = match &meta {
+        Some(m) => {
+            let policy = match parse_policy(&m.policy) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {path} header: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            (
+                m.topology.clone(),
+                m.seed,
+                policy,
+                m.agents,
+                m.noise,
+                m.tune,
+            )
+        }
+        None => (
+            flags.topology.clone(),
+            flags.seed,
+            flags.policy,
+            flags.agents,
+            flags.noise,
+            flags.tune,
+        ),
+    };
+    let topology = match GridTopology::from_spec(&topology_spec) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut opts = flags.options();
+    if noise > 0.0 {
+        opts.noise = NoiseModel::LogNormal { sigma: noise };
+    }
+    let cfg = ServeConfig {
+        topology,
+        design: ExperimentDesign {
+            number: 0,
+            local_policy: policy,
+            agents_enabled: agents,
+        },
+        opts,
+        seed,
+        verify: flags.verify,
+        tune: tune.then(TunerConfig::default),
+        wal: None,
+        record: None,
+    };
+    eprintln!("serve: replaying {} lines from {path}", lines.len());
+    let report = match GridService::run_replay(&cfg, &lines) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(out) = &flags.metrics_out {
+        if let Err(e) = std::fs::write(out, &report.metrics_text) {
+            eprintln!("error: cannot write metrics to {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    print_serve_report(flags, &report);
+    if let Some(text) = &report.verify_report {
+        eprintln!("{text}");
+    }
+    exit_for(report.clean && report.skipped_lines == 0)
+}
+
 fn print_serve_report(flags: &Flags, report: &ServeReport) {
     if flags.json {
         println!("{}", report.result.to_json());
@@ -533,6 +702,18 @@ fn print_serve_report(flags: &Flags, report: &ServeReport) {
     );
     if report.tuner_adjustments > 0 {
         println!("  tuner: {} knob adjustments", report.tuner_adjustments);
+    }
+    if let Some(w) = &report.wal {
+        println!(
+            "  wal: seq {} (epoch {}, {} replayed, {} torn bytes dropped)",
+            w.final_seq, w.epoch, w.replayed, w.truncated_bytes
+        );
+    }
+    if report.ingest_rejected > 0 {
+        println!(
+            "  backpressure: {} lines rejected by admission control",
+            report.ingest_rejected
+        );
     }
     if report.skipped_lines > 0 {
         println!("  skipped {} malformed input lines", report.skipped_lines);

@@ -1,25 +1,35 @@
 //! A dependency-free HTTP/1.1 listener for the served grid.
 //!
-//! Three endpoints, all tiny and std-only:
+//! Endpoints, all tiny and std-only:
 //!
 //! * `GET /metrics` — the Prometheus text exposition (exporter format
-//!   0.0.4) with the live ε/ῡ/β gauges appended.
+//!   0.0.4) with the live ε/ῡ/β and durability gauges appended.
 //! * `GET /status`  — the [`LiveStatus`](crate::service::LiveStatus)
 //!   JSON one-liner.
-//! * `POST /ingest` — raw JSONL request/scale lines, injected into the
-//!   running grid exactly as stdin lines are.
+//! * `POST /ingest` — raw JSONL request/scale lines. The batch is
+//!   validated *whole* before anything is admitted: the first malformed
+//!   line fails the entire batch with a structured 400 naming its line
+//!   number, so a client never has to guess which half of a body was
+//!   applied. Valid batches enter the bounded
+//!   [`AdmissionQueue`](crate::admission::AdmissionQueue); overflow is
+//!   `429 Too Many Requests` with a `Retry-After` hint, and a draining
+//!   service answers 503.
+//! * `POST /shutdown` — request a graceful drain: the sim loop applies
+//!   everything already admitted, flushes the WAL and exits.
 //!
 //! The listener thread never touches the simulation: the event loop
 //! *publishes* rendered snapshots into [`ServeShared`] and the listener
 //! serves the latest one. A `GET` marks the shared state refresh-wanted,
 //! so the next loop iteration (≤ ~20 ms away) re-renders; the handler
-//! waits briefly to pick that up. Ingested lines travel back over a
-//! channel, keeping all grid mutation on the sim thread.
+//! waits briefly to pick that up. Ingested lines travel through the
+//! admission queue, keeping all grid mutation on the sim thread.
 
+use crate::admission::{AdmissionQueue, AdmitError};
+use crate::stream::parse_line;
+use agentgrid_sim::SimTime;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use std::sync::Mutex;
 use std::time::Duration;
@@ -30,18 +40,20 @@ pub struct ServeShared {
     status: Mutex<String>,
     refresh: AtomicBool,
     stop: AtomicBool,
-    ingest: Sender<String>,
+    shutdown_req: AtomicBool,
+    admission: Arc<AdmissionQueue>,
 }
 
 impl ServeShared {
-    /// Shared state whose `/ingest` lines flow into `ingest`.
-    pub fn new(ingest: Sender<String>) -> Arc<ServeShared> {
+    /// Shared state whose `/ingest` batches land in `admission`.
+    pub fn new(admission: Arc<AdmissionQueue>) -> Arc<ServeShared> {
         Arc::new(ServeShared {
             metrics: Mutex::new(String::new()),
             status: Mutex::new(String::new()),
             refresh: AtomicBool::new(false),
             stop: AtomicBool::new(false),
-            ingest,
+            shutdown_req: AtomicBool::new(false),
+            admission,
         })
     }
 
@@ -55,6 +67,11 @@ impl ServeShared {
     /// True when a reader asked for fresher data than the last publish.
     pub fn wants_refresh(&self) -> bool {
         self.refresh.load(Ordering::Acquire)
+    }
+
+    /// True once `POST /shutdown` asked for a graceful drain.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown_req.load(Ordering::Acquire)
     }
 
     /// Tell the listener thread to wind down.
@@ -172,24 +189,14 @@ fn handle_connection(mut stream: TcpStream, shared: &ServeShared) {
             let text = shared.status.lock().expect("status lock").clone();
             respond(&mut stream, 200, "application/json", &text);
         }
-        ("POST", "/ingest") => {
-            let text = String::from_utf8_lossy(&body);
-            let mut accepted = 0usize;
-            for line in text.lines() {
-                if line.trim().is_empty() {
-                    continue;
-                }
-                if shared.ingest.send(line.to_string()).is_err() {
-                    respond(&mut stream, 503, "text/plain", "service draining\n");
-                    return;
-                }
-                accepted += 1;
-            }
+        ("POST", "/ingest") => handle_ingest(&mut stream, shared, &body),
+        ("POST", "/shutdown") => {
+            shared.shutdown_req.store(true, Ordering::Release);
             respond(
                 &mut stream,
                 202,
                 "application/json",
-                &format!("{{\"accepted\": {accepted}}}\n"),
+                "{\"draining\": true}\n",
             );
         }
         ("GET", _) => respond(&mut stream, 404, "text/plain", "try /metrics or /status\n"),
@@ -197,11 +204,79 @@ fn handle_connection(mut stream: TcpStream, shared: &ServeShared) {
     }
 }
 
+/// Validate the whole batch, then admit it whole — or reject it whole.
+fn handle_ingest(stream: &mut TcpStream, shared: &ServeShared, body: &[u8]) {
+    let client = stream
+        .peer_addr()
+        .map(|a| a.ip().to_string())
+        .unwrap_or_else(|_| "unknown".to_string());
+    let text = String::from_utf8_lossy(body);
+    let mut batch = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        // Syntax-check only; the sim loop re-parses with its own clock
+        // when the line is applied. The explicit default_at keeps this
+        // purely a shape test.
+        if let Err(e) = parse_line(line, SimTime::ZERO) {
+            let err = json_escape(&e);
+            respond(
+                stream,
+                400,
+                "application/json",
+                &format!("{{\"error\": \"{err}\", \"line\": {}}}\n", i + 1),
+            );
+            return; // nothing from the batch was admitted
+        }
+        batch.push(line.to_string());
+    }
+    let accepted = batch.len();
+    match shared.admission.push_batch(&client, batch) {
+        Ok(()) => respond(
+            stream,
+            202,
+            "application/json",
+            &format!("{{\"accepted\": {accepted}}}\n"),
+        ),
+        Err(AdmitError::Full { queue_depth }) => respond_with(
+            stream,
+            429,
+            "application/json",
+            &[("Retry-After", "1")],
+            &format!("{{\"error\": \"queue full\", \"queue_depth\": {queue_depth}}}\n"),
+        ),
+        Err(AdmitError::Closed) => respond(stream, 503, "text/plain", "service draining\n"),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
 fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
 fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) {
+    respond_with(stream, code, content_type, &[], body);
+}
+
+fn respond_with(
+    stream: &mut TcpStream,
+    code: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) {
     let reason = match code {
         200 => "OK",
         202 => "Accepted",
@@ -209,14 +284,19 @@ fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) {
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",
         _ => "Error",
     };
-    let head = format!(
-        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
+    for (k, v) in extra_headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str("\r\n");
     let _ = stream.write_all(head.as_bytes());
     let _ = stream.write_all(body.as_bytes());
     let _ = stream.flush();
@@ -227,11 +307,21 @@ mod tests {
     use super::*;
     use std::io::{BufRead, BufReader};
 
-    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    fn get(addr: SocketAddr, path: &str) -> (u16, String, Vec<String>) {
         request(addr, &format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n"))
     }
 
-    fn request(addr: SocketAddr, raw: &str) -> (u16, String) {
+    fn post(addr: SocketAddr, path: &str, payload: &str) -> (u16, String, Vec<String>) {
+        request(
+            addr,
+            &format!(
+                "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{payload}",
+                payload.len()
+            ),
+        )
+    }
+
+    fn request(addr: SocketAddr, raw: &str) -> (u16, String, Vec<String>) {
         let mut s = TcpStream::connect(addr).expect("connect");
         s.write_all(raw.as_bytes()).expect("write");
         let mut reader = BufReader::new(s);
@@ -242,6 +332,7 @@ mod tests {
             .nth(1)
             .and_then(|c| c.parse().ok())
             .expect("status code");
+        let mut headers = Vec::new();
         let mut line = String::new();
         let mut len = 0usize;
         loop {
@@ -255,44 +346,98 @@ mod tests {
                     len = v.trim().parse().unwrap_or(0);
                 }
             }
+            headers.push(line.trim().to_string());
         }
         let mut body = vec![0u8; len];
         reader.read_exact(&mut body).expect("body");
-        (code, String::from_utf8_lossy(&body).into_owned())
+        (code, String::from_utf8_lossy(&body).into_owned(), headers)
     }
 
     #[test]
     fn listener_serves_metrics_status_and_ingest() {
-        let (tx, rx) = std::sync::mpsc::channel();
-        let shared = ServeShared::new(tx);
+        let admission = Arc::new(AdmissionQueue::new(16));
+        let shared = ServeShared::new(admission.clone());
         shared.publish(
             "# HELP x y\nx 1\n".to_string(),
             "{\"ok\": true}".to_string(),
         );
         let (addr, handle) = spawn_listener("127.0.0.1:0", shared.clone()).expect("bind");
 
-        let (code, body) = get(addr, "/metrics");
+        let (code, body, _) = get(addr, "/metrics");
         assert_eq!(code, 200);
         assert!(body.contains("x 1"), "{body}");
 
-        let (code, body) = get(addr, "/status");
+        let (code, body, _) = get(addr, "/status");
         assert_eq!(code, 200);
         assert!(body.contains("\"ok\""), "{body}");
 
         let payload = "{\"scale\": \"down\", \"resource\": \"S3\"}\n";
-        let (code, body) = request(
-            addr,
-            &format!(
-                "POST /ingest HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{payload}",
-                payload.len()
-            ),
-        );
+        let (code, body, _) = post(addr, "/ingest", payload);
         assert_eq!(code, 202);
         assert!(body.contains("\"accepted\": 1"), "{body}");
-        assert_eq!(rx.try_recv().expect("ingested line").trim(), payload.trim());
+        assert_eq!(
+            admission.pop().expect("ingested line").1.trim(),
+            payload.trim()
+        );
 
-        let (code, _) = get(addr, "/nope");
+        let (code, _, _) = get(addr, "/nope");
         assert_eq!(code, 404);
+
+        shared.shutdown();
+        handle.join().expect("listener joins");
+    }
+
+    #[test]
+    fn malformed_batch_is_rejected_whole_with_line_number() {
+        let admission = Arc::new(AdmissionQueue::new(16));
+        let shared = ServeShared::new(admission.clone());
+        let (addr, handle) = spawn_listener("127.0.0.1:0", shared.clone()).expect("bind");
+
+        // Line 1 is valid, line 2 is garbage: nothing may be admitted.
+        let payload = "{\"scale\": \"down\", \"resource\": \"S3\"}\nnot json at all\n";
+        let (code, body, _) = post(addr, "/ingest", payload);
+        assert_eq!(code, 400, "{body}");
+        assert!(body.contains("\"line\": 2"), "{body}");
+        assert_eq!(admission.depth(), 0, "batch admission is atomic");
+
+        shared.shutdown();
+        handle.join().expect("listener joins");
+    }
+
+    #[test]
+    fn overflow_answers_429_with_retry_after() {
+        let admission = Arc::new(AdmissionQueue::new(1));
+        let shared = ServeShared::new(admission.clone());
+        let (addr, handle) = spawn_listener("127.0.0.1:0", shared.clone()).expect("bind");
+
+        let line = "{\"scale\": \"down\", \"resource\": \"S3\"}\n";
+        let (code, _, _) = post(addr, "/ingest", line);
+        assert_eq!(code, 202);
+        let two = format!("{line}{line}");
+        let (code, body, headers) = post(addr, "/ingest", &two);
+        assert_eq!(code, 429, "{body}");
+        assert!(body.contains("queue_depth"), "{body}");
+        assert!(
+            headers.iter().any(|h| h.starts_with("Retry-After:")),
+            "{headers:?}"
+        );
+        assert_eq!(admission.rejected_total(), 2);
+
+        shared.shutdown();
+        handle.join().expect("listener joins");
+    }
+
+    #[test]
+    fn shutdown_endpoint_requests_a_drain() {
+        let admission = Arc::new(AdmissionQueue::new(4));
+        let shared = ServeShared::new(admission);
+        let (addr, handle) = spawn_listener("127.0.0.1:0", shared.clone()).expect("bind");
+
+        assert!(!shared.shutdown_requested());
+        let (code, body, _) = post(addr, "/shutdown", "");
+        assert_eq!(code, 202);
+        assert!(body.contains("draining"), "{body}");
+        assert!(shared.shutdown_requested());
 
         shared.shutdown();
         handle.join().expect("listener joins");

@@ -8,9 +8,14 @@
 //!
 //! * **live ingestion** — JSONL request lines from stdin or a std-only
 //!   TCP listener become portal requests injected into the running
-//!   simulation ([`stream`]);
+//!   simulation ([`stream`]), admitted through a bounded fair queue
+//!   with explicit 429 backpressure ([`admission`]);
 //! * **pacing** — real-time driving under a configurable time-dilation
 //!   factor, or fast-forward batch equivalence ([`service`]);
+//! * **durability** — a std-only write-ahead log appends every accepted
+//!   line before it applies; a restarted service replays the log
+//!   through the ordinary ingestion path and resumes bit-identical to
+//!   an uninterrupted run ([`wal`]);
 //! * **elasticity** — scripted or ingested scale-up/down directives,
 //!   generalising the chaos crash/restart machinery into planned,
 //!   graceful resource joins and leaves;
@@ -20,12 +25,22 @@
 //!   that adapts the GA budget, pull period and ACT TTL under load,
 //!   with every adjustment on the telemetry record ([`tuner`]).
 
+pub mod admission;
 pub mod http;
 pub mod service;
 pub mod stream;
 pub mod tuner;
+pub mod wal;
 
+pub use admission::{AdmissionQueue, AdmitError};
 pub use http::{spawn_listener, ServeShared};
-pub use service::{GridService, LiveStatus, PacedOptions, ServeConfig, ServeReport};
-pub use stream::{parse_line, parse_stream, write_request, write_scale, write_stream, ServeLine};
+pub use service::{
+    GridService, LiveStatus, PacedOptions, ServeConfig, ServeReport, WalSummary,
+    DEFAULT_ADMISSION_CAPACITY,
+};
+pub use stream::{
+    canonical_line, parse_line, parse_stream, read_recording, stamp, write_meta, write_request,
+    write_scale, write_stream, RecordMeta, ServeLine,
+};
 pub use tuner::{Tuner, TunerConfig};
+pub use wal::{read_wal, SyncPolicy, WalConfig, WalRecord, WalRecovery, WalWriter};

@@ -12,12 +12,28 @@
 //!   clock reaches them (via [`Simulation::peek_at`]), exercising the
 //!   live-ingestion path without wall clocks. The fuzzer drives this.
 //! * [`GridService::run_paced`] — real time: a reader thread feeds lines
-//!   through a channel, the event loop sleeps until each event's wall
-//!   deadline under a configurable time-dilation factor, and an optional
-//!   HTTP listener serves `/metrics`, `/status` and `POST /ingest`.
+//!   through a bounded [`AdmissionQueue`], the event loop sleeps until
+//!   each event's wall deadline under a configurable time-dilation
+//!   factor, and an optional HTTP listener serves `/metrics`, `/status`,
+//!   `POST /ingest` and `POST /shutdown`.
+//!
+//! # Durability (DESIGN.md §14)
+//!
+//! With a [`WalConfig`] attached, every accepted line is stamped with
+//! its effective schedule instant and appended to the write-ahead log
+//! *before* it is applied. On startup the log is replayed through the
+//! ordinary scripted-injection path — the same `inject_request` /
+//! `schedule_scale` calls, the same tuner ticks, the same telemetry
+//! events — so the restored grid (results, engine clock, tuner level,
+//! metrics) is bit-identical to a session that never crashed. Shutdown
+//! from stdin EOF, SIGTERM and `POST /shutdown` all funnel through one
+//! graceful drain that applies admitted lines, runs the simulation dry
+//! and flushes the WAL.
 
-use crate::stream::{parse_line, ServeLine};
+use crate::admission::AdmissionQueue;
+use crate::stream::{canonical_line, parse_line, stamp, ServeLine};
 use crate::tuner::{Tuner, TunerConfig};
+use crate::wal::{self, WalConfig, WalWriter};
 use agentgrid::{
     collect_result, grid_config, queue_pool, ExperimentResult, Fault, GridEvent, GridSystem,
     RunOptions, ShardRunner,
@@ -29,10 +45,14 @@ use agentgrid_telemetry::{
     AggregateRecorder, Event, InvariantRecorder, MultiRecorder, Recorder, Telemetry,
 };
 use agentgrid_workload::{ExperimentDesign, GridTopology};
-use std::io::BufRead;
-use std::sync::mpsc::{Receiver, TryRecvError};
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Admitted-but-unapplied lines the paced loop tolerates before the
+/// HTTP path starts answering 429 (overridable via `PacedOptions`).
+pub const DEFAULT_ADMISSION_CAPACITY: usize = 1024;
 
 /// Everything needed to stand up a served grid.
 pub struct ServeConfig {
@@ -50,13 +70,33 @@ pub struct ServeConfig {
     pub verify: bool,
     /// Attach the online self-tuner.
     pub tune: Option<TunerConfig>,
+    /// Write-ahead log: accepted lines are appended before they apply,
+    /// and a log with history is replayed on startup (crash recovery).
+    /// Live modes only; fast-forward bypasses the ingestion path.
+    pub wal: Option<WalConfig>,
+    /// Append every accepted line (canonically stamped) to this file,
+    /// turning the session into a `--replay`able regression case.
+    pub record: Option<String>,
+}
+
+/// Durability summary for a run served with a WAL attached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalSummary {
+    /// Sequence number of the last record in the log.
+    pub final_seq: u64,
+    /// Epoch this session wrote at (recoveries so far).
+    pub epoch: u64,
+    /// Records replayed from the log at startup.
+    pub replayed: u64,
+    /// Torn-tail bytes discarded during recovery.
+    pub truncated_bytes: u64,
 }
 
 /// What a finished serve run reports.
 pub struct ServeReport {
     /// The batch-equivalent §3.3 metrics report.
     pub result: ExperimentResult,
-    /// Requests accepted from the stream.
+    /// Requests accepted from the stream (replayed ones included).
     pub injected: usize,
     /// Tasks completed (exactly-once; excludes rejected).
     pub completed: usize,
@@ -67,6 +107,10 @@ pub struct ServeReport {
     /// Input lines that failed to parse or apply (paced mode skips bad
     /// lines instead of dying mid-serve; scripted/fast-forward error out).
     pub skipped_lines: usize,
+    /// Lines refused by the bounded admission queue (HTTP 429s).
+    pub ingest_rejected: u64,
+    /// Write-ahead log summary (`None` when served without `--wal`).
+    pub wal: Option<WalSummary>,
     /// The final Prometheus text exposition.
     pub metrics_text: String,
     /// The invariant checker's report (None when `verify` is off).
@@ -100,6 +144,14 @@ pub struct LiveStatus {
     /// Agent-subtree shards the event loop runs over (DESIGN.md §13;
     /// 1 = sequential loop). Results never depend on this.
     pub shards: usize,
+    /// Last WAL sequence number (0 without a WAL).
+    pub wal_seq: u64,
+    /// WAL records appended but not yet fsynced.
+    pub wal_lag: u64,
+    /// Lines admitted and waiting in the ingest queue.
+    pub queue_depth: usize,
+    /// Lines refused by admission control so far.
+    pub rejected_total: u64,
 }
 
 impl LiveStatus {
@@ -107,7 +159,7 @@ impl LiveStatus {
     pub fn line(&self) -> String {
         format!(
             "t={:.1}s  ε={:+.1}s  ῡ={:.1}%  β={:.1}%  completed={} active={} queued={} \
-             online={} shards={}",
+             online={} shards={} ingest_q={} rejected={} wal_seq={} wal_lag={}",
             self.now_s,
             self.epsilon_s,
             self.upsilon_pct,
@@ -116,7 +168,11 @@ impl LiveStatus {
             self.active,
             self.queued,
             self.online,
-            self.shards
+            self.shards,
+            self.queue_depth,
+            self.rejected_total,
+            self.wal_seq,
+            self.wal_lag
         )
     }
 
@@ -126,7 +182,9 @@ impl LiveStatus {
             concat!(
                 "{{\"now_s\": {:.6}, \"epsilon_s\": {:.6}, \"upsilon_pct\": {:.6}, ",
                 "\"beta_pct\": {:.6}, \"completed\": {}, \"active\": {}, ",
-                "\"queued\": {}, \"online\": {}, \"shards\": {}}}"
+                "\"queued\": {}, \"online\": {}, \"shards\": {}, ",
+                "\"wal_seq\": {}, \"wal_lag\": {}, \"queue_depth\": {}, ",
+                "\"rejected_total\": {}}}"
             ),
             self.now_s,
             self.epsilon_s,
@@ -136,7 +194,11 @@ impl LiveStatus {
             self.active,
             self.queued,
             self.online,
-            self.shards
+            self.shards,
+            self.wal_seq,
+            self.wal_lag,
+            self.queue_depth,
+            self.rejected_total
         )
     }
 }
@@ -148,8 +210,9 @@ pub struct PacedOptions {
     pub speed: f64,
     /// Wall period between stderr status lines (zero disables them).
     pub status_every: Duration,
-    /// Lines arriving from the network listener, if one is attached.
-    pub ingest: Option<Receiver<String>>,
+    /// The bounded admission queue shared with the HTTP listener; the
+    /// loop creates a private one (default capacity) when `None`.
+    pub admission: Option<Arc<AdmissionQueue>>,
 }
 
 impl Default for PacedOptions {
@@ -157,8 +220,44 @@ impl Default for PacedOptions {
         PacedOptions {
             speed: 1.0,
             status_every: Duration::from_secs(2),
-            ingest: None,
+            admission: None,
         }
+    }
+}
+
+/// SIGTERM → graceful drain, std-only: `signal(2)` is in every libc the
+/// platform links anyway, and the handler only flips an atomic.
+#[cfg(unix)]
+mod sigterm {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static TERM: AtomicBool = AtomicBool::new(false);
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_term(_sig: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_term as *const () as usize);
+        }
+    }
+
+    pub fn triggered() -> bool {
+        TERM.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sigterm {
+    pub fn install() {}
+    pub fn triggered() -> bool {
+        false
     }
 }
 
@@ -173,6 +272,18 @@ pub struct GridService {
     agg: Arc<AggregateRecorder>,
     checker: Option<Arc<InvariantRecorder>>,
     tuner: Option<Tuner>,
+    /// Infrastructure telemetry (WAL appends/replays, ingest rejections)
+    /// goes to its own recorder, like the shard-sync channel: the main
+    /// stream must stay bit-identical between a recovered session and an
+    /// uninterrupted one, and `wal_replay` vs `wal_append` counts differ
+    /// by construction.
+    infra: Arc<AggregateRecorder>,
+    infra_telemetry: Telemetry,
+    wal: Option<WalWriter>,
+    record: Option<std::fs::File>,
+    admission: Option<Arc<AdmissionQueue>>,
+    wal_replayed: u64,
+    wal_truncated: u64,
     injected: usize,
     scale_directives: usize,
     skipped_lines: usize,
@@ -228,6 +339,8 @@ impl GridService {
         }
         let telemetry = Telemetry::new(Arc::new(MultiRecorder::new(sinks)));
         opts.telemetry = telemetry.clone();
+        let infra = Arc::new(AggregateRecorder::new());
+        let infra_telemetry = Telemetry::new(infra.clone());
 
         let config = grid_config(&cfg.design, cfg.seed, &opts);
         let grid = GridSystem::new(&cfg.topology, &opts.catalog, &config);
@@ -251,6 +364,13 @@ impl GridService {
             agg,
             checker,
             tuner,
+            infra,
+            infra_telemetry,
+            wal: None,
+            record: None,
+            admission: None,
+            wal_replayed: 0,
+            wal_truncated: 0,
             injected: 0,
             scale_directives: 0,
             skipped_lines: 0,
@@ -259,11 +379,22 @@ impl GridService {
 
     /// Serve a fully-known stream as fast as the simulator runs. A
     /// stream without scale directives reproduces `agentgrid run` on the
-    /// same requests bit-for-bit.
+    /// same requests bit-for-bit. Incompatible with `--wal`: requests
+    /// bootstrap batch-style here, bypassing the ingestion path the log
+    /// replays through.
     pub fn fast_forward(cfg: &ServeConfig, lines: &[ServeLine]) -> Result<ServeReport, String> {
+        if cfg.wal.is_some() {
+            return Err("--wal needs a live drive mode (drop --fast-forward)".to_string());
+        }
         let scales = lines.iter().any(|l| matches!(l, ServeLine::Scale { .. }));
         let chaotic = scales || !cfg.opts.chaos.is_noop();
         let mut svc = GridService::new(cfg, scales, lines, chaotic);
+        svc.open_record(cfg)?;
+        if let Some(f) = &mut svc.record {
+            for l in lines {
+                writeln!(f, "{}", canonical_line(l)).map_err(|e| format!("record append: {e}"))?;
+            }
+        }
         let requests: Vec<_> = lines
             .iter()
             .filter_map(|l| match l {
@@ -278,44 +409,166 @@ impl GridService {
         svc.grid.bootstrap(&mut svc.sim, requests);
         while svc.pump(None) > 0 {}
         svc.check_step_limit()?;
-        Ok(svc.finish())
+        Ok(svc.into_report())
     }
 
     /// Serve a fully-known stream through the *live* injection path:
     /// each line enters the running simulation exactly when the event
     /// clock reaches its instant. Deterministic (no wall clock), so the
-    /// fuzzer can shrink failures through it.
+    /// fuzzer can shrink failures through it. With a WAL attached, an
+    /// existing log replays first and the given lines continue it.
     pub fn run_scripted(cfg: &ServeConfig, lines: &[ServeLine]) -> Result<ServeReport, String> {
         let scales = lines.iter().any(|l| matches!(l, ServeLine::Scale { .. }));
         let chaotic = scales || !cfg.opts.chaos.is_noop();
-        let mut svc = GridService::new(cfg, true, &[], chaotic);
+        let mut svc = GridService::open_live(cfg, chaotic)?;
         let mut lines = lines.to_vec();
+        // Stable by instant: same-instant lines keep stream order, which
+        // is also the order a WAL of this session will hold them in.
         lines.sort_by_key(ServeLine::at);
-        svc.grid.bootstrap(&mut svc.sim, Vec::new());
-        let mut next = 0;
-        loop {
-            let due = lines.get(next).map(ServeLine::at);
-            let inject = match (due, svc.sim.peek_at()) {
-                (Some(d), Some(n)) => d <= n,
-                (Some(_), None) => true,
-                (None, _) => false,
-            };
-            if inject {
-                svc.apply_line(&lines[next])?;
-                next += 1;
-            } else if svc.pump(due) == 0 {
-                break;
-            }
-        }
-        svc.check_step_limit()?;
-        Ok(svc.finish())
+        svc.ingest(&lines)?;
+        svc.drain()?;
+        Ok(svc.into_report())
     }
 
-    /// Serve live: read JSONL lines from `input` on a background thread,
-    /// pace the event clock against the wall clock at `paced.speed`
-    /// sim-seconds per second, and drain cleanly once the input (and any
-    /// network ingest channel) closes. Bad lines are reported to stderr
-    /// and skipped — a long-running service must not die on a typo.
+    /// Replay a recorded session (or raw WAL) in *file order* — the
+    /// order the original session accepted the lines in, which is what
+    /// keeps request indices (and so task identities) identical to the
+    /// session being reproduced. Strict: a line that fails to apply
+    /// fails the replay, as a regression case should.
+    pub fn run_replay(cfg: &ServeConfig, lines: &[ServeLine]) -> Result<ServeReport, String> {
+        let scales = lines.iter().any(|l| matches!(l, ServeLine::Scale { .. }));
+        let chaotic = scales || !cfg.opts.chaos.is_noop();
+        let mut svc = GridService::open_live(cfg, chaotic)?;
+        svc.ingest(lines)?;
+        svc.drain()?;
+        Ok(svc.into_report())
+    }
+
+    /// Boot a live-mode service: arm recovery, bootstrap an empty grid,
+    /// open the recording and the WAL — and, when the WAL already holds
+    /// records, replay them through the ordinary ingestion path so the
+    /// restored grid is bit-identical to a session that never stopped.
+    /// `chaotic_check` relaxes the invariant checker for streams that
+    /// scale (the replayed prefix counts too).
+    pub fn open_live(cfg: &ServeConfig, chaotic_check: bool) -> Result<GridService, String> {
+        let recovery = match &cfg.wal {
+            Some(w) => wal::read_wal(&w.path).map_err(|e| format!("wal {}: {e}", w.path))?,
+            None => wal::WalRecovery::default(),
+        };
+        let mut replay_lines = Vec::new();
+        for rec in &recovery.records {
+            // Canonical records always carry tick-exact instants, so the
+            // default_at is never consulted.
+            match parse_line(&rec.line, SimTime::ZERO) {
+                Ok(Some(l)) => replay_lines.push(l),
+                Ok(None) => {}
+                Err(e) => return Err(format!("wal record {}: {e}", rec.seq)),
+            }
+        }
+        let chaotic = chaotic_check
+            || !cfg.opts.chaos.is_noop()
+            || replay_lines
+                .iter()
+                .any(|l| matches!(l, ServeLine::Scale { .. }));
+        let mut svc = GridService::new(cfg, true, &[], chaotic);
+        svc.grid.bootstrap(&mut svc.sim, Vec::new());
+        svc.open_record(cfg)?;
+        if let Some(w) = &cfg.wal {
+            let writer = WalWriter::resume(&w.path, w.sync, &recovery)
+                .map_err(|e| format!("wal {}: {e}", w.path))?;
+            let epoch = writer.epoch();
+            svc.wal = Some(writer);
+            if !recovery.is_fresh() {
+                svc.replay(&replay_lines)?;
+                svc.wal_replayed = recovery.records.len() as u64;
+                svc.wal_truncated = recovery.truncated_bytes;
+                let (records, last_seq, truncated_bytes) = (
+                    recovery.records.len() as u64,
+                    recovery.last_seq(),
+                    recovery.truncated_bytes,
+                );
+                svc.infra_telemetry
+                    .emit(svc.sim.now().ticks(), || Event::WalReplay {
+                        records,
+                        last_seq,
+                        epoch,
+                        truncated_bytes,
+                    });
+            }
+        }
+        Ok(svc)
+    }
+
+    fn open_record(&mut self, cfg: &ServeConfig) -> Result<(), String> {
+        if let Some(path) = &cfg.record {
+            let f = std::fs::OpenOptions::new()
+                .append(true)
+                .create(true)
+                .open(path)
+                .map_err(|e| format!("record {path}: {e}"))?;
+            self.record = Some(f);
+        }
+        Ok(())
+    }
+
+    /// Ingest new lines through the scripted discipline: each line is
+    /// accepted (stamped → logged → applied) once the event clock
+    /// reaches its instant. Lines must already be in application order.
+    pub fn ingest(&mut self, lines: &[ServeLine]) -> Result<(), String> {
+        self.scripted_loop(lines, false)
+    }
+
+    /// Replay recovered lines through the same discipline, but apply
+    /// only (they are already in the log) and skip lines that no longer
+    /// apply — exactly what the live session did when it accepted them.
+    fn replay(&mut self, lines: &[ServeLine]) -> Result<(), String> {
+        self.scripted_loop(lines, true)
+    }
+
+    fn scripted_loop(&mut self, lines: &[ServeLine], replaying: bool) -> Result<(), String> {
+        let mut next = 0;
+        while next < lines.len() {
+            let due = lines[next].at();
+            let inject = match self.sim.peek_at() {
+                Some(n) => due <= n,
+                None => true,
+            };
+            if inject {
+                if replaying {
+                    if let Err(e) = self.apply_line(&lines[next]) {
+                        eprintln!("serve: wal replay skipping line: {e}");
+                        self.skipped_lines += 1;
+                    }
+                } else {
+                    self.accept_line(&lines[next])?;
+                }
+                next += 1;
+            } else {
+                self.pump(Some(due));
+                if self.sim.step_limit_reached() {
+                    return Err("serve exceeded the step limit (possible livelock)".to_string());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Run the simulation dry and flush the WAL — the tail end of every
+    /// drive mode and of the crash-recovery harness.
+    pub fn drain(&mut self) -> Result<(), String> {
+        while self.pump(None) > 0 {}
+        self.check_step_limit()?;
+        self.flush_wal()
+    }
+
+    /// Serve live: read JSONL lines from `input` on a background thread
+    /// into the bounded admission queue, pace the event clock against
+    /// the wall clock at `paced.speed` sim-seconds per second, and drain
+    /// gracefully on stdin EOF (when no listener holds the service
+    /// open), SIGTERM or `POST /shutdown` — one unified path that
+    /// applies admitted lines, flushes telemetry and the WAL. Bad lines
+    /// are reported to stderr and skipped — a long-running service must
+    /// not die on a typo.
     pub fn run_paced(
         cfg: &ServeConfig,
         input: impl BufRead + Send + 'static,
@@ -325,75 +578,74 @@ impl GridService {
         if !(paced.speed.is_finite() && paced.speed > 0.0) {
             return Err("--speed must be a positive number".to_string());
         }
-        let mut svc = GridService::new(cfg, true, &[], true);
-        svc.grid.bootstrap(&mut svc.sim, Vec::new());
+        let mut svc = GridService::open_live(cfg, true)?;
+        let admission = paced
+            .admission
+            .unwrap_or_else(|| Arc::new(AdmissionQueue::new(DEFAULT_ADMISSION_CAPACITY)));
+        svc.admission = Some(admission.clone());
+        sigterm::install();
 
-        let (tx, rx) = std::sync::mpsc::channel::<String>();
-        let reader = std::thread::spawn(move || {
-            for line in input.lines() {
-                match line {
-                    Ok(l) => {
-                        if tx.send(l).is_err() {
+        let stdin_done = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let admission = admission.clone();
+            let stdin_done = stdin_done.clone();
+            std::thread::spawn(move || {
+                for line in input.lines() {
+                    match line {
+                        Ok(l) => {
+                            if !admission.push_blocking("stdin", l) {
+                                break; // draining
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("serve: input read error: {e}");
                             break;
                         }
                     }
-                    Err(e) => {
-                        eprintln!("serve: input read error: {e}");
-                        break;
-                    }
                 }
-            }
-        });
+                stdin_done.store(true, Ordering::Release);
+            })
+        };
 
+        // A recovered session's clock starts where the log left it; the
+        // wall epoch maps onto sim time from that base, so replayed work
+        // is not re-waited for.
+        let base = svc.sim.now();
         let epoch = Instant::now();
-        let wall_to_sim =
-            |elapsed: Duration| SimTime::from_secs_f64(elapsed.as_secs_f64() * paced.speed);
-        let mut stdin_open = true;
-        let mut ingest_open = paced.ingest.is_some();
+        let wall_to_sim = |elapsed: Duration| {
+            base + SimDuration::from_secs_f64(elapsed.as_secs_f64() * paced.speed)
+        };
         let mut last_status = Instant::now();
+        let mut rejected_seen = 0u64;
         loop {
-            // Drain every line currently available from stdin + network.
-            loop {
-                let line = match rx.try_recv() {
-                    Ok(l) => Some(l),
-                    Err(TryRecvError::Empty) => None,
-                    Err(TryRecvError::Disconnected) => {
-                        stdin_open = false;
-                        None
-                    }
-                };
-                let line = line.or_else(|| {
-                    paced.ingest.as_ref().and_then(|r| match r.try_recv() {
-                        Ok(l) => Some(l),
-                        Err(TryRecvError::Empty) => None,
-                        Err(TryRecvError::Disconnected) => {
-                            ingest_open = false;
-                            None
-                        }
-                    })
-                });
-                let Some(raw) = line else { break };
+            if sigterm::triggered() || shared.as_ref().is_some_and(|s| s.shutdown_requested()) {
+                break; // graceful drain below
+            }
+            // Accept every line currently admitted from stdin + network.
+            while let Some((_client, raw)) = admission.pop() {
                 // A live line with no explicit instant arrives "now" in
                 // paced sim time.
                 let arrival = wall_to_sim(epoch.elapsed()).max(svc.sim.now());
-                match parse_line(&raw, arrival) {
-                    Ok(Some(l)) => {
-                        if let Err(e) = svc.apply_line(&l) {
-                            eprintln!("serve: skipping line: {e}");
-                            svc.skipped_lines += 1;
-                        }
-                    }
-                    Ok(None) => {}
-                    Err(e) => {
-                        eprintln!("serve: skipping line: {e}");
-                        svc.skipped_lines += 1;
-                    }
-                }
+                svc.accept_raw(&raw, arrival);
+            }
+            // Backpressure rejections surface on the infra channel.
+            let rejected = admission.rejected_total();
+            if rejected > rejected_seen {
+                let lines = rejected - rejected_seen;
+                rejected_seen = rejected;
+                let queue_depth = admission.depth() as u64;
+                svc.infra_telemetry
+                    .emit(svc.sim.now().ticks(), || Event::IngestRejected {
+                        lines,
+                        queue_depth,
+                    });
             }
 
             match svc.sim.peek_at() {
                 Some(t) => {
-                    let due = Duration::from_secs_f64(t.as_secs_f64() / paced.speed);
+                    let due = Duration::from_secs_f64(
+                        (t.as_secs_f64() - base.as_secs_f64()).max(0.0) / paced.speed,
+                    );
                     let elapsed = epoch.elapsed();
                     if elapsed >= due {
                         // Everything at or before the wall watermark is
@@ -408,8 +660,14 @@ impl GridService {
                     }
                 }
                 None => {
-                    if !stdin_open && !ingest_open {
-                        break; // drained: no events, no more input.
+                    // Without a listener, stdin EOF ends the session; a
+                    // listener holds it open for /ingest until /shutdown
+                    // or SIGTERM.
+                    if stdin_done.load(Ordering::Acquire)
+                        && shared.is_none()
+                        && admission.depth() == 0
+                    {
+                        break;
                     }
                     std::thread::sleep(Duration::from_millis(20));
                 }
@@ -429,14 +687,82 @@ impl GridService {
                 }
             }
         }
-        let _ = reader.join();
-        svc.check_step_limit()?;
-        let report = svc.finish();
+
+        svc.graceful_drain(&admission, wall_to_sim(epoch.elapsed()))?;
+        if stdin_done.load(Ordering::Acquire) {
+            let _ = reader.join();
+        }
+        // else: the reader is parked on a live stdin; it exits on the
+        // next line (push_blocking sees the closed queue) or with us.
+        let report = svc.into_report();
         if let Some(shared) = &shared {
             shared.publish(report.metrics_text.clone(), String::new());
             shared.shutdown();
         }
+        if let Some(w) = &report.wal {
+            eprintln!(
+                "serve: drained; wal seq {} (epoch {}, {} replayed)",
+                w.final_seq, w.epoch, w.replayed
+            );
+        }
         Ok(report)
+    }
+
+    /// The unified shutdown path: close admissions, apply what was
+    /// already admitted, run the simulation dry, flush the WAL.
+    fn graceful_drain(
+        &mut self,
+        admission: &AdmissionQueue,
+        arrival_floor: SimTime,
+    ) -> Result<(), String> {
+        admission.close();
+        while let Some((_client, raw)) = admission.pop() {
+            let arrival = arrival_floor.max(self.sim.now());
+            self.accept_raw(&raw, arrival);
+        }
+        self.drain()
+    }
+
+    /// Parse and accept one raw paced-mode line, skipping (with a stderr
+    /// note) anything that does not parse or apply.
+    fn accept_raw(&mut self, raw: &str, arrival: SimTime) {
+        match parse_line(raw, arrival) {
+            Ok(Some(l)) => {
+                if let Err(e) = self.accept_line(&l) {
+                    eprintln!("serve: skipping line: {e}");
+                    self.skipped_lines += 1;
+                }
+            }
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("serve: skipping line: {e}");
+                self.skipped_lines += 1;
+            }
+        }
+    }
+
+    /// Accept one new line: stamp it with its effective schedule instant
+    /// (`at := max(at, now)`), append it to the WAL and the recording
+    /// *before* it applies, then inject it. The stamped form is what
+    /// both files hold, so replay schedules the same event at the same
+    /// tick this call does.
+    fn accept_line(&mut self, line: &ServeLine) -> Result<(), String> {
+        let stamped = stamp(line, self.sim.now());
+        let text = canonical_line(&stamped);
+        if let Some(w) = &mut self.wal {
+            let (seq, bytes) = w.append(&text).map_err(|e| format!("wal append: {e}"))?;
+            let epoch = w.epoch();
+            self.infra_telemetry
+                .emit(self.sim.now().ticks(), || Event::WalAppend {
+                    seq,
+                    epoch,
+                    bytes,
+                });
+        }
+        if let Some(f) = &mut self.record {
+            writeln!(f, "{text}").map_err(|e| format!("record append: {e}"))?;
+        }
+        self.apply_line(&stamped)
     }
 
     /// Inject one parsed line into the running grid.
@@ -484,6 +810,30 @@ impl GridService {
         Ok(())
     }
 
+    fn flush_wal(&mut self) -> Result<(), String> {
+        match &mut self.wal {
+            Some(w) => w.flush().map_err(|e| format!("wal flush: {e}")),
+            None => Ok(()),
+        }
+    }
+
+    /// Records replayed from the WAL at startup (crash recovery).
+    pub fn wal_replayed(&self) -> u64 {
+        self.wal_replayed
+    }
+
+    /// Sequence number of the last WAL record (0 without a WAL).
+    pub fn wal_seq(&self) -> u64 {
+        self.wal.as_ref().map_or(0, WalWriter::seq)
+    }
+
+    /// Snapshot of the infrastructure telemetry channel (WAL appends and
+    /// replays, ingest rejections) — kept off the main stream so
+    /// recovered and uninterrupted sessions stay bit-identical there.
+    pub fn infra_snapshot(&self) -> agentgrid_telemetry::Aggregate {
+        self.infra.snapshot()
+    }
+
     /// Live ε/ῡ/β over the work completed so far, observed at `now`.
     fn live_status(&self) -> LiveStatus {
         let now = self.sim.now();
@@ -523,6 +873,10 @@ impl GridService {
             active: self.grid.active_tasks(),
             online,
             shards: self.runner.shards(),
+            wal_seq: self.wal_seq(),
+            wal_lag: self.wal.as_ref().map_or(0, WalWriter::lag),
+            queue_depth: self.admission.as_ref().map_or(0, |a| a.depth()),
+            rejected_total: self.admission.as_ref().map_or(0, |a| a.rejected_total()),
         }
     }
 
@@ -571,12 +925,32 @@ impl GridService {
                     "Current simulation time.",
                     status.now_s,
                 ),
+                (
+                    "agentgrid_wal_seq",
+                    "Sequence number of the last write-ahead-log record.",
+                    status.wal_seq as f64,
+                ),
+                (
+                    "agentgrid_wal_lag_records",
+                    "WAL records appended but not yet fsynced.",
+                    status.wal_lag as f64,
+                ),
+                (
+                    "agentgrid_ingest_queue_depth",
+                    "Lines admitted and waiting in the ingest queue.",
+                    status.queue_depth as f64,
+                ),
+                (
+                    "agentgrid_ingest_rejected_total",
+                    "Lines refused by admission control (HTTP 429).",
+                    status.rejected_total as f64,
+                ),
             ],
         )
     }
 
     /// Emit the final horizon, flush telemetry and assemble the report.
-    fn finish(self) -> ServeReport {
+    pub fn into_report(self) -> ServeReport {
         debug_assert!(
             !self.grid.work_remains(),
             "serve ended with work outstanding"
@@ -588,6 +962,7 @@ impl GridService {
         // The tuner's final state is part of the served record even if
         // the last interval never elapsed.
         self.telemetry.flush();
+        self.infra_telemetry.flush();
         let result = collect_result(&self.design, &self.topology, &self.grid, self.injected);
         let status = self.live_status();
         let metrics_text = self.render_metrics(&status);
@@ -599,6 +974,12 @@ impl GridService {
                 c.is_clean(),
             ),
         };
+        let wal_summary = self.wal.as_ref().map(|w| WalSummary {
+            final_seq: w.seq(),
+            epoch: w.epoch(),
+            replayed: self.wal_replayed,
+            truncated_bytes: self.wal_truncated,
+        });
         let report = ServeReport {
             result,
             injected: self.injected,
@@ -606,6 +987,8 @@ impl GridService {
             scale_directives: self.scale_directives,
             tuner_adjustments: self.tuner.as_ref().map_or(0, Tuner::adjustments),
             skipped_lines: self.skipped_lines,
+            ingest_rejected: self.admission.as_ref().map_or(0, |a| a.rejected_total()),
+            wal: wal_summary,
             metrics_text,
             verify_report,
             verify_events,

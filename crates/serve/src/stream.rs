@@ -192,6 +192,123 @@ pub fn write_scale(at: SimTime, resource: &str, up: bool) -> String {
     out
 }
 
+/// The canonical tick-exact JSONL form of one line — what the WAL and
+/// recordings store, guaranteed to re-parse bit-identically.
+pub fn canonical_line(l: &ServeLine) -> String {
+    match l {
+        ServeLine::Request(r) => write_request(r),
+        ServeLine::Scale { at, resource, up } => write_scale(*at, resource, *up),
+    }
+}
+
+/// Stamp a line with its *effective* schedule instant: injection clamps
+/// `at` to now (`GridSystem::inject_request` schedules at
+/// `max(at, now)`), so logging the clamped value makes the logged
+/// instant equal the applied instant — replay then schedules the same
+/// event at the same tick a live session did.
+pub fn stamp(l: &ServeLine, now: SimTime) -> ServeLine {
+    match l {
+        ServeLine::Request(r) => ServeLine::Request(GeneratedRequest {
+            at: r.at.max(now),
+            ..r.clone()
+        }),
+        ServeLine::Scale { at, resource, up } => ServeLine::Scale {
+            at: (*at).max(now),
+            resource: resource.clone(),
+            up: *up,
+        },
+    }
+}
+
+/// The `--record` header: everything needed to rebuild the served grid,
+/// making the recording a self-contained regression case.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecordMeta {
+    /// Topology spec string (`case-study`, `flat:n:p`, `tree:l:b:p`).
+    pub topology: String,
+    /// Workload/grid RNG seed.
+    pub seed: u64,
+    /// Local policy name (`fifo`/`ga`/`batch`).
+    pub policy: String,
+    /// Agent-based dispatch enabled.
+    pub agents: bool,
+    /// Log-normal execution-noise sigma (0 = noise-free).
+    pub noise: f64,
+    /// The online self-tuner was attached.
+    pub tune: bool,
+}
+
+/// Serialise the recording header line.
+pub fn write_meta(m: &RecordMeta) -> String {
+    let mut out = String::new();
+    out.push_str("{\"record\": \"agentgrid-serve/1\", \"topology\": ");
+    json::write_escaped(&mut out, &m.topology);
+    out.push_str(&format!(
+        ", \"seed\": {}, \"policy\": \"{}\", \"agents\": {}, \"noise\": {}, \"tune\": {}}}",
+        m.seed, m.policy, m.agents, m.noise, m.tune
+    ));
+    out
+}
+
+fn parse_meta(v: &Value) -> Result<RecordMeta, String> {
+    let version = v.get("record").and_then(Value::as_str).unwrap_or_default();
+    if version != "agentgrid-serve/1" {
+        return Err(format!("unsupported recording version {version:?}"));
+    }
+    Ok(RecordMeta {
+        topology: v
+            .get("topology")
+            .and_then(Value::as_str)
+            .ok_or("recording header needs a topology")?
+            .to_string(),
+        seed: v
+            .get("seed")
+            .and_then(Value::as_u64)
+            .ok_or("recording header needs a seed")?,
+        policy: v
+            .get("policy")
+            .and_then(Value::as_str)
+            .unwrap_or("ga")
+            .to_string(),
+        agents: v.get("agents").and_then(Value::as_bool).unwrap_or(false),
+        noise: v.get("noise").and_then(Value::as_f64).unwrap_or(0.0),
+        tune: v.get("tune").and_then(Value::as_bool).unwrap_or(false),
+    })
+}
+
+/// Parse a `--replay` file: a `--record` stream (optional meta header +
+/// canonical lines) **or** a raw write-ahead log, whose records are
+/// detected per line and unwrapped to the canonical line they carry.
+/// Either way the returned lines preserve file order — the order they
+/// were accepted in.
+pub fn read_recording(text: &str) -> Result<(Option<RecordMeta>, Vec<ServeLine>), String> {
+    let mut meta = None;
+    let mut lines = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let fail = |e: String| format!("line {}: {e}", i + 1);
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if lines.is_empty() && meta.is_none() {
+            if let Ok(v) = Value::parse(trimmed) {
+                if v.get("record").is_some() {
+                    meta = Some(parse_meta(&v).map_err(fail)?);
+                    continue;
+                }
+            }
+        }
+        let inner = match crate::wal::decode_record(trimmed) {
+            Some(rec) => rec.line,
+            None => trimmed.to_string(),
+        };
+        if let Some(l) = parse_line(&inner, SimTime::ZERO).map_err(fail)? {
+            lines.push(l);
+        }
+    }
+    Ok((meta, lines))
+}
+
 /// Write a whole stream of lines, requests and directives interleaved.
 pub fn write_stream(lines: &[ServeLine]) -> String {
     let mut out = String::new();
@@ -280,5 +397,97 @@ mod tests {
         assert!(err.starts_with("line 1:"), "{err}");
         let err = parse_stream("# ok\n{nope}\n", SimTime::ZERO).unwrap_err();
         assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    fn sample_lines() -> Vec<ServeLine> {
+        vec![
+            ServeLine::Request(GeneratedRequest {
+                at: SimTime::from_ticks(1_500_000),
+                agent: "R1".into(),
+                application: "fft".into(),
+                deadline: SimTime::from_ticks(31_500_000),
+                environment: ExecEnv::Test,
+            }),
+            ServeLine::Scale {
+                at: SimTime::from_secs(5),
+                resource: "R2".into(),
+                up: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn stamp_clamps_to_now_and_preserves_future_instants() {
+        let lines = sample_lines();
+        let late = SimTime::from_secs(100);
+        for l in &lines {
+            // Past instants clamp to now — the effective schedule time.
+            assert_eq!(stamp(l, late).at(), late);
+            // Future instants pass through untouched.
+            assert_eq!(stamp(l, SimTime::ZERO), *l);
+        }
+        // Deadlines survive stamping (only `at` moves).
+        let ServeLine::Request(r) = stamp(&lines[0], late) else {
+            panic!("stamp must preserve the variant");
+        };
+        assert_eq!(r.deadline, SimTime::from_ticks(31_500_000));
+    }
+
+    #[test]
+    fn canonical_lines_reparse_bit_identically() {
+        for l in sample_lines() {
+            let text = canonical_line(&l);
+            let back = parse_line(&text, SimTime::from_secs(999)).unwrap().unwrap();
+            // The default_at is irrelevant: canonical lines are
+            // tick-exact.
+            assert_eq!(back, l);
+        }
+    }
+
+    #[test]
+    fn recordings_round_trip_with_their_header() {
+        let meta = RecordMeta {
+            topology: "flat:3:4".into(),
+            seed: 42,
+            policy: "ga".into(),
+            agents: true,
+            noise: 0.25,
+            tune: true,
+        };
+        let lines = sample_lines();
+        let mut text = format!("{}\n", write_meta(&meta));
+        for l in &lines {
+            text.push_str(&canonical_line(l));
+            text.push('\n');
+        }
+        let (back_meta, back_lines) = read_recording(&text).expect("recording parses");
+        assert_eq!(back_meta, Some(meta));
+        assert_eq!(back_lines, lines);
+    }
+
+    #[test]
+    fn a_raw_wal_reads_as_a_recording_in_file_order() {
+        let lines = sample_lines();
+        let mut text = String::new();
+        for (i, l) in lines.iter().enumerate() {
+            let rec = crate::wal::WalRecord {
+                seq: i as u64 + 1,
+                epoch: 0,
+                line: canonical_line(l),
+            };
+            text.push_str(&crate::wal::encode_record(&rec));
+            text.push('\n');
+        }
+        let (meta, back) = read_recording(&text).expect("wal reads as recording");
+        assert_eq!(meta, None);
+        assert_eq!(back, lines);
+    }
+
+    #[test]
+    fn headerless_files_are_plain_streams() {
+        let text = "{\"scale\": \"up\", \"resource\": \"R2\", \"at\": 9}\n";
+        let (meta, lines) = read_recording(text).expect("plain stream reads");
+        assert_eq!(meta, None);
+        assert_eq!(lines.len(), 1);
     }
 }

@@ -16,6 +16,18 @@
 //! Every change is emitted as an [`Event::TunerAdjust`] telemetry event,
 //! so a served stream records exactly what the tuner did and when, and
 //! the invariant checker can run over the adjusted stream.
+//!
+//! # Durability and replay
+//!
+//! The tuner needs no entries of its own in the write-ahead log: every
+//! adjustment is a deterministic function of grid state and sim time
+//! (backlog sampled at fixed sim-time instants, hysteresis levels with
+//! no randomness or wall-clock input). Both a crash-recovered session
+//! and a `--replay` run construct the tuner fresh at boot and drive it
+//! through the identical event sequence, so it re-derives the same
+//! levels at the same instants and the replayed `tuner_adjust` stream
+//! matches the original exactly. Logging the accepted input lines is
+//! sufficient; logging tuner decisions would be redundant state.
 
 use agentgrid::GridSystem;
 use agentgrid_sim::{SimDuration, SimTime};

@@ -1,0 +1,435 @@
+//! The serve-mode write-ahead log (`--wal`).
+//!
+//! Every accepted ingestion line — requests, elasticity directives —
+//! is appended here *before* it is applied to the grid, as one JSON
+//! record per line:
+//!
+//! ```text
+//! {"seq": 3, "epoch": 0, "line": "{\"at_us\": ...}", "sum": "9f2c..."}
+//! ```
+//!
+//! * `seq` is contiguous from 1 and monotonic across process restarts;
+//! * `epoch` counts recoveries (0 for the first session, +1 each time a
+//!   log with history is resumed);
+//! * `line` is the canonical tick-exact serve line, stamped with its
+//!   effective schedule instant (`at := max(at, now)` at accept time);
+//! * `sum` is an FNV-1a 64 checksum over `"{seq}:{epoch}:{line}"`.
+//!
+//! Torn tails are expected, not errors: a crash can cut the file at any
+//! byte boundary, so [`parse_wal`] stops at the first incomplete,
+//! corrupt or non-contiguous record and reports the valid prefix.
+//! [`WalWriter::resume`] truncates the file back to that prefix and
+//! continues the sequence at the next epoch, which is exactly what
+//! crash recovery needs.
+//!
+//! Durability is policy-driven ([`SyncPolicy`]): `always` fsyncs every
+//! record, `batch` every [`BATCH_SYNC_EVERY`] records and on flush,
+//! `off` never (data still reaches the OS page cache on every append,
+//! so a process kill loses at most the tail the filesystem had not
+//! written — which torn-tail recovery absorbs).
+
+use agentgrid_telemetry::json::{self, Value};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+
+/// Records appended between fsyncs under [`SyncPolicy::Batch`].
+pub const BATCH_SYNC_EVERY: u64 = 64;
+
+/// When to push appended records to stable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// `fsync` after every record: no accepted line is ever lost, at
+    /// one disk round-trip per line.
+    Always,
+    /// `fsync` every [`BATCH_SYNC_EVERY`] records and on flush: bounded
+    /// loss window, near-`off` throughput.
+    Batch,
+    /// Never `fsync`: the OS page cache is the only durability.
+    Off,
+}
+
+impl SyncPolicy {
+    /// Parse the `--wal-sync` flag value.
+    pub fn parse(s: &str) -> Result<SyncPolicy, String> {
+        match s {
+            "always" => Ok(SyncPolicy::Always),
+            "batch" => Ok(SyncPolicy::Batch),
+            "off" => Ok(SyncPolicy::Off),
+            other => Err(format!(
+                "--wal-sync must be always|batch|off, got `{other}`"
+            )),
+        }
+    }
+}
+
+/// Where and how to keep the log — the `--wal`/`--wal-sync` pair.
+#[derive(Clone, Debug)]
+pub struct WalConfig {
+    /// Log file path; created if missing, recovered if it has records.
+    pub path: String,
+    /// Fsync policy for appends.
+    pub sync: SyncPolicy,
+}
+
+/// One complete, checksum-verified log record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalRecord {
+    /// 1-based contiguous sequence number.
+    pub seq: u64,
+    /// Recovery epoch the record was written in.
+    pub epoch: u64,
+    /// The canonical serve line that was accepted.
+    pub line: String,
+}
+
+/// What reading a log back yields: the valid prefix plus how much tail
+/// (if any) was torn off by a crash.
+#[derive(Clone, Debug, Default)]
+pub struct WalRecovery {
+    /// Complete records, in append (= application) order.
+    pub records: Vec<WalRecord>,
+    /// Bytes of the valid prefix (where a resumed writer continues).
+    pub valid_bytes: u64,
+    /// Bytes past the last complete record, discarded on resume.
+    pub truncated_bytes: u64,
+}
+
+impl WalRecovery {
+    /// Highest recovered sequence number (0 when the log is empty).
+    pub fn last_seq(&self) -> u64 {
+        self.records.last().map_or(0, |r| r.seq)
+    }
+
+    /// Epoch of the last record (0 when the log is empty).
+    pub fn last_epoch(&self) -> u64 {
+        self.records.last().map_or(0, |r| r.epoch)
+    }
+
+    /// True when the file held nothing at all — not even a torn tail —
+    /// so the next session is the log's first (epoch 0).
+    pub fn is_fresh(&self) -> bool {
+        self.records.is_empty() && self.truncated_bytes == 0
+    }
+}
+
+/// FNV-1a 64 over `"{seq}:{epoch}:{line}"` — std-only, stable, and
+/// plenty to tell a torn or bit-flipped record from a real one.
+fn checksum(seq: u64, epoch: u64, line: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    eat(seq.to_string().as_bytes());
+    eat(b":");
+    eat(epoch.to_string().as_bytes());
+    eat(b":");
+    eat(line.as_bytes());
+    hash
+}
+
+/// Encode one record as its on-disk JSON line (no trailing newline).
+pub fn encode_record(r: &WalRecord) -> String {
+    let mut out = String::new();
+    out.push_str("{\"seq\": ");
+    out.push_str(&r.seq.to_string());
+    out.push_str(", \"epoch\": ");
+    out.push_str(&r.epoch.to_string());
+    out.push_str(", \"line\": ");
+    json::write_escaped(&mut out, &r.line);
+    out.push_str(", \"sum\": \"");
+    out.push_str(&format!("{:016x}", checksum(r.seq, r.epoch, &r.line)));
+    out.push_str("\"}");
+    out
+}
+
+/// Decode one on-disk line; `None` for anything malformed, from cut-off
+/// JSON to a checksum mismatch.
+pub fn decode_record(line: &str) -> Option<WalRecord> {
+    let v = Value::parse(line.trim()).ok()?;
+    let seq = v.get("seq")?.as_u64()?;
+    let epoch = v.get("epoch")?.as_u64()?;
+    let text = v.get("line")?.as_str()?.to_string();
+    let sum = v.get("sum")?.as_str()?;
+    let sum = u64::from_str_radix(sum, 16).ok()?;
+    (sum == checksum(seq, epoch, &text)).then_some(WalRecord {
+        seq,
+        epoch,
+        line: text,
+    })
+}
+
+/// Scan raw log bytes into the longest valid prefix: records must be
+/// newline-complete, checksum-clean, contiguous from seq 1 and
+/// epoch-monotonic. Everything past the first violation is torn tail.
+pub fn parse_wal(bytes: &[u8]) -> WalRecovery {
+    let mut rec = WalRecovery::default();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        // A record is only complete once its newline landed on disk.
+        let Some(nl) = bytes[pos..].iter().position(|&b| b == b'\n') else {
+            break;
+        };
+        let Ok(text) = std::str::from_utf8(&bytes[pos..pos + nl]) else {
+            break;
+        };
+        let Some(r) = decode_record(text) else { break };
+        if r.seq != rec.last_seq() + 1 || r.epoch < rec.last_epoch() {
+            break;
+        }
+        rec.records.push(r);
+        pos += nl + 1;
+        rec.valid_bytes = pos as u64;
+    }
+    rec.truncated_bytes = bytes.len() as u64 - rec.valid_bytes;
+    rec
+}
+
+/// Read and scan a log file; a missing file is an empty (fresh) log.
+pub fn read_wal(path: &str) -> io::Result<WalRecovery> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e),
+    }
+    Ok(parse_wal(&bytes))
+}
+
+/// The appender. One per served grid; every accepted line goes through
+/// [`WalWriter::append`] before [`GridSystem::inject_request`] sees it.
+///
+/// [`GridSystem::inject_request`]: agentgrid::GridSystem::inject_request
+pub struct WalWriter {
+    file: File,
+    policy: SyncPolicy,
+    seq: u64,
+    epoch: u64,
+    since_sync: u64,
+    unsynced: u64,
+}
+
+impl WalWriter {
+    /// Open `path` for appending after [`read_wal`] produced `recovery`:
+    /// the torn tail (if any) is cut off with `set_len`, the sequence
+    /// continues where the valid prefix ends, and a log with history
+    /// moves to the next epoch.
+    pub fn resume(path: &str, policy: SyncPolicy, recovery: &WalRecovery) -> io::Result<WalWriter> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        file.set_len(recovery.valid_bytes)?;
+        file.seek(SeekFrom::End(0))?;
+        let epoch = if recovery.is_fresh() {
+            0
+        } else {
+            recovery.last_epoch() + 1
+        };
+        Ok(WalWriter {
+            file,
+            policy,
+            seq: recovery.last_seq(),
+            epoch,
+            since_sync: 0,
+            unsynced: 0,
+        })
+    }
+
+    /// Append one accepted line. Returns `(seq, bytes_on_disk)` for the
+    /// new record. The write is a single `write_all` of the full record
+    /// plus newline — a crash mid-call leaves at worst a torn tail.
+    pub fn append(&mut self, line: &str) -> io::Result<(u64, u64)> {
+        let record = WalRecord {
+            seq: self.seq + 1,
+            epoch: self.epoch,
+            line: line.to_string(),
+        };
+        let mut text = encode_record(&record);
+        text.push('\n');
+        self.file.write_all(text.as_bytes())?;
+        self.seq = record.seq;
+        self.unsynced += 1;
+        self.since_sync += 1;
+        match self.policy {
+            SyncPolicy::Always => self.sync()?,
+            SyncPolicy::Batch if self.since_sync >= BATCH_SYNC_EVERY => self.sync()?,
+            _ => {}
+        }
+        Ok((record.seq, text.len() as u64))
+    }
+
+    /// Push everything to stable storage (graceful shutdown; no-op work
+    /// under `off`, where the contract is explicitly page-cache-only).
+    pub fn flush(&mut self) -> io::Result<()> {
+        match self.policy {
+            SyncPolicy::Off => {
+                self.unsynced = 0;
+                Ok(())
+            }
+            _ => self.sync(),
+        }
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.since_sync = 0;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Sequence number of the last appended record.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The epoch this writer stamps on new records.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Records appended but not yet fsynced (the `wal_lag` gauge).
+    pub fn lag(&self) -> u64 {
+        self.unsynced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("agentgrid-wal-test-{tag}-{}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn records_round_trip_with_checksums() {
+        let r = WalRecord {
+            seq: 7,
+            epoch: 2,
+            line: "{\"scale\": \"down\", \"resource\": \"S3 \\\"q\\\"\"}".to_string(),
+        };
+        let text = encode_record(&r);
+        assert_eq!(decode_record(&text), Some(r.clone()));
+        // Any single-byte corruption must be caught.
+        let mut bad = text.into_bytes();
+        let mid = bad.len() / 2;
+        bad[mid] = bad[mid].wrapping_add(1);
+        let bad = String::from_utf8_lossy(&bad).into_owned();
+        assert_eq!(decode_record(&bad), None, "corrupt record decoded: {bad}");
+    }
+
+    #[test]
+    fn parse_stops_at_every_torn_boundary() {
+        let lines = ["{\"a\": 1}", "{\"b\": 2}", "{\"c\": 3}"];
+        let mut bytes = Vec::new();
+        let mut boundaries = vec![0usize];
+        for (i, l) in lines.iter().enumerate() {
+            let mut t = encode_record(&WalRecord {
+                seq: i as u64 + 1,
+                epoch: 0,
+                line: (*l).to_string(),
+            });
+            t.push('\n');
+            bytes.extend_from_slice(t.as_bytes());
+            boundaries.push(bytes.len());
+        }
+        for cut in 0..=bytes.len() {
+            let rec = parse_wal(&bytes[..cut]);
+            let complete = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+            assert_eq!(rec.last_seq(), complete as u64, "cut at byte {cut}");
+            assert_eq!(rec.valid_bytes, boundaries[complete] as u64);
+            assert_eq!(rec.truncated_bytes, (cut - boundaries[complete]) as u64);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_sequence_gaps() {
+        let mut bytes = Vec::new();
+        for seq in [1u64, 2, 4] {
+            let mut t = encode_record(&WalRecord {
+                seq,
+                epoch: 0,
+                line: "{}".to_string(),
+            });
+            t.push('\n');
+            bytes.extend_from_slice(t.as_bytes());
+        }
+        let rec = parse_wal(&bytes);
+        assert_eq!(rec.last_seq(), 2, "the gap at seq 4 ends the valid prefix");
+        assert!(rec.truncated_bytes > 0);
+    }
+
+    #[test]
+    fn resume_truncates_and_bumps_epoch() {
+        let path = temp_path("resume");
+        let _ = std::fs::remove_file(&path);
+
+        // Session 1: fresh log, epoch 0.
+        let fresh = read_wal(&path).expect("read missing");
+        assert!(fresh.is_fresh());
+        let mut w = WalWriter::resume(&path, SyncPolicy::Batch, &fresh).expect("create");
+        assert_eq!(w.epoch(), 0);
+        for i in 0..3 {
+            let (seq, _) = w.append(&format!("{{\"n\": {i}}}")).expect("append");
+            assert_eq!(seq, i + 1);
+        }
+        w.flush().expect("flush");
+        assert_eq!(w.lag(), 0);
+        drop(w);
+
+        // Crash: tear the last record mid-byte.
+        let full = std::fs::read(&path).expect("read back");
+        std::fs::write(&path, &full[..full.len() - 5]).expect("tear");
+
+        // Session 2: recover to seq 2, continue at epoch 1.
+        let rec = read_wal(&path).expect("read torn");
+        assert_eq!(rec.last_seq(), 2);
+        assert!(rec.truncated_bytes > 0);
+        let mut w = WalWriter::resume(&path, SyncPolicy::Always, &rec).expect("resume");
+        assert_eq!(w.epoch(), 1);
+        let (seq, _) = w.append("{\"n\": 9}").expect("append after recovery");
+        assert_eq!(seq, 3);
+        assert_eq!(w.lag(), 0, "always-sync leaves no lag");
+        drop(w);
+
+        let rec = read_wal(&path).expect("final read");
+        assert_eq!(rec.last_seq(), 3);
+        assert_eq!(rec.truncated_bytes, 0);
+        assert_eq!(rec.records[2].epoch, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sync_policies_track_lag() {
+        let path = temp_path("lag");
+        let _ = std::fs::remove_file(&path);
+        let mut w =
+            WalWriter::resume(&path, SyncPolicy::Off, &WalRecovery::default()).expect("create");
+        for _ in 0..5 {
+            w.append("{}").expect("append");
+        }
+        assert_eq!(w.lag(), 5, "off never syncs");
+        w.flush().expect("flush");
+        assert_eq!(w.lag(), 0, "flush settles the gauge even under off");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn policy_flag_parses() {
+        assert_eq!(SyncPolicy::parse("always"), Ok(SyncPolicy::Always));
+        assert_eq!(SyncPolicy::parse("batch"), Ok(SyncPolicy::Batch));
+        assert_eq!(SyncPolicy::parse("off"), Ok(SyncPolicy::Off));
+        assert!(SyncPolicy::parse("sometimes").is_err());
+    }
+}

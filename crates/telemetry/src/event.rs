@@ -274,6 +274,41 @@ pub enum Event {
         /// Final simulated time, ticks.
         horizon: Micros,
     },
+    /// One accepted ingestion line was appended to the serve-mode
+    /// write-ahead log (before being applied to the grid). Emitted on
+    /// the serve loop's dedicated infrastructure channel so the main
+    /// stream stays bit-identical between a live run and its replay.
+    WalAppend {
+        /// Sequence number of the appended record (1-based, monotonic
+        /// across process restarts).
+        seq: u64,
+        /// Drive-mode epoch: 0 for a fresh log, +1 per crash recovery.
+        epoch: u64,
+        /// Encoded record size on disk, bytes (newline included).
+        bytes: u64,
+    },
+    /// A write-ahead log was replayed through the ordinary ingestion
+    /// path at startup (crash recovery). One summary event per
+    /// recovery, on the infrastructure channel.
+    WalReplay {
+        /// Complete records recovered and re-applied.
+        records: u64,
+        /// Highest sequence number recovered.
+        last_seq: u64,
+        /// Epoch the resumed log continues at.
+        epoch: u64,
+        /// Torn-tail bytes discarded past the last complete record.
+        truncated_bytes: u64,
+    },
+    /// The bounded ingest admission queue refused lines (backpressure:
+    /// the HTTP path answered `429 Too Many Requests`). Aggregated by
+    /// the serve loop; emitted on the infrastructure channel.
+    IngestRejected {
+        /// Lines refused since the previous event.
+        lines: u64,
+        /// Queue depth observed when the rejection was noticed.
+        queue_depth: u64,
+    },
     /// One merge-barrier window of the sharded simulation: a batch of
     /// commuting events executed across shard workers and re-delivered
     /// in sequential order. Emitted on a dedicated sync channel so the
@@ -330,6 +365,9 @@ impl Event {
             Event::EngineStep { .. } => "engine_step",
             Event::EngineHorizon { .. } => "engine_horizon",
             Event::ShardSync { .. } => "shard_sync",
+            Event::WalAppend { .. } => "wal_append",
+            Event::WalReplay { .. } => "wal_replay",
+            Event::IngestRejected { .. } => "ingest_rejected",
         }
     }
 
@@ -363,6 +401,8 @@ impl Event {
             Event::EngineStep { .. } | Event::EngineHorizon { .. } | Event::ShardSync { .. } => {
                 "engine"
             }
+            Event::WalAppend { .. } | Event::WalReplay { .. } => "wal",
+            Event::IngestRejected { .. } => "ingest",
         }
     }
 }
@@ -604,6 +644,26 @@ impl TimedEvent {
                 push("batched", json::num(*batched as f64));
                 push("busiest", json::num(*busiest as f64));
             }
+            Event::WalAppend { seq, epoch, bytes } => {
+                push("seq", json::num(*seq as f64));
+                push("epoch", json::num(*epoch as f64));
+                push("bytes", json::num(*bytes as f64));
+            }
+            Event::WalReplay {
+                records,
+                last_seq,
+                epoch,
+                truncated_bytes,
+            } => {
+                push("records", json::num(*records as f64));
+                push("last_seq", json::num(*last_seq as f64));
+                push("epoch", json::num(*epoch as f64));
+                push("truncated_bytes", json::num(*truncated_bytes as f64));
+            }
+            Event::IngestRejected { lines, queue_depth } => {
+                push("lines", json::num(*lines as f64));
+                push("queue_depth", json::num(*queue_depth as f64));
+            }
         }
         Value::Obj(fields)
     }
@@ -760,6 +820,21 @@ impl TimedEvent {
                 batched: u64_field("batched")?,
                 busiest: u64_field("busiest")?,
             },
+            "wal_append" => Event::WalAppend {
+                seq: u64_field("seq")?,
+                epoch: u64_field("epoch")?,
+                bytes: u64_field("bytes")?,
+            },
+            "wal_replay" => Event::WalReplay {
+                records: u64_field("records")?,
+                last_seq: u64_field("last_seq")?,
+                epoch: u64_field("epoch")?,
+                truncated_bytes: u64_field("truncated_bytes")?,
+            },
+            "ingest_rejected" => Event::IngestRejected {
+                lines: u64_field("lines")?,
+                queue_depth: u64_field("queue_depth")?,
+            },
             _ => return None,
         };
         Some(TimedEvent { t, event })
@@ -908,6 +983,21 @@ pub(crate) fn one_of_each_variant() -> Vec<TimedEvent> {
             shards: 4,
             batched: 96,
             busiest: 31,
+        },
+        Event::WalAppend {
+            seq: 42,
+            epoch: 1,
+            bytes: 137,
+        },
+        Event::WalReplay {
+            records: 41,
+            last_seq: 41,
+            epoch: 2,
+            truncated_bytes: 19,
+        },
+        Event::IngestRejected {
+            lines: 8,
+            queue_depth: 1024,
         },
     ]
     .into_iter()

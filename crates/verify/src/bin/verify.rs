@@ -1,7 +1,8 @@
 //! The verification CLI: a seeded fuzz campaign with shrinking.
 //!
 //! ```text
-//! verify fuzz [--seeds N] [--start S] [--quick] [--serve] [--shards N] [--out FILE]
+//! verify fuzz [--seeds N] [--start S] [--quick] [--serve] [--crash]
+//!             [--replay FILE] [--shards N] [--out FILE]
 //! ```
 //!
 //! Runs `N` generated cases (default 100) starting at seed `S`
@@ -15,17 +16,29 @@
 //! streams plus elasticity directives pushed through the live-injection
 //! serve loop (`GridService::run_scripted`) under the same checker.
 //!
+//! `--crash` switches to the durability corpus: each serve case runs
+//! with a write-ahead log, is killed at a seed-chosen point (half the
+//! time with a torn log tail), recovered from the log and required to
+//! finish bit-identical to an uninterrupted run.
+//!
+//! `--serve --replay FILE` is the determinism gate for recorded
+//! sessions: the `agentgrid serve --record` file (or raw WAL) is
+//! replayed twice and the two runs must match byte-for-byte.
+//!
 //! `--shards N` forces every case onto `N` agent-subtree shards
 //! (DESIGN.md §13) instead of the generated per-case value: re-running
 //! one corpus at several shard counts must give identical verdicts.
 
+use agentgrid::prelude::*;
+use agentgrid_serve::{read_recording, GridService, ServeConfig, TunerConfig};
+use agentgrid_verify::crash::crash_corpus;
 use agentgrid_verify::fuzz::fuzz_corpus_sharded;
 use agentgrid_verify::serve_fuzz::serve_fuzz_corpus;
 use std::io::Write;
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: verify fuzz [--seeds N] [--start S] [--quick] [--serve] [--shards N] [--out FILE]";
+const USAGE: &str = "usage: verify fuzz [--seeds N] [--start S] [--quick] [--serve] [--crash] \
+                     [--replay FILE] [--shards N] [--out FILE]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -38,6 +51,8 @@ fn main() -> ExitCode {
     let mut start: u64 = 0;
     let mut quick = false;
     let mut serve = false;
+    let mut crash = false;
+    let mut replay: Option<String> = None;
     let mut shards: Option<usize> = None;
     let mut out: Option<String> = None;
     let mut it = args[1..].iter();
@@ -53,6 +68,11 @@ fn main() -> ExitCode {
             },
             "--quick" => quick = true,
             "--serve" => serve = true,
+            "--crash" => crash = true,
+            "--replay" => match it.next() {
+                Some(v) => replay = Some(v.clone()),
+                None => return bad_usage("--replay needs a path"),
+            },
             "--shards" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) if v >= 1 => shards = Some(v),
                 _ => return bad_usage("--shards needs a number >= 1"),
@@ -63,6 +83,12 @@ fn main() -> ExitCode {
             },
             other => return bad_usage(&format!("unknown flag {other}")),
         }
+    }
+    if let Some(path) = &replay {
+        if !serve || crash {
+            return bad_usage("--replay needs --serve (and not --crash)");
+        }
+        return replay_gate(path);
     }
 
     // Failing candidates panic constantly while the shrinker probes
@@ -77,7 +103,34 @@ fn main() -> ExitCode {
             eprintln!("... {ran} cases, clean so far");
         }
     };
-    let (summary, failure_lines) = if serve {
+    let (summary, failure_lines) = if crash {
+        if shards.is_some() {
+            return bad_usage("--shards applies to the batch corpus, not --crash");
+        }
+        let report = crash_corpus(start, seeds, quick, |case, failure| {
+            progress(case.fuzz.seed, failure)
+        });
+        let lines: Vec<(String, String, String)> = report
+            .failures
+            .iter()
+            .map(|f| {
+                (
+                    format!("seed {} -> shrunk to: {:?}", f.case.fuzz.seed, f.shrunk),
+                    f.failure.to_string(),
+                    format!("let case = {:?}; assert!(case.run().is_some());", f.shrunk),
+                )
+            })
+            .collect();
+        (
+            Summary {
+                label: "verify fuzz --crash",
+                cases: report.cases,
+                events: 0,
+                clean: report.is_clean(),
+            },
+            lines,
+        )
+    } else if serve {
         if shards.is_some() {
             return bad_usage("--shards applies to the batch corpus, not --serve");
         }
@@ -163,6 +216,107 @@ fn main() -> ExitCode {
     }
 
     if summary.clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The recorded-session determinism gate (`--serve --replay FILE`):
+/// replay the recording twice through the acceptance-order replay path
+/// and require the two runs to match byte-for-byte under the checker.
+fn replay_gate(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("verify: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (meta, lines) = match read_recording(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("verify: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(meta) = meta else {
+        eprintln!(
+            "verify: {path} has no recording header; replay it with \
+             `agentgrid serve --replay` and explicit topology flags instead"
+        );
+        return ExitCode::FAILURE;
+    };
+    let topology = match GridTopology::from_spec(&meta.topology) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("verify: {path} header: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let policy = match meta.policy.as_str() {
+        "fifo" => LocalPolicy::Fifo,
+        "ga" => LocalPolicy::Ga,
+        "batch" => LocalPolicy::Batch,
+        other => {
+            eprintln!("verify: {path} header: unknown policy `{other}`");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut opts = RunOptions::paper();
+    if meta.noise > 0.0 {
+        opts.noise = NoiseModel::LogNormal { sigma: meta.noise };
+    }
+    let cfg = ServeConfig {
+        topology,
+        design: ExperimentDesign {
+            number: 0,
+            local_policy: policy,
+            agents_enabled: meta.agents,
+        },
+        opts,
+        seed: meta.seed,
+        verify: true,
+        tune: meta.tune.then(TunerConfig::default),
+        wal: None,
+        record: None,
+    };
+    let sim_metrics = |text: &str| -> String {
+        text.lines()
+            .filter(|l| !l.contains("ga_generation_wall_us"))
+            .map(|l| format!("{l}\n"))
+            .collect()
+    };
+    let a = match GridService::run_replay(&cfg, &lines) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("verify: replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let b = match GridService::run_replay(&cfg, &lines) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("verify: second replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let deterministic = a.result.to_json() == b.result.to_json()
+        && sim_metrics(&a.metrics_text) == sim_metrics(&b.metrics_text);
+    println!(
+        "verify fuzz --serve --replay: {} line(s), {} completed, deterministic: {}, clean: {}",
+        lines.len(),
+        a.completed,
+        deterministic,
+        a.clean && b.clean
+    );
+    if !deterministic {
+        eprintln!("verify: the two replays diverged — the recording is not deterministic");
+    }
+    if !a.clean {
+        eprintln!("{}", a.verify_report.unwrap_or_default());
+    }
+    if deterministic && a.clean && b.clean {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

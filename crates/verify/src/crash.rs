@@ -1,0 +1,375 @@
+//! Kill-at-random-point crash/recovery fuzzing for the durable serve
+//! loop (`verify fuzz --crash`).
+//!
+//! Each case reuses a [`ServeFuzzCase`]'s seeded topology and stream,
+//! serves it with a write-ahead log attached, and *kills* the session —
+//! drops the service with no drain, no flush, no report — after a
+//! seed-chosen number of accepted lines. Half the corpus additionally
+//! tears the log at a random byte inside the final record, simulating a
+//! crash mid-`write(2)`. A second session then opens the same log,
+//! replays it, serves the remaining lines and drains.
+//!
+//! The recovered run must be **bit-identical** to an uninterrupted
+//! reference serving the same stream over a fresh log: same result
+//! JSON, same sim-deterministic metrics exposition, same final WAL
+//! sequence number, clean under the online invariant checker. Anything
+//! less means recovery lost, duplicated or reordered state.
+
+use crate::fuzz::CaseFailure;
+use crate::serve_fuzz::ServeFuzzCase;
+use agentgrid_serve::{GridService, ServeLine, SyncPolicy, WalConfig};
+use agentgrid_sim::RngStream;
+use rand::Rng;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One crash/recovery scenario, fully determined by its fields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashCase {
+    /// The underlying serve scenario (topology, stream, tuner).
+    pub fuzz: ServeFuzzCase,
+    /// Lines accepted before the simulated SIGKILL (0 = crash before
+    /// anything was logged; the full count = crash after the last
+    /// accept but before the drain).
+    pub kill_after: usize,
+    /// Tear the log at a random byte inside its final record before
+    /// recovering (crash mid-write).
+    pub tear: bool,
+}
+
+impl CrashCase {
+    /// Derive a scenario from `seed` alone. Same `(seed, quick)`, same
+    /// case — including the kill point and the tear decision.
+    pub fn generate(seed: u64, quick: bool) -> CrashCase {
+        let fuzz = ServeFuzzCase::generate(seed, quick);
+        let total = fuzz.lines().len();
+        let mut rng = RngStream::root(seed).derive("verify/crash");
+        let kill_after = rng.gen_range(0..=total);
+        let tear = kill_after > 0 && rng.gen_range(0..2) == 0;
+        CrashCase {
+            fuzz,
+            kill_after,
+            tear,
+        }
+    }
+
+    /// Run the crash → recover → compare cycle. `None` means the
+    /// recovered session was bit-identical to the uninterrupted one.
+    pub fn run(&self) -> Option<CaseFailure> {
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| self.execute()));
+        match outcome {
+            Err(payload) => Some(CaseFailure::Panic(crate::fuzz::panic_message(&*payload))),
+            Ok(Err(e)) => Some(CaseFailure::Accounting(e)),
+            Ok(Ok(())) => None,
+        }
+    }
+
+    fn execute(&self) -> Result<(), String> {
+        let mut lines = self.fuzz.lines();
+        // The order run_scripted applies them in; acceptance order is
+        // what the WAL preserves and what task identity depends on.
+        lines.sort_by_key(ServeLine::at);
+        let total = lines.len();
+        let kill = self.kill_after.min(total);
+
+        let wal_ref = TempWal::new("ref");
+        let wal_crash = TempWal::new("crash");
+
+        // The uninterrupted reference: same stream, fresh log.
+        let cfg_ref = self.fuzz.config(Some(wal_ref.config()));
+        let reference = GridService::run_scripted(&cfg_ref, &lines)
+            .map_err(|e| format!("reference run: {e}"))?;
+
+        // Session 1: accept `kill` lines, then vanish mid-flight — no
+        // drain, no WAL flush, no report. Dropping the service is the
+        // closest in-process stand-in for SIGKILL.
+        let cfg = self.fuzz.config(Some(wal_crash.config()));
+        {
+            let mut svc =
+                GridService::open_live(&cfg, true).map_err(|e| format!("session 1 open: {e}"))?;
+            svc.ingest(&lines[..kill])
+                .map_err(|e| format!("session 1 ingest: {e}"))?;
+            drop(svc);
+        }
+        if self.tear {
+            tear_final_record(&wal_crash.path, self.fuzz.seed)?;
+        }
+
+        // Session 2: recover from the log, serve the rest, drain.
+        let mut svc =
+            GridService::open_live(&cfg, true).map_err(|e| format!("recovery open: {e}"))?;
+        let replayed = svc.wal_replayed() as usize;
+        if replayed > kill {
+            return Err(format!(
+                "recovery replayed {replayed} records but only {kill} were accepted"
+            ));
+        }
+        if !self.tear && replayed != kill {
+            return Err(format!(
+                "un-torn log lost records: {replayed} replayed of {kill} accepted"
+            ));
+        }
+        svc.ingest(&lines[replayed..])
+            .map_err(|e| format!("session 2 ingest: {e}"))?;
+        svc.drain().map_err(|e| format!("session 2 drain: {e}"))?;
+        let recovered = svc.into_report();
+
+        // Bit-identity with the uninterrupted run.
+        if recovered.result.to_json() != reference.result.to_json() {
+            return Err(format!(
+                "recovered result diverged from the uninterrupted run\nrecovered: {}\nreference: {}",
+                recovered.result.to_json(),
+                reference.result.to_json()
+            ));
+        }
+        let (rec_m, ref_m) = (
+            sim_deterministic_metrics(&recovered.metrics_text),
+            sim_deterministic_metrics(&reference.metrics_text),
+        );
+        if rec_m != ref_m {
+            return Err(first_diff(
+                "metrics diverged after recovery",
+                &rec_m,
+                &ref_m,
+            ));
+        }
+        let final_seq = recovered.wal.as_ref().map_or(0, |w| w.final_seq);
+        if final_seq != total as u64 {
+            return Err(format!(
+                "final wal seq {final_seq} != {total} accepted lines"
+            ));
+        }
+        if !recovered.clean {
+            return Err(format!(
+                "recovered run violated invariants:\n{}",
+                recovered.verify_report.unwrap_or_default()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Shrink a failing crash case: earlier kill points first (a failure
+/// that reproduces with `kill_after = 0` is a plain determinism bug),
+/// then the tear, then the underlying stream via the serve shrinker's
+/// dimensions.
+pub fn shrink_crash(case: CrashCase) -> CrashCase {
+    let mut best = case;
+    loop {
+        let mut candidates = Vec::new();
+        if best.kill_after > 0 {
+            candidates.push(CrashCase {
+                kill_after: best.kill_after / 2,
+                ..best
+            });
+            candidates.push(CrashCase {
+                kill_after: best.kill_after - 1,
+                ..best
+            });
+        }
+        if best.tear {
+            candidates.push(CrashCase {
+                tear: false,
+                ..best
+            });
+        }
+        if best.fuzz.requests > 1 {
+            candidates.push(CrashCase {
+                fuzz: ServeFuzzCase {
+                    requests: best.fuzz.requests / 2,
+                    ..best.fuzz
+                },
+                kill_after: best.kill_after.min(best.fuzz.requests / 2),
+                ..best
+            });
+        }
+        if best.fuzz.scales > 0 {
+            candidates.push(CrashCase {
+                fuzz: ServeFuzzCase {
+                    scales: best.fuzz.scales - 1,
+                    ..best.fuzz
+                },
+                ..best
+            });
+        }
+        if best.fuzz.tune {
+            candidates.push(CrashCase {
+                fuzz: ServeFuzzCase {
+                    tune: false,
+                    ..best.fuzz
+                },
+                ..best
+            });
+        }
+        candidates.dedup();
+        match candidates.into_iter().find(|c| c.run().is_some()) {
+            Some(c) => best = c,
+            None => return best,
+        }
+    }
+}
+
+/// One crash-corpus failure, shrunk and replayable.
+#[derive(Clone, Debug)]
+pub struct CrashFailure {
+    /// The case as generated.
+    pub case: CrashCase,
+    /// Its minimal failing neighbour.
+    pub shrunk: CrashCase,
+    /// Why the shrunken case fails.
+    pub failure: CaseFailure,
+}
+
+/// A whole crash-corpus run.
+#[derive(Clone, Debug, Default)]
+pub struct CrashReport {
+    /// Cases executed.
+    pub cases: usize,
+    /// Failures, shrunk and replayable.
+    pub failures: Vec<CrashFailure>,
+}
+
+impl CrashReport {
+    /// Whether every recovery was bit-identical.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Run `count` generated crash cases starting at `start_seed`, shrinking
+/// every failure. `progress` sees each case after it ran.
+pub fn crash_corpus(
+    start_seed: u64,
+    count: usize,
+    quick: bool,
+    mut progress: impl FnMut(&CrashCase, Option<&CaseFailure>),
+) -> CrashReport {
+    let mut report = CrashReport::default();
+    for seed in start_seed..start_seed + count as u64 {
+        let case = CrashCase::generate(seed, quick);
+        let failure = case.run();
+        report.cases += 1;
+        progress(&case, failure.as_ref());
+        if failure.is_some() {
+            let shrunk = shrink_crash(case);
+            let failure = shrunk
+                .run()
+                .expect("a shrunken case must still reproduce its failure");
+            report.failures.push(CrashFailure {
+                case,
+                shrunk,
+                failure,
+            });
+        }
+    }
+    report
+}
+
+/// Truncate the log at a deterministic byte inside its final record.
+fn tear_final_record(path: &PathBuf, seed: u64) -> Result<(), String> {
+    let data = std::fs::read(path).map_err(|e| format!("tear read: {e}"))?;
+    if data.is_empty() {
+        return Ok(());
+    }
+    let start = data[..data.len() - 1]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |p| p + 1);
+    let mut rng = RngStream::root(seed).derive("verify/crash/tear");
+    // `start` drops the record whole; anything past it leaves a torn
+    // prefix the parser must refuse.
+    let cut = rng.gen_range(start..data.len());
+    let f = std::fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| format!("tear open: {e}"))?;
+    f.set_len(cut as u64).map_err(|e| format!("tear: {e}"))?;
+    Ok(())
+}
+
+/// Drop the one metric family measured against the host wall clock;
+/// everything else must reproduce byte-for-byte (tests/serve_golden.rs
+/// draws the same line).
+fn sim_deterministic_metrics(text: &str) -> String {
+    text.lines()
+        .filter(|l| !l.contains("ga_generation_wall_us"))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+fn first_diff(what: &str, a: &str, b: &str) -> String {
+    for (la, lb) in a.lines().zip(b.lines()) {
+        if la != lb {
+            return format!("{what}: `{la}` vs `{lb}`");
+        }
+    }
+    format!(
+        "{what}: {} vs {} lines",
+        a.lines().count(),
+        b.lines().count()
+    )
+}
+
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely-named WAL file in the system temp dir, deleted on drop.
+struct TempWal {
+    path: PathBuf,
+}
+
+impl TempWal {
+    fn new(tag: &str) -> TempWal {
+        let n = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "agentgrid-crash-{}-{n}-{tag}.wal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        TempWal { path }
+    }
+
+    fn config(&self) -> WalConfig {
+        WalConfig {
+            path: self.path.to_string_lossy().into_owned(),
+            sync: SyncPolicy::Off,
+        }
+    }
+}
+
+impl Drop for TempWal {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_kill_points_vary() {
+        let mut kills = std::collections::HashSet::new();
+        let mut torn = 0;
+        for seed in 0..20 {
+            let a = CrashCase::generate(seed, true);
+            assert_eq!(a, CrashCase::generate(seed, true));
+            assert!(a.kill_after <= a.fuzz.lines().len());
+            kills.insert(a.kill_after);
+            torn += a.tear as usize;
+        }
+        assert!(kills.len() > 3, "kill points must spread: {kills:?}");
+        assert!(torn > 0, "some cases must tear the log tail");
+    }
+
+    #[test]
+    fn a_small_crash_corpus_recovers_bit_identically() {
+        let report = crash_corpus(0, 4, true, |_, _| {});
+        assert_eq!(report.cases, 4);
+        assert!(
+            report.is_clean(),
+            "crash corpus failed: {:?}",
+            report.failures
+        );
+    }
+}

@@ -27,12 +27,17 @@
 //! - [`serve_fuzz`] — the serve-mode sibling: random JSONL request
 //!   streams plus elasticity directives pushed through the live
 //!   injection path (`verify fuzz --serve`).
+//! - [`crash`] — kill-at-random-point durability fuzzing: a served
+//!   session with a write-ahead log is killed mid-stream (optionally
+//!   with a torn log tail), recovered, and required to finish
+//!   bit-identical to an uninterrupted run (`verify fuzz --crash`).
 //!
 //! The `verify` binary drives the fuzzer from the command line:
 //! `cargo run --bin verify -- fuzz --seeds 100 --quick`.
 
 #![warn(missing_docs)]
 
+pub mod crash;
 pub mod fuzz;
 pub mod oracle;
 pub mod serve_fuzz;
@@ -44,6 +49,7 @@ pub mod invariant {
     pub use agentgrid_telemetry::invariant::{CheckMode, InvariantRecorder, Violation};
 }
 
+pub use crash::{crash_corpus, shrink_crash, CrashCase, CrashFailure, CrashReport};
 pub use fuzz::{
     fuzz_corpus, fuzz_corpus_sharded, shrink, CaseFailure, CaseOutcome, FuzzCase, FuzzFailure,
     FuzzReport,

@@ -155,7 +155,10 @@ impl ServeFuzzCase {
         }
     }
 
-    fn execute(&self) -> Result<ServeSummary, String> {
+    /// The `ServeConfig` this case runs under, with an optional WAL
+    /// attached — the crash/recovery harness ([`crate::crash`]) builds
+    /// the exact same grid around a write-ahead log.
+    pub fn config(&self, wal: Option<agentgrid_serve::WalConfig>) -> ServeConfig {
         let topology = GridTopology::flat(self.resources, self.nproc);
         let design = match self.design {
             1 => ExperimentDesign::experiment1(),
@@ -172,7 +175,7 @@ impl ServeFuzzCase {
                 .with_dispatch_timeout(SimDuration::from_secs(2))
                 .with_max_retries(24);
         }
-        let cfg = ServeConfig {
+        ServeConfig {
             topology,
             design,
             opts,
@@ -182,7 +185,13 @@ impl ServeFuzzCase {
                 interval: SimDuration::from_secs(5),
                 ..TunerConfig::default()
             }),
-        };
+            wal,
+            record: None,
+        }
+    }
+
+    fn execute(&self) -> Result<ServeSummary, String> {
+        let cfg = self.config(None);
         let report = GridService::run_scripted(&cfg, &self.lines())?;
         Ok(ServeSummary {
             requests: report.injected,

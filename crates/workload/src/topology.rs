@@ -109,6 +109,30 @@ impl GridTopology {
         GridTopology { resources }
     }
 
+    /// Build a topology from its CLI/recording spec string:
+    /// `case-study`, `flat:<resources>:<nproc>` or
+    /// `tree:<levels>:<branching>:<nproc>`.
+    pub fn from_spec(spec: &str) -> Result<GridTopology, String> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        match parts.as_slice() {
+            ["case-study"] => Ok(GridTopology::case_study()),
+            ["flat", n, nproc] => {
+                let n = n.parse().map_err(|e| format!("flat resources: {e}"))?;
+                let p = nproc.parse().map_err(|e| format!("flat nproc: {e}"))?;
+                Ok(GridTopology::flat(n, p))
+            }
+            ["tree", levels, branching, nproc] => {
+                let l = levels.parse().map_err(|e| format!("tree levels: {e}"))?;
+                let b = branching
+                    .parse()
+                    .map_err(|e| format!("tree branching: {e}"))?;
+                let p = nproc.parse().map_err(|e| format!("tree nproc: {e}"))?;
+                Ok(GridTopology::tree(l, b, p))
+            }
+            _ => Err(format!("bad topology spec `{spec}`")),
+        }
+    }
+
     /// Agent names in declaration order.
     pub fn names(&self) -> Vec<String> {
         self.resources.iter().map(|r| r.name.clone()).collect()

@@ -308,6 +308,176 @@ fn serve_emits_json_when_asked() {
 }
 
 #[test]
+fn serve_wal_flag_combinations_are_validated() {
+    let (_, err, ok) = run_with_stdin(
+        &[
+            "serve",
+            "--fast-forward",
+            "--topology",
+            "flat:2:2",
+            "--wal",
+            "unused.wal",
+        ],
+        "",
+    );
+    assert!(!ok, "--wal with --fast-forward must be refused");
+    assert!(err.contains("--wal needs a live drive mode"), "{err}");
+
+    let (_, err, ok) = run(&["serve", "--replay", "x.jsonl", "--wal", "y.wal"]);
+    assert!(!ok, "--replay with --wal must be refused");
+    assert!(err.contains("--replay re-runs a finished session"), "{err}");
+}
+
+#[test]
+fn serve_wal_survives_a_restart_and_replays_deterministically() {
+    // The full durability cycle at the CLI: a live session with a WAL
+    // and a recording, a restart that recovers from the log, and the
+    // recorded session replayed twice byte-for-byte.
+    let dir = std::env::temp_dir().join(format!("agentgrid-wal-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let wal = dir.join("serve.wal");
+    let rec = dir.join("serve.rec");
+    let stream = concat!(
+        "{\"app\": \"sweep3d\", \"agent\": \"R1\", \"deadline\": 300, \"at\": 0}\n",
+        "{\"app\": \"fft\", \"agent\": \"R2\", \"deadline\": 300, \"at\": 0}\n",
+        "{\"app\": \"cpi\", \"agent\": \"R1\", \"deadline\": 300, \"at\": 0}\n",
+    );
+
+    let (out, err, ok) = run_with_stdin(
+        &[
+            "serve",
+            "--topology",
+            "flat:2:2",
+            "--speed",
+            "1000",
+            "--wal",
+            wal.to_str().unwrap(),
+            "--record",
+            rec.to_str().unwrap(),
+        ],
+        stream,
+    );
+    assert!(ok, "live session failed:\nstdout:\n{out}\nstderr:\n{err}");
+    assert!(out.contains("served 3 requests"), "{out}");
+    assert!(
+        out.contains("wal: seq 3 (epoch 0, 0 replayed"),
+        "wal summary missing:\n{out}"
+    );
+
+    // Every accepted line landed in the log as a checksummed record.
+    let text = std::fs::read_to_string(&wal).expect("wal written");
+    assert_eq!(text.lines().count(), 3, "{text}");
+    for line in text.lines() {
+        let v = agentgrid_telemetry::json::Value::parse(line).expect("wal record is JSON");
+        assert!(v.get("seq").is_some() && v.get("sum").is_some(), "{line}");
+    }
+    // The recording opens with its self-describing header.
+    let rtext = std::fs::read_to_string(&rec).expect("recording written");
+    assert!(
+        rtext.lines().next().unwrap_or("").contains("\"record\""),
+        "{rtext}"
+    );
+    assert_eq!(rtext.lines().count(), 4, "header + three lines:\n{rtext}");
+
+    // Restart on the same log: the session recovers all three lines.
+    let (out, err, ok) = run_with_stdin(
+        &[
+            "serve",
+            "--topology",
+            "flat:2:2",
+            "--speed",
+            "1000",
+            "--wal",
+            wal.to_str().unwrap(),
+        ],
+        "",
+    );
+    assert!(ok, "restart failed:\nstdout:\n{out}\nstderr:\n{err}");
+    assert!(
+        out.contains("wal: seq 3 (epoch 1, 3 replayed"),
+        "recovery summary missing:\n{out}"
+    );
+    assert!(out.contains("served 3 requests"), "{out}");
+
+    // The recording replays deterministically (header restores flags).
+    let (a, err, ok) = run(&["serve", "--replay", rec.to_str().unwrap(), "--json"]);
+    assert!(ok, "replay failed:\n{err}");
+    let (b, _, ok) = run(&["serve", "--replay", rec.to_str().unwrap(), "--json"]);
+    assert!(ok);
+    assert_eq!(a, b, "two replays of the same recording diverged");
+    let parsed = agentgrid_telemetry::json::Value::parse(&a).expect("valid JSON");
+    assert_eq!(parsed.get("requests").and_then(|v| v.as_u64()), Some(3));
+
+    // The raw WAL is itself replayable (headerless, explicit flags).
+    let (c, err, ok) = run(&[
+        "serve",
+        "--replay",
+        wal.to_str().unwrap(),
+        "--topology",
+        "flat:2:2",
+        "--json",
+    ]);
+    assert!(ok, "wal replay failed:\n{err}");
+    let parsed = agentgrid_telemetry::json::Value::parse(&c).expect("valid JSON");
+    assert_eq!(parsed.get("requests").and_then(|v| v.as_u64()), Some(3));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_gracefully_and_flushes_the_wal() {
+    // SIGTERM mid-session must run the same graceful drain as stdin
+    // EOF: finish what was accepted, flush the log, report the seq.
+    let dir = std::env::temp_dir().join(format!("agentgrid-term-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let wal = dir.join("term.wal");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_agentgrid"))
+        .args([
+            "serve",
+            "--topology",
+            "flat:2:2",
+            "--speed",
+            "1000",
+            "--wal",
+            wal.to_str().unwrap(),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("CLI binary spawns");
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    stdin
+        .write_all(b"{\"app\": \"sweep3d\", \"agent\": \"R1\", \"deadline\": 300, \"at\": 0}\n{\"app\": \"fft\", \"agent\": \"R2\", \"deadline\": 300, \"at\": 0}\n")
+        .expect("stdin written");
+    stdin.flush().expect("stdin flushed");
+    // Keep stdin open: only the signal may end this session.
+    std::thread::sleep(std::time::Duration::from_millis(700));
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(term.success());
+    let out = child.wait_with_output().expect("CLI binary exits");
+    drop(stdin);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "SIGTERM exit not clean:\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("served 2 requests"),
+        "accepted lines must finish before exit:\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(stdout.contains("wal: seq 2"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_flags_are_reported() {
     let (_, err, ok) = run(&["run", "--policy", "quantum"]);
     assert!(!ok);

@@ -32,6 +32,8 @@ fn serve_cfg(topology: &GridTopology, seed: u64, verify: bool) -> ServeConfig {
         seed,
         verify,
         tune: None,
+        wal: None,
+        record: None,
     }
 }
 
@@ -223,7 +225,7 @@ fn paced_mode_drains_a_piped_stream() {
         PacedOptions {
             speed: 1000.0,
             status_every: std::time::Duration::ZERO,
-            ingest: None,
+            admission: None,
         },
         None,
     )

@@ -1,0 +1,290 @@
+//! Durability guarantees of the served grid (DESIGN.md §14): torn-tail
+//! recovery at every byte boundary, record/replay determinism, and
+//! crash recovery under a chaos fault schedule.
+
+use agentgrid::prelude::*;
+use agentgrid_serve::{
+    read_recording, read_wal, GridService, ServeConfig, ServeLine, SyncPolicy, WalConfig,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn small() -> (GridTopology, WorkloadConfig) {
+    let topology = GridTopology::flat(3, 4);
+    let workload = WorkloadConfig {
+        requests: 6,
+        interarrival: SimDuration::from_secs(1),
+        seed: 77,
+        agents: topology.names(),
+        environment: ExecEnv::Test,
+    };
+    (topology, workload)
+}
+
+fn serve_cfg(topology: &GridTopology, seed: u64, wal: Option<WalConfig>) -> ServeConfig {
+    ServeConfig {
+        topology: topology.clone(),
+        design: ExperimentDesign::experiment3(),
+        opts: RunOptions::fast(),
+        seed,
+        verify: true,
+        tune: None,
+        wal,
+        record: None,
+    }
+}
+
+fn request_lines(workload: &WorkloadConfig) -> Vec<ServeLine> {
+    workload
+        .generate(&RunOptions::fast().catalog)
+        .into_iter()
+        .map(ServeLine::Request)
+        .collect()
+}
+
+/// Drop the one wall-clock metric family (tests/serve_golden.rs draws
+/// the same line); the rest must reproduce byte-for-byte.
+fn sim_deterministic_metrics(text: &str) -> String {
+    text.lines()
+        .filter(|l| !l.contains("ga_generation_wall_us"))
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely-named temp file, deleted on drop.
+struct TempFile {
+    path: PathBuf,
+}
+
+impl TempFile {
+    fn new(tag: &str) -> TempFile {
+        let n = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "agentgrid-serve-wal-{}-{n}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        TempFile { path }
+    }
+
+    fn as_str(&self) -> String {
+        self.path.to_string_lossy().into_owned()
+    }
+
+    fn wal(&self) -> WalConfig {
+        WalConfig {
+            path: self.as_str(),
+            sync: SyncPolicy::Off,
+        }
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// The torn-tail matrix: write a full log, truncate it at *every* byte
+/// boundary of the final record, and require each recovery to (a) stop
+/// at the last complete record without panicking and (b) finish the
+/// stream bit-identical to an uninterrupted run.
+#[test]
+fn torn_tail_recovers_cleanly_at_every_byte_boundary() {
+    let (topology, workload) = small();
+    let mut lines = request_lines(&workload);
+    lines.sort_by_key(ServeLine::at);
+    let total = lines.len() as u64;
+
+    let wal_ref = TempFile::new("ref.wal");
+    let reference = GridService::run_scripted(
+        &serve_cfg(&topology, workload.seed, Some(wal_ref.wal())),
+        &lines,
+    )
+    .expect("reference run");
+    let ref_json = reference.result.to_json();
+    let ref_metrics = sim_deterministic_metrics(&reference.metrics_text);
+    let full = std::fs::read(&wal_ref.path).expect("reference log");
+    assert_eq!(
+        read_wal(&wal_ref.as_str()).expect("parses").last_seq(),
+        total
+    );
+
+    // Start of the final record = byte after the penultimate newline.
+    let last_start = full[..full.len() - 1]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map(|p| p + 1)
+        .expect("more than one record");
+
+    for cut in last_start..=full.len() {
+        let torn = TempFile::new(&format!("torn-{cut}.wal"));
+        std::fs::write(&torn.path, &full[..cut]).expect("write torn copy");
+
+        let recovery = read_wal(&torn.as_str()).expect("torn log parses");
+        let expect_seq = if cut == full.len() { total } else { total - 1 };
+        assert_eq!(
+            recovery.last_seq(),
+            expect_seq,
+            "cut at byte {cut}: recovery must stop at the last complete record"
+        );
+        assert_eq!(
+            recovery.truncated_bytes,
+            (cut - last_start) as u64 * u64::from(cut != full.len())
+        );
+
+        let cfg = serve_cfg(&topology, workload.seed, Some(torn.wal()));
+        let mut svc = GridService::open_live(&cfg, false).expect("recovery opens");
+        let replayed = svc.wal_replayed() as usize;
+        assert_eq!(replayed as u64, expect_seq, "cut at byte {cut}");
+        svc.ingest(&lines[replayed..])
+            .expect("re-accept the lost line");
+        svc.drain().expect("drains");
+        let recovered = svc.into_report();
+
+        assert_eq!(
+            recovered.result.to_json(),
+            ref_json,
+            "cut at byte {cut}: recovered result diverged"
+        );
+        assert_eq!(
+            sim_deterministic_metrics(&recovered.metrics_text),
+            ref_metrics,
+            "cut at byte {cut}: recovered metrics diverged"
+        );
+        let wal = recovered.wal.expect("wal summary");
+        assert_eq!(wal.final_seq, total, "cut at byte {cut}");
+        assert!(recovered.clean, "cut at byte {cut}: invariants violated");
+        // A resumed log with history moves to the next epoch, so any
+        // record re-appended after the cut must carry epoch 1. (At the
+        // full-length cut nothing is re-appended and epoch stays 0.)
+        let reparsed = read_wal(&torn.as_str()).expect("resumed log parses");
+        assert_eq!(reparsed.last_seq(), total);
+        let expect_epoch = u64::from(cut != full.len());
+        assert_eq!(
+            reparsed.last_epoch(),
+            expect_epoch,
+            "cut at byte {cut}: resumed records must carry the new epoch"
+        );
+    }
+}
+
+/// `--record` of a scripted session replays deterministically and
+/// bit-identical to the session it recorded; the raw WAL of the same
+/// session replays to the same result too.
+#[test]
+fn recorded_sessions_replay_bit_identically() {
+    let (topology, workload) = small();
+    let mut lines = request_lines(&workload);
+    lines.push(ServeLine::Scale {
+        at: SimTime::from_secs(2),
+        resource: "R3".to_string(),
+        up: false,
+    });
+    lines.push(ServeLine::Scale {
+        at: SimTime::from_secs(8),
+        resource: "R3".to_string(),
+        up: true,
+    });
+    lines.sort_by_key(ServeLine::at);
+
+    let record = TempFile::new("session.rec");
+    let wal = TempFile::new("session.wal");
+    let mut cfg = serve_cfg(&topology, workload.seed, Some(wal.wal()));
+    cfg.opts.chaos = FaultPlan::none()
+        .with_act_ttl(SimDuration::from_secs(30))
+        .with_dispatch_timeout(SimDuration::from_secs(2))
+        .with_max_retries(24);
+    cfg.record = Some(record.as_str());
+    let original = GridService::run_scripted(&cfg, &lines).expect("recorded run");
+    assert!(original.clean);
+
+    // Replay the recording (acceptance order, no sorting, no WAL).
+    let text = std::fs::read_to_string(&record.path).expect("recording");
+    let (meta, recorded) = read_recording(&text).expect("recording parses");
+    assert_eq!(meta, None, "the service itself writes no header");
+    assert_eq!(recorded.len(), lines.len());
+    cfg.wal = None;
+    cfg.record = None;
+    let a = GridService::run_replay(&cfg, &recorded).expect("first replay");
+    let b = GridService::run_replay(&cfg, &recorded).expect("second replay");
+    assert_eq!(a.result.to_json(), original.result.to_json());
+    assert_eq!(b.result.to_json(), original.result.to_json());
+    assert_eq!(
+        sim_deterministic_metrics(&a.metrics_text),
+        sim_deterministic_metrics(&b.metrics_text)
+    );
+
+    // The raw WAL is itself a replayable recording.
+    let wal_text = std::fs::read_to_string(&wal.path).expect("wal text");
+    let (_, from_wal) = read_recording(&wal_text).expect("wal parses as recording");
+    assert_eq!(from_wal, recorded, "wal and recording hold the same lines");
+    let c = GridService::run_replay(&cfg, &from_wal).expect("wal replay");
+    assert_eq!(c.result.to_json(), original.result.to_json());
+}
+
+/// Chaos × durability: under a seeded crash/restart fault schedule, a
+/// WAL-recovered session reproduces the identical fault outcome —
+/// same agent_down/up counts, same exactly-once completion accounting —
+/// because the schedule lives in the config and the accepted lines live
+/// in the log.
+#[test]
+fn chaos_fault_schedule_survives_crash_recovery() {
+    let (topology, workload) = small();
+    let mut lines = request_lines(&workload);
+    lines.sort_by_key(ServeLine::at);
+
+    let chaos = FaultPlan::random(
+        workload.seed,
+        &topology.names(),
+        SimTime::from_secs(8),
+        1,
+        SimDuration::from_secs(4),
+    )
+    .with_act_ttl(SimDuration::from_secs(30))
+    .with_dispatch_timeout(SimDuration::from_secs(2))
+    .with_max_retries(24);
+
+    let wal_ref = TempFile::new("chaos-ref.wal");
+    let mut cfg_ref = serve_cfg(&topology, workload.seed, Some(wal_ref.wal()));
+    cfg_ref.opts.chaos = chaos.clone();
+    let reference = GridService::run_scripted(&cfg_ref, &lines).expect("chaotic reference run");
+    assert!(
+        reference.clean,
+        "{}",
+        reference.verify_report.unwrap_or_default()
+    );
+    assert!(
+        reference
+            .metrics_text
+            .contains("agentgrid_events_total{kind=\"agent_down\"}"),
+        "the fault schedule must actually fire:\n{}",
+        reference.metrics_text
+    );
+
+    // Crash after half the lines, recover, finish.
+    let wal_crash = TempFile::new("chaos-crash.wal");
+    let mut cfg = serve_cfg(&topology, workload.seed, Some(wal_crash.wal()));
+    cfg.opts.chaos = chaos;
+    let kill = lines.len() / 2;
+    {
+        let mut svc = GridService::open_live(&cfg, true).expect("session 1");
+        svc.ingest(&lines[..kill]).expect("session 1 ingest");
+        // SIGKILL: no drain, no flush, no report.
+    }
+    let mut svc = GridService::open_live(&cfg, true).expect("recovery");
+    assert_eq!(svc.wal_replayed() as usize, kill);
+    svc.ingest(&lines[kill..]).expect("session 2 ingest");
+    svc.drain().expect("session 2 drain");
+    let recovered = svc.into_report();
+
+    assert_eq!(recovered.result.to_json(), reference.result.to_json());
+    assert_eq!(
+        sim_deterministic_metrics(&recovered.metrics_text),
+        sim_deterministic_metrics(&reference.metrics_text),
+        "fault schedule or dedup outcome diverged after recovery"
+    );
+    assert!(recovered.clean);
+}
