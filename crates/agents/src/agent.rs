@@ -28,7 +28,7 @@
 use crate::act::Act;
 use crate::advertise::AdvertisementStrategy;
 use crate::info::{RequestInfo, ServiceInfo};
-use crate::matchmaking::{estimate, MatchEstimate};
+use crate::matchmaking::{FreetimeMatchmaker, MatchEstimate, Matchmaker};
 use agentgrid_pace::{ApplicationModel, CachedEngine, Platform};
 use agentgrid_sim::{SimDuration, SimTime};
 use agentgrid_telemetry::{Event, NameTable, ResourceId, Telemetry};
@@ -143,6 +143,7 @@ pub struct Agent {
     act_ttl: Option<SimDuration>,
     policy: FailurePolicy,
     strategy: AdvertisementStrategy,
+    matchmaker: Arc<dyn Matchmaker>,
     telemetry: Telemetry,
 }
 
@@ -178,6 +179,7 @@ impl Agent {
             act_ttl: None,
             policy: FailurePolicy::BestEffort,
             strategy: AdvertisementStrategy::default(),
+            matchmaker: Arc::new(FreetimeMatchmaker),
             telemetry: Telemetry::disabled(),
         }
     }
@@ -198,6 +200,18 @@ impl Agent {
     pub fn with_strategy(mut self, strategy: AdvertisementStrategy) -> Agent {
         self.strategy = strategy;
         self
+    }
+
+    /// Set the matchmaking rule (builder style). Defaults to
+    /// [`FreetimeMatchmaker`], the paper's eq. 10 ranking.
+    pub fn with_matchmaker(mut self, matchmaker: Arc<dyn Matchmaker>) -> Agent {
+        self.matchmaker = matchmaker;
+        self
+    }
+
+    /// The matchmaking rule in force.
+    pub fn matchmaker(&self) -> &Arc<dyn Matchmaker> {
+        &self.matchmaker
     }
 
     /// The agent's name.
@@ -380,7 +394,10 @@ impl Agent {
         let deadline = envelope.request.deadline;
 
         // 1. Own service first.
-        let local_est = estimate(local, app, env, deadline, now, platforms, engine).ok();
+        let local_est = self
+            .matchmaker
+            .evaluate(local, app, env, deadline, now, platforms, engine)
+            .ok();
         if let Some(est) = &local_est {
             if est.meets_deadline {
                 return DiscoveryDecision::ExecuteLocally {
@@ -417,17 +434,18 @@ impl Agent {
                     continue;
                 }
             }
-            if let Ok(est) = estimate(&entry.info, app, env, deadline, now, platforms, engine) {
+            if let Ok(est) =
+                self.matchmaker
+                    .evaluate(&entry.info, app, env, deadline, now, platforms, engine)
+            {
                 candidates.push((known, est));
             }
         }
-        // Tie-break on id == lexicographic name order (NameTable interns
-        // sorted), matching the legacy string compare exactly.
-        candidates.sort_by(|a, b| {
-            a.1.completion
-                .cmp(&b.1.completion)
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        // Rank by the matchmaker's score (== completion under freetime,
+        // the provider's bid under auction). Tie-break on id ==
+        // lexicographic name order (NameTable interns sorted), matching
+        // the legacy string compare exactly.
+        candidates.sort_by(|a, b| a.1.score.cmp(&b.1.score).then_with(|| a.0.cmp(&b.0)));
         if let Some((to, est)) = candidates.iter().find(|(_, e)| e.meets_deadline) {
             return DiscoveryDecision::Dispatch {
                 to: *to,
@@ -450,16 +468,16 @@ impl Agent {
                 // Best estimate among local and unvisited neighbours,
                 // deadline ignored.
                 let mut best: Option<DiscoveryDecision> = None;
-                let mut best_eta = SimTime::MAX;
+                let mut best_score = SimTime::MAX;
                 if let Some(est) = &local_est {
-                    best_eta = est.completion;
+                    best_score = est.score;
                     best = Some(DiscoveryDecision::ExecuteLocally {
                         estimated: est.completion,
                         within_deadline: false,
                     });
                 }
                 if let Some((to, est)) = candidates.first() {
-                    if est.completion < best_eta {
+                    if est.score < best_score {
                         best = Some(DiscoveryDecision::Dispatch {
                             to: *to,
                             estimated: est.completion,

@@ -40,6 +40,10 @@ pub use advertise::AdvertisementStrategy;
 pub use agent::{Agent, DiscoveryDecision, FailurePolicy, RequestEnvelope};
 pub use hierarchy::Hierarchy;
 pub use info::{Endpoint, RequestInfo, ServiceInfo};
+pub use matchmaking::{
+    estimate, AuctionMatchmaker, FreetimeMatchmaker, MatchError, MatchEstimate, Matchmaker,
+    MatchmakerKind, ProviderStrategy,
+};
 pub use portal::Portal;
 // Interned resource identifiers live in the telemetry crate (the bottom
 // of the dependency stack) but are part of the agents API surface.

@@ -10,6 +10,18 @@
 //! freetime ω before the task can start, even though the local GA may
 //! interleave it earlier — "the performance estimation of local grid
 //! resources at the agent level is simple but efficient".
+//!
+//! Matchmaking is pluggable through the [`Matchmaker`] trait. The
+//! default [`FreetimeMatchmaker`] ranks candidates by the eq. 10
+//! completion itself. [`AuctionMatchmaker`] instead treats every
+//! advertised service as a *bid*: each provider prices its queue-wait
+//! under a deterministic per-host strategy (aggressive providers shave
+//! the advertised wait to win work, conservative ones pad it — a
+//! single-round sealed-bid auction in the spirit of arXiv 1803.04385),
+//! and the agent awards the task to the lowest bid. Every matchmaker
+//! must preserve the physical estimate: `completion` and
+//! `meets_deadline` are eq. 10 facts, only [`MatchEstimate::score`]
+//! (the ranking key) may differ.
 
 use crate::info::ServiceInfo;
 use agentgrid_cluster::ExecEnv;
@@ -26,6 +38,10 @@ pub struct MatchEstimate {
     /// Whether η_r ≤ δ_r (the resource "is considered able to meet the
     /// required deadline").
     pub meets_deadline: bool,
+    /// The ranking key candidates are sorted by. Equal to `completion`
+    /// under the freetime matchmaker; the provider's bid under the
+    /// auction matchmaker.
+    pub score: SimTime,
 }
 
 /// Why a service could not be matched at all.
@@ -66,7 +82,172 @@ pub fn estimate(
         completion,
         nprocs,
         meets_deadline: completion <= deadline,
+        score: completion,
     })
+}
+
+/// A pluggable requirement/resource matching rule.
+///
+/// Contract (enforced by the verify crate's per-entrant agreement
+/// tests): `completion`, `nprocs` and `meets_deadline` must equal the
+/// eq. 10 reference — a matchmaker may only change `score`, the key
+/// candidates are ranked by. Evaluation must be deterministic: the same
+/// inputs always produce the same estimate (no clocks, no RNG).
+pub trait Matchmaker: Send + Sync + std::fmt::Debug {
+    /// Stable lowercase identifier (`"freetime"`, `"auction"`).
+    fn name(&self) -> &'static str;
+
+    /// Evaluate one advertised service against a request.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate(
+        &self,
+        info: &ServiceInfo,
+        app: &ApplicationModel,
+        env: ExecEnv,
+        deadline: SimTime,
+        now: SimTime,
+        platforms: &[Platform],
+        engine: &CachedEngine,
+    ) -> Result<MatchEstimate, MatchError>;
+}
+
+/// The paper's matchmaker: rank by the eq. 10 completion estimate
+/// itself (`score == completion`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FreetimeMatchmaker;
+
+impl Matchmaker for FreetimeMatchmaker {
+    fn name(&self) -> &'static str {
+        "freetime"
+    }
+
+    fn evaluate(
+        &self,
+        info: &ServiceInfo,
+        app: &ApplicationModel,
+        env: ExecEnv,
+        deadline: SimTime,
+        now: SimTime,
+        platforms: &[Platform],
+        engine: &CachedEngine,
+    ) -> Result<MatchEstimate, MatchError> {
+        estimate(info, app, env, deadline, now, platforms, engine)
+    }
+}
+
+/// How a provider prices the queue-wait component of its bid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProviderStrategy {
+    /// Shave a quarter off the advertised wait to win work.
+    Aggressive,
+    /// Bid the eq. 10 estimate as-is.
+    Truthful,
+    /// Pad the advertised wait by half to protect local headroom.
+    Conservative,
+}
+
+impl ProviderStrategy {
+    /// The strategy a provider plays, derived deterministically from its
+    /// agent endpoint (FNV-1a over `address:port`), so every consumer
+    /// agent in the grid sees the same bid from the same provider.
+    pub fn for_endpoint(address: &str, port: u16) -> ProviderStrategy {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for byte in address.bytes().chain(port.to_be_bytes()) {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        match hash % 3 {
+            0 => ProviderStrategy::Aggressive,
+            1 => ProviderStrategy::Truthful,
+            _ => ProviderStrategy::Conservative,
+        }
+    }
+
+    /// Price a wait of `wait` seconds under this strategy.
+    fn priced_wait(&self, wait: SimDuration) -> SimDuration {
+        let w = wait.as_secs_f64();
+        let priced = match self {
+            ProviderStrategy::Aggressive => w * 0.75,
+            ProviderStrategy::Truthful => w,
+            ProviderStrategy::Conservative => w * 1.5,
+        };
+        SimDuration::from_secs_f64(priced)
+    }
+}
+
+/// A sealed-bid auction over advertised services: each provider bids
+/// `now + priced_wait + execution`, where the wait pricing follows its
+/// [`ProviderStrategy`]; the consumer agent awards the task to the
+/// lowest bid. Physical facts (`completion`, `meets_deadline`) are the
+/// untouched eq. 10 estimate — only the ranking changes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AuctionMatchmaker;
+
+impl Matchmaker for AuctionMatchmaker {
+    fn name(&self) -> &'static str {
+        "auction"
+    }
+
+    fn evaluate(
+        &self,
+        info: &ServiceInfo,
+        app: &ApplicationModel,
+        env: ExecEnv,
+        deadline: SimTime,
+        now: SimTime,
+        platforms: &[Platform],
+        engine: &CachedEngine,
+    ) -> Result<MatchEstimate, MatchError> {
+        let mut est = estimate(info, app, env, deadline, now, platforms, engine)?;
+        let start = info.freetime.max(now);
+        let wait = start.saturating_since(now);
+        let exec = est.completion.saturating_since(start);
+        let strategy = ProviderStrategy::for_endpoint(&info.agent.address, info.agent.port);
+        est.score = now + strategy.priced_wait(wait) + exec;
+        Ok(est)
+    }
+}
+
+/// Which matchmaker a grid runs — the configuration-level token the CLI
+/// and result files use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MatchmakerKind {
+    /// [`FreetimeMatchmaker`] (the paper's eq. 10 ranking).
+    #[default]
+    Freetime,
+    /// [`AuctionMatchmaker`] (provider-bid ranking).
+    Auction,
+}
+
+impl MatchmakerKind {
+    /// Every matchmaker, in tournament order.
+    pub const ALL: [MatchmakerKind; 2] = [MatchmakerKind::Freetime, MatchmakerKind::Auction];
+
+    /// Stable lowercase token.
+    pub fn token(&self) -> &'static str {
+        match self {
+            MatchmakerKind::Freetime => "freetime",
+            MatchmakerKind::Auction => "auction",
+        }
+    }
+
+    /// Parse a token produced by [`MatchmakerKind::token`].
+    pub fn parse(token: &str) -> Option<MatchmakerKind> {
+        MatchmakerKind::ALL
+            .iter()
+            .copied()
+            .find(|m| m.token() == token)
+    }
+
+    /// Instantiate the matchmaker.
+    pub fn build(&self) -> std::sync::Arc<dyn Matchmaker> {
+        match self {
+            MatchmakerKind::Freetime => std::sync::Arc::new(FreetimeMatchmaker),
+            MatchmakerKind::Auction => std::sync::Arc::new(AuctionMatchmaker),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +445,111 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn freetime_matchmaker_scores_by_completion() {
+        let engine = CachedEngine::new();
+        let est = FreetimeMatchmaker
+            .evaluate(
+                &info("SGIOrigin2000", 50),
+                &sweep3d(),
+                ExecEnv::Test,
+                SimTime::from_secs(30),
+                SimTime::ZERO,
+                &Platform::case_study_set(),
+                &engine,
+            )
+            .unwrap();
+        assert_eq!(est.score, est.completion);
+    }
+
+    #[test]
+    fn auction_preserves_the_physical_estimate() {
+        // The bid reprices only the wait component: completion, nprocs
+        // and deadline feasibility must agree with eq. 10 exactly.
+        let engine = CachedEngine::new();
+        let platforms = Platform::case_study_set();
+        for freetime_s in [0u64, 7, 60] {
+            let i = info("SGIOrigin2000", freetime_s);
+            let args = (
+                &sweep3d(),
+                ExecEnv::Test,
+                SimTime::from_secs(30),
+                SimTime::ZERO,
+            );
+            let reference =
+                estimate(&i, args.0, args.1, args.2, args.3, &platforms, &engine).unwrap();
+            let bid = AuctionMatchmaker
+                .evaluate(&i, args.0, args.1, args.2, args.3, &platforms, &engine)
+                .unwrap();
+            assert_eq!(bid.completion, reference.completion);
+            assert_eq!(bid.nprocs, reference.nprocs);
+            assert_eq!(bid.meets_deadline, reference.meets_deadline);
+        }
+    }
+
+    #[test]
+    fn auction_bids_reprice_the_wait_by_strategy() {
+        let engine = CachedEngine::new();
+        let platforms = Platform::case_study_set();
+        // Three hosts landing on the three strategies.
+        let strategies: Vec<ProviderStrategy> = (0..100)
+            .map(|p| ProviderStrategy::for_endpoint("host", p))
+            .collect();
+        for want in [
+            ProviderStrategy::Aggressive,
+            ProviderStrategy::Truthful,
+            ProviderStrategy::Conservative,
+        ] {
+            let port = (0..100u16)
+                .find(|p| strategies[*p as usize] == want)
+                .expect("all three strategies occur within 100 ports");
+            let mut i = info("SGIOrigin2000", 40);
+            i.agent = Endpoint::new("host", port);
+            let est = AuctionMatchmaker
+                .evaluate(
+                    &i,
+                    &sweep3d(),
+                    ExecEnv::Test,
+                    SimTime::from_secs(1000),
+                    SimTime::ZERO,
+                    &platforms,
+                    &engine,
+                )
+                .unwrap();
+            // wait = 40 s, exec = 4 s (Table 1 best time on SGI).
+            let expected_wait = match want {
+                ProviderStrategy::Aggressive => 30.0,
+                ProviderStrategy::Truthful => 40.0,
+                ProviderStrategy::Conservative => 60.0,
+            };
+            assert_eq!(
+                est.score,
+                SimTime::ZERO + SimDuration::from_secs_f64(expected_wait + 4.0),
+                "{want:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn provider_strategies_are_deterministic_and_diverse() {
+        let a = ProviderStrategy::for_endpoint("A1", 1000);
+        assert_eq!(a, ProviderStrategy::for_endpoint("A1", 1000));
+        let mut seen = std::collections::BTreeSet::new();
+        for p in 0..64u16 {
+            seen.insert(format!("{:?}", ProviderStrategy::for_endpoint("host", p)));
+        }
+        assert_eq!(seen.len(), 3, "all three strategies occur across hosts");
+    }
+
+    #[test]
+    fn matchmaker_kind_tokens_round_trip() {
+        for kind in MatchmakerKind::ALL {
+            assert_eq!(MatchmakerKind::parse(kind.token()), Some(kind));
+            assert_eq!(kind.build().name(), kind.token());
+        }
+        assert_eq!(MatchmakerKind::parse("nope"), None);
     }
 
     #[test]

@@ -1,0 +1,280 @@
+//! Scheduler & matchmaking tournament (DESIGN.md §15).
+//!
+//! Sweeps every zoo policy × workload × topology, reporting the paper's
+//! §3.3 metrics (ε advance, ῡ utilisation, β balance) per cell, plus a
+//! matchmaker sweep (freetime vs auction) under the best scheduling
+//! policy. Before a policy's cells are accepted, the binary *enforces*
+//! the differential bracket on seeded tiny instances:
+//!
+//! ```text
+//! brute-force optimum  ≤  policy cost  ≤  FIFO arrival-order greedy
+//! ```
+//!
+//! A bracket violation aborts the run — the tournament never publishes
+//! numbers for a policy that fails its oracle bound. Results land in
+//! `BENCH_tournament.json` (override with `--out PATH`); `--quick`
+//! shrinks the sweep for CI smoke runs.
+//!
+//! ```text
+//! cargo run -p agentgrid-bench --bin tournament --release
+//! ```
+
+use agentgrid::prelude::*;
+use agentgrid_telemetry::json::{self, Value};
+use agentgrid_verify::oracle::{brute_force_best, fifo_reference};
+use agentgrid_verify::zoo::{describe, diff_instance, planned_zoo};
+
+/// Seeded instances each policy's bracket is enforced on, per cell.
+const BRACKET_SEEDS: u64 = 5;
+
+struct Cell {
+    policy: PolicyKind,
+    workload: &'static str,
+    topology: &'static str,
+    result: ExperimentResult,
+    bracket_checked: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_tournament.json".to_string());
+
+    let requests = if quick { 60 } else { 240 };
+    let seed = 2003;
+
+    let policies = PolicyKind::ALL;
+    let workloads: &[(&str, f64)] = if quick {
+        &[("paper", 1.0), ("surge", 0.4)]
+    } else {
+        &[("paper", 1.0), ("surge", 0.4), ("trickle", 2.5)]
+    };
+    let topologies: &[&str] = if quick {
+        &["case-study", "flat:6:16"]
+    } else {
+        &["case-study", "flat:6:16", "tree:2:3:8"]
+    };
+
+    // ---- Bracket gate: every planned policy proves its oracle bound
+    // before any grid numbers are published. FIFO is checked for exact
+    // agreement with its oracle; Batch is a fixed-allocation baseline
+    // with no planning step, so it carries no bracket.
+    let mut bracket_checked = 0u64;
+    for s in 0..BRACKET_SEEDS {
+        bracket_checked += enforce_bracket(s);
+    }
+    eprintln!(
+        "bracket: {} policy-instance checks passed on {} seeds",
+        bracket_checked, BRACKET_SEEDS
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &topo_spec in topologies {
+        let topology = GridTopology::from_spec(topo_spec).expect("valid spec");
+        for &(wl_name, interarrival_s) in workloads {
+            let mut workload = WorkloadConfig::case_study(topology.names(), seed);
+            workload.requests = requests;
+            workload.interarrival = SimDuration::from_secs_f64(interarrival_s);
+            for policy in policies {
+                let design = ExperimentDesign {
+                    number: 0,
+                    local_policy: policy,
+                    agents_enabled: true,
+                };
+                let mut opts = RunOptions::fast();
+                opts.ga.threads = 1;
+                let result = run_experiment(&design, &topology, &workload, &opts);
+                assert_eq!(
+                    result.total.tasks,
+                    requests,
+                    "{}/{}/{}: not every request ran",
+                    policy.token(),
+                    wl_name,
+                    topo_spec
+                );
+                eprintln!(
+                    "{:<10} {:<8} {:<12} ε {:>8.2}s  ῡ {:>5.1}%  β {:>5.1}%",
+                    policy.token(),
+                    wl_name,
+                    topo_spec,
+                    result.total.advance_s,
+                    result.total.utilisation_pct,
+                    result.total.balance_pct,
+                );
+                cells.push(Cell {
+                    policy,
+                    workload: wl_name,
+                    topology: topo_spec,
+                    result,
+                    bracket_checked,
+                });
+            }
+        }
+    }
+
+    // ---- Matchmaker sweep: freetime vs auction under the GA policy.
+    let mut mm_cells: Vec<(MatchmakerKind, &str, ExperimentResult)> = Vec::new();
+    for &topo_spec in topologies {
+        let topology = GridTopology::from_spec(topo_spec).expect("valid spec");
+        let mut workload = WorkloadConfig::case_study(topology.names(), seed);
+        workload.requests = requests;
+        for matchmaker in MatchmakerKind::ALL {
+            let design = ExperimentDesign {
+                number: 0,
+                local_policy: PolicyKind::Ga,
+                agents_enabled: true,
+            };
+            let mut opts = RunOptions::fast();
+            opts.ga.threads = 1;
+            opts.matchmaker = matchmaker;
+            let result = run_experiment(&design, &topology, &workload, &opts);
+            assert_eq!(result.total.tasks, requests);
+            eprintln!(
+                "{:<10} {:<8} {:<12} ε {:>8.2}s  ῡ {:>5.1}%  β {:>5.1}%",
+                matchmaker.token(),
+                "paper",
+                topo_spec,
+                result.total.advance_s,
+                result.total.utilisation_pct,
+                result.total.balance_pct,
+            );
+            mm_cells.push((matchmaker, topo_spec, result));
+        }
+    }
+
+    let metrics_json = |r: &ExperimentResult| {
+        json::obj(vec![
+            ("advance_s", json::num(r.total.advance_s)),
+            ("utilisation_pct", json::num(r.total.utilisation_pct)),
+            ("balance_pct", json::num(r.total.balance_pct)),
+            ("tasks", json::num(r.total.tasks as f64)),
+            ("deadlines_met", json::num(r.total.deadlines_met as f64)),
+            ("horizon_s", json::num(r.horizon_s)),
+            ("migrations", json::num(r.migrations as f64)),
+        ])
+    };
+
+    let report = json::obj(vec![
+        ("bench", json::s("tournament")),
+        ("quick", Value::Bool(quick)),
+        ("requests", json::num(requests as f64)),
+        ("seed", json::num(seed as f64)),
+        (
+            "policies",
+            Value::Arr(policies.iter().map(|p| json::s(p.token())).collect()),
+        ),
+        (
+            "workloads",
+            Value::Arr(
+                workloads
+                    .iter()
+                    .map(|(n, gap)| {
+                        json::obj(vec![
+                            ("name", json::s(*n)),
+                            ("interarrival_s", json::num(*gap)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "topologies",
+            Value::Arr(topologies.iter().map(|t| json::s(*t)).collect()),
+        ),
+        (
+            "bracket",
+            json::obj(vec![
+                ("seeds", json::num(BRACKET_SEEDS as f64)),
+                ("checks_passed", json::num(bracket_checked as f64)),
+                (
+                    "rule",
+                    json::s("optimum <= policy <= fifo (planned entrants)"),
+                ),
+            ]),
+        ),
+        (
+            "cells",
+            Value::Arr(
+                cells
+                    .iter()
+                    .map(|c| {
+                        json::obj(vec![
+                            ("policy", json::s(c.policy.token())),
+                            ("workload", json::s(c.workload)),
+                            ("topology", json::s(c.topology)),
+                            ("metrics", metrics_json(&c.result)),
+                            ("bracket_checks", json::num(c.bracket_checked as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "matchmaker_cells",
+            Value::Arr(
+                mm_cells
+                    .iter()
+                    .map(|(m, topo, r)| {
+                        json::obj(vec![
+                            ("matchmaker", json::s(m.token())),
+                            ("policy", json::s("ga")),
+                            ("workload", json::s("paper")),
+                            ("topology", json::s(*topo)),
+                            ("metrics", metrics_json(r)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(&out_path, report.to_pretty()).expect("write report");
+    eprintln!(
+        "tournament: {} policy cells, {} matchmaker cells -> {}",
+        cells.len(),
+        mm_cells.len(),
+        out_path
+    );
+}
+
+/// Enforce `optimum ≤ policy ≤ FIFO` for every planned entrant on the
+/// instance of `seed`, plus `fifo_seed == fifo_reference` exactness.
+/// Returns the number of policy-instance checks performed; panics (with
+/// the full instance) on any violation.
+fn enforce_bracket(seed: u64) -> u64 {
+    let weights = CostWeights::default();
+    let inst = diff_instance(seed);
+    let optimum = brute_force_best(&inst.view, &inst.tasks, &inst.engine, &weights);
+    let fifo = fifo_reference(&inst.view, &inst.tasks, &inst.engine, &weights);
+    assert!(
+        fifo.cost >= optimum.cost - 1e-9,
+        "oracle inconsistency on:\n{}",
+        describe(&inst)
+    );
+    let seeded = agentgrid_scheduler::fifo_seed(&inst.view, &inst.tasks, &inst.engine);
+    assert_eq!(
+        seeded.mapping,
+        fifo.solution.mapping,
+        "fifo_seed diverged from the oracle on:\n{}",
+        describe(&inst)
+    );
+    let mut checks = 1;
+    for mut policy in planned_zoo(seed) {
+        let outcome = policy.plan(&inst.view, &inst.tasks, &inst.engine);
+        assert!(
+            outcome.cost >= optimum.cost - 1e-9 && outcome.cost <= fifo.cost + 1e-9,
+            "{} broke its bracket ({} not in [{}, {}]) on:\n{}",
+            policy.name(),
+            outcome.cost,
+            optimum.cost,
+            fifo.cost,
+            describe(&inst)
+        );
+        checks += 1;
+    }
+    checks
+}

@@ -9,7 +9,7 @@ use crate::chaos::FaultPlan;
 use crate::grid::{GridConfig, GridSystem};
 use crate::result::{CaseStudyResults, ExperimentResult, ResourceRow};
 use crate::shard::ShardRunner;
-use agentgrid_agents::{AdvertisementStrategy, FailurePolicy};
+use agentgrid_agents::{AdvertisementStrategy, FailurePolicy, MatchmakerKind};
 use agentgrid_metrics::{compute, compute_grid, ResourceStats};
 use agentgrid_pace::{Catalog, NoiseModel};
 use agentgrid_scheduler::GaConfig;
@@ -31,6 +31,9 @@ pub struct RunOptions {
     pub failure_policy: FailurePolicy,
     /// Advertisement strategy (paper: 10-second periodic pull).
     pub advertisement: AdvertisementStrategy,
+    /// Matchmaking rule agents rank advertised services with (paper:
+    /// eq. 10 freetime completion).
+    pub matchmaker: MatchmakerKind,
     /// Record a full event trace (costs memory; off for big runs).
     pub trace: bool,
     /// Prediction-error model (`Exact` = the paper's test mode; other
@@ -67,6 +70,7 @@ impl RunOptions {
             ga: GaConfig::default(),
             failure_policy: FailurePolicy::BestEffort,
             advertisement: AdvertisementStrategy::default(),
+            matchmaker: MatchmakerKind::default(),
             trace: false,
             noise: NoiseModel::Exact,
             gossip: false,
@@ -203,6 +207,7 @@ pub fn grid_config(design: &ExperimentDesign, seed: u64, opts: &RunOptions) -> G
         },
         failure_policy: opts.failure_policy,
         advertisement: opts.advertisement,
+        matchmaker: opts.matchmaker,
         seed,
         trace: opts.trace,
         noise: opts.noise,

@@ -33,8 +33,8 @@
 //! --baseline`); results are identical either way, only the cost moves.
 
 use agentgrid_agents::{
-    AdvertisementStrategy, Agent, DiscoveryDecision, Endpoint, FailurePolicy, Hierarchy, NameTable,
-    Portal, RequestEnvelope, RequestInfo, ResourceId, ServiceInfo,
+    AdvertisementStrategy, Agent, DiscoveryDecision, Endpoint, FailurePolicy, Hierarchy,
+    MatchmakerKind, NameTable, Portal, RequestEnvelope, RequestInfo, ResourceId, ServiceInfo,
 };
 use agentgrid_cluster::ExecEnv;
 use agentgrid_pace::{ApplicationModel, CachedEngine, Catalog, NoiseModel, Platform};
@@ -81,6 +81,9 @@ pub struct GridConfig {
     /// How service information propagates: the paper's 10-second
     /// periodic pull, or event-driven push on freetime movement.
     pub advertisement: AdvertisementStrategy,
+    /// How agents rank advertised services during discovery: eq. 10's
+    /// completion estimate, or sealed provider bids.
+    pub matchmaker: MatchmakerKind,
     /// Master seed for every random stream in the run.
     pub seed: u64,
     /// Record a full event trace.
@@ -118,6 +121,7 @@ impl GridConfig {
             },
             failure_policy: FailurePolicy::BestEffort,
             advertisement: AdvertisementStrategy::default(),
+            matchmaker: MatchmakerKind::default(),
             seed,
             trace: false,
             noise: NoiseModel::Exact,
@@ -419,7 +423,8 @@ impl GridSystem {
             let agent = hierarchy
                 .agent(*id)
                 .clone()
-                .with_policy(config.failure_policy);
+                .with_policy(config.failure_policy)
+                .with_matchmaker(config.matchmaker.build());
             *hierarchy.agent_mut(*id) = agent;
         }
         hierarchy.set_telemetry(&config.telemetry);
@@ -440,6 +445,12 @@ impl GridSystem {
                 LocalPolicy::Ga => PolicyConfig::Ga(config.ga),
                 LocalPolicy::Batch => {
                     PolicyConfig::Batch(agentgrid_scheduler::BatchConfig::default())
+                }
+                LocalPolicy::MinMin => PolicyConfig::MinMin,
+                LocalPolicy::MaxMin => PolicyConfig::MaxMin,
+                LocalPolicy::Sufferage => PolicyConfig::Sufferage,
+                LocalPolicy::Anneal => {
+                    PolicyConfig::Annealing(agentgrid_scheduler::SaConfig::default())
                 }
             };
             let rng = root.derive(&format!("ga/{}", spec.name));

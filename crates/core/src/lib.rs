@@ -65,7 +65,8 @@ pub mod prelude {
     pub use crate::result::{CaseStudyResults, ExperimentResult, ResourceRow};
     pub use crate::shard::{ShardRunner, SyncStats};
     pub use agentgrid_agents::{
-        Act, AdvertisementStrategy, Agent, DiscoveryDecision, FailurePolicy, Hierarchy, Portal,
+        Act, AdvertisementStrategy, Agent, AuctionMatchmaker, DiscoveryDecision, FailurePolicy,
+        FreetimeMatchmaker, Hierarchy, Matchmaker, MatchmakerKind, Portal, ProviderStrategy,
         RequestEnvelope, RequestInfo, ServiceInfo,
     };
     pub use agentgrid_cluster::{ExecEnv, GridResource, NodeMask};
@@ -84,7 +85,7 @@ pub mod prelude {
         Recorder, RingRecorder, Telemetry, TimedEvent, Violation,
     };
     pub use agentgrid_workload::{
-        ArrivalPattern, ExperimentDesign, GeneratedRequest, GridTopology, LocalPolicy,
+        ArrivalPattern, ExperimentDesign, GeneratedRequest, GridTopology, LocalPolicy, PolicyKind,
         ResourceSpec, WorkloadConfig,
     };
 }

@@ -181,11 +181,7 @@ fn metrics_from_json(v: &json::Value) -> Result<MetricsReport, String> {
 }
 
 fn experiment_to_json(e: &ExperimentResult) -> json::Value {
-    let policy = match e.design.local_policy {
-        LocalPolicy::Fifo => "fifo",
-        LocalPolicy::Ga => "ga",
-        LocalPolicy::Batch => "batch",
-    };
+    let policy = e.design.local_policy.token();
     json::obj(vec![
         (
             "design",
@@ -221,16 +217,12 @@ fn experiment_to_json(e: &ExperimentResult) -> json::Value {
 
 fn experiment_from_json(v: &json::Value) -> Result<ExperimentResult, String> {
     let design = v.get("design").ok_or("experiment missing 'design'")?;
-    let local_policy = match design
+    let token = design
         .get("local_policy")
         .and_then(json::Value::as_str)
-        .ok_or("design missing 'local_policy'")?
-    {
-        "fifo" => LocalPolicy::Fifo,
-        "ga" => LocalPolicy::Ga,
-        "batch" => LocalPolicy::Batch,
-        other => return Err(format!("unknown local_policy '{other}'")),
-    };
+        .ok_or("design missing 'local_policy'")?;
+    let local_policy =
+        LocalPolicy::parse(token).ok_or_else(|| format!("unknown local_policy '{token}'"))?;
     let num = |val: &json::Value, k: &str| {
         val.get(k)
             .and_then(json::Value::as_f64)

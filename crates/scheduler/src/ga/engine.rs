@@ -886,7 +886,7 @@ fn island_burst(
 /// only the winning mask is materialised — same selections as the former
 /// per-`k` mask build, measured on the same engine predictions (now read
 /// from the [`EvalContext`] table).
-fn greedy_seed(
+pub(crate) fn greedy_seed(
     view: &ResourceView,
     ctx: &EvalContext,
     order_of: impl Fn(usize) -> usize,

@@ -29,6 +29,7 @@ pub mod decode;
 pub mod fifo;
 pub mod ga;
 pub mod gantt;
+pub mod policy;
 pub mod solution;
 pub mod system;
 pub mod task;
@@ -39,6 +40,9 @@ pub use decode::{decode, evaluate_delta, DecodeMemo, DecodedSchedule, EvalContex
 pub use fifo::FifoPolicy;
 pub use ga::{GaConfig, GaScheduler};
 pub use gantt::{Gantt, GanttBar, ScheduleLedger};
+pub use policy::{
+    fifo_seed, AnnealingPolicy, HeuristicPolicy, HeuristicRule, LocalPolicy, PlanOutcome, SaConfig,
+};
 pub use solution::Solution;
 pub use system::{PolicyConfig, SchedulerSystem, StartedTask};
 pub use task::{CompletedTask, Task, TaskId};

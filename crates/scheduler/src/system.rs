@@ -24,6 +24,7 @@ use crate::batch::{BatchConfig, BatchPolicy};
 use crate::decode::ResourceView;
 use crate::fifo::FifoPolicy;
 use crate::ga::{GaConfig, GaScheduler};
+use crate::policy::{AnnealingPolicy, HeuristicPolicy, HeuristicRule, LocalPolicy, SaConfig};
 use crate::task::{CompletedTask, Task, TaskId};
 use agentgrid_cluster::{ExecEnv, GridResource, NodeMask, ResourceMonitor};
 use agentgrid_pace::{ApplicationModel, CachedEngine, NoiseModel};
@@ -32,7 +33,8 @@ use agentgrid_telemetry::{Event, Telemetry};
 use std::sync::Arc;
 
 /// Which scheduling policy a system runs (Table 2's experiment knob,
-/// plus the batch-queue baseline from the paper's related work).
+/// plus the batch-queue baseline from the paper's related work, plus
+/// the pluggable policy zoo of [`crate::policy`]).
 #[derive(Clone, Debug)]
 pub enum PolicyConfig {
     /// First-come-first-served with the exhaustive-equivalent allocation
@@ -44,16 +46,24 @@ pub enum PolicyConfig {
     /// strict FCFS, optional EASY backfill — no performance-driven
     /// allocation choice.
     Batch(BatchConfig),
+    /// The min-min batch heuristic (smallest best-completion first).
+    MinMin,
+    /// The max-min batch heuristic (largest best-completion first).
+    MaxMin,
+    /// The sufferage batch heuristic (largest best-vs-second-best gap
+    /// first).
+    Sufferage,
+    /// Seeded simulated annealing over the two-part coding.
+    Annealing(SaConfig),
 }
 
-// One `PolicyState` exists per grid resource (twelve in the case study),
-// so the size gap between the boxed-population GA and the slim FIFO is
-// irrelevant; boxing would only add indirection on the hot replan path.
-#[allow(clippy::large_enum_variant)]
+// FIFO and batch fix allocations at arrival and dispatch from a ledger;
+// every other policy re-plans the whole pending set per event behind
+// the `LocalPolicy` trait (the GA, the batch heuristics, annealing).
 enum PolicyState {
     Fifo(FifoPolicy),
-    Ga(GaScheduler),
     Batch(BatchPolicy),
+    Planned(Box<dyn LocalPolicy>),
 }
 
 /// A task that has just started executing; the driver must schedule its
@@ -125,8 +135,20 @@ impl SchedulerSystem {
         let noise_rng = rng.derive("noise");
         let policy = match policy {
             PolicyConfig::Fifo => PolicyState::Fifo(FifoPolicy::new(nproc)),
-            PolicyConfig::Ga(cfg) => PolicyState::Ga(GaScheduler::new(cfg, rng)),
+            PolicyConfig::Ga(cfg) => PolicyState::Planned(Box::new(GaScheduler::new(cfg, rng))),
             PolicyConfig::Batch(cfg) => PolicyState::Batch(BatchPolicy::new(cfg)),
+            PolicyConfig::MinMin => {
+                PolicyState::Planned(Box::new(HeuristicPolicy::new(HeuristicRule::MinMin)))
+            }
+            PolicyConfig::MaxMin => {
+                PolicyState::Planned(Box::new(HeuristicPolicy::new(HeuristicRule::MaxMin)))
+            }
+            PolicyConfig::Sufferage => {
+                PolicyState::Planned(Box::new(HeuristicPolicy::new(HeuristicRule::Sufferage)))
+            }
+            PolicyConfig::Annealing(cfg) => {
+                PolicyState::Planned(Box::new(AnnealingPolicy::new(cfg, rng)))
+            }
         };
         let _ = nproc;
         SchedulerSystem {
@@ -149,8 +171,8 @@ impl SchedulerSystem {
     /// miss), and wire the GA kernel's per-generation events when this
     /// system runs the GA policy. Disabled by default.
     pub fn set_telemetry(&mut self, telemetry: Telemetry) {
-        if let PolicyState::Ga(ga) = &mut self.policy {
-            ga.set_telemetry(telemetry.clone(), self.resource.name());
+        if let PolicyState::Planned(policy) = &mut self.policy {
+            policy.set_telemetry(telemetry.clone(), self.resource.name());
         }
         self.telemetry = telemetry;
     }
@@ -254,10 +276,10 @@ impl SchedulerSystem {
                     self.start_due_fifo(now)
                 }
             }
-            PolicyState::Ga(ga) => {
+            PolicyState::Planned(policy) => {
                 self.pending.push(task);
-                ga.absorb_added_task(self.resource.nproc());
-                self.replan_ga(now)
+                policy.absorb_added_task(self.resource.nproc());
+                self.replan(now)
             }
             PolicyState::Batch(batch) => {
                 // The "user" requests the application's reference-optimum
@@ -294,10 +316,10 @@ impl SchedulerSystem {
         let pos = self.pending.iter().position(|t| t.id == id)?;
         self.pending.remove(pos);
         match &mut self.policy {
-            PolicyState::Ga(ga) => {
-                ga.absorb_removed_task(pos);
+            PolicyState::Planned(policy) => {
+                policy.absorb_removed_task(pos);
                 // Re-plan so the freed capacity is advertised promptly.
-                Some(self.replan_ga(now))
+                Some(self.replan(now))
             }
             PolicyState::Fifo(fifo) => {
                 fifo.drop_task(id);
@@ -317,10 +339,10 @@ impl SchedulerSystem {
     /// ledger and completed history are untouched.
     pub fn drain_pending(&mut self, _now: SimTime) -> Vec<Task> {
         match &mut self.policy {
-            PolicyState::Ga(ga) => {
+            PolicyState::Planned(policy) => {
                 // Remove from the tail so earlier indices stay valid.
                 for pos in (0..self.pending.len()).rev() {
-                    ga.absorb_removed_task(pos);
+                    policy.absorb_removed_task(pos);
                 }
             }
             PolicyState::Fifo(fifo) => {
@@ -339,24 +361,33 @@ impl SchedulerSystem {
         drained
     }
 
-    /// The GA generation budget in force, or `None` for non-GA policies.
+    /// The planned policy's search budget (GA: generations per event;
+    /// annealing: iterations), or `None` when the policy has no such
+    /// knob (FIFO, batch, the stateless heuristics).
     pub fn ga_generations(&self) -> Option<usize> {
         match &self.policy {
-            PolicyState::Ga(ga) => Some(ga.config().generations_per_event),
+            PolicyState::Planned(policy) => policy.budget(),
             _ => None,
         }
     }
 
-    /// Adjust the GA generation budget at runtime (no-op for non-GA
-    /// policies; returns whether the knob existed). Search budget only —
+    /// Adjust the search budget at runtime (no-op for policies without
+    /// one; returns whether the knob existed). Search budget only —
     /// queue contents and bookkeeping are untouched.
     pub fn set_ga_generations(&mut self, generations: usize) -> bool {
         match &mut self.policy {
-            PolicyState::Ga(ga) => {
-                ga.set_generations_per_event(generations);
-                true
-            }
+            PolicyState::Planned(policy) => policy.set_budget(generations),
             _ => false,
+        }
+    }
+
+    /// The stable lowercase name of the policy in force (`"fifo"`,
+    /// `"ga"`, `"batch"`, `"minmin"`, …).
+    pub fn policy_name(&self) -> &'static str {
+        match &self.policy {
+            PolicyState::Fifo(_) => "fifo",
+            PolicyState::Batch(_) => "batch",
+            PolicyState::Planned(policy) => policy.name(),
         }
     }
 
@@ -388,10 +419,10 @@ impl SchedulerSystem {
         let mut lost: Vec<Task> = Vec::with_capacity(self.pending.len() + self.running.len());
         lost.extend(self.running.drain(..).map(|r| r.task));
         match &mut self.policy {
-            PolicyState::Ga(ga) => {
+            PolicyState::Planned(policy) => {
                 // Remove from the tail so earlier indices stay valid.
                 for pos in (0..self.pending.len()).rev() {
-                    ga.absorb_removed_task(pos);
+                    policy.absorb_removed_task(pos);
                 }
             }
             PolicyState::Fifo(_) => {
@@ -447,7 +478,7 @@ impl SchedulerSystem {
         }
         match &mut self.policy {
             PolicyState::Fifo(_) => self.start_due_fifo(now),
-            PolicyState::Ga(_) => self.replan_ga(now),
+            PolicyState::Planned(_) => self.replan(now),
             PolicyState::Batch(_) => self.start_due_batch(now),
         }
     }
@@ -476,7 +507,7 @@ impl SchedulerSystem {
                 }
                 self.start_due_fifo(now)
             }
-            PolicyState::Ga(_) => self.replan_ga(now),
+            PolicyState::Planned(_) => self.replan(now),
             PolicyState::Batch(_) => self.start_due_batch(now),
         }
     }
@@ -584,20 +615,20 @@ impl SchedulerSystem {
         started
     }
 
-    /// GA: evolve the population, commit due placements, advertise the new
-    /// makespan.
-    fn replan_ga(&mut self, now: SimTime) -> Vec<StartedTask> {
-        let PolicyState::Ga(ga) = &mut self.policy else {
-            unreachable!("replan_ga under FIFO policy");
+    /// Planned policies (GA, heuristics, annealing): re-plan the pending
+    /// set, commit due placements, advertise the new makespan.
+    fn replan(&mut self, now: SimTime) -> Vec<StartedTask> {
+        let PolicyState::Planned(policy) = &mut self.policy else {
+            unreachable!("replan under a fixed-allocation policy");
         };
         let Some(view) = ResourceView::snapshot(&self.resource, now) else {
             return Vec::new(); // full outage: hold everything
         };
-        let outcome = ga.evolve(&view, &self.pending, &self.engine);
+        let outcome = policy.plan(&view, &self.pending, &self.engine);
         self.plan_makespan = outcome.schedule.makespan;
 
         // Placements due now, in descending pending-index order so removal
-        // keeps earlier indices (and the GA's absorbed indices) valid.
+        // keeps earlier indices (and the policy's absorbed indices) valid.
         let mut due: Vec<_> = outcome
             .schedule
             .placements
@@ -610,10 +641,10 @@ impl SchedulerSystem {
         let mut started = Vec::with_capacity(due.len());
         for p in due {
             let task = self.pending.remove(p.task);
-            ga.absorb_removed_task(p.task);
+            policy.absorb_removed_task(p.task);
             let predicted = p.completion.saturating_since(p.start);
             let completion = {
-                // `ga` borrows self.policy; compute noise inline.
+                // `policy` borrows self.policy; compute noise inline.
                 if self.noise.is_exact() {
                     p.start + predicted
                 } else {
@@ -1030,6 +1061,103 @@ mod tests {
         let ids: std::collections::BTreeSet<u64> =
             s.completed().iter().map(|c| c.task.id.0).collect();
         assert_eq!(ids.len(), 4, "each task completes exactly once");
+    }
+
+    #[test]
+    fn zoo_policies_run_tasks_to_completion() {
+        for cfg in [
+            PolicyConfig::MinMin,
+            PolicyConfig::MaxMin,
+            PolicyConfig::Sufferage,
+            PolicyConfig::Annealing(SaConfig::default()),
+        ] {
+            let mut s = SchedulerSystem::new(
+                GridResource::new("S1", Platform::sgi_origin2000(), 4),
+                cfg,
+                Arc::new(CachedEngine::new()),
+                RngStream::root(91),
+            );
+            let a = app(vec![12.0, 8.0, 6.0, 5.0]);
+            let mut started = Vec::new();
+            for id in 1..=6 {
+                started.extend(s.submit(mk_task(id, &a, 600), SimTime::ZERO).unwrap());
+            }
+            drain(&mut s, started);
+            assert_eq!(s.completed().len(), 6, "{}", s.policy_name());
+            assert_eq!(s.queue_len(), 0, "{}", s.policy_name());
+            assert_eq!(s.running_len(), 0, "{}", s.policy_name());
+        }
+    }
+
+    #[test]
+    fn policy_names_are_stable_tokens() {
+        let mk = |cfg| {
+            SchedulerSystem::new(
+                GridResource::new("S1", Platform::sgi_origin2000(), 2),
+                cfg,
+                Arc::new(CachedEngine::new()),
+                RngStream::root(1),
+            )
+        };
+        assert_eq!(mk(PolicyConfig::Fifo).policy_name(), "fifo");
+        assert_eq!(
+            mk(PolicyConfig::Ga(GaConfig::default())).policy_name(),
+            "ga"
+        );
+        assert_eq!(
+            mk(PolicyConfig::Batch(BatchConfig::default())).policy_name(),
+            "batch"
+        );
+        assert_eq!(mk(PolicyConfig::MinMin).policy_name(), "minmin");
+        assert_eq!(mk(PolicyConfig::MaxMin).policy_name(), "maxmin");
+        assert_eq!(mk(PolicyConfig::Sufferage).policy_name(), "sufferage");
+        assert_eq!(
+            mk(PolicyConfig::Annealing(SaConfig::default())).policy_name(),
+            "anneal"
+        );
+    }
+
+    #[test]
+    fn zoo_policies_support_cancel_and_crash() {
+        for cfg in [
+            PolicyConfig::MinMin,
+            PolicyConfig::Annealing(SaConfig::default()),
+        ] {
+            let mut s = SchedulerSystem::new(
+                GridResource::new("S1", Platform::sgi_origin2000(), 1),
+                cfg,
+                Arc::new(CachedEngine::new()),
+                RngStream::root(92),
+            );
+            let a = app(vec![10.0]);
+            let mut started = Vec::new();
+            for id in 1..=3 {
+                started.extend(s.submit(mk_task(id, &a, 1000), SimTime::ZERO).unwrap());
+            }
+            let extra = s.cancel(TaskId(2), SimTime::ZERO).expect("task 2 pending");
+            started.extend(extra);
+            drain(&mut s, started);
+            let ids: Vec<u64> = s.completed().iter().map(|c| c.task.id.0).collect();
+            assert!(ids.contains(&1) && ids.contains(&3) && !ids.contains(&2));
+
+            // A fresh system crashes cleanly and recovers.
+            let mut s2 = SchedulerSystem::new(
+                GridResource::new("S1", Platform::sgi_origin2000(), 1),
+                PolicyConfig::Sufferage,
+                Arc::new(CachedEngine::new()),
+                RngStream::root(93),
+            );
+            for id in 1..=3 {
+                s2.submit(mk_task(id, &a, 1000), SimTime::ZERO).unwrap();
+            }
+            let lost = s2.crash(SimTime::from_secs(4));
+            assert_eq!(lost.len(), 3);
+            let started = s2
+                .submit(mk_task(4, &a, 1000), SimTime::from_secs(4))
+                .unwrap();
+            drain(&mut s2, started);
+            assert_eq!(s2.completed().len(), 1);
+        }
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! agentgrid table3 [--requests N] [--seed S] [--verify]  # the paper's case study
-//! agentgrid run [--policy fifo|ga] [--agents] [--topology SPEC]
+//! agentgrid run [--policy fifo|ga|batch|minmin|maxmin|sufferage|anneal]
+//!               [--agents] [--topology SPEC]
 //!               [--requests N] [--seed S] [--noise SIGMA] [--json]
 //!               [--trace FILE] [--trace-format jsonl|chrome] [--verify]
 //! agentgrid serve [--fast-forward | --speed X] [--listen ADDR] [--tune]
@@ -62,7 +63,8 @@ agentgrid — agent-based grid load balancing (Cao et al., IPPS 2003)
 
 USAGE:
   agentgrid table3   [--requests N] [--seed S] [--json] [--verify]
-  agentgrid run      [--policy fifo|ga|batch] [--agents] [--topology SPEC]
+  agentgrid run      [--policy fifo|ga|batch|minmin|maxmin|sufferage|anneal]
+                     [--matchmaker freetime|auction] [--agents] [--topology SPEC]
                      [--requests N] [--seed S] [--noise SIGMA] [--json]
                      [--ga-threads N] [--ga-islands N] [--shards N] [--verify]
                      [--trace FILE] [--trace-format jsonl|chrome]
@@ -70,7 +72,8 @@ USAGE:
                      [--wal FILE] [--wal-sync always|batch|off]
                      [--record FILE] [--replay FILE]
                      [--input FILE] [--metrics-out FILE] [--json] [--verify]
-                     [--policy fifo|ga|batch] [--agents] [--topology SPEC]
+                     [--policy fifo|ga|batch|minmin|maxmin|sufferage|anneal]
+                     [--agents] [--topology SPEC]
                      [--seed S] [--noise SIGMA] [--shards N]
   agentgrid report   TRACE
   agentgrid topology [--topology SPEC]
@@ -149,6 +152,7 @@ struct Flags {
     requests: Option<usize>,
     seed: u64,
     policy: LocalPolicy,
+    matchmaker: MatchmakerKind,
     agents: bool,
     topology: String,
     noise: f64,
@@ -178,6 +182,7 @@ impl Flags {
             requests: None,
             seed: 2003,
             policy: LocalPolicy::Ga,
+            matchmaker: MatchmakerKind::Freetime,
             agents: false,
             topology: "case-study".to_string(),
             noise: 0.0,
@@ -213,13 +218,11 @@ impl Flags {
                 "--seed" => flags.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
                 "--noise" => flags.noise = value("--noise")?.parse().map_err(|e| format!("{e}"))?,
                 "--topology" => flags.topology = value("--topology")?,
-                "--policy" => {
-                    flags.policy = match value("--policy")?.as_str() {
-                        "fifo" => LocalPolicy::Fifo,
-                        "ga" => LocalPolicy::Ga,
-                        "batch" => LocalPolicy::Batch,
-                        other => return Err(format!("unknown policy `{other}`")),
-                    }
+                "--policy" => flags.policy = parse_policy(&value("--policy")?)?,
+                "--matchmaker" => {
+                    let name = value("--matchmaker")?;
+                    flags.matchmaker = MatchmakerKind::parse(&name)
+                        .ok_or_else(|| format!("unknown matchmaker `{name}`"))?;
                 }
                 "--agents" => flags.agents = true,
                 "--json" => flags.json = true,
@@ -297,6 +300,7 @@ impl Flags {
         if let Some(shards) = self.shards {
             opts.shards = shards;
         }
+        opts.matchmaker = self.matchmaker;
         opts
     }
 }
@@ -424,20 +428,11 @@ fn cmd_run(flags: &Flags) -> ExitCode {
 }
 
 fn policy_name(p: LocalPolicy) -> &'static str {
-    match p {
-        LocalPolicy::Fifo => "fifo",
-        LocalPolicy::Ga => "ga",
-        LocalPolicy::Batch => "batch",
-    }
+    p.token()
 }
 
 fn parse_policy(name: &str) -> Result<LocalPolicy, String> {
-    match name {
-        "fifo" => Ok(LocalPolicy::Fifo),
-        "ga" => Ok(LocalPolicy::Ga),
-        "batch" => Ok(LocalPolicy::Batch),
-        other => Err(format!("unknown policy `{other}`")),
-    }
+    LocalPolicy::parse(name).ok_or_else(|| format!("unknown policy `{name}`"))
 }
 
 fn cmd_serve(flags: &Flags) -> ExitCode {

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! verify fuzz [--seeds N] [--start S] [--quick] [--serve] [--crash]
-//!             [--replay FILE] [--shards N] [--out FILE]
+//!             [--replay FILE] [--shards N] [--policy P] [--out FILE]
 //! ```
 //!
 //! Runs `N` generated cases (default 100) starting at seed `S`
@@ -28,17 +28,23 @@
 //! `--shards N` forces every case onto `N` agent-subtree shards
 //! (DESIGN.md §13) instead of the generated per-case value: re-running
 //! one corpus at several shard counts must give identical verdicts.
+//!
+//! `--policy P` pins every planned case (designs 2/3) to one scheduler
+//! zoo entrant (`fifo|ga|batch|minmin|maxmin|sufferage|anneal`) instead
+//! of the generated per-case draw, so a whole corpus can stress a
+//! single policy. Without it each case draws its own policy, and a
+//! failing case shrinks towards FIFO first (DESIGN.md §15).
 
 use agentgrid::prelude::*;
 use agentgrid_serve::{read_recording, GridService, ServeConfig, TunerConfig};
 use agentgrid_verify::crash::crash_corpus;
-use agentgrid_verify::fuzz::fuzz_corpus_sharded;
+use agentgrid_verify::fuzz::fuzz_corpus_with;
 use agentgrid_verify::serve_fuzz::serve_fuzz_corpus;
 use std::io::Write;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: verify fuzz [--seeds N] [--start S] [--quick] [--serve] [--crash] \
-                     [--replay FILE] [--shards N] [--out FILE]";
+                     [--replay FILE] [--shards N] [--policy P] [--out FILE]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,6 +60,7 @@ fn main() -> ExitCode {
     let mut crash = false;
     let mut replay: Option<String> = None;
     let mut shards: Option<usize> = None;
+    let mut policy: Option<PolicyKind> = None;
     let mut out: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(arg) = it.next() {
@@ -76,6 +83,14 @@ fn main() -> ExitCode {
             "--shards" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) if v >= 1 => shards = Some(v),
                 _ => return bad_usage("--shards needs a number >= 1"),
+            },
+            "--policy" => match it.next().and_then(|v| PolicyKind::parse(v)) {
+                Some(p) => policy = Some(p),
+                None => {
+                    return bad_usage(
+                        "--policy needs one of fifo|ga|batch|minmin|maxmin|sufferage|anneal",
+                    )
+                }
             },
             "--out" => match it.next() {
                 Some(v) => out = Some(v.clone()),
@@ -107,6 +122,9 @@ fn main() -> ExitCode {
         if shards.is_some() {
             return bad_usage("--shards applies to the batch corpus, not --crash");
         }
+        if policy.is_some() {
+            return bad_usage("--policy applies to the batch corpus, not --crash");
+        }
         let report = crash_corpus(start, seeds, quick, |case, failure| {
             progress(case.fuzz.seed, failure)
         });
@@ -134,6 +152,9 @@ fn main() -> ExitCode {
         if shards.is_some() {
             return bad_usage("--shards applies to the batch corpus, not --serve");
         }
+        if policy.is_some() {
+            return bad_usage("--policy applies to the batch corpus, not --serve");
+        }
         let report = serve_fuzz_corpus(start, seeds, quick, |case, failure| {
             progress(case.seed, failure)
         });
@@ -158,7 +179,7 @@ fn main() -> ExitCode {
             lines,
         )
     } else {
-        let report = fuzz_corpus_sharded(start, seeds, quick, shards, |case, failure| {
+        let report = fuzz_corpus_with(start, seeds, quick, shards, policy, |case, failure| {
             progress(case.seed, failure)
         });
         let lines: Vec<(String, String, String)> = report
@@ -254,12 +275,10 @@ fn replay_gate(path: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let policy = match meta.policy.as_str() {
-        "fifo" => LocalPolicy::Fifo,
-        "ga" => LocalPolicy::Ga,
-        "batch" => LocalPolicy::Batch,
-        other => {
-            eprintln!("verify: {path} header: unknown policy `{other}`");
+    let policy = match LocalPolicy::parse(&meta.policy) {
+        Some(p) => p,
+        None => {
+            eprintln!("verify: {path} header: unknown policy `{}`", meta.policy);
             return ExitCode::FAILURE;
         }
     };

@@ -27,7 +27,7 @@ use agentgrid::{run_experiment, FaultPlan, RunOptions};
 use agentgrid_cluster::ExecEnv;
 use agentgrid_sim::{RngStream, SimDuration, SimTime};
 use agentgrid_telemetry::{InvariantRecorder, Telemetry, Violation};
-use agentgrid_workload::{ExperimentDesign, GridTopology, WorkloadConfig};
+use agentgrid_workload::{ExperimentDesign, GridTopology, PolicyKind, WorkloadConfig};
 use rand::Rng;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
@@ -64,9 +64,14 @@ pub struct FuzzCase {
     /// 1 = plain sequential loop). Results must be invariant in this,
     /// so the fuzzer varies it like any other dimension — and shrinking
     /// tries `1` first, separating genuine scheduling bugs from
-    /// merge-barrier bugs. Last field so pasted regression lines from
-    /// earlier corpora stay readable prefixes.
+    /// merge-barrier bugs.
     pub shards: usize,
+    /// Local scheduling policy for designs 2/3 (design 1 is FIFO by
+    /// definition) — any zoo entrant. Shrinking tries FIFO first,
+    /// separating policy-specific bugs from grid-layer bugs. Drawn
+    /// last so pasted regression lines from earlier corpora stay
+    /// readable prefixes.
+    pub policy: PolicyKind,
 }
 
 /// Why a case failed.
@@ -122,8 +127,16 @@ impl FuzzCase {
         } else {
             [1u8, 2, 3][rng.gen_range(0..3usize)]
         };
-        // Drawn last so the other dimensions reproduce earlier corpora.
+        // Drawn after the earlier dimensions so they reproduce earlier
+        // corpora.
         let shards = [1usize, 2, 4][rng.gen_range(0..3usize)];
+        // Drawn last (newest dimension): the local policy for designs
+        // 2/3. Design 1 is FIFO by definition and draws nothing.
+        let policy = if design == 1 {
+            PolicyKind::Fifo
+        } else {
+            PolicyKind::ALL[rng.gen_range(0..PolicyKind::ALL.len())]
+        };
         FuzzCase {
             seed,
             resources,
@@ -133,6 +146,7 @@ impl FuzzCase {
             design,
             sabotage: false,
             shards,
+            policy,
         }
     }
 
@@ -179,11 +193,14 @@ impl FuzzCase {
             agents: topology.names(),
             environment: ExecEnv::Test,
         };
-        let design = match self.design {
+        let mut design = match self.design {
             1 => ExperimentDesign::experiment1(),
             2 => ExperimentDesign::experiment2(),
             _ => ExperimentDesign::experiment3(),
         };
+        if self.design != 1 {
+            design.local_policy = self.policy;
+        }
         let mut opts = RunOptions::fast();
         opts.telemetry = Telemetry::new(recorder.clone());
         opts.step_limit = Some(STEP_LIMIT);
@@ -263,7 +280,15 @@ pub fn shrink(case: FuzzCase) -> FuzzCase {
     let mut best = case;
     loop {
         let mut candidates = Vec::new();
-        // Try the sequential loop first: if the failure survives at
+        // Try FIFO first: if the failure survives under the simplest
+        // policy it is a grid-layer bug, not a policy-specific one.
+        if best.policy != PolicyKind::Fifo {
+            candidates.push(FuzzCase {
+                policy: PolicyKind::Fifo,
+                ..best
+            });
+        }
+        // Then the sequential loop: if the failure survives at
         // shards = 1 it is a scheduling bug, not a merge-barrier bug.
         if best.shards > 1 {
             candidates.push(FuzzCase { shards: 1, ..best });
@@ -343,7 +368,7 @@ pub fn fuzz_corpus(
     quick: bool,
     progress: impl FnMut(&FuzzCase, Option<&CaseFailure>),
 ) -> FuzzReport {
-    fuzz_corpus_sharded(start_seed, count, quick, None, progress)
+    fuzz_corpus_with(start_seed, count, quick, None, None, progress)
 }
 
 /// [`fuzz_corpus`] with every case's shard count overridden (the
@@ -355,6 +380,22 @@ pub fn fuzz_corpus_sharded(
     count: usize,
     quick: bool,
     shards: Option<usize>,
+    progress: impl FnMut(&FuzzCase, Option<&CaseFailure>),
+) -> FuzzReport {
+    fuzz_corpus_with(start_seed, count, quick, shards, None, progress)
+}
+
+/// The fully-parameterised corpus runner: optional shard and policy
+/// overrides applied to every generated case (the `verify fuzz
+/// --shards N` and `--policy P` dimensions). A policy override pins
+/// designs 2/3 to one zoo entrant so a whole corpus can stress a single
+/// policy; design-1 cases are FIFO by definition and ignore it.
+pub fn fuzz_corpus_with(
+    start_seed: u64,
+    count: usize,
+    quick: bool,
+    shards: Option<usize>,
+    policy: Option<PolicyKind>,
     mut progress: impl FnMut(&FuzzCase, Option<&CaseFailure>),
 ) -> FuzzReport {
     let mut report = FuzzReport::default();
@@ -362,6 +403,11 @@ pub fn fuzz_corpus_sharded(
         let mut case = FuzzCase::generate(seed, quick);
         if let Some(s) = shards {
             case.shards = s.max(1);
+        }
+        if let Some(p) = policy {
+            if case.design != 1 {
+                case.policy = p;
+            }
         }
         let outcome = case.run();
         report.cases += 1;
@@ -398,14 +444,38 @@ mod tests {
             }
             assert!(!a.sabotage);
             assert!(matches!(a.shards, 1 | 2 | 4));
+            if a.design == 1 {
+                assert_eq!(a.policy, PolicyKind::Fifo, "design 1 is FIFO by definition");
+            }
         }
-        // Both strict and chaotic cases appear in the corpus, and both
-        // sequential and sharded loops get exercised.
+        // Both strict and chaotic cases appear in the corpus, both
+        // sequential and sharded loops get exercised, and the policy
+        // dimension actually varies beyond FIFO/GA.
         let cases: Vec<_> = (0..40).map(|s| FuzzCase::generate(s, true)).collect();
         assert!(cases.iter().any(|c| c.crashes == 0));
         assert!(cases.iter().any(|c| c.crashes > 0));
         assert!(cases.iter().any(|c| c.shards == 1));
         assert!(cases.iter().any(|c| c.shards > 1));
+        let distinct: std::collections::HashSet<_> = cases.iter().map(|c| c.policy).collect();
+        assert!(
+            distinct.len() >= 3,
+            "expected ≥3 distinct policies in 40 cases, got {distinct:?}"
+        );
+    }
+
+    #[test]
+    fn policy_override_pins_planned_designs_only() {
+        let mut pinned = 0;
+        fuzz_corpus_with(0, 6, true, None, Some(PolicyKind::Sufferage), |c, f| {
+            assert!(f.is_none(), "override corpus failed on {c:?}");
+            if c.design != 1 {
+                assert_eq!(c.policy, PolicyKind::Sufferage);
+                pinned += 1;
+            } else {
+                assert_eq!(c.policy, PolicyKind::Fifo);
+            }
+        });
+        assert!(pinned > 0, "no planned-design case in the first 6 seeds");
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod crash;
 pub mod fuzz;
 pub mod oracle;
 pub mod serve_fuzz;
+pub mod zoo;
 
 /// The online invariant checker (re-exported from
 /// `agentgrid-telemetry`, where it lives so every layer — including the
@@ -61,3 +62,4 @@ pub use oracle::{
 pub use serve_fuzz::{
     serve_fuzz_corpus, shrink_serve, ServeFuzzCase, ServeFuzzFailure, ServeFuzzReport,
 };
+pub use zoo::{diff_ga_config, diff_instance, planned_zoo, DiffInstance};

@@ -1,145 +1,33 @@
-//! Differential testing: the GA bracketed by reference oracles.
+//! Differential testing: every zoo entrant bracketed by reference
+//! oracles.
 //!
-//! For 50+ seeded tiny instances, the GA's final cost must land between
-//! the brute-force optimum (it cannot beat an exhaustive search of its
-//! own cost function) and the FIFO arrival-order greedy (it seeds its
-//! population with exactly that schedule, so it can never do worse).
+//! For 50+ seeded tiny instances, each planned policy's final cost must
+//! land between the brute-force optimum (nothing can beat an exhaustive
+//! search of its own cost function) and the FIFO arrival-order greedy
+//! (every entrant seeds from or falls back to exactly that schedule).
 //! Ties are allowed on both sides. A failing seed prints the complete
 //! instance — execution-time tables, deadlines, node availability —
 //! so it can be lifted straight into a unit test.
+//!
+//! The matchmaking side gets the same treatment: both matchmakers must
+//! reproduce the eq. 10 reference completion exactly — the auction may
+//! only reprice the *score*.
 
-use agentgrid_cluster::{ExecEnv, GridResource};
-use agentgrid_pace::{AppId, ApplicationModel, CachedEngine, ModelCurve, Platform, TabulatedModel};
-use agentgrid_scheduler::{CostWeights, GaConfig, GaScheduler, ResourceView, Task, TaskId};
+use agentgrid_agents::{AuctionMatchmaker, Endpoint, FreetimeMatchmaker, Matchmaker, ServiceInfo};
+use agentgrid_cluster::ExecEnv;
+use agentgrid_pace::{CachedEngine, Catalog, Platform, ResourceModel};
+use agentgrid_scheduler::{fifo_seed, CostWeights, GaConfig, GaScheduler};
 use agentgrid_sim::{RngStream, SimTime};
-use agentgrid_verify::oracle::{brute_force_best, fifo_reference};
-use rand::Rng;
-use std::sync::Arc;
-
-struct Instance {
-    seed: u64,
-    view: ResourceView,
-    tasks: Vec<Task>,
-    engine: CachedEngine,
-}
-
-/// Sizes keep the brute-force budget `m! * (2^n - 1)^m` under ~60k
-/// decodes per instance.
-fn instance(seed: u64) -> Instance {
-    let mut rng = RngStream::root(seed).derive("verify/differential");
-    let nproc = rng.gen_range(2..=4);
-    let m = match nproc {
-        2 => rng.gen_range(2..=5),
-        3 => rng.gen_range(2..=4),
-        _ => rng.gen_range(2..=3),
-    };
-    let r = GridResource::new("S1", Platform::sgi_origin2000(), nproc);
-    let mut view = ResourceView::snapshot(&r, SimTime::ZERO).expect("all nodes up");
-    // Stagger node availability so idle pockets and ordering matter.
-    for free in view.node_free.iter_mut() {
-        if rng.gen_range(0..2) == 1 {
-            *free = SimTime::from_secs(rng.gen_range(0..6));
-        }
-    }
-    let tasks = (0..m)
-        .map(|i| {
-            // A random speedup curve: t(1) in [2, 20]s, each extra
-            // processor multiplying by [0.5, 1.1] — sometimes slower,
-            // so wider is not always better.
-            let mut t = 2.0 + rng.gen_range(0..1800) as f64 / 100.0;
-            let mut times = vec![t];
-            for _ in 1..nproc {
-                t *= 0.5 + rng.gen_range(0..60) as f64 / 100.0;
-                times.push(t);
-            }
-            let app = Arc::new(
-                ApplicationModel::new(
-                    AppId(i as u32),
-                    "fuzz",
-                    ModelCurve::Tabulated(TabulatedModel::new(times).expect("valid curve")),
-                    (1.0, 1000.0),
-                )
-                .expect("valid model"),
-            );
-            Task::new(
-                TaskId(i as u64),
-                app,
-                SimTime::ZERO,
-                SimTime::from_secs(rng.gen_range(5..60)),
-                ExecEnv::Test,
-            )
-        })
-        .collect();
-    Instance {
-        seed,
-        view,
-        tasks,
-        engine: CachedEngine::new(),
-    }
-}
-
-/// Everything needed to reproduce a failing seed by hand.
-fn describe(inst: &Instance) -> String {
-    let mut out = format!(
-        "seed {}: {} tasks on {} processors\n  node_free: {:?}\n",
-        inst.seed,
-        inst.tasks.len(),
-        inst.view.model.nproc,
-        inst.view
-            .node_free
-            .iter()
-            .map(|t| t.as_secs_f64())
-            .collect::<Vec<_>>(),
-    );
-    for task in &inst.tasks {
-        let times: Vec<f64> = (1..=inst.view.model.nproc)
-            .map(|k| inst.engine.evaluate(&task.app, &inst.view.model, k))
-            .collect();
-        out.push_str(&format!(
-            "  task {}: times {:?} deadline {}s\n",
-            task.id.0,
-            times,
-            task.deadline.as_secs_f64()
-        ));
-    }
-    out
-}
+use agentgrid_verify::oracle::{brute_force_best, cost_of, fifo_reference, matchmaking_reference};
+use agentgrid_verify::zoo::{describe, diff_instance, planned_zoo};
 
 #[test]
-fn ga_cost_is_bracketed_by_the_oracles_on_50_seeded_instances() {
+fn every_policy_cost_is_bracketed_by_the_oracles_on_50_seeded_instances() {
     let weights = CostWeights::default();
     for seed in 0..55u64 {
-        let inst = instance(seed);
+        let inst = diff_instance(seed);
         let optimum = brute_force_best(&inst.view, &inst.tasks, &inst.engine, &weights);
         let fifo = fifo_reference(&inst.view, &inst.tasks, &inst.engine, &weights);
-
-        let mut ga = GaScheduler::new(
-            GaConfig {
-                population: 16,
-                generations_per_event: 12,
-                stall_generations: 5,
-                ..GaConfig::default()
-            },
-            RngStream::root(seed).derive("ga"),
-        );
-        let outcome = ga.evolve(&inst.view, &inst.tasks, &inst.engine);
-
-        assert!(
-            outcome.cost >= optimum.cost - 1e-9,
-            "GA beat the exhaustive optimum ({} < {}) on:\n{}\n  optimum: {:?}",
-            outcome.cost,
-            optimum.cost,
-            describe(&inst),
-            optimum.solution,
-        );
-        assert!(
-            outcome.cost <= fifo.cost + 1e-9,
-            "GA did worse than its own FIFO seed ({} > {}) on:\n{}\n  fifo: {:?}",
-            outcome.cost,
-            fifo.cost,
-            describe(&inst),
-            fifo.solution,
-        );
         // The bracket itself must be consistent.
         assert!(
             fifo.cost >= optimum.cost - 1e-9,
@@ -147,6 +35,54 @@ fn ga_cost_is_bracketed_by_the_oracles_on_50_seeded_instances() {
             fifo.cost,
             optimum.cost,
             describe(&inst),
+        );
+        for mut policy in planned_zoo(seed) {
+            let outcome = policy.plan(&inst.view, &inst.tasks, &inst.engine);
+            assert!(
+                outcome.cost >= optimum.cost - 1e-9,
+                "{} beat the exhaustive optimum ({} < {}) on:\n{}\n  optimum: {:?}",
+                policy.name(),
+                outcome.cost,
+                optimum.cost,
+                describe(&inst),
+                optimum.solution,
+            );
+            assert!(
+                outcome.cost <= fifo.cost + 1e-9,
+                "{} did worse than the FIFO seed ({} > {}) on:\n{}\n  fifo: {:?}",
+                policy.name(),
+                outcome.cost,
+                fifo.cost,
+                describe(&inst),
+                fifo.solution,
+            );
+        }
+    }
+}
+
+#[test]
+fn the_fifo_seed_matches_the_fifo_oracle_exactly() {
+    // `fifo_seed` is what gives every planned policy its upper bound by
+    // construction; it must be the byte-identical schedule the oracle's
+    // exhaustive search produces.
+    let weights = CostWeights::default();
+    for seed in 0..25u64 {
+        let inst = diff_instance(seed);
+        let oracle = fifo_reference(&inst.view, &inst.tasks, &inst.engine, &weights);
+        let seeded = fifo_seed(&inst.view, &inst.tasks, &inst.engine);
+        assert_eq!(
+            seeded.mapping,
+            oracle.solution.mapping,
+            "fifo_seed diverged from the oracle on:\n{}",
+            describe(&inst)
+        );
+        let cost = cost_of(&inst.view, &inst.tasks, &seeded, &inst.engine, &weights);
+        assert!(
+            (cost - oracle.cost).abs() <= 1e-12,
+            "fifo_seed cost {} != oracle {} on:\n{}",
+            cost,
+            oracle.cost,
+            describe(&inst)
         );
     }
 }
@@ -159,7 +95,7 @@ fn ga_finds_the_exact_optimum_on_trivial_instances() {
     let mut exact = 0;
     let mut total = 0;
     for seed in 100..110u64 {
-        let mut inst = instance(seed);
+        let mut inst = diff_instance(seed);
         inst.tasks.truncate(2);
         let optimum = brute_force_best(&inst.view, &inst.tasks, &inst.engine, &weights);
         let mut ga = GaScheduler::new(GaConfig::default(), RngStream::root(seed).derive("ga"));
@@ -173,4 +109,56 @@ fn ga_finds_the_exact_optimum_on_trivial_instances() {
         exact >= total - 1,
         "GA matched the optimum on only {exact}/{total} two-task instances"
     );
+}
+
+#[test]
+fn every_matchmaker_agrees_with_the_per_k_reference_completion() {
+    // Eq. 10 agreement, generalised over the matchmaker zoo: for every
+    // case-study application × platform × freetime, each matchmaker's
+    // physical completion must equal the independently re-derived per-k
+    // minimum. Only the score may differ between matchmakers.
+    let engine = CachedEngine::new();
+    let platforms = Platform::case_study_set();
+    let catalog = Catalog::case_study();
+    let now = SimTime::from_secs(3);
+    let matchmakers: [&dyn Matchmaker; 2] = [&FreetimeMatchmaker, &AuctionMatchmaker];
+    for platform in &platforms {
+        for app in catalog.apps() {
+            for freetime_s in [0u64, 7, 60] {
+                let info = ServiceInfo {
+                    agent: Endpoint::new("host", 1000),
+                    local: Endpoint::new("host", 10000),
+                    machine_type: platform.name.as_str().into(),
+                    nproc: 16,
+                    environments: vec![ExecEnv::Test].into(),
+                    freetime: SimTime::from_secs(freetime_s),
+                };
+                let model = ResourceModel::new(platform.clone(), info.nproc).unwrap();
+                let reference = matchmaking_reference(info.freetime, now, app, &model, &engine);
+                for mm in matchmakers {
+                    let est = mm
+                        .evaluate(
+                            &info,
+                            app,
+                            ExecEnv::Test,
+                            SimTime::from_secs(10_000),
+                            now,
+                            &platforms,
+                            &engine,
+                        )
+                        .unwrap();
+                    let ctx = format!(
+                        "{} / {} / {} / freetime {freetime_s}s",
+                        mm.name(),
+                        platform.name,
+                        app.name
+                    );
+                    assert_eq!(est.completion, reference, "{ctx}");
+                    // The score must never promise an earlier physical
+                    // start than execution alone allows.
+                    assert!(est.score >= now, "{ctx}: score {:?} before now", est.score);
+                }
+            }
+        }
+    }
 }

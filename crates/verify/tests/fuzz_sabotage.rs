@@ -9,6 +9,7 @@
 //! release) and shrink the scenario to a tiny reproducible case.
 
 use agentgrid_verify::fuzz::{shrink, FuzzCase};
+use agentgrid_workload::PolicyKind;
 
 #[test]
 fn injected_dedup_bug_is_caught_and_shrunk_to_a_tiny_case() {
@@ -21,6 +22,7 @@ fn injected_dedup_bug_is_caught_and_shrunk_to_a_tiny_case() {
         design: 3,
         sabotage: true,
         shards: 2,
+        policy: PolicyKind::Ga,
     };
 
     // Caught: the sabotaged run fails...

@@ -6,9 +6,10 @@
 //! | 2 |   | ✓ |   |
 //! | 3 |   | ✓ | ✓ |
 
-/// The local scheduling algorithm of an experiment.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum LocalPolicy {
+/// The local scheduling algorithm of an experiment — one token per
+/// entrant in the scheduler zoo (see DESIGN.md §15).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
     /// First-come-first-served (comparison baseline).
     Fifo,
     /// The genetic-algorithm scheduler.
@@ -16,6 +17,65 @@ pub enum LocalPolicy {
     /// Condor/LSF-style batch queueing with EASY backfill (related-work
     /// baseline, beyond the paper's Table 2).
     Batch,
+    /// Min-min batch heuristic: repeatedly start the task with the
+    /// earliest best completion time.
+    MinMin,
+    /// Max-min batch heuristic: repeatedly start the task with the
+    /// *latest* best completion time.
+    MaxMin,
+    /// Sufferage batch heuristic: prioritise the task that loses the
+    /// most if denied its best allocation.
+    Sufferage,
+    /// Seeded simulated-annealing search over the two-part coding.
+    Anneal,
+}
+
+/// Backwards-compatible alias for the pre-zoo name of [`PolicyKind`].
+pub type LocalPolicy = PolicyKind;
+
+impl PolicyKind {
+    /// Every entrant in the zoo, in tournament order.
+    pub const ALL: [PolicyKind; 7] = [
+        PolicyKind::Fifo,
+        PolicyKind::Ga,
+        PolicyKind::Batch,
+        PolicyKind::MinMin,
+        PolicyKind::MaxMin,
+        PolicyKind::Sufferage,
+        PolicyKind::Anneal,
+    ];
+
+    /// Stable lowercase token — the same string the CLI, recordings and
+    /// result JSON use.
+    pub fn token(&self) -> &'static str {
+        match self {
+            PolicyKind::Fifo => "fifo",
+            PolicyKind::Ga => "ga",
+            PolicyKind::Batch => "batch",
+            PolicyKind::MinMin => "minmin",
+            PolicyKind::MaxMin => "maxmin",
+            PolicyKind::Sufferage => "sufferage",
+            PolicyKind::Anneal => "anneal",
+        }
+    }
+
+    /// Parse a lowercase token produced by [`PolicyKind::token`].
+    pub fn parse(token: &str) -> Option<PolicyKind> {
+        PolicyKind::ALL.iter().copied().find(|p| p.token() == token)
+    }
+
+    /// Display label used in experiment output, e.g. `"GA"`.
+    pub fn display(&self) -> &'static str {
+        match self {
+            PolicyKind::Fifo => "FIFO",
+            PolicyKind::Ga => "GA",
+            PolicyKind::Batch => "Batch",
+            PolicyKind::MinMin => "Min-min",
+            PolicyKind::MaxMin => "Max-min",
+            PolicyKind::Sufferage => "Sufferage",
+            PolicyKind::Anneal => "Anneal",
+        }
+    }
 }
 
 /// One row of Table 2.
@@ -24,7 +84,7 @@ pub struct ExperimentDesign {
     /// Experiment number (1–3 in the paper).
     pub number: u32,
     /// Local scheduling algorithm.
-    pub local_policy: LocalPolicy,
+    pub local_policy: PolicyKind,
     /// Whether agent-based service discovery is enabled.
     pub agents_enabled: bool,
 }
@@ -34,7 +94,7 @@ impl ExperimentDesign {
     pub fn experiment1() -> ExperimentDesign {
         ExperimentDesign {
             number: 1,
-            local_policy: LocalPolicy::Fifo,
+            local_policy: PolicyKind::Fifo,
             agents_enabled: false,
         }
     }
@@ -43,7 +103,7 @@ impl ExperimentDesign {
     pub fn experiment2() -> ExperimentDesign {
         ExperimentDesign {
             number: 2,
-            local_policy: LocalPolicy::Ga,
+            local_policy: PolicyKind::Ga,
             agents_enabled: false,
         }
     }
@@ -52,7 +112,7 @@ impl ExperimentDesign {
     pub fn experiment3() -> ExperimentDesign {
         ExperimentDesign {
             number: 3,
-            local_policy: LocalPolicy::Ga,
+            local_policy: PolicyKind::Ga,
             agents_enabled: true,
         }
     }
@@ -68,11 +128,7 @@ impl ExperimentDesign {
 
     /// A human-readable label, e.g. `"Exp 3: GA + agent discovery"`.
     pub fn label(&self) -> String {
-        let policy = match self.local_policy {
-            LocalPolicy::Fifo => "FIFO",
-            LocalPolicy::Ga => "GA",
-            LocalPolicy::Batch => "Batch",
-        };
+        let policy = self.local_policy.display();
         if self.agents_enabled {
             format!("Exp {}: {policy} + agent discovery", self.number)
         } else {
@@ -88,11 +144,11 @@ mod tests {
     #[test]
     fn table2_matches_the_paper() {
         let t = ExperimentDesign::table2();
-        assert_eq!(t[0].local_policy, LocalPolicy::Fifo);
+        assert_eq!(t[0].local_policy, PolicyKind::Fifo);
         assert!(!t[0].agents_enabled);
-        assert_eq!(t[1].local_policy, LocalPolicy::Ga);
+        assert_eq!(t[1].local_policy, PolicyKind::Ga);
         assert!(!t[1].agents_enabled);
-        assert_eq!(t[2].local_policy, LocalPolicy::Ga);
+        assert_eq!(t[2].local_policy, PolicyKind::Ga);
         assert!(t[2].agents_enabled);
         assert_eq!(t.iter().map(|e| e.number).collect::<Vec<_>>(), [1, 2, 3]);
     }
@@ -104,5 +160,13 @@ mod tests {
             ExperimentDesign::experiment3().label(),
             "Exp 3: GA + agent discovery"
         );
+    }
+
+    #[test]
+    fn tokens_round_trip_for_every_entrant() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(kind.token()), Some(kind));
+        }
+        assert_eq!(PolicyKind::parse("nope"), None);
     }
 }

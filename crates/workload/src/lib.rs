@@ -19,6 +19,6 @@ pub mod experiment;
 pub mod generator;
 pub mod topology;
 
-pub use experiment::{ExperimentDesign, LocalPolicy};
+pub use experiment::{ExperimentDesign, LocalPolicy, PolicyKind};
 pub use generator::{ArrivalPattern, GeneratedRequest, WorkloadConfig};
 pub use topology::{GridTopology, ResourceSpec};

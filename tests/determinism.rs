@@ -148,6 +148,78 @@ fn shards_do_not_perturb_the_run() {
 }
 
 #[test]
+fn every_zoo_policy_is_invariant_in_threads_and_shards() {
+    // The LocalPolicy contract (DESIGN.md §15): every zoo entrant is a
+    // pure function of the seed, so neither the GA thread count nor the
+    // shard/worker split of the event loop may change a single byte of
+    // the result. This is the generalisation of
+    // `ga_threads_do_not_perturb_the_run` / `shards_do_not_perturb_the_run`
+    // to the whole policy zoo.
+    let (topology, workload) = small();
+    for policy in PolicyKind::ALL {
+        let design = ExperimentDesign {
+            number: 0,
+            local_policy: policy,
+            agents_enabled: true,
+        };
+        let run = |threads: usize, shards: usize, workers: Option<usize>| {
+            let mut opts = RunOptions::fast();
+            opts.ga.threads = threads;
+            opts.shards = shards;
+            opts.shard_workers = workers;
+            run_experiment(&design, &topology, &workload, &opts)
+        };
+        let baseline = run(1, 1, None);
+        assert_eq!(
+            baseline.total.tasks,
+            workload.requests,
+            "{}: not every request ran",
+            policy.token()
+        );
+        for (threads, shards, workers) in [(4, 1, None), (1, 4, Some(2)), (8, 2, Some(3))] {
+            let variant = run(threads, shards, workers);
+            assert_eq!(
+                baseline,
+                variant,
+                "{}: threads={threads} shards={shards} workers={workers:?}",
+                policy.token()
+            );
+            assert_eq!(
+                baseline.to_json(),
+                variant.to_json(),
+                "{}: serialised bytes must match",
+                policy.token()
+            );
+        }
+    }
+}
+
+#[test]
+fn matchmakers_are_deterministic_and_auction_changes_placement() {
+    // Each matchmaker is a pure function of the seed; and the auction
+    // actually reprices waits (it is not the freetime ranking renamed),
+    // so on the heterogeneous case-study grid it must steer at least
+    // one request differently from the freetime baseline.
+    let topology = GridTopology::from_spec("case-study").unwrap();
+    let mut workload = WorkloadConfig::case_study(topology.names(), 2003);
+    workload.requests = 240;
+    let design = ExperimentDesign::experiment3();
+    let run = |kind: MatchmakerKind| {
+        let mut opts = RunOptions::fast();
+        opts.matchmaker = kind;
+        run_experiment(&design, &topology, &workload, &opts)
+    };
+    for kind in MatchmakerKind::ALL {
+        assert_eq!(run(kind), run(kind), "{}: reruns must match", kind.token());
+    }
+    assert_ne!(
+        run(MatchmakerKind::Freetime),
+        run(MatchmakerKind::Auction),
+        "the auction never changed a placement — is it repricing at all?"
+    );
+}
+
+#[test]
 fn different_seeds_give_different_runs() {
     let (topology, mut workload) = small();
     let design = ExperimentDesign::experiment3();
